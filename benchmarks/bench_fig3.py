@@ -1,0 +1,36 @@
+"""Figure 3: strong-scaling efficiency of the all-pairs algorithm.
+
+3a: Hopper, 196,608 particles, 1,536-24,576 cores; 3b: Intrepid, 262,144
+particles, 2,048-32,768 cores.  Relative efficiency vs. one core per
+replication factor; with the right c, scaling is nearly perfect while
+c = 1 collapses.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_scaling, emit
+from repro.experiments import FIG3, render_figure, run_figure
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3a(benchmark):
+    res = benchmark.pedantic(lambda: run_figure(FIG3["3a"]), rounds=1, iterations=1)
+    emit(render_figure(res))
+    attach_scaling(benchmark, res)
+    biggest = FIG3["3a"].machine_sizes[-1]
+    best = max(dict(s).get(biggest, 0.0) for s in res.efficiency.values())
+    c1 = dict(res.efficiency[1])[biggest]
+    assert best > 0.85  # nearly perfect scaling with the right c
+    assert c1 < 0.5  # the non-replicated algorithm collapses
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3b(benchmark):
+    res = benchmark.pedantic(lambda: run_figure(FIG3["3b"]), rounds=1, iterations=1)
+    emit(render_figure(res))
+    attach_scaling(benchmark, res)
+    biggest = FIG3["3b"].machine_sizes[-1]
+    best = max(dict(s).get(biggest, 0.0) for s in res.efficiency.values())
+    c1 = dict(res.efficiency[1])[biggest]
+    assert best > 0.85
+    assert best > c1

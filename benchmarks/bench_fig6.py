@@ -1,0 +1,60 @@
+"""Figure 6: execution-time breakdown vs. replication factor with a cutoff
+radius (r_c = L/4), including the per-step re-assignment cost.
+
+6a/6b: Hopper 24,576 cores, 196,608 particles, 1-D and 2-D decompositions;
+6c/6d: Intrepid 32,768 cores, 262,144 particles.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_breakdown, emit
+from repro.experiments import FIG6, render_figure, run_figure
+
+
+def _common_checks(res):
+    rows = res.breakdowns
+    labels = list(rows)
+    # Expected decrease in communication for small c.
+    comm = res.comm_series()
+    assert comm[labels[2]] < comm[labels[0]]
+    # The largest replication factor never gives the best total time.
+    assert res.best_label() != labels[-1]
+    # Re-assignment cost appears in every configuration.
+    assert all(b.get("reassign") > 0 for b in rows.values())
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6a(benchmark):
+    res = benchmark.pedantic(lambda: run_figure(FIG6["6a"]), rounds=1, iterations=1)
+    emit(render_figure(res))
+    attach_breakdown(benchmark, res)
+    _common_checks(res)
+    rows = res.breakdowns
+    # Reduction cost grows considerably for large c (Section IV-D).
+    assert rows["c=64"].get("reduce") > 5 * rows["c=4"].get("reduce")
+    # Shift cost stagnates (load imbalance) instead of approaching zero.
+    assert rows["c=64"].get("shift") > rows["c=16"].get("shift") / 4
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6b(benchmark):
+    res = benchmark.pedantic(lambda: run_figure(FIG6["6b"]), rounds=1, iterations=1)
+    emit(render_figure(res))
+    attach_breakdown(benchmark, res)
+    _common_checks(res)
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6c(benchmark):
+    res = benchmark.pedantic(lambda: run_figure(FIG6["6c"]), rounds=1, iterations=1)
+    emit(render_figure(res))
+    attach_breakdown(benchmark, res)
+    _common_checks(res)
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6d(benchmark):
+    res = benchmark.pedantic(lambda: run_figure(FIG6["6d"]), rounds=1, iterations=1)
+    emit(render_figure(res))
+    attach_breakdown(benchmark, res)
+    _common_checks(res)

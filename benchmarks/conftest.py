@@ -1,0 +1,36 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark prints the regenerated series (the rows the paper plots)
+and attaches headline numbers to the pytest-benchmark ``extra_info`` so
+they land in the benchmark report.  Run with ``-s`` to see the tables
+inline::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a regenerated figure table (works under captured output)."""
+    sys.stdout.write("\n" + text + "\n")
+
+
+def attach_breakdown(benchmark, result) -> None:
+    """Record a breakdown figure's headline numbers."""
+    series = {k: round(b.total * 1e3, 4) for k, b in result.breakdowns.items()}
+    benchmark.extra_info["total_ms"] = series
+    benchmark.extra_info["comm_ms"] = {
+        k: round(b.communication * 1e3, 4) for k, b in result.breakdowns.items()
+    }
+    benchmark.extra_info["best"] = result.best_label()
+
+
+def attach_scaling(benchmark, result) -> None:
+    """Record a scaling figure's efficiency series."""
+    benchmark.extra_info["efficiency"] = {
+        str(c): {str(p): round(e, 4) for p, e in series}
+        for c, series in result.efficiency.items()
+    }

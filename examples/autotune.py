@@ -1,0 +1,55 @@
+"""Autotuning the replication factor at runtime (the paper's future work).
+
+The conclusions leave open 'the question of how to select the replication
+factor c, which ... can be autotuned at runtime by trying multiple
+factors.'  This example does exactly that: it measures one modeled step
+for every feasible c on two machine configurations — a communication-bound
+one and a compute-bound one — and shows the tuner picking different
+optima.
+
+    python examples/autotune.py
+"""
+
+from repro.core import autotune_c
+from repro.machines import GenericTorus, Hopper
+
+
+def main() -> None:
+    print("=== communication-bound: slow network, fast cores ===")
+    machine = GenericTorus(nranks=256, cores_per_node=8, alpha=2e-5,
+                           beta=2e-9, pair_time=2e-9)
+    result = autotune_c(machine, n=8192)
+    print(result.summary())
+    print(f"-> chosen c = {result.best_c}\n")
+
+    print("=== compute-bound: fast network, slow cores ===")
+    machine = GenericTorus(nranks=256, cores_per_node=8, alpha=5e-7,
+                           beta=1e-10, pair_time=5e-7)
+    result = autotune_c(machine, n=8192)
+    print(result.summary())
+    print(f"-> chosen c = {result.best_c}\n")
+
+    print("=== paper scale: Hopper, 24,576 cores, 196,608 particles ===")
+    print("(analytic-model measurement per candidate)")
+    from repro.model import allpairs_breakdown
+
+    machine = Hopper(24576)
+    result = autotune_c(
+        machine, n=196608,
+        candidates=[1, 2, 4, 8, 16, 32, 64],
+        measure=lambda c: allpairs_breakdown(machine, 196608, c).meta["makespan"],
+    )
+    print(result.summary())
+    print(f"-> chosen c = {result.best_c} "
+          "(the paper found c=16 best on this configuration)")
+
+    print("\n=== with a cutoff radius (r_c = L/4, 1-D decomposition) ===")
+    machine = GenericTorus(nranks=256, cores_per_node=8, alpha=2e-5,
+                           beta=2e-9, pair_time=2e-9)
+    result = autotune_c(machine, n=8192, rcut=0.25, box_length=1.0, dim=1)
+    print(result.summary())
+    print(f"-> chosen c = {result.best_c}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""A small molecular-dynamics run with a cutoff radius (Section IV).
+
+Simulates 256 particles in a reflective 2-D box for 20 timesteps using the
+CA cutoff algorithm (Algorithm 2 generalized to 2-D) on a simulated
+16-core machine: every step computes forces through the windowed
+shift schedule, integrates, reflects at the walls, and re-assigns
+particles that crossed team-region boundaries.  Energy is tracked to show
+the run stays physical; trajectories are verified against a serial
+reference at the end.
+
+    python examples/md_cutoff.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    SimulationConfig,
+    cutoff_config,
+    run_simulation,
+    team_blocks_spatial,
+)
+from repro.machines import GenericTorus
+from repro.physics import (
+    ForceLaw,
+    ParticleSet,
+    euler_step,
+    kinetic_energy,
+    potential_energy,
+    reference_forces,
+    reflect,
+)
+
+BOX = 1.0
+RCUT = 0.3
+DT = 1e-3
+STEPS = 20
+
+
+def serial(particles, law):
+    ps = particles.copy()
+    for _ in range(STEPS):
+        f = reference_forces(law.with_rcut(RCUT), ps)
+        euler_step(ps.pos, ps.vel, f, DT)
+        reflect(ps.pos, ps.vel, BOX)
+    return ps.sorted_by_id()
+
+
+def main() -> None:
+    law = ForceLaw(k=1e-5, softening=5e-3)
+    particles = ParticleSet.uniform_random(256, dim=2, box_length=BOX,
+                                           max_speed=0.05, seed=7)
+    machine = GenericTorus(nranks=16, cores_per_node=4)
+
+    cfg = cutoff_config(machine.nranks, c=2, rcut=RCUT, box_length=BOX, dim=2)
+    print(f"teams: {cfg.geometry.team_dims} regions, window spans "
+          f"m={cfg.geometry.spanned_cells(RCUT)} cells per axis, "
+          f"{cfg.schedule.steps} shift steps per interaction")
+
+    lawc = law.with_rcut(RCUT)
+    e0 = kinetic_energy(particles.vel) + potential_energy(lawc, particles.pos)
+
+    scfg = SimulationConfig(cfg=cfg, law=law, dt=DT, nsteps=STEPS,
+                            box_length=BOX)
+    out = run_simulation(machine, scfg, team_blocks_spatial(particles,
+                                                            cfg.geometry))
+
+    final = out.particles
+    e1 = kinetic_energy(final.vel) + potential_energy(lawc, final.pos)
+    print(f"\nenergy: start={e0:.6e}, end={e1:.6e} "
+          f"(drift {100 * abs(e1 - e0) / e0:.3f}%)")
+
+    ref = serial(particles, law)
+    err = np.abs(final.pos - ref.pos).max()
+    print(f"max position deviation vs serial reference: {err:.3e}")
+
+    print(f"\nsimulated machine time for {STEPS} steps: "
+          f"{out.run.elapsed * 1e3:.3f} ms")
+    print("per-phase breakdown (max over ranks):")
+    for line in out.report.summary().splitlines():
+        print("  ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Strong-scaling study (Figures 3 and 7 workloads).
+
+Prints relative-efficiency-vs-one-core tables for the all-pairs algorithm
+on modeled Hopper and Intrepid at the paper's machine sizes, and for the
+1-D cutoff variant — showing c=1 collapsing at scale while a good
+replication factor stays near ideal.
+
+    python examples/strong_scaling.py
+"""
+
+from repro.experiments import FIG3, FIG7, render_figure, run_figure
+
+
+def main() -> None:
+    for panel, figs in (("3a", FIG3), ("3b", FIG3), ("7a", FIG7)):
+        res = run_figure(figs[panel])
+        print(render_figure(res))
+        biggest = figs[panel].machine_sizes[-1]
+        by_c = {c: dict(s) for c, s in res.efficiency.items()}
+        best_c = max(by_c, key=lambda c: by_c[c].get(biggest, 0.0))
+        print(f"at {biggest} cores: best c={best_c} "
+              f"(eff {by_c[best_c][biggest]:.3f}) vs c=1 "
+              f"(eff {by_c[1][biggest]:.3f})\n")
+
+
+if __name__ == "__main__":
+    main()

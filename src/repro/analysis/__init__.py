@@ -1,0 +1,22 @@
+"""Post-processing of simulation output: trajectories and observables.
+
+What a downstream MD user computes from the runs the paper's algorithm
+produces: radial distribution functions, mean-squared displacements,
+kinetic temperature.  Everything works on plain
+:class:`~repro.physics.particles.ParticleSet` snapshots and the
+:class:`Trajectory` the driver can record.
+"""
+
+from repro.analysis.observables import (
+    mean_squared_displacement,
+    radial_distribution,
+    temperature,
+)
+from repro.analysis.trajectory import Trajectory
+
+__all__ = [
+    "Trajectory",
+    "mean_squared_displacement",
+    "radial_distribution",
+    "temperature",
+]

@@ -1,0 +1,82 @@
+"""Physical observables computed from snapshots and trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.trajectory import Trajectory
+from repro.physics.particles import ParticleSet
+from repro.util import require
+
+__all__ = ["mean_squared_displacement", "radial_distribution", "temperature"]
+
+
+def temperature(particles: ParticleSet, *, mass: float = 1.0,
+                k_boltzmann: float = 1.0) -> float:
+    """Kinetic temperature via equipartition:
+    ``T = m <|v|^2> / (d k_B)``."""
+    n, d = particles.pos.shape
+    require(n > 0, "need at least one particle")
+    v2 = float(np.einsum("ij,ij->", particles.vel, particles.vel)) / n
+    return mass * v2 / (d * k_boltzmann)
+
+
+def mean_squared_displacement(
+    traj: Trajectory, *, box: float | None = None
+) -> np.ndarray:
+    """MSD per frame relative to the first frame: ``(nframes,)``.
+
+    For ballistic (free-streaming) motion the MSD grows as ``(v t)^2``;
+    diffusive systems grow linearly — the standard MD diagnostic.
+    """
+    disp = traj.displacements(box=box)
+    return np.einsum("tnd,tnd->t", disp, disp) / traj.n_particles
+
+
+def radial_distribution(
+    particles: ParticleSet,
+    *,
+    box_length: float,
+    rmax: float | None = None,
+    nbins: int = 50,
+    periodic: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Radial distribution function g(r): ``(bin_centers, g)``.
+
+    Pair distances (minimum image when ``periodic``) are histogrammed and
+    normalized by the ideal-gas expectation at the system's mean density,
+    so an uncorrelated uniform system gives g(r) ~ 1.  Non-periodic
+    normalization ignores wall effects (adequate for ``rmax`` well below
+    the box size).
+    """
+    n, d = particles.pos.shape
+    require(n >= 2, "need at least two particles")
+    require(d in (1, 2, 3), "g(r) supports 1-3 dimensions")
+    L = float(box_length)
+    if rmax is None:
+        rmax = (L / 2.0) if periodic else (L / 4.0)
+    require(0 < rmax <= L, "rmax must be in (0, box_length]")
+
+    dr = particles.pos[:, None, :] - particles.pos[None, :, :]
+    if periodic:
+        dr -= L * np.round(dr / L)
+    r = np.sqrt(np.einsum("ijk,ijk->ij", dr, dr))
+    iu = np.triu_indices(n, k=1)
+    dists = r[iu]
+    dists = dists[dists <= rmax]
+
+    counts, edges = np.histogram(dists, bins=nbins, range=(0.0, rmax))
+    centers = 0.5 * (edges[:-1] + edges[1:])
+
+    # Ideal-gas pairs expected per shell at density n / L^d.
+    density = n / L**d
+    if d == 1:
+        shell = 2.0 * np.diff(edges)
+    elif d == 2:
+        shell = np.pi * np.diff(edges**2)
+    else:
+        shell = 4.0 / 3.0 * np.pi * np.diff(edges**3)
+    expected = 0.5 * n * density * shell  # unordered pairs
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(expected > 0, counts / expected, 0.0)
+    return centers, g

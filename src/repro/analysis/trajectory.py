@@ -1,0 +1,76 @@
+"""Trajectories: ordered sequences of particle snapshots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.physics.particles import ParticleSet
+from repro.util import require
+
+__all__ = ["Trajectory"]
+
+
+@dataclass
+class Trajectory:
+    """Snapshots of a particle system at successive (virtual) times.
+
+    Every frame must hold the same particles (ids), sorted by id — the
+    driver's recorder guarantees this; hand-built trajectories are checked.
+    """
+
+    times: list[float] = field(default_factory=list)
+    frames: list[ParticleSet] = field(default_factory=list)
+
+    def append(self, time: float, frame: ParticleSet) -> None:
+        frame = frame.sorted_by_id()
+        if self.frames:
+            require(
+                np.array_equal(frame.ids, self.frames[0].ids),
+                "all trajectory frames must hold the same particles",
+            )
+            require(time >= self.times[-1], "times must be non-decreasing")
+        self.times.append(float(time))
+        self.frames.append(frame)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __getitem__(self, i: int) -> ParticleSet:
+        return self.frames[i]
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.frames[0]) if self.frames else 0
+
+    @property
+    def dim(self) -> int:
+        return self.frames[0].dim if self.frames else 0
+
+    def positions(self) -> np.ndarray:
+        """``(nframes, n, d)`` stacked positions."""
+        require(len(self.frames) > 0, "empty trajectory")
+        return np.stack([f.pos for f in self.frames])
+
+    def velocities(self) -> np.ndarray:
+        """``(nframes, n, d)`` stacked velocities."""
+        require(len(self.frames) > 0, "empty trajectory")
+        return np.stack([f.vel for f in self.frames])
+
+    def displacements(self, *, box: float | None = None) -> np.ndarray:
+        """Per-frame displacement from the first frame, ``(nframes, n, d)``.
+
+        With ``box`` set (periodic runs), frame-to-frame displacements are
+        unwrapped by the minimum-image convention before accumulating, so
+        a particle drifting through the wall keeps a growing displacement.
+        """
+        pos = self.positions()
+        if box is None:
+            return pos - pos[0]
+        steps = np.diff(pos, axis=0)
+        steps -= box * np.round(steps / box)
+        unwrapped = np.concatenate(
+            [np.zeros_like(pos[:1]), np.cumsum(steps, axis=0)]
+        )
+        return unwrapped

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``figures [IDS...]``
+    Regenerate evaluation figure panels (default: all of 2a-7d) at the
+    paper's scale and print the plotted series as tables.
+``validate FIGURE [--ranks P] [--particles N] [--cs C,C,...]``
+    Re-run a figure's experiment at event-simulation scale (real message
+    passing) and print the resulting breakdown.
+``tune [--machine M] [--ranks P] [--particles N] [--rcut R] [--dim D]``
+    Autotune the replication factor for a machine/problem and print the
+    ranked candidates.
+``simulate [--ranks P] [-c C] [--particles N] [--steps S] ...``
+    Run a small functional MD simulation end to end and report physics
+    (energy drift) plus the simulated-machine phase breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Communication-Optimal N-Body "
+                    "Algorithm for Direct Interactions' (IPDPS 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate evaluation figures")
+    p_fig.add_argument("ids", nargs="*", metavar="FIG",
+                       help="panel ids like 2a 3b 6c (default: all)")
+    p_fig.add_argument("--chart", action="store_true",
+                       help="render ASCII charts instead of tables")
+    p_fig.add_argument("--format", dest="fmt", default="table",
+                       choices=["table", "csv", "json"],
+                       help="output format (overridden by --chart)")
+
+    p_val = sub.add_parser("validate",
+                           help="scaled-down event-simulation of a figure")
+    p_val.add_argument("figure", metavar="FIG", help="panel id, e.g. 2a")
+    p_val.add_argument("--ranks", type=int, default=64)
+    p_val.add_argument("--particles", type=int, default=4096)
+    p_val.add_argument("--cs", default="1,2,4,8",
+                       help="comma-separated replication factors")
+
+    p_tune = sub.add_parser("tune", help="autotune the replication factor")
+    p_tune.add_argument("--machine", default="generic",
+                        choices=["generic", "hopper", "intrepid"])
+    p_tune.add_argument("--ranks", type=int, default=64)
+    p_tune.add_argument("--particles", type=int, default=4096)
+    p_tune.add_argument("--rcut", type=float, default=None,
+                        help="cutoff radius (omit for all-pairs)")
+    p_tune.add_argument("--dim", type=int, default=2)
+
+    p_sim = sub.add_parser("simulate", help="run a functional MD simulation")
+    p_sim.add_argument("--ranks", type=int, default=16)
+    p_sim.add_argument("-c", "--replication", type=int, default=2)
+    p_sim.add_argument("--particles", type=int, default=256)
+    p_sim.add_argument("--steps", type=int, default=10)
+    p_sim.add_argument("--dt", type=float, default=1e-3)
+    p_sim.add_argument("--rcut", type=float, default=None)
+    p_sim.add_argument("--dim", type=int, default=2)
+    p_sim.add_argument("--integrator", default="euler",
+                       choices=["euler", "verlet"])
+    p_sim.add_argument("--periodic", action="store_true")
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _machine(name: str, p: int):
+    from repro.machines import GenericTorus, Hopper, Intrepid
+
+    if name == "hopper":
+        cpn = 24 if p % 24 == 0 else _small_cpn(p)
+        return Hopper(p, cores_per_node=cpn)
+    if name == "intrepid":
+        return Intrepid(p, cores_per_node=4 if p % 4 == 0 else 1)
+    return GenericTorus(p, cores_per_node=4 if p % 4 == 0 else 1)
+
+
+def _small_cpn(p: int) -> int:
+    for cpn in (12, 8, 6, 4, 2, 1):
+        if p % cpn == 0:
+            return cpn
+    return 1
+
+
+def _cmd_figures(args, out) -> int:
+    from repro.experiments import (PAPER_FIGURES, chart_figure, export_csv,
+                                   export_json, render_figure, run_figure)
+
+    ids = args.ids or sorted(PAPER_FIGURES)
+    unknown = [f for f in ids if f not in PAPER_FIGURES]
+    if unknown:
+        print(f"unknown figure ids: {', '.join(unknown)} "
+              f"(known: {', '.join(sorted(PAPER_FIGURES))})", file=sys.stderr)
+        return 2
+    if args.chart:
+        renderer = chart_figure
+    else:
+        renderer = {"table": render_figure, "csv": export_csv,
+                    "json": export_json}[args.fmt]
+    for fid in ids:
+        print(renderer(run_figure(PAPER_FIGURES[fid])), file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    from repro.experiments import PAPER_FIGURES, render_figure, validate_figure
+
+    if args.figure not in PAPER_FIGURES:
+        print(f"unknown figure id {args.figure!r}", file=sys.stderr)
+        return 2
+    cs = tuple(int(x) for x in args.cs.split(","))
+    res = validate_figure(PAPER_FIGURES[args.figure], p=args.ranks,
+                          n=args.particles, cs=cs)
+    print(f"[event simulation: {args.ranks} ranks, {args.particles} "
+          f"particles]", file=out)
+    print(render_figure(res), file=out)
+    return 0
+
+
+def _cmd_tune(args, out) -> int:
+    from repro.core import autotune_c
+
+    machine = _machine(args.machine, args.ranks)
+    kwargs = {}
+    if args.rcut is not None:
+        kwargs = dict(rcut=args.rcut, box_length=1.0, dim=args.dim)
+    result = autotune_c(machine, args.particles, **kwargs)
+    print(machine.describe(), file=out)
+    print(result.summary(), file=out)
+    print(f"chosen replication factor: c = {result.best_c}", file=out)
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    import numpy as np
+
+    from repro.core import (
+        SimulationConfig,
+        allpairs_config,
+        cutoff_config,
+        run_simulation,
+        team_blocks_even,
+        team_blocks_spatial,
+    )
+    from repro.physics import (
+        ForceLaw,
+        ParticleSet,
+        kinetic_energy,
+        potential_energy,
+    )
+
+    machine = _machine("generic", args.ranks)
+    law = ForceLaw(k=1e-5, softening=5e-3)
+    particles = ParticleSet.uniform_random(
+        args.particles, args.dim, 1.0, max_speed=0.02, seed=args.seed
+    )
+    if args.rcut is None:
+        cfg = allpairs_config(args.ranks, args.replication)
+        blocks = team_blocks_even(particles, cfg.grid.nteams)
+        elaw = law
+    else:
+        cfg = cutoff_config(args.ranks, args.replication, rcut=args.rcut,
+                            box_length=1.0, dim=args.dim,
+                            periodic=args.periodic)
+        blocks = team_blocks_spatial(particles, cfg.geometry)
+        elaw = law.with_rcut(args.rcut)
+        if args.periodic:
+            elaw = elaw.with_box(1.0)
+    scfg = SimulationConfig(cfg=cfg, law=law, dt=args.dt, nsteps=args.steps,
+                            box_length=1.0, periodic=args.periodic,
+                            integrator=args.integrator)
+
+    e0 = kinetic_energy(particles.vel) + potential_energy(elaw, particles.pos)
+    result = run_simulation(machine, scfg, blocks)
+    final = result.particles
+    e1 = kinetic_energy(final.vel) + potential_energy(elaw, final.pos)
+
+    print(f"{args.steps} steps of {len(final)} particles on "
+          f"{machine.describe()}", file=out)
+    print(f"energy drift: {100 * abs(e1 - e0) / max(abs(e0), 1e-30):.4f}%",
+          file=out)
+    print(f"simulated machine time: {result.run.elapsed * 1e3:.3f} ms",
+          file=out)
+    print(result.report.summary(), file=out)
+    assert np.isfinite(final.pos).all()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = sys.stdout if out is None else out
+    args = build_parser().parse_args(argv)
+    handler = {
+        "figures": _cmd_figures,
+        "validate": _cmd_validate,
+        "tune": _cmd_tune,
+        "simulate": _cmd_simulate,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""The paper's contribution: communication-avoiding N-body algorithms.
+
+* :mod:`repro.core.window` — the shift schedules behind Algorithms 1 and 2;
+* :mod:`repro.core.ca_step` — the unified CA interaction step;
+* :mod:`repro.core.allpairs` / :mod:`repro.core.cutoff` — user-facing
+  entry points (functional and modeled);
+* :mod:`repro.core.baselines` — particle/force/spatial decompositions;
+* :mod:`repro.core.driver` — multi-timestep simulations with spatial
+  re-assignment;
+* :mod:`repro.core.tuning` — runtime autotuner for the replication factor.
+"""
+
+from repro.core.allpairs import (
+    AllPairsRun,
+    allpairs_config,
+    run_allpairs,
+    run_allpairs_virtual,
+)
+from repro.core.baselines import (
+    BaselineRun,
+    run_force_decomposition,
+    run_particle_allgather,
+    run_particle_ring,
+    run_spatial,
+)
+from repro.core.ca_step import CAConfig, CAStepResult, ca_interaction_step
+from repro.core.cutoff import (
+    CutoffRun,
+    cutoff_config,
+    run_cutoff,
+    run_cutoff_virtual,
+)
+from repro.core.decomposition import (
+    collect_leader_forces,
+    distribute_from_root,
+    gather_to_root,
+    team_blocks_even,
+    team_blocks_spatial,
+    virtual_team_blocks,
+)
+from repro.core.midpoint import run_midpoint
+from repro.core.driver import (
+    SimulationConfig,
+    SimulationRun,
+    run_simulation,
+    run_simulation_virtual,
+)
+from repro.core.symmetric import (
+    SymmetricRun,
+    ca_symmetric_step,
+    run_symmetric,
+    run_symmetric_virtual,
+    symmetric_config,
+)
+from repro.core.tuning import TuningResult, autotune_c, candidate_cs
+from repro.core.window import (
+    ShiftSchedule,
+    all_pairs_schedule,
+    cutoff_schedule,
+    half_ring_schedule,
+)
+
+__all__ = [
+    "AllPairsRun",
+    "BaselineRun",
+    "CAConfig",
+    "CAStepResult",
+    "CutoffRun",
+    "ShiftSchedule",
+    "SimulationConfig",
+    "SimulationRun",
+    "all_pairs_schedule",
+    "allpairs_config",
+    "autotune_c",
+    "ca_interaction_step",
+    "candidate_cs",
+    "collect_leader_forces",
+    "distribute_from_root",
+    "gather_to_root",
+    "cutoff_config",
+    "cutoff_schedule",
+    "run_allpairs",
+    "run_allpairs_virtual",
+    "run_cutoff",
+    "run_cutoff_virtual",
+    "run_force_decomposition",
+    "run_particle_allgather",
+    "run_midpoint",
+    "run_particle_ring",
+    "run_simulation",
+    "run_simulation_virtual",
+    "run_spatial",
+    "run_symmetric",
+    "run_symmetric_virtual",
+    "SymmetricRun",
+    "ca_symmetric_step",
+    "half_ring_schedule",
+    "symmetric_config",
+    "team_blocks_even",
+    "team_blocks_spatial",
+    "virtual_team_blocks",
+]

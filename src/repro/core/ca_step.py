@@ -1,0 +1,199 @@
+"""The communication-avoiding interaction step (Algorithms 1 and 2).
+
+One generator program, :func:`ca_interaction_step`, implements both of the
+paper's algorithms; they differ only in the :class:`~repro.core.window.
+ShiftSchedule` (full ring vs cutoff window) and in whether a cutoff
+reachability test prunes physically-impossible block pairs.
+
+Per the paper's pseudocode, a step is:
+
+1. **broadcast** — the team leader broadcasts its block ``S_t`` to the
+   ``c`` team members (phase ``bcast``);
+2. **skew** — each row-``k`` processor shifts its exchange buffer by ``k``
+   along the row (charged to phase ``shift``);
+3. **shift loop** — ``w/c`` iterations of: shift the exchange buffer by
+   ``c`` (phase ``shift``), then accumulate the visiting block's effect on
+   the home block (phase ``compute``);
+4. **reduce** — sum-reduce the per-row partial forces within the team down
+   to the leader (phase ``reduce``).
+
+The program asserts the structural invariant that the block arriving at
+each update is exactly the one the schedule predicts, and counts scanned
+pairs so the machine model can charge computation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.window import ShiftSchedule
+from repro.physics.domain import TeamGeometry
+from repro.simmpi.topology import ReplicatedGrid
+
+__all__ = ["CAConfig", "CAStepResult", "ca_interaction_step"]
+
+#: User tag for exchange-buffer traffic.
+SHIFT_TAG = 7
+
+
+@dataclass(frozen=True)
+class CAConfig:
+    """Static configuration of a CA N-body run.
+
+    Attributes
+    ----------
+    grid:
+        The ``c x (p/c)`` replicated processor grid.
+    schedule:
+        Shift schedule (all-pairs ring or cutoff window).
+    rcut:
+        Cutoff radius; ``None`` for all-pairs interactions.
+    geometry:
+        Spatial team decomposition; required when ``rcut`` is set (the
+        reachability pruning needs team regions).
+    """
+
+    grid: ReplicatedGrid
+    schedule: ShiftSchedule
+    rcut: float | None = None
+    geometry: TeamGeometry | None = None
+
+    def __post_init__(self):
+        if self.grid.nteams != self.schedule.nteams:
+            raise ValueError(
+                f"grid has {self.grid.nteams} teams but schedule covers "
+                f"{self.schedule.nteams}"
+            )
+        if self.grid.c != self.schedule.c:
+            raise ValueError(
+                f"grid c={self.grid.c} but schedule c={self.schedule.c}"
+            )
+        if self.rcut is not None and self.geometry is None:
+            raise ValueError("cutoff runs need a TeamGeometry for reachability")
+        if self.geometry is not None and self.geometry.nteams != self.grid.nteams:
+            raise ValueError(
+                f"geometry has {self.geometry.nteams} teams, grid has "
+                f"{self.grid.nteams}"
+            )
+
+    def reachable(self, col: int, visitor_team: int) -> bool:
+        """Can blocks of teams ``col`` and ``visitor_team`` interact?"""
+        if self.rcut is None:
+            return True
+        return self.geometry.team_distance_ok(col, visitor_team, self.rcut)
+
+
+@dataclass
+class CAStepResult:
+    """Per-rank outcome of one interaction step."""
+
+    row: int
+    col: int
+    #: Candidate pairs this rank scanned (compute cost it was charged).
+    npairs: int
+    #: Number of update steps actually executed (not skipped).
+    updates: int
+    #: The home block with final reduced forces — team leaders only.
+    home: Any = None
+    #: Peak particle-buffer bytes this rank held (home + exchange buffer)
+    #: — the algorithm's memory footprint, Equation 4's M = O(c n / p).
+    memory_bytes: int = 0
+
+
+def _shift(comm, grid: ReplicatedGrid, sched: ShiftSchedule, row: int,
+           col: int, travel, move: tuple[int, ...]):
+    """Uniform exchange-buffer move by ``move`` columns within the row."""
+    if not any(move):
+        return travel
+    dest_col = sched.displace(col, move)
+    src_col = sched.displace(col, tuple(-x for x in move))
+    dest = grid.rank_at(row, dest_col)
+    src = grid.rank_at(row, src_col)
+    received = yield from comm.sendrecv(dest, travel, src, SHIFT_TAG)
+    return received
+
+
+def ca_interaction_step(comm, cfg: CAConfig, kernel, leader_block):
+    """One CA interaction step; generator program for the simulated MPI.
+
+    Parameters
+    ----------
+    comm:
+        World communicator (``comm.size`` must equal ``cfg.grid.p``).
+    cfg:
+        Algorithm configuration.
+    kernel:
+        Interaction kernel (:class:`~repro.physics.kernels.RealKernel` or
+        :class:`~repro.physics.kernels.VirtualKernel`).
+    leader_block:
+        On team leaders (row 0): this team's particle block
+        (:class:`~repro.physics.particles.ParticleSet` or
+        :class:`~repro.physics.particles.VirtualBlock`).  Ignored elsewhere.
+
+    Returns
+    -------
+    CAStepResult
+        Leaders carry the home block with the reduced forces installed.
+    """
+    grid = cfg.grid
+    sched = cfg.schedule
+    if comm.size != grid.p:
+        raise ValueError(f"program needs {grid.p} ranks, engine has {comm.size}")
+    row = grid.row_of(comm.rank)
+    col = grid.col_of(comm.rank)
+    team = grid.team_comm(comm)
+    machine = comm.engine.machine
+
+    # 1. Broadcast S_t from the team leader (team rank 0 == row 0).
+    with comm.phase("bcast"):
+        block = yield from team.bcast(leader_block if row == 0 else None, root=0)
+    home = kernel.home_of(block)
+
+    # 2. Copy to the exchange buffer and skew row-wise.
+    travel = kernel.travel_of(home, col)
+    memory_bytes = home.wire_nbytes + travel.wire_nbytes
+    with comm.phase("shift"):
+        travel = yield from _shift(comm, grid, sched, row, col, travel,
+                                   sched.skew_move(row))
+
+    # 3. Shift-and-update loop.
+    npairs_total = 0
+    updates = 0
+    for i in range(sched.steps):
+        with comm.phase("shift"):
+            travel = yield from _shift(comm, grid, sched, row, col, travel,
+                                       sched.step_move(row, i))
+        memory_bytes = max(memory_bytes,
+                           home.wire_nbytes + travel.wire_nbytes)
+        u = sched.update_position(row, i)
+        expected = sched.visitor_of(col, u)
+        if travel.team != expected:
+            raise AssertionError(
+                f"rank {comm.rank} (row {row}, col {col}) step {i}: schedule "
+                f"predicts visitor {expected}, buffer belongs to {travel.team}"
+            )
+        if sched.skip[u] or not cfg.reachable(col, travel.team):
+            continue
+        with comm.phase("compute"):
+            npairs = kernel.interact(home, travel)
+            npairs_total += npairs
+            updates += 1
+            yield from comm.compute(machine.interactions_time(npairs))
+
+    # 4. Sum-reduce partial forces within the team, down to the leader.
+    with comm.phase("reduce"):
+        reduced = yield from team.reduce(
+            kernel.forces_payload(home), kernel.reduce_op, root=0
+        )
+    if row == 0:
+        kernel.install_forces(home, reduced)
+
+    return CAStepResult(
+        row=row,
+        col=col,
+        npairs=npairs_total,
+        updates=updates,
+        home=home if row == 0 else None,
+        memory_bytes=memory_bytes,
+    )

@@ -1,0 +1,176 @@
+"""Algorithm 2 and its multi-dimensional generalization: CA interactions
+with a finite cutoff radius.
+
+Teams own spatial regions of the box (1-D slabs, 2-D tiles, ...); the shift
+schedule walks the cutoff window (all team offsets within ``m`` cells per
+axis, Equation 6) instead of the full ring, and block pairs whose regions
+cannot contain interacting particles are pruned — including pairs that the
+window's ring arithmetic wraps across the (reflective, non-periodic) box
+boundary.  That pruning is what creates the boundary load imbalance the
+paper reports for its cutoff experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ca_step import CAConfig, ca_interaction_step
+from repro.core.decomposition import (
+    collect_leader_forces,
+    team_blocks_spatial,
+    virtual_team_blocks,
+)
+from repro.core.window import cutoff_schedule
+from repro.machines.torus import balanced_dims
+from repro.physics.domain import TeamGeometry
+from repro.physics.forces import ForceLaw
+from repro.physics.kernels import RealKernel, VirtualKernel
+from repro.physics.particles import ParticleSet
+from repro.simmpi.engine import Engine, RunResult
+from repro.simmpi.topology import ReplicatedGrid
+from repro.util import require
+
+__all__ = ["CutoffRun", "cutoff_config", "run_cutoff", "run_cutoff_virtual"]
+
+
+def cutoff_config(
+    p: int,
+    c: int,
+    *,
+    rcut: float,
+    box_length: float,
+    dim: int = 1,
+    team_dims: tuple[int, ...] | None = None,
+    periodic: bool = False,
+    geometry: TeamGeometry | None = None,
+) -> CAConfig:
+    """CA cutoff configuration: ``p`` processors, replication ``c``,
+    cutoff ``rcut`` in a ``[0, box_length]^dim`` box.
+
+    ``team_dims`` overrides the team-grid shape (default: near-square
+    factorization of ``p/c`` into ``dim`` factors).  The per-axis window
+    span ``m`` follows the paper's Equation 6 (``m = ceil(rcut /
+    cell_width)`` cells per axis).  ``periodic=True`` selects the
+    periodic-box extension (wrap-around team neighborhoods; the paper's
+    box is reflective/non-periodic).
+    """
+    require(rcut > 0, f"rcut must be positive, got {rcut}")
+    require(rcut <= box_length, f"rcut={rcut} cannot exceed the box {box_length}")
+    grid = ReplicatedGrid(p=p, c=c)
+    if geometry is not None:
+        require(geometry.nteams == grid.nteams,
+                f"geometry has {geometry.nteams} teams, need {grid.nteams}")
+        require(abs(geometry.box_length - box_length) < 1e-12,
+                "geometry box must match box_length")
+        m = geometry.spanned_cells(rcut)
+        schedule = cutoff_schedule(geometry.team_dims, m, c)
+        return CAConfig(grid=grid, schedule=schedule, rcut=rcut,
+                        geometry=geometry)
+    if team_dims is None:
+        team_dims = balanced_dims(grid.nteams, dim)
+    else:
+        team_dims = tuple(team_dims)
+        prod = 1
+        for d in team_dims:
+            prod *= d
+        require(prod == grid.nteams,
+                f"team_dims {team_dims} must multiply to {grid.nteams}")
+        require(len(team_dims) == dim, "team_dims must have one entry per dim")
+    geometry = TeamGeometry(box_length=box_length, team_dims=team_dims,
+                            periodic=periodic)
+    m = geometry.spanned_cells(rcut)
+    schedule = cutoff_schedule(team_dims, m, c)
+    return CAConfig(grid=grid, schedule=schedule, rcut=rcut, geometry=geometry)
+
+
+@dataclass
+class CutoffRun:
+    """Outcome of a functional cutoff step."""
+
+    ids: np.ndarray
+    forces: np.ndarray
+    run: RunResult
+
+    @property
+    def report(self):
+        return self.run.report
+
+
+def run_cutoff(
+    machine,
+    particles: ParticleSet,
+    c: int,
+    *,
+    rcut: float,
+    box_length: float,
+    dim: int | None = None,
+    team_dims: tuple[int, ...] | None = None,
+    law: ForceLaw | None = None,
+    pair_counter: np.ndarray | None = None,
+    eager_threshold: int = 0,
+    periodic: bool = False,
+    geometry: TeamGeometry | None = None,
+) -> CutoffRun:
+    """Compute cutoff-limited forces functionally on ``machine``.
+
+    The force law's cutoff is forced to ``rcut`` (pairs beyond it
+    contribute exactly zero).  Particles are spatially binned to team
+    leaders; forces come back ordered by particle id.
+    """
+    if dim is None:
+        dim = particles.dim
+    require(dim <= particles.dim,
+            f"team-grid dim={dim} exceeds particle dimension {particles.dim} "
+            "(slab/pencil decompositions use dim < particle dimension)")
+    cfg = cutoff_config(
+        machine.nranks, c, rcut=rcut, box_length=box_length, dim=dim,
+        team_dims=team_dims, periodic=periodic, geometry=geometry,
+    )
+    base_law = law or ForceLaw()
+    run_law = base_law.with_rcut(rcut)
+    if periodic:
+        run_law = run_law.with_box(box_length)
+    kernel = RealKernel(law=run_law, pair_counter=pair_counter)
+    blocks = team_blocks_spatial(particles, cfg.geometry)
+
+    def program(comm):
+        col = cfg.grid.col_of(comm.rank)
+        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
+        result = yield from ca_interaction_step(comm, cfg, kernel, leader_block)
+        return result
+
+    run = Engine(machine, eager_threshold=eager_threshold).run(program)
+    ids, forces = collect_leader_forces(run.results, cfg.grid)
+    return CutoffRun(ids=ids, forces=forces, run=run)
+
+
+def run_cutoff_virtual(
+    machine,
+    n: int,
+    c: int,
+    *,
+    rcut: float,
+    box_length: float,
+    dim: int = 1,
+    team_dims: tuple[int, ...] | None = None,
+    eager_threshold: int = 0,
+    periodic: bool = False,
+) -> RunResult:
+    """Modeled cutoff step: phantom uniform particle blocks, real
+    communication structure, machine-model timing."""
+    cfg = cutoff_config(
+        machine.nranks, c, rcut=rcut, box_length=box_length, dim=dim,
+        team_dims=team_dims, periodic=periodic,
+    )
+    kernel = VirtualKernel(dim=dim)
+    blocks = virtual_team_blocks(n, cfg.grid.nteams)
+
+    def program(comm):
+        col = cfg.grid.col_of(comm.rank)
+        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
+        result = yield from ca_interaction_step(comm, cfg, kernel, leader_block)
+        return result
+
+    return Engine(machine, eager_threshold=eager_threshold).run(program)

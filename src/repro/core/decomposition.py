@@ -1,0 +1,117 @@
+"""Distributing particles to teams, and collecting results back.
+
+Two distribution styles appear in the paper:
+
+* **even** (all-pairs, Section III): particles are divided evenly among the
+  ``p/c`` team leaders, irrespective of position;
+* **spatial** (cutoff, Section IV): each team leader owns the particles in
+  its team's region of the box.
+
+Both return one block per team, indexed by team id; leaders feed them into
+the algorithm programs.  ``virtual_team_blocks`` builds the phantom
+equivalents for modeled runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics.domain import TeamGeometry, team_of_positions
+from repro.physics.particles import ParticleSet, VirtualBlock, concat_sets
+from repro.util import even_blocks
+
+__all__ = [
+    "collect_leader_forces",
+    "distribute_from_root",
+    "gather_to_root",
+    "team_blocks_even",
+    "team_blocks_spatial",
+    "virtual_team_blocks",
+]
+
+
+def team_blocks_even(particles: ParticleSet, nteams: int) -> list[ParticleSet]:
+    """Evenly split ``particles`` into ``nteams`` contiguous blocks."""
+    return [particles.subset(slice(lo, hi)) for lo, hi in even_blocks(len(particles), nteams)]
+
+
+def team_blocks_spatial(
+    particles: ParticleSet, geometry: TeamGeometry
+) -> list[ParticleSet]:
+    """Bin ``particles`` into the team regions of ``geometry``."""
+    team = team_of_positions(particles.pos, geometry)
+    return [particles.subset(team == t) for t in range(geometry.nteams)]
+
+
+def virtual_team_blocks(n: int, nteams: int) -> list[VirtualBlock]:
+    """Phantom blocks with the even-split sizes of ``n`` particles."""
+    return [
+        VirtualBlock(count=hi - lo, team=t)
+        for t, (lo, hi) in enumerate(even_blocks(n, nteams))
+    ]
+
+
+def distribute_from_root(comm, grid, particles: ParticleSet | None,
+                         geometry: TeamGeometry | None = None):
+    """Scatter team blocks from world rank 0 to the team leaders.
+
+    Generator (``yield from``).  Rank 0 supplies the full particle set and
+    splits it evenly (or spatially when ``geometry`` is given); each team
+    leader returns its block, everyone else ``None``.  The paper's cost
+    analysis assumes the particles start distributed; this helper is the
+    realistic on-ramp from a file loaded on one rank, with its scatter
+    cost charged to the ``distribute`` phase.
+    """
+    leaders = [grid.leader_of(col) for col in range(grid.nteams)]
+    lcomm = comm.sub(leaders)
+    block = None
+    with comm.phase("distribute"):
+        if lcomm is not None:
+            if lcomm.rank == 0:
+                if particles is None:
+                    raise ValueError("rank 0 must supply the particle set")
+                blocks = (team_blocks_spatial(particles, geometry)
+                          if geometry is not None
+                          else team_blocks_even(particles, grid.nteams))
+            else:
+                blocks = None
+            block = yield from lcomm.scatter(blocks, root=0)
+    return block
+
+
+def gather_to_root(comm, grid, block: ParticleSet | None):
+    """Gather the leaders' blocks back to world rank 0 (id-sorted).
+
+    Generator.  Returns the full :class:`ParticleSet` on world rank 0 and
+    ``None`` elsewhere; cost charged to the ``collect`` phase.
+    """
+    leaders = [grid.leader_of(col) for col in range(grid.nteams)]
+    lcomm = comm.sub(leaders)
+    result = None
+    with comm.phase("collect"):
+        if lcomm is not None:
+            gathered = yield from lcomm.gather(block, root=0)
+            if gathered is not None:
+                result = concat_sets(list(gathered)).sorted_by_id()
+    return result
+
+
+def collect_leader_forces(results: list, grid) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble (ids, forces) sorted by id from per-rank step results.
+
+    ``results`` is the engine's per-rank result list from a CA step program;
+    leaders (row 0) carry their team's home block with installed forces.
+    """
+    ids_parts = []
+    force_parts = []
+    for col in range(grid.nteams):
+        res = results[grid.leader_of(col)]
+        home = res.home
+        if home is None:
+            raise ValueError(f"leader of team {col} returned no home block")
+        ids_parts.append(home.particles.ids)
+        force_parts.append(home.forces)
+    ids = np.concatenate(ids_parts)
+    forces = np.concatenate(force_parts)
+    order = np.argsort(ids, kind="stable")
+    return ids[order], forces[order]

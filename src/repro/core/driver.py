@@ -1,0 +1,325 @@
+"""Multi-timestep simulation driver: interact, integrate, re-assign.
+
+The paper's cutoff experiments run a real simulation loop: every timestep
+computes forces with the CA algorithm, advances particles (reflective box),
+and **re-assigns** particles whose new positions belong to another team's
+region — the cost plotted as "Communication (Re-assign)" in Figure 6.
+
+The driver keeps the paper's structure:
+
+* team leaders own the authoritative particle blocks between steps;
+* forces are produced by :func:`~repro.core.ca_step.ca_interaction_step`
+  (so each step re-broadcasts blocks — positions changed);
+* after integration, leaders exchange migrating particles with the leaders
+  of the neighboring regions (one sendrecv pair per face/corner neighbor).
+  A particle moving farther than one region per step is a configuration
+  error (``dt`` too large for the region size) and raises.
+
+All-pairs simulations skip the re-assignment (their decomposition is not
+spatial, so ownership never changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from repro.core.ca_step import CAConfig, ca_interaction_step
+from repro.physics.boundary import reflect, wrap_periodic
+from repro.physics.domain import team_of_positions
+from repro.physics.forces import ForceLaw
+from repro.physics.integrators import drift, euler_step, kick
+from repro.physics.particles import ParticleSet, VirtualBlock, concat_sets
+from repro.simmpi.engine import Engine, RunResult
+from repro.util import require
+
+__all__ = ["SimulationConfig", "SimulationRun", "run_simulation",
+           "run_simulation_virtual"]
+
+_REASSIGN_TAG = 23
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Static parameters of a multi-step simulation."""
+
+    cfg: CAConfig
+    law: ForceLaw
+    dt: float
+    nsteps: int
+    box_length: float
+    mass: float = 1.0
+    #: Periodic box (wrap positions) instead of the paper's reflective
+    #: walls.  Cutoff runs must use a geometry with matching periodicity.
+    periodic: bool = False
+    #: "euler" (symplectic Euler, the default) or "verlet" (velocity
+    #: Verlet: one extra interaction step at start, half-kicks around each
+    #: drift — second-order accurate and time-reversible).
+    integrator: str = "euler"
+
+    def __post_init__(self):
+        require(self.integrator in ("euler", "verlet"),
+                f"unknown integrator {self.integrator!r}")
+        require(self.dt > 0, "dt must be positive")
+        require(self.nsteps >= 1, "nsteps must be >= 1")
+        require(self.box_length > 0, "box_length must be positive")
+        if self.cfg.rcut is not None:
+            require(
+                self.cfg.geometry.box_length == self.box_length,
+                "geometry box must match the simulation box",
+            )
+            require(
+                self.cfg.geometry.periodic == self.periodic,
+                "geometry periodicity must match the simulation's",
+            )
+
+
+@dataclass
+class SimulationRun:
+    """Final particle state plus the engine's timing result."""
+
+    #: Particles after the last step, globally ordered by id.
+    particles: ParticleSet
+    #: Forces from the last interaction step, ordered to match.
+    forces: np.ndarray
+    run: RunResult
+    #: Sampled snapshots (only when ``sample_every`` was set).
+    trajectory: object = None
+
+    @property
+    def report(self):
+        return self.run.report
+
+
+def _region_neighbors(geometry) -> list[list[int]]:
+    """For each team, the linear ids of its (up to 3^d - 1) grid neighbors.
+
+    Non-periodic (the paper's box): teams on a wall simply have fewer
+    neighbors.  Periodic: neighbor coordinates wrap, and duplicates from
+    tiny grids (d <= 2 along an axis) are removed.
+    """
+    dims = geometry.team_dims
+    out: list[list[int]] = []
+    for t in range(geometry.nteams):
+        mi = geometry.multi_index(t)
+        nbrs = set()
+        for off in product(*[(-1, 0, 1)] * len(dims)):
+            if all(o == 0 for o in off):
+                continue
+            cand = tuple(a + b for a, b in zip(mi, off))
+            if geometry.periodic:
+                cand = tuple(x % d for x, d in zip(cand, dims))
+                lin = geometry.linear_index(cand)
+                if lin != t:
+                    nbrs.add(lin)
+            elif all(0 <= x < d for x, d in zip(cand, dims)):
+                nbrs.add(geometry.linear_index(cand))
+        out.append(sorted(nbrs))
+    return out
+
+
+def _reassign(comm, cfg: CAConfig, col: int, grid, neighbors: list[list[int]],
+              block: ParticleSet):
+    """Exchange migrating particles between neighboring team leaders."""
+    geometry = cfg.geometry
+    teams = team_of_positions(block.pos, geometry)
+    keep = block.subset(teams == col)
+    my_neighbors = neighbors[col]
+    outgoing = {}
+    claimed = teams == col
+    for nb in my_neighbors:
+        sel = teams == nb
+        outgoing[nb] = block.subset(sel)
+        claimed |= sel
+    if not claimed.all():
+        stray = np.unique(teams[~claimed])
+        raise RuntimeError(
+            f"team {col}: particles jumped past neighbor regions (to teams "
+            f"{stray.tolist()}); reduce dt or coarsen the team grid"
+        )
+    reqs = []
+    for nb in my_neighbors:
+        dest = grid.leader_of(nb)
+        sreq = yield from comm.isend(dest, outgoing[nb], _REASSIGN_TAG)
+        rreq = yield from comm.irecv(dest, _REASSIGN_TAG)
+        reqs.extend((sreq, rreq))
+    payloads = yield from comm.wait(*reqs)
+    incoming = [pl for pl in payloads[1::2] if pl is not None and len(pl) > 0]
+    if incoming:
+        return concat_sets([keep, *incoming])
+    return keep
+
+
+def run_simulation(
+    machine,
+    scfg: SimulationConfig,
+    initial_blocks: list[ParticleSet],
+    *,
+    kernel=None,
+    sample_every: int = 0,
+) -> SimulationRun:
+    """Run ``scfg.nsteps`` timesteps functionally on ``machine``.
+
+    ``initial_blocks`` is the per-team particle distribution (spatial for
+    cutoff configurations, arbitrary for all-pairs).  Returns the final
+    globally-ordered particle state and last-step forces.
+
+    ``sample_every = k > 0`` records a trajectory: the initial state and
+    every k-th step's state are gathered to the first team leader (the
+    gather is real communication, charged to the ``sample`` phase) and
+    returned as :class:`~repro.analysis.trajectory.Trajectory`.
+    """
+    from repro.physics.kernels import RealKernel
+
+    cfg = scfg.cfg
+    grid = cfg.grid
+    if kernel is None:
+        law = scfg.law if cfg.rcut is None else scfg.law.with_rcut(cfg.rcut)
+        if scfg.periodic:
+            law = law.with_box(scfg.box_length)
+        kernel = RealKernel(law=law)
+    neighbors = _region_neighbors(cfg.geometry) if cfg.rcut is not None else None
+
+    def _boundary(block):
+        if scfg.periodic:
+            wrap_periodic(block.pos, scfg.box_length)
+        else:
+            reflect(block.pos, block.vel, scfg.box_length)
+
+    leader_ranks = [grid.leader_of(col) for col in range(grid.nteams)]
+
+    def _sample(comm, lcomm, traj, t, block):
+        with comm.phase("sample"):
+            gathered = yield from lcomm.gather(block, root=0)
+        if gathered is not None:
+            traj.append(t, concat_sets(gathered))
+
+    def program(comm):
+        from repro.analysis.trajectory import Trajectory
+
+        row = grid.row_of(comm.rank)
+        col = grid.col_of(comm.rank)
+        block = initial_blocks[col].copy() if row == 0 else None
+        forces = None
+        traj = Trajectory()
+        lcomm = comm.sub(leader_ranks) if sample_every > 0 else None
+        if lcomm is not None and row == 0:
+            yield from _sample(comm, lcomm, traj, 0.0, block)
+        step_no = 0
+        if scfg.integrator == "verlet":
+            # Velocity Verlet needs forces at the initial positions.
+            res = yield from ca_interaction_step(comm, cfg, kernel, block)
+            if row == 0:
+                forces = res.home.forces
+        for _ in range(scfg.nsteps):
+            if scfg.integrator == "verlet":
+                if row == 0:
+                    kick(block.vel, forces, scfg.dt / 2, scfg.mass)
+                    drift(block.pos, block.vel, scfg.dt)
+                    _boundary(block)
+                if cfg.rcut is not None:
+                    if row == 0:
+                        with comm.phase("reassign"):
+                            block = yield from _reassign(
+                                comm, cfg, col, grid, neighbors, block
+                            )
+                res = yield from ca_interaction_step(comm, cfg, kernel, block)
+                if row == 0:
+                    forces = res.home.forces
+                    kick(block.vel, forces, scfg.dt / 2, scfg.mass)
+                step_no += 1
+                if lcomm is not None and row == 0 and step_no % sample_every == 0:
+                    yield from _sample(comm, lcomm, traj, step_no * scfg.dt,
+                                       block)
+            else:
+                res = yield from ca_interaction_step(comm, cfg, kernel, block)
+                if row == 0:
+                    forces = res.home.forces
+                    euler_step(block.pos, block.vel, forces, scfg.dt,
+                               scfg.mass)
+                    _boundary(block)
+                    if cfg.rcut is not None:
+                        with comm.phase("reassign"):
+                            block = yield from _reassign(
+                                comm, cfg, col, grid, neighbors, block
+                            )
+                        forces = None  # rows no longer match after exchange
+                step_no += 1
+                if lcomm is not None and row == 0 and step_no % sample_every == 0:
+                    yield from _sample(comm, lcomm, traj, step_no * scfg.dt,
+                                       block)
+        return (block, forces, traj if len(traj) else None) if row == 0 else None
+
+    run = Engine(machine).run(program)
+
+    parts = []
+    force_parts = []
+    trajectory = run.results[grid.leader_of(0)][2]
+    for col in range(grid.nteams):
+        block, forces, _ = run.results[grid.leader_of(col)]
+        parts.append(block)
+        if forces is not None:
+            force_parts.append((block.ids, forces))
+    final = concat_sets(parts)
+    order = np.argsort(final.ids, kind="stable")
+    final = final.subset(order)
+    if force_parts and len(force_parts) == grid.nteams:
+        ids = np.concatenate([i for i, _ in force_parts])
+        fr = np.concatenate([f for _, f in force_parts])
+        fr = fr[np.argsort(ids, kind="stable")]
+    else:
+        fr = np.zeros_like(final.pos)
+    return SimulationRun(particles=final, forces=fr, run=run,
+                         trajectory=trajectory)
+
+
+def run_simulation_virtual(
+    machine,
+    cfg: CAConfig,
+    n: int,
+    nsteps: int,
+    *,
+    dim: int = 1,
+    migrate_fraction: float = 0.05,
+) -> RunResult:
+    """Modeled multi-step run: phantom blocks, modeled re-assignment.
+
+    Each step performs the CA interaction step, then leaders exchange a
+    ``migrate_fraction`` share of their block with each neighbor leader —
+    the paper's per-step re-assignment traffic under a near-uniform,
+    slowly-mixing particle distribution.
+    """
+    from repro.core.decomposition import virtual_team_blocks
+    from repro.physics.kernels import VirtualKernel
+
+    grid = cfg.grid
+    kernel = VirtualKernel(dim=dim)
+    blocks = virtual_team_blocks(n, grid.nteams)
+    neighbors = _region_neighbors(cfg.geometry) if cfg.rcut is not None else None
+
+    def program(comm):
+        row = grid.row_of(comm.rank)
+        col = grid.col_of(comm.rank)
+        block = blocks[col] if row == 0 else None
+        for _ in range(nsteps):
+            res = yield from ca_interaction_step(comm, cfg, kernel, block)
+            del res
+            if row == 0 and cfg.rcut is not None:
+                with comm.phase("reassign"):
+                    reqs = []
+                    migrants = VirtualBlock(
+                        count=max(1, int(block.count * migrate_fraction)),
+                        team=col,
+                    )
+                    for nb in neighbors[col]:
+                        dest = grid.leader_of(nb)
+                        sreq = yield from comm.isend(dest, migrants, _REASSIGN_TAG)
+                        rreq = yield from comm.irecv(dest, _REASSIGN_TAG)
+                        reqs.extend((sreq, rreq))
+                    if reqs:
+                        yield from comm.wait(*reqs)
+        return None
+
+    return Engine(machine).run(program)

@@ -1,0 +1,200 @@
+"""The symmetric (Newton's-third-law) all-pairs variant — an extension.
+
+The paper notes of its force kernel: "The force is symmetric, but it need
+not be and we do not apply optimizations to exploit the symmetry."  This
+module implements that optimization within the CA framework:
+
+* the exchange buffers traverse only *half* the team ring
+  (:func:`~repro.core.window.half_ring_schedule`), so the shift loop is
+  ~``T/(2c)`` steps instead of ``T/c``;
+* each block-pair visit computes every pair once, accumulating the force
+  on the home copy and the **reaction** (``-F``) on the traveling buffer;
+* the home block's self-interactions are evaluated over the upper triangle
+  only (``i < j``), both sides accumulated locally;
+* after the loop each buffer carries the reactions for its home team; one
+  extra point-to-point message per rank returns them, and the usual
+  in-team sum-reduction completes the forces.
+
+Costs: computation halves (n^2/2 pair evaluations in total); the shift
+volume carries d extra doubles per particle but over half the steps, so
+bandwidth also drops.  The exactly-once coverage invariant still holds —
+the pair counter records both directions of each evaluated pair, and the
+tests check it equals the all-ones reference exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ca_step import CAConfig, CAStepResult, _shift
+from repro.core.decomposition import (
+    collect_leader_forces,
+    team_blocks_even,
+    virtual_team_blocks,
+)
+from repro.core.window import half_ring_schedule
+from repro.physics.forces import ForceLaw
+from repro.physics.kernels import RealKernel, VirtualKernel
+from repro.physics.particles import ParticleSet
+from repro.simmpi.engine import Engine, RunResult
+from repro.simmpi.topology import ReplicatedGrid
+
+__all__ = [
+    "SymmetricRun",
+    "ca_symmetric_step",
+    "run_symmetric",
+    "run_symmetric_virtual",
+    "symmetric_config",
+]
+
+_RETURN_TAG = 13
+
+
+def symmetric_config(p: int, c: int) -> CAConfig:
+    """Configuration of the symmetric all-pairs variant for (p, c)."""
+    grid = ReplicatedGrid(p=p, c=c)
+    schedule = half_ring_schedule(grid.nteams, c)
+    return CAConfig(grid=grid, schedule=schedule)
+
+
+def ca_symmetric_step(comm, cfg: CAConfig, kernel, leader_block):
+    """One symmetric CA interaction step (generator program).
+
+    Same phases as :func:`~repro.core.ca_step.ca_interaction_step`, plus a
+    ``return`` phase sending each buffer's accumulated reactions back to
+    its home column.
+    """
+    grid = cfg.grid
+    sched = cfg.schedule
+    if comm.size != grid.p:
+        raise ValueError(f"program needs {grid.p} ranks, engine has {comm.size}")
+    row = grid.row_of(comm.rank)
+    col = grid.col_of(comm.rank)
+    team = grid.team_comm(comm)
+    machine = comm.engine.machine
+    T = grid.nteams
+    antipode = T // 2 if T % 2 == 0 else None
+
+    with comm.phase("bcast"):
+        block = yield from team.bcast(leader_block if row == 0 else None, root=0)
+    home = kernel.home_of(block)
+
+    travel = kernel.travel_of_symmetric(home, col)
+    with comm.phase("shift"):
+        travel = yield from _shift(comm, grid, sched, row, col, travel,
+                                   sched.skew_move(row))
+
+    npairs_total = 0
+    updates = 0
+    for i in range(sched.steps):
+        with comm.phase("shift"):
+            travel = yield from _shift(comm, grid, sched, row, col, travel,
+                                       sched.step_move(row, i))
+        u = sched.update_position(row, i)
+        if sched.skip[u]:
+            continue
+        offset = sched.offsets[u][0]
+        if travel.team == col:
+            # The home block with itself: upper triangle, both reactions
+            # accumulated locally on the home copy.
+            with comm.phase("compute"):
+                n = kernel.interact_self_half(home)
+                npairs_total += n
+                updates += 1
+                yield from comm.compute(machine.interactions_time(n))
+            continue
+        if antipode is not None and offset == antipode and col >= travel.team:
+            # The antipodal pair appears on both sides; the lower-indexed
+            # column computes it.
+            continue
+        with comm.phase("compute"):
+            n = kernel.interact_symmetric(home, travel)
+            npairs_total += n
+            updates += 1
+            yield from comm.compute(machine.interactions_time(n))
+
+    # Return the traveling reactions to their home column (same row).
+    with comm.phase("return"):
+        u_last = sched.position(row, sched.steps - 1)
+        dest = grid.rank_at(row, travel.team)
+        src_col = sched.holder_of(col, u_last)
+        src = grid.rank_at(row, src_col)
+        if dest == comm.rank and src == comm.rank:
+            returned = travel
+        else:
+            returned = yield from comm.sendrecv(dest, travel, src, _RETURN_TAG)
+        if returned.team != col:
+            raise AssertionError(
+                f"rank {comm.rank}: reaction return delivered team "
+                f"{returned.team}, expected {col}"
+            )
+        kernel.absorb_reactions(home, returned)
+
+    with comm.phase("reduce"):
+        reduced = yield from team.reduce(
+            kernel.forces_payload(home), kernel.reduce_op, root=0
+        )
+    if row == 0:
+        kernel.install_forces(home, reduced)
+
+    return CAStepResult(
+        row=row,
+        col=col,
+        npairs=npairs_total,
+        updates=updates,
+        home=home if row == 0 else None,
+    )
+
+
+@dataclass
+class SymmetricRun:
+    """Outcome of a functional symmetric all-pairs step."""
+
+    ids: np.ndarray
+    forces: np.ndarray
+    run: RunResult
+
+    @property
+    def report(self):
+        return self.run.report
+
+
+def run_symmetric(
+    machine,
+    particles: ParticleSet,
+    c: int,
+    *,
+    law: ForceLaw | None = None,
+    pair_counter: np.ndarray | None = None,
+) -> SymmetricRun:
+    """All-pairs forces via the symmetric variant; functional end to end."""
+    cfg = symmetric_config(machine.nranks, c)
+    kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter)
+    blocks = team_blocks_even(particles, cfg.grid.nteams)
+
+    def program(comm):
+        col = cfg.grid.col_of(comm.rank)
+        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
+        result = yield from ca_symmetric_step(comm, cfg, kernel, leader_block)
+        return result
+
+    run = Engine(machine).run(program)
+    ids, forces = collect_leader_forces(run.results, cfg.grid)
+    return SymmetricRun(ids=ids, forces=forces, run=run)
+
+
+def run_symmetric_virtual(machine, n: int, c: int, *, dim: int = 2) -> RunResult:
+    """Modeled symmetric step (phantom blocks, machine-model timing)."""
+    cfg = symmetric_config(machine.nranks, c)
+    kernel = VirtualKernel(dim=dim)
+    blocks = virtual_team_blocks(n, cfg.grid.nteams)
+
+    def program(comm):
+        col = cfg.grid.col_of(comm.rank)
+        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
+        result = yield from ca_symmetric_step(comm, cfg, kernel, leader_block)
+        return result
+
+    return Engine(machine).run(program)

@@ -1,0 +1,41 @@
+"""Experiment harness: the paper's evaluation figures as runnable configs,
+drivers, and text renderers."""
+
+from repro.experiments.configs import (
+    FIG2,
+    FIG3,
+    FIG6,
+    FIG7,
+    PAPER_FIGURES,
+    FigureConfig,
+)
+from repro.experiments.charts import chart_breakdown, chart_figure, chart_scaling
+from repro.experiments.figures import FigureResult, run_figure, validate_figure
+from repro.experiments.export import export_csv, export_json
+from repro.experiments.gantt import render_gantt
+from repro.experiments.report import (
+    render_breakdown,
+    render_figure,
+    render_scaling,
+)
+
+__all__ = [
+    "FIG2",
+    "FIG3",
+    "FIG6",
+    "FIG7",
+    "PAPER_FIGURES",
+    "FigureConfig",
+    "FigureResult",
+    "chart_breakdown",
+    "chart_figure",
+    "chart_scaling",
+    "export_csv",
+    "export_json",
+    "render_breakdown",
+    "render_gantt",
+    "render_figure",
+    "render_scaling",
+    "run_figure",
+    "validate_figure",
+]

@@ -1,0 +1,84 @@
+"""ASCII renderings of the evaluation figures.
+
+The paper's plots are stacked bars (Figures 2, 6) and efficiency curves
+(Figures 3, 7); these helpers draw terminal equivalents so
+``python -m repro figures --chart`` reproduces the figures *visually*,
+not just as number tables.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["chart_breakdown", "chart_scaling", "chart_figure"]
+
+#: Fill characters per phase, in stacking order (bottom of the paper's
+#: bars first).
+PHASE_GLYPHS = (
+    ("compute", "#"),
+    ("shift", "="),
+    ("reduce", "%"),
+    ("bcast", "+"),
+    ("reassign", "~"),
+    ("allgather", "@"),
+)
+
+_BAR_WIDTH = 60
+
+
+def chart_breakdown(res: FigureResult, *, width: int = _BAR_WIDTH) -> str:
+    """Horizontal stacked bars, one per configuration."""
+    cfg = res.config
+    total_max = max(b.total for b in res.breakdowns.values())
+    lines = [f"Figure {cfg.figure}: {cfg.title}", ""]
+    used = [(ph, gl) for ph, gl in PHASE_GLYPHS
+            if any(b.get(ph) > 0 for b in res.breakdowns.values())]
+    for label, b in res.breakdowns.items():
+        bar = ""
+        for ph, glyph in used:
+            cells = int(round(width * b.get(ph) / total_max))
+            bar += glyph * cells
+        lines.append(f"{label:>14} |{bar:<{width}}| {b.total * 1e3:9.3f} ms")
+    legend = "  ".join(f"{gl}={ph}" for ph, gl in used)
+    lines += ["", f"legend: {legend}"]
+    return "\n".join(lines)
+
+
+def chart_scaling(res: FigureResult, *, height: int = 11) -> str:
+    """Efficiency-vs-machine-size chart; one marker letter per c."""
+    cfg = res.config
+    sizes = list(cfg.machine_sizes)
+    cs = [c for c, series in res.efficiency.items() if series]
+    markers = {c: chr(ord("a") + i) for i, c in enumerate(cs)}
+    col_w = max(len(str(p)) for p in sizes) + 2
+
+    grid = [[" " * col_w for _ in sizes] for _ in range(height)]
+    for c in cs:
+        by_p = dict(res.efficiency[c])
+        for j, p in enumerate(sizes):
+            if p not in by_p:
+                continue
+            eff = min(max(by_p[p], 0.0), 1.0)
+            i = int(round((1.0 - eff) * (height - 1)))
+            cell = list(grid[i][j])
+            mid = col_w // 2
+            cell[mid] = markers[c] if cell[mid] == " " else "*"
+            grid[i][j] = "".join(cell)
+
+    lines = [f"Figure {cfg.figure}: {cfg.title}",
+             "(efficiency vs machine size; '*' = overlapping series)", ""]
+    for i in range(height):
+        eff_label = 1.0 - i / (height - 1)
+        lines.append(f"{eff_label:4.1f} |" + "".join(grid[i]))
+    lines.append("     +" + "-" * (col_w * len(sizes)))
+    lines.append("      " + "".join(f"{p:^{col_w}}" for p in sizes))
+    legend = "  ".join(f"{markers[c]}: c={c}" for c in cs)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def chart_figure(res: FigureResult) -> str:
+    """Dispatch on the figure kind."""
+    if res.breakdowns:
+        return chart_breakdown(res)
+    return chart_scaling(res)

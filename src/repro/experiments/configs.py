@@ -1,0 +1,192 @@
+"""The paper's experiment configurations (Section III-C and IV-D).
+
+Each figure in the evaluation is described by a declarative config the
+figure drivers consume.  Machine sizes and particle counts are the paper's
+exact values (Hopper runs carry the factor of 3 from its 24-core nodes, as
+footnote 1 explains).  The scaled-down *validation* variants exercise the
+same algorithm paths through the event simulator at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.machines import Hopper, Intrepid
+
+__all__ = [
+    "FigureConfig",
+    "FIG2",
+    "FIG3",
+    "FIG6",
+    "FIG7",
+    "PAPER_FIGURES",
+]
+
+#: The paper chose the cutoff radius as 1/4 of the simulation space "to
+#: allow reasonably many choices of c".
+CUTOFF_FRACTION = 0.25
+
+#: Box length used in the reproductions (dimensionless units).
+BOX_LENGTH = 1.0
+
+
+@dataclass(frozen=True)
+class FigureConfig:
+    """One evaluation-figure panel."""
+
+    figure: str  # e.g. "2a"
+    title: str
+    machine_factory: Callable[[int], object]
+    machine_name: str
+    #: machine sizes (cores); single entry for breakdown figures.
+    machine_sizes: tuple[int, ...]
+    n: int
+    cs: tuple[int, ...]
+    kind: str  # 'allpairs-breakdown' | 'allpairs-scaling' |
+    #          'cutoff-breakdown' | 'cutoff-scaling'
+    dim: int = 2
+    cutoff: bool = False
+    #: include the Intrepid c=1 tree/no-tree baseline bars.
+    tree_baseline: bool = False
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def rcut(self) -> float:
+        return CUTOFF_FRACTION * BOX_LENGTH
+
+    @property
+    def box_length(self) -> float:
+        return BOX_LENGTH
+
+
+def _hopper(p: int):
+    return Hopper(p)
+
+
+def _intrepid(p: int):
+    return Intrepid(p)
+
+
+FIG2: dict[str, FigureConfig] = {
+    "2a": FigureConfig(
+        figure="2a",
+        title="Execution Time vs. Replication Factor (Hopper, 6,144 cores, "
+              "24,576 particles)",
+        machine_factory=_hopper, machine_name="hopper",
+        machine_sizes=(6144,), n=24576, cs=(1, 2, 4, 8, 16, 32),
+        kind="allpairs-breakdown",
+    ),
+    "2b": FigureConfig(
+        figure="2b",
+        title="Execution Time vs. Replication Factor (Hopper, 24,576 cores, "
+              "196,608 particles)",
+        machine_factory=_hopper, machine_name="hopper",
+        machine_sizes=(24576,), n=196608, cs=(1, 2, 4, 8, 16, 32, 64),
+        kind="allpairs-breakdown",
+    ),
+    "2c": FigureConfig(
+        figure="2c",
+        title="Execution Time vs. Replication Factor (Intrepid, 8,192 cores, "
+              "32,768 particles)",
+        machine_factory=_intrepid, machine_name="intrepid",
+        machine_sizes=(8192,), n=32768, cs=(2, 4, 8, 16, 32, 64),
+        kind="allpairs-breakdown", tree_baseline=True,
+    ),
+    "2d": FigureConfig(
+        figure="2d",
+        title="Execution Time vs. Replication Factor (Intrepid, 32,768 cores, "
+              "262,144 particles)",
+        machine_factory=_intrepid, machine_name="intrepid",
+        machine_sizes=(32768,), n=262144, cs=(2, 4, 8, 16, 32, 64, 128),
+        kind="allpairs-breakdown", tree_baseline=True,
+    ),
+}
+
+FIG3: dict[str, FigureConfig] = {
+    "3a": FigureConfig(
+        figure="3a",
+        title="Parallel Efficiency on Hopper (196,608 particles)",
+        machine_factory=_hopper, machine_name="hopper",
+        machine_sizes=(1536, 3072, 6144, 12288, 24576), n=196608,
+        cs=(1, 2, 4, 8, 16, 32, 64),
+        kind="allpairs-scaling",
+    ),
+    "3b": FigureConfig(
+        figure="3b",
+        title="Parallel Efficiency on Intrepid (262,144 particles)",
+        machine_factory=_intrepid, machine_name="intrepid",
+        machine_sizes=(2048, 4096, 8192, 16384, 32768), n=262144,
+        cs=(1, 2, 4, 8, 16, 32, 64),
+        kind="allpairs-scaling",
+    ),
+}
+
+FIG6: dict[str, FigureConfig] = {
+    "6a": FigureConfig(
+        figure="6a",
+        title="1D-cutoff, Hopper, 24,576 cores, 196,608 particles",
+        machine_factory=_hopper, machine_name="hopper",
+        machine_sizes=(24576,), n=196608, cs=(1, 2, 4, 8, 16, 32, 64),
+        kind="cutoff-breakdown", dim=1, cutoff=True,
+    ),
+    "6b": FigureConfig(
+        figure="6b",
+        title="2D-cutoff, Hopper, 24,576 cores, 196,608 particles",
+        machine_factory=_hopper, machine_name="hopper",
+        machine_sizes=(24576,), n=196608, cs=(1, 2, 4, 8, 16, 32, 64, 128),
+        kind="cutoff-breakdown", dim=2, cutoff=True,
+    ),
+    "6c": FigureConfig(
+        figure="6c",
+        title="1D-cutoff, Intrepid, 32,768 cores, 262,144 particles",
+        machine_factory=_intrepid, machine_name="intrepid",
+        machine_sizes=(32768,), n=262144, cs=(1, 2, 4, 8, 16, 32, 64),
+        kind="cutoff-breakdown", dim=1, cutoff=True,
+    ),
+    "6d": FigureConfig(
+        figure="6d",
+        title="2D-cutoff, Intrepid, 32,768 cores, 262,144 particles",
+        machine_factory=_intrepid, machine_name="intrepid",
+        machine_sizes=(32768,), n=262144, cs=(1, 2, 4, 8, 16, 32, 64),
+        kind="cutoff-breakdown", dim=2, cutoff=True,
+    ),
+}
+
+FIG7: dict[str, FigureConfig] = {
+    "7a": FigureConfig(
+        figure="7a",
+        title="Parallel Efficiency, 1D-cutoff, Hopper (196,608 particles)",
+        machine_factory=_hopper, machine_name="hopper",
+        machine_sizes=(96, 192, 384, 768, 1536, 3072, 6144, 12288, 24576),
+        n=196608, cs=(1, 4, 16, 64),
+        kind="cutoff-scaling", dim=1, cutoff=True,
+    ),
+    "7b": FigureConfig(
+        figure="7b",
+        title="Parallel Efficiency, 2D-cutoff, Hopper (196,608 particles)",
+        machine_factory=_hopper, machine_name="hopper",
+        machine_sizes=(96, 192, 384, 768, 1536, 3072, 6144, 12288, 24576),
+        n=196608, cs=(1, 4, 16, 64),
+        kind="cutoff-scaling", dim=2, cutoff=True,
+    ),
+    "7c": FigureConfig(
+        figure="7c",
+        title="Parallel Efficiency, 1D-cutoff, Intrepid (262,144 particles)",
+        machine_factory=_intrepid, machine_name="intrepid",
+        machine_sizes=(2048, 4096, 8192, 16384, 32768), n=262144,
+        cs=(1, 4, 16, 64),
+        kind="cutoff-scaling", dim=1, cutoff=True,
+    ),
+    "7d": FigureConfig(
+        figure="7d",
+        title="Parallel Efficiency, 2D-cutoff, Intrepid (262,144 particles)",
+        machine_factory=_intrepid, machine_name="intrepid",
+        machine_sizes=(2048, 4096, 8192, 16384, 32768), n=262144,
+        cs=(1, 4, 16, 64),
+        kind="cutoff-scaling", dim=2, cutoff=True,
+    ),
+}
+
+#: All evaluation panels, keyed by figure id.
+PAPER_FIGURES: dict[str, FigureConfig] = {**FIG2, **FIG3, **FIG6, **FIG7}

@@ -1,0 +1,60 @@
+"""Machine-readable export of regenerated figures (CSV / JSON).
+
+Feeds external plotting: ``python -m repro figures 2b --format csv`` emits
+one row per (configuration, phase) for breakdown figures and one row per
+(c, machine size) for scaling figures.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["export_csv", "export_json"]
+
+_PHASES = ("compute", "shift", "reduce", "bcast", "reassign", "allgather",
+           "return")
+
+
+def export_csv(res: FigureResult) -> str:
+    """CSV rows of the figure's series."""
+    out = io.StringIO()
+    if res.breakdowns:
+        out.write("figure,config,phase,seconds\n")
+        for label, b in res.breakdowns.items():
+            for ph in _PHASES:
+                v = b.get(ph)
+                if v > 0:
+                    out.write(f"{res.config.figure},{label},{ph},{v!r}\n")
+            out.write(f"{res.config.figure},{label},total,{b.total!r}\n")
+    else:
+        out.write("figure,c,machine_size,efficiency\n")
+        for c, series in res.efficiency.items():
+            for p, e in series:
+                out.write(f"{res.config.figure},{c},{p},{e!r}\n")
+    return out.getvalue()
+
+
+def export_json(res: FigureResult) -> str:
+    """JSON document of the figure's series plus its configuration."""
+    doc: dict = {
+        "figure": res.config.figure,
+        "title": res.config.title,
+        "machine": res.config.machine_name,
+        "n": res.config.n,
+        "kind": res.config.kind,
+    }
+    if res.breakdowns:
+        doc["breakdowns"] = {
+            label: {"phases": dict(b.phases), "total": b.total,
+                    "communication": b.communication}
+            for label, b in res.breakdowns.items()
+        }
+    else:
+        doc["efficiency"] = {
+            str(c): [[p, e] for p, e in series]
+            for c, series in res.efficiency.items()
+        }
+    return json.dumps(doc, indent=1, sort_keys=True)

@@ -1,0 +1,171 @@
+"""Figure drivers: regenerate every evaluation figure's data series.
+
+Each driver takes a :class:`~repro.experiments.configs.FigureConfig` and
+returns a :class:`FigureResult` holding the series the paper plots:
+
+* breakdown figures (2, 6): one stacked phase breakdown per replication
+  factor (plus the tree / no-tree baseline bars on Intrepid);
+* scaling figures (3, 7): per-``c`` efficiency series over machine sizes.
+
+Paper-scale series come from the analytic model; every driver can also run
+a scaled-down *validation* of the same experiment through the discrete-
+event simulator (real communication structure, phantom particle blocks) to
+confirm the shapes at a size Python can simulate exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.allpairs import run_allpairs_virtual
+from repro.core.cutoff import cutoff_config, run_cutoff_virtual
+from repro.core.driver import run_simulation_virtual
+from repro.experiments.configs import FigureConfig
+from repro.machines import Hopper, Intrepid
+from repro.model import (
+    PhaseBreakdown,
+    allgather_baseline_breakdown,
+    allpairs_breakdown,
+    allpairs_efficiency,
+    cutoff_breakdown,
+    cutoff_efficiency,
+)
+
+__all__ = ["FigureResult", "run_figure", "validate_figure"]
+
+#: Phase stacking order used when rendering breakdown figures.
+PHASE_ORDER = ("reassign", "reduce", "shift", "allgather", "compute", "bcast")
+
+
+@dataclass
+class FigureResult:
+    """Regenerated data of one figure panel."""
+
+    config: FigureConfig
+    #: breakdown figures: label -> PhaseBreakdown (labels like 'c=4',
+    #: 'c=1 (tree)').  Scaling figures: empty.
+    breakdowns: dict[str, PhaseBreakdown] = field(default_factory=dict)
+    #: scaling figures: c -> [(p, efficiency)].  Breakdown figures: empty.
+    efficiency: dict[int, list[tuple[int, float]]] = field(default_factory=dict)
+
+    # -- claims the experiment harness checks -----------------------------
+
+    def comm_series(self) -> dict[str, float]:
+        """Communication seconds per label (breakdown figures)."""
+        return {k: b.communication for k, b in self.breakdowns.items()}
+
+    def best_label(self) -> str:
+        """Label with the lowest total time (breakdown figures)."""
+        return min(self.breakdowns, key=lambda k: self.breakdowns[k].total)
+
+
+def run_figure(cfg: FigureConfig) -> FigureResult:
+    """Regenerate one panel's series at the paper's scale."""
+    if cfg.kind == "allpairs-breakdown":
+        return _allpairs_breakdown_figure(cfg)
+    if cfg.kind == "cutoff-breakdown":
+        return _cutoff_breakdown_figure(cfg)
+    if cfg.kind == "allpairs-scaling":
+        res = FigureResult(config=cfg)
+        res.efficiency = allpairs_efficiency(
+            cfg.machine_factory, cfg.n, cfg.machine_sizes, cfg.cs, dim=cfg.dim
+        )
+        return res
+    if cfg.kind == "cutoff-scaling":
+        res = FigureResult(config=cfg)
+        res.efficiency = cutoff_efficiency(
+            cfg.machine_factory, cfg.n, cfg.machine_sizes, cfg.cs,
+            rcut=cfg.rcut, box_length=cfg.box_length, dim=cfg.dim,
+        )
+        return res
+    raise ValueError(f"unknown figure kind {cfg.kind!r}")
+
+
+def _allpairs_breakdown_figure(cfg: FigureConfig) -> FigureResult:
+    (p,) = cfg.machine_sizes
+    machine = cfg.machine_factory(p)
+    res = FigureResult(config=cfg)
+    if cfg.tree_baseline:
+        res.breakdowns["c=1 (tree)"] = allgather_baseline_breakdown(
+            machine, cfg.n, use_tree=True
+        )
+        no_tree = (
+            Intrepid(p, tree=False)
+            if cfg.machine_name == "intrepid"
+            else machine
+        )
+        res.breakdowns["c=1 (no-tree)"] = allgather_baseline_breakdown(
+            no_tree, cfg.n, use_tree=False
+        )
+    for c in cfg.cs:
+        res.breakdowns[f"c={c}"] = allpairs_breakdown(machine, cfg.n, c,
+                                                      dim=cfg.dim)
+    return res
+
+
+def _cutoff_breakdown_figure(cfg: FigureConfig) -> FigureResult:
+    (p,) = cfg.machine_sizes
+    machine = cfg.machine_factory(p)
+    res = FigureResult(config=cfg)
+    for c in cfg.cs:
+        b = cutoff_breakdown(
+            machine, cfg.n, c, rcut=cfg.rcut, box_length=cfg.box_length,
+            dim=cfg.dim,
+        )
+        # The paper requires the replication to fit inside the interaction
+        # window (c <= 2m); skip labels beyond it like the plots do.
+        if c <= b.meta["window"]:
+            res.breakdowns[f"c={c}"] = b
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Scaled-down validation through the event simulator
+# ---------------------------------------------------------------------------
+
+
+def validate_figure(
+    cfg: FigureConfig,
+    *,
+    p: int = 64,
+    n: int = 4096,
+    cores_per_node: int = 4,
+    cs: tuple[int, ...] = (1, 2, 4, 8),
+) -> FigureResult:
+    """Re-run the figure's experiment at event-simulation scale.
+
+    The same machine family (scaled down), the same algorithm code, real
+    message passing — used by the benchmark harness to confirm that the
+    paper-scale series' *shape* (communication falling with c, phase
+    trade-offs) also emerges from exact simulation.
+    """
+    if cfg.machine_name == "hopper":
+        machine = Hopper(p, cores_per_node=cores_per_node)
+    elif cfg.machine_name == "intrepid":
+        machine = Intrepid(p, cores_per_node=cores_per_node)
+    else:  # pragma: no cover - config error
+        raise ValueError(f"unknown machine {cfg.machine_name!r}")
+
+    res = FigureResult(config=cfg)
+    for c in cs:
+        if p % c:
+            continue
+        if not cfg.cutoff:
+            run = run_allpairs_virtual(machine, n, c, dim=cfg.dim)
+            res.breakdowns[f"c={c}"] = PhaseBreakdown.from_report(
+                run.report, ("bcast", "shift", "compute", "reduce")
+            )
+        else:
+            ca_cfg = cutoff_config(
+                p, c, rcut=cfg.rcut, box_length=cfg.box_length, dim=cfg.dim
+            )
+            phys_window = 1
+            for mk in ca_cfg.geometry.spanned_cells(cfg.rcut):
+                phys_window *= 2 * mk + 1
+            if c > phys_window:
+                continue
+            run = run_simulation_virtual(machine, ca_cfg, n, 1, dim=cfg.dim)
+            res.breakdowns[f"c={c}"] = PhaseBreakdown.from_report(
+                run.report, ("bcast", "shift", "compute", "reduce", "reassign")
+            )
+    return res

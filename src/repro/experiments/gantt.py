@@ -1,0 +1,65 @@
+"""ASCII Gantt charts of recorded engine timelines.
+
+Feed a :class:`~repro.simmpi.engine.RunResult` produced with
+``Engine(record_events=True)`` to :func:`render_gantt` and get a per-rank
+busy/idle picture of the run — computation, communication waits and
+transfers, bucketed over virtual time.  This is the visual counterpart of
+the paper's phase-breakdown bars: it shows *where in time* the shifts and
+reductions sit and how load imbalance staggers ranks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_gantt"]
+
+#: Glyph per event kind, in increasing display priority: when several
+#: events share a time bucket, the highest-priority one is drawn.
+_KIND_GLYPHS = (("wait", "."), ("xfer", "-"), ("hwcoll", "H"), ("compute", "#"))
+_PRIORITY = {kind: i for i, (kind, _) in enumerate(_KIND_GLYPHS)}
+_GLYPH = dict(_KIND_GLYPHS)
+
+
+def render_gantt(result, *, width: int = 80, max_ranks: int = 32) -> str:
+    """Render the run's timeline as one row of glyphs per rank.
+
+    ``width`` time buckets span ``[0, result.elapsed]``.  Runs with more
+    than ``max_ranks`` ranks show the first ``max_ranks`` rows (with a
+    note), keeping the output terminal-sized.
+    """
+    events = result.events
+    if not events:
+        raise ValueError(
+            "no events recorded — construct the Engine with "
+            "record_events=True"
+        )
+    horizon = max(result.elapsed, max(e.t_end for e in events))
+    if horizon <= 0:
+        raise ValueError("nothing happened (zero-length timeline)")
+    nranks = len(result.clocks)
+    shown = min(nranks, max_ranks)
+
+    rows = [[" "] * width for _ in range(shown)]
+    prio = [[-1] * width for _ in range(shown)]
+    for e in events:
+        if e.rank >= shown or e.kind not in _GLYPH:
+            continue
+        b0 = int(e.t_start / horizon * width)
+        b1 = int(e.t_end / horizon * width)
+        b0 = min(b0, width - 1)
+        b1 = min(max(b1, b0), width - 1)
+        for b in range(b0, b1 + 1):
+            if _PRIORITY[e.kind] > prio[e.rank][b]:
+                prio[e.rank][b] = _PRIORITY[e.kind]
+                rows[e.rank][b] = _GLYPH[e.kind]
+
+    from repro.util import fmt_time
+
+    lines = [f"timeline over {fmt_time(horizon)} "
+             f"({width} buckets of {fmt_time(horizon / width)})"]
+    for r in range(shown):
+        lines.append(f"rank {r:>4} |{''.join(rows[r])}|")
+    if shown < nranks:
+        lines.append(f"... ({nranks - shown} more ranks not shown)")
+    legend = "  ".join(f"{g}={k}" for k, g in _KIND_GLYPHS)
+    lines.append(f"legend: {legend}  (blank = idle/posting)")
+    return "\n".join(lines)

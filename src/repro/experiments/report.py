@@ -1,0 +1,56 @@
+"""Text rendering of regenerated figures (the rows/series the paper plots).
+
+The benchmark harness prints these tables so a run of ``pytest benchmarks/
+--benchmark-only`` reproduces, in text form, every figure of the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.model.phases import PhaseBreakdown
+
+__all__ = ["render_breakdown", "render_scaling", "render_figure"]
+
+_PHASES = ("compute", "shift", "reduce", "bcast", "reassign", "allgather")
+
+
+def render_breakdown(res: FigureResult) -> str:
+    """Stacked-bar figure as a table: one row per replication factor."""
+    cfg = res.config
+    used = [ph for ph in _PHASES
+            if any(b.get(ph) > 0 for b in res.breakdowns.values())]
+    header = f"{'config':>14} | {'total(ms)':>10} {'comm(ms)':>10} | " + " ".join(
+        f"{ph + '(ms)':>12}" for ph in used
+    )
+    lines = [f"Figure {cfg.figure}: {cfg.title}", header, "-" * len(header)]
+    for label, b in res.breakdowns.items():
+        cells = " ".join(f"{b.get(ph) * 1e3:>12.4f}" for ph in used)
+        lines.append(
+            f"{label:>14} | {b.total * 1e3:>10.3f} {b.communication * 1e3:>10.3f} | {cells}"
+        )
+    best = res.best_label()
+    lines.append(f"best total: {best}")
+    return "\n".join(lines)
+
+
+def render_scaling(res: FigureResult) -> str:
+    """Efficiency figure as a table: rows are c, columns machine sizes."""
+    cfg = res.config
+    sizes = list(cfg.machine_sizes)
+    header = f"{'c':>6} | " + " ".join(f"{p:>8}" for p in sizes)
+    lines = [f"Figure {cfg.figure}: {cfg.title}",
+             "(relative efficiency vs. one core)", header, "-" * len(header)]
+    for c, series in res.efficiency.items():
+        by_p = dict(series)
+        row = " ".join(
+            f"{by_p[p]:>8.3f}" if p in by_p else f"{'-':>8}" for p in sizes
+        )
+        lines.append(f"{c:>6} | {row}")
+    return "\n".join(lines)
+
+
+def render_figure(res: FigureResult) -> str:
+    if res.breakdowns:
+        return render_breakdown(res)
+    return render_scaling(res)

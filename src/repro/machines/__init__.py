@@ -1,0 +1,33 @@
+"""Machine models: network + compute cost parameters for the simulations.
+
+Two concrete supercomputer models mirror the paper's platforms —
+:func:`Hopper` (Cray XE-6, Gemini 3-D torus) and :func:`Intrepid`
+(BlueGene/P, 3-D torus plus dedicated collective tree network) — alongside
+generic flat/torus machines for tests and laptop-scale runs.
+"""
+
+from repro.machines.base import PARTICLE_BYTES, MachineModel, TorusMachine
+from repro.machines.generic import GenericMachine, GenericTorus, InstantMachine
+from repro.machines.hopper import HOPPER_CORES_PER_NODE, Hopper
+from repro.machines.intrepid import (
+    INTREPID_CORES_PER_NODE,
+    Intrepid,
+    IntrepidMachine,
+)
+from repro.machines.torus import Torus, balanced_dims
+
+__all__ = [
+    "HOPPER_CORES_PER_NODE",
+    "Hopper",
+    "INTREPID_CORES_PER_NODE",
+    "InstantMachine",
+    "Intrepid",
+    "IntrepidMachine",
+    "GenericMachine",
+    "GenericTorus",
+    "MachineModel",
+    "PARTICLE_BYTES",
+    "Torus",
+    "TorusMachine",
+    "balanced_dims",
+]

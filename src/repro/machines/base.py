@@ -1,0 +1,181 @@
+"""Machine-model interface shared by the event engine and the analytic model.
+
+A :class:`MachineModel` answers three questions:
+
+* how long does a point-to-point transfer of ``nbytes`` between two ranks
+  take (``p2p_time``) — the alpha-beta cost, optionally with per-hop latency
+  from a torus layout and a cheap path for ranks sharing a node;
+* how long does one pairwise force evaluation take (``pair_time``) — the
+  computation term;
+* how long does a dedicated-network (hardware) collective take
+  (``hw_collective_time``), for machines like Intrepid that have one.
+
+The same instance drives both the discrete-event engine (which calls
+``p2p_time`` per matched message) and the closed-form analytic model (which
+evaluates phase formulas with the same constants), so the two tiers are
+consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.torus import Torus
+from repro.util import require
+
+__all__ = ["MachineModel", "TorusMachine"]
+
+#: Particle payload size measured by the paper's implementation.
+PARTICLE_BYTES = 52
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Flat alpha-beta machine: every rank pair is equidistant.
+
+    Parameters
+    ----------
+    nranks:
+        Number of MPI ranks (cores) the machine exposes.
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Per-byte transfer time in seconds (1 / bandwidth).
+    pair_time:
+        Seconds per pairwise force interaction evaluation.
+    alpha_local:
+        Latency for a rank messaging itself (buffer copy).
+    beta_local:
+        Per-byte cost of local copies.
+    """
+
+    nranks: int
+    alpha: float = 1.0e-6
+    beta: float = 2.0e-10
+    pair_time: float = 5.0e-8
+    alpha_local: float = 2.0e-7
+    beta_local: float = 2.5e-11
+    name: str = "generic"
+
+    def __post_init__(self):
+        require(self.nranks >= 1, f"nranks must be >= 1, got {self.nranks}")
+
+    # -- interface used by the engine -------------------------------------
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Wire time of one message from rank ``src`` to rank ``dst``."""
+        if src == dst:
+            return self.alpha_local + nbytes * self.beta_local
+        return self.alpha + nbytes * self.beta
+
+    @property
+    def has_hw_collectives(self) -> bool:
+        return False
+
+    def hw_collective_time(self, kind: str, nbytes: int, group_size: int) -> float:
+        raise NotImplementedError(f"{self.name} has no hardware collective network")
+
+    # -- compute ------------------------------------------------------------
+
+    def interactions_time(self, npairs: float) -> float:
+        """Time to evaluate ``npairs`` pairwise interactions on one core."""
+        return npairs * self.pair_time
+
+    # -- distances (used by the analytic model) -----------------------------
+
+    def rank_distance_hops(self, src: int, dst: int) -> int:
+        """Network hops between two ranks (0 on a flat machine)."""
+        return 0 if src == dst else 1
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: p={self.nranks}, alpha={self.alpha:.2e}s, "
+            f"beta={self.beta:.2e}s/B, pair={self.pair_time:.2e}s"
+        )
+
+
+@dataclass(frozen=True)
+class TorusMachine(MachineModel):
+    """Machine with multicore nodes on a d-dimensional torus.
+
+    Ranks are packed onto nodes consecutively (``node = rank //
+    cores_per_node``); nodes take row-major torus coordinates.  Message time
+    between distinct nodes is ``alpha + hops * alpha_hop + nbytes * beta``;
+    ranks on the same node exchange at
+    ``alpha_node + nbytes * beta_node``.
+    """
+
+    cores_per_node: int = 1
+    alpha_hop: float = 5.0e-8
+    alpha_node: float = 6.0e-7
+    beta_node: float = 5.0e-11
+    torus_ndims: int = 3
+    #: Longer routes occupy more links; the per-byte cost of an inter-node
+    #: message is additionally scaled by ``max(1, hops * route_congestion)``.
+    route_congestion: float = 0.65
+    #: When every team runs a c-member collective simultaneously, the
+    #: network sustains far fewer concurrent tree edges than the isolated
+    #: log-depth model assumes; measured collectives at these scales cost
+    #: roughly ``1 + collective_contention * (c - 1)`` times the isolated
+    #: tree.  This is the paper's "collectives fail to scale
+    #: logarithmically as our model assumes" (Sections III-C and IV-D); the
+    #: analytic tier applies it to team collective estimates.  Zero keeps
+    #: the analytic and event-simulation tiers exactly consistent (the
+    #: generic test machines use zero).
+    collective_contention: float = 0.0
+    name: str = "torus"
+    #: filled in __post_init__; not a constructor argument.
+    torus: Torus = field(default=None, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        super().__post_init__()
+        require(self.cores_per_node >= 1, "cores_per_node must be >= 1")
+        require(
+            self.nranks % self.cores_per_node == 0,
+            f"nranks={self.nranks} must be a multiple of cores_per_node="
+            f"{self.cores_per_node}",
+        )
+        nnodes = self.nranks // self.cores_per_node
+        object.__setattr__(self, "torus", Torus.fit(nnodes, self.torus_ndims))
+
+    @property
+    def nnodes(self) -> int:
+        return self.nranks // self.cores_per_node
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.cores_per_node
+
+    def internode_beta(self, hops: int | float) -> float:
+        """Effective per-byte cost of an inter-node transfer.
+
+        All cores of a node inject concurrently in these bulk-synchronous
+        algorithms, so the link bandwidth is shared ``cores_per_node`` ways;
+        routes spanning many hops additionally contend with cross traffic
+        (``route_congestion`` per hop).
+        """
+        share = self.cores_per_node * max(1.0, hops * self.route_congestion)
+        return self.beta * share
+
+    def internode_wire_time(self, hops: int | float, nbytes: float) -> float:
+        """Inter-node message time at a given hop distance."""
+        return self.alpha + hops * self.alpha_hop + nbytes * self.internode_beta(hops)
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        if src == dst:
+            return self.alpha_local + nbytes * self.beta_local
+        a, b = self.node_of(src), self.node_of(dst)
+        if a == b:
+            return self.alpha_node + nbytes * self.beta_node
+        return self.internode_wire_time(self.torus.hops(a, b), nbytes)
+
+    def rank_distance_hops(self, src: int, dst: int) -> int:
+        a, b = self.node_of(src), self.node_of(dst)
+        return self.torus.hops(a, b)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: p={self.nranks} ({self.nnodes} nodes x "
+            f"{self.cores_per_node} cores), torus {self.torus.dims}, "
+            f"alpha={self.alpha:.2e}s (+{self.alpha_hop:.2e}/hop), "
+            f"beta={self.beta:.2e}s/B, pair={self.pair_time:.2e}s"
+        )

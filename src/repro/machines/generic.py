@@ -1,0 +1,68 @@
+"""Generic machine models for tests and laptop-scale experiments."""
+
+from __future__ import annotations
+
+from repro.machines.base import MachineModel, TorusMachine
+
+__all__ = ["GenericMachine", "GenericTorus", "InstantMachine"]
+
+
+def GenericMachine(
+    nranks: int,
+    *,
+    alpha: float = 1.0e-6,
+    beta: float = 2.0e-10,
+    pair_time: float = 5.0e-8,
+) -> MachineModel:
+    """A flat alpha-beta machine: every rank pair is one message away.
+
+    The default constants are loosely commodity-cluster-like; tests mostly
+    care that alpha, beta and pair_time are non-zero and independent.
+    """
+    return MachineModel(
+        name="generic",
+        nranks=nranks,
+        alpha=alpha,
+        beta=beta,
+        pair_time=pair_time,
+    )
+
+
+def GenericTorus(
+    nranks: int,
+    *,
+    cores_per_node: int = 1,
+    ndims: int = 3,
+    alpha: float = 1.0e-6,
+    alpha_hop: float = 5.0e-8,
+    beta: float = 2.0e-10,
+    pair_time: float = 5.0e-8,
+) -> TorusMachine:
+    """A torus machine with adjustable geometry for topology tests."""
+    return TorusMachine(
+        name="generic-torus",
+        nranks=nranks,
+        cores_per_node=cores_per_node,
+        torus_ndims=ndims,
+        alpha=alpha,
+        alpha_hop=alpha_hop,
+        beta=beta,
+        pair_time=pair_time,
+    )
+
+
+def InstantMachine(nranks: int) -> MachineModel:
+    """A machine where all communication and computation is free.
+
+    Used by correctness tests that check *what* the algorithms compute,
+    independent of timing, and by pair-coverage instrumentation runs.
+    """
+    return MachineModel(
+        name="instant",
+        nranks=nranks,
+        alpha=0.0,
+        beta=0.0,
+        pair_time=0.0,
+        alpha_local=0.0,
+        beta_local=0.0,
+    )

@@ -1,0 +1,55 @@
+"""Machine model of Hopper — NERSC's Cray XE-6 (Gemini 3-D torus).
+
+Constants approximate the published characteristics of the platform the
+paper used: 24 cores per node (two 12-core 2.1 GHz AMD MagnyCours), nodes on
+a Gemini 3-D torus with ~1.5 microsecond MPI latency and multi-GB/s link
+bandwidth.  The absolute values are calibration targets, not measurements:
+what the reproduction relies on is the *ratio* structure (latency vs
+bandwidth vs per-hop cost vs pairwise-interaction compute rate), which
+controls where the collective/point-to-point balance falls and hence where
+the optimal replication factor lands.
+"""
+
+from __future__ import annotations
+
+from repro.machines.base import TorusMachine
+from repro.util import require
+
+__all__ = ["Hopper", "HOPPER_CORES_PER_NODE"]
+
+HOPPER_CORES_PER_NODE = 24
+
+
+def Hopper(nranks: int, *, cores_per_node: int | None = None) -> TorusMachine:
+    """Hopper (Cray XE-6) sized for ``nranks`` cores.
+
+    ``nranks`` must fill whole nodes.  The paper's runs use 1536 to 24576
+    cores (64 to 1024 nodes); any node-aligned size is accepted, including
+    tiny configurations used by the functional event-simulation tests
+    (pass ``cores_per_node`` to shrink nodes for small test machines).
+    """
+    cpn = HOPPER_CORES_PER_NODE if cores_per_node is None else cores_per_node
+    require(nranks % cpn == 0, f"nranks={nranks} must fill whole {cpn}-core nodes")
+    return TorusMachine(
+        name="hopper",
+        nranks=nranks,
+        cores_per_node=cpn,
+        # Gemini-like network.  alpha is the *effective* per-message cost
+        # when all 24 cores of a node inject concurrently (the steady state
+        # of these bulk-synchronous algorithms); the single-message MPI
+        # latency is ~1.5 us.
+        alpha=4.0e-6,
+        alpha_hop=1.0e-7,
+        beta=1.0 / 5.9e9,
+        # Intra-node exchange through shared memory.
+        alpha_node=6.0e-7,
+        beta_node=1.0 / 12.0e9,
+        # Local buffer copy.
+        alpha_local=1.0e-7,
+        beta_local=1.0 / 20.0e9,
+        # 2.1 GHz MagnyCours core evaluating the paper's repulsive
+        # inverse-square force: ~50 ns per interaction.
+        pair_time=5.0e-8,
+        torus_ndims=3,
+        collective_contention=0.04,
+    )

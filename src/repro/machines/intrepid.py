@@ -1,0 +1,95 @@
+"""Machine model of Intrepid — ALCF's IBM BlueGene/P.
+
+BlueGene/P characteristics reflected here:
+
+* quad-core 850 MHz PowerPC 450 nodes — slow cores, hence a much larger
+  per-interaction compute time than Hopper;
+* a 3-D torus for point-to-point traffic with 425 MB/s links and low
+  per-hop latency (hardware cut-through routing);
+* a **dedicated tree network** for collectives that involve the whole
+  partition — the paper's "c=1 (tree)" bars use it, and the "no-tree" bars
+  force the same collectives onto the torus.
+
+The tree network is exposed through :meth:`TorusMachine.has_hw_collectives`
+-> :class:`IntrepidMachine` overrides; the simulated-MPI engine lets
+whole-partition communicators post hardware collectives that complete in
+``tree_alpha + bytes_through_root * tree_beta`` regardless of torus
+distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.base import TorusMachine
+from repro.util import require
+
+__all__ = ["Intrepid", "IntrepidMachine", "INTREPID_CORES_PER_NODE"]
+
+INTREPID_CORES_PER_NODE = 4
+
+
+@dataclass(frozen=True)
+class IntrepidMachine(TorusMachine):
+    """BlueGene/P torus plus the dedicated collective tree network."""
+
+    tree_alpha: float = 5.0e-6
+    tree_beta: float = 1.0 / 0.20e9  # effective allgather rate through the tree root
+    tree_enabled: bool = True
+
+    @property
+    def has_hw_collectives(self) -> bool:
+        return self.tree_enabled
+
+    def hw_collective_time(self, kind: str, nbytes: int, group_size: int) -> float:
+        """Completion time of a whole-partition tree-network collective.
+
+        ``nbytes`` is the per-rank contribution (or broadcast size).  The
+        tree pipelines data through its root: rooted one-to-all/all-to-one
+        operations stream ``nbytes``; an allgather must stream every rank's
+        contribution, ``group_size * nbytes``.
+        """
+        if kind in ("bcast", "reduce", "barrier"):
+            volume = nbytes
+        elif kind == "allreduce":
+            volume = 2 * nbytes  # up then down the tree
+        elif kind == "allgather":
+            volume = group_size * nbytes
+        else:
+            raise ValueError(f"unknown hw collective kind {kind!r}")
+        return self.tree_alpha + volume * self.tree_beta
+
+
+def Intrepid(
+    nranks: int,
+    *,
+    cores_per_node: int | None = None,
+    tree: bool = True,
+) -> IntrepidMachine:
+    """Intrepid (BlueGene/P) sized for ``nranks`` cores.
+
+    ``tree=False`` disables the collective network, modeling the paper's
+    "no-tree" runs where collectives were forced onto the 3-D torus.
+    """
+    cpn = INTREPID_CORES_PER_NODE if cores_per_node is None else cores_per_node
+    require(nranks % cpn == 0, f"nranks={nranks} must fill whole {cpn}-core nodes")
+    return IntrepidMachine(
+        name="intrepid",
+        nranks=nranks,
+        cores_per_node=cpn,
+        # BG/P torus: ~3 us MPI latency (the DMA engine keeps concurrent
+        # injection cheap), 425 MB/s per link, cheap hops.
+        alpha=3.5e-6,
+        alpha_hop=5.0e-8,
+        beta=1.0 / 0.425e9,
+        alpha_node=9.0e-7,
+        beta_node=1.0 / 3.4e9,
+        alpha_local=2.0e-7,
+        beta_local=1.0 / 8.0e9,
+        # 850 MHz PowerPC 450 with hand-tuned inner loops: a few times
+        # slower per interaction than a Hopper core.
+        pair_time=1.2e-7,
+        torus_ndims=3,
+        collective_contention=0.04,
+        tree_enabled=tree,
+    )

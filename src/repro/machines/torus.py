@@ -1,0 +1,115 @@
+"""Torus interconnect geometry: dimensions, coordinates, hop distances.
+
+Both evaluation platforms in the paper (Hopper's Gemini and Intrepid's
+BlueGene/P network) are 3-D tori.  The machine models map MPI ranks onto
+nodes packed consecutively, nodes onto torus coordinates row-major, and
+charge per-hop latency by the wrap-around Manhattan distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.util import require
+
+__all__ = ["Torus", "balanced_dims"]
+
+
+@lru_cache(maxsize=None)
+def balanced_dims(n: int, ndims: int = 3) -> tuple[int, ...]:
+    """Factor ``n`` into ``ndims`` near-equal factors (descending order).
+
+    Chooses the factorization minimizing the largest dimension (then the
+    sum), mirroring how torus partitions are allocated as close to cubic as
+    possible.  Exhaustive over divisors — fine for realistic node counts.
+    """
+    require(n >= 1, f"node count must be >= 1, got {n}")
+    require(ndims >= 1, f"ndims must be >= 1, got {ndims}")
+    if ndims == 1:
+        return (n,)
+
+    best: tuple[int, ...] | None = None
+
+    def key(dims: tuple[int, ...]):
+        return (max(dims), sum(dims))
+
+    for d in _divisors(n):
+        rest = balanced_dims(n // d, ndims - 1)
+        cand = tuple(sorted((d, *rest), reverse=True))
+        if best is None or key(cand) < key(best):
+            best = cand
+    assert best is not None
+    return best
+
+
+def _divisors(n: int) -> list[int]:
+    out = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            if d != n // d:
+                out.append(n // d)
+        d += 1
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class Torus:
+    """A d-dimensional torus over ``prod(dims)`` nodes."""
+
+    dims: tuple[int, ...]
+
+    @staticmethod
+    def fit(nnodes: int, ndims: int = 3) -> "Torus":
+        """A near-cubic torus with exactly ``nnodes`` nodes."""
+        return Torus(balanced_dims(nnodes, ndims))
+
+    @property
+    def nnodes(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        """Row-major coordinates of ``node``."""
+        require(0 <= node < self.nnodes, f"node {node} out of range")
+        out = []
+        for d in reversed(self.dims):
+            node, r = divmod(node, d)
+            out.append(r)
+        return tuple(reversed(out))
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        node = 0
+        for c, d in zip(coords, self.dims):
+            require(0 <= c < d, f"coordinate {c} out of range for dim {d}")
+            node = node * d + c
+        return node
+
+    def hops(self, a: int, b: int) -> int:
+        """Wrap-around Manhattan distance between nodes ``a`` and ``b``."""
+        if a == b:
+            return 0
+        total = 0
+        ca, cb = self.coords(a), self.coords(b)
+        for x, y, d in zip(ca, cb, self.dims):
+            delta = abs(x - y)
+            total += min(delta, d - delta)
+        return total
+
+    @property
+    def max_hops(self) -> int:
+        """Network diameter (max wrap-around Manhattan distance)."""
+        return sum(d // 2 for d in self.dims)
+
+    def mean_hops(self) -> float:
+        """Average hop distance between two uniformly random distinct nodes."""
+        # Per-dimension expectation of the wrap-around distance.
+        total = 0.0
+        for d in self.dims:
+            s = sum(min(k, d - k) for k in range(d))
+            total += s / d
+        return total

@@ -1,0 +1,43 @@
+"""Analytic performance model: closed-form per-phase estimates at the
+paper's machine scales, cross-validated against the event simulator."""
+
+from repro.model.analytic import (
+    allgather_baseline_breakdown,
+    allpairs_breakdown,
+    cutoff_breakdown,
+    symmetric_breakdown,
+)
+from repro.model.collmodel import (
+    SubsetMachine,
+    team_bcast_time,
+    team_reduce_time,
+    world_allgather_time,
+)
+from repro.model.linkmodel import LinkModel
+from repro.model.phases import COMM_PHASES, PhaseBreakdown
+from repro.model.scaling import (
+    allpairs_efficiency,
+    allpairs_weak_scaling,
+    cutoff_efficiency,
+    serial_time_allpairs,
+    serial_time_cutoff,
+)
+
+__all__ = [
+    "COMM_PHASES",
+    "LinkModel",
+    "PhaseBreakdown",
+    "SubsetMachine",
+    "allgather_baseline_breakdown",
+    "allpairs_breakdown",
+    "allpairs_efficiency",
+    "allpairs_weak_scaling",
+    "cutoff_breakdown",
+    "cutoff_efficiency",
+    "serial_time_allpairs",
+    "serial_time_cutoff",
+    "symmetric_breakdown",
+    "team_bcast_time",
+    "team_reduce_time",
+    "world_allgather_time",
+]

@@ -1,0 +1,506 @@
+"""Closed-form (vectorized) per-phase time estimates at paper scale.
+
+The event simulator executes every message of every rank and is exact, but
+a ``c = 1`` all-pairs step at ``p = 24576`` is ``p^2 ~ 6x10^8`` messages —
+far beyond what Python event simulation can turn around.  This module
+computes the same per-phase quantities semi-analytically:
+
+* **bcast / reduce** — *exact*: the real tree collectives are executed on a
+  tiny embedded engine restricted to one team's ranks
+  (:mod:`repro.model.collmodel`), sampled over several teams for topology
+  variation;
+* **shift** — per row, the distinct uniform moves of the schedule are
+  enumerated (a handful per row) and each is charged the *maximum* wire
+  time over all columns performing it — the gate of a uniform systolic
+  step;
+* **compute** — per-column reachable-update counts (closed form from the
+  window geometry), times the block-pair cost;
+* **stall** — the load-imbalance waiting the paper observes in its cutoff
+  runs: light (boundary) columns wait for heavy (interior) columns inside
+  the rendezvous shifts, estimated as the spread between the heaviest and
+  lightest column's computation and charged to the shift phase;
+* **reassign** — the per-step neighbor-leader particle migration exchange.
+
+The model-vs-simulator consistency tests run both tiers on the same small
+configurations and check agreement phase by phase.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.allpairs import allpairs_config
+from repro.core.cutoff import cutoff_config
+from repro.machines.base import PARTICLE_BYTES
+from repro.model.collmodel import (
+    team_bcast_time,
+    team_reduce_time,
+    world_allgather_time,
+)
+from repro.model.linkmodel import LinkModel
+from repro.model.phases import PhaseBreakdown
+from repro.util import require
+
+__all__ = [
+    "allgather_baseline_breakdown",
+    "allpairs_breakdown",
+    "cutoff_breakdown",
+    "symmetric_breakdown",
+]
+
+#: Bytes per particle of a force contribution (dim doubles).
+_FORCE_COMPONENT_BYTES = 8
+
+
+def _sample_columns(nteams: int, nsamples: int = 5) -> list[int]:
+    if nteams <= nsamples:
+        return list(range(nteams))
+    return sorted({round(i * (nteams - 1) / (nsamples - 1)) for i in range(nsamples)})
+
+
+def _team_collective_times(machine, grid, nbytes_bcast: int, nbytes_reduce: int):
+    """Max-over-sampled-teams (bcast, reduce) tree times.
+
+    The isolated-tree critical path from the embedded mini-simulation is
+    scaled by the machine's ``collective_contention`` factor
+    ``1 + cc * (c - 1)``: at paper scale every one of the ``p/c`` teams
+    runs its collective simultaneously, and measured collectives stop
+    scaling logarithmically (the effect the paper tunes ``c`` against).
+    """
+    bc = rd = 0.0
+    for col in _sample_columns(grid.nteams):
+        ranks = tuple(grid.team_ranks(col))
+        bc = max(bc, team_bcast_time(machine, ranks, nbytes_bcast))
+        rd = max(rd, team_reduce_time(machine, ranks, nbytes_reduce))
+    cc = getattr(machine, "collective_contention", 0.0)
+    factor = 1.0 + cc * max(0, grid.c - 1)
+    return bc * factor, rd * factor
+
+
+def _grid_ranks(grid, row: int, cols: np.ndarray) -> np.ndarray:
+    """Vectorized ``grid.rank_at(row, col)`` over a column array."""
+    if grid.layout == "rows":
+        return row * grid.nteams + cols
+    return cols * grid.c + row
+
+
+def _row_shift_time(link: LinkModel, grid, sched, row: int, nbytes: int,
+                    agg: str = "max") -> float:
+    """Total shift-phase wire time of row ``row`` (skew + all steps).
+
+    Each distinct move is evaluated once over every column, weighted by how
+    many steps use it.  ``agg='max'`` charges the column-wise maximum (the
+    gate a fully-coupled uniform step converges to — the critical rank's
+    experience); ``agg='mean'`` charges the typical column (used by the
+    makespan estimate, since the expensive ring-edge columns overlap with
+    other ranks' computation).
+    """
+    moves: Counter = Counter()
+    skew = sched.skew_move(row)
+    if any(skew):
+        moves[skew] += 1
+    for i in range(sched.steps):
+        mv = sched.step_move(row, i)
+        if any(mv):
+            moves[mv] += 1
+    T = grid.nteams
+    cols = np.arange(T, dtype=np.int64)
+    src = _grid_ranks(grid, row, cols)
+    total = 0.0
+    for mv, count in moves.items():
+        dest_cols = _displace_cols(sched, cols, mv)
+        times = link.wire_times(src, _grid_ranks(grid, row, dest_cols), nbytes)
+        t = float(times.max() if agg == "max" else times.mean())
+        total += count * t
+    return total
+
+
+def _displace_cols(sched, cols: np.ndarray, move: tuple[int, ...]) -> np.ndarray:
+    """Vectorized ``sched.displace`` over all columns."""
+    dims = sched.team_dims
+    rem = cols
+    digits = []
+    for d in reversed(dims):
+        rem, r = np.divmod(rem, d)
+        digits.append(r)
+    digits.reverse()
+    out = np.zeros_like(cols)
+    for k, d in enumerate(dims):
+        out = out * d + (digits[k] + move[k]) % d
+    return out
+
+
+# ---------------------------------------------------------------------------
+# All-pairs (Figure 2 / 3 workloads)
+# ---------------------------------------------------------------------------
+
+
+def allpairs_breakdown(machine, n: int, c: int, *, dim: int = 2,
+                       layout: str = "rows") -> PhaseBreakdown:
+    """Per-phase time of one CA all-pairs step (Algorithm 1) at scale."""
+    p = machine.nranks
+    cfg = allpairs_config(p, c, layout=layout)
+    grid, sched = cfg.grid, cfg.schedule
+    T = grid.nteams
+    b_max = -(-n // T)  # ceil: heaviest block
+    b_avg = n / T
+    link = LinkModel(machine)
+
+    bcast, reduce_tree = _team_collective_times(
+        machine,
+        grid,
+        nbytes_bcast=PARTICLE_BYTES * b_max,
+        nbytes_reduce=_FORCE_COMPONENT_BYTES * dim * b_max,
+    )
+
+    row_links = [
+        _row_shift_time(link, grid, sched, k, PARTICLE_BYTES * b_max)
+        for k in range(c)
+    ]
+    shift = max(row_links)
+
+    # Updates per row: non-skipped positions in row k's residue class.
+    upd = [
+        sum(1 for u in sched.covered_positions(k) if not sched.skip[u])
+        for k in range(c)
+    ]
+    pair_cost = machine.pair_time * b_max * b_avg
+    compute = max(upd) * pair_cost
+    # Rows desynchronize (different skews/wrap links, padding-skip counts);
+    # the team reduction waits for the slowest row, so the fast rows spend
+    # the difference waiting inside the reduce phase.
+    row_imbalance = (max(upd) - min(upd)) * pair_cost + (
+        max(row_links) - min(row_links)
+    )
+
+    return PhaseBreakdown(
+        phases={
+            "bcast": bcast,
+            "shift": shift,
+            "compute": compute,
+            "reduce": reduce_tree + row_imbalance,
+        },
+        meta={
+            "algorithm": "ca-allpairs",
+            "machine": getattr(machine, "name", "?"),
+            "p": p,
+            "n": n,
+            "c": c,
+            "teams": T,
+            "steps": sched.steps,
+            "block": b_max,
+            # All-pairs work is uniform across ranks, so the stacked phase
+            # maxima describe one rank's path: the makespan is their sum.
+            "makespan": bcast + shift + compute + reduce_tree + row_imbalance,
+        },
+    )
+
+
+def symmetric_breakdown(machine, n: int, c: int, *, dim: int = 2,
+                        layout: str = "rows") -> PhaseBreakdown:
+    """Per-phase time of one *symmetric* (Newton's-third-law) all-pairs
+    step at scale — the extension experiment: what the paper's Figure 2
+    workloads would cost with force symmetry exploited.
+
+    Mirrors :func:`allpairs_breakdown` over the half-ring schedule:
+    buffers carry reactions (d extra doubles per particle on the wire),
+    the self-block position costs half a block-pair, and one extra
+    point-to-point message per rank returns the reactions.
+    """
+    from repro.core.symmetric import symmetric_config
+
+    p = machine.nranks
+    cfg = symmetric_config(p, c)
+    grid, sched = cfg.grid, cfg.schedule
+    if layout != "rows":
+        from dataclasses import replace as _replace
+
+        grid = _replace(grid, layout=layout)
+    T = grid.nteams
+    b_max = -(-n // T)
+    b_avg = n / T
+    link = LinkModel(machine)
+    travel_bytes = (PARTICLE_BYTES + _FORCE_COMPONENT_BYTES * dim) * b_max
+
+    bcast, reduce_tree = _team_collective_times(
+        machine,
+        grid,
+        nbytes_bcast=PARTICLE_BYTES * b_max,
+        nbytes_reduce=_FORCE_COMPONENT_BYTES * dim * b_max,
+    )
+
+    row_links = [
+        _row_shift_time(link, grid, sched, k, travel_bytes)
+        for k in range(c)
+    ]
+    shift = max(row_links)
+
+    # Per-row compute: full block-pairs for nonzero offsets, half for the
+    # self position; the antipodal position (even T) engages on half the
+    # columns, so the critical rank still pays it in full.
+    pair_cost = machine.pair_time * b_max * b_avg
+    per_row = []
+    for k in range(c):
+        cost = 0.0
+        for u in sched.covered_positions(k):
+            if sched.skip[u]:
+                continue
+            cost += 0.5 * pair_cost if sched.offsets[u][0] == 0 else pair_cost
+        per_row.append(cost)
+    compute = max(per_row)
+    row_imbalance = (max(per_row) - min(per_row)) + (
+        max(row_links) - min(row_links)
+    )
+
+    # Reaction return: one message of the reaction array per rank.  The
+    # worst route spans the distance from the buffer's final station to
+    # its home column.
+    ret_bytes = (PARTICLE_BYTES + _FORCE_COMPONENT_BYTES * dim) * b_max
+    cols = np.arange(T, dtype=np.int64)
+    ret = 0.0
+    for k in range(c):
+        u_last = sched.position(k, sched.steps - 1)
+        off = sched.offsets[u_last]
+        dest_cols = _displace_cols(sched, cols, off)
+        src = _grid_ranks(grid, k, cols)
+        dst = _grid_ranks(grid, k, dest_cols)
+        ret = max(ret, float(link.wire_times(src, dst, ret_bytes).max()))
+
+    return PhaseBreakdown(
+        phases={
+            "bcast": bcast,
+            "shift": shift,
+            "compute": compute,
+            "return": ret,
+            "reduce": reduce_tree + row_imbalance,
+        },
+        meta={
+            "algorithm": "ca-allpairs-symmetric",
+            "machine": getattr(machine, "name", "?"),
+            "p": p,
+            "n": n,
+            "c": c,
+            "teams": T,
+            "steps": sched.steps,
+            "block": b_max,
+            "makespan": bcast + shift + compute + ret + reduce_tree
+            + row_imbalance,
+        },
+    )
+
+
+def allgather_baseline_breakdown(machine, n: int, *, use_tree: bool) -> PhaseBreakdown:
+    """The naive particle decomposition (allgather) at scale.
+
+    ``use_tree=True`` charges the machine's dedicated collective network
+    (the paper's Intrepid "c=1 (tree)" bars); otherwise the software
+    allgather formula over the torus.
+    """
+    p = machine.nranks
+    b_max = -(-n // p)
+    nbytes = PARTICLE_BYTES * b_max
+    if use_tree:
+        require(machine.has_hw_collectives,
+                "tree baseline needs a machine with hardware collectives")
+        gather = machine.hw_collective_time("allgather", nbytes, p)
+    else:
+        gather = world_allgather_time(machine, nbytes)
+    compute = machine.pair_time * b_max * n
+    return PhaseBreakdown(
+        phases={"allgather": gather, "compute": compute},
+        meta={
+            "algorithm": "particle-allgather" + ("-tree" if use_tree else ""),
+            "machine": getattr(machine, "name", "?"),
+            "p": p,
+            "n": n,
+            "c": 1,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cutoff (Figure 6 / 7 workloads)
+# ---------------------------------------------------------------------------
+
+
+def _count_reachable(geometry, team_mi: tuple[int, ...], m: tuple[int, ...],
+                     rcut: float) -> int:
+    """Exact number of window offsets whose region can interact with the
+    team at multi-index ``team_mi`` (Euclidean region-gap test, in-bounds).
+
+    Matches :meth:`TeamGeometry.team_distance_ok` exactly: the gap along an
+    axis for an offset of ``o`` cells is ``max(|o| - 1, 0)`` cell widths.
+    Periodic geometries have no out-of-bounds offsets (every team sees the
+    full window), which is what removes the boundary imbalance.
+    """
+    dims = geometry.team_dims
+    widths = geometry.cell_widths
+    gap2 = np.zeros((1,))
+    valid = np.ones((1,), dtype=bool)
+    for k, (d, mk, w) in enumerate(zip(dims, m, widths)):
+        offs = np.arange(-mk, mk + 1)
+        if geometry.periodic:
+            inb = np.ones(offs.shape, dtype=bool)
+        else:
+            inb = (team_mi[k] + offs >= 0) & (team_mi[k] + offs < d)
+        g = np.maximum(np.abs(offs) - 1, 0) * w
+        gap2 = (gap2[:, None] + (g**2)[None, :]).reshape(-1)
+        valid = (valid[:, None] & inb[None, :]).reshape(-1)
+    return int((valid & (gap2 <= rcut * rcut + 1e-12)).sum())
+
+
+def _reachable_extremes(geometry, m: tuple[int, ...], rcut: float) -> tuple[int, int]:
+    """(max, min) per-team reachable-window counts.
+
+    The interior team (window fully in bounds) maximizes the count; the
+    corner team minimizes it — boundary clipping only removes offsets.
+    """
+    dims = geometry.team_dims
+    center = tuple(d // 2 for d in dims)
+    corner = (0,) * len(dims)
+    cmax = _count_reachable(geometry, center, m, rcut)
+    cmin = _count_reachable(geometry, corner, m, rcut)
+    return cmax, cmin
+
+
+def cutoff_breakdown(
+    machine,
+    n: int,
+    c: int,
+    *,
+    rcut: float,
+    box_length: float,
+    dim: int = 1,
+    team_dims: tuple[int, ...] | None = None,
+    migrate_fraction: float = 0.05,
+    include_reassign: bool = True,
+    periodic: bool = False,
+) -> PhaseBreakdown:
+    """Per-phase time of one CA cutoff step (Algorithm 2 / Section IV-C).
+
+    ``periodic=True`` models the periodic-box extension: every team sees
+    the full window, so the boundary stalls vanish (and re-assignment
+    reaches wrapped neighbors)."""
+    p = machine.nranks
+    cfg = cutoff_config(p, c, rcut=rcut, box_length=box_length, dim=dim,
+                        team_dims=team_dims, periodic=periodic)
+    grid, sched, geometry = cfg.grid, cfg.schedule, cfg.geometry
+    T = grid.nteams
+    b_max = -(-n // T)
+    b_avg = n / T
+    link = LinkModel(machine)
+
+    bcast, reduce_tree = _team_collective_times(
+        machine,
+        grid,
+        nbytes_bcast=PARTICLE_BYTES * b_max,
+        nbytes_reduce=_FORCE_COMPONENT_BYTES * dim * b_max,
+    )
+
+    shift_links = max(
+        _row_shift_time(link, grid, sched, k, PARTICLE_BYTES * b_max)
+        for k in range(c)
+    )
+
+    m = geometry.spanned_cells(rcut)
+    quantum = machine.pair_time * b_max * b_avg  # one block-pair update
+    cmax, cmin = _reachable_extremes(geometry, m, rcut)
+    # Per-rank update counts: a team's window positions are split across
+    # its c rows, so the critical rank executes ceil(count/c) updates.
+    upd_max = -(-int(cmax) // c)
+    upd_min = int(cmin) // c
+    compute = upd_max * quantum
+    # Boundary teams scan fewer block pairs; inside the rendezvous shifts
+    # they wait for interior teams — the paper's observed stagnation of
+    # shift cost with growing c.
+    shift_stall = (cmax - cmin) / c * quantum
+    # Whatever imbalance the shifts did not absorb surfaces as waiting at
+    # the team reduction (lightly loaded rows arrive early).
+    total_imbalance = (upd_max - upd_min) * quantum
+    reduce_stall = max(0.0, total_imbalance - shift_stall)
+
+    phases = {
+        "bcast": bcast,
+        "shift": shift_links + shift_stall,
+        "compute": compute,
+        "reduce": reduce_tree + reduce_stall,
+    }
+
+    # Makespan: the phase maxima above belong to *different* ranks (the
+    # ring-edge column owns the shift maximum, an interior column the
+    # compute maximum), so their sum overestimates the critical path.  The
+    # makespan is governed by whichever rank's own work path is longest.
+    links_typ = max(
+        _row_shift_time(link, grid, sched, k, PARTICLE_BYTES * b_max, agg="mean")
+        for k in range(c)
+    )
+    # reduce_stall is *waiting* on lightly-loaded ranks — it shows in the
+    # reduce bar but overlaps the heavy ranks' computation, so it does not
+    # extend the critical path.
+    makespan = (
+        bcast
+        + max(links_typ + compute, shift_links + upd_min * quantum)
+        + reduce_tree
+    )
+
+    if include_reassign:
+        # Leaders exchange migrants with each in-bounds neighbor leader.
+        mig_bytes = PARTICLE_BYTES * max(1, int(b_avg * migrate_fraction))
+        cols = np.arange(T, dtype=np.int64)
+        worst = 0.0
+        from itertools import product as _product
+        for off in _product(*[(-1, 0, 1)] * len(geometry.team_dims)):
+            if all(o == 0 for o in off):
+                continue
+            dest = _displace_cols(sched, cols, off)
+            # Only count pairs that are true (non-wrapping) neighbors.
+            valid = _inbounds_mask(geometry, cols, off)
+            if valid.any():
+                t = link.wire_times(
+                    cols[valid], dest[valid], mig_bytes
+                ).max()
+                worst = max(worst, float(t))
+        phases["reassign"] = worst
+
+    return PhaseBreakdown(
+        phases=phases,
+        meta={
+            "algorithm": f"ca-cutoff-{len(geometry.team_dims)}d",
+            "machine": getattr(machine, "name", "?"),
+            "p": p,
+            "n": n,
+            "c": c,
+            "teams": T,
+            "team_dims": geometry.team_dims,
+            "m": m,
+            # Physical window (prod of 2m+1): the paper's c <= 2m
+            # practicality constraint is checked against this.
+            "window": int(np.prod([2 * mk + 1 for mk in m])),
+            "padded_window": sched.window,
+            "steps": sched.steps,
+            "block": b_max,
+            "makespan": makespan,
+        },
+    )
+
+
+def _inbounds_mask(geometry, cols: np.ndarray, off: tuple[int, ...]) -> np.ndarray:
+    """True where team ``col`` has a non-wrapping neighbor at ``off``.
+
+    Periodic geometries wrap everywhere, so every neighbor is valid."""
+    dims = geometry.team_dims
+    rem = cols
+    ok = np.ones(cols.shape, dtype=bool)
+    if geometry.periodic:
+        return ok
+    digits = []
+    for d in reversed(dims):
+        rem, r = np.divmod(rem, d)
+        digits.append(r)
+    digits.reverse()
+    for k, d in enumerate(dims):
+        nxt = digits[k] + off[k]
+        ok &= (nxt >= 0) & (nxt < d)
+    return ok

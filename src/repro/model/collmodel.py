@@ -1,0 +1,129 @@
+"""Exact collective timings for the analytic tier.
+
+Broadcast and reduce within a team are log-depth trees whose edges span
+*strided* ranks (team members are ``nteams`` apart), so their cost depends
+on the machine topology in a way no closed form captures faithfully.
+Instead of approximating, this module runs the **actual collective
+implementation** (:mod:`repro.simmpi.collectives`) on a tiny embedded
+engine whose machine is the real machine restricted to the team's ranks —
+``c`` simulated ranks, microseconds of wall time — and reports the exact
+critical-path duration.  Analytic phase estimates therefore agree with the
+full event simulation on collectives *by construction*.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.machines.base import MachineModel
+from repro.simmpi.engine import Engine
+
+__all__ = ["SubsetMachine", "team_bcast_time", "team_reduce_time",
+           "world_allgather_time"]
+
+
+class SubsetMachine:
+    """A machine model restricted to a subset of a parent's ranks."""
+
+    def __init__(self, parent: MachineModel, ranks: tuple[int, ...]):
+        self.parent = parent
+        self.ranks = ranks
+        self.nranks = len(ranks)
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        return self.parent.p2p_time(self.ranks[src], self.ranks[dst], nbytes)
+
+    @property
+    def has_hw_collectives(self) -> bool:
+        # Dedicated networks serve whole partitions only (BG/P tree).
+        return False
+
+    def hw_collective_time(self, kind: str, nbytes: int, group_size: int) -> float:
+        raise NotImplementedError("subset machines have no collective network")
+
+    def interactions_time(self, npairs: float) -> float:
+        return self.parent.interactions_time(npairs)
+
+
+class _Payload:
+    """Dummy payload with an explicit wire size."""
+
+    __slots__ = ("wire_nbytes",)
+
+    def __init__(self, nbytes: int):
+        self.wire_nbytes = int(nbytes)
+
+    def __add__(self, other):  # reduction operator support
+        return self
+
+
+@lru_cache(maxsize=4096)
+def _bcast_time_cached(machine, ranks, nbytes) -> float:
+    sub = SubsetMachine(machine, ranks)
+
+    def program(comm):
+        v = yield from comm.bcast(
+            _Payload(nbytes) if comm.rank == 0 else None, root=0
+        )
+        del v
+
+    return Engine(sub).run(program).elapsed
+
+
+@lru_cache(maxsize=4096)
+def _reduce_time_cached(machine, ranks, nbytes) -> float:
+    sub = SubsetMachine(machine, ranks)
+
+    def program(comm):
+        v = yield from comm.reduce(_Payload(nbytes), lambda a, b: a, root=0)
+        del v
+
+    return Engine(sub).run(program).elapsed
+
+
+def team_bcast_time(machine: MachineModel, ranks: tuple[int, ...], nbytes: int) -> float:
+    """Critical-path time of a leader broadcast over ``ranks``."""
+    if len(ranks) <= 1:
+        return 0.0
+    return _bcast_time_cached(machine, ranks, int(nbytes))
+
+
+def team_reduce_time(machine: MachineModel, ranks: tuple[int, ...], nbytes: int) -> float:
+    """Critical-path time of a sum-reduction to the leader over ``ranks``."""
+    if len(ranks) <= 1:
+        return 0.0
+    return _reduce_time_cached(machine, ranks, int(nbytes))
+
+
+def world_allgather_time(machine: MachineModel, nbytes_per_rank: int) -> float:
+    """Software allgather over the whole machine (closed form).
+
+    Running the real collective at 24K+ ranks is exactly what the analytic
+    tier avoids, so this one is a formula: recursive doubling for
+    power-of-two sizes (round ``j`` moves ``2^j`` blocks), gather+bcast
+    otherwise — matching :func:`repro.simmpi.collectives.allgather`'s
+    structure, with the torus mean hop distance standing in for per-edge
+    hops.
+    """
+    p = machine.nranks
+    if p == 1:
+        return 0.0
+    if hasattr(machine, "torus"):
+        mean_hops = machine.torus.mean_hops()
+        alpha = machine.alpha + machine.alpha_hop * mean_hops
+        beta = machine.internode_beta(mean_hops)
+    else:
+        alpha = machine.alpha
+        beta = machine.beta
+    if p & (p - 1) == 0:
+        total = 0.0
+        for j in range(p.bit_length() - 1):
+            total += alpha + (2**j) * nbytes_per_rank * beta
+        return total
+    # gather (binomial, doubling payloads) + bcast of the full vector
+    total = 0.0
+    rounds = (p - 1).bit_length()
+    for j in range(rounds):
+        total += alpha + min(2**j, p) * nbytes_per_rank * beta
+    total += rounds * alpha + rounds * p * nbytes_per_rank * beta / 2.0
+    return total

@@ -1,0 +1,63 @@
+"""Vectorized machine-model evaluation for the analytic tier.
+
+The discrete-event engine calls ``machine.p2p_time`` per message; the
+analytic model needs the same quantity for *millions* of (src, dst) pairs
+at paper scale (24K-32K ranks).  :class:`LinkModel` evaluates identical
+formulas with NumPy over rank arrays, so the closed-form phase estimates
+are consistent with the event simulator by construction (a consistency the
+test-suite checks pairwise on small machines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machines.base import MachineModel, TorusMachine
+
+__all__ = ["LinkModel"]
+
+
+class LinkModel:
+    """Vectorized ``p2p_time`` for a machine model."""
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self._torus = isinstance(machine, TorusMachine)
+        if self._torus:
+            self._dims = np.array(machine.torus.dims, dtype=np.int64)
+            self._cpn = machine.cores_per_node
+
+    def _hops(self, na: np.ndarray, nb: np.ndarray) -> np.ndarray:
+        """Wrap-around Manhattan distances between node arrays."""
+        ca = np.stack(np.unravel_index(na, tuple(self._dims)), axis=-1)
+        cb = np.stack(np.unravel_index(nb, tuple(self._dims)), axis=-1)
+        delta = np.abs(ca - cb)
+        return np.minimum(delta, self._dims - delta).sum(axis=-1)
+
+    def wire_times(self, src: np.ndarray, dst: np.ndarray, nbytes: float) -> np.ndarray:
+        """Per-pair message times, identical to ``machine.p2p_time``."""
+        m = self.machine
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if not self._torus:
+            t = np.where(
+                src == dst,
+                m.alpha_local + nbytes * m.beta_local,
+                m.alpha + nbytes * m.beta,
+            )
+            return t
+        na, nb = src // self._cpn, dst // self._cpn
+        hops = self._hops(na, nb)
+        share = m.cores_per_node * np.maximum(1.0, hops * m.route_congestion)
+        t = m.alpha + hops * m.alpha_hop + nbytes * m.beta * share
+        same_node = na == nb
+        if same_node.any():
+            t = np.where(same_node, m.alpha_node + nbytes * m.beta_node, t)
+        same_rank = src == dst
+        if same_rank.any():
+            t = np.where(same_rank, m.alpha_local + nbytes * m.beta_local, t)
+        return t
+
+    def max_wire_time(self, src: np.ndarray, dst: np.ndarray, nbytes: float) -> float:
+        """Max over pairs — the per-step gate of a uniform shift."""
+        return float(self.wire_times(src, dst, nbytes).max())

@@ -1,0 +1,63 @@
+"""Phase-breakdown records shared by the model and the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import fmt_time
+
+__all__ = ["PhaseBreakdown", "COMM_PHASES"]
+
+#: Phases counted as communication when computing "communication time".
+COMM_PHASES = ("bcast", "shift", "reduce", "reassign", "allgather", "halo")
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-timestep seconds by phase, plus free-form metadata.
+
+    The phase names match the event simulator's trace labels (``bcast``,
+    ``shift``, ``compute``, ``reduce``, ``reassign``, ``allgather``) so the
+    two tiers can be compared phase by phase.
+    """
+
+    phases: dict[str, float]
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Estimated execution time per timestep."""
+        return float(sum(self.phases.values()))
+
+    @property
+    def communication(self) -> float:
+        """Sum of the communication phases (everything but compute)."""
+        return float(
+            sum(v for k, v in self.phases.items() if k in COMM_PHASES)
+        )
+
+    @property
+    def computation(self) -> float:
+        return float(self.phases.get("compute", 0.0))
+
+    def get(self, phase: str) -> float:
+        return float(self.phases.get(phase, 0.0))
+
+    def scaled(self, factor: float) -> "PhaseBreakdown":
+        return PhaseBreakdown(
+            phases={k: v * factor for k, v in self.phases.items()},
+            meta=dict(self.meta),
+        )
+
+    def summary(self) -> str:
+        parts = [f"{k}={fmt_time(v)}" for k, v in self.phases.items()]
+        return f"total={fmt_time(self.total)} (" + ", ".join(parts) + ")"
+
+    @staticmethod
+    def from_report(report, labels: tuple[str, ...] = ()) -> "PhaseBreakdown":
+        """Build a breakdown from an event-simulation trace report,
+        taking the max over ranks per phase (critical-path convention)."""
+        phases = {}
+        for lab in labels or report.phase_labels():
+            phases[lab] = report.max_time(lab)
+        return PhaseBreakdown(phases=phases)

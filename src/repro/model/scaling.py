@@ -1,0 +1,147 @@
+"""Strong-scaling efficiency series (Figures 3 and 7).
+
+The paper plots *relative efficiency vs. one core*: ``eff(p) = T_serial /
+(p * T_step(p))``.  The serial baseline does exactly the physically
+necessary work — all ``n^2`` pair evaluations for all-pairs, and the
+expected number of within-cutoff candidate pairs for cutoff runs (a serial
+cell-list code scans its own cell neighborhood) — so the parallel runs pay
+their real overheads: communication, replication collectives, window
+granularity, and boundary imbalance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.model.analytic import allpairs_breakdown, cutoff_breakdown
+from repro.model.phases import PhaseBreakdown
+
+__all__ = [
+    "allpairs_efficiency",
+    "allpairs_weak_scaling",
+    "cutoff_efficiency",
+    "serial_time_allpairs",
+    "serial_time_cutoff",
+]
+
+
+def serial_time_allpairs(pair_time: float, n: int) -> float:
+    """One core evaluating every ordered pair once."""
+    return pair_time * float(n) * float(n)
+
+
+def serial_time_cutoff(
+    pair_time: float, n: int, rcut: float, box_length: float, dim: int
+) -> float:
+    """One core doing the necessary work: ``n * k`` evaluations with ``k``
+    the expected partner count within the cutoff *ball* — the paper's
+    Equation 7 (``k = (2 r_c / l) n`` in 1-D) extended to ``d`` dimensions
+    with the d-ball volume ``V_d r_c^d`` (``pi r_c^2`` in 2-D).  The
+    parallel code scans more (its window is quantized to team regions and
+    only prunes block pairs, not particle pairs), which is part of its
+    measured inefficiency."""
+    ball = math.pi ** (dim / 2.0) / math.gamma(dim / 2.0 + 1.0)
+    frac = min(1.0, ball * (rcut / box_length) ** dim)
+    return pair_time * float(n) * float(n) * frac
+
+
+def _efficiency(serial: float, p: int, step: PhaseBreakdown) -> float:
+    t = step.meta.get("makespan", step.total)
+    return serial / (p * t)
+
+
+def allpairs_efficiency(
+    machine_factory: Callable[[int], object],
+    n: int,
+    machine_sizes: Sequence[int],
+    cs: Sequence[int],
+    *,
+    dim: int = 2,
+) -> dict[int, list[tuple[int, float]]]:
+    """Efficiency series per replication factor.
+
+    Returns ``{c: [(p, efficiency), ...]}``; (p, c) combinations where
+    ``c`` does not divide ``p`` are skipped (as the paper's plots do).
+    """
+    out: dict[int, list[tuple[int, float]]] = {c: [] for c in cs}
+    for p in machine_sizes:
+        machine = machine_factory(p)
+        serial = serial_time_allpairs(machine.pair_time, n)
+        for c in cs:
+            # The paper's runs keep c^2 | p (integral p/c^2 shift steps);
+            # padded schedules load-balance worse, so skip those points.
+            if p % c or c * c > p or (p // c) % c:
+                continue
+            step = allpairs_breakdown(machine, n, c, dim=dim)
+            out[c].append((p, _efficiency(serial, p, step)))
+    return out
+
+
+def cutoff_efficiency(
+    machine_factory: Callable[[int], object],
+    n: int,
+    machine_sizes: Sequence[int],
+    cs: Sequence[int],
+    *,
+    rcut: float,
+    box_length: float,
+    dim: int,
+    migrate_fraction: float = 0.05,
+) -> dict[int, list[tuple[int, float]]]:
+    """Efficiency series per replication factor for cutoff simulations.
+
+    Skips (p, c) combinations that are infeasible: ``c`` must divide ``p``
+    and the replication must "fit inside" the interaction window (the
+    paper's ``c <= 2m`` practicality constraint, which here generalizes to
+    ``c <= window size``).
+    """
+    out: dict[int, list[tuple[int, float]]] = {c: [] for c in cs}
+    for p in machine_sizes:
+        machine = machine_factory(p)
+        serial = serial_time_cutoff(machine.pair_time, n, rcut, box_length, dim)
+        for c in cs:
+            if p % c or c * c > p:
+                continue
+            step = cutoff_breakdown(
+                machine, n, c, rcut=rcut, box_length=box_length, dim=dim,
+                migrate_fraction=migrate_fraction,
+            )
+            if c > step.meta["window"]:
+                continue
+            out[c].append((p, _efficiency(serial, p, step)))
+    return out
+
+
+def allpairs_weak_scaling(
+    machine_factory: Callable[[int], object],
+    base_n: int,
+    machine_sizes: Sequence[int],
+    cs: Sequence[int],
+    *,
+    dim: int = 2,
+) -> dict[int, list[tuple[int, int, float, float]]]:
+    """Weak-scaling study (an extension; the paper is strong-scaling only).
+
+    All-pairs work is ``n^2 / p`` per core, so the per-core load stays
+    constant when ``n`` grows as ``sqrt(p)``: ``n(p) = base_n *
+    sqrt(p / p_min)``.  Returns ``{c: [(p, n, seconds, efficiency)]}``
+    where efficiency is the smallest machine's step time over this one's
+    (1.0 = perfect weak scaling).  Infeasible (p, c) points are skipped as
+    in the strong-scaling series.
+    """
+    out: dict[int, list[tuple[int, int, float, float]]] = {c: [] for c in cs}
+    p_min = min(machine_sizes)
+    for c in cs:
+        base_time = None
+        for p in sorted(machine_sizes):
+            if p % c or c * c > p or (p // c) % c:
+                continue
+            n = int(round(base_n * math.sqrt(p / p_min)))
+            machine = machine_factory(p)
+            step = allpairs_breakdown(machine, n, c, dim=dim)
+            t = step.meta.get("makespan", step.total)
+            if base_time is None:
+                base_time = t
+            out[c].append((p, n, t, base_time / t))
+    return out

@@ -1,0 +1,45 @@
+"""Reflective boundary conditions on the simulation box.
+
+The paper's test code "simulates particles moving in a two-dimensional
+space with reflective boundary conditions": a particle crossing a wall
+re-enters mirrored, with the normal velocity component negated.  The fold
+below handles arbitrarily many wall crossings in a single step (triangle-
+wave folding with period ``2 L``), so it is robust to large ``dt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reflect", "wrap_periodic"]
+
+
+def reflect(pos: np.ndarray, vel: np.ndarray, box_length: float) -> None:
+    """Fold ``pos`` into ``[0, box_length]`` in place, reflecting ``vel``.
+
+    Works component-wise on ``(n, d)`` arrays.  Positions exactly on a wall
+    stay put.  An odd number of wall crossings flips the corresponding
+    velocity component.
+    """
+    if box_length <= 0:
+        raise ValueError(f"box_length must be positive, got {box_length}")
+    L = float(box_length)
+    # Position within the doubled period [0, 2L).
+    folded = np.mod(pos, 2.0 * L)
+    over = folded > L
+    np.subtract(2.0 * L, folded, out=folded, where=over)
+    # Velocity flips when the triangle wave is on its descending branch.
+    np.negative(vel, out=vel, where=over)
+    pos[:] = folded
+
+
+def wrap_periodic(pos: np.ndarray, box_length: float) -> None:
+    """Wrap ``pos`` into ``[0, box_length)`` in place (periodic box).
+
+    The reproduction's periodic-boundary extension: velocities are
+    untouched, positions are taken modulo the box.  Positions that land
+    exactly on ``box_length`` map to 0.
+    """
+    if box_length <= 0:
+        raise ValueError(f"box_length must be positive, got {box_length}")
+    np.mod(pos, box_length, out=pos)

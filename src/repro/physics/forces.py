@@ -1,0 +1,199 @@
+"""Pairwise force kernels.
+
+The paper's test problem: particles in a box exert a **repulsive force that
+drops off with the square of their distance** (magnitude ``k / r^2``,
+directed apart).  A Plummer-style softening length keeps the kernel finite
+at tiny separations; an optional cutoff radius ``rcut`` zeroes interactions
+beyond it (Section IV's distance-limited case — "particles have no effect
+beyond a cutoff radius").
+
+The kernels are fully vectorized over target x source pairs and chunk the
+target axis so the temporary ``(nt, ns, d)`` displacement tensor stays
+within a bounded memory footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ForceLaw", "pairwise_forces", "potential_energy"]
+
+# Cap on nt * ns per vectorized chunk (elements of the pair matrix).
+_CHUNK_PAIRS = 1 << 22
+
+
+@dataclass(frozen=True)
+class ForceLaw:
+    """Parameters of the repulsive inverse-square interaction.
+
+    Attributes
+    ----------
+    k:
+        Force constant (magnitude is ``k / r^2``).
+    softening:
+        Plummer softening length; ``r^2`` is replaced by
+        ``r^2 + softening^2``.
+    rcut:
+        Cutoff radius; ``None`` means interactions act at all distances.
+        With a cutoff, pairs at distance > rcut contribute exactly zero —
+        matching the paper's "no effect beyond a cutoff radius" setting.
+    box:
+        Periodic box length; ``None`` (the paper's setting) means open
+        space with reflective walls handled elsewhere.  When set,
+        displacements use the minimum-image convention — the reproduction's
+        periodic-boundary extension, which removes the boundary load
+        imbalance the paper discusses.
+    """
+
+    k: float = 1.0e-4
+    softening: float = 1.0e-3
+    rcut: float | None = None
+    box: float | None = None
+
+    def __post_init__(self):
+        if self.box is not None:
+            if self.box <= 0:
+                raise ValueError(f"periodic box must be positive, got {self.box}")
+            if self.rcut is not None and self.rcut > self.box / 2:
+                raise ValueError(
+                    f"rcut={self.rcut} exceeds half the periodic box "
+                    f"{self.box} (minimum image would be ambiguous)"
+                )
+
+    def with_rcut(self, rcut: float | None) -> "ForceLaw":
+        return ForceLaw(self.k, self.softening, rcut, self.box)
+
+    def with_box(self, box: float | None) -> "ForceLaw":
+        return ForceLaw(self.k, self.softening, self.rcut, box)
+
+
+def pairwise_forces(
+    law: ForceLaw,
+    target_pos: np.ndarray,
+    source_pos: np.ndarray,
+    *,
+    target_ids: np.ndarray | None = None,
+    source_ids: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+    pair_counter: np.ndarray | None = None,
+    reaction_out: np.ndarray | None = None,
+    half: bool = False,
+) -> tuple[np.ndarray, int]:
+    """Accumulate forces of ``source`` particles on ``target`` particles.
+
+    Parameters
+    ----------
+    target_pos, source_pos:
+        ``(nt, d)`` and ``(ns, d)`` position arrays.
+    target_ids, source_ids:
+        Global particle ids; when both are given, pairs with equal ids are
+        excluded (a particle never interacts with its own replica).
+    out:
+        ``(nt, d)`` accumulator to add into; a fresh zero array otherwise.
+    pair_counter:
+        Optional ``(n_global, n_global)`` integer matrix; entry ``[i, j]``
+        is incremented for every *accumulated* (target id i, source id j)
+        interaction.  Used by the exactly-once coverage tests.
+    reaction_out:
+        Optional ``(ns, d)`` accumulator receiving Newton's-third-law
+        reactions (``-F`` per pair) — the symmetric-force extension the
+        paper deliberately does not apply.  When given, the counter also
+        records the (source, target) direction.  For a block interacting
+        with itself, pass the *same* array as ``out`` together with
+        ``half=True``.
+    half:
+        Evaluate only pairs with ``target_id < source_id`` (requires ids
+        and ``reaction_out``): each unordered pair once.
+
+    Returns
+    -------
+    (forces, npairs_scanned):
+        The accumulator, and the number of candidate pairs scanned —
+        the computation cost the machine model charges (``nt * ns``, or
+        the ``nt (nt - 1) / 2`` upper triangle in ``half`` mode).
+    """
+    nt, d = target_pos.shape
+    ns = source_pos.shape[0]
+    if out is None:
+        out = np.zeros((nt, d), dtype=np.float64)
+    if half and (target_ids is None or source_ids is None or reaction_out is None):
+        raise ValueError("half=True requires ids and reaction_out")
+    if nt == 0 or ns == 0:
+        return out, 0
+
+    exclude_ids = target_ids is not None and source_ids is not None
+    eps2 = law.softening * law.softening
+    rcut2 = None if law.rcut is None else law.rcut * law.rcut
+
+    chunk = max(1, _CHUNK_PAIRS // max(ns, 1))
+    for lo in range(0, nt, chunk):
+        hi = min(lo + chunk, nt)
+        dr = target_pos[lo:hi, None, :] - source_pos[None, :, :]  # (m, ns, d)
+        if law.box is not None:
+            dr -= law.box * np.round(dr / law.box)  # minimum image
+        r2 = np.einsum("ijk,ijk->ij", dr, dr)
+        live = None
+        if half:
+            live = target_ids[lo:hi, None] < source_ids[None, :]
+        elif exclude_ids:
+            live = target_ids[lo:hi, None] != source_ids[None, :]
+        if rcut2 is not None:
+            within = r2 <= rcut2
+            live = within if live is None else (live & within)
+        # F = k * dr / (r^2 + eps^2)^(3/2): repulsive inverse-square.
+        denom = (r2 + eps2) ** 1.5
+        if live is not None:
+            # Masked pairs (self/replica/beyond-cutoff) may sit at zero
+            # distance; keep their excluded denominators finite.
+            denom = np.where(live, denom, 1.0)
+        w = law.k / denom
+        if live is not None:
+            w = np.where(live, w, 0.0)
+        out[lo:hi] += np.einsum("ij,ijk->ik", w, dr)
+        if reaction_out is not None:
+            reaction_out -= np.einsum("ij,ijk->jk", w, dr)
+        if pair_counter is not None:
+            mask = np.ones_like(r2, dtype=bool) if live is None else live
+            ti = np.asarray(target_ids[lo:hi], dtype=np.intp)
+            si = np.asarray(source_ids, dtype=np.intp)
+            ii, jj = np.nonzero(mask)
+            np.add.at(pair_counter, (ti[ii], si[jj]), 1)
+            if reaction_out is not None:
+                np.add.at(pair_counter, (si[jj], ti[ii]), 1)
+    npairs = nt * (nt - 1) // 2 if half and nt == ns else nt * ns
+    return out, npairs
+
+
+def potential_energy(
+    law: ForceLaw,
+    pos: np.ndarray,
+    *,
+    ids: np.ndarray | None = None,
+) -> float:
+    """Total potential energy of the configuration (diagnostics only).
+
+    The potential conjugate to ``F = k dr / (r^2 + eps^2)^{3/2}`` is
+    ``U(r) = k / sqrt(r^2 + eps^2)``; each unordered pair counts once.
+    With a cutoff the potential is truncated (not shifted), which is fine
+    for the smoke-level conservation checks the tests perform.
+    """
+    n, _ = pos.shape
+    if n < 2:
+        return 0.0
+    eps2 = law.softening * law.softening
+    rcut2 = None if law.rcut is None else law.rcut * law.rcut
+    total = 0.0
+    chunk = max(1, _CHUNK_PAIRS // n)
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        dr = pos[lo:hi, None, :] - pos[None, :, :]
+        if law.box is not None:
+            dr -= law.box * np.round(dr / law.box)
+        r2 = np.einsum("ijk,ijk->ij", dr, dr)
+        iu = np.arange(lo, hi)[:, None] < np.arange(n)[None, :]
+        if rcut2 is not None:
+            iu &= r2 <= rcut2
+        total += float((law.k / np.sqrt(r2[iu] + eps2)).sum())
+    return total

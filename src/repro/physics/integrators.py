@@ -1,0 +1,46 @@
+"""Time integrators for the particle simulation.
+
+Two schemes are provided:
+
+* **symplectic Euler** (kick then drift) — what a minimal benchmark loop
+  uses; cheap and adequate for timing studies;
+* **velocity Verlet** split into :func:`kick` / :func:`drift` halves, so
+  the distributed driver can interleave the force recomputation between the
+  two half-kicks in the standard way.
+
+All functions operate in place on the arrays of a
+:class:`~repro.physics.particles.ParticleSet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["drift", "euler_step", "kick", "kinetic_energy"]
+
+
+def kick(vel: np.ndarray, forces: np.ndarray, dt: float, mass: float = 1.0) -> None:
+    """``vel += forces / mass * dt`` (in place)."""
+    vel += forces * (dt / mass)
+
+
+def drift(pos: np.ndarray, vel: np.ndarray, dt: float) -> None:
+    """``pos += vel * dt`` (in place)."""
+    pos += vel * dt
+
+
+def euler_step(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    forces: np.ndarray,
+    dt: float,
+    mass: float = 1.0,
+) -> None:
+    """One symplectic-Euler step: kick with current forces, then drift."""
+    kick(vel, forces, dt, mass)
+    drift(pos, vel, dt)
+
+
+def kinetic_energy(vel: np.ndarray, mass: float = 1.0) -> float:
+    """Total kinetic energy ``sum(m |v|^2 / 2)``."""
+    return 0.5 * mass * float(np.einsum("ij,ij->", vel, vel))

@@ -1,0 +1,45 @@
+"""Particle snapshot I/O (NumPy ``.npz`` container).
+
+Minimal, dependency-free persistence for simulation states: positions,
+velocities and ids round-trip exactly.  Used by the examples and by any
+workflow that wants to checkpoint a driver run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.physics.particles import ParticleSet
+
+__all__ = ["load_particles", "save_particles"]
+
+_FORMAT_VERSION = 1
+
+
+def save_particles(path: str | os.PathLike, particles: ParticleSet) -> None:
+    """Write a particle set to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        pos=particles.pos,
+        vel=particles.vel,
+        ids=particles.ids,
+    )
+
+
+def load_particles(path: str | os.PathLike) -> ParticleSet:
+    """Read a particle set written by :func:`save_particles`."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        return ParticleSet(
+            pos=data["pos"].copy(),
+            vel=data["vel"].copy(),
+            ids=data["ids"].copy(),
+        )

@@ -1,0 +1,195 @@
+"""Interaction kernels: the pluggable "what happens when blocks meet".
+
+The CA algorithms are written once, against this small interface:
+
+* ``travel_of(home, team)`` — build the exchange-buffer payload for a home
+  block;
+* ``interact(home, travel)`` — accumulate the visiting block's force
+  contributions onto the home block, returning the number of candidate
+  pairs scanned (the compute cost to charge);
+* ``forces_payload`` / ``reduce_op`` / ``install_forces`` — what the final
+  in-team sum-reduction moves and how it combines.
+
+:class:`RealKernel` computes actual forces with the vectorized NumPy
+kernel (and can record a pair-coverage matrix for the exactly-once tests);
+:class:`VirtualKernel` moves only particle *counts*, enabling modeled runs
+at the paper's machine scales.  Because both satisfy the same interface,
+every algorithm is exercised functionally by the tests and at scale by the
+benchmarks with identical control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physics.forces import ForceLaw, pairwise_forces
+from repro.physics.particles import HomeBlock, TravelBlock, VirtualBlock
+
+__all__ = ["RealKernel", "VirtualForces", "VirtualKernel"]
+
+#: Bytes per particle of a force contribution on the wire (d doubles).
+_FORCE_BYTES_PER_COMPONENT = 8
+
+
+@dataclass
+class RealKernel:
+    """Kernel computing actual forces on real particle data.
+
+    Parameters
+    ----------
+    law:
+        Force law (constant, softening, optional cutoff radius).
+    pair_counter:
+        Optional global ``(n, n)`` integer matrix; every accumulated
+        (target id, source id) interaction increments one entry.  Tests use
+        it to prove each ordered pair is computed exactly once.
+    """
+
+    law: ForceLaw
+    pair_counter: np.ndarray | None = None
+
+    def home_of(self, block) -> HomeBlock:
+        """Wrap a broadcast team block into this rank's home block.
+
+        The particle arrays may be shared read-only across the team (the
+        broadcast moves one object); every rank gets a private force
+        accumulator.
+        """
+        if isinstance(block, HomeBlock):
+            block = block.particles
+        return HomeBlock(particles=block)
+
+    def travel_of(self, home: HomeBlock, team: int) -> TravelBlock:
+        p = home.particles
+        return TravelBlock(pos=p.pos.copy(), ids=p.ids.copy(), team=team)
+
+    def interact(self, home: HomeBlock, travel: TravelBlock) -> int:
+        _, npairs = pairwise_forces(
+            self.law,
+            home.particles.pos,
+            travel.pos,
+            target_ids=home.particles.ids,
+            source_ids=travel.ids,
+            out=home.forces,
+            pair_counter=self.pair_counter,
+        )
+        return npairs
+
+    def forces_payload(self, home: HomeBlock) -> np.ndarray:
+        return home.forces
+
+    @staticmethod
+    def reduce_op(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a + b
+
+    def install_forces(self, home: HomeBlock, payload) -> None:
+        if payload is not None:
+            home.forces = np.asarray(payload)
+
+    # -- symmetric (Newton's third law) extension --------------------------
+
+    def travel_of_symmetric(self, home: HomeBlock, team: int) -> TravelBlock:
+        """Exchange buffer carrying a reaction-force accumulator."""
+        p = home.particles
+        return TravelBlock(pos=p.pos.copy(), ids=p.ids.copy(), team=team,
+                           forces=np.zeros_like(p.pos))
+
+    def interact_symmetric(self, home: HomeBlock, travel: TravelBlock) -> int:
+        """One pass over home x travel pairs, reactions onto the buffer."""
+        if travel.forces is None:
+            raise ValueError("symmetric interaction needs a reaction buffer")
+        _, npairs = pairwise_forces(
+            self.law,
+            home.particles.pos,
+            travel.pos,
+            target_ids=home.particles.ids,
+            source_ids=travel.ids,
+            out=home.forces,
+            reaction_out=travel.forces,
+            pair_counter=self.pair_counter,
+        )
+        return npairs
+
+    def interact_self_half(self, home: HomeBlock) -> int:
+        """The home block with itself: each unordered pair once."""
+        p = home.particles
+        _, npairs = pairwise_forces(
+            self.law,
+            p.pos,
+            p.pos,
+            target_ids=p.ids,
+            source_ids=p.ids,
+            out=home.forces,
+            reaction_out=home.forces,
+            half=True,
+            pair_counter=self.pair_counter,
+        )
+        return npairs
+
+    def absorb_reactions(self, home: HomeBlock, travel: TravelBlock) -> None:
+        """Fold a returned buffer's reactions into the home accumulator."""
+        if travel.forces is not None:
+            home.forces += travel.forces
+
+
+@dataclass
+class VirtualForces:
+    """Force-contribution payload for phantom blocks (wire size only)."""
+
+    count: int
+    dim: int
+
+    @property
+    def wire_nbytes(self) -> int:
+        return _FORCE_BYTES_PER_COMPONENT * self.dim * self.count
+
+
+@dataclass
+class VirtualKernel:
+    """Kernel over phantom blocks: counts pairs, moves no data.
+
+    ``dim`` fixes the force payload size per particle for the reduction
+    phase's bandwidth accounting.
+    """
+
+    dim: int = 2
+
+    def home_of(self, block: VirtualBlock) -> VirtualBlock:
+        return VirtualBlock(count=block.count, team=block.team)
+
+    def travel_of(self, home: VirtualBlock, team: int) -> VirtualBlock:
+        return VirtualBlock(count=home.count, team=team)
+
+    def interact(self, home: VirtualBlock, travel: VirtualBlock) -> int:
+        return home.count * travel.count
+
+    def forces_payload(self, home: VirtualBlock) -> VirtualForces:
+        return VirtualForces(count=home.count, dim=self.dim)
+
+    @staticmethod
+    def reduce_op(a: "VirtualForces", b: "VirtualForces") -> "VirtualForces":
+        if a.count != b.count:
+            raise ValueError(
+                f"mismatched virtual force payloads: {a.count} vs {b.count}"
+            )
+        return a
+
+    def install_forces(self, home: VirtualBlock, payload) -> None:
+        return None
+
+    # -- symmetric (Newton's third law) extension --------------------------
+
+    def travel_of_symmetric(self, home: VirtualBlock, team: int) -> VirtualBlock:
+        return VirtualBlock(count=home.count, team=team,
+                            extra_bytes=_FORCE_BYTES_PER_COMPONENT * self.dim)
+
+    def interact_symmetric(self, home: VirtualBlock, travel: VirtualBlock) -> int:
+        return home.count * travel.count
+
+    def interact_self_half(self, home: VirtualBlock) -> int:
+        return home.count * (home.count - 1) // 2
+
+    def absorb_reactions(self, home: VirtualBlock, travel: VirtualBlock) -> None:
+        return None

@@ -1,0 +1,64 @@
+"""A deterministic, discrete-event simulated MPI.
+
+This package stands in for the MPI + supercomputer substrate the paper's
+experiments ran on.  Rank programs are Python generators communicating
+through :class:`~repro.simmpi.comm.Comm` handles; the
+:class:`~repro.simmpi.engine.Engine` really moves payloads between ranks
+(so algorithm correctness is exercised end-to-end) while advancing per-rank
+virtual clocks according to a pluggable machine model (so the communication
+*time* structure of the paper's experiments is reproduced).
+
+Quick example::
+
+    from repro.simmpi import Engine
+    from repro.machines import GenericMachine
+
+    def program(comm):
+        total = yield from comm.allreduce(comm.rank, lambda a, b: a + b)
+        return total
+
+    result = Engine(GenericMachine(nranks=8)).run(program)
+    assert result.results == [28] * 8
+"""
+
+from repro.simmpi.cart import PROC_NULL, CartComm
+from repro.simmpi.comm import Comm
+from repro.simmpi.engine import Engine, Request, RunResult
+from repro.simmpi.errors import (
+    DeadlockError,
+    InvalidRankError,
+    InvalidTagError,
+    RankFailedError,
+    SimMPIError,
+)
+from repro.simmpi.collectives_ext import allreduce_rabenseifner, bcast_pipelined
+from repro.simmpi.payload import join_payloads, payload_nbytes, split_payload
+from repro.simmpi.topology import ReplicatedGrid, ring_shift
+from repro.simmpi.tracing import (PhaseTotals, RankTrace, TimelineEvent,
+                                  TraceReport, timeline_to_json)
+
+__all__ = [
+    "CartComm",
+    "Comm",
+    "PROC_NULL",
+    "allreduce_rabenseifner",
+    "bcast_pipelined",
+    "join_payloads",
+    "split_payload",
+    "DeadlockError",
+    "Engine",
+    "InvalidRankError",
+    "InvalidTagError",
+    "PhaseTotals",
+    "RankFailedError",
+    "RankTrace",
+    "ReplicatedGrid",
+    "Request",
+    "RunResult",
+    "SimMPIError",
+    "TimelineEvent",
+    "TraceReport",
+    "payload_nbytes",
+    "ring_shift",
+    "timeline_to_json",
+]

@@ -1,0 +1,160 @@
+"""Cartesian communicators (the ``MPI_Cart_*`` surface).
+
+A :class:`CartComm` embeds a communicator's ranks in an n-dimensional grid
+with per-axis periodicity — the abstraction spatial codes (including the
+paper's cutoff experiments) are normally written against.  It wraps a
+:class:`~repro.simmpi.comm.Comm` and adds coordinate arithmetic plus the
+``shift``/``neighbor`` helpers; all communication still flows through the
+wrapped communicator, so tracing and machine models apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simmpi.errors import InvalidRankError
+from repro.util import require
+
+__all__ = ["CartComm"]
+
+#: Value returned for a neighbor beyond a non-periodic edge (MPI_PROC_NULL).
+PROC_NULL = -1
+
+
+@dataclass
+class CartComm:
+    """A communicator with an attached Cartesian topology.
+
+    Build with :meth:`create`; all members must pass identical arguments
+    (like ``MPI_Cart_create``, but with no communication needed — the
+    embedding is deterministic: rank = row-major index of the coords).
+    """
+
+    comm: object
+    dims: tuple[int, ...]
+    periods: tuple[bool, ...]
+
+    @classmethod
+    def create(cls, comm, dims: tuple[int, ...],
+               periods: tuple[bool, ...] | bool = False) -> "CartComm":
+        """Attach an n-d grid topology to ``comm``.
+
+        ``prod(dims)`` must equal ``comm.size``.  ``periods`` may be a
+        single bool (all axes) or one per axis.
+        """
+        dims = tuple(int(d) for d in dims)
+        prod = 1
+        for d in dims:
+            require(d >= 1, f"grid dims must be >= 1, got {dims}")
+            prod *= d
+        require(prod == comm.size,
+                f"grid {dims} has {prod} slots, communicator has {comm.size}")
+        if isinstance(periods, bool):
+            periods = (periods,) * len(dims)
+        periods = tuple(bool(x) for x in periods)
+        require(len(periods) == len(dims), "one periodicity flag per axis")
+        return cls(comm=comm, dims=dims, periods=periods)
+
+    # -- coordinates -------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This rank's grid coordinates."""
+        return self.coords_of(self.comm.rank)
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        require(0 <= rank < self.comm.size, f"rank {rank} out of range")
+        out = []
+        for d in reversed(self.dims):
+            rank, r = divmod(rank, d)
+            out.append(r)
+        return tuple(reversed(out))
+
+    def rank_of(self, coords: tuple[int, ...]) -> int:
+        """Rank at ``coords``; wraps periodic axes, PROC_NULL otherwise."""
+        rank = 0
+        for x, d, per in zip(coords, self.dims, self.periods):
+            if per:
+                x %= d
+            elif not 0 <= x < d:
+                return PROC_NULL
+            rank = rank * d + x
+        return rank
+
+    # -- neighbors ----------------------------------------------------------
+
+    def shift(self, axis: int, disp: int = 1) -> tuple[int, int]:
+        """(source, destination) ranks for a shift along ``axis`` —
+        ``MPI_Cart_shift`` semantics, PROC_NULL beyond non-periodic edges."""
+        require(0 <= axis < self.ndim, f"axis {axis} out of range")
+        me = list(self.coords)
+        dst = list(me)
+        dst[axis] += disp
+        src = list(me)
+        src[axis] -= disp
+        return self.rank_of(tuple(src)), self.rank_of(tuple(dst))
+
+    def neighbors(self) -> list[int]:
+        """Face neighbors (±1 per axis), excluding PROC_NULL, deduplicated."""
+        out = set()
+        for axis in range(self.ndim):
+            for disp in (-1, 1):
+                _, dst = self.shift(axis, disp)
+                if dst != PROC_NULL and dst != self.comm.rank:
+                    out.add(dst)
+        return sorted(out)
+
+    # -- communication helpers -------------------------------------------------
+
+    def shift_exchange(self, axis: int, payload, disp: int = 1, tag: int = 0):
+        """Sendrecv along ``axis``; returns the received payload or ``None``
+        at a non-periodic edge (generator)."""
+        src, dst = self.shift(axis, disp)
+        if src == PROC_NULL and dst == PROC_NULL:
+            return None
+        reqs = []
+        if dst != PROC_NULL:
+            sreq = yield from self.comm.isend(dst, payload, tag)
+            reqs.append(sreq)
+        received = None
+        if src != PROC_NULL:
+            rreq = yield from self.comm.irecv(src, tag)
+            reqs.append(rreq)
+            payloads = yield from self.comm.wait(*reqs)
+            received = payloads[-1]
+        elif reqs:
+            yield from self.comm.wait(*reqs)
+        return received
+
+    def sub_cart(self, keep_axes: tuple[int, ...]) -> "CartComm | None":
+        """Sub-grid keeping ``keep_axes`` and fixing the rest at this
+        rank's coordinates (``MPI_Cart_sub``)."""
+        keep = tuple(sorted(set(int(a) for a in keep_axes)))
+        for a in keep:
+            require(0 <= a < self.ndim, f"axis {a} out of range")
+        me = self.coords
+        members = []
+
+        def rec(axis, coords):
+            if axis == self.ndim:
+                members.append(self.rank_of(tuple(coords)))
+                return
+            if axis in keep:
+                for x in range(self.dims[axis]):
+                    rec(axis + 1, coords + [x])
+            else:
+                rec(axis + 1, coords + [me[axis]])
+
+        rec(0, [])
+        sub = self.comm.sub(members)
+        if sub is None:  # pragma: no cover - member by construction
+            raise InvalidRankError("rank missing from its own sub-grid")
+        return CartComm(
+            comm=sub,
+            dims=tuple(self.dims[a] for a in keep),
+            periods=tuple(self.periods[a] for a in keep),
+        )

@@ -1,0 +1,284 @@
+"""Software collectives built from point-to-point messages.
+
+These are textbook tree/dissemination algorithms (binomial broadcast,
+binomial reduce/gather/scatter, recursive-doubling allreduce/allgather,
+dissemination barrier, pairwise alltoall).  Because they are expressed in
+terms of :class:`~repro.simmpi.comm.Comm` point-to-point operations, their
+simulated cost automatically reflects the machine model — tree edges between
+ranks that are far apart in the torus cost more, which is exactly the effect
+the paper blames for collectives "failing to scale logarithmically" at large
+replication factors.
+
+Every function is a generator to be driven with ``yield from``.  All message
+tags live in the reserved collective tag space (one sub-space per collective
+kind), so user point-to-point traffic can never be confused with collective
+traffic on the same communicator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.simmpi.errors import InvalidRankError
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "scatter",
+]
+
+# Per-kind tag offsets within the collective tag space.
+_TAG_BCAST = 0
+_TAG_REDUCE = 1
+_TAG_ALLREDUCE = 2
+_TAG_GATHER = 3
+_TAG_SCATTER = 4
+_TAG_ALLGATHER = 5
+_TAG_ALLTOALL = 6
+_TAG_BARRIER = 7
+
+
+def _check_root(comm, root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise InvalidRankError(f"root {root} out of range for size {comm.size}")
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def bcast(comm, value: Any, root: int = 0):
+    """Binomial-tree broadcast rooted at ``root``; O(log p) depth."""
+    _check_root(comm, root)
+    size = comm.size
+    if size == 1:
+        return value
+    rel = (comm.rank - root) % size
+
+    # Receive phase: a non-root rank receives from the rank that differs in
+    # its lowest set bit.
+    mask = 1
+    recv_mask = 0
+    while mask < size:
+        if rel & mask:
+            src = ((rel - mask) + root) % size
+            req = yield from comm.irecv(src, _TAG_BCAST, _collective=True)
+            (value,) = yield from comm.wait(req)
+            recv_mask = mask
+            break
+        mask <<= 1
+    else:
+        # Only the root exits without receiving; mask is now >= size.
+        recv_mask = mask
+
+    # Send phase: forward to ranks that differ in each lower bit.
+    mask = recv_mask >> 1
+    while mask > 0:
+        if rel + mask < size:
+            dst = (rel + mask + root) % size
+            req = yield from comm.isend(dst, value, _TAG_BCAST, _collective=True)
+            yield from comm.wait(req)
+        mask >>= 1
+    return value
+
+
+def reduce(comm, value: Any, op: Callable[[Any, Any], Any], root: int = 0):
+    """Binomial-tree reduction to ``root``; non-roots return ``None``.
+
+    The combination order is deterministic (child contributions are folded
+    in increasing bit order), so repeated runs give bitwise-identical
+    results; different tree shapes (e.g. different ``c``) may differ in the
+    last floating-point bits, as on a real machine.
+    """
+    _check_root(comm, root)
+    size = comm.size
+    if size == 1:
+        return value
+    rel = (comm.rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            dst = ((rel - mask) + root) % size
+            req = yield from comm.isend(dst, acc, _TAG_REDUCE, _collective=True)
+            yield from comm.wait(req)
+            return None
+        partner = rel | mask
+        if partner < size:
+            src = (partner + root) % size
+            req = yield from comm.irecv(src, _TAG_REDUCE, _collective=True)
+            (other,) = yield from comm.wait(req)
+            acc = op(acc, other)
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm, value: Any, op: Callable[[Any, Any], Any]):
+    """Recursive-doubling allreduce (power-of-two sizes); otherwise
+    reduce-to-0 followed by broadcast."""
+    size = comm.size
+    if size == 1:
+        return value
+    if not _is_pow2(size):
+        acc = yield from reduce(comm, value, op, 0)
+        acc = yield from bcast(comm, acc, 0)
+        return acc
+    acc = value
+    mask = 1
+    while mask < size:
+        partner = comm.rank ^ mask
+        sreq = yield from comm.isend(partner, acc, _TAG_ALLREDUCE, _collective=True)
+        rreq = yield from comm.irecv(partner, _TAG_ALLREDUCE, _collective=True)
+        _, other = yield from comm.wait(sreq, rreq)
+        # Fold in a globally consistent order so non-commutative ops agree.
+        acc = op(acc, other) if comm.rank < partner else op(other, acc)
+        mask <<= 1
+    return acc
+
+
+def gather(comm, value: Any, root: int = 0):
+    """Binomial-tree gather; ``root`` returns the rank-ordered list."""
+    _check_root(comm, root)
+    size = comm.size
+    if size == 1:
+        return [value]
+    rel = (comm.rank - root) % size
+    # Accumulate a dict {relative_rank: value} up the tree.
+    held: dict[int, Any] = {rel: value}
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            dst = ((rel - mask) + root) % size
+            req = yield from comm.isend(dst, held, _TAG_GATHER, _collective=True)
+            yield from comm.wait(req)
+            return None
+        partner = rel | mask
+        if partner < size:
+            src = (partner + root) % size
+            req = yield from comm.irecv(src, _TAG_GATHER, _collective=True)
+            (other,) = yield from comm.wait(req)
+            held.update(other)
+        mask <<= 1
+    return [held[(r - root) % size] for r in range(size)]
+
+
+def scatter(comm, values: Sequence[Any] | None, root: int = 0):
+    """Binomial-tree scatter from ``root``; returns this rank's item."""
+    _check_root(comm, root)
+    size = comm.size
+    if comm.rank == root:
+        if values is None or len(values) != size:
+            raise ValueError(
+                f"scatter root must supply exactly {size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+    if size == 1:
+        return values[0]
+    rel = (comm.rank - root) % size
+
+    if rel == 0:
+        held = {i: values[(i + root) % size] for i in range(size)}
+        recv_mask = 1
+        while recv_mask < size:
+            recv_mask <<= 1
+    else:
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                src = ((rel - mask) + root) % size
+                req = yield from comm.irecv(src, _TAG_SCATTER, _collective=True)
+                (held,) = yield from comm.wait(req)
+                recv_mask = mask
+                break
+            mask <<= 1
+
+    # Forward each sub-block down the tree.
+    mask = recv_mask >> 1
+    while mask > 0:
+        if rel + mask < size:
+            dst = (rel + mask + root) % size
+            sub = {i: held[i] for i in range(rel + mask, min(rel + 2 * mask, size))}
+            req = yield from comm.isend(dst, sub, _TAG_SCATTER, _collective=True)
+            yield from comm.wait(req)
+            for i in sub:
+                del held[i]
+        mask >>= 1
+    return held[rel]
+
+
+def allgather(comm, value: Any):
+    """Recursive-doubling allgather (power-of-two sizes); otherwise
+    gather-to-0 followed by broadcast.  Returns the rank-ordered list."""
+    size = comm.size
+    if size == 1:
+        return [value]
+    if not _is_pow2(size):
+        lst = yield from gather(comm, value, 0)
+        lst = yield from bcast(comm, lst, 0)
+        return lst
+    held: dict[int, Any] = {comm.rank: value}
+    mask = 1
+    while mask < size:
+        partner = comm.rank ^ mask
+        sreq = yield from comm.isend(partner, held, _TAG_ALLGATHER, _collective=True)
+        rreq = yield from comm.irecv(partner, _TAG_ALLGATHER, _collective=True)
+        _, other = yield from comm.wait(sreq, rreq)
+        held = {**held, **other}
+        mask <<= 1
+    return [held[r] for r in range(size)]
+
+
+def alltoall(comm, values: Sequence[Any]):
+    """Personalized all-to-all exchange.
+
+    Pairwise-XOR schedule for power-of-two sizes, ring schedule otherwise;
+    both are contention-friendly and deadlock-free.  Returns the list whose
+    ``i``-th entry came from rank ``i``.
+    """
+    size = comm.size
+    if len(values) != size:
+        raise ValueError(f"alltoall needs exactly {size} values, got {len(values)}")
+    result: list[Any] = [None] * size
+    result[comm.rank] = values[comm.rank]
+    if size == 1:
+        return result
+    if _is_pow2(size):
+        for k in range(1, size):
+            partner = comm.rank ^ k
+            sreq = yield from comm.isend(
+                partner, values[partner], _TAG_ALLTOALL, _collective=True
+            )
+            rreq = yield from comm.irecv(partner, _TAG_ALLTOALL, _collective=True)
+            _, got = yield from comm.wait(sreq, rreq)
+            result[partner] = got
+    else:
+        for k in range(1, size):
+            dst = (comm.rank + k) % size
+            src = (comm.rank - k) % size
+            sreq = yield from comm.isend(
+                dst, values[dst], _TAG_ALLTOALL, _collective=True
+            )
+            rreq = yield from comm.irecv(src, _TAG_ALLTOALL, _collective=True)
+            _, got = yield from comm.wait(sreq, rreq)
+            result[src] = got
+    return result
+
+
+def barrier(comm):
+    """Dissemination barrier: ceil(log2 p) rounds of zero-byte messages."""
+    size = comm.size
+    if size == 1:
+        return
+    k = 1
+    while k < size:
+        dst = (comm.rank + k) % size
+        src = (comm.rank - k) % size
+        sreq = yield from comm.isend(dst, None, _TAG_BARRIER, _collective=True)
+        rreq = yield from comm.irecv(src, _TAG_BARRIER, _collective=True)
+        yield from comm.wait(sreq, rreq)
+        k <<= 1

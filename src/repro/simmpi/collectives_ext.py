@@ -1,0 +1,133 @@
+"""Large-message collective algorithms.
+
+Production MPI libraries switch collective algorithms by message size:
+log-depth trees win when latency dominates, pipelines and
+reduce-scatter-based schemes win when bandwidth does.  The paper leans on
+exactly this sensitivity ("collectives fail to scale logarithmically as
+our model assumes"), so the substrate provides both families:
+
+* :func:`bcast_pipelined` — segmented ring broadcast.  Critical path
+  ``(p - 1 + k - 1)`` messages of ``nbytes/k`` each: for large payloads the
+  per-byte cost approaches one traversal of the data instead of the
+  binomial tree's ``log2(p)`` traversals.
+* :func:`allreduce_rabenseifner` — recursive-halving reduce-scatter
+  followed by recursive-doubling allgather (power-of-two sizes, NumPy
+  arrays).  Moves ``2 nbytes (1 - 1/p)`` per rank instead of recursive
+  doubling's ``nbytes log2(p)``.
+
+Both are real data movers (results are exact), and both are generators to
+be driven with ``yield from`` like everything else in the rank programs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.simmpi.collectives import _check_root, _is_pow2, allreduce
+from repro.simmpi.payload import join_payloads, split_payload
+
+__all__ = ["allreduce_rabenseifner", "bcast_pipelined"]
+
+_TAG_PIPE = 8
+_TAG_RSAG = 9
+
+
+def bcast_pipelined(comm, value, root: int = 0, *, segments: int = 8):
+    """Segmented ring broadcast; returns the value on every rank.
+
+    The root splits the payload into ``segments`` parts and streams them
+    around the ring; every intermediate rank forwards each part as soon as
+    it arrives.  The payload must be segmentable
+    (:func:`~repro.simmpi.payload.split_payload`); all ranks must pass the
+    same ``segments``.
+    """
+    _check_root(comm, root)
+    size = comm.size
+    if size == 1:
+        return value
+    rel = (comm.rank - root) % size
+    nxt = (comm.rank + 1) % size
+    prv = (comm.rank - 1) % size
+    k = max(1, int(segments))
+
+    if rel == 0:
+        parts = split_payload(value, k)
+        if parts is None:
+            raise TypeError(
+                f"payload of type {type(value).__name__} cannot be segmented; "
+                "use the binomial bcast instead"
+            )
+        for part in parts:
+            req = yield from comm.isend(nxt, part, _TAG_PIPE, _collective=True)
+            yield from comm.wait(req)
+        return value
+
+    parts = []
+    for _ in range(k):
+        rreq = yield from comm.irecv(prv, _TAG_PIPE, _collective=True)
+        (part,) = yield from comm.wait(rreq)
+        if rel != size - 1:
+            sreq = yield from comm.isend(nxt, part, _TAG_PIPE, _collective=True)
+            yield from comm.wait(sreq)
+        parts.append(part)
+    return join_payloads(parts)
+
+
+def allreduce_rabenseifner(comm, value: np.ndarray,
+                           op: Callable = np.add):
+    """Reduce-scatter + allgather allreduce for NumPy array payloads.
+
+    Requires a power-of-two communicator size; other sizes (and
+    non-array payloads) fall back to the standard recursive-doubling
+    implementation.  The result is identical up to floating-point
+    association order.
+    """
+    size = comm.size
+    if size == 1:
+        return value
+    if not _is_pow2(size) or not isinstance(value, np.ndarray):
+        result = yield from allreduce(comm, value, op)
+        return result
+
+    flat = np.ascontiguousarray(value).reshape(-1)
+    n = flat.shape[0]
+    acc = flat.copy()
+
+    # Recursive halving reduce-scatter: after round j, this rank holds the
+    # reduced values for a 1/2^(j+1) slice of the vector.
+    lo, hi = 0, n
+    mask = size // 2
+    while mask >= 1:
+        partner = comm.rank ^ mask
+        mid = lo + (hi - lo) // 2
+        if comm.rank & mask:
+            send_slice, keep = (lo, mid), (mid, hi)
+        else:
+            send_slice, keep = (mid, hi), (lo, mid)
+        sreq = yield from comm.isend(partner, acc[send_slice[0]:send_slice[1]],
+                                     _TAG_RSAG, _collective=True)
+        rreq = yield from comm.irecv(partner, _TAG_RSAG, _collective=True)
+        _, other = yield from comm.wait(sreq, rreq)
+        lo, hi = keep
+        acc[lo:hi] = op(acc[lo:hi], other) if comm.rank < partner \
+            else op(other, acc[lo:hi])
+        mask //= 2
+
+    # Recursive doubling allgather of the owned slices.
+    pieces = {(lo, hi): acc[lo:hi].copy()}
+    mask = 1
+    while mask < size:
+        partner = comm.rank ^ mask
+        sreq = yield from comm.isend(partner, pieces, _TAG_RSAG,
+                                     _collective=True)
+        rreq = yield from comm.irecv(partner, _TAG_RSAG, _collective=True)
+        _, other = yield from comm.wait(sreq, rreq)
+        pieces = {**pieces, **other}
+        mask <<= 1
+
+    out = np.empty_like(flat)
+    for (a, b), chunk in pieces.items():
+        out[a:b] = chunk
+    return out.reshape(value.shape)

@@ -1,0 +1,293 @@
+"""MPI-like communicator handles for simulated rank programs.
+
+A :class:`Comm` is the per-rank view of a group of ranks.  All communication
+methods are **generator functions**: rank programs invoke them with
+``yield from``, e.g.::
+
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        with comm.phase("shift"):
+            block = yield from comm.sendrecv(right, my_block, left)
+        ...
+        return result
+
+Subcommunicators are created *locally and deterministically* with
+:meth:`Comm.sub` — every member passes the same world-rank tuple, so no
+communication is needed (unlike ``MPI_Comm_split``).  Each distinct rank
+tuple receives a distinct context id from the engine, which isolates its tag
+space from other communicators.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Sequence
+
+from repro.simmpi import collectives as _coll
+from repro.simmpi.engine import (
+    ComputeOp,
+    Engine,
+    HwCollOp,
+    IrecvOp,
+    IsendOp,
+    Request,
+    WaitOp,
+)
+from repro.simmpi.errors import InvalidRankError, InvalidTagError
+from repro.simmpi.tracing import DEFAULT_PHASE
+
+__all__ = ["Comm"]
+
+#: Highest tag available to user code; larger values are reserved.
+MAX_USER_TAG = (1 << 16) - 1
+
+#: Collective implementations reserve tags in [1 << 16, 1 << 17).
+_COLL_TAG_BASE = 1 << 16
+
+#: Context ids are multiplexed above the per-communicator tag space.
+_CTX_STRIDE = 1 << 17
+
+
+class Comm:
+    """Per-rank communicator over a fixed group of world ranks."""
+
+    __slots__ = ("engine", "_ranks", "_rank", "_cid")
+
+    def __init__(self, engine: Engine, world_ranks: tuple[int, ...], rank: int):
+        self.engine = engine
+        self._ranks = world_ranks
+        self._rank = rank
+        self._cid = engine.context_id(world_ranks)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def _world(cls, engine: Engine, world_rank: int) -> "Comm":
+        ranks = tuple(range(engine.nranks))
+        return cls(engine, ranks, world_rank)
+
+    def sub(self, world_ranks: Sequence[int]) -> "Comm | None":
+        """Communicator over ``world_ranks`` (world-rank ids, fixed order).
+
+        Returns ``None`` if this rank is not a member — mirroring
+        ``MPI_COMM_NULL``.  All members must pass an identical sequence.
+        """
+        ranks = tuple(int(r) for r in world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise InvalidRankError(f"duplicate ranks in sub-communicator: {ranks}")
+        me = self._ranks[self._rank]
+        if me not in ranks:
+            return None
+        return Comm(self.engine, ranks, ranks.index(me))
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This rank's index within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._ranks)
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's id in the world communicator."""
+        return self._ranks[self._rank]
+
+    @property
+    def world_ranks(self) -> tuple[int, ...]:
+        """World-rank ids of every member, in communicator order."""
+        return self._ranks
+
+    @property
+    def is_world(self) -> bool:
+        """True when this communicator spans the whole machine."""
+        return self.size == self.engine.nranks
+
+    def translate(self, rank: int) -> int:
+        """World-rank id of communicator rank ``rank``."""
+        if not 0 <= rank < len(self._ranks):
+            raise InvalidRankError(
+                f"rank {rank} out of range for communicator of size {self.size}"
+            )
+        return self._ranks[rank]
+
+    def now(self) -> float:
+        """This rank's current virtual time (seconds)."""
+        return self.engine.clock(self.world_rank)
+
+    # -- phases -----------------------------------------------------------------
+
+    @property
+    def _phase_label(self) -> str:
+        """Active phase label — per *rank* state shared by every
+        communicator of that rank (a team bcast inside ``phase('bcast')``
+        on the world communicator is still charged to ``bcast``)."""
+        return self.engine.phase_of(self.world_rank)
+
+    @contextmanager
+    def phase(self, label: str):
+        """Attribute enclosed operations' time and traffic to ``label``."""
+        rank = self.world_rank
+        prev = self.engine.phase_of(rank)
+        self.engine.set_phase(rank, label)
+        try:
+            yield self
+        finally:
+            self.engine.set_phase(rank, prev)
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase_label
+
+    # -- local computation ---------------------------------------------------
+
+    def compute(self, seconds: float):
+        """Charge ``seconds`` of local computation to the current phase."""
+        yield ComputeOp(float(seconds), self._phase_label)
+
+    # -- point-to-point ----------------------------------------------------------
+
+    def _wire_tag(self, tag: int, collective: bool = False) -> int:
+        if collective:
+            return self._cid * _CTX_STRIDE + _COLL_TAG_BASE + tag
+        if not 0 <= tag <= MAX_USER_TAG:
+            raise InvalidTagError(f"user tag must be in [0, {MAX_USER_TAG}], got {tag}")
+        return self._cid * _CTX_STRIDE + tag
+
+    def isend(self, dest: int, payload: Any, tag: int = 0, *,
+              nbytes: int | None = None, _collective: bool = False):
+        """Post a non-blocking send; returns a :class:`Request`."""
+        if nbytes is None:
+            from repro.simmpi.payload import payload_nbytes
+
+            nbytes = payload_nbytes(payload)
+        req = yield IsendOp(
+            dst=self.translate(dest),
+            tag=self._wire_tag(tag, _collective),
+            payload=payload,
+            nbytes=int(nbytes),
+            phase=self._phase_label,
+        )
+        return req
+
+    def irecv(self, source: int, tag: int = 0, *, _collective: bool = False):
+        """Post a non-blocking receive; returns a :class:`Request`."""
+        req = yield IrecvOp(
+            src=self.translate(source),
+            tag=self._wire_tag(tag, _collective),
+            phase=self._phase_label,
+        )
+        return req
+
+    def wait(self, *requests: Request):
+        """Block until all ``requests`` complete; returns their payloads."""
+        payloads = yield WaitOp(tuple(requests), self._phase_label)
+        return payloads
+
+    def send(self, dest: int, payload: Any, tag: int = 0, *,
+             nbytes: int | None = None):
+        """Blocking (rendezvous) send."""
+        req = yield from self.isend(dest, payload, tag, nbytes=nbytes)
+        yield from self.wait(req)
+
+    def recv(self, source: int, tag: int = 0):
+        """Blocking receive; returns the payload."""
+        req = yield from self.irecv(source, tag)
+        (payload,) = yield from self.wait(req)
+        return payload
+
+    def sendrecv(self, dest: int, payload: Any, source: int,
+                 sendtag: int = 0, recvtag: int | None = None, *,
+                 nbytes: int | None = None):
+        """Simultaneous send+receive (deadlock-free shift primitive)."""
+        if recvtag is None:
+            recvtag = sendtag
+        sreq = yield from self.isend(dest, payload, sendtag, nbytes=nbytes)
+        rreq = yield from self.irecv(source, recvtag)
+        _, received = yield from self.wait(sreq, rreq)
+        return received
+
+    # -- collectives ------------------------------------------------------------
+
+    def bcast(self, value: Any, root: int = 0):
+        """Binomial-tree broadcast; returns the value on every rank."""
+        result = yield from _coll.bcast(self, value, root)
+        return result
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0):
+        """Binomial-tree reduction; returns the result on ``root``, else None."""
+        result = yield from _coll.reduce(self, value, op, root)
+        return result
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]):
+        """Recursive-doubling allreduce (reduce+bcast if size not a power of 2)."""
+        result = yield from _coll.allreduce(self, value, op)
+        return result
+
+    def gather(self, value: Any, root: int = 0):
+        """Binomial-tree gather; ``root`` gets the rank-ordered list."""
+        result = yield from _coll.gather(self, value, root)
+        return result
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0):
+        """Binomial-tree scatter of ``values`` (one per rank) from ``root``."""
+        result = yield from _coll.scatter(self, values, root)
+        return result
+
+    def allgather(self, value: Any):
+        """Allgather; every rank gets the rank-ordered list of contributions."""
+        result = yield from _coll.allgather(self, value)
+        return result
+
+    def alltoall(self, values: Sequence[Any]):
+        """Personalized all-to-all; ``values[i]`` goes to rank ``i``."""
+        result = yield from _coll.alltoall(self, values)
+        return result
+
+    def barrier(self):
+        """Dissemination barrier."""
+        yield from _coll.barrier(self)
+
+    # -- hardware collectives ------------------------------------------------
+
+    @property
+    def hw_collectives_available(self) -> bool:
+        """True when the machine's dedicated collective network covers us.
+
+        Mirrors BlueGene/P: the tree network serves collectives that involve
+        the whole partition.
+        """
+        return bool(self.engine.machine.has_hw_collectives) and self.is_world
+
+    def hw_coll(self, kind: str, value: Any = None, *, root: int = 0,
+                op: Callable[[Any, Any], Any] | None = None,
+                nbytes: int | None = None):
+        """Post a hardware collective (``bcast``/``reduce``/``allreduce``/
+        ``allgather``/``barrier``) on the dedicated network."""
+        if not self.hw_collectives_available:
+            raise InvalidRankError(
+                "hardware collectives require machine support and a "
+                "whole-partition communicator"
+            )
+        if nbytes is None:
+            from repro.simmpi.payload import payload_nbytes
+
+            nbytes = payload_nbytes(value)
+        result = yield HwCollOp(
+            kind=kind,
+            group=self._ranks,
+            root=self.translate(root),
+            payload=value,
+            nbytes=int(nbytes),
+            op=op,
+            phase=self._phase_label,
+        )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Comm rank={self._rank}/{self.size} cid={self._cid}>"

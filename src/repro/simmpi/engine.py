@@ -1,0 +1,581 @@
+"""Discrete-event execution engine for simulated MPI programs.
+
+Each *rank* is a Python generator ("coroutine") produced by calling the user
+program with a :class:`~repro.simmpi.comm.Comm` handle.  Rank programs yield
+low-level operation records (compute, isend, irecv, wait, hardware
+collective); the engine interprets them, advances per-rank **virtual clocks**
+according to a :class:`~repro.machines.base.MachineModel`, moves payloads
+between ranks, and attributes elapsed virtual time plus message/byte counts
+to the phase label active when each operation was issued.
+
+Scheduling model
+----------------
+The engine is a cooperative scheduler, not a time-ordered event heap: a rank
+runs until it blocks on an unmatched request, and is re-queued when a peer's
+posting completes the match.  This is sound because all *times* are computed
+from posting timestamps, never from scheduling order:
+
+* a rendezvous transfer starts at ``max(send_post, recv_post)`` and ends
+  after ``p2p_time(src, dst, nbytes)``;
+* an eager transfer (``nbytes <= eager_threshold``) completes the send at its
+  posting time and the receive at ``max(send_post + p2p_time, recv_post)``;
+* a wait resumes at ``max(issue_time, completion times of its requests)``.
+
+Matching is FIFO per ``(src, dst, tag)`` channel, so runs are fully
+deterministic.  ``MPI_ANY_SOURCE``/``ANY_TAG`` are deliberately unsupported;
+the N-body algorithms never need them and their absence keeps matching
+deterministic.
+
+Deadlock is detected exactly: if no rank is runnable and at least one is
+blocked, a :class:`~repro.simmpi.errors.DeadlockError` is raised naming every
+blocked rank and its pending requests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simmpi.errors import (
+    DeadlockError,
+    InvalidRankError,
+    RankFailedError,
+    SimMPIError,
+)
+from repro.simmpi.tracing import (DEFAULT_PHASE, RankTrace, TimelineEvent,
+                                  TraceReport)
+
+__all__ = ["Engine", "Request", "RunResult"]
+
+# Backstop on engine operations; protects against runaway programs.
+_DEFAULT_MAX_OPS = 200_000_000
+
+
+# ---------------------------------------------------------------------------
+# Operation records yielded by rank programs (via Comm methods).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ComputeOp:
+    """Advance the rank's clock by ``seconds`` of local computation."""
+
+    seconds: float
+    phase: str
+
+
+@dataclass(slots=True)
+class IsendOp:
+    """Post a non-blocking send of ``payload`` to world rank ``dst``."""
+
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    phase: str
+
+
+@dataclass(slots=True)
+class IrecvOp:
+    """Post a non-blocking receive from world rank ``src``."""
+
+    src: int
+    tag: int
+    phase: str
+
+
+@dataclass(slots=True)
+class WaitOp:
+    """Block until every request in ``requests`` has completed."""
+
+    requests: tuple["Request", ...]
+    phase: str
+
+
+@dataclass(slots=True)
+class HwCollOp:
+    """A hardware-assisted collective over ``group`` (world ranks).
+
+    Models dedicated collective networks (e.g. the BlueGene/P tree).  All
+    member ranks must post a matching op; the engine applies the reduction
+    (if any) deterministically in ascending-rank order and completes every
+    member at ``max(posting times) + machine.hw_collective_time(...)``.
+    """
+
+    kind: str  # 'bcast' | 'reduce' | 'allreduce' | 'barrier'
+    group: tuple[int, ...]
+    root: int
+    payload: Any
+    nbytes: int
+    op: Callable[[Any, Any], Any] | None
+    phase: str
+
+
+class Request:
+    """Handle for a posted non-blocking operation."""
+
+    __slots__ = (
+        "kind",
+        "owner",
+        "peer",
+        "tag",
+        "nbytes",
+        "post_time",
+        "complete",
+        "complete_time",
+        "payload",
+    )
+
+    def __init__(self, kind: str, owner: int, peer: int, tag: int, post_time: float):
+        self.kind = kind  # 'send' | 'recv' | 'hwcoll'
+        self.owner = owner
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = 0
+        self.post_time = post_time
+        self.complete = False
+        self.complete_time = 0.0
+        self.payload: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.complete else "pending"
+        return (
+            f"<Request {self.kind} owner={self.owner} peer={self.peer} "
+            f"tag={self.tag} {state}>"
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    #: Per-rank return values of the rank programs.
+    results: list[Any]
+    #: Per-rank, per-phase time and traffic accounting.
+    report: TraceReport
+    #: Virtual time at which the last rank finished (the makespan).
+    elapsed: float
+    #: Total engine operations processed.
+    nops: int
+    #: Final virtual clock of every rank.
+    clocks: list[float] = field(default_factory=list, repr=False)
+    #: Timestamped activity records (only when the engine was built with
+    #: ``record_events=True``).
+    events: list = field(default_factory=list, repr=False)
+    #: (p, p) bytes-sent matrix, ``traffic[src, dst]`` (only with
+    #: ``record_traffic=True``).
+    traffic: object = field(default=None, repr=False)
+
+
+class _RankState:
+    """Scheduler bookkeeping for one rank."""
+
+    __slots__ = ("gen", "clock", "blocked_on", "wait_phase", "resume_value",
+                 "finished", "result", "queued")
+
+    def __init__(self, gen):
+        self.gen = gen
+        self.clock = 0.0
+        self.blocked_on: tuple[Request, ...] | None = None
+        self.wait_phase = DEFAULT_PHASE
+        self.resume_value: Any = None
+        self.finished = False
+        self.result: Any = None
+        self.queued = False
+
+
+class _HwSlot:
+    """Arrival record for one pending hardware collective."""
+
+    __slots__ = ("ops", "reqs")
+
+    def __init__(self):
+        self.ops: dict[int, HwCollOp] = {}
+        self.reqs: dict[int, Request] = {}
+
+
+#: Sentinel returned by ``_dispatch`` when the rank must stop running.
+_BLOCKED = object()
+
+
+class Engine:
+    """Runs an SPMD generator program on ``machine.nranks`` virtual ranks.
+
+    Parameters
+    ----------
+    machine:
+        A :class:`~repro.machines.base.MachineModel`; provides the rank
+        count, point-to-point transfer times and hardware-collective times.
+    eager_threshold:
+        Messages of at most this many bytes complete the *send* side
+        immediately (buffered/eager protocol).  ``0`` (default) makes every
+        transfer a rendezvous, which models the synchronous waiting the
+        paper's shift phases experience under load imbalance.
+    max_ops:
+        Backstop on total operations processed before aborting.
+    """
+
+    def __init__(self, machine, *, eager_threshold: int = 0,
+                 max_ops: int | None = None, record_events: bool = False,
+                 record_traffic: bool = False):
+        self.machine = machine
+        self.record_events = bool(record_events)
+        self.record_traffic = bool(record_traffic)
+        self._events: list[TimelineEvent] = []
+        self._traffic = None
+        self.nranks = int(machine.nranks)
+        if self.nranks <= 0:
+            raise ValueError(f"machine must have >= 1 rank, got {self.nranks}")
+        self.eager_threshold = int(eager_threshold)
+        self.max_ops = _DEFAULT_MAX_OPS if max_ops is None else int(max_ops)
+        self._context_ids: dict[tuple[int, ...], int] = {}
+        # Populated per run:
+        self._ranks: list[_RankState] = []
+        self._traces: list[RankTrace] = []
+        self._pending_sends: dict[tuple[int, int, int], deque] = {}
+        self._pending_recvs: dict[tuple[int, int, int], deque] = {}
+        self._hwslots: dict[tuple[tuple[int, ...], int], _HwSlot] = {}
+        self._hwseq: dict[tuple[int, tuple[int, ...]], int] = {}
+        self._ready: deque[int] = deque()
+        self._phases: list[str] = []
+        self._nops = 0
+
+    # -- communicator support --------------------------------------------
+
+    def context_id(self, world_ranks: tuple[int, ...]) -> int:
+        """Deterministic context id for a subcommunicator's rank tuple.
+
+        Every member constructs the same tuple locally, so the first lookup
+        allocates an id and later lookups (from any member) agree.
+        """
+        cid = self._context_ids.get(world_ranks)
+        if cid is None:
+            cid = len(self._context_ids) + 1
+            self._context_ids[world_ranks] = cid
+        return cid
+
+    def clock(self, rank: int) -> float:
+        """Current virtual time of ``rank``."""
+        return self._ranks[rank].clock
+
+    def phase_of(self, rank: int) -> str:
+        """Active phase label of ``rank`` (shared across communicators)."""
+        return self._phases[rank]
+
+    def set_phase(self, rank: int, label: str) -> None:
+        self._phases[rank] = label
+
+    # -- main entry point --------------------------------------------------
+
+    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> RunResult:
+        """Execute ``program(comm, *args, **kwargs)`` on every rank.
+
+        ``program`` must be a generator function (its body reaches the Comm
+        via ``yield from``).  Returns a :class:`RunResult` with each rank's
+        return value, the trace report and the virtual makespan.
+        """
+        from repro.simmpi.comm import Comm  # deferred: comm imports engine ops
+
+        self._context_ids.clear()
+        self._pending_sends = {}
+        self._pending_recvs = {}
+        self._hwslots = {}
+        self._hwseq = {}
+        self._nops = 0
+        self._events = []
+        if self.record_traffic:
+            import numpy as _np
+
+            self._traffic = _np.zeros((self.nranks, self.nranks),
+                                      dtype=_np.int64)
+        self._phases = [DEFAULT_PHASE] * self.nranks
+        self._traces = [RankTrace(r) for r in range(self.nranks)]
+        self._ranks = []
+        for r in range(self.nranks):
+            comm = Comm._world(self, r)
+            gen = program(comm, *args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise SimMPIError(
+                    "program must be a generator function (use 'yield from comm.*')"
+                )
+            self._ranks.append(_RankState(gen))
+
+        self._ready = deque()
+        for r in range(self.nranks):
+            self._enqueue(r)
+        nfinished = 0
+
+        while self._ready:
+            rank = self._ready.popleft()
+            state = self._ranks[rank]
+            state.queued = False
+            if state.finished or state.blocked_on is not None:
+                continue
+            value, state.resume_value = state.resume_value, None
+            if self._run_rank(rank, value):
+                nfinished += 1
+
+        if nfinished < self.nranks:
+            blocked = {}
+            for r, st in enumerate(self._ranks):
+                if not st.finished:
+                    reqs = st.blocked_on or ()
+                    blocked[r] = ", ".join(
+                        f"{q.kind}(peer={q.peer}, tag={q.tag})"
+                        for q in reqs
+                        if not q.complete
+                    ) or "<not blocked; scheduler bug>"
+            raise DeadlockError(
+                f"deadlock: {self.nranks - nfinished} of {self.nranks} ranks blocked",
+                blocked,
+            )
+
+        clocks = [st.clock for st in self._ranks]
+        return RunResult(
+            results=[st.result for st in self._ranks],
+            report=TraceReport(self._traces),
+            elapsed=max(clocks) if clocks else 0.0,
+            nops=self._nops,
+            clocks=clocks,
+            events=self._events,
+            traffic=self._traffic,
+        )
+
+    def _enqueue(self, rank: int) -> None:
+        state = self._ranks[rank]
+        if not state.queued:
+            state.queued = True
+            self._ready.append(rank)
+
+    # -- per-rank execution --------------------------------------------------
+
+    def _run_rank(self, rank: int, resume_value: Any = None) -> bool:
+        """Drive ``rank`` until it blocks or finishes.  Returns True if done."""
+        state = self._ranks[rank]
+        gen = state.gen
+        value = resume_value
+        while True:
+            self._nops += 1
+            if self._nops > self.max_ops:
+                raise SimMPIError(f"exceeded max_ops={self.max_ops}; runaway program?")
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                state.finished = True
+                state.result = stop.value
+                return True
+            except (DeadlockError, RankFailedError):
+                raise
+            except BaseException as exc:  # fail-fast like MPI_Abort
+                raise RankFailedError(rank, exc) from exc
+
+            value = self._dispatch(rank, state, op)
+            if value is _BLOCKED:
+                return False
+
+    def _dispatch(self, rank: int, state: _RankState, op: Any) -> Any:
+        """Apply one operation; return the resume value or ``_BLOCKED``."""
+        cls = type(op)
+        if cls is ComputeOp:
+            if op.seconds < 0:
+                raise SimMPIError(f"negative compute time {op.seconds}")
+            if self.record_events and op.seconds > 0:
+                self._events.append(TimelineEvent(
+                    rank=rank, phase=op.phase, kind="compute",
+                    t_start=state.clock, t_end=state.clock + op.seconds,
+                ))
+            state.clock += op.seconds
+            self._traces[rank].add_time(op.phase, op.seconds)
+            return None
+
+        if cls is IsendOp:
+            return self._post_send(rank, state, op)
+
+        if cls is IrecvOp:
+            return self._post_recv(rank, state, op)
+
+        if cls is WaitOp:
+            if all(q.complete for q in op.requests):
+                self._finish_wait(rank, state, op.requests, op.phase)
+                return [q.payload for q in op.requests]
+            state.blocked_on = op.requests
+            state.wait_phase = op.phase
+            return _BLOCKED
+
+        if cls is HwCollOp:
+            return self._post_hwcoll(rank, state, op)
+
+        raise SimMPIError(f"rank {rank} yielded unknown op {op!r}")
+
+    # -- point-to-point --------------------------------------------------------
+
+    def _post_send(self, rank: int, state: _RankState, op: IsendOp) -> Request:
+        if not 0 <= op.dst < self.nranks:
+            raise InvalidRankError(f"send dst {op.dst} out of range 0..{self.nranks - 1}")
+        req = Request("send", rank, op.dst, op.tag, state.clock)
+        req.nbytes = op.nbytes
+        req.payload = op.payload
+        self._traces[rank].add_send(op.phase, op.nbytes)
+        key = (rank, op.dst, op.tag)
+        recvq = self._pending_recvs.get(key)
+        if recvq:
+            rreq, rphase = recvq.popleft()
+            self._complete_pair(req, rreq, rphase)
+        else:
+            if op.nbytes <= self.eager_threshold:
+                # Eager protocol: the send buffers immediately; the sender
+                # may wait on it (and proceed) before any receiver posts.
+                req.complete = True
+                req.complete_time = req.post_time
+            self._pending_sends.setdefault(key, deque()).append((req, op.phase))
+        return req
+
+    def _post_recv(self, rank: int, state: _RankState, op: IrecvOp) -> Request:
+        if not 0 <= op.src < self.nranks:
+            raise InvalidRankError(f"recv src {op.src} out of range 0..{self.nranks - 1}")
+        req = Request("recv", rank, op.src, op.tag, state.clock)
+        key = (op.src, rank, op.tag)
+        sendq = self._pending_sends.get(key)
+        if sendq:
+            sreq, sphase = sendq.popleft()
+            del sphase  # send side was counted at posting time
+            self._complete_pair(sreq, req, op.phase)
+        else:
+            self._pending_recvs.setdefault(key, deque()).append((req, op.phase))
+        return req
+
+    def _complete_pair(self, sreq: Request, rreq: Request, recv_phase: str) -> None:
+        """Complete a matched send/recv pair and unblock waiters."""
+        nbytes = sreq.nbytes
+        wire = self.machine.p2p_time(sreq.owner, rreq.owner, nbytes)
+        if nbytes <= self.eager_threshold:
+            sreq.complete_time = sreq.post_time
+            rreq.complete_time = max(sreq.post_time + wire, rreq.post_time)
+        else:
+            start = max(sreq.post_time, rreq.post_time)
+            sreq.complete_time = start + wire
+            rreq.complete_time = start + wire
+        sreq.complete = True
+        rreq.complete = True
+        rreq.payload = sreq.payload
+        rreq.nbytes = nbytes
+        self._traces[rreq.owner].add_recv(recv_phase, nbytes)
+        if self._traffic is not None:
+            self._traffic[sreq.owner, rreq.owner] += nbytes
+        if self.record_events:
+            start = min(sreq.post_time, rreq.post_time)
+            self._events.append(TimelineEvent(
+                rank=sreq.owner, phase=recv_phase, kind="xfer",
+                t_start=start, t_end=rreq.complete_time,
+                nbytes=nbytes, peer=rreq.owner,
+            ))
+        self._maybe_unblock(sreq.owner)
+        self._maybe_unblock(rreq.owner)
+
+    def _maybe_unblock(self, rank: int) -> None:
+        """If ``rank`` is blocked and all its requests completed, re-queue it."""
+        state = self._ranks[rank]
+        reqs = state.blocked_on
+        if reqs is None or not all(q.complete for q in reqs):
+            return
+        state.blocked_on = None
+        self._finish_wait(rank, state, reqs, state.wait_phase)
+        state.resume_value = [q.payload for q in reqs]
+        self._enqueue(rank)
+
+    def _finish_wait(self, rank, state, reqs, phase: str) -> None:
+        """Advance the clock past all completions and charge the wait."""
+        t0 = state.clock
+        t1 = t0
+        for q in reqs:
+            if q.complete_time > t1:
+                t1 = q.complete_time
+        if t1 > t0:
+            if self.record_events:
+                self._events.append(TimelineEvent(
+                    rank=rank, phase=phase, kind="wait",
+                    t_start=t0, t_end=t1,
+                ))
+            self._traces[rank].add_time(phase, t1 - t0)
+            state.clock = t1
+
+    # -- hardware collectives ----------------------------------------------------
+
+    def _post_hwcoll(self, rank: int, state: _RankState, op: HwCollOp):
+        group = op.group
+        if rank not in group:
+            raise InvalidRankError(f"rank {rank} not in hw collective group {group}")
+        seq_key = (rank, group)
+        seq = self._hwseq.get(seq_key, 0)
+        self._hwseq[seq_key] = seq + 1
+        slot_key = (group, seq)
+        slot = self._hwslots.get(slot_key)
+        if slot is None:
+            slot = self._hwslots[slot_key] = _HwSlot()
+        req = Request("hwcoll", rank, -1, -1, state.clock)
+        req.nbytes = op.nbytes
+        slot.ops[rank] = op
+        slot.reqs[rank] = req
+
+        if len(slot.ops) == len(group):
+            # Last arriver: complete the collective for everyone.  Blocked
+            # members are re-queued by _complete_hwcoll; this rank (never
+            # marked blocked) resumes synchronously.
+            self._complete_hwcoll(group, slot)
+            del self._hwslots[slot_key]
+            self._finish_wait(rank, state, (req,), op.phase)
+            return req.payload
+        state.blocked_on = (req,)
+        state.wait_phase = op.phase
+        return _BLOCKED
+
+    def _complete_hwcoll(self, group: tuple[int, ...], slot: _HwSlot) -> None:
+        ops = slot.ops
+        first = ops[group[0]]
+        kind = first.kind
+        for r in group:
+            if ops[r].kind != kind:
+                raise SimMPIError(
+                    f"mismatched hw collectives in group {group}: "
+                    f"{kind!r} vs {ops[r].kind!r} on rank {r}"
+                )
+        t_arrive = max(q.post_time for q in slot.reqs.values())
+        nbytes = max(o.nbytes for o in ops.values())
+        t_done = t_arrive + self.machine.hw_collective_time(kind, nbytes, len(group))
+
+        if kind == "bcast":
+            value = ops[first.root].payload
+            results = {r: value for r in group}
+        elif kind in ("reduce", "allreduce"):
+            reducer = first.op
+            acc = None
+            for r in sorted(group):
+                v = ops[r].payload
+                acc = v if acc is None else reducer(acc, v)
+            if kind == "reduce":
+                results = {r: (acc if r == first.root else None) for r in group}
+            else:
+                results = {r: acc for r in group}
+        elif kind == "allgather":
+            gathered = [ops[r].payload for r in group]
+            results = {r: gathered for r in group}
+        elif kind == "barrier":
+            results = {r: None for r in group}
+        else:
+            raise SimMPIError(f"unknown hw collective kind {kind!r}")
+
+        for r in group:
+            q = slot.reqs[r]
+            q.complete = True
+            q.complete_time = t_done
+            q.payload = results[r]
+            st = self._ranks[r]
+            if st.blocked_on == (q,):
+                # Blocked members resume through the ready queue; the final
+                # poster (never marked blocked) resumes synchronously in
+                # _post_hwcoll.
+                st.blocked_on = None
+                self._finish_wait(r, st, (q,), st.wait_phase)
+                st.resume_value = q.payload
+                self._enqueue(r)

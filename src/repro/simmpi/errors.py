@@ -1,0 +1,50 @@
+"""Exception types raised by the simulated-MPI runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimMPIError",
+    "DeadlockError",
+    "RankFailedError",
+    "InvalidRankError",
+    "InvalidTagError",
+]
+
+
+class SimMPIError(Exception):
+    """Base class for all simulated-MPI runtime errors."""
+
+
+class DeadlockError(SimMPIError):
+    """No rank can make progress but not all ranks have finished.
+
+    Carries a human-readable dump of every blocked rank and the requests it
+    is waiting on, so tests and users can diagnose mismatched send/recv
+    patterns the same way one would read an MPI hang backtrace.
+    """
+
+    def __init__(self, message: str, blocked: dict[int, str]):
+        super().__init__(message)
+        #: Mapping of world rank -> description of what it is blocked on.
+        self.blocked = blocked
+
+
+class RankFailedError(SimMPIError):
+    """A rank's program raised; wraps the original exception.
+
+    The engine stops the whole simulation on the first failure (fail-fast),
+    mirroring an MPI abort.
+    """
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} raised {type(original).__name__}: {original}")
+        self.rank = rank
+        self.original = original
+
+
+class InvalidRankError(SimMPIError):
+    """A peer rank was outside ``[0, size)`` for the communicator."""
+
+
+class InvalidTagError(SimMPIError):
+    """A user tag collided with the reserved collective tag space."""

@@ -1,0 +1,118 @@
+"""Message payload size accounting.
+
+The engine charges wire time per message as ``alpha + nbytes * beta``; this
+module defines how many bytes a Python payload occupies on the (virtual)
+wire.  NumPy arrays use their true buffer size; the particle containers in
+:mod:`repro.physics` expose an ``wire_nbytes`` attribute (52 bytes per
+particle, matching the paper's measurement); everything else falls back to a
+conservative small-object estimate.  A message can always override the
+estimate with an explicit ``nbytes=``.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any
+
+import numpy as np
+
+__all__ = ["join_payloads", "payload_nbytes", "split_payload"]
+
+_SMALL_OBJECT_BYTES = 8
+
+
+def split_payload(payload: Any, k: int) -> list[Any] | None:
+    """Split ``payload`` into ``k`` recombinable segments, or ``None``.
+
+    Supports NumPy arrays (row split), :class:`ParticleSet`,
+    :class:`TravelBlock` and :class:`VirtualBlock` (particle-count split).
+    Segmented collectives use this to pipeline large payloads; a ``None``
+    return means the payload cannot be segmented and the caller must fall
+    back to an unsegmented algorithm.
+    """
+    if k <= 1:
+        return [payload]
+    if isinstance(payload, np.ndarray) and payload.ndim >= 1:
+        return list(np.array_split(payload, k))
+    # Deferred imports: physics depends on this module's payload_nbytes.
+    from repro.physics.particles import ParticleSet, TravelBlock, VirtualBlock
+    from repro.util import even_blocks
+
+    if isinstance(payload, ParticleSet):
+        return [payload.subset(slice(lo, hi))
+                for lo, hi in even_blocks(len(payload), k)]
+    if isinstance(payload, TravelBlock):
+        out = []
+        for lo, hi in even_blocks(len(payload), k):
+            out.append(TravelBlock(
+                pos=payload.pos[lo:hi],
+                ids=payload.ids[lo:hi],
+                team=payload.team,
+                forces=None if payload.forces is None
+                else payload.forces[lo:hi],
+            ))
+        return out
+    if isinstance(payload, VirtualBlock):
+        from repro.util import block_size
+
+        return [VirtualBlock(count=block_size(payload.count, k, i),
+                             team=payload.team,
+                             extra_bytes=payload.extra_bytes)
+                for i in range(k)]
+    return None
+
+
+def join_payloads(parts: list[Any]) -> Any:
+    """Reassemble segments produced by :func:`split_payload`."""
+    if len(parts) == 1:
+        return parts[0]
+    first = parts[0]
+    if isinstance(first, np.ndarray):
+        return np.concatenate(parts)
+    from repro.physics.particles import ParticleSet, TravelBlock, VirtualBlock
+
+    if isinstance(first, ParticleSet):
+        from repro.physics.particles import concat_sets
+
+        return concat_sets(list(parts))
+    if isinstance(first, TravelBlock):
+        has_forces = first.forces is not None
+        return TravelBlock(
+            pos=np.concatenate([t.pos for t in parts]),
+            ids=np.concatenate([t.ids for t in parts]),
+            team=first.team,
+            forces=np.concatenate([t.forces for t in parts])
+            if has_forces else None,
+        )
+    if isinstance(first, VirtualBlock):
+        return VirtualBlock(count=sum(v.count for v in parts),
+                            team=first.team, extra_bytes=first.extra_bytes)
+    raise TypeError(f"cannot join payloads of type {type(first).__name__}")
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Bytes that ``payload`` occupies on the simulated wire."""
+    if payload is None:
+        return 0
+    wire = getattr(payload, "wire_nbytes", None)
+    if wire is not None:
+        return int(wire)
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, np.generic):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, numbers.Number):
+        return _SMALL_OBJECT_BYTES
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(x) for x in payload)
+    if isinstance(payload, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()
+        )
+    return _SMALL_OBJECT_BYTES

@@ -1,0 +1,119 @@
+"""Process-grid topologies used by the CA N-body algorithms.
+
+The paper arranges ``p`` processors in a two-dimensional grid of ``p/c``
+columns (*teams*) and ``c`` rows (*replication layers*).  This module fixes
+the rank <-> (row, column) mapping and builds the row/team
+sub-communicators.
+
+Mapping convention (row-major): ``rank = row * nteams + col``.  Consecutive
+ranks therefore sit in consecutive *columns* of the same row, so the shift
+phase (column -> column within a row) travels between ranks that are
+adjacent in rank space — and, under the machines' packed rank->node mapping,
+usually adjacent in the torus.  Team members (same column, all rows) are
+``nteams`` apart in rank space, so team collectives span long torus
+distances when ``c`` is large.  This is precisely the collective-versus-
+point-to-point cost balance the paper tunes ``c`` against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import require, require_divides
+
+__all__ = ["ReplicatedGrid", "ring_shift"]
+
+
+@dataclass(frozen=True)
+class ReplicatedGrid:
+    """The ``c x (p/c)`` processor grid of the CA algorithms.
+
+    Attributes
+    ----------
+    p:
+        Total processor count.
+    c:
+        Replication factor (number of rows).
+    layout:
+        How the grid maps onto MPI ranks.  ``"rows"`` (default, the mapping
+        analyzed throughout): ``rank = row * nteams + col`` — shift
+        neighbors are adjacent ranks, team members are ``nteams`` apart.
+        ``"teams"``: ``rank = col * c + row`` — each team's members are
+        contiguous (often same-node: cheap collectives) while shifts
+        travel ``c`` ranks per column step.  An ablation of the
+        collective/point-to-point balance the paper tunes ``c`` against.
+    """
+
+    p: int
+    c: int
+    layout: str = "rows"
+
+    def __post_init__(self):
+        require(self.p >= 1, f"p must be >= 1, got {self.p}")
+        require(1 <= self.c <= self.p, f"c must be in [1, p], got c={self.c}, p={self.p}")
+        require_divides(self.c, self.p, "replication factor")
+        require(self.layout in ("rows", "teams"),
+                f"layout must be 'rows' or 'teams', got {self.layout!r}")
+
+    @property
+    def nteams(self) -> int:
+        """Number of teams (columns), ``p / c``."""
+        return self.p // self.c
+
+    # -- rank <-> (row, col) ------------------------------------------------
+
+    def row_of(self, rank: int) -> int:
+        if self.layout == "rows":
+            return rank // self.nteams
+        return rank % self.c
+
+    def col_of(self, rank: int) -> int:
+        if self.layout == "rows":
+            return rank % self.nteams
+        return rank // self.c
+
+    def rank_at(self, row: int, col: int) -> int:
+        require(0 <= row < self.c, f"row {row} out of range [0, {self.c})")
+        require(0 <= col < self.nteams, f"col {col} out of range [0, {self.nteams})")
+        if self.layout == "rows":
+            return row * self.nteams + col
+        return col * self.c + row
+
+    # -- groups ------------------------------------------------------------
+
+    def team_ranks(self, col: int) -> list[int]:
+        """World ranks of the team (column) ``col``, row order."""
+        return [self.rank_at(r, col) for r in range(self.c)]
+
+    def row_ranks(self, row: int) -> list[int]:
+        """World ranks of replication layer ``row``, column order."""
+        return [self.rank_at(row, c) for c in range(self.nteams)]
+
+    def leader_of(self, col: int) -> int:
+        """World rank of the team leader (row 0) of column ``col``."""
+        return self.rank_at(0, col)
+
+    # -- communicators -------------------------------------------------------
+
+    def team_comm(self, comm):
+        """Sub-communicator over this rank's team; rank order = row order."""
+        return comm.sub(self.team_ranks(self.col_of(comm.rank)))
+
+    def row_comm(self, comm):
+        """Sub-communicator over this rank's row; rank order = column order."""
+        return comm.sub(self.row_ranks(self.row_of(comm.rank)))
+
+
+def ring_shift(comm, payload, offset: int, tag: int = 0, *, nbytes: int | None = None):
+    """Cyclically shift ``payload`` by ``offset`` positions around ``comm``.
+
+    Every rank sends to ``rank + offset`` and receives from
+    ``rank - offset`` (mod size).  ``offset`` may be negative or zero; a
+    zero offset degenerates to a self-copy (still charged by the machine
+    model's local-transfer cost).  Generator; returns the received payload.
+    """
+    size = comm.size
+    dst = (comm.rank + offset) % size
+    src = (comm.rank - offset) % size
+    received = yield from comm.sendrecv(dst, payload, src, tag, nbytes=nbytes)
+    return received

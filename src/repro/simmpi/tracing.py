@@ -1,0 +1,202 @@
+"""Per-rank, per-phase virtual-time and traffic accounting.
+
+The paper's evaluation plots are stacked breakdowns of execution time per
+timestep into *Computation*, *Communication (Shift)*, *Communication
+(Reduce)*, and — with a cutoff — *Communication (Re-assign)*.  The tracer
+reproduces exactly that attribution: every blocking operation a rank performs
+is charged to the phase label that was active when the operation was issued,
+and message/byte counters are kept per phase as well so the theoretical cost
+expressions (S, W) can be checked against observed traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseTotals", "RankTrace", "TimelineEvent", "TraceReport",
+           "timeline_to_json"]
+
+#: Phase label applied when the program has not pushed any phase.
+DEFAULT_PHASE = "other"
+
+
+@dataclass
+class PhaseTotals:
+    """Aggregated activity within one phase on one rank."""
+
+    seconds: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def merge(self, other: "PhaseTotals") -> None:
+        self.seconds += other.seconds
+        self.messages_sent += other.messages_sent
+        self.messages_received += other.messages_received
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+
+
+@dataclass
+class RankTrace:
+    """All phase totals for one rank."""
+
+    rank: int
+    phases: dict[str, PhaseTotals] = field(default_factory=dict)
+
+    def phase(self, label: str) -> PhaseTotals:
+        tot = self.phases.get(label)
+        if tot is None:
+            tot = self.phases[label] = PhaseTotals()
+        return tot
+
+    def add_time(self, label: str, seconds: float) -> None:
+        self.phase(label).seconds += seconds
+
+    def add_send(self, label: str, nbytes: int) -> None:
+        tot = self.phase(label)
+        tot.messages_sent += 1
+        tot.bytes_sent += nbytes
+
+    def add_recv(self, label: str, nbytes: int) -> None:
+        tot = self.phase(label)
+        tot.messages_received += 1
+        tot.bytes_received += nbytes
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.phases.values())
+
+
+class TraceReport:
+    """Cross-rank view over the per-rank traces of one simulation run."""
+
+    def __init__(self, traces: list[RankTrace]):
+        self.traces = traces
+
+    @property
+    def nranks(self) -> int:
+        return len(self.traces)
+
+    def phase_labels(self) -> list[str]:
+        labels: list[str] = []
+        for tr in self.traces:
+            for lab in tr.phases:
+                if lab not in labels:
+                    labels.append(lab)
+        return labels
+
+    def max_time(self, label: str) -> float:
+        """Maximum over ranks of time spent in ``label`` (critical-path proxy)."""
+        return max((tr.phases[label].seconds for tr in self.traces if label in tr.phases), default=0.0)
+
+    def mean_time(self, label: str) -> float:
+        if not self.traces:
+            return 0.0
+        return sum(tr.phases.get(label, PhaseTotals()).seconds for tr in self.traces) / len(self.traces)
+
+    def max_messages(self, label: str) -> int:
+        """Max over ranks of messages *sent* in ``label`` — the latency cost S."""
+        return max(
+            (tr.phases[label].messages_sent for tr in self.traces if label in tr.phases),
+            default=0,
+        )
+
+    def max_bytes(self, label: str) -> int:
+        """Max over ranks of bytes sent in ``label`` — the bandwidth cost W."""
+        return max(
+            (tr.phases[label].bytes_sent for tr in self.traces if label in tr.phases),
+            default=0,
+        )
+
+    def total_messages(self) -> int:
+        return sum(
+            tot.messages_sent for tr in self.traces for tot in tr.phases.values()
+        )
+
+    def total_bytes(self) -> int:
+        return sum(tot.bytes_sent for tr in self.traces for tot in tr.phases.values())
+
+    def critical_messages(self) -> int:
+        """Max over ranks of total messages sent (all phases)."""
+        return max(
+            (sum(t.messages_sent for t in tr.phases.values()) for tr in self.traces),
+            default=0,
+        )
+
+    def critical_bytes(self) -> int:
+        """Max over ranks of total bytes sent (all phases)."""
+        return max(
+            (sum(t.bytes_sent for t in tr.phases.values()) for tr in self.traces),
+            default=0,
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase label -> max-over-ranks seconds, in first-seen label order."""
+        return {lab: self.max_time(lab) for lab in self.phase_labels()}
+
+    def summary(self) -> str:
+        lines = [f"{'phase':<12} {'max(s)':>12} {'mean(s)':>12} {'maxmsgs':>8} {'maxbytes':>12}"]
+        for lab in self.phase_labels():
+            lines.append(
+                f"{lab:<12} {self.max_time(lab):>12.6f} {self.mean_time(lab):>12.6f} "
+                f"{self.max_messages(lab):>8d} {self.max_bytes(lab):>12d}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One timestamped activity on one rank (optional engine recording).
+
+    ``kind`` is ``compute`` (local work), ``wait`` (blocked in a wait),
+    ``xfer`` (a completed transfer, recorded on both endpoints), or
+    ``hwcoll`` (a hardware collective).  ``peer`` is the other endpoint of
+    a transfer, -1 otherwise.
+    """
+
+    rank: int
+    phase: str
+    kind: str
+    t_start: float
+    t_end: float
+    nbytes: int = 0
+    peer: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+def timeline_to_json(events: list[TimelineEvent]) -> str:
+    """Serialize a recorded timeline, sorted by start time then rank.
+
+    The format is a plain JSON array of objects — easy to feed to any
+    Gantt/trace viewer or to pandas.
+    """
+    import json
+
+    rows = [
+        {
+            "rank": e.rank,
+            "phase": e.phase,
+            "kind": e.kind,
+            "t_start": e.t_start,
+            "t_end": e.t_end,
+            "nbytes": e.nbytes,
+            "peer": e.peer,
+        }
+        for e in sorted(events, key=lambda e: (e.t_start, e.rank, e.t_end))
+    ]
+    return json.dumps(rows, indent=1)
+
+
+def merge_phase_dicts(dicts: list[dict[str, PhaseTotals]]) -> dict[str, PhaseTotals]:
+    """Merge several label->totals maps (summing), preserving label order."""
+    out: dict[str, PhaseTotals] = defaultdict(PhaseTotals)
+    for d in dicts:
+        for lab, tot in d.items():
+            out[lab].merge(tot)
+    return dict(out)

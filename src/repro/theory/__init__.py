@@ -1,0 +1,38 @@
+"""Communication lower bounds, algorithm cost formulas, and optimality
+checks (the paper's Sections II, III-B and IV-B as executable code)."""
+
+from repro.theory.bounds import (
+    LowerBound,
+    cutoff_bounds,
+    direct_bounds,
+    general_bounds,
+    memory_per_rank,
+)
+from repro.theory.costs import (
+    ca_allpairs_cost,
+    ca_cutoff_cost,
+    force_decomposition_cost,
+    interactions_per_particle,
+    neutral_territory_cost,
+    particle_decomposition_cost,
+    spatial_decomposition_cost,
+)
+from repro.theory.optimality import OptimalityReport, check_allpairs, check_cutoff
+
+__all__ = [
+    "LowerBound",
+    "OptimalityReport",
+    "ca_allpairs_cost",
+    "ca_cutoff_cost",
+    "check_allpairs",
+    "check_cutoff",
+    "cutoff_bounds",
+    "direct_bounds",
+    "force_decomposition_cost",
+    "general_bounds",
+    "interactions_per_particle",
+    "memory_per_rank",
+    "neutral_territory_cost",
+    "particle_decomposition_cost",
+    "spatial_decomposition_cost",
+]

@@ -1,0 +1,74 @@
+"""Communication lower bounds (Section II of the paper).
+
+The general Ballard-et-al form (Equation 1): with memory ``M`` per
+processor, ``F`` operations in total and at most ``H(M)`` operations
+executable on ``M`` operands,
+
+    S = Omega(F / H),        W = Omega(S * M) = Omega(M F / H).
+
+For direct N-body interactions ``H(M) = O(M^2)`` (every pair of resident
+particles can interact), so with ``F/p`` operations per processor
+(Equation 2):
+
+    S_direct = Omega(n^2 / (p M^2)),    W_direct = Omega(n^2 / (p M)).
+
+With a cutoff the total work is ``F = n k`` (Equation 3):
+
+    S_cutoff = Omega(n k / (p M^2)),    W_cutoff = Omega(n k / (p M)).
+
+These functions return the bound *expressions* (without the hidden
+constant); the optimality checks in :mod:`repro.theory.optimality` compare
+algorithm costs against them as ratios that must stay bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import require
+
+__all__ = [
+    "LowerBound",
+    "direct_bounds",
+    "cutoff_bounds",
+    "general_bounds",
+    "memory_per_rank",
+]
+
+
+@dataclass(frozen=True)
+class LowerBound:
+    """A latency/bandwidth lower-bound pair (message count, word count)."""
+
+    messages: float  # S: messages along the critical path
+    words: float  # W: words along the critical path
+
+
+def general_bounds(F_per_proc: float, M: float, H: float) -> LowerBound:
+    """Equation 1: bounds from per-processor work, memory, and reuse cap."""
+    require(F_per_proc >= 0, "work must be non-negative")
+    require(M > 0, "memory must be positive")
+    require(H > 0, "reuse bound must be positive")
+    S = F_per_proc / H
+    return LowerBound(messages=S, words=S * M)
+
+
+def direct_bounds(n: int, p: int, M: float) -> LowerBound:
+    """Equation 2: all-pairs interactions, ``F = n^2``, ``H = M^2``."""
+    require(n >= 0 and p >= 1, "need n >= 0, p >= 1")
+    return general_bounds(n * n / p, M, M * M)
+
+
+def cutoff_bounds(n: int, k: float, p: int, M: float) -> LowerBound:
+    """Equation 3: cutoff interactions, ``F = n k`` with ``k`` interactions
+    needed per particle."""
+    require(k >= 0, "k must be non-negative")
+    return general_bounds(n * k / p, M, M * M)
+
+
+def memory_per_rank(n: int, p: int, c: int) -> float:
+    """Equation 4/8: the CA algorithm's memory footprint ``M = c n / p``
+    particles per processor (home block + exchange buffer, times the
+    replication of the particle set across the ``c`` rows)."""
+    require(1 <= c <= p, "need 1 <= c <= p")
+    return c * n / p

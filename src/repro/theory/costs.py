@@ -1,0 +1,75 @@
+"""Asymptotic communication-cost expressions of the algorithms analysed in
+the paper (Sections II-IV), as evaluable formulas.
+
+Each function returns a (messages, words) pair for the *critical path* of
+one interaction timestep, matching the paper's big-O expressions with unit
+constants.  The tests check (a) that the implementations' measured traffic
+matches these shapes and (b) that each algorithm meets its lower bound
+(:mod:`repro.theory.optimality`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.theory.bounds import LowerBound
+from repro.util import require
+
+__all__ = [
+    "ca_allpairs_cost",
+    "ca_cutoff_cost",
+    "force_decomposition_cost",
+    "interactions_per_particle",
+    "neutral_territory_cost",
+    "particle_decomposition_cost",
+    "spatial_decomposition_cost",
+]
+
+
+def particle_decomposition_cost(n: int, p: int) -> LowerBound:
+    """Naive particle decomposition: ``S = O(p)``, ``W = O(n)``."""
+    return LowerBound(messages=float(p), words=float(n))
+
+
+def force_decomposition_cost(n: int, p: int) -> LowerBound:
+    """Plimpton's force decomposition: ``S = O(log p)``,
+    ``W = O(n / sqrt(p))``."""
+    require(p >= 1, "p must be >= 1")
+    return LowerBound(
+        messages=max(1.0, math.log2(p)), words=n / math.sqrt(p)
+    )
+
+
+def ca_allpairs_cost(n: int, p: int, c: int) -> LowerBound:
+    """Equation 5: the CA all-pairs algorithm,
+    ``S = O(p / c^2)``, ``W = O(n / c)``."""
+    require(1 <= c <= p and p % c == 0, f"c={c} must divide p={p}")
+    return LowerBound(messages=p / c**2, words=n / c)
+
+
+def interactions_per_particle(n: int, p: int, c: int, m: float) -> float:
+    """Equation 7: ``k = (2 r_c / l) n = O(m c n / p)`` interactions each
+    particle needs under a cutoff spanning ``m`` team regions."""
+    return m * c * n / p
+
+
+def ca_cutoff_cost(n: int, p: int, c: int, m: float) -> LowerBound:
+    """Section IV-B: the 1-D cutoff CA algorithm,
+    ``S = O(m / c)``, ``W = O(m n / p)``."""
+    require(1 <= c <= p and p % c == 0, f"c={c} must divide p={p}")
+    require(m >= 0, "m must be non-negative")
+    return LowerBound(messages=m / c, words=m * n / p)
+
+
+def spatial_decomposition_cost(n: int, p: int, m_proc: float, d: int) -> LowerBound:
+    """Section II-C: spatial decomposition with a cutoff spanning
+    ``m_proc`` processor boxes per axis:
+    ``S = O(m^d)``, ``W = O(n m^d / p)``."""
+    vol = m_proc**d
+    return LowerBound(messages=vol, words=n * vol / p)
+
+
+def neutral_territory_cost(n: int, p: int, m_proc: float, d: int) -> LowerBound:
+    """Section II-D: neutral-territory methods,
+    ``S = O(1)``, ``W = O(n m^d / p^{1.5})``."""
+    return LowerBound(messages=1.0, words=n * m_proc**d / p**1.5)

@@ -1,0 +1,71 @@
+"""Optimality checks: algorithm costs vs communication lower bounds.
+
+Section III-B (all-pairs) and IV-B (cutoff) prove the CA algorithm meets
+the lower bounds once ``M = c n / p`` is substituted.  These helpers make
+the substitution explicit and compute the cost/bound ratios — which must be
+bounded by a constant across the whole parameter range for the proof to
+hold.  The theory test-suite sweeps (n, p, c, m) and asserts exactly that;
+it also checks the paper's "lower lower bound" observation (the bound
+itself decreases as memory grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.theory.bounds import cutoff_bounds, direct_bounds, memory_per_rank
+from repro.theory.costs import (
+    ca_allpairs_cost,
+    ca_cutoff_cost,
+    interactions_per_particle,
+)
+
+__all__ = ["OptimalityReport", "check_allpairs", "check_cutoff"]
+
+
+@dataclass(frozen=True)
+class OptimalityReport:
+    """Cost/bound ratios for one configuration (must be O(1))."""
+
+    latency_ratio: float  # S_algorithm / S_lower_bound
+    bandwidth_ratio: float  # W_algorithm / W_lower_bound
+
+    @property
+    def is_optimal(self) -> bool:
+        """Ratios within a generous constant (the proofs give small
+        constants; 8 leaves room for the integrality of window padding)."""
+        return self.latency_ratio <= 8.0 and self.bandwidth_ratio <= 8.0
+
+
+def check_allpairs(n: int, p: int, c: int) -> OptimalityReport:
+    """Ratios of Equation 5's costs to Equation 2's bounds at
+    ``M = c n / p``.
+
+    Substituting: ``S_bound = n^2 / (p M^2) = p / c^2`` and
+    ``W_bound = n^2 / (p M) = n / c`` — identical shapes, so the ratios are
+    exactly 1 for all valid (n, p, c).
+    """
+    M = memory_per_rank(n, p, c)
+    bound = direct_bounds(n, p, M)
+    cost = ca_allpairs_cost(n, p, c)
+    return OptimalityReport(
+        latency_ratio=cost.messages / bound.messages,
+        bandwidth_ratio=cost.words / bound.words,
+    )
+
+
+def check_cutoff(n: int, p: int, c: int, m: float) -> OptimalityReport:
+    """Ratios of the 1-D cutoff algorithm's costs to Equation 3's bounds.
+
+    With ``k = m c n / p`` (Equation 7) and ``M = c n / p`` (Equation 8):
+    ``S_bound = n k / (p M^2) = m / c`` and ``W_bound = n k / (p M) =
+    m n / p`` — again matching the algorithm exactly.
+    """
+    M = memory_per_rank(n, p, c)
+    k = interactions_per_particle(n, p, c, m)
+    bound = cutoff_bounds(n, k, p, M)
+    cost = ca_cutoff_cost(n, p, c, m)
+    return OptimalityReport(
+        latency_ratio=cost.messages / bound.messages,
+        bandwidth_ratio=cost.words / bound.words,
+    )

@@ -1,0 +1,51 @@
+"""Shared utilities: partitioning, units, RNG, validation.
+
+These helpers are intentionally dependency-light; every other subpackage in
+:mod:`repro` may import from here, but :mod:`repro.util` imports nothing from
+the rest of the package.
+"""
+
+from repro.util.partition import (
+    block_bounds,
+    block_owner,
+    block_size,
+    block_starts,
+    even_blocks,
+)
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    US,
+    fmt_bytes,
+    fmt_count,
+    fmt_time,
+)
+from repro.util.validation import (
+    require,
+    require_divides,
+    require_power_of_two,
+    require_positive,
+)
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "US",
+    "block_bounds",
+    "block_owner",
+    "block_size",
+    "block_starts",
+    "default_rng",
+    "even_blocks",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_time",
+    "require",
+    "require_divides",
+    "require_positive",
+    "require_power_of_two",
+    "spawn_rngs",
+]

@@ -1,0 +1,68 @@
+"""Even block partitioning of ``n`` items over ``k`` owners.
+
+All the decompositions in this package (team blocks of particles, spatial
+regions, processor grids) reduce to splitting a range ``[0, n)`` into ``k``
+contiguous blocks whose sizes differ by at most one.  The convention used
+throughout is the standard "remainder first" rule: the first ``n % k`` blocks
+get ``n // k + 1`` items, the rest get ``n // k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "block_bounds",
+    "block_owner",
+    "block_size",
+    "block_starts",
+    "even_blocks",
+]
+
+
+def block_size(n: int, k: int, i: int) -> int:
+    """Number of items in block ``i`` of an even split of ``n`` over ``k``."""
+    if not 0 <= i < k:
+        raise IndexError(f"block index {i} out of range for {k} blocks")
+    q, r = divmod(n, k)
+    return q + (1 if i < r else 0)
+
+
+def block_bounds(n: int, k: int, i: int) -> tuple[int, int]:
+    """Half-open item range ``[lo, hi)`` owned by block ``i``."""
+    if not 0 <= i < k:
+        raise IndexError(f"block index {i} out of range for {k} blocks")
+    q, r = divmod(n, k)
+    lo = i * q + min(i, r)
+    hi = lo + q + (1 if i < r else 0)
+    return lo, hi
+
+
+def block_starts(n: int, k: int) -> np.ndarray:
+    """Array of ``k + 1`` boundaries; block ``i`` is ``[starts[i], starts[i+1])``."""
+    q, r = divmod(n, k)
+    sizes = np.full(k, q, dtype=np.int64)
+    sizes[:r] += 1
+    starts = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(sizes, out=starts[1:])
+    return starts
+
+
+def block_owner(n: int, k: int, item: int) -> int:
+    """Index of the block that owns ``item`` under the even split."""
+    if not 0 <= item < n:
+        raise IndexError(f"item {item} out of range for n={n}")
+    q, r = divmod(n, k)
+    # The first r blocks cover [0, r*(q+1)).
+    cutover = r * (q + 1)
+    if item < cutover:
+        return item // (q + 1)
+    if q == 0:
+        raise IndexError(f"item {item} beyond the {r} non-empty blocks")
+    return r + (item - cutover) // q
+
+
+def even_blocks(n: int, k: int) -> list[tuple[int, int]]:
+    """All ``k`` half-open block ranges of an even split of ``n``."""
+    starts = block_starts(n, k)
+    return [(int(starts[i]), int(starts[i + 1])) for i in range(k)]

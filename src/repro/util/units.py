@@ -1,0 +1,54 @@
+"""Units and human-readable formatting for times, byte counts and counts.
+
+The performance model works in SI seconds and bytes internally; these helpers
+exist only at the reporting boundary (experiment tables, logs).
+"""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "GB", "US", "MS", "fmt_bytes", "fmt_count", "fmt_time"]
+
+KB = 1024.0
+MB = 1024.0**2
+GB = 1024.0**3
+
+US = 1e-6  # one microsecond, in seconds
+MS = 1e-3  # one millisecond, in seconds
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an auto-selected unit (ns / us / ms / s)."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    a = abs(seconds)
+    if a >= 1.0:
+        return f"{seconds:.3f} s"
+    if a >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if a >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Format a byte count with an auto-selected binary unit."""
+    a = abs(nbytes)
+    if a >= GB:
+        return f"{nbytes / GB:.2f} GiB"
+    if a >= MB:
+        return f"{nbytes / MB:.2f} MiB"
+    if a >= KB:
+        return f"{nbytes / KB:.2f} KiB"
+    return f"{nbytes:.0f} B"
+
+
+def fmt_count(x: float) -> str:
+    """Format a large count compactly (e.g. 24576 -> '24.6K')."""
+    a = abs(x)
+    if a >= 1e9:
+        return f"{x / 1e9:.1f}G"
+    if a >= 1e6:
+        return f"{x / 1e6:.1f}M"
+    if a >= 1e3:
+        return f"{x / 1e3:.1f}K"
+    return f"{x:.0f}"

@@ -1,0 +1,38 @@
+"""Small argument-validation helpers used across the package.
+
+These raise :class:`ValueError` with uniform messages so tests can assert on
+error behaviour precisely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "require",
+    "require_divides",
+    "require_positive",
+    "require_power_of_two",
+]
+
+
+def require(cond: bool, msg: str) -> None:
+    """Raise ``ValueError(msg)`` unless ``cond``."""
+    if not cond:
+        raise ValueError(msg)
+
+
+def require_positive(value: int | float, name: str) -> None:
+    """Raise unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_divides(divisor: int, value: int, what: str) -> None:
+    """Raise unless ``divisor`` divides ``value`` exactly."""
+    if divisor <= 0 or value % divisor != 0:
+        raise ValueError(f"{what}: {divisor} must divide {value}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Raise unless ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value!r}")

@@ -1,0 +1,153 @@
+"""Observables: temperature, MSD, radial distribution function."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Trajectory,
+    mean_squared_displacement,
+    radial_distribution,
+    temperature,
+)
+from repro.physics import ParticleSet
+
+
+def make_traj(pos_frames, vel=None):
+    traj = Trajectory()
+    for t, pos in enumerate(pos_frames):
+        n, d = pos.shape
+        v = vel if vel is not None else np.zeros((n, d))
+        traj.append(float(t), ParticleSet(pos.copy(), v.copy(), np.arange(n)))
+    return traj
+
+
+class TestTemperature:
+    def test_equipartition_value(self):
+        vel = np.array([[1.0, 0.0], [0.0, 1.0]])
+        ps = ParticleSet(np.zeros((2, 2)), vel, np.arange(2))
+        # <|v|^2> = 1, d = 2, m = 1 -> T = 0.5.
+        assert temperature(ps) == pytest.approx(0.5)
+
+    def test_mass_scaling(self):
+        vel = np.ones((4, 3))
+        ps = ParticleSet(np.zeros((4, 3)), vel, np.arange(4))
+        assert temperature(ps, mass=2.0) == pytest.approx(2 * temperature(ps))
+
+    def test_zero_velocity(self):
+        ps = ParticleSet(np.zeros((3, 2)), np.zeros((3, 2)), np.arange(3))
+        assert temperature(ps) == 0.0
+
+    def test_empty_raises(self):
+        ps = ParticleSet.empty(2)
+        with pytest.raises(ValueError):
+            temperature(ps)
+
+
+class TestTrajectory:
+    def test_append_and_access(self):
+        traj = make_traj([np.zeros((3, 2)), np.ones((3, 2))])
+        assert len(traj) == 2
+        assert traj.n_particles == 3 and traj.dim == 2
+        assert np.allclose(traj[1].pos, 1.0)
+
+    def test_frames_sorted_by_id(self):
+        traj = Trajectory()
+        ps = ParticleSet(np.array([[1.0], [2.0]]), np.zeros((2, 1)),
+                         np.array([5, 3]))
+        traj.append(0.0, ps)
+        assert list(traj[0].ids) == [3, 5]
+        assert traj[0].pos[0, 0] == 2.0
+
+    def test_mismatched_ids_rejected(self):
+        traj = Trajectory()
+        traj.append(0.0, ParticleSet(np.zeros((2, 1)), np.zeros((2, 1)),
+                                     np.array([0, 1])))
+        with pytest.raises(ValueError):
+            traj.append(1.0, ParticleSet(np.zeros((2, 1)), np.zeros((2, 1)),
+                                         np.array([0, 2])))
+
+    def test_decreasing_time_rejected(self):
+        traj = make_traj([np.zeros((1, 1))])
+        with pytest.raises(ValueError):
+            traj.append(-1.0, ParticleSet(np.zeros((1, 1)),
+                                          np.zeros((1, 1)), np.arange(1)))
+
+    def test_periodic_unwrapping(self):
+        # One particle drifting right through the wall of a unit box.
+        frames = [np.array([[0.8]]), np.array([[0.95]]), np.array([[0.1]])]
+        traj = make_traj(frames)
+        disp = traj.displacements(box=1.0)
+        assert disp[2, 0, 0] == pytest.approx(0.3)  # 0.8 -> 1.1, unwrapped
+
+    def test_empty_positions_raise(self):
+        with pytest.raises(ValueError):
+            Trajectory().positions()
+
+
+class TestMSD:
+    def test_ballistic_growth(self):
+        """Free streaming: MSD(t) = |v|^2 t^2."""
+        v = np.array([[0.3, 0.4]])  # speed 0.5
+        frames = [np.array([[0.0, 0.0]]) + v * t for t in range(5)]
+        traj = make_traj(frames, vel=v)
+        msd = mean_squared_displacement(traj)
+        for t in range(5):
+            assert msd[t] == pytest.approx(0.25 * t * t)
+
+    def test_stationary_is_zero(self):
+        traj = make_traj([np.ones((4, 2))] * 3)
+        assert np.allclose(mean_squared_displacement(traj), 0.0)
+
+    def test_periodic_msd_keeps_growing(self):
+        frames = [np.array([[(0.1 * t) % 1.0]]) for t in range(15)]
+        traj = make_traj(frames)
+        msd = mean_squared_displacement(traj, box=1.0)
+        assert msd[-1] == pytest.approx((0.1 * 14) ** 2, rel=1e-9)
+
+
+class TestRDF:
+    def test_uniform_gas_is_flat(self):
+        ps = ParticleSet.uniform_random(3000, 2, 1.0, seed=0)
+        r, g = radial_distribution(ps, box_length=1.0, periodic=True,
+                                   rmax=0.4, nbins=20)
+        # Away from the smallest bins (noise), g(r) ~ 1.
+        assert np.abs(g[5:] - 1.0).max() < 0.15
+
+    def test_pair_at_known_distance(self):
+        pos = np.array([[0.3, 0.5], [0.7, 0.5]])
+        ps = ParticleSet(pos, np.zeros((2, 2)), np.arange(2))
+        r, g = radial_distribution(ps, box_length=1.0, rmax=0.5, nbins=10)
+        hot = np.argmax(g)
+        assert 0.35 <= r[hot] <= 0.45  # the 0.4 separation bin
+
+    def test_excluded_volume_shows_depletion(self):
+        """A repulsive system run to (near) equilibrium shows g(r) < 1 at
+        short range — particles avoid each other."""
+        from repro.physics import (ForceLaw, euler_step, reference_forces,
+                                   reflect)
+
+        law = ForceLaw(k=1e-3, softening=5e-3)
+        ps = ParticleSet.uniform_random(200, 2, 1.0, seed=3)
+        for _ in range(200):
+            f = reference_forces(law, ps)
+            euler_step(ps.pos, ps.vel, f, 2e-3)
+            ps.vel *= 0.8  # quench toward the energy minimum
+            reflect(ps.pos, ps.vel, 1.0)
+        r, g = radial_distribution(ps, box_length=1.0, rmax=0.25, nbins=12)
+        assert g[0] < 0.5  # depleted core
+
+    def test_1d_and_3d_supported(self):
+        for d in (1, 3):
+            ps = ParticleSet.uniform_random(400, d, 1.0, seed=1)
+            r, g = radial_distribution(ps, box_length=1.0, periodic=True,
+                                       rmax=0.3, nbins=10)
+            assert len(r) == len(g) == 10
+            assert np.isfinite(g).all()
+
+    def test_validation(self):
+        ps = ParticleSet.uniform_random(10, 2, 1.0)
+        with pytest.raises(ValueError):
+            radial_distribution(ps, box_length=1.0, rmax=2.0)
+        one = ParticleSet.uniform_random(1, 2, 1.0)
+        with pytest.raises(ValueError):
+            radial_distribution(one, box_length=1.0)

@@ -1,0 +1,129 @@
+"""Trajectory recording through the distributed driver, and snapshot I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Trajectory, mean_squared_displacement
+from repro.core import (
+    SimulationConfig,
+    allpairs_config,
+    cutoff_config,
+    run_simulation,
+    team_blocks_even,
+    team_blocks_spatial,
+)
+from repro.machines import GenericMachine
+from repro.physics import ForceLaw, ParticleSet, load_particles, save_particles
+
+
+class TestDriverRecording:
+    def _run(self, sample_every, nsteps=6, cutoff=False):
+        law = ForceLaw(k=1e-5, softening=5e-3)
+        ps = ParticleSet.uniform_random(40, 2, 1.0, max_speed=0.05, seed=111)
+        if cutoff:
+            cfg = cutoff_config(8, 2, rcut=0.3, box_length=1.0, dim=2)
+            blocks = team_blocks_spatial(ps, cfg.geometry)
+        else:
+            cfg = allpairs_config(8, 2)
+            blocks = team_blocks_even(ps, cfg.grid.nteams)
+        scfg = SimulationConfig(cfg=cfg, law=law, dt=2e-3, nsteps=nsteps,
+                                box_length=1.0)
+        return run_simulation(GenericMachine(nranks=8), scfg, blocks,
+                              sample_every=sample_every), ps
+
+    def test_no_sampling_by_default(self):
+        out, _ = self._run(0)
+        assert out.trajectory is None
+        assert "sample" not in out.report.phase_labels()
+
+    def test_frame_count_and_times(self):
+        out, _ = self._run(2, nsteps=6)
+        traj = out.trajectory
+        assert isinstance(traj, Trajectory)
+        assert len(traj) == 4  # initial + steps 2, 4, 6
+        assert traj.times == pytest.approx([0.0, 4e-3, 8e-3, 12e-3])
+
+    def test_first_frame_is_initial_state(self):
+        out, ps = self._run(3)
+        first = out.trajectory[0]
+        assert np.allclose(first.pos, ps.sorted_by_id().pos)
+
+    def test_last_frame_matches_final_state(self):
+        out, _ = self._run(1, nsteps=5)
+        last = out.trajectory[-1]
+        assert np.allclose(last.pos, out.particles.pos)
+
+    def test_sampling_is_real_communication(self):
+        out, _ = self._run(1)
+        assert out.report.max_bytes("sample") > 0
+
+    def test_cutoff_run_with_reassignment_keeps_all_particles(self):
+        out, _ = self._run(2, cutoff=True)
+        for frame in out.trajectory.frames:
+            assert np.array_equal(frame.ids, np.arange(40))
+
+    def test_msd_of_recorded_trajectory_is_monotoneish(self):
+        out, _ = self._run(1, nsteps=8)
+        msd = mean_squared_displacement(out.trajectory)
+        assert msd[0] == 0.0
+        assert msd[-1] > 0.0
+
+    def test_verlet_recording(self):
+        law = ForceLaw(k=1e-5)
+        ps = ParticleSet.uniform_random(32, 2, 1.0, max_speed=0.05, seed=112)
+        cfg = allpairs_config(4, 2)
+        scfg = SimulationConfig(cfg=cfg, law=law, dt=2e-3, nsteps=4,
+                                box_length=1.0, integrator="verlet")
+        out = run_simulation(GenericMachine(nranks=4), scfg,
+                             team_blocks_even(ps, cfg.grid.nteams),
+                             sample_every=2)
+        assert len(out.trajectory) == 3
+
+
+class TestSnapshotIO:
+    def test_round_trip(self, tmp_path):
+        ps = ParticleSet.uniform_random(37, 3, 2.0, max_speed=0.4, seed=9)
+        path = tmp_path / "snap.npz"
+        save_particles(path, ps)
+        back = load_particles(path)
+        assert np.array_equal(back.pos, ps.pos)
+        assert np.array_equal(back.vel, ps.vel)
+        assert np.array_equal(back.ids, ps.ids)
+
+    def test_loaded_copy_is_independent(self, tmp_path):
+        ps = ParticleSet.uniform_random(5, 2, 1.0)
+        path = tmp_path / "snap.npz"
+        save_particles(path, ps)
+        a = load_particles(path)
+        b = load_particles(path)
+        a.pos += 1
+        assert not np.allclose(a.pos, b.pos)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, format_version=np.int64(99), pos=np.zeros((1, 1)),
+                 vel=np.zeros((1, 1)), ids=np.zeros(1, dtype=np.int64))
+        with pytest.raises(ValueError, match="version"):
+            load_particles(path)
+
+    def test_checkpoint_restart_continues_identically(self, tmp_path):
+        """Save mid-run, reload, continue: bitwise-identical trajectory."""
+        from repro.physics import euler_step, reference_forces, reflect
+
+        law = ForceLaw(k=1e-5)
+        ps = ParticleSet.uniform_random(30, 2, 1.0, max_speed=0.05, seed=10)
+
+        def advance(state, steps):
+            for _ in range(steps):
+                f = reference_forces(law, state)
+                euler_step(state.pos, state.vel, f, 1e-3)
+                reflect(state.pos, state.vel, 1.0)
+            return state
+
+        full = advance(ps.copy(), 10)
+        half = advance(ps.copy(), 5)
+        path = tmp_path / "ckpt.npz"
+        save_particles(path, half)
+        resumed = advance(load_particles(path), 5)
+        assert np.array_equal(resumed.pos, full.pos)
+        assert np.array_equal(resumed.vel, full.vel)

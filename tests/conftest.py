@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import GenericMachine, GenericTorus, InstantMachine
+from repro.physics import ForceLaw, ParticleSet
+
+
+@pytest.fixture
+def law():
+    """Default repulsive inverse-square force law."""
+    return ForceLaw(k=1e-4, softening=1e-3)
+
+
+@pytest.fixture
+def particles_2d():
+    """A reproducible 2-D particle set in the unit box."""
+    return ParticleSet.uniform_random(96, 2, 1.0, max_speed=0.1, seed=1234)
+
+
+@pytest.fixture
+def particles_1d():
+    """A reproducible 1-D particle set in the unit box."""
+    return ParticleSet.uniform_random(120, 1, 1.0, max_speed=0.1, seed=4321)
+
+
+@pytest.fixture
+def machine8():
+    return GenericMachine(nranks=8)
+
+
+@pytest.fixture
+def machine16():
+    return GenericMachine(nranks=16)
+
+
+@pytest.fixture
+def torus64():
+    return GenericTorus(nranks=64, cores_per_node=4)
+
+
+@pytest.fixture
+def instant16():
+    return InstantMachine(nranks=16)
+
+
+def assert_forces_close(got: np.ndarray, want: np.ndarray, *, rtol=1e-9):
+    """Force comparison helper with a scale-aware tolerance.
+
+    Distributed runs sum contributions in a different order than the serial
+    reference, so exact equality is not expected; agreement must be at
+    floating-point-roundoff scale relative to the force magnitudes.
+    """
+    scale = max(float(np.abs(want).max()), 1e-30)
+    assert np.abs(got - want).max() <= rtol * scale + 1e-15

@@ -1,0 +1,66 @@
+"""Particle distribution and result collection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    team_blocks_even,
+    team_blocks_spatial,
+    virtual_team_blocks,
+)
+from repro.physics import ParticleSet, TeamGeometry, team_of_positions
+
+
+class TestEvenBlocks:
+    def test_partition(self):
+        ps = ParticleSet.uniform_random(10, 2, 1.0, seed=0)
+        blocks = team_blocks_even(ps, 3)
+        assert [len(b) for b in blocks] == [4, 3, 3]
+        assert np.array_equal(np.concatenate([b.ids for b in blocks]), ps.ids)
+
+    def test_more_teams_than_particles(self):
+        ps = ParticleSet.uniform_random(2, 2, 1.0)
+        blocks = team_blocks_even(ps, 5)
+        assert [len(b) for b in blocks] == [1, 1, 0, 0, 0]
+
+
+class TestSpatialBlocks:
+    def test_binning_consistent_with_domain(self):
+        ps = ParticleSet.uniform_random(50, 2, 1.0, seed=1)
+        g = TeamGeometry(1.0, (2, 2))
+        blocks = team_blocks_spatial(ps, g)
+        assert sum(len(b) for b in blocks) == 50
+        for t, block in enumerate(blocks):
+            if len(block):
+                assert (team_of_positions(block.pos, g) == t).all()
+
+    def test_empty_regions_allowed(self):
+        ps = ParticleSet(np.full((3, 1), 0.05), np.zeros((3, 1)),
+                         np.arange(3))
+        g = TeamGeometry(1.0, (4,))
+        blocks = team_blocks_spatial(ps, g)
+        assert len(blocks[0]) == 3
+        assert all(len(b) == 0 for b in blocks[1:])
+
+
+class TestVirtualBlocks:
+    def test_counts_match_even_split(self):
+        blocks = virtual_team_blocks(10, 3)
+        assert [b.count for b in blocks] == [4, 3, 3]
+        assert [b.team for b in blocks] == [0, 1, 2]
+
+    def test_total_preserved(self):
+        blocks = virtual_team_blocks(4097, 16)
+        assert sum(b.count for b in blocks) == 4097
+
+
+class TestCollectLeaderForces:
+    def test_missing_home_raises(self):
+        from repro.core import collect_leader_forces
+        from repro.core.ca_step import CAStepResult
+        from repro.simmpi import ReplicatedGrid
+
+        grid = ReplicatedGrid(p=2, c=1)
+        results = [CAStepResult(row=0, col=0, npairs=0, updates=0, home=None)] * 2
+        with pytest.raises(ValueError):
+            collect_leader_forces(results, grid)

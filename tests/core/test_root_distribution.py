@@ -1,0 +1,95 @@
+"""Scatter-from-root / gather-to-root on-ramps."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    allpairs_config,
+    cutoff_config,
+    distribute_from_root,
+    gather_to_root,
+)
+from repro.core.ca_step import ca_interaction_step
+from repro.machines import GenericMachine
+from repro.physics import ForceLaw, ParticleSet, RealKernel, reference_forces
+from repro.simmpi import Engine
+
+from tests.conftest import assert_forces_close
+
+
+def full_pipeline(p, c, ps, law, geometry=None):
+    cfg = (cutoff_config(p, c, rcut=0.3, box_length=1.0, dim=2)
+           if geometry else allpairs_config(p, c))
+    kernel = RealKernel(
+        law=law if not geometry else law.with_rcut(0.3)
+    )
+
+    def program(comm):
+        block = yield from distribute_from_root(
+            comm, cfg.grid, ps if comm.rank == 0 else None,
+            geometry=cfg.geometry if geometry else None,
+        )
+        res = yield from ca_interaction_step(comm, cfg, kernel, block)
+        out_block = res.home.particles if res.home is not None else None
+        full = yield from gather_to_root(comm, cfg.grid, out_block)
+        forces = res.home.forces if res.home is not None else None
+        return (full, res.col if forces is not None else None, forces)
+
+    return Engine(GenericMachine(nranks=p)).run(program), cfg
+
+
+class TestDistributeGather:
+    @pytest.mark.parametrize("p,c", [(4, 1), (8, 2), (12, 3)])
+    def test_round_trip_preserves_particles(self, p, c, law):
+        ps = ParticleSet.uniform_random(50, 2, 1.0, seed=77)
+        run, _ = full_pipeline(p, c, ps, law)
+        full = run.results[0][0]
+        assert np.array_equal(full.ids, np.arange(50))
+        assert np.allclose(full.sorted_by_id().pos, ps.sorted_by_id().pos)
+        assert all(r[0] is None for r in run.results[1:])
+
+    def test_forces_correct_through_pipeline(self, law):
+        """distribute -> interact -> forces match the serial reference."""
+        ps = ParticleSet.uniform_random(48, 2, 1.0, seed=78)
+        cfg = allpairs_config(8, 2)
+        kernel = RealKernel(law=law)
+
+        def program(comm):
+            block = yield from distribute_from_root(
+                comm, cfg.grid, ps if comm.rank == 0 else None
+            )
+            res = yield from ca_interaction_step(comm, cfg, kernel, block)
+            if res.home is None:
+                return None
+            return (res.home.particles.ids, res.home.forces)
+
+        run = Engine(GenericMachine(nranks=8)).run(program)
+        pairs = [r for r in run.results if r is not None]
+        ids = np.concatenate([i for i, _ in pairs])
+        forces = np.concatenate([f for _, f in pairs])
+        order = np.argsort(ids, kind="stable")
+        ref = reference_forces(law, ps)
+        assert_forces_close(forces[order], ref)
+
+    def test_spatial_distribution_from_root(self, law):
+        ps = ParticleSet.uniform_random(60, 2, 1.0, seed=79)
+        run, cfg = full_pipeline(8, 2, ps, law, geometry=True)
+        full = run.results[0][0]
+        assert np.array_equal(full.ids, np.arange(60))
+
+    def test_phases_traced(self, law):
+        ps = ParticleSet.uniform_random(30, 2, 1.0, seed=80)
+        run, _ = full_pipeline(4, 2, ps, law)
+        labels = run.report.phase_labels()
+        assert "distribute" in labels and "collect" in labels
+        assert run.report.max_bytes("distribute") > 0
+
+    def test_missing_particles_on_root_raises(self, law):
+        cfg = allpairs_config(4, 1)
+
+        def program(comm):
+            block = yield from distribute_from_root(comm, cfg.grid, None)
+            return block
+
+        with pytest.raises(Exception, match="rank 0 must supply"):
+            Engine(GenericMachine(nranks=4)).run(program)

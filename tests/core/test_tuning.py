@@ -1,0 +1,80 @@
+"""Runtime autotuning of the replication factor."""
+
+import pytest
+
+from repro.core import autotune_c, candidate_cs
+from repro.machines import GenericTorus, Hopper
+
+
+class TestCandidates:
+    def test_divisors_up_to_sqrt(self):
+        assert candidate_cs(64) == [1, 2, 4, 8]
+        assert candidate_cs(12) == [1, 2, 3]
+        assert candidate_cs(7) == [1]
+        assert candidate_cs(1) == [1]
+
+    def test_max_c_cap(self):
+        assert candidate_cs(64, max_c=2) == [1, 2]
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            candidate_cs(0)
+
+
+class TestAutotune:
+    def test_allpairs_tuning_ranks_all_candidates(self):
+        m = GenericTorus(nranks=64, cores_per_node=4)
+        result = autotune_c(m, 4096)
+        assert sorted(c for c, _ in result.ranked) == candidate_cs(64)
+        times = [t for _, t in result.ranked]
+        assert times == sorted(times)
+        assert result.best_time == result.time_of(result.best_c)
+
+    def test_replication_helps_on_comm_bound_problem(self):
+        """With heavy communication, the tuner must not pick c=1."""
+        m = GenericTorus(nranks=64, cores_per_node=4, alpha=5e-5,
+                         pair_time=1e-9)
+        result = autotune_c(m, 2048)
+        assert result.best_c > 1
+
+    def test_cutoff_tuning(self):
+        m = GenericTorus(nranks=64, cores_per_node=4)
+        result = autotune_c(m, 4096, rcut=0.25, box_length=1.0, dim=1)
+        assert result.best_c in candidate_cs(64)
+
+    def test_cutoff_requires_box(self):
+        m = GenericTorus(nranks=16)
+        with pytest.raises(ValueError):
+            autotune_c(m, 512, rcut=0.25)
+
+    def test_explicit_candidates(self):
+        m = GenericTorus(nranks=64, cores_per_node=4)
+        result = autotune_c(m, 1024, candidates=[2, 4])
+        assert {c for c, _ in result.ranked} == {2, 4}
+
+    def test_invalid_candidate(self):
+        m = GenericTorus(nranks=64, cores_per_node=4)
+        with pytest.raises(ValueError):
+            autotune_c(m, 1024, candidates=[5])
+
+    def test_custom_measure(self):
+        m = GenericTorus(nranks=16, cores_per_node=4)
+        result = autotune_c(m, 256, measure=lambda c: 1.0 / c)
+        assert result.best_c == max(candidate_cs(16))
+
+    def test_time_of_unknown_c(self):
+        m = GenericTorus(nranks=16, cores_per_node=4)
+        result = autotune_c(m, 256, candidates=[1, 2])
+        with pytest.raises(KeyError):
+            result.time_of(4)
+
+    def test_summary_renders(self):
+        m = GenericTorus(nranks=16, cores_per_node=4)
+        text = autotune_c(m, 256).summary()
+        assert "time/step" in text and "1.00x" in text
+
+    def test_paper_machine_tuning_smoke(self):
+        """On a small Hopper slice, some replication should win."""
+        m = Hopper(96, cores_per_node=12)
+        result = autotune_c(m, 8192)
+        assert result.best_c >= 2

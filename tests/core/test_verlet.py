@@ -1,0 +1,104 @@
+"""Velocity-Verlet integration in the distributed driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SimulationConfig,
+    allpairs_config,
+    cutoff_config,
+    run_simulation,
+    team_blocks_even,
+    team_blocks_spatial,
+)
+from repro.machines import GenericMachine
+from repro.physics import (
+    ForceLaw,
+    ParticleSet,
+    drift,
+    kick,
+    kinetic_energy,
+    potential_energy,
+    reference_forces,
+    reflect,
+)
+
+
+def serial_verlet(ps, law, dt, nsteps, box_length, rcut=None):
+    ps = ps.copy()
+    use = law if rcut is None else law.with_rcut(rcut)
+    f = reference_forces(use, ps)
+    for _ in range(nsteps):
+        kick(ps.vel, f, dt / 2)
+        drift(ps.pos, ps.vel, dt)
+        reflect(ps.pos, ps.vel, box_length)
+        f = reference_forces(use, ps)
+        kick(ps.vel, f, dt / 2)
+    return ps.sorted_by_id()
+
+
+class TestVerletAllPairs:
+    @pytest.mark.parametrize("p,c", [(4, 1), (8, 2), (12, 3)])
+    def test_matches_serial_verlet(self, p, c, law):
+        ps = ParticleSet.uniform_random(48, 2, 1.0, max_speed=0.05, seed=61)
+        ref = serial_verlet(ps, law, dt=2e-3, nsteps=5, box_length=1.0)
+        cfg = allpairs_config(p, c)
+        scfg = SimulationConfig(cfg=cfg, law=law, dt=2e-3, nsteps=5,
+                                box_length=1.0, integrator="verlet")
+        out = run_simulation(GenericMachine(nranks=p), scfg,
+                             team_blocks_even(ps, cfg.grid.nteams))
+        assert np.abs(out.particles.pos - ref.pos).max() < 1e-10
+        assert np.abs(out.particles.vel - ref.vel).max() < 1e-10
+
+    def test_differs_from_euler(self, law):
+        ps = ParticleSet.uniform_random(32, 2, 1.0, max_speed=0.05, seed=62)
+        cfg = allpairs_config(8, 2)
+        runs = {}
+        for integ in ("euler", "verlet"):
+            scfg = SimulationConfig(cfg=cfg, law=law, dt=5e-3, nsteps=4,
+                                    box_length=1.0, integrator=integ)
+            runs[integ] = run_simulation(
+                GenericMachine(nranks=8), scfg,
+                team_blocks_even(ps, cfg.grid.nteams)
+            )
+        assert not np.allclose(runs["euler"].particles.pos,
+                               runs["verlet"].particles.pos)
+
+    def test_unknown_integrator_rejected(self, law):
+        cfg = allpairs_config(4, 1)
+        with pytest.raises(ValueError, match="integrator"):
+            SimulationConfig(cfg=cfg, law=law, dt=1e-3, nsteps=1,
+                             box_length=1.0, integrator="leapfrog")
+
+
+class TestVerletCutoff:
+    def test_matches_serial_with_reassignment(self, law):
+        rcut = 0.3
+        ps = ParticleSet.uniform_random(60, 2, 1.0, max_speed=0.05, seed=63)
+        ref = serial_verlet(ps, law, dt=2e-3, nsteps=4, box_length=1.0,
+                            rcut=rcut)
+        cfg = cutoff_config(8, 2, rcut=rcut, box_length=1.0, dim=2)
+        scfg = SimulationConfig(cfg=cfg, law=law, dt=2e-3, nsteps=4,
+                                box_length=1.0, integrator="verlet")
+        out = run_simulation(GenericMachine(nranks=8), scfg,
+                             team_blocks_spatial(ps, cfg.geometry))
+        assert np.abs(out.particles.pos - ref.pos).max() < 1e-10
+
+    def test_energy_conservation_better_than_euler(self):
+        """Verlet's energy drift over a long run is far below Euler's."""
+        law = ForceLaw(k=1e-5, softening=5e-3)
+        ps = ParticleSet.uniform_random(48, 2, 1.0, max_speed=0.02, seed=64)
+        cfg = allpairs_config(8, 2)
+        lawc = law
+
+        def drift_of(integ):
+            scfg = SimulationConfig(cfg=cfg, law=law, dt=8e-3, nsteps=40,
+                                    box_length=1.0, integrator=integ)
+            out = run_simulation(GenericMachine(nranks=8), scfg,
+                                 team_blocks_even(ps, cfg.grid.nteams))
+            final = out.particles
+            e0 = kinetic_energy(ps.vel) + potential_energy(lawc, ps.pos)
+            e1 = kinetic_energy(final.vel) + potential_energy(lawc, final.pos)
+            return abs(e1 - e0) / abs(e0)
+
+        assert drift_of("verlet") < drift_of("euler")

@@ -1,0 +1,172 @@
+"""Shift schedules: the combinatorics behind Algorithms 1 and 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import all_pairs_schedule, cutoff_schedule
+
+
+def divisor_pairs():
+    """(nteams, c) pairs with various divisibility relations."""
+    return [
+        (8, 1), (8, 2), (8, 4), (8, 8),
+        (6, 2), (6, 3), (5, 1), (5, 5),
+        (12, 4), (7, 2), (9, 3), (16, 8),
+    ]
+
+
+class TestAllPairsSchedule:
+    @pytest.mark.parametrize("nteams,c", divisor_pairs())
+    def test_validate(self, nteams, c):
+        all_pairs_schedule(nteams, c).validate()
+
+    def test_paper_step_count(self):
+        """With c | nteams, exactly nteams/c = p/c^2 steps (Algorithm 1)."""
+        s = all_pairs_schedule(16, 4)
+        assert s.steps == 4
+        assert s.window == 16
+
+    def test_padding_when_c_does_not_divide(self):
+        s = all_pairs_schedule(7, 2)
+        assert s.window == 8
+        assert s.steps == 4
+        assert sum(s.skip) == 1  # one padded alias
+
+    def test_c1_is_systolic_ring(self):
+        s = all_pairs_schedule(6, 1)
+        assert s.steps == 6
+        assert not any(s.skip)
+        # Every step moves by one column.
+        for i in range(s.steps):
+            assert s.step_move(0, i) in [(-1,), (5,)]
+
+    def test_skew_matches_paper(self):
+        """Row k's skew magnitude is k (modulo direction convention)."""
+        s = all_pairs_schedule(16, 4)
+        for k in range(4):
+            assert s.skew_move(k) == (-k,)
+
+    @pytest.mark.parametrize("nteams,c", divisor_pairs())
+    def test_each_column_sees_every_team_once(self, nteams, c):
+        s = all_pairs_schedule(nteams, c)
+        for col in range(nteams):
+            seen = []
+            for k in range(c):
+                for i in range(s.steps):
+                    u = s.update_position(k, i)
+                    if not s.skip[u]:
+                        seen.append(s.visitor_of(col, u))
+            assert sorted(seen) == list(range(nteams))
+
+    @pytest.mark.parametrize("nteams,c", divisor_pairs())
+    def test_positions_partition_window(self, nteams, c):
+        s = all_pairs_schedule(nteams, c)
+        covered = [u for k in range(c) for u in s.covered_positions(k)]
+        assert sorted(covered) == list(range(s.window))
+
+    def test_holder_visitor_inverse(self):
+        s = all_pairs_schedule(12, 3)
+        for u in range(s.window):
+            for team in range(12):
+                col = s.holder_of(team, u)
+                assert s.visitor_of(col, u) == team
+
+
+class TestCutoffSchedule:
+    @pytest.mark.parametrize("dims,m,c", [
+        ((8,), (2,), 1), ((8,), (2,), 2), ((8,), (2,), 4),
+        ((16,), (4,), 3), ((4, 4), (1, 1), 2), ((4, 4), (1, 1), 4),
+        ((6, 4), (2, 1), 2), ((3, 3, 3), (1, 1, 1), 3),
+    ])
+    def test_validate(self, dims, m, c):
+        cutoff_schedule(dims, m, c).validate()
+
+    def test_window_size(self):
+        s = cutoff_schedule((16,), (3,), 1)
+        assert s.window == 7  # 2m+1
+        assert s.steps == 7
+
+    def test_window_padded_to_c(self):
+        s = cutoff_schedule((16,), (3,), 4)
+        assert s.window == 8
+        assert s.steps == 2
+
+    def test_offsets_cover_cutoff_span(self):
+        s = cutoff_schedule((16,), (3,), 1)
+        offs = {o[0] for o, skip in zip(s.offsets, s.skip) if not skip}
+        assert offs == set(range(-3, 4))
+
+    def test_2d_offsets_cover_box(self):
+        s = cutoff_schedule((8, 8), (1, 2), 1)
+        offs = {o for o, skip in zip(s.offsets, s.skip) if not skip}
+        assert offs == {(a, b) for a in (-1, 0, 1) for b in (-2, -1, 0, 1, 2)}
+
+    def test_small_grid_aliases_skipped(self):
+        # Window wider than the grid: wrapped duplicates must be skipped.
+        s = cutoff_schedule((3,), (2,), 1)
+        s.validate()
+        effective = [s.wrap_offset(o) for o, sk in zip(s.offsets, s.skip) if not sk]
+        assert len(effective) == len(set(effective)) == 3
+
+    @pytest.mark.parametrize("dims,m,c", [
+        ((8,), (2,), 2), ((12,), (3,), 2), ((4, 4), (1, 1), 2),
+        ((6, 6), (2, 2), 4),
+    ])
+    def test_each_column_sees_window_neighbors_once(self, dims, m, c):
+        s = cutoff_schedule(dims, m, c)
+        nteams = s.nteams
+        for col in range(nteams):
+            seen = []
+            for k in range(c):
+                for i in range(s.steps):
+                    u = s.update_position(k, i)
+                    if not s.skip[u]:
+                        seen.append(s.visitor_of(col, u))
+            assert len(seen) == len(set(seen))
+
+    def test_requires_matching_dims(self):
+        with pytest.raises(ValueError):
+            cutoff_schedule((4, 4), (1,), 1)
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            cutoff_schedule((4,), (-1,), 1)
+
+    def test_zero_span_is_self_only(self):
+        s = cutoff_schedule((5,), (0,), 1)
+        assert s.window == 1
+        assert s.offsets == ((0,),)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(nteams=st.integers(1, 20), c=st.integers(1, 8))
+    def test_allpairs_always_valid(self, nteams, c):
+        s = all_pairs_schedule(nteams, c)
+        s.validate()
+        assert s.window % c == 0
+        assert s.steps * c == s.window
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        dims=st.sampled_from([(4,), (8,), (3, 3), (4, 2), (2, 2, 2)]),
+        m_seed=st.integers(0, 3),
+        c=st.integers(1, 6),
+    )
+    def test_cutoff_always_valid(self, dims, m_seed, c):
+        m = tuple(min(m_seed, d // 2) for d in dims)
+        s = cutoff_schedule(dims, m, c)
+        s.validate()
+        # Non-skipped wrapped offsets within the window are unique & complete
+        # relative to what the grid can express.
+        effective = {
+            s.wrap_offset(o) for o, sk in zip(s.offsets, s.skip) if not sk
+        }
+        physical = {
+            tuple(x % d for x, d in zip(off, dims))
+            for off in __import__("itertools").product(
+                *[range(-mk, mk + 1) for mk in m]
+            )
+        }
+        assert effective == physical

@@ -1,0 +1,77 @@
+"""ASCII chart rendering of the evaluation figures."""
+
+import pytest
+
+from repro.experiments import (
+    FIG2,
+    FIG3,
+    chart_breakdown,
+    chart_figure,
+    chart_scaling,
+    run_figure,
+    validate_figure,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2a():
+    return run_figure(FIG2["2a"])
+
+
+@pytest.fixture(scope="module")
+def fig3a():
+    return run_figure(FIG3["3a"])
+
+
+class TestBreakdownChart:
+    def test_one_bar_per_config(self, fig2a):
+        text = chart_breakdown(fig2a)
+        for c in FIG2["2a"].cs:
+            assert f"c={c}" in text
+        assert "legend:" in text
+
+    def test_bar_lengths_track_totals(self, fig2a):
+        text = chart_breakdown(fig2a, width=40)
+        lengths = {}
+        for line in text.splitlines():
+            if "|" in line and "ms" in line:
+                label = line.split("|")[0].strip()
+                bar = line.split("|")[1]
+                lengths[label] = sum(1 for ch in bar if ch != " ")
+        totals = {k: b.total for k, b in fig2a.breakdowns.items()}
+        # The longest bar belongs to the slowest configuration.
+        assert max(lengths, key=lengths.get) == max(totals, key=totals.get)
+
+    def test_phase_glyphs_present(self, fig2a):
+        text = chart_breakdown(fig2a)
+        assert "#" in text  # compute
+        assert "=" in text  # shift
+
+    def test_dispatch(self, fig2a):
+        assert chart_figure(fig2a) == chart_breakdown(fig2a)
+
+
+class TestScalingChart:
+    def test_structure(self, fig3a):
+        text = chart_scaling(fig3a)
+        assert "1.0 |" in text and "0.0 |" in text
+        for p in FIG3["3a"].machine_sizes:
+            assert str(p) in text
+        assert "c=1" in text
+
+    def test_dispatch(self, fig3a):
+        assert chart_figure(fig3a) == chart_scaling(fig3a)
+
+    def test_markers_for_each_series(self, fig3a):
+        text = chart_scaling(fig3a)
+        # c=1 (marker 'a') collapses: its marker appears well below 1.0.
+        body = text.splitlines()
+        low_rows = [ln for ln in body if ln.startswith((" 0.2", " 0.3"))]
+        assert any("a" in ln or "*" in ln for ln in low_rows)
+
+
+class TestChartsOnValidationRuns:
+    def test_chart_of_event_sim_result(self):
+        res = validate_figure(FIG2["2a"], p=16, n=512, cs=(1, 2))
+        text = chart_figure(res)
+        assert "c=1" in text and "c=2" in text

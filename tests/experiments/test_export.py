@@ -1,0 +1,87 @@
+"""CSV/JSON export of regenerated figures."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import FIG2, FIG3, export_csv, export_json, run_figure
+
+
+@pytest.fixture(scope="module")
+def fig2a():
+    return run_figure(FIG2["2a"])
+
+
+@pytest.fixture(scope="module")
+def fig3a():
+    return run_figure(FIG3["3a"])
+
+
+class TestCsv:
+    def test_breakdown_rows_parse(self, fig2a):
+        rows = list(csv.DictReader(io.StringIO(export_csv(fig2a))))
+        assert {"figure", "config", "phase", "seconds"} == set(rows[0])
+        labels = {r["config"] for r in rows}
+        assert labels == set(fig2a.breakdowns)
+        # Totals equal the sum of the phase rows per config.
+        for label in labels:
+            mine = [r for r in rows if r["config"] == label]
+            total = next(float(r["seconds"]) for r in mine
+                         if r["phase"] == "total")
+            parts = sum(float(r["seconds"]) for r in mine
+                        if r["phase"] != "total")
+            assert total == pytest.approx(parts)
+
+    def test_scaling_rows(self, fig3a):
+        rows = list(csv.DictReader(io.StringIO(export_csv(fig3a))))
+        assert {"figure", "c", "machine_size", "efficiency"} == set(rows[0])
+        effs = [float(r["efficiency"]) for r in rows]
+        assert all(0 < e <= 1.05 for e in effs)
+
+    def test_round_trip_precision(self, fig2a):
+        """repr-formatted floats reload exactly."""
+        rows = list(csv.DictReader(io.StringIO(export_csv(fig2a))))
+        total = next(float(r["seconds"]) for r in rows
+                     if r["config"] == "c=1" and r["phase"] == "total")
+        assert total == fig2a.breakdowns["c=1"].total
+
+
+class TestJson:
+    def test_breakdown_document(self, fig2a):
+        doc = json.loads(export_json(fig2a))
+        assert doc["figure"] == "2a"
+        assert doc["machine"] == "hopper"
+        assert set(doc["breakdowns"]) == set(fig2a.breakdowns)
+        c1 = doc["breakdowns"]["c=1"]
+        assert c1["total"] == pytest.approx(fig2a.breakdowns["c=1"].total)
+
+    def test_scaling_document(self, fig3a):
+        doc = json.loads(export_json(fig3a))
+        assert "efficiency" in doc
+        series = doc["efficiency"]["1"]
+        assert series[0][0] == 1536
+
+
+class TestCliFormats:
+    def _run(self, *argv):
+        buf = io.StringIO()
+        code = cli_main(list(argv), out=buf)
+        return code, buf.getvalue()
+
+    def test_csv_flag(self):
+        code, out = self._run("figures", "2a", "--format", "csv")
+        assert code == 0
+        assert out.startswith("figure,config,phase,seconds")
+
+    def test_json_flag(self):
+        code, out = self._run("figures", "3a", "--format", "json")
+        assert code == 0
+        json.loads(out.strip())
+
+    def test_chart_flag(self):
+        code, out = self._run("figures", "2a", "--chart")
+        assert code == 0
+        assert "legend:" in out

@@ -1,0 +1,71 @@
+"""ASCII Gantt rendering of recorded timelines."""
+
+import pytest
+
+from repro.core import allpairs_config, cutoff_config, virtual_team_blocks
+from repro.core.ca_step import ca_interaction_step
+from repro.experiments import render_gantt
+from repro.machines import GenericMachine, GenericTorus
+from repro.physics import VirtualKernel
+from repro.simmpi import Engine
+
+
+def recorded_run(p=8, c=2, record=True, cutoff=False):
+    if cutoff:
+        cfg = cutoff_config(p, c, rcut=0.25, box_length=1.0, dim=1)
+        kernel = VirtualKernel(dim=1)
+    else:
+        cfg = allpairs_config(p, c)
+        kernel = VirtualKernel()
+    blocks = virtual_team_blocks(512, cfg.grid.nteams)
+
+    def program(comm):
+        col = cfg.grid.col_of(comm.rank)
+        lb = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
+        res = yield from ca_interaction_step(comm, cfg, kernel, lb)
+        return res
+
+    return Engine(GenericTorus(nranks=p, cores_per_node=2),
+                  record_events=record).run(program)
+
+
+class TestRenderGantt:
+    def test_row_per_rank(self):
+        res = recorded_run(p=8)
+        text = render_gantt(res, width=40)
+        assert text.count("rank") == 8
+        assert "legend:" in text
+
+    def test_requires_recording(self):
+        res = recorded_run(record=False)
+        with pytest.raises(ValueError, match="record_events"):
+            render_gantt(res)
+
+    def test_width_respected(self):
+        res = recorded_run()
+        text = render_gantt(res, width=25)
+        for line in text.splitlines():
+            if line.startswith("rank"):
+                bar = line.split("|")[1]
+                assert len(bar) == 25
+
+    def test_max_ranks_truncation(self):
+        res = recorded_run(p=12, c=2)
+        text = render_gantt(res, width=30, max_ranks=4)
+        rows = [ln for ln in text.splitlines() if ln.startswith("rank")]
+        assert len(rows) == 4
+        assert "more ranks not shown" in text
+
+    def test_compute_glyphs_present(self):
+        res = recorded_run()
+        text = render_gantt(res, width=60)
+        assert "#" in text
+
+    def test_cutoff_boundary_ranks_show_transfers_waits(self):
+        """Boundary ranks spend visible time not computing."""
+        res = recorded_run(p=16, c=2, cutoff=True)
+        text = render_gantt(res, width=60)
+        bars = [ln.split("|")[1] for ln in text.splitlines()
+                if ln.startswith("rank")]
+        # Some rank has a mixed bar (compute + transfer/wait glyphs).
+        assert any(("#" in b) and (("-" in b) or ("." in b)) for b in bars)

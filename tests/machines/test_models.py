@@ -1,0 +1,139 @@
+"""Machine models: cost structure, topology awareness, platform presets."""
+
+import pytest
+
+from repro.machines import (
+    GenericMachine,
+    GenericTorus,
+    Hopper,
+    InstantMachine,
+    Intrepid,
+    MachineModel,
+    TorusMachine,
+)
+
+
+class TestFlatMachine:
+    def test_alpha_beta(self):
+        m = GenericMachine(nranks=4, alpha=1e-6, beta=1e-9)
+        assert m.p2p_time(0, 1, 0) == pytest.approx(1e-6)
+        assert m.p2p_time(0, 1, 1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_self_message_cheaper(self):
+        m = GenericMachine(nranks=2)
+        assert m.p2p_time(0, 0, 10_000) < m.p2p_time(0, 1, 10_000)
+
+    def test_monotone_in_bytes(self):
+        m = GenericMachine(nranks=2)
+        assert m.p2p_time(0, 1, 100) < m.p2p_time(0, 1, 10_000)
+
+    def test_interactions_time(self):
+        m = GenericMachine(nranks=1, pair_time=2e-8)
+        assert m.interactions_time(1000) == pytest.approx(2e-5)
+
+    def test_no_hw_collectives(self):
+        m = GenericMachine(nranks=2)
+        assert not m.has_hw_collectives
+        with pytest.raises(NotImplementedError):
+            m.hw_collective_time("bcast", 8, 2)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            MachineModel(nranks=0)
+
+    def test_describe(self):
+        assert "generic" in GenericMachine(nranks=4).describe()
+
+
+class TestTorusMachine:
+    def test_same_node_uses_shared_memory_path(self):
+        m = GenericTorus(nranks=16, cores_per_node=4)
+        t_intra = m.p2p_time(0, 1, 1000)  # same node
+        t_inter = m.p2p_time(0, 4, 1000)  # neighbor node
+        assert t_intra < t_inter
+
+    def test_hops_increase_cost(self):
+        m = GenericTorus(nranks=64, cores_per_node=1, ndims=1)
+        near = m.p2p_time(0, 1, 0)
+        far = m.p2p_time(0, 32, 0)
+        assert far > near
+
+    def test_nic_sharing_scales_beta(self):
+        m1 = GenericTorus(nranks=16, cores_per_node=1)
+        m4 = GenericTorus(nranks=64, cores_per_node=4)
+        # Per-byte costs at one hop differ by the core count sharing a NIC.
+        b1 = m1.internode_beta(1)
+        b4 = m4.internode_beta(1)
+        assert b4 == pytest.approx(4 * b1)
+
+    def test_route_congestion_kicks_in_for_long_routes(self):
+        m = GenericTorus(nranks=64, cores_per_node=1)
+        assert m.internode_beta(10) > m.internode_beta(1)
+
+    def test_rank_distance(self):
+        m = GenericTorus(nranks=16, cores_per_node=4)
+        assert m.rank_distance_hops(0, 3) == 0  # same node
+        assert m.rank_distance_hops(0, 4) >= 1
+
+    def test_nranks_must_fill_nodes(self):
+        with pytest.raises(ValueError):
+            TorusMachine(nranks=10, cores_per_node=4)
+
+    def test_describe_mentions_torus(self):
+        assert "torus" in GenericTorus(nranks=8).describe()
+
+
+class TestInstantMachine:
+    def test_everything_free(self):
+        m = InstantMachine(nranks=4)
+        assert m.p2p_time(0, 1, 10**9) == 0.0
+        assert m.interactions_time(10**9) == 0.0
+
+
+class TestHopper:
+    def test_shape(self):
+        m = Hopper(24576)
+        assert m.nranks == 24576
+        assert m.cores_per_node == 24
+        assert m.nnodes == 1024
+        assert not m.has_hw_collectives
+
+    def test_small_test_machine(self):
+        m = Hopper(32, cores_per_node=4)
+        assert m.nnodes == 8
+
+    def test_node_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Hopper(100)
+
+    def test_paper_sizes_construct(self):
+        for p in (1536, 3072, 6144, 12288, 24576):
+            assert Hopper(p).nranks == p
+
+
+class TestIntrepid:
+    def test_tree_network(self):
+        m = Intrepid(8192)
+        assert m.has_hw_collectives
+        assert m.cores_per_node == 4
+
+    def test_tree_disabled(self):
+        assert not Intrepid(8192, tree=False).has_hw_collectives
+
+    def test_tree_times(self):
+        m = Intrepid(1024)
+        t_b = m.hw_collective_time("bcast", 1000, 1024)
+        t_ar = m.hw_collective_time("allreduce", 1000, 1024)
+        t_ag = m.hw_collective_time("allgather", 1000, 1024)
+        assert t_b < t_ar < t_ag  # volume through the root grows
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Intrepid(16, cores_per_node=4).hw_collective_time("scan", 8, 16)
+
+    def test_slower_core_than_hopper(self):
+        assert Intrepid(24).pair_time > Hopper(24).pair_time
+
+    def test_paper_sizes_construct(self):
+        for p in (2048, 4096, 8192, 16384, 32768):
+            assert Intrepid(p).nranks == p

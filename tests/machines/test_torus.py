@@ -1,0 +1,98 @@
+"""Torus geometry: factorization, coordinates, hop distances."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import Torus, balanced_dims
+
+
+class TestBalancedDims:
+    def test_cube(self):
+        assert balanced_dims(64, 3) == (4, 4, 4)
+
+    def test_near_cube(self):
+        assert balanced_dims(128, 3) == (8, 4, 4)
+
+    def test_one_dim(self):
+        assert balanced_dims(12, 1) == (12,)
+
+    def test_two_dims(self):
+        assert balanced_dims(24576, 2) == (192, 128)
+
+    def test_prime(self):
+        assert balanced_dims(7, 3) == (7, 1, 1)
+
+    def test_one_node(self):
+        assert balanced_dims(1, 3) == (1, 1, 1)
+
+    @given(n=st.integers(1, 4096), d=st.integers(1, 4))
+    def test_product_preserved(self, n, d):
+        dims = balanced_dims(n, d)
+        prod = 1
+        for x in dims:
+            prod *= x
+        assert prod == n
+        assert len(dims) == d
+        assert list(dims) == sorted(dims, reverse=True)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_dims(0, 3)
+
+
+class TestTorus:
+    def test_coords_roundtrip(self):
+        t = Torus((4, 3, 2))
+        for node in range(t.nnodes):
+            assert t.node_at(t.coords(node)) == node
+
+    def test_hops_identity(self):
+        t = Torus((4, 4, 4))
+        assert t.hops(5, 5) == 0
+
+    def test_hops_neighbors(self):
+        t = Torus((4, 4))
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 4) == 1
+
+    def test_wraparound(self):
+        t = Torus((8,))
+        assert t.hops(0, 7) == 1
+        assert t.hops(0, 4) == 4
+        assert t.hops(1, 6) == 3
+
+    @given(dims=st.sampled_from([(4,), (3, 5), (4, 4, 2), (2, 3, 4)]),
+           a=st.integers(0, 100), b=st.integers(0, 100))
+    def test_hops_symmetric_and_bounded(self, dims, a, b):
+        t = Torus(dims)
+        a, b = a % t.nnodes, b % t.nnodes
+        assert t.hops(a, b) == t.hops(b, a)
+        assert 0 <= t.hops(a, b) <= t.max_hops
+
+    @given(dims=st.sampled_from([(5,), (3, 4), (2, 2, 3)]),
+           abc=st.tuples(st.integers(0, 59), st.integers(0, 59), st.integers(0, 59)))
+    def test_triangle_inequality(self, dims, abc):
+        t = Torus(dims)
+        a, b, c = (x % t.nnodes for x in abc)
+        assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+
+    def test_max_hops(self):
+        assert Torus((8, 8, 8)).max_hops == 12
+        assert Torus((5,)).max_hops == 2
+
+    def test_mean_hops_small_case(self):
+        # Ring of 4: distances from any node are [0, 1, 2, 1] -> mean 1.0.
+        assert Torus((4,)).mean_hops() == pytest.approx(1.0)
+
+    def test_fit(self):
+        t = Torus.fit(1024, 3)
+        assert t.nnodes == 1024
+        assert t.dims == (16, 8, 8)
+
+    def test_invalid_node(self):
+        t = Torus((2, 2))
+        with pytest.raises(ValueError):
+            t.coords(4)
+        with pytest.raises(ValueError):
+            t.node_at((2, 0))

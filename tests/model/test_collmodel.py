@@ -1,0 +1,121 @@
+"""Embedded collective timing vs. direct engine measurements."""
+
+import operator
+
+import pytest
+
+from repro.machines import GenericTorus, Hopper
+from repro.model import (
+    SubsetMachine,
+    team_bcast_time,
+    team_reduce_time,
+    world_allgather_time,
+)
+from repro.simmpi import Engine
+
+
+class _Sized:
+    __slots__ = ("wire_nbytes",)
+
+    def __init__(self, nbytes):
+        self.wire_nbytes = nbytes
+
+    def __add__(self, other):
+        return self
+
+
+class TestSubsetMachine:
+    def test_translates_ranks(self):
+        parent = GenericTorus(nranks=16, cores_per_node=4)
+        sub = SubsetMachine(parent, (1, 9, 13))
+        assert sub.nranks == 3
+        assert sub.p2p_time(0, 1, 100) == parent.p2p_time(1, 9, 100)
+        assert not sub.has_hw_collectives
+        with pytest.raises(NotImplementedError):
+            sub.hw_collective_time("bcast", 8, 3)
+
+    def test_delegates_compute(self):
+        parent = GenericTorus(nranks=4, pair_time=2e-8)
+        sub = SubsetMachine(parent, (0, 2))
+        assert sub.interactions_time(100) == pytest.approx(2e-6)
+
+
+class TestTeamCollectiveTimes:
+    def test_matches_direct_engine_run(self):
+        machine = GenericTorus(nranks=32, cores_per_node=4)
+        ranks = (3, 11, 19, 27)
+        nbytes = 4096
+
+        def program(comm):
+            group = comm.sub(list(ranks))
+            if group is not None:
+                v = yield from group.bcast(
+                    _Sized(nbytes) if group.rank == 0 else None, 0
+                )
+                del v
+            return comm.now()
+
+        direct = Engine(machine).run(program)
+        t_direct = max(direct.results[r] for r in ranks)
+        assert team_bcast_time(machine, ranks, nbytes) == pytest.approx(t_direct)
+
+    def test_reduce_matches_direct_engine_run(self):
+        machine = GenericTorus(nranks=32, cores_per_node=4)
+        ranks = (0, 8, 16, 24)
+        nbytes = 1024
+
+        def program(comm):
+            group = comm.sub(list(ranks))
+            if group is not None:
+                v = yield from group.reduce(_Sized(nbytes), operator.add, 0)
+                del v
+            return comm.now()
+
+        direct = Engine(machine).run(program)
+        t_direct = max(direct.results[r] for r in ranks)
+        assert team_reduce_time(machine, ranks, nbytes) == pytest.approx(t_direct)
+
+    def test_single_member_free(self):
+        machine = GenericTorus(nranks=4)
+        assert team_bcast_time(machine, (2,), 999) == 0.0
+        assert team_reduce_time(machine, (2,), 999) == 0.0
+
+    def test_grows_with_team_size(self):
+        machine = Hopper(96, cores_per_node=12)
+        t2 = team_bcast_time(machine, (0, 48), 5200)
+        t4 = team_bcast_time(machine, (0, 24, 48, 72), 5200)
+        assert t4 > t2
+
+    def test_caching_stable(self):
+        machine = GenericTorus(nranks=8)
+        a = team_bcast_time(machine, (0, 4), 128)
+        b = team_bcast_time(machine, (0, 4), 128)
+        assert a == b
+
+
+class TestWorldAllgather:
+    def test_matches_engine_power_of_two(self):
+        machine = GenericTorus(nranks=16, cores_per_node=1)
+        nbytes = 2048
+
+        def program(comm):
+            v = yield from comm.allgather(_Sized(nbytes))
+            del v
+            return comm.now()
+
+        direct = Engine(machine).run(program)
+        model = world_allgather_time(machine, nbytes)
+        # The formula uses mean hop distances; agreement within 2x.
+        assert model == pytest.approx(max(direct.results), rel=1.0)
+
+    def test_single_rank_free(self):
+        assert world_allgather_time(GenericTorus(nranks=1), 100) == 0.0
+
+    def test_grows_with_volume(self):
+        machine = GenericTorus(nranks=64, cores_per_node=4)
+        assert (world_allgather_time(machine, 10_000)
+                > world_allgather_time(machine, 100))
+
+    def test_non_power_of_two_path(self):
+        machine = GenericTorus(nranks=24, cores_per_node=4)
+        assert world_allgather_time(machine, 1000) > 0

@@ -1,0 +1,63 @@
+"""Vectorized link model vs. the scalar machine methods."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import GenericMachine, GenericTorus, Hopper, Intrepid
+from repro.model import LinkModel
+
+
+MACHINES = [
+    GenericMachine(nranks=32),
+    GenericTorus(nranks=64, cores_per_node=4),
+    GenericTorus(nranks=27, cores_per_node=1, ndims=3),
+    Hopper(96, cores_per_node=12),
+    Intrepid(64, cores_per_node=4),
+]
+
+
+class TestWireTimes:
+    @pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name + str(m.nranks))
+    def test_matches_scalar_p2p_time(self, machine):
+        link = LinkModel(machine)
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, machine.nranks, size=200)
+        dst = rng.integers(0, machine.nranks, size=200)
+        for nbytes in (0, 100, 52_000):
+            vec = link.wire_times(src, dst, nbytes)
+            scalar = np.array(
+                [machine.p2p_time(int(a), int(b), nbytes) for a, b in zip(src, dst)]
+            )
+            assert np.allclose(vec, scalar, rtol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), nbytes=st.integers(0, 10**6))
+    def test_property_on_torus(self, seed, nbytes):
+        machine = GenericTorus(nranks=32, cores_per_node=2)
+        link = LinkModel(machine)
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, 32, size=40)
+        dst = rng.integers(0, 32, size=40)
+        vec = link.wire_times(src, dst, nbytes)
+        scalar = [machine.p2p_time(int(a), int(b), nbytes) for a, b in zip(src, dst)]
+        assert np.allclose(vec, scalar)
+
+    def test_max_wire_time(self):
+        machine = GenericTorus(nranks=16, cores_per_node=1, ndims=1)
+        link = LinkModel(machine)
+        src = np.arange(16)
+        dst = (src + 8) % 16  # antipodal on the ring
+        m = link.max_wire_time(src, dst, 1000)
+        assert m == max(machine.p2p_time(int(a), int(b), 1000)
+                        for a, b in zip(src, dst))
+
+    def test_includes_self_and_same_node_paths(self):
+        machine = GenericTorus(nranks=8, cores_per_node=4)
+        link = LinkModel(machine)
+        t = link.wire_times(np.array([0, 0, 0]), np.array([0, 1, 4]), 1000)
+        assert t[0] == pytest.approx(machine.p2p_time(0, 0, 1000))
+        assert t[1] == pytest.approx(machine.p2p_time(0, 1, 1000))
+        assert t[2] == pytest.approx(machine.p2p_time(0, 4, 1000))
+        assert t[0] < t[1] < t[2]

@@ -1,0 +1,82 @@
+"""Strong-scaling efficiency series (the Figure 3/7 machinery)."""
+
+import pytest
+
+from repro.machines import Hopper
+from repro.model import (
+    allpairs_efficiency,
+    cutoff_efficiency,
+    serial_time_allpairs,
+    serial_time_cutoff,
+)
+
+
+def hopper12(p):
+    return Hopper(p, cores_per_node=12)
+
+
+class TestSerialBaselines:
+    def test_allpairs(self):
+        assert serial_time_allpairs(1e-8, 1000) == pytest.approx(1e-8 * 1e6)
+
+    def test_cutoff_ball_fraction(self):
+        import math
+
+        full = serial_time_allpairs(1e-8, 1000)
+        cut = serial_time_cutoff(1e-8, 1000, rcut=0.25, box_length=1.0, dim=1)
+        assert cut == pytest.approx(full * 0.5)  # 2 rc / L
+        cut2d = serial_time_cutoff(1e-8, 1000, rcut=0.25, box_length=1.0, dim=2)
+        assert cut2d == pytest.approx(full * math.pi * 0.0625)  # pi rc^2
+
+    def test_cutoff_clipped_at_full_work(self):
+        assert (serial_time_cutoff(1e-8, 100, rcut=0.9, box_length=1.0, dim=1)
+                == serial_time_allpairs(1e-8, 100))
+
+
+class TestAllPairsEfficiency:
+    def test_series_structure(self):
+        eff = allpairs_efficiency(hopper12, 8192, [48, 96, 192], [1, 2, 4])
+        assert set(eff) == {1, 2, 4}
+        for c, series in eff.items():
+            for p, e in series:
+                assert p % c == 0
+                assert 0 < e <= 1.05
+
+    def test_skips_infeasible_points(self):
+        eff = allpairs_efficiency(hopper12, 8192, [48], [8])
+        # c^2 = 64 > 48: no data point.
+        assert eff[8] == []
+
+    def test_skips_padded_schedules(self):
+        # p=96, c=8 -> T=12, c does not divide T: skipped like the paper.
+        eff = allpairs_efficiency(hopper12, 8192, [96], [8])
+        assert eff[8] == []
+
+    def test_efficiency_declines_with_p_for_c1(self):
+        eff = allpairs_efficiency(hopper12, 16384, [48, 192, 768], [1])[1]
+        values = [e for _, e in eff]
+        assert values[0] > values[-1]
+
+    def test_replication_helps_at_scale(self):
+        eff = allpairs_efficiency(hopper12, 16384, [768], [1, 4])
+        assert eff[4][0][1] > eff[1][0][1]
+
+
+class TestCutoffEfficiency:
+    def test_series_structure(self):
+        eff = cutoff_efficiency(hopper12, 8192, [48, 96], [1, 2],
+                                rcut=0.25, box_length=1.0, dim=1)
+        for c, series in eff.items():
+            for p, e in series:
+                assert 0 < e <= 1.1
+
+    def test_c_beyond_window_skipped(self):
+        # Tiny machine: window smaller than a large c.
+        eff = cutoff_efficiency(hopper12, 4096, [144], [12],
+                                rcut=0.05, box_length=1.0, dim=1)
+        assert eff[12] == []
+
+    def test_2d(self):
+        eff = cutoff_efficiency(hopper12, 8192, [96], [1, 2],
+                                rcut=0.25, box_length=1.0, dim=2)
+        assert eff[1] and eff[2]

@@ -1,0 +1,45 @@
+"""Weak-scaling study (extension; the paper reports strong scaling only)."""
+
+import pytest
+
+from repro.machines import Hopper
+from repro.model import allpairs_weak_scaling
+
+
+def hopper(p):
+    return Hopper(p)
+
+
+class TestWeakScaling:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return allpairs_weak_scaling(hopper, 24576,
+                                     [1536, 6144, 24576], [1, 4, 16])
+
+    def test_n_grows_as_sqrt_p(self, series):
+        pts = series[1]
+        assert [n for _, n, _, _ in pts] == [24576, 49152, 98304]
+
+    def test_baseline_efficiency_is_one(self, series):
+        for c, pts in series.items():
+            if pts:
+                assert pts[0][3] == pytest.approx(1.0)
+
+    def test_efficiency_in_unit_range(self, series):
+        for pts in series.values():
+            for _, _, t, e in pts:
+                assert t > 0
+                assert 0 < e <= 1.0 + 1e-9
+
+    def test_replication_preserves_weak_scaling(self, series):
+        """c=1 degrades badly; c=16 stays near-flat — the same story as
+        the paper's strong scaling, in the weak regime."""
+        e1 = dict((p, e) for p, _, _, e in series[1])
+        e16 = dict((p, e) for p, _, _, e in series[16])
+        assert e1[24576] < 0.4
+        assert e16[24576] > 0.8
+        assert e16[24576] > 2 * e1[24576]
+
+    def test_infeasible_points_skipped(self):
+        res = allpairs_weak_scaling(hopper, 4096, [96], [16])
+        assert res[16] == []

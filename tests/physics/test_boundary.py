@@ -1,0 +1,79 @@
+"""Reflective boundary conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics import reflect
+
+
+class TestReflect:
+    def test_inside_untouched(self):
+        pos = np.array([[0.3, 0.7]])
+        vel = np.array([[1.0, -1.0]])
+        reflect(pos, vel, 1.0)
+        assert np.allclose(pos, [[0.3, 0.7]])
+        assert np.allclose(vel, [[1.0, -1.0]])
+
+    def test_single_crossing_flips_velocity(self):
+        pos = np.array([[1.2]])
+        vel = np.array([[2.0]])
+        reflect(pos, vel, 1.0)
+        assert pos[0, 0] == pytest.approx(0.8)
+        assert vel[0, 0] == -2.0
+
+    def test_double_crossing_restores_velocity(self):
+        pos = np.array([[2.3]])
+        vel = np.array([[2.0]])
+        reflect(pos, vel, 1.0)
+        assert pos[0, 0] == pytest.approx(0.3)
+        assert vel[0, 0] == 2.0
+
+    def test_negative_positions(self):
+        pos = np.array([[-0.25]])
+        vel = np.array([[-1.0]])
+        reflect(pos, vel, 1.0)
+        assert pos[0, 0] == pytest.approx(0.25)
+        assert vel[0, 0] == 1.0
+
+    def test_componentwise_independence(self):
+        pos = np.array([[1.5, 0.5]])
+        vel = np.array([[1.0, 1.0]])
+        reflect(pos, vel, 1.0)
+        assert vel[0, 0] == -1.0 and vel[0, 1] == 1.0
+
+    def test_exactly_on_wall(self):
+        pos = np.array([[1.0, 0.0]])
+        vel = np.array([[0.5, -0.5]])
+        reflect(pos, vel, 1.0)
+        assert pos[0, 0] == pytest.approx(1.0)
+        assert pos[0, 1] == pytest.approx(0.0)
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            reflect(np.zeros((1, 1)), np.zeros((1, 1)), 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000), L=st.floats(0.5, 10.0))
+    def test_invariants(self, seed, L):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(-3 * L, 4 * L, size=(20, 2))
+        vel = rng.normal(size=(20, 2))
+        speed_before = np.abs(vel).copy()
+        reflect(pos, vel, L)
+        # Positions folded into the box.
+        assert (pos >= 0).all() and (pos <= L).all()
+        # Reflection preserves component-wise speed.
+        assert np.allclose(np.abs(vel), speed_before)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_idempotent_once_inside(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(-2, 3, size=(10, 2))
+        vel = rng.normal(size=(10, 2))
+        reflect(pos, vel, 1.0)
+        p2, v2 = pos.copy(), vel.copy()
+        reflect(p2, v2, 1.0)
+        assert np.allclose(p2, pos) and np.allclose(v2, vel)

@@ -1,0 +1,85 @@
+"""Time integrators."""
+
+import numpy as np
+import pytest
+
+from repro.physics import (
+    ForceLaw,
+    drift,
+    euler_step,
+    kick,
+    kinetic_energy,
+    pairwise_forces,
+    potential_energy,
+    reflect,
+)
+
+
+class TestKickDrift:
+    def test_kick(self):
+        vel = np.zeros((2, 2))
+        forces = np.array([[1.0, 0.0], [0.0, -2.0]])
+        kick(vel, forces, dt=0.5, mass=2.0)
+        assert np.allclose(vel, [[0.25, 0.0], [0.0, -0.5]])
+
+    def test_drift(self):
+        pos = np.zeros((1, 2))
+        vel = np.array([[3.0, -1.0]])
+        drift(pos, vel, 0.1)
+        assert np.allclose(pos, [[0.3, -0.1]])
+
+    def test_euler_is_kick_then_drift(self):
+        pos = np.zeros((1, 1))
+        vel = np.array([[1.0]])
+        forces = np.array([[1.0]])
+        euler_step(pos, vel, forces, dt=1.0)
+        # v -> 2, then x -> 2 (kick first).
+        assert vel[0, 0] == 2.0 and pos[0, 0] == 2.0
+
+    def test_in_place(self):
+        pos, vel = np.zeros((1, 1)), np.ones((1, 1))
+        p_id, v_id = id(pos), id(vel)
+        euler_step(pos, vel, np.ones((1, 1)), 0.1)
+        assert id(pos) == p_id and id(vel) == v_id
+
+
+class TestKineticEnergy:
+    def test_value(self):
+        vel = np.array([[3.0, 4.0]])
+        assert kinetic_energy(vel) == pytest.approx(12.5)
+        assert kinetic_energy(vel, mass=2.0) == pytest.approx(25.0)
+
+    def test_zero(self):
+        assert kinetic_energy(np.zeros((5, 2))) == 0.0
+
+
+class TestEnergyBehaviour:
+    def test_total_energy_roughly_conserved(self):
+        """Symplectic Euler on the repulsive system drifts slowly."""
+        law = ForceLaw(k=1e-5, softening=5e-3)
+        rng = np.random.default_rng(11)
+        pos = rng.uniform(0.2, 0.8, size=(24, 2))
+        vel = np.zeros((24, 2))
+        ids = np.arange(24)
+
+        def total_energy():
+            return kinetic_energy(vel) + potential_energy(law, pos)
+
+        e0 = total_energy()
+        for _ in range(200):
+            f, _ = pairwise_forces(law, pos, pos, target_ids=ids, source_ids=ids)
+            euler_step(pos, vel, f, dt=1e-3)
+            reflect(pos, vel, 1.0)
+        e1 = total_energy()
+        assert abs(e1 - e0) / abs(e0) < 0.02
+
+    def test_repulsion_converts_potential_to_kinetic(self):
+        law = ForceLaw(k=1e-4, softening=1e-3)
+        pos = np.array([[0.49, 0.5], [0.51, 0.5]])
+        vel = np.zeros((2, 2))
+        ids = np.arange(2)
+        for _ in range(50):
+            f, _ = pairwise_forces(law, pos, pos, target_ids=ids, source_ids=ids)
+            euler_step(pos, vel, f, dt=1e-3)
+        assert kinetic_energy(vel) > 0
+        assert pos[1, 0] > 0.51 and pos[0, 0] < 0.49

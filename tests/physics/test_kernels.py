@@ -1,0 +1,104 @@
+"""Interaction kernels (real and virtual) behind the CA algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.physics import (
+    ForceLaw,
+    HomeBlock,
+    ParticleSet,
+    RealKernel,
+    VirtualBlock,
+    VirtualKernel,
+)
+from repro.physics.kernels import VirtualForces
+
+
+class TestRealKernel:
+    def _kernel(self):
+        return RealKernel(law=ForceLaw(k=1e-4, softening=1e-3))
+
+    def test_home_of_wraps_particle_set(self):
+        k = self._kernel()
+        ps = ParticleSet.uniform_random(6, 2, 1.0, seed=0)
+        home = k.home_of(ps)
+        assert isinstance(home, HomeBlock)
+        assert (home.forces == 0).all()
+
+    def test_home_of_accepts_home_block(self):
+        k = self._kernel()
+        ps = ParticleSet.uniform_random(6, 2, 1.0, seed=0)
+        home = k.home_of(HomeBlock(particles=ps))
+        assert home.particles is ps
+
+    def test_each_member_gets_private_forces(self):
+        k = self._kernel()
+        ps = ParticleSet.uniform_random(4, 2, 1.0, seed=1)
+        h1, h2 = k.home_of(ps), k.home_of(ps)
+        h1.forces += 1
+        assert (h2.forces == 0).all()
+
+    def test_travel_is_a_copy(self):
+        k = self._kernel()
+        home = k.home_of(ParticleSet.uniform_random(4, 2, 1.0, seed=2))
+        tb = k.travel_of(home, team=7)
+        assert tb.team == 7
+        tb.pos[:] = -1
+        assert (home.particles.pos != -1).any()
+
+    def test_interact_accumulates_and_counts(self):
+        k = self._kernel()
+        ps = ParticleSet.uniform_random(5, 2, 1.0, seed=3)
+        home = k.home_of(ps)
+        tb = k.travel_of(home, team=0)
+        npairs = k.interact(home, tb)
+        assert npairs == 25
+        assert np.abs(home.forces).max() > 0
+
+    def test_reduce_and_install(self):
+        k = self._kernel()
+        ps = ParticleSet.uniform_random(3, 2, 1.0, seed=4)
+        home = k.home_of(ps)
+        a = np.ones_like(home.forces)
+        b = 2 * np.ones_like(home.forces)
+        combined = k.reduce_op(a, b)
+        assert np.allclose(combined, 3.0)
+        k.install_forces(home, combined)
+        assert np.allclose(home.forces, 3.0)
+
+    def test_install_none_is_noop(self):
+        k = self._kernel()
+        home = k.home_of(ParticleSet.uniform_random(3, 2, 1.0))
+        before = home.forces
+        k.install_forces(home, None)
+        assert home.forces is before
+
+
+class TestVirtualKernel:
+    def test_home_and_travel(self):
+        k = VirtualKernel(dim=2)
+        home = k.home_of(VirtualBlock(count=10, team=4))
+        assert home.count == 10 and home.team == 4
+        tb = k.travel_of(home, team=2)
+        assert tb.count == 10 and tb.team == 2
+
+    def test_interact_counts_pairs(self):
+        k = VirtualKernel(dim=2)
+        assert k.interact(VirtualBlock(8), VirtualBlock(5)) == 40
+
+    def test_forces_payload_wire_size(self):
+        k = VirtualKernel(dim=3)
+        payload = k.forces_payload(VirtualBlock(count=10))
+        assert isinstance(payload, VirtualForces)
+        assert payload.wire_nbytes == 10 * 3 * 8
+
+    def test_reduce_requires_matching_counts(self):
+        k = VirtualKernel()
+        a, b = VirtualForces(5, 2), VirtualForces(5, 2)
+        assert k.reduce_op(a, b) is a
+        with pytest.raises(ValueError):
+            k.reduce_op(VirtualForces(5, 2), VirtualForces(6, 2))
+
+    def test_install_is_noop(self):
+        k = VirtualKernel()
+        assert k.install_forces(VirtualBlock(3), None) is None

@@ -1,0 +1,130 @@
+"""Particle containers and block types."""
+
+import numpy as np
+import pytest
+
+from repro.machines.base import PARTICLE_BYTES
+from repro.physics import (
+    HomeBlock,
+    ParticleSet,
+    TravelBlock,
+    VirtualBlock,
+    concat_sets,
+)
+
+
+class TestParticleSet:
+    def test_uniform_random_in_box(self):
+        ps = ParticleSet.uniform_random(100, 2, 3.0, max_speed=0.5, seed=0)
+        assert ps.n == 100 and ps.dim == 2 and len(ps) == 100
+        assert (ps.pos >= 0).all() and (ps.pos <= 3.0).all()
+        assert (np.abs(ps.vel) <= 0.5).all()
+        assert np.array_equal(ps.ids, np.arange(100))
+
+    def test_zero_speed_default(self):
+        ps = ParticleSet.uniform_random(10, 2, 1.0)
+        assert (ps.vel == 0).all()
+
+    def test_id_offset(self):
+        ps = ParticleSet.uniform_random(5, 1, 1.0, id_offset=100)
+        assert list(ps.ids) == [100, 101, 102, 103, 104]
+
+    def test_wire_size(self):
+        ps = ParticleSet.uniform_random(13, 2, 1.0)
+        assert ps.wire_nbytes == 13 * PARTICLE_BYTES
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros((3, 2)), np.zeros((4, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros((3, 2)), np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros(3), np.zeros(3), np.zeros(3))
+
+    def test_subset_copies(self):
+        ps = ParticleSet.uniform_random(10, 2, 1.0, seed=1)
+        sub = ps.subset(slice(0, 3))
+        sub.pos[:] = -1
+        assert (ps.pos[:3] != -1).any()
+
+    def test_subset_by_mask(self):
+        ps = ParticleSet.uniform_random(10, 2, 1.0, seed=2)
+        mask = ps.ids % 2 == 0
+        sub = ps.subset(mask)
+        assert sub.n == 5 and (sub.ids % 2 == 0).all()
+
+    def test_copy_independent(self):
+        ps = ParticleSet.uniform_random(4, 2, 1.0)
+        cp = ps.copy()
+        cp.vel += 1
+        assert (ps.vel == 0).all()
+
+    def test_sorted_by_id(self):
+        ps = ParticleSet.uniform_random(6, 1, 1.0, seed=3)
+        shuffled = ps.subset(np.array([3, 1, 5, 0, 2, 4]))
+        assert np.array_equal(shuffled.sorted_by_id().ids, np.arange(6))
+
+    def test_empty(self):
+        e = ParticleSet.empty(2)
+        assert len(e) == 0 and e.dim == 2
+
+    def test_nan_positions_rejected(self):
+        pos = np.array([[np.nan, 0.0]])
+        with pytest.raises(ValueError, match="finite"):
+            ParticleSet(pos, np.zeros((1, 2)), np.arange(1))
+
+    def test_inf_velocities_rejected(self):
+        vel = np.array([[np.inf, 0.0]])
+        with pytest.raises(ValueError, match="finite"):
+            ParticleSet(np.zeros((1, 2)), vel, np.arange(1))
+
+
+class TestConcat:
+    def test_concat_round_trip(self):
+        ps = ParticleSet.uniform_random(9, 2, 1.0, seed=4)
+        parts = [ps.subset(slice(0, 3)), ps.subset(slice(3, 9))]
+        back = concat_sets(parts)
+        assert np.array_equal(back.ids, ps.ids)
+        assert np.allclose(back.pos, ps.pos)
+
+    def test_skips_empty(self):
+        ps = ParticleSet.uniform_random(3, 2, 1.0)
+        out = concat_sets([ParticleSet.empty(2), ps])
+        assert out.n == 3
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat_sets([ParticleSet.empty(2)])
+
+
+class TestBlocks:
+    def test_home_block_gets_zero_forces(self):
+        ps = ParticleSet.uniform_random(5, 2, 1.0)
+        hb = HomeBlock(particles=ps)
+        assert hb.forces.shape == (5, 2)
+        assert (hb.forces == 0).all()
+        assert len(hb) == 5
+        assert hb.wire_nbytes == 5 * PARTICLE_BYTES
+
+    def test_home_block_zero_forces(self):
+        ps = ParticleSet.uniform_random(3, 2, 1.0)
+        hb = HomeBlock(particles=ps)
+        hb.forces += 1
+        hb.zero_forces()
+        assert (hb.forces == 0).all()
+
+    def test_home_block_force_shape_validated(self):
+        ps = ParticleSet.uniform_random(3, 2, 1.0)
+        with pytest.raises(ValueError):
+            HomeBlock(particles=ps, forces=np.zeros((4, 2)))
+
+    def test_travel_block(self):
+        ps = ParticleSet.uniform_random(7, 2, 1.0)
+        tb = TravelBlock(pos=ps.pos, ids=ps.ids, team=3)
+        assert len(tb) == 7 and tb.team == 3
+        assert tb.wire_nbytes == 7 * PARTICLE_BYTES
+
+    def test_virtual_block(self):
+        vb = VirtualBlock(count=42, team=1)
+        assert len(vb) == 42
+        assert vb.wire_nbytes == 42 * PARTICLE_BYTES

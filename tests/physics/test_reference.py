@@ -1,0 +1,59 @@
+"""Serial reference implementations."""
+
+import numpy as np
+
+from repro.physics import (
+    ForceLaw,
+    ParticleSet,
+    reference_forces,
+    reference_pair_matrix,
+)
+
+
+class TestReferenceForces:
+    def test_zero_for_single_particle(self, law):
+        ps = ParticleSet.uniform_random(1, 2, 1.0)
+        assert np.allclose(reference_forces(law, ps), 0.0)
+
+    def test_total_force_vanishes(self, law, particles_2d):
+        f = reference_forces(law, particles_2d)
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-14)
+
+    def test_cutoff_reduces_magnitude_sum(self, law, particles_2d):
+        f_full = reference_forces(law, particles_2d)
+        f_cut = reference_forces(law.with_rcut(0.1), particles_2d)
+        assert np.abs(f_cut).sum() < np.abs(f_full).sum()
+
+
+class TestReferencePairMatrix:
+    def test_all_pairs_no_cutoff(self, law):
+        ps = ParticleSet.uniform_random(10, 2, 1.0, seed=0)
+        m = reference_pair_matrix(law, ps)
+        assert m.shape == (10, 10)
+        assert (np.diag(m) == 0).all()
+        assert m.sum() == 10 * 9
+
+    def test_symmetric(self, law):
+        ps = ParticleSet.uniform_random(12, 2, 1.0, seed=1)
+        m = reference_pair_matrix(law.with_rcut(0.3), ps)
+        assert (m == m.T).all()
+
+    def test_cutoff_membership(self, law):
+        ps = ParticleSet.uniform_random(15, 2, 1.0, seed=2)
+        rcut = 0.25
+        m = reference_pair_matrix(law.with_rcut(rcut), ps)
+        order = np.argsort(ps.ids)
+        pos = ps.pos[order]
+        for i in range(15):
+            for j in range(15):
+                if i == j:
+                    continue
+                within = np.linalg.norm(pos[i] - pos[j]) <= rcut
+                assert bool(m[i, j]) == within
+
+    def test_ordering_by_id(self, law):
+        ps = ParticleSet.uniform_random(8, 1, 1.0, seed=3)
+        shuffled = ps.subset(np.array([4, 2, 7, 0, 1, 6, 3, 5]))
+        m1 = reference_pair_matrix(law.with_rcut(0.2), ps)
+        m2 = reference_pair_matrix(law.with_rcut(0.2), shuffled)
+        assert (m1 == m2).all()

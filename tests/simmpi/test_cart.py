@@ -1,0 +1,131 @@
+"""Cartesian communicators."""
+
+import numpy as np
+import pytest
+
+from repro.machines import GenericMachine
+from repro.simmpi import Engine
+from repro.simmpi.cart import PROC_NULL, CartComm
+
+
+def run(p, program):
+    return Engine(GenericMachine(nranks=p)).run(program)
+
+
+class TestTopology:
+    def test_create_validates_size(self):
+        def program(comm):
+            CartComm.create(comm, (2, 3))
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(Exception):
+            run(4, program)
+
+    def test_coords_roundtrip(self):
+        def program(comm):
+            cart = CartComm.create(comm, (2, 3))
+            assert cart.rank_of(cart.coords) == comm.rank
+            return cart.coords
+            yield  # pragma: no cover
+
+        res = run(6, program)
+        assert res.results == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_shift_interior_and_edges(self):
+        def program(comm):
+            cart = CartComm.create(comm, (4,), periods=False)
+            return cart.shift(0, 1)
+            yield  # pragma: no cover
+
+        res = run(4, program)
+        assert res.results[0] == (PROC_NULL, 1)
+        assert res.results[1] == (0, 2)
+        assert res.results[3] == (2, PROC_NULL)
+
+    def test_periodic_shift_wraps(self):
+        def program(comm):
+            cart = CartComm.create(comm, (4,), periods=True)
+            return cart.shift(0, 1)
+            yield  # pragma: no cover
+
+        res = run(4, program)
+        assert res.results[0] == (3, 1)
+        assert res.results[3] == (2, 0)
+
+    def test_neighbors_2d(self):
+        def program(comm):
+            cart = CartComm.create(comm, (3, 3), periods=False)
+            return cart.neighbors()
+            yield  # pragma: no cover
+
+        res = run(9, program)
+        assert res.results[4] == [1, 3, 5, 7]  # interior: 4 faces
+        assert res.results[0] == [1, 3]  # corner: 2 faces
+
+    def test_mixed_periodicity(self):
+        def program(comm):
+            cart = CartComm.create(comm, (2, 2), periods=(True, False))
+            return cart.neighbors()
+            yield  # pragma: no cover
+
+        res = run(4, program)
+        # Axis 0 periodic with dim 2: +1 and -1 reach the same rank.
+        assert res.results[0] == [1, 2]
+
+
+class TestCommunication:
+    def test_shift_exchange_ring(self):
+        def program(comm):
+            cart = CartComm.create(comm, (5,), periods=True)
+            got = yield from cart.shift_exchange(0, comm.rank)
+            return got
+
+        res = run(5, program)
+        assert res.results == [(r - 1) % 5 for r in range(5)]
+
+    def test_shift_exchange_edge_gets_none(self):
+        def program(comm):
+            cart = CartComm.create(comm, (3,), periods=False)
+            got = yield from cart.shift_exchange(0, comm.rank)
+            return got
+
+        res = run(3, program)
+        assert res.results[0] is None
+        assert res.results[1] == 0 and res.results[2] == 1
+
+    def test_halo_pattern_2d(self):
+        """A 2-D halo exchange via per-axis shift_exchange."""
+
+        def program(comm):
+            cart = CartComm.create(comm, (2, 4), periods=True)
+            left = yield from cart.shift_exchange(1, comm.rank, disp=1)
+            up = yield from cart.shift_exchange(0, comm.rank, disp=1)
+            return (left, up)
+
+        res = run(8, program)
+        for r in range(8):
+            i, j = divmod(r, 4)
+            assert res.results[r][0] == i * 4 + (j - 1) % 4
+            assert res.results[r][1] == ((i - 1) % 2) * 4 + j
+
+    def test_sub_cart_rows(self):
+        def program(comm):
+            cart = CartComm.create(comm, (2, 3))
+            row = cart.sub_cart((1,))
+            total = yield from row.comm.allreduce(comm.rank, lambda a, b: a + b)
+            return (row.dims, total)
+
+        res = run(6, program)
+        assert res.results[0] == ((3,), 0 + 1 + 2)
+        assert res.results[5] == ((3,), 3 + 4 + 5)
+
+    def test_sub_cart_preserves_periodicity(self):
+        def program(comm):
+            cart = CartComm.create(comm, (2, 2), periods=(True, False))
+            col = cart.sub_cart((0,))
+            return col.periods
+            yield  # pragma: no cover
+
+        res = run(4, program)
+        assert res.results[0] == (True,)

@@ -1,0 +1,230 @@
+"""Software collectives vs. plain references, over many communicator sizes."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import GenericMachine
+from repro.simmpi import Engine
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 32]
+
+
+def run(p, program):
+    return Engine(GenericMachine(nranks=p)).run(program)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_all_ranks_receive(self, p):
+        root = p // 2
+
+        def program(comm):
+            v = yield from comm.bcast("payload" if comm.rank == root else None, root)
+            return v
+
+        assert run(p, program).results == ["payload"] * p
+
+    def test_numpy_payload(self):
+        def program(comm):
+            v = yield from comm.bcast(
+                np.arange(10.0) if comm.rank == 0 else None, 0
+            )
+            return float(v.sum())
+
+        assert run(6, program).results == [45.0] * 6
+
+    def test_invalid_root(self):
+        def program(comm):
+            yield from comm.bcast(1, root=comm.size)
+
+        with pytest.raises(Exception):
+            run(4, program)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("root", [0, "last"])
+    def test_sum(self, p, root):
+        r = p - 1 if root == "last" else 0
+
+        def program(comm):
+            v = yield from comm.reduce(comm.rank + 1, operator.add, r)
+            return v
+
+        res = run(p, program).results
+        assert res[r] == p * (p + 1) // 2
+        for i in range(p):
+            if i != r:
+                assert res[i] is None
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_array_sum_matches_numpy(self, p):
+        vecs = [np.arange(4.0) * (i + 1) for i in range(p)]
+
+        def program(comm):
+            v = yield from comm.reduce(vecs[comm.rank], np.add, 0)
+            return v
+
+        got = run(p, program).results[0]
+        assert np.allclose(got, np.sum(vecs, axis=0))
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_everywhere(self, p):
+        def program(comm):
+            v = yield from comm.allreduce(comm.rank, operator.add)
+            return v
+
+        assert run(p, program).results == [p * (p - 1) // 2] * p
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_non_commutative_op_consistent(self, p):
+        """All ranks must agree even for non-commutative operations."""
+
+        def program(comm):
+            v = yield from comm.allreduce(f"[{comm.rank}]", operator.add)
+            return v
+
+        res = run(p, program).results
+        assert len(set(res)) == 1
+        # Every contribution appears exactly once.
+        for i in range(p):
+            assert res[0].count(f"[{i}]") == 1
+
+    @pytest.mark.parametrize("p", [3, 5, 6, 9])
+    def test_non_power_of_two_falls_back(self, p):
+        def program(comm):
+            v = yield from comm.allreduce(comm.rank + 0.5, operator.add)
+            return v
+
+        expect = sum(i + 0.5 for i in range(p))
+        assert run(p, program).results == [pytest.approx(expect)] * p
+
+    def test_min_operation(self):
+        def program(comm):
+            v = yield from comm.allreduce((comm.rank + 3) % comm.size, min)
+            return v
+
+        assert run(7, program).results == [0] * 7
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_gather_order(self, p):
+        root = p - 1
+
+        def program(comm):
+            v = yield from comm.gather(comm.rank**2, root)
+            return v
+
+        res = run(p, program).results
+        assert res[root] == [i**2 for i in range(p)]
+        assert all(res[i] is None for i in range(p) if i != root)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scatter_delivery(self, p):
+        def program(comm):
+            values = [f"item{i}" for i in range(p)] if comm.rank == 0 else None
+            v = yield from comm.scatter(values, 0)
+            return v
+
+        assert run(p, program).results == [f"item{i}" for i in range(p)]
+
+    @pytest.mark.parametrize("p", [3, 8])
+    def test_scatter_nonzero_root(self, p):
+        root = p - 1
+
+        def program(comm):
+            values = list(range(100, 100 + p)) if comm.rank == root else None
+            v = yield from comm.scatter(values, root)
+            return v
+
+        assert run(p, program).results == list(range(100, 100 + p))
+
+    def test_scatter_wrong_length_raises(self):
+        def program(comm):
+            yield from comm.scatter([1, 2] if comm.rank == 0 else None, 0)
+
+        with pytest.raises(Exception):
+            run(4, program)
+
+    def test_gather_then_scatter_roundtrip(self):
+        def program(comm):
+            gathered = yield from comm.gather(comm.rank * 10, 0)
+            back = yield from comm.scatter(gathered, 0)
+            return back
+
+        assert run(9, program).results == [i * 10 for i in range(9)]
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allgather(self, p):
+        def program(comm):
+            v = yield from comm.allgather(chr(ord("a") + comm.rank))
+            return v
+
+        expect = [chr(ord("a") + i) for i in range(p)]
+        assert run(p, program).results == [expect] * p
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_alltoall_transpose(self, p):
+        def program(comm):
+            v = yield from comm.alltoall([(comm.rank, j) for j in range(p)])
+            return v
+
+        res = run(p, program).results
+        for i in range(p):
+            assert res[i] == [(j, i) for j in range(p)]
+
+    def test_alltoall_wrong_length(self):
+        def program(comm):
+            yield from comm.alltoall([0])
+
+        with pytest.raises(Exception):
+            run(3, program)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8])
+    def test_barrier_synchronizes_clocks(self, p):
+        def program(comm):
+            yield from comm.compute(1e-6 * comm.rank)
+            yield from comm.barrier()
+            return comm.now()
+
+        res = run(p, program).results
+        # Nobody leaves the barrier before the slowest rank arrived.
+        assert min(res) >= 1e-6 * (p - 1)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(p=st.integers(1, 12), seed=st.integers(0, 1000))
+    def test_allreduce_matches_serial_sum(self, p, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-100, 100, size=p).tolist()
+
+        def program(comm):
+            v = yield from comm.allreduce(values[comm.rank], operator.add)
+            return v
+
+        assert run(p, program).results == [sum(values)] * p
+
+    @settings(max_examples=25, deadline=None)
+    @given(p=st.integers(1, 12), root=st.integers(0, 11))
+    def test_bcast_from_any_root(self, p, root):
+        root = root % p
+
+        def program(comm):
+            v = yield from comm.bcast(
+                ("data", root) if comm.rank == root else None, root
+            )
+            return v
+
+        assert run(p, program).results == [("data", root)] * p

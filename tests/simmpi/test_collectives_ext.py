@@ -1,0 +1,174 @@
+"""Large-message collective algorithms: pipelined bcast, Rabenseifner."""
+
+import numpy as np
+import pytest
+
+from repro.machines import GenericMachine, GenericTorus
+from repro.physics import ParticleSet, TravelBlock, VirtualBlock
+from repro.simmpi import Engine
+from repro.simmpi.collectives import allreduce as allreduce_rd
+from repro.simmpi.collectives import bcast as bcast_tree
+from repro.simmpi.collectives_ext import allreduce_rabenseifner, bcast_pipelined
+from repro.simmpi.payload import join_payloads, split_payload
+
+
+class TestSplitJoin:
+    def test_array_roundtrip(self):
+        a = np.arange(17.0).reshape(17, 1)
+        parts = split_payload(a, 4)
+        assert len(parts) == 4
+        assert np.array_equal(join_payloads(parts), a)
+
+    def test_particle_set_roundtrip(self):
+        ps = ParticleSet.uniform_random(23, 2, 1.0, seed=0)
+        back = join_payloads(split_payload(ps, 5))
+        assert np.array_equal(back.pos, ps.pos)
+        assert np.array_equal(back.ids, ps.ids)
+
+    def test_travel_block_with_forces(self):
+        ps = ParticleSet.uniform_random(10, 2, 1.0, seed=1)
+        tb = TravelBlock(pos=ps.pos, ids=ps.ids, team=3,
+                         forces=np.ones_like(ps.pos))
+        back = join_payloads(split_payload(tb, 3))
+        assert back.team == 3
+        assert np.array_equal(back.pos, tb.pos)
+        assert np.array_equal(back.forces, tb.forces)
+
+    def test_virtual_block_counts(self):
+        vb = VirtualBlock(count=10, team=2, extra_bytes=16)
+        parts = split_payload(vb, 3)
+        assert [p.count for p in parts] == [4, 3, 3]
+        back = join_payloads(parts)
+        assert back.count == 10 and back.team == 2 and back.extra_bytes == 16
+
+    def test_unsplittable_returns_none(self):
+        assert split_payload({"a": 1}, 2) is None
+
+    def test_k1_identity(self):
+        obj = object()
+        assert split_payload(obj, 1) == [obj]
+
+    def test_wire_bytes_conserved(self):
+        from repro.simmpi import payload_nbytes
+
+        ps = ParticleSet.uniform_random(37, 2, 1.0)
+        parts = split_payload(ps, 6)
+        assert sum(payload_nbytes(p) for p in parts) == payload_nbytes(ps)
+
+
+class TestPipelinedBcast:
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 13])
+    @pytest.mark.parametrize("segments", [1, 2, 7])
+    def test_array_delivery(self, p, segments):
+        def prog(comm):
+            root = p // 2
+            v = np.arange(50.0) if comm.rank == root else None
+            got = yield from bcast_pipelined(comm, v, root, segments=segments)
+            return float(got.sum())
+
+        res = Engine(GenericMachine(nranks=p)).run(prog)
+        assert res.results == [float(np.arange(50.0).sum())] * p
+
+    def test_particle_payload(self):
+        ps = ParticleSet.uniform_random(29, 2, 1.0, seed=2)
+
+        def prog(comm):
+            v = ps if comm.rank == 0 else None
+            got = yield from bcast_pipelined(comm, v, 0, segments=4)
+            return float(got.pos.sum())
+
+        res = Engine(GenericMachine(nranks=6)).run(prog)
+        assert res.results == [pytest.approx(float(ps.pos.sum()))] * 6
+
+    def test_unsegmentable_payload_raises(self):
+        def prog(comm):
+            v = {"k": 1} if comm.rank == 0 else None
+            got = yield from bcast_pipelined(comm, v, 0, segments=4)
+            return got
+
+        with pytest.raises(Exception, match="segmented"):
+            Engine(GenericMachine(nranks=3)).run(prog)
+
+    def test_single_rank(self):
+        def prog(comm):
+            got = yield from bcast_pipelined(comm, np.ones(4), 0)
+            return float(got.sum())
+
+        assert Engine(GenericMachine(nranks=1)).run(prog).results == [4.0]
+
+    def test_large_message_beats_binomial_tree(self):
+        """The algorithm-selection crossover real MPI libraries implement."""
+        m = GenericTorus(nranks=32, cores_per_node=4)
+
+        def timing(fn, nelem, **kw):
+            def prog(comm):
+                v = np.zeros(nelem) if comm.rank == 0 else None
+                yield from fn(comm, v, 0, **kw)
+                return comm.now()
+
+            return max(Engine(m).run(prog).results)
+
+        big = 1 << 17
+        assert (timing(bcast_pipelined, big, segments=16)
+                < timing(bcast_tree, big))
+        small = 16
+        assert (timing(bcast_tree, small)
+                < timing(bcast_pipelined, small, segments=16))
+
+
+class TestRabenseifnerAllreduce:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    @pytest.mark.parametrize("nelem", [1, 7, 64, 129])
+    def test_matches_sum(self, p, nelem):
+        def prog(comm):
+            v = np.arange(float(nelem)) * (comm.rank + 1)
+            got = yield from allreduce_rabenseifner(comm, v)
+            return got
+
+        res = Engine(GenericMachine(nranks=p)).run(prog)
+        expect = np.arange(float(nelem)) * (p * (p + 1) // 2)
+        for r in res.results:
+            assert np.allclose(r, expect)
+
+    def test_all_ranks_agree_exactly(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            v = rng.random(96)
+            got = yield from allreduce_rabenseifner(comm, v)
+            return got
+
+        res = Engine(GenericMachine(nranks=8)).run(prog)
+        for r in res.results[1:]:
+            assert np.array_equal(r, res.results[0])
+
+    def test_non_power_of_two_falls_back(self):
+        def prog(comm):
+            v = np.ones(10)
+            got = yield from allreduce_rabenseifner(comm, v)
+            return got
+
+        res = Engine(GenericMachine(nranks=6)).run(prog)
+        assert np.allclose(res.results[0], 6.0)
+
+    def test_preserves_shape(self):
+        def prog(comm):
+            v = np.ones((4, 3))
+            got = yield from allreduce_rabenseifner(comm, v)
+            return got.shape
+
+        assert Engine(GenericMachine(nranks=4)).run(prog).results == [(4, 3)] * 4
+
+    def test_large_arrays_beat_recursive_doubling(self):
+        m = GenericTorus(nranks=32, cores_per_node=4)
+
+        def timing(fn, nelem):
+            def prog(comm):
+                v = np.ones(nelem)
+                yield from fn(comm, v, np.add)
+                return comm.now()
+
+            return max(Engine(m).run(prog).results)
+
+        assert timing(allreduce_rabenseifner, 1 << 17) < timing(
+            allreduce_rd, 1 << 17
+        )

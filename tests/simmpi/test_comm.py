@@ -1,0 +1,228 @@
+"""Communicator handles: sub-communicators, tags, phases, hw collectives."""
+
+import operator
+
+import pytest
+
+from repro.machines import GenericMachine, Intrepid
+from repro.simmpi import Engine, InvalidRankError, InvalidTagError
+
+
+def run(machine, program):
+    return Engine(machine).run(program)
+
+
+class TestSubCommunicators:
+    def test_split_even_odd(self):
+        def program(comm):
+            mine = [r for r in range(comm.size) if r % 2 == comm.rank % 2]
+            sub = comm.sub(mine)
+            total = yield from sub.allreduce(comm.rank, operator.add)
+            return (sub.rank, sub.size, total)
+
+        res = run(GenericMachine(nranks=8), program).results
+        assert res[0] == (0, 4, 0 + 2 + 4 + 6)
+        assert res[1] == (0, 4, 1 + 3 + 5 + 7)
+        assert res[6] == (3, 4, 12)
+
+    def test_non_member_gets_none(self):
+        def program(comm):
+            sub = comm.sub([0, 1])
+            if comm.rank < 2:
+                v = yield from sub.allreduce(1, operator.add)
+                return v
+            assert sub is None
+            return None
+            yield  # pragma: no cover
+
+        res = run(GenericMachine(nranks=4), program).results
+        assert res == [2, 2, None, None]
+
+    def test_sub_comm_rank_order_matters(self):
+        def program(comm):
+            sub = comm.sub([2, 0, 1])
+            if sub is None:
+                return None
+            v = yield from sub.gather(comm.rank, root=0)
+            return v
+
+        res = run(GenericMachine(nranks=3), program).results
+        assert res[2] == [2, 0, 1]  # communicator order, not world order
+
+    def test_duplicate_ranks_rejected(self):
+        def program(comm):
+            comm.sub([0, 0, 1])
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(Exception):
+            run(GenericMachine(nranks=3), program)
+
+    def test_nested_subcommunicators(self):
+        def program(comm):
+            half = comm.sub(list(range(4))) if comm.rank < 4 else comm.sub(
+                list(range(4, 8))
+            )
+            quarter_ranks = half.world_ranks[:2] if half.rank < 2 else half.world_ranks[2:]
+            quarter = comm.sub(list(quarter_ranks))
+            v = yield from quarter.allreduce(comm.rank, operator.add)
+            return v
+
+        res = run(GenericMachine(nranks=8), program).results
+        assert res == [1, 1, 5, 5, 9, 9, 13, 13]
+
+    def test_isolated_tag_spaces(self):
+        """Same user tag on different communicators must not cross-match."""
+
+        def program(comm):
+            evens = comm.sub([0, 2])
+            odds = comm.sub([1, 3])
+            mine = evens if comm.rank % 2 == 0 else odds
+            if mine.rank == 0:
+                yield from mine.send(1, f"group{comm.rank % 2}", tag=5)
+                return None
+            v = yield from mine.recv(0, tag=5)
+            return v
+
+        res = run(GenericMachine(nranks=4), program).results
+        assert res[2] == "group0"
+        assert res[3] == "group1"
+
+
+class TestIntrospection:
+    def test_world_properties(self):
+        def program(comm):
+            return (comm.rank, comm.size, comm.world_rank, comm.is_world)
+            yield  # pragma: no cover
+
+        res = run(GenericMachine(nranks=3), program).results
+        assert res == [(i, 3, i, True) for i in range(3)]
+
+    def test_translate(self):
+        def program(comm):
+            sub = comm.sub([1, 2])
+            if sub is None:
+                return None
+            return (sub.translate(0), sub.translate(1), sub.is_world)
+            yield  # pragma: no cover
+
+        res = run(GenericMachine(nranks=3), program).results
+        assert res[1] == (1, 2, False)
+
+    def test_translate_out_of_range(self):
+        def program(comm):
+            comm.translate(comm.size)
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(Exception):
+            run(GenericMachine(nranks=2), program)
+
+
+class TestTags:
+    def test_tag_too_large_rejected(self):
+        def program(comm):
+            yield from comm.send(0, "x", tag=1 << 17)
+
+        with pytest.raises((InvalidTagError, Exception)):
+            run(GenericMachine(nranks=1), program)
+
+    def test_negative_tag_rejected(self):
+        def program(comm):
+            yield from comm.send(0, "x", tag=-1)
+
+        with pytest.raises(Exception):
+            run(GenericMachine(nranks=1), program)
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        def program(comm):
+            with comm.phase("alpha"):
+                yield from comm.compute(1e-3)
+            with comm.phase("beta"):
+                yield from comm.compute(2e-3)
+            yield from comm.compute(4e-3)  # default phase
+            return None
+
+        res = run(GenericMachine(nranks=2), program)
+        tr = res.report.traces[0]
+        assert tr.phases["alpha"].seconds == pytest.approx(1e-3)
+        assert tr.phases["beta"].seconds == pytest.approx(2e-3)
+        assert tr.phases["other"].seconds == pytest.approx(4e-3)
+
+    def test_phase_nesting_restores(self):
+        def program(comm):
+            with comm.phase("outer"):
+                with comm.phase("inner"):
+                    yield from comm.compute(1e-6)
+                yield from comm.compute(2e-6)
+            return comm.current_phase
+
+        res = run(GenericMachine(nranks=1), program)
+        assert res.results == ["other"]
+        tr = res.report.traces[0]
+        assert tr.phases["inner"].seconds == pytest.approx(1e-6)
+        assert tr.phases["outer"].seconds == pytest.approx(2e-6)
+
+    def test_phase_shared_across_communicators(self):
+        """A sub-communicator collective inherits the enclosing phase."""
+
+        def program(comm):
+            sub = comm.sub(list(range(comm.size)))
+            with comm.phase("coll"):
+                yield from sub.allreduce(1, operator.add)
+            return None
+
+        res = run(GenericMachine(nranks=4), program)
+        labels = res.report.phase_labels()
+        assert labels == ["coll"]
+
+
+class TestHwCollectives:
+    def test_requires_machine_support(self):
+        def program(comm):
+            yield from comm.hw_coll("barrier")
+
+        with pytest.raises((InvalidRankError, Exception)):
+            run(GenericMachine(nranks=2), program)
+
+    def test_requires_whole_partition(self):
+        def program(comm):
+            sub = comm.sub([0, 1])
+            if sub is not None:
+                yield from sub.hw_coll("barrier")
+            return None
+
+        with pytest.raises(Exception):
+            run(Intrepid(4, cores_per_node=2), program)
+
+    def test_hw_bcast_reduce_allgather(self):
+        def program(comm):
+            b = yield from comm.hw_coll("bcast", "root!" if comm.rank == 1 else None,
+                                        root=1)
+            r = yield from comm.hw_coll("reduce", comm.rank, root=0, op=operator.add)
+            ag = yield from comm.hw_coll("allgather", comm.rank * 2)
+            yield from comm.hw_coll("barrier")
+            return (b, r, ag)
+
+        res = run(Intrepid(4, cores_per_node=2), program).results
+        assert all(r[0] == "root!" for r in res)
+        assert res[0][1] == 6 and res[1][1] is None
+        assert all(r[2] == [0, 2, 4, 6] for r in res)
+
+    def test_hw_collective_synchronizes(self):
+        def program(comm):
+            yield from comm.compute(1e-3 * comm.rank)
+            yield from comm.hw_coll("barrier")
+            return comm.now()
+
+        res = run(Intrepid(4, cores_per_node=2), program).results
+        assert min(res) >= 3e-3
+
+    def test_tree_disabled_machine(self):
+        def program(comm):
+            yield from comm.hw_coll("barrier")
+
+        with pytest.raises(Exception):
+            run(Intrepid(4, cores_per_node=2, tree=False), program)

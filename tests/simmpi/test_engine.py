@@ -1,0 +1,227 @@
+"""Engine semantics: clocks, matching, blocking, failure modes."""
+
+import pytest
+
+from repro.machines import GenericMachine, GenericTorus
+from repro.simmpi import DeadlockError, Engine, RankFailedError, SimMPIError
+
+
+def run(machine, program, **kw):
+    return Engine(machine, **kw).run(program)
+
+
+class TestCompute:
+    def test_compute_advances_clock(self):
+        def program(comm):
+            yield from comm.compute(1.5)
+            yield from comm.compute(0.5)
+            return comm.now()
+
+        res = run(GenericMachine(nranks=3), program)
+        assert res.results == [2.0, 2.0, 2.0]
+        assert res.elapsed == 2.0
+
+    def test_negative_compute_rejected(self):
+        def program(comm):
+            yield from comm.compute(-1.0)
+
+        with pytest.raises((SimMPIError, RankFailedError)):
+            run(GenericMachine(nranks=1), program)
+
+    def test_zero_ranks_program_results(self):
+        def program(comm):
+            return comm.rank
+            yield  # pragma: no cover - makes this a generator
+
+        res = run(GenericMachine(nranks=4), program)
+        assert res.results == [0, 1, 2, 3]
+
+
+class TestPointToPoint:
+    def test_payload_moves(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, {"v": 42})
+                return None
+            return (yield from comm.recv(0))
+
+        res = run(GenericMachine(nranks=2), program)
+        assert res.results[1] == {"v": 42}
+
+    def test_rendezvous_completion_time(self):
+        m = GenericMachine(nranks=2, alpha=1e-6, beta=1e-9)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(5e-6)  # sender late
+                yield from comm.send(1, b"x" * 1000)
+            else:
+                yield from comm.recv(0)
+            return comm.now()
+
+        res = run(m, program)
+        # transfer starts at max(post times)=5e-6, takes alpha + 1000*beta.
+        expected = 5e-6 + 1e-6 + 1000 * 1e-9
+        assert res.results[0] == pytest.approx(expected)
+        assert res.results[1] == pytest.approx(expected)
+
+    def test_eager_send_completes_immediately(self):
+        m = GenericMachine(nranks=2, alpha=1e-6, beta=1e-9)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, b"x" * 100)
+                t_send_done = comm.now()
+                return t_send_done
+            yield from comm.compute(1e-3)  # receiver very late
+            yield from comm.recv(0)
+            return comm.now()
+
+        res = Engine(m, eager_threshold=1 << 20).run(program)
+        assert res.results[0] == pytest.approx(0.0)  # buffered instantly
+        assert res.results[1] == pytest.approx(1e-3)  # data arrived long ago
+
+    def test_self_send(self):
+        def program(comm):
+            req_s = yield from comm.isend(comm.rank, "me", tag=3)
+            got = yield from comm.recv(comm.rank, tag=3)
+            yield from comm.wait(req_s)
+            return got
+
+        res = run(GenericMachine(nranks=3), program)
+        assert res.results == ["me"] * 3
+
+    def test_fifo_matching_per_channel(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, "first")
+                yield from comm.send(1, "second")
+                return None
+            a = yield from comm.recv(0)
+            b = yield from comm.recv(0)
+            return (a, b)
+
+        res = run(GenericMachine(nranks=2), program)
+        assert res.results[1] == ("first", "second")
+
+    def test_tags_demultiplex(self):
+        def program(comm):
+            if comm.rank == 0:
+                ra = yield from comm.isend(1, "for-seven", tag=7)
+                rb = yield from comm.isend(1, "for-nine", tag=9)
+                yield from comm.wait(ra, rb)
+                return None
+            nine = yield from comm.recv(0, tag=9)
+            seven = yield from comm.recv(0, tag=7)
+            return (nine, seven)
+
+        res = run(GenericMachine(nranks=2), program)
+        assert res.results[1] == ("for-nine", "for-seven")
+
+    def test_sendrecv_ring_identity(self):
+        def program(comm):
+            x = comm.rank
+            for _ in range(comm.size):
+                x = yield from comm.sendrecv(
+                    (comm.rank + 1) % comm.size, x, (comm.rank - 1) % comm.size
+                )
+            return x
+
+        res = run(GenericMachine(nranks=7), program)
+        assert res.results == list(range(7))
+
+    def test_explicit_nbytes_override(self):
+        m = GenericMachine(nranks=2, alpha=0.0, beta=1e-9)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, b"xx", nbytes=10_000)
+            else:
+                yield from comm.recv(0)
+            return comm.now()
+
+        res = run(m, program)
+        assert res.results[1] == pytest.approx(10_000 * 1e-9)
+
+
+class TestBlockingAndFailure:
+    def test_deadlock_detected(self):
+        def program(comm):
+            yield from comm.send((comm.rank + 1) % comm.size, "x")
+
+        with pytest.raises(DeadlockError) as ei:
+            run(GenericMachine(nranks=4), program)
+        assert len(ei.value.blocked) == 4
+        for desc in ei.value.blocked.values():
+            assert "send" in desc
+
+    def test_one_sided_recv_deadlocks(self):
+        def program(comm):
+            if comm.rank == 1:
+                yield from comm.recv(0, tag=5)
+
+        with pytest.raises(DeadlockError) as ei:
+            run(GenericMachine(nranks=2), program)
+        assert list(ei.value.blocked) == [1]
+
+    def test_rank_exception_fails_fast(self):
+        def program(comm):
+            yield from comm.compute(1e-6)
+            if comm.rank == 2:
+                raise RuntimeError("kaboom")
+
+        with pytest.raises(RankFailedError) as ei:
+            run(GenericMachine(nranks=4), program)
+        assert ei.value.rank == 2
+        assert isinstance(ei.value.original, RuntimeError)
+
+    def test_max_ops_guard(self):
+        def program(comm):
+            while True:
+                yield from comm.compute(0.0)
+
+        with pytest.raises(SimMPIError, match="max_ops"):
+            Engine(GenericMachine(nranks=1), max_ops=100).run(program)
+
+    def test_non_generator_program_rejected(self):
+        def program(comm):
+            return 42
+
+        with pytest.raises(SimMPIError, match="generator"):
+            run(GenericMachine(nranks=1), program)
+
+    def test_invalid_peer_rank(self):
+        def program(comm):
+            yield from comm.send(99, "x")
+
+        with pytest.raises((SimMPIError, RankFailedError)):
+            run(GenericMachine(nranks=2), program)
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        m = GenericTorus(nranks=16, cores_per_node=4)
+
+        def program(comm):
+            total = yield from comm.allreduce(comm.rank * 1.5, lambda a, b: a + b)
+            x = comm.rank
+            for _ in range(4):
+                x = yield from comm.sendrecv(
+                    (comm.rank + 3) % comm.size, x, (comm.rank - 3) % comm.size
+                )
+            return (total, x, comm.now())
+
+        r1 = Engine(m).run(program)
+        r2 = Engine(m).run(program)
+        assert r1.results == r2.results
+        assert r1.clocks == r2.clocks
+        assert r1.nops == r2.nops
+
+    def test_elapsed_is_max_clock(self):
+        def program(comm):
+            yield from comm.compute(1e-6 * (comm.rank + 1))
+            return None
+
+        res = run(GenericMachine(nranks=5), program)
+        assert res.elapsed == pytest.approx(5e-6)
+        assert res.clocks[0] == pytest.approx(1e-6)

@@ -1,0 +1,209 @@
+"""Engine edge cases: eager protocol details, stress patterns, error paths."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import GenericMachine, GenericTorus, Intrepid
+from repro.simmpi import DeadlockError, Engine, SimMPIError
+
+
+class TestEagerProtocol:
+    def test_threshold_boundary(self):
+        """Messages at the threshold are eager; one byte over, rendezvous."""
+        m = GenericMachine(nranks=2, alpha=1e-6, beta=1e-9)
+
+        def program(nbytes):
+            def body(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, b"z" * nbytes)
+                    return comm.now()
+                yield from comm.compute(1e-3)
+                yield from comm.recv(0)
+                return comm.now()
+
+            return body
+
+        eager = Engine(m, eager_threshold=100).run(program(100))
+        assert eager.results[0] == pytest.approx(0.0)  # buffered
+        rdv = Engine(m, eager_threshold=100).run(program(101))
+        assert rdv.results[0] >= 1e-3  # waited for the receiver
+
+    def test_eager_ring_of_blocking_sends_completes(self):
+        """The classic deadlock pattern is legal under the eager protocol."""
+
+        def program(comm):
+            yield from comm.send((comm.rank + 1) % comm.size, "x")
+            v = yield from comm.recv((comm.rank - 1) % comm.size)
+            return v
+
+        res = Engine(GenericMachine(nranks=4), eager_threshold=1 << 20).run(program)
+        assert res.results == ["x"] * 4
+
+    def test_eager_recv_still_waits_for_data(self):
+        m = GenericMachine(nranks=2, alpha=1e-6, beta=1e-9)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(5e-4)  # late sender
+                yield from comm.send(1, b"q" * 1000)
+                return None
+            yield from comm.recv(0)
+            return comm.now()
+
+        res = Engine(m, eager_threshold=1 << 20).run(program)
+        assert res.results[1] >= 5e-4 + 1e-6
+
+
+class TestStressPatterns:
+    def test_many_outstanding_requests(self):
+        def program(comm):
+            if comm.rank == 0:
+                reqs = []
+                for i in range(100):
+                    r = yield from comm.isend(1, i, tag=i % 8)
+                    reqs.append(r)
+                yield from comm.wait(*reqs)
+                return None
+            reqs = []
+            for i in range(100):
+                r = yield from comm.irecv(0, tag=i % 8)
+                reqs.append(r)
+            vals = yield from comm.wait(*reqs)
+            return sum(vals)
+
+        res = Engine(GenericMachine(nranks=2)).run(program)
+        assert res.results[1] == sum(range(100))
+
+    def test_all_to_all_pairwise_storm(self):
+        p = 12
+
+        def program(comm):
+            vals = yield from comm.alltoall(list(range(p)))
+            total = yield from comm.allreduce(sum(vals), operator.add)
+            return total
+
+        res = Engine(GenericMachine(nranks=p)).run(program)
+        assert res.results == [p * p * (p - 1) // 2] * p
+
+    def test_interleaved_subcommunicator_traffic(self):
+        """Row and column communicators exchanging simultaneously."""
+        p = 16
+
+        def program(comm):
+            row = comm.sub([r for r in range(p) if r // 4 == comm.rank // 4])
+            col = comm.sub([r for r in range(p) if r % 4 == comm.rank % 4])
+            a = yield from row.allreduce(comm.rank, operator.add)
+            b = yield from col.allreduce(comm.rank, operator.add)
+            return (a, b)
+
+        res = Engine(GenericMachine(nranks=p)).run(program)
+        for r in range(p):
+            i, j = divmod(r, 4)
+            assert res.results[r] == (sum(4 * i + k for k in range(4)),
+                                      sum(4 * k + j for k in range(4)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.integers(2, 10), shifts=st.lists(st.integers(-5, 5),
+                                                 min_size=1, max_size=6))
+    def test_random_shift_sequences_compose(self, p, shifts):
+        from repro.simmpi import ring_shift
+
+        def program(comm):
+            x = comm.rank
+            for off in shifts:
+                x = yield from ring_shift(comm, x, off)
+            return x
+
+        res = Engine(GenericMachine(nranks=p)).run(program)
+        total = sum(shifts)
+        assert res.results == [(r - total) % p for r in range(p)]
+
+
+class TestErrorPaths:
+    def test_mismatched_hw_collective_kinds(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.hw_coll("barrier")
+            else:
+                yield from comm.hw_coll("allreduce", 1, op=operator.add)
+
+        with pytest.raises(Exception):
+            Engine(Intrepid(2, cores_per_node=2)).run(program)
+
+    def test_partial_participation_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                v = yield from comm.allreduce(1, operator.add)
+                return v
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(DeadlockError):
+            Engine(GenericMachine(nranks=3)).run(program)
+
+    def test_wrong_collective_order_detected_as_deadlock(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.bcast("x", root=0)
+                yield from comm.barrier()
+            else:
+                yield from comm.barrier()
+                yield from comm.bcast(None, root=0)
+            return None
+
+        with pytest.raises(DeadlockError):
+            Engine(GenericMachine(nranks=2)).run(program)
+
+    def test_exception_inside_phase_context(self):
+        def program(comm):
+            with comm.phase("boom"):
+                yield from comm.compute(1e-6)
+                raise ValueError("inside phase")
+
+        with pytest.raises(Exception, match="inside phase"):
+            Engine(GenericMachine(nranks=1)).run(program)
+
+
+class TestContextIds:
+    def test_same_tuple_same_id(self):
+        eng = Engine(GenericMachine(nranks=4))
+        a = eng.context_id((0, 1))
+        b = eng.context_id((0, 1))
+        c = eng.context_id((1, 0))
+        assert a == b
+        assert a != c
+
+    def test_run_resets_context_registry(self):
+        eng = Engine(GenericMachine(nranks=2))
+
+        def program(comm):
+            sub = comm.sub([0, 1])
+            v = yield from sub.allreduce(1, operator.add)
+            return v
+
+        r1 = eng.run(program)
+        r2 = eng.run(program)
+        assert r1.results == r2.results == [2, 2]
+
+
+class TestVirtualTimeInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(p=st.integers(2, 8), seed=st.integers(0, 100))
+    def test_clocks_nonnegative_and_bounded_by_elapsed(self, p, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        delays = rng.uniform(0, 1e-4, size=p).tolist()
+
+        def program(comm):
+            yield from comm.compute(delays[comm.rank])
+            yield from comm.barrier()
+            v = yield from comm.allreduce(comm.rank, operator.add)
+            return v
+
+        res = Engine(GenericTorus(nranks=p, cores_per_node=1)).run(program)
+        assert all(0 <= c <= res.elapsed + 1e-15 for c in res.clocks)
+        assert res.elapsed >= max(delays)

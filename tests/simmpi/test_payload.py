@@ -1,0 +1,59 @@
+"""Wire-size accounting of message payloads."""
+
+import numpy as np
+
+from repro.machines.base import PARTICLE_BYTES
+from repro.physics import ParticleSet, TravelBlock, VirtualBlock
+from repro.simmpi import payload_nbytes
+
+
+class TestScalars:
+    def test_none_is_free(self):
+        assert payload_nbytes(None) == 0
+
+    def test_bool(self):
+        assert payload_nbytes(True) == 1
+
+    def test_number(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+
+    def test_string(self):
+        assert payload_nbytes("abcd") == 4
+
+    def test_bytes(self):
+        assert payload_nbytes(b"12345") == 5
+
+    def test_unknown_object_small(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 8
+
+
+class TestArrays:
+    def test_ndarray_true_size(self):
+        a = np.zeros((10, 3))
+        assert payload_nbytes(a) == 240
+
+    def test_numpy_scalar(self):
+        assert payload_nbytes(np.float64(1.0)) == 8
+
+    def test_containers_sum(self):
+        assert payload_nbytes([np.zeros(4), np.zeros(2)]) == 48
+        assert payload_nbytes((1, 2.0)) == 16
+        assert payload_nbytes({"k": np.zeros(3)}) == 1 + 24
+
+
+class TestWireNbytesProtocol:
+    def test_particle_set_uses_52_bytes(self):
+        ps = ParticleSet.uniform_random(10, 2, 1.0)
+        assert payload_nbytes(ps) == 10 * PARTICLE_BYTES
+
+    def test_travel_block(self):
+        ps = ParticleSet.uniform_random(7, 2, 1.0)
+        tb = TravelBlock(pos=ps.pos, ids=ps.ids, team=0)
+        assert payload_nbytes(tb) == 7 * PARTICLE_BYTES
+
+    def test_virtual_block(self):
+        assert payload_nbytes(VirtualBlock(count=100)) == 100 * PARTICLE_BYTES

@@ -1,0 +1,121 @@
+"""Optional timeline recording (Gantt-style traces) in the engine."""
+
+import json
+
+import pytest
+
+from repro.machines import GenericMachine, GenericTorus
+from repro.simmpi import Engine
+from repro.simmpi.tracing import TimelineEvent, timeline_to_json
+
+
+def simple_program(comm):
+    with comm.phase("work"):
+        yield from comm.compute(1e-3 * (comm.rank + 1))
+    with comm.phase("sync"):
+        yield from comm.barrier()
+    return None
+
+
+class TestRecording:
+    def test_disabled_by_default(self):
+        res = Engine(GenericMachine(nranks=2)).run(simple_program)
+        assert res.events == []
+
+    def test_records_all_kinds(self):
+        res = Engine(GenericMachine(nranks=3), record_events=True).run(
+            simple_program
+        )
+        kinds = {e.kind for e in res.events}
+        assert {"compute", "wait", "xfer"} <= kinds
+
+    def test_event_invariants(self):
+        res = Engine(GenericTorus(nranks=8, cores_per_node=2),
+                     record_events=True).run(simple_program)
+        for e in res.events:
+            assert e.t_end >= e.t_start >= 0
+            assert 0 <= e.rank < 8
+            assert e.t_end <= res.elapsed + 1e-15
+
+    def test_compute_events_match_trace_totals(self):
+        res = Engine(GenericMachine(nranks=4), record_events=True).run(
+            simple_program
+        )
+        for rank in range(4):
+            from_events = sum(e.duration for e in res.events
+                              if e.rank == rank and e.kind == "compute"
+                              and e.phase == "work")
+            assert from_events == pytest.approx(
+                res.report.traces[rank].phases["work"].seconds
+            )
+
+    def test_transfer_events_carry_endpoints_and_bytes(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, b"x" * 500)
+            else:
+                yield from comm.recv(0)
+            return None
+
+        res = Engine(GenericMachine(nranks=2), record_events=True).run(program)
+        xfers = [e for e in res.events if e.kind == "xfer"]
+        assert len(xfers) == 1
+        assert xfers[0].rank == 0 and xfers[0].peer == 1
+        assert xfers[0].nbytes == 500
+
+    def test_phase_propagates_to_events(self):
+        res = Engine(GenericMachine(nranks=2), record_events=True).run(
+            simple_program
+        )
+        phases = {e.phase for e in res.events}
+        assert phases <= {"work", "sync"}
+
+
+class TestJsonExport:
+    def test_round_trip(self):
+        res = Engine(GenericMachine(nranks=3), record_events=True).run(
+            simple_program
+        )
+        rows = json.loads(timeline_to_json(res.events))
+        assert len(rows) == len(res.events)
+        assert all(set(r) == {"rank", "phase", "kind", "t_start", "t_end",
+                              "nbytes", "peer"} for r in rows)
+
+    def test_sorted_by_start_time(self):
+        res = Engine(GenericMachine(nranks=4), record_events=True).run(
+            simple_program
+        )
+        rows = json.loads(timeline_to_json(res.events))
+        starts = [r["t_start"] for r in rows]
+        assert starts == sorted(starts)
+
+    def test_event_duration_property(self):
+        e = TimelineEvent(rank=0, phase="x", kind="compute", t_start=1.0,
+                          t_end=3.5)
+        assert e.duration == 2.5
+
+
+class TestAlgorithmTimelines:
+    def test_ca_step_timeline(self):
+        """A CA step records a plausible busy/idle timeline."""
+        from repro.core import allpairs_config, virtual_team_blocks
+        from repro.core.ca_step import ca_interaction_step
+        from repro.physics import VirtualKernel
+
+        cfg = allpairs_config(8, 2)
+        kernel = VirtualKernel()
+        blocks = virtual_team_blocks(512, cfg.grid.nteams)
+
+        def program(comm):
+            col = cfg.grid.col_of(comm.rank)
+            lb = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
+            res = yield from ca_interaction_step(comm, cfg, kernel, lb)
+            return res
+
+        res = Engine(GenericMachine(nranks=8), record_events=True).run(program)
+        phases = {e.phase for e in res.events}
+        assert {"bcast", "shift", "compute", "reduce"} <= phases
+        # Compute events exist on every rank.
+        for rank in range(8):
+            assert any(e.rank == rank and e.kind == "compute"
+                       for e in res.events)

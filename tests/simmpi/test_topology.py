@@ -1,0 +1,107 @@
+"""Replicated process grid and ring-shift helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import GenericMachine
+from repro.simmpi import Engine, ReplicatedGrid, ring_shift
+
+
+class TestReplicatedGrid:
+    def test_shape(self):
+        g = ReplicatedGrid(p=12, c=3)
+        assert g.nteams == 4
+        assert g.row_of(0) == 0 and g.col_of(0) == 0
+        assert g.row_of(5) == 1 and g.col_of(5) == 1
+        assert g.rank_at(2, 3) == 11
+
+    def test_c_must_divide_p(self):
+        with pytest.raises(ValueError):
+            ReplicatedGrid(p=10, c=3)
+
+    def test_c_bounds(self):
+        with pytest.raises(ValueError):
+            ReplicatedGrid(p=4, c=0)
+        with pytest.raises(ValueError):
+            ReplicatedGrid(p=4, c=8)
+
+    def test_degenerate_c1(self):
+        g = ReplicatedGrid(p=5, c=1)
+        assert g.nteams == 5
+        assert g.team_ranks(3) == [3]
+        assert g.row_ranks(0) == [0, 1, 2, 3, 4]
+
+    def test_degenerate_c_eq_p(self):
+        g = ReplicatedGrid(p=4, c=4)
+        assert g.nteams == 1
+        assert g.team_ranks(0) == [0, 1, 2, 3]
+
+    def test_team_and_row_ranks(self):
+        g = ReplicatedGrid(p=12, c=3)
+        assert g.team_ranks(1) == [1, 5, 9]
+        assert g.row_ranks(2) == [8, 9, 10, 11]
+        assert g.leader_of(2) == 2
+
+    @given(pc=st.sampled_from([(6, 2), (12, 3), (16, 4), (9, 3), (24, 6)]))
+    def test_rank_roundtrip(self, pc):
+        p, c = pc
+        g = ReplicatedGrid(p=p, c=c)
+        for r in range(p):
+            assert g.rank_at(g.row_of(r), g.col_of(r)) == r
+
+    @given(pc=st.sampled_from([(6, 2), (12, 3), (16, 4), (8, 8)]))
+    def test_teams_partition_ranks(self, pc):
+        p, c = pc
+        g = ReplicatedGrid(p=p, c=c)
+        seen = set()
+        for col in range(g.nteams):
+            for r in g.team_ranks(col):
+                assert r not in seen
+                seen.add(r)
+        assert seen == set(range(p))
+
+    def test_out_of_range_indices(self):
+        g = ReplicatedGrid(p=6, c=2)
+        with pytest.raises(ValueError):
+            g.rank_at(2, 0)
+        with pytest.raises(ValueError):
+            g.rank_at(0, 3)
+
+
+class TestGridCommunicators:
+    def test_team_comm_rank_is_row(self):
+        g = ReplicatedGrid(p=12, c=3)
+
+        def program(comm):
+            team = g.team_comm(comm)
+            row = g.row_comm(comm)
+            return (team.rank, team.size, row.rank, row.size)
+            yield  # pragma: no cover
+
+        res = Engine(GenericMachine(nranks=12)).run(program).results
+        for r in range(12):
+            assert res[r] == (g.row_of(r), 3, g.col_of(r), 4)
+
+
+class TestRingShift:
+    @pytest.mark.parametrize("offset", [1, 2, -1, 3, 0])
+    def test_shift_delivers_from_expected_rank(self, offset):
+        def program(comm):
+            got = yield from ring_shift(comm, comm.rank, offset)
+            return got
+
+        p = 6
+        res = Engine(GenericMachine(nranks=p)).run(program).results
+        for r in range(p):
+            assert res[r] == (r - offset) % p
+
+    def test_repeated_shifts_compose(self):
+        def program(comm):
+            x = comm.rank
+            x = yield from ring_shift(comm, x, 2)
+            x = yield from ring_shift(comm, x, 3)
+            return x
+
+        res = Engine(GenericMachine(nranks=7)).run(program).results
+        assert res == [(r - 5) % 7 for r in range(7)]

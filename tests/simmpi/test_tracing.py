@@ -1,0 +1,100 @@
+"""Per-phase time and traffic accounting."""
+
+import pytest
+
+from repro.machines import GenericMachine
+from repro.simmpi import Engine
+from repro.simmpi.tracing import PhaseTotals, RankTrace, TraceReport
+
+
+class TestRankTrace:
+    def test_accumulation(self):
+        tr = RankTrace(0)
+        tr.add_time("shift", 1.0)
+        tr.add_time("shift", 0.5)
+        tr.add_send("shift", 100)
+        tr.add_recv("shift", 80)
+        ph = tr.phases["shift"]
+        assert ph.seconds == 1.5
+        assert ph.messages_sent == 1
+        assert ph.bytes_received == 80
+        assert tr.total_seconds == 1.5
+
+    def test_merge(self):
+        a, b = PhaseTotals(seconds=1.0, bytes_sent=10), PhaseTotals(seconds=2.0)
+        a.merge(b)
+        assert a.seconds == 3.0 and a.bytes_sent == 10
+
+
+class TestTraceReport:
+    def _report(self):
+        t0 = RankTrace(0)
+        t0.add_time("shift", 2.0)
+        t0.add_send("shift", 100)
+        t1 = RankTrace(1)
+        t1.add_time("shift", 1.0)
+        t1.add_time("reduce", 4.0)
+        t1.add_send("reduce", 500)
+        return TraceReport([t0, t1])
+
+    def test_max_and_mean(self):
+        rep = self._report()
+        assert rep.max_time("shift") == 2.0
+        assert rep.mean_time("shift") == 1.5
+        assert rep.max_time("reduce") == 4.0
+        assert rep.max_time("nothing") == 0.0
+
+    def test_traffic(self):
+        rep = self._report()
+        assert rep.max_messages("shift") == 1
+        assert rep.max_bytes("reduce") == 500
+        assert rep.total_messages() == 2
+        assert rep.total_bytes() == 600
+        assert rep.critical_messages() == 1
+        assert rep.critical_bytes() == 500
+
+    def test_breakdown_preserves_order(self):
+        rep = self._report()
+        assert list(rep.breakdown()) == ["shift", "reduce"]
+
+    def test_summary_renders(self):
+        text = self._report().summary()
+        assert "shift" in text and "reduce" in text
+
+
+class TestEngineCounters:
+    def test_message_and_byte_counts(self):
+        m = GenericMachine(nranks=2)
+
+        def program(comm):
+            with comm.phase("x"):
+                if comm.rank == 0:
+                    yield from comm.send(1, b"a" * 100)
+                    yield from comm.send(1, b"b" * 50)
+                else:
+                    yield from comm.recv(0)
+                    yield from comm.recv(0)
+            return None
+
+        rep = Engine(m).run(program).report
+        assert rep.traces[0].phases["x"].messages_sent == 2
+        assert rep.traces[0].phases["x"].bytes_sent == 150
+        assert rep.traces[1].phases["x"].messages_received == 2
+        assert rep.traces[1].phases["x"].bytes_received == 150
+
+    def test_wait_time_charged_to_waiting_phase(self):
+        m = GenericMachine(nranks=2, alpha=0.0, beta=0.0)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(1e-3)
+                with comm.phase("send"):
+                    yield from comm.send(1, "x")
+            else:
+                with comm.phase("wait"):
+                    yield from comm.recv(0)
+            return None
+
+        rep = Engine(m).run(program).report
+        # Rank 1 waited ~1 ms for rank 0's late send.
+        assert rep.traces[1].phases["wait"].seconds == pytest.approx(1e-3)

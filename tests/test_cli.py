@@ -1,0 +1,92 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    buf = io.StringIO()
+    code = main(list(argv), out=buf)
+    return code, buf.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_all_commands(self):
+        p = build_parser()
+        assert p.parse_args(["figures", "2a"]).command == "figures"
+        assert p.parse_args(["validate", "2a"]).ranks == 64
+        assert p.parse_args(["tune", "--machine", "hopper"]).machine == "hopper"
+        args = p.parse_args(["simulate", "-c", "4", "--periodic"])
+        assert args.replication == 4 and args.periodic
+
+
+class TestFigures:
+    def test_single_panel(self):
+        code, out = run_cli("figures", "2a")
+        assert code == 0
+        assert "Figure 2a" in out
+        assert "best total" in out
+
+    def test_multiple_panels(self):
+        code, out = run_cli("figures", "3a", "7c")
+        assert code == 0
+        assert "Figure 3a" in out and "Figure 7c" in out
+
+    def test_unknown_panel(self):
+        code, _ = run_cli("figures", "9z")
+        assert code == 2
+
+
+class TestValidate:
+    def test_runs_event_simulation(self):
+        code, out = run_cli("validate", "2a", "--ranks", "16",
+                            "--particles", "512", "--cs", "1,2")
+        assert code == 0
+        assert "event simulation" in out
+        assert "c=2" in out
+
+    def test_unknown_figure(self):
+        code, _ = run_cli("validate", "nope")
+        assert code == 2
+
+
+class TestTune:
+    def test_allpairs(self):
+        code, out = run_cli("tune", "--ranks", "16", "--particles", "512")
+        assert code == 0
+        assert "chosen replication factor" in out
+
+    def test_cutoff(self):
+        code, out = run_cli("tune", "--ranks", "16", "--particles", "512",
+                            "--rcut", "0.25", "--dim", "1")
+        assert code == 0
+        assert "chosen replication factor" in out
+
+    def test_hopper_machine(self):
+        code, out = run_cli("tune", "--machine", "hopper", "--ranks", "48",
+                            "--particles", "512")
+        assert code == 0
+        assert "hopper" in out
+
+
+class TestSimulate:
+    def test_allpairs_simulation(self):
+        code, out = run_cli("simulate", "--ranks", "8", "-c", "2",
+                            "--particles", "48", "--steps", "2")
+        assert code == 0
+        assert "energy drift" in out
+
+    def test_cutoff_periodic_verlet(self):
+        code, out = run_cli("simulate", "--ranks", "8", "-c", "1",
+                            "--particles", "48", "--steps", "2",
+                            "--rcut", "0.3", "--periodic",
+                            "--integrator", "verlet")
+        assert code == 0
+        assert "simulated machine time" in out

@@ -1,0 +1,85 @@
+"""Communication lower bounds (Equations 1-4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    cutoff_bounds,
+    direct_bounds,
+    general_bounds,
+    memory_per_rank,
+)
+
+
+class TestGeneralBounds:
+    def test_equation1_shape(self):
+        b = general_bounds(F_per_proc=1000.0, M=10.0, H=100.0)
+        assert b.messages == pytest.approx(10.0)
+        assert b.words == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            general_bounds(-1, 1, 1)
+        with pytest.raises(ValueError):
+            general_bounds(1, 0, 1)
+        with pytest.raises(ValueError):
+            general_bounds(1, 1, 0)
+
+
+class TestDirectBounds:
+    def test_equation2_values(self):
+        # n=100, p=4, M=50: S = n^2/(p M^2) = 1, W = n^2/(p M) = 50.
+        b = direct_bounds(100, 4, 50.0)
+        assert b.messages == pytest.approx(1.0)
+        assert b.words == pytest.approx(50.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 10_000), p=st.integers(1, 1000),
+           M=st.floats(1.0, 1e6))
+    def test_lower_lower_bound(self, n, p, M):
+        """The paper's key observation: more memory lowers the bound."""
+        small = direct_bounds(n, p, M)
+        big = direct_bounds(n, p, 2 * M)
+        assert big.messages <= small.messages
+        assert big.words <= small.words
+        # Latency falls quadratically, bandwidth linearly.
+        assert big.messages == pytest.approx(small.messages / 4)
+        assert big.words == pytest.approx(small.words / 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 10_000), p=st.integers(1, 1000),
+           M=st.floats(1.0, 1e6))
+    def test_w_equals_s_times_m(self, n, p, M):
+        b = direct_bounds(n, p, M)
+        assert b.words == pytest.approx(b.messages * M)
+
+
+class TestCutoffBounds:
+    def test_equation3_reduces_to_direct_when_k_is_n(self):
+        n, p, M = 500, 8, 100.0
+        assert cutoff_bounds(n, n, p, M) == direct_bounds(n, p, M)
+
+    def test_smaller_k_lower_bound(self):
+        full = cutoff_bounds(1000, 1000, 10, 50.0)
+        cut = cutoff_bounds(1000, 10, 10, 50.0)
+        assert cut.messages < full.messages
+        assert cut.words < full.words
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            cutoff_bounds(10, -1, 2, 1.0)
+
+
+class TestMemoryPerRank:
+    def test_equation4(self):
+        assert memory_per_rank(1000, 10, 2) == pytest.approx(200.0)
+
+    def test_c1_is_minimal(self):
+        assert memory_per_rank(100, 10, 1) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_per_rank(100, 10, 0)
+        with pytest.raises(ValueError):
+            memory_per_rank(100, 10, 11)

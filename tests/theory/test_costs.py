@@ -1,0 +1,117 @@
+"""Algorithm cost expressions (Sections II-IV)."""
+
+import math
+
+import pytest
+
+from repro.theory import (
+    ca_allpairs_cost,
+    ca_cutoff_cost,
+    force_decomposition_cost,
+    interactions_per_particle,
+    neutral_territory_cost,
+    particle_decomposition_cost,
+    spatial_decomposition_cost,
+)
+
+
+class TestClassicDecompositions:
+    def test_particle(self):
+        b = particle_decomposition_cost(1000, 16)
+        assert b.messages == 16 and b.words == 1000
+
+    def test_force(self):
+        b = force_decomposition_cost(1600, 16)
+        assert b.messages == pytest.approx(4.0)
+        assert b.words == pytest.approx(400.0)
+
+    def test_force_single_proc(self):
+        assert force_decomposition_cost(10, 1).messages == 1.0
+
+    def test_spatial(self):
+        b = spatial_decomposition_cost(n=1000, p=10, m_proc=2, d=3)
+        assert b.messages == 8
+        assert b.words == pytest.approx(800.0)
+
+    def test_neutral_territory(self):
+        b = neutral_territory_cost(n=1000, p=100, m_proc=2, d=3)
+        assert b.messages == 1.0
+        assert b.words == pytest.approx(1000 * 8 / 1000.0)
+
+
+class TestCAAllPairs:
+    def test_equation5(self):
+        b = ca_allpairs_cost(n=1024, p=64, c=4)
+        assert b.messages == pytest.approx(4.0)  # p/c^2
+        assert b.words == pytest.approx(256.0)  # n/c
+
+    def test_c1_matches_particle_decomposition(self):
+        n, p = 2048, 32
+        ca = ca_allpairs_cost(n, p, 1)
+        pd = particle_decomposition_cost(n, p)
+        assert ca.messages == pd.messages
+        assert ca.words == pd.words
+
+    def test_c_sqrt_p_matches_force_decomposition_bandwidth(self):
+        n, p = 2048, 64
+        ca = ca_allpairs_cost(n, p, 8)
+        fd = force_decomposition_cost(n, p)
+        assert ca.words == pytest.approx(fd.words)
+        assert ca.messages == 1.0  # O(1) vs O(log p): CA is even better
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            ca_allpairs_cost(10, 8, 3)
+
+    def test_monotone_improvement_in_c(self):
+        prev = ca_allpairs_cost(4096, 64, 1)
+        for c in (2, 4, 8):
+            cur = ca_allpairs_cost(4096, 64, c)
+            assert cur.messages < prev.messages
+            assert cur.words < prev.words
+            prev = cur
+
+
+class TestCACutoff:
+    def test_section4b_costs(self):
+        b = ca_cutoff_cost(n=1024, p=64, c=4, m=8)
+        assert b.messages == pytest.approx(2.0)  # m/c
+        assert b.words == pytest.approx(128.0)  # m n / p
+
+    def test_equation7(self):
+        assert interactions_per_particle(n=1024, p=64, c=4, m=8) == pytest.approx(512.0)
+
+    def test_cheaper_than_allpairs_when_window_small(self):
+        n, p, c = 4096, 64, 2
+        T = p // c
+        m_small = T // 8
+        cut = ca_cutoff_cost(n, p, c, m_small)
+        full = ca_allpairs_cost(n, p, c)
+        assert cut.messages < full.messages
+        assert cut.words < full.words
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ca_cutoff_cost(10, 9, 2, 1)
+        with pytest.raises(ValueError):
+            ca_cutoff_cost(10, 8, 2, -1)
+
+
+class TestCostOrdering:
+    def test_paper_hierarchy_at_scale(self):
+        """particle >> CA(c) >> lower bound ordering on paper-like sizes."""
+        n, p = 196608, 24576
+        pd = particle_decomposition_cost(n, p)
+        for c in (2, 4, 8, 16):
+            ca = ca_allpairs_cost(n, p, c)
+            assert ca.words < pd.words
+            assert ca.messages < pd.messages
+
+    def test_log_factor_note(self):
+        """Force decomposition keeps a log(p) latency the CA algorithm
+        avoids at c = sqrt(p)."""
+        n, p = 65536, 4096
+        fd = force_decomposition_cost(n, p)
+        ca = ca_allpairs_cost(n, p, 64)
+        assert ca.messages < fd.messages
+        assert fd.messages == pytest.approx(math.log2(p))

@@ -1,0 +1,67 @@
+"""Optimality proofs (Sections III-B and IV-B) as executable checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import check_allpairs, check_cutoff
+
+
+def divisor_cs(p):
+    return [c for c in range(1, int(p**0.5) + 1) if p % c == 0]
+
+
+class TestAllPairsOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(64, 1_000_000),
+        p=st.sampled_from([16, 64, 256, 1024, 6144, 24576]),
+        c_idx=st.integers(0, 10),
+    )
+    def test_ratios_are_exactly_one(self, n, p, c_idx):
+        """Substituting M = cn/p makes Equation 5 equal the bound exactly."""
+        cs = divisor_cs(p)
+        c = cs[c_idx % len(cs)]
+        rep = check_allpairs(n, p, c)
+        assert rep.latency_ratio == pytest.approx(1.0)
+        assert rep.bandwidth_ratio == pytest.approx(1.0)
+        assert rep.is_optimal
+
+    def test_paper_configurations(self):
+        for p, cs in [(6144, (1, 2, 4, 8, 16, 32)),
+                      (24576, (1, 2, 4, 8, 16, 32, 64))]:
+            for c in cs:
+                assert check_allpairs(196608, p, c).is_optimal
+
+
+class TestCutoffOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(64, 1_000_000),
+        p=st.sampled_from([16, 64, 1024, 24576, 32768]),
+        c_idx=st.integers(0, 10),
+        m_frac=st.floats(0.05, 0.5),
+    )
+    def test_ratios_are_exactly_one(self, n, p, c_idx, m_frac):
+        cs = divisor_cs(p)
+        c = cs[c_idx % len(cs)]
+        m = max(1.0, m_frac * p / c)
+        rep = check_cutoff(n, p, c, m)
+        assert rep.latency_ratio == pytest.approx(1.0)
+        assert rep.bandwidth_ratio == pytest.approx(1.0)
+
+    def test_paper_cutoff_configuration(self):
+        # rc = L/4 -> m = T/4 team regions.
+        p, c = 24576, 16
+        m = (p // c) / 4
+        assert check_cutoff(196608, p, c, m).is_optimal
+
+
+class TestOptimalityReport:
+    def test_is_optimal_threshold(self):
+        from repro.theory import OptimalityReport
+
+        assert OptimalityReport(1.0, 1.0).is_optimal
+        assert OptimalityReport(8.0, 8.0).is_optimal
+        assert not OptimalityReport(9.0, 1.0).is_optimal
+        assert not OptimalityReport(1.0, 100.0).is_optimal

@@ -1,0 +1,95 @@
+"""Block-partition helpers: exhaustive small cases plus property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    block_bounds,
+    block_owner,
+    block_size,
+    block_starts,
+    even_blocks,
+)
+
+
+class TestBlockSize:
+    def test_even_division(self):
+        assert [block_size(12, 4, i) for i in range(4)] == [3, 3, 3, 3]
+
+    def test_remainder_goes_first(self):
+        assert [block_size(10, 4, i) for i in range(4)] == [3, 3, 2, 2]
+
+    def test_more_blocks_than_items(self):
+        assert [block_size(2, 5, i) for i in range(5)] == [1, 1, 0, 0, 0]
+
+    def test_single_block(self):
+        assert block_size(7, 1, 0) == 7
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            block_size(10, 4, 4)
+        with pytest.raises(IndexError):
+            block_size(10, 4, -1)
+
+
+class TestBlockBounds:
+    def test_contiguous_cover(self):
+        bounds = [block_bounds(10, 3, i) for i in range(3)]
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            block_bounds(10, 3, 3)
+
+    @given(n=st.integers(0, 500), k=st.integers(1, 60))
+    def test_blocks_partition_range(self, n, k):
+        prev_hi = 0
+        for i in range(k):
+            lo, hi = block_bounds(n, k, i)
+            assert lo == prev_hi
+            assert hi - lo == block_size(n, k, i)
+            prev_hi = hi
+        assert prev_hi == n
+
+    @given(n=st.integers(0, 500), k=st.integers(1, 60))
+    def test_sizes_differ_by_at_most_one(self, n, k):
+        sizes = [block_size(n, k, i) for i in range(k)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+
+class TestBlockStarts:
+    def test_matches_bounds(self):
+        starts = block_starts(11, 4)
+        assert list(starts) == [0, 3, 6, 9, 11]
+
+    @given(n=st.integers(0, 300), k=st.integers(1, 40))
+    def test_consistent_with_block_bounds(self, n, k):
+        starts = block_starts(n, k)
+        assert starts.dtype == np.int64
+        for i in range(k):
+            assert (starts[i], starts[i + 1]) == block_bounds(n, k, i)
+
+
+class TestBlockOwner:
+    @given(n=st.integers(1, 400), k=st.integers(1, 50))
+    def test_owner_consistent_with_bounds(self, n, k):
+        for item in {0, n // 2, n - 1}:
+            owner = block_owner(n, k, item)
+            lo, hi = block_bounds(n, k, owner)
+            assert lo <= item < hi
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            block_owner(10, 3, 10)
+
+
+class TestEvenBlocks:
+    def test_returns_all_ranges(self):
+        assert even_blocks(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_types_are_python_ints(self):
+        for lo, hi in even_blocks(9, 2):
+            assert isinstance(lo, int) and isinstance(hi, int)

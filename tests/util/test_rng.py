@@ -1,0 +1,37 @@
+"""Seeded RNG helpers: reproducibility and independence."""
+
+import numpy as np
+
+from repro.util import default_rng, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_none_is_deterministic(self):
+        a = default_rng(None).random(8)
+        b = default_rng(None).random(8)
+        assert np.array_equal(a, b)
+
+    def test_same_seed_same_stream(self):
+        assert np.array_equal(default_rng(7).random(8), default_rng(7).random(8))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(default_rng(1).random(8), default_rng(2).random(8))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(3)
+        assert default_rng(g) is g
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    def test_reproducible(self):
+        x = [g.random(4) for g in spawn_rngs(9, 3)]
+        y = [g.random(4) for g in spawn_rngs(9, 3)]
+        for xa, ya in zip(x, y):
+            assert np.array_equal(xa, ya)

@@ -1,0 +1,53 @@
+"""Unit-formatting helpers."""
+
+import math
+
+from repro.util import GB, KB, MB, fmt_bytes, fmt_count, fmt_time
+
+
+class TestFmtTime:
+    def test_seconds(self):
+        assert fmt_time(2.5) == "2.500 s"
+
+    def test_milliseconds(self):
+        assert fmt_time(0.0123) == "12.300 ms"
+
+    def test_microseconds(self):
+        assert fmt_time(4.2e-5) == "42.000 us"
+
+    def test_nanoseconds(self):
+        assert fmt_time(3e-9) == "3.0 ns"
+
+    def test_nan(self):
+        assert fmt_time(math.nan) == "nan"
+
+    def test_negative(self):
+        assert fmt_time(-0.002).startswith("-2.000")
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert fmt_bytes(2 * KB) == "2.00 KiB"
+
+    def test_mib(self):
+        assert fmt_bytes(1.5 * MB) == "1.50 MiB"
+
+    def test_gib(self):
+        assert fmt_bytes(3 * GB) == "3.00 GiB"
+
+
+class TestFmtCount:
+    def test_plain(self):
+        assert fmt_count(42) == "42"
+
+    def test_kilo(self):
+        assert fmt_count(24576) == "24.6K"
+
+    def test_mega(self):
+        assert fmt_count(2_500_000) == "2.5M"
+
+    def test_giga(self):
+        assert fmt_count(3.2e9) == "3.2G"

@@ -1,0 +1,54 @@
+"""Argument-validation helpers."""
+
+import pytest
+
+from repro.util import (
+    require,
+    require_divides,
+    require_positive,
+    require_power_of_two,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_positive_ok(self):
+        require_positive(0.5, "x")
+        require_positive(3, "x")
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_non_positive_raises(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(bad, "x")
+
+
+class TestRequireDivides:
+    def test_divides_ok(self):
+        require_divides(4, 12, "teams")
+
+    def test_non_divisor_raises(self):
+        with pytest.raises(ValueError, match="teams"):
+            require_divides(5, 12, "teams")
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ValueError):
+            require_divides(0, 12, "teams")
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 4, 1024])
+    def test_powers_ok(self, good):
+        require_power_of_two(good, "p")
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -4])
+    def test_non_powers_raise(self, bad):
+        with pytest.raises(ValueError, match="p must be a power of two"):
+            require_power_of_two(bad, "p")
