@@ -22,7 +22,84 @@ import argparse
 import sys
 from typing import Sequence
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "parse_faults"]
+
+
+def parse_faults(spec: str):
+    """Parse a ``--faults`` specification into a
+    :class:`~repro.simmpi.faults.FaultSchedule`.
+
+    The spec is a comma-separated list of events:
+
+    ==================  ====================================================
+    ``kill:R@T``        kill rank ``R`` at virtual time ``T`` seconds
+    ``kill:R#N``        kill rank ``R`` once it has executed ``N`` ops
+    ``delay:S>D:SEC``   delay the next ``S -> D`` transfer by ``SEC`` seconds
+    ``drop:S>D[:K]``    drop the next ``S -> D`` transfer ``K`` times
+                        (default 1; each drop costs a retry round-trip)
+    ``corrupt:S>D``     flip one payload bit on the next ``S -> D`` transfer
+    ``seed:N``          seed the schedule's per-channel random streams
+    ==================  ====================================================
+
+    Example: ``kill:3@1e-4,drop:0>1:2,seed:7``.
+    """
+    from repro.simmpi.faults import (CorruptTransfer, DelayTransfer,
+                                     DropTransfer, FaultSchedule, KillRank)
+
+    def _channel(text: str) -> tuple[int, int]:
+        src, sep, dst = text.partition(">")
+        if not sep:
+            raise ValueError(
+                f"fault channel must look like SRC>DST, got {text!r}"
+            )
+        return int(src), int(dst)
+
+    events = []
+    seed = None
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        kind, sep, rest = item.partition(":")
+        if not sep:
+            raise ValueError(f"malformed fault event {item!r}")
+        if kind == "seed":
+            seed = int(rest)
+        elif kind == "kill":
+            if "@" in rest:
+                rank, at = rest.split("@", 1)
+                events.append(KillRank(int(rank), at_time=float(at)))
+            elif "#" in rest:
+                rank, ops = rest.split("#", 1)
+                events.append(KillRank(int(rank), after_ops=int(ops)))
+            else:
+                raise ValueError(
+                    f"kill needs R@TIME or R#OPS, got {rest!r}"
+                )
+        elif kind == "delay":
+            chan, sep2, sec = rest.rpartition(":")
+            if not sep2:
+                raise ValueError(f"delay needs S>D:SECONDS, got {rest!r}")
+            src, dst = _channel(chan)
+            events.append(DelayTransfer(src, dst, seconds=float(sec)))
+        elif kind == "drop":
+            if rest.count(":"):
+                chan, _, times = rest.rpartition(":")
+                src, dst = _channel(chan)
+                events.append(DropTransfer(src, dst, times=int(times)))
+            else:
+                src, dst = _channel(rest)
+                events.append(DropTransfer(src, dst))
+        elif kind == "corrupt":
+            src, dst = _channel(rest)
+            events.append(CorruptTransfer(src, dst))
+        else:
+            raise ValueError(
+                f"unknown fault kind {kind!r} (expected kill, delay, drop, "
+                "corrupt or seed)"
+            )
+    kwargs = {} if seed is None else {"seed": seed}
+    return FaultSchedule(events=tuple(events), **kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["euler", "verlet"])
     p_sim.add_argument("--periodic", action="store_true")
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject faults, e.g. 'kill:3#20' or 'drop:0>1:2,seed:7' "
+             "(kill:R@T | kill:R#N | delay:S>D:SEC | drop:S>D[:K] | "
+             "corrupt:S>D | seed:N, comma-separated); rank kills need "
+             "replication c >= 2",
+    )
 
     return parser
 
@@ -182,13 +266,27 @@ def _cmd_simulate(args, out) -> int:
                             box_length=1.0, periodic=args.periodic,
                             integrator=args.integrator)
 
+    faults = parse_faults(args.faults) if args.faults else None
+
     e0 = kinetic_energy(particles.vel) + potential_energy(elaw, particles.pos)
-    result = run_simulation(machine, scfg, blocks)
+    result = run_simulation(machine, scfg, blocks, faults=faults)
     final = result.particles
     e1 = kinetic_energy(final.vel) + potential_energy(elaw, final.pos)
 
     print(f"{args.steps} steps of {len(final)} particles on "
           f"{machine.describe()}", file=out)
+    if faults is not None:
+        deaths = result.run.deaths
+        if deaths:
+            print(f"rank deaths absorbed: "
+                  + ", ".join(f"rank {r} at t={t:.3e}s"
+                              for r, t in sorted(deaths.items())), file=out)
+            for ev in result.recovered:
+                print(f"  recovered by rank {ev.recovered_by} "
+                      f"({ev.replayed_updates} updates replayed)", file=out)
+        else:
+            print("fault schedule injected; no rank deaths triggered",
+                  file=out)
     print(f"energy drift: {100 * abs(e1 - e0) / max(abs(e0), 1e-30):.4f}%",
           file=out)
     print(f"simulated machine time: {result.run.elapsed * 1e3:.3f} ms",

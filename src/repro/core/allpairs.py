@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.ca_step import CAConfig, ca_interaction_step
+from repro.core.ca_step import (
+    CAConfig,
+    ca_interaction_step,
+    ca_interaction_step_resilient,
+    check_fault_replication as _check_fault_replication,
+)
 from repro.core.decomposition import (
     collect_leader_forces,
     team_blocks_even,
@@ -24,6 +29,7 @@ from repro.physics.forces import ForceLaw
 from repro.physics.kernels import RealKernel, VirtualKernel
 from repro.physics.particles import ParticleSet
 from repro.simmpi.engine import Engine, RunResult
+from repro.simmpi.faults import FaultSchedule
 from repro.simmpi.topology import ReplicatedGrid
 
 __all__ = ["AllPairsRun", "allpairs_config", "run_allpairs", "run_allpairs_virtual"]
@@ -67,6 +73,7 @@ def run_allpairs(
     pair_counter: np.ndarray | None = None,
     eager_threshold: int = 0,
     layout: str = "rows",
+    faults: FaultSchedule | None = None,
 ) -> AllPairsRun:
     """Compute all-pairs forces for ``particles`` on ``machine`` with
     replication factor ``c``; functional (real data) end to end.
@@ -74,19 +81,32 @@ def run_allpairs(
     The particle set is divided evenly among team leaders, the engine runs
     :func:`~repro.core.ca_step.ca_interaction_step` on every rank, and the
     per-team leader forces are collected and ordered by particle id.
+
+    With a :class:`~repro.simmpi.faults.FaultSchedule` the resilient step
+    variant runs instead, rank deaths are absorbed via replication-aware
+    recovery (``c >= 2`` required for kills), and forces are collected from
+    each team's acting leader.
     """
     cfg = allpairs_config(machine.nranks, c, layout=layout)
+    _check_fault_replication(faults, c)
     kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter)
     blocks = team_blocks_even(particles, cfg.grid.nteams)
 
     def program(comm):
         col = cfg.grid.col_of(comm.rank)
         leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        result = yield from ca_interaction_step(comm, cfg, kernel, leader_block)
+        if faults is None:
+            result = yield from ca_interaction_step(comm, cfg, kernel,
+                                                    leader_block)
+        else:
+            result, _ = yield from ca_interaction_step_resilient(
+                comm, cfg, kernel, leader_block
+            )
         return result
 
-    run = Engine(machine, eager_threshold=eager_threshold).run(program)
-    ids, forces = collect_leader_forces(run.results, cfg.grid)
+    run = Engine(machine, eager_threshold=eager_threshold, faults=faults).run(program)
+    ids, forces = collect_leader_forces(run.results, cfg.grid,
+                                        dead=frozenset(run.deaths))
     return AllPairsRun(ids=ids, forces=forces, run=run)
 
 
@@ -98,18 +118,26 @@ def run_allpairs_virtual(
     dim: int = 2,
     eager_threshold: int = 0,
     layout: str = "rows",
+    faults: FaultSchedule | None = None,
 ) -> RunResult:
     """Modeled all-pairs step: phantom particles, real communication
     structure, machine-model timing.  Returns the engine result whose trace
     report carries the per-phase breakdown."""
     cfg = allpairs_config(machine.nranks, c, layout=layout)
+    _check_fault_replication(faults, c)
     kernel = VirtualKernel(dim=dim)
     blocks = virtual_team_blocks(n, cfg.grid.nteams)
 
     def program(comm):
         col = cfg.grid.col_of(comm.rank)
         leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        result = yield from ca_interaction_step(comm, cfg, kernel, leader_block)
+        if faults is None:
+            result = yield from ca_interaction_step(comm, cfg, kernel,
+                                                    leader_block)
+        else:
+            result, _ = yield from ca_interaction_step_resilient(
+                comm, cfg, kernel, leader_block
+            )
         return result
 
-    return Engine(machine, eager_threshold=eager_threshold).run(program)
+    return Engine(machine, eager_threshold=eager_threshold, faults=faults).run(program)

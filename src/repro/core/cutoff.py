@@ -16,7 +16,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.ca_step import CAConfig, ca_interaction_step
+from repro.core.ca_step import (
+    CAConfig,
+    ca_interaction_step,
+    ca_interaction_step_resilient,
+    check_fault_replication as _check_fault_replication,
+)
 from repro.core.decomposition import (
     collect_leader_forces,
     team_blocks_spatial,
@@ -29,6 +34,7 @@ from repro.physics.forces import ForceLaw
 from repro.physics.kernels import RealKernel, VirtualKernel
 from repro.physics.particles import ParticleSet
 from repro.simmpi.engine import Engine, RunResult
+from repro.simmpi.faults import FaultSchedule
 from repro.simmpi.topology import ReplicatedGrid
 from repro.util import require
 
@@ -112,12 +118,15 @@ def run_cutoff(
     eager_threshold: int = 0,
     periodic: bool = False,
     geometry: TeamGeometry | None = None,
+    faults: FaultSchedule | None = None,
 ) -> CutoffRun:
     """Compute cutoff-limited forces functionally on ``machine``.
 
     The force law's cutoff is forced to ``rcut`` (pairs beyond it
     contribute exactly zero).  Particles are spatially binned to team
-    leaders; forces come back ordered by particle id.
+    leaders; forces come back ordered by particle id.  With a
+    :class:`~repro.simmpi.faults.FaultSchedule` the resilient step runs and
+    deaths are absorbed via replication-aware recovery (``c >= 2``).
     """
     if dim is None:
         dim = particles.dim
@@ -128,6 +137,7 @@ def run_cutoff(
         machine.nranks, c, rcut=rcut, box_length=box_length, dim=dim,
         team_dims=team_dims, periodic=periodic, geometry=geometry,
     )
+    _check_fault_replication(faults, c)
     base_law = law or ForceLaw()
     run_law = base_law.with_rcut(rcut)
     if periodic:
@@ -138,11 +148,18 @@ def run_cutoff(
     def program(comm):
         col = cfg.grid.col_of(comm.rank)
         leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        result = yield from ca_interaction_step(comm, cfg, kernel, leader_block)
+        if faults is None:
+            result = yield from ca_interaction_step(comm, cfg, kernel,
+                                                    leader_block)
+        else:
+            result, _ = yield from ca_interaction_step_resilient(
+                comm, cfg, kernel, leader_block
+            )
         return result
 
-    run = Engine(machine, eager_threshold=eager_threshold).run(program)
-    ids, forces = collect_leader_forces(run.results, cfg.grid)
+    run = Engine(machine, eager_threshold=eager_threshold, faults=faults).run(program)
+    ids, forces = collect_leader_forces(run.results, cfg.grid,
+                                        dead=frozenset(run.deaths))
     return CutoffRun(ids=ids, forces=forces, run=run)
 
 
@@ -157,6 +174,7 @@ def run_cutoff_virtual(
     team_dims: tuple[int, ...] | None = None,
     eager_threshold: int = 0,
     periodic: bool = False,
+    faults: FaultSchedule | None = None,
 ) -> RunResult:
     """Modeled cutoff step: phantom uniform particle blocks, real
     communication structure, machine-model timing."""
@@ -164,13 +182,20 @@ def run_cutoff_virtual(
         machine.nranks, c, rcut=rcut, box_length=box_length, dim=dim,
         team_dims=team_dims, periodic=periodic,
     )
+    _check_fault_replication(faults, c)
     kernel = VirtualKernel(dim=dim)
     blocks = virtual_team_blocks(n, cfg.grid.nteams)
 
     def program(comm):
         col = cfg.grid.col_of(comm.rank)
         leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        result = yield from ca_interaction_step(comm, cfg, kernel, leader_block)
+        if faults is None:
+            result = yield from ca_interaction_step(comm, cfg, kernel,
+                                                    leader_block)
+        else:
+            result, _ = yield from ca_interaction_step_resilient(
+                comm, cfg, kernel, leader_block
+            )
         return result
 
-    return Engine(machine, eager_threshold=eager_threshold).run(program)
+    return Engine(machine, eager_threshold=eager_threshold, faults=faults).run(program)

@@ -96,19 +96,36 @@ def gather_to_root(comm, grid, block: ParticleSet | None):
     return result
 
 
-def collect_leader_forces(results: list, grid) -> tuple[np.ndarray, np.ndarray]:
+def collect_leader_forces(results: list, grid,
+                          dead=frozenset()) -> tuple[np.ndarray, np.ndarray]:
     """Assemble (ids, forces) sorted by id from per-rank step results.
 
     ``results`` is the engine's per-rank result list from a CA step program;
     leaders (row 0) carry their team's home block with installed forces.
+    When ``dead`` names failed world ranks, each team's block is taken from
+    its *acting* leader instead — the lowest surviving row, where the
+    resilient step installs the reduced forces.
     """
     ids_parts = []
     force_parts = []
     for col in range(grid.nteams):
-        res = results[grid.leader_of(col)]
+        leader = next(
+            (grid.rank_at(r, col) for r in range(grid.c)
+             if grid.rank_at(r, col) not in dead),
+            None,
+        )
+        if leader is None:
+            raise ValueError(f"team {col} lost all {grid.c} members")
+        res = results[leader]
         home = res.home
         if home is None:
-            raise ValueError(f"leader of team {col} returned no home block")
+            hint = (
+                " (a rank died after the failure-sync point, outside the "
+                "recoverable window — see docs/fault-model.md)"
+            ) if dead else ""
+            raise ValueError(
+                f"leader of team {col} returned no home block{hint}"
+            )
         ids_parts.append(home.particles.ids)
         force_parts.append(home.forces)
     ids = np.concatenate(ids_parts)

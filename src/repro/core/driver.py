@@ -26,13 +26,20 @@ from itertools import product
 
 import numpy as np
 
-from repro.core.ca_step import CAConfig, ca_interaction_step
+from repro.core.ca_step import (
+    CAConfig,
+    acting_leader_of,
+    ca_interaction_step,
+    ca_interaction_step_resilient,
+    check_fault_replication,
+)
 from repro.physics.boundary import reflect, wrap_periodic
 from repro.physics.domain import team_of_positions
 from repro.physics.forces import ForceLaw
 from repro.physics.integrators import drift, euler_step, kick
 from repro.physics.particles import ParticleSet, VirtualBlock, concat_sets
 from repro.simmpi.engine import Engine, RunResult
+from repro.simmpi.faults import FaultSchedule
 from repro.util import require
 
 __all__ = ["SimulationConfig", "SimulationRun", "run_simulation",
@@ -87,6 +94,9 @@ class SimulationRun:
     run: RunResult
     #: Sampled snapshots (only when ``sample_every`` was set).
     trajectory: object = None
+    #: :class:`~repro.simmpi.errors.RecoveredRankEvent` records for every
+    #: rank death absorbed during the run (fault injection only).
+    recovered: tuple = field(default=())
 
     @property
     def report(self):
@@ -121,8 +131,13 @@ def _region_neighbors(geometry) -> list[list[int]]:
 
 
 def _reassign(comm, cfg: CAConfig, col: int, grid, neighbors: list[list[int]],
-              block: ParticleSet):
-    """Exchange migrating particles between neighboring team leaders."""
+              block: ParticleSet, leaders: list[int] | None = None):
+    """Exchange migrating particles between neighboring team leaders.
+
+    ``leaders`` overrides the destination rank per team (acting leaders
+    when deaths have shifted leadership); default is each team's row-0
+    leader.
+    """
     geometry = cfg.geometry
     teams = team_of_positions(block.pos, geometry)
     keep = block.subset(teams == col)
@@ -141,7 +156,7 @@ def _reassign(comm, cfg: CAConfig, col: int, grid, neighbors: list[list[int]],
         )
     reqs = []
     for nb in my_neighbors:
-        dest = grid.leader_of(nb)
+        dest = grid.leader_of(nb) if leaders is None else leaders[nb]
         sreq = yield from comm.isend(dest, outgoing[nb], _REASSIGN_TAG)
         rreq = yield from comm.irecv(dest, _REASSIGN_TAG)
         reqs.extend((sreq, rreq))
@@ -159,6 +174,7 @@ def run_simulation(
     *,
     kernel=None,
     sample_every: int = 0,
+    faults: FaultSchedule | None = None,
 ) -> SimulationRun:
     """Run ``scfg.nsteps`` timesteps functionally on ``machine``.
 
@@ -170,11 +186,25 @@ def run_simulation(
     every k-th step's state are gathered to the first team leader (the
     gather is real communication, charged to the ``sample`` phase) and
     returned as :class:`~repro.analysis.trajectory.Trajectory`.
+
+    ``faults`` injects a :class:`~repro.simmpi.faults.FaultSchedule`: the
+    resilient interaction step runs, rank deaths are absorbed by the
+    surviving team members (``c >= 2``), and leadership of a bereaved team
+    migrates to its lowest surviving row for the rest of the run.  Fault
+    injection currently requires the Euler integrator and no trajectory
+    sampling (Verlet's extra half-kick state and the sampling gather have
+    no recovery path).
     """
     from repro.physics.kernels import RealKernel
 
     cfg = scfg.cfg
     grid = cfg.grid
+    check_fault_replication(faults, grid.c)
+    if faults is not None:
+        require(scfg.integrator == "euler",
+                "fault injection supports only the Euler integrator")
+        require(sample_every == 0,
+                "fault injection cannot be combined with trajectory sampling")
     if kernel is None:
         law = scfg.law if cfg.rcut is None else scfg.law.with_rcut(cfg.rcut)
         if scfg.periodic:
@@ -203,6 +233,8 @@ def run_simulation(
         col = grid.col_of(comm.rank)
         block = initial_blocks[col].copy() if row == 0 else None
         forces = None
+        known_dead = frozenset()
+        recov: list = []
         traj = Trajectory()
         lcomm = comm.sub(leader_ranks) if sample_every > 0 else None
         if lcomm is not None and row == 0:
@@ -234,32 +266,69 @@ def run_simulation(
                     yield from _sample(comm, lcomm, traj, step_no * scfg.dt,
                                        block)
             else:
-                res = yield from ca_interaction_step(comm, cfg, kernel, block)
-                if row == 0:
+                if faults is None:
+                    res = yield from ca_interaction_step(comm, cfg, kernel,
+                                                         block)
+                else:
+                    res, known_dead = yield from ca_interaction_step_resilient(
+                        comm, cfg, kernel, block, known_dead=known_dead
+                    )
+                    recov.extend(res.recovered)
+                i_lead = comm.rank == acting_leader_of(grid, col, known_dead)
+                if i_lead:
+                    # Leadership may have migrated to this rank mid-step;
+                    # the broadcast copy it holds is the authoritative
+                    # pre-step state, and the reduced forces were installed
+                    # here by the resilient step.
+                    block = res.home.particles
                     forces = res.home.forces
                     euler_step(block.pos, block.vel, forces, scfg.dt,
                                scfg.mass)
                     _boundary(block)
                     if cfg.rcut is not None:
+                        leaders = [
+                            acting_leader_of(grid, t, known_dead)
+                            for t in range(grid.nteams)
+                        ] if known_dead else None
                         with comm.phase("reassign"):
                             block = yield from _reassign(
-                                comm, cfg, col, grid, neighbors, block
+                                comm, cfg, col, grid, neighbors, block,
+                                leaders=leaders,
                             )
                         forces = None  # rows no longer match after exchange
+                else:
+                    block = None
                 step_no += 1
                 if lcomm is not None and row == 0 and step_no % sample_every == 0:
                     yield from _sample(comm, lcomm, traj, step_no * scfg.dt,
                                        block)
-        return (block, forces, traj if len(traj) else None) if row == 0 else None
+        i_lead = comm.rank == acting_leader_of(grid, col, known_dead)
+        if not i_lead:
+            return None
+        return block, forces, traj if len(traj) else None, tuple(recov)
 
-    run = Engine(machine).run(program)
+    run = Engine(machine, faults=faults).run(program)
 
+    dead = frozenset(run.deaths)
+    leaders = [acting_leader_of(grid, col, dead) for col in range(grid.nteams)]
     parts = []
     force_parts = []
-    trajectory = run.results[grid.leader_of(0)][2]
+    leader_results = []
     for col in range(grid.nteams):
-        block, forces, _ = run.results[grid.leader_of(col)]
+        res = run.results[leaders[col]]
+        if res is None:
+            raise ValueError(
+                f"team {col}'s acting leader returned no state (a rank died "
+                "after the failure-sync point, outside the recoverable "
+                "window — see docs/fault-model.md)"
+            )
+        leader_results.append(res)
+    trajectory = leader_results[0][2]
+    recovered: list = []
+    for col in range(grid.nteams):
+        block, forces, _, recov = leader_results[col]
         parts.append(block)
+        recovered.extend(recov)
         if forces is not None:
             force_parts.append((block.ids, forces))
     final = concat_sets(parts)
@@ -272,7 +341,9 @@ def run_simulation(
     else:
         fr = np.zeros_like(final.pos)
     return SimulationRun(particles=final, forces=fr, run=run,
-                         trajectory=trajectory)
+                         trajectory=trajectory,
+                         recovered=tuple(sorted(
+                             recovered, key=lambda e: (e.death_time, e.rank))))
 
 
 def run_simulation_virtual(

@@ -29,7 +29,17 @@ from repro.simmpi.errors import (
     InvalidRankError,
     InvalidTagError,
     RankFailedError,
+    RecoveredRankEvent,
     SimMPIError,
+    TransferTimeoutError,
+)
+from repro.simmpi.faults import (
+    CorruptTransfer,
+    DelayTransfer,
+    DropTransfer,
+    FaultSchedule,
+    KillRank,
+    Tombstone,
 )
 from repro.simmpi.collectives_ext import allreduce_rabenseifner, bcast_pipelined
 from repro.simmpi.payload import join_payloads, payload_nbytes, split_payload
@@ -40,7 +50,15 @@ from repro.simmpi.tracing import (PhaseTotals, RankTrace, TimelineEvent,
 __all__ = [
     "CartComm",
     "Comm",
+    "CorruptTransfer",
+    "DelayTransfer",
+    "DropTransfer",
+    "FaultSchedule",
+    "KillRank",
     "PROC_NULL",
+    "RecoveredRankEvent",
+    "Tombstone",
+    "TransferTimeoutError",
     "allreduce_rabenseifner",
     "bcast_pipelined",
     "join_payloads",

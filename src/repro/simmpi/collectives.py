@@ -27,6 +27,7 @@ __all__ = [
     "alltoall",
     "barrier",
     "bcast",
+    "binomial_fold",
     "gather",
     "reduce",
     "scatter",
@@ -116,6 +117,31 @@ def reduce(comm, value: Any, op: Callable[[Any, Any], Any], root: int = 0):
             acc = op(acc, other)
         mask <<= 1
     return acc
+
+
+def binomial_fold(values: Sequence[Any], op: Callable[[Any, Any], Any]) -> Any:
+    """Fold ``values`` locally in the exact association order of
+    :func:`reduce` with ``root=0`` over ``len(values)`` ranks.
+
+    Because :func:`reduce` combines child contributions deterministically,
+    a local fold replaying the same tree produces a **bitwise-identical**
+    result for floating-point operators.  The fault-recovery path uses this
+    to keep degraded (``c-1``-survivor) reductions bit-for-bit equal to
+    the fault-free run: survivors ship their accumulators to the acting
+    leader, which folds all ``c`` logical slots in the original order.
+    """
+    size = len(values)
+    if size == 0:
+        raise ValueError("binomial_fold needs at least one value")
+    acc = list(values)
+    mask = 1
+    while mask < size:
+        for rel in range(0, size, 2 * mask):
+            partner = rel | mask
+            if partner < size:
+                acc[rel] = op(acc[rel], acc[partner])
+        mask <<= 1
+    return acc[0]
 
 
 def allreduce(comm, value: Any, op: Callable[[Any, Any], Any]):

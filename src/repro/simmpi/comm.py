@@ -28,6 +28,7 @@ from repro.simmpi import collectives as _coll
 from repro.simmpi.engine import (
     ComputeOp,
     Engine,
+    FailureSyncOp,
     HwCollOp,
     IrecvOp,
     IsendOp,
@@ -252,6 +253,21 @@ class Comm:
     def barrier(self):
         """Dissemination barrier."""
         yield from _coll.barrier(self)
+
+    # -- fault tolerance -------------------------------------------------------
+
+    def sync_failures(self):
+        """Survivor barrier returning the agreed set of dead world ranks.
+
+        Generator; every live rank must call it (a collective over the
+        world).  Completes once all survivors have posted, after the fault
+        schedule's detection latency, and returns a sorted tuple of dead
+        world ranks — a consistent failure view for recovery protocols.
+        Without fault injection it degenerates to a free barrier returning
+        ``()``.
+        """
+        dead = yield FailureSyncOp(self._phase_label)
+        return dead
 
     # -- hardware collectives ------------------------------------------------
 

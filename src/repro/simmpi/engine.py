@@ -42,9 +42,11 @@ from repro.simmpi.errors import (
     InvalidRankError,
     RankFailedError,
     SimMPIError,
+    TransferTimeoutError,
 )
-from repro.simmpi.tracing import (DEFAULT_PHASE, RankTrace, TimelineEvent,
-                                  TraceReport)
+from repro.simmpi.faults import FaultSchedule, Tombstone, corrupt_payload
+from repro.simmpi.tracing import (DEFAULT_PHASE, RETRY_PHASE, RankTrace,
+                                  TimelineEvent, TraceReport)
 
 __all__ = ["Engine", "Request", "RunResult"]
 
@@ -90,6 +92,20 @@ class WaitOp:
     """Block until every request in ``requests`` has completed."""
 
     requests: tuple["Request", ...]
+    phase: str
+
+
+@dataclass(slots=True)
+class FailureSyncOp:
+    """Agree on the set of failed ranks (survivor barrier).
+
+    Completes once every live rank has posted a matching op; each poster
+    resumes with the sorted tuple of dead world ranks, giving all
+    survivors a *consistent* failure view (a perfect failure detector —
+    the standard idealization for studying recovery protocols, and
+    trivially sound inside a deterministic simulation).
+    """
+
     phase: str
 
 
@@ -166,13 +182,16 @@ class RunResult:
     #: (p, p) bytes-sent matrix, ``traffic[src, dst]`` (only with
     #: ``record_traffic=True``).
     traffic: object = field(default=None, repr=False)
+    #: World rank -> virtual death time for ranks killed by the fault
+    #: schedule (their ``results`` entries are ``None``).
+    deaths: dict = field(default_factory=dict, repr=False)
 
 
 class _RankState:
     """Scheduler bookkeeping for one rank."""
 
     __slots__ = ("gen", "clock", "blocked_on", "wait_phase", "resume_value",
-                 "finished", "result", "queued")
+                 "finished", "result", "queued", "dead", "ops")
 
     def __init__(self, gen):
         self.gen = gen
@@ -183,6 +202,8 @@ class _RankState:
         self.finished = False
         self.result: Any = None
         self.queued = False
+        self.dead = False
+        self.ops = 0
 
 
 class _HwSlot:
@@ -218,8 +239,10 @@ class Engine:
 
     def __init__(self, machine, *, eager_threshold: int = 0,
                  max_ops: int | None = None, record_events: bool = False,
-                 record_traffic: bool = False):
+                 record_traffic: bool = False,
+                 faults: FaultSchedule | None = None):
         self.machine = machine
+        self.faults = faults
         self.record_events = bool(record_events)
         self.record_traffic = bool(record_traffic)
         self._events: list[TimelineEvent] = []
@@ -240,6 +263,11 @@ class Engine:
         self._ready: deque[int] = deque()
         self._phases: list[str] = []
         self._nops = 0
+        # Fault-injection state (unused when self.faults is None):
+        self._deaths: dict[int, float] = {}
+        self._chan_seq: dict[tuple[int, int], int] = {}
+        self._fsync_slots: dict[int, dict[int, Request]] = {}
+        self._fsync_seq: dict[int, int] = {}
 
     # -- communicator support --------------------------------------------
 
@@ -258,6 +286,10 @@ class Engine:
     def clock(self, rank: int) -> float:
         """Current virtual time of ``rank``."""
         return self._ranks[rank].clock
+
+    def death_time(self, rank: int) -> float:
+        """Virtual time at which ``rank`` died (KeyError if alive)."""
+        return self._deaths[rank]
 
     def phase_of(self, rank: int) -> str:
         """Active phase label of ``rank`` (shared across communicators)."""
@@ -284,6 +316,10 @@ class Engine:
         self._hwseq = {}
         self._nops = 0
         self._events = []
+        self._deaths = {}
+        self._chan_seq = {}
+        self._fsync_slots = {}
+        self._fsync_seq = {}
         if self.record_traffic:
             import numpy as _np
 
@@ -310,16 +346,16 @@ class Engine:
             rank = self._ready.popleft()
             state = self._ranks[rank]
             state.queued = False
-            if state.finished or state.blocked_on is not None:
+            if state.finished or state.dead or state.blocked_on is not None:
                 continue
             value, state.resume_value = state.resume_value, None
             if self._run_rank(rank, value):
                 nfinished += 1
 
-        if nfinished < self.nranks:
+        if nfinished + len(self._deaths) < self.nranks:
             blocked = {}
             for r, st in enumerate(self._ranks):
-                if not st.finished:
+                if not st.finished and not st.dead:
                     reqs = st.blocked_on or ()
                     blocked[r] = ", ".join(
                         f"{q.kind}(peer={q.peer}, tag={q.tag})"
@@ -327,7 +363,9 @@ class Engine:
                         if not q.complete
                     ) or "<not blocked; scheduler bug>"
             raise DeadlockError(
-                f"deadlock: {self.nranks - nfinished} of {self.nranks} ranks blocked",
+                f"deadlock: {self.nranks - nfinished - len(self._deaths)} of "
+                f"{self.nranks} ranks blocked"
+                + (f" ({len(self._deaths)} dead)" if self._deaths else ""),
                 blocked,
             )
 
@@ -340,6 +378,7 @@ class Engine:
             clocks=clocks,
             events=self._events,
             traffic=self._traffic,
+            deaths=dict(self._deaths),
         )
 
     def _enqueue(self, rank: int) -> None:
@@ -359,6 +398,14 @@ class Engine:
             self._nops += 1
             if self._nops > self.max_ops:
                 raise SimMPIError(f"exceeded max_ops={self.max_ops}; runaway program?")
+            if (
+                self.faults is not None
+                and self.faults.has_kills
+                and self.faults.should_die(rank, state.ops, state.clock)
+            ):
+                self._kill_rank(rank, state)
+                return False
+            state.ops += 1
             try:
                 op = gen.send(value)
             except StopIteration as stop:
@@ -406,6 +453,9 @@ class Engine:
         if cls is HwCollOp:
             return self._post_hwcoll(rank, state, op)
 
+        if cls is FailureSyncOp:
+            return self._post_fsync(rank, state, op)
+
         raise SimMPIError(f"rank {rank} yielded unknown op {op!r}")
 
     # -- point-to-point --------------------------------------------------------
@@ -417,6 +467,15 @@ class Engine:
         req.nbytes = op.nbytes
         req.payload = op.payload
         self._traces[rank].add_send(op.phase, op.nbytes)
+        if op.dst in self._deaths:
+            # Peer is dead: the send completes locally after the detection
+            # latency; the payload goes nowhere.
+            req.complete = True
+            req.complete_time = (
+                max(req.post_time, self._deaths[op.dst])
+                + self.faults.detect_seconds
+            )
+            return req
         key = (rank, op.dst, op.tag)
         recvq = self._pending_recvs.get(key)
         if recvq:
@@ -436,6 +495,16 @@ class Engine:
             raise InvalidRankError(f"recv src {op.src} out of range 0..{self.nranks - 1}")
         req = Request("recv", rank, op.src, op.tag, state.clock)
         key = (op.src, rank, op.tag)
+        if op.src in self._deaths:
+            # Dead sender: unmatched sends were lost with it (rendezvous
+            # data never leaves the source), so detection is the outcome.
+            death = self._deaths[op.src]
+            req.complete = True
+            req.complete_time = (
+                max(req.post_time, death) + self.faults.detect_seconds
+            )
+            req.payload = Tombstone(op.src, death)
+            return req
         sendq = self._pending_sends.get(key)
         if sendq:
             sreq, sphase = sendq.popleft()
@@ -449,16 +518,21 @@ class Engine:
         """Complete a matched send/recv pair and unblock waiters."""
         nbytes = sreq.nbytes
         wire = self.machine.p2p_time(sreq.owner, rreq.owner, nbytes)
+        payload = sreq.payload
+        extra = 0.0
+        if self.faults is not None:
+            extra, payload = self._apply_p2p_fault(sreq, rreq, wire, payload)
         if nbytes <= self.eager_threshold:
             sreq.complete_time = sreq.post_time
-            rreq.complete_time = max(sreq.post_time + wire, rreq.post_time)
+            rreq.complete_time = max(sreq.post_time + wire + extra,
+                                     rreq.post_time)
         else:
             start = max(sreq.post_time, rreq.post_time)
-            sreq.complete_time = start + wire
-            rreq.complete_time = start + wire
+            sreq.complete_time = start + wire + extra
+            rreq.complete_time = start + wire + extra
         sreq.complete = True
         rreq.complete = True
-        rreq.payload = sreq.payload
+        rreq.payload = payload
         rreq.nbytes = nbytes
         self._traces[rreq.owner].add_recv(recv_phase, nbytes)
         if self._traffic is not None:
@@ -499,6 +573,130 @@ class Engine:
                 ))
             self._traces[rank].add_time(phase, t1 - t0)
             state.clock = t1
+
+    # -- fault injection ---------------------------------------------------------
+
+    def _apply_p2p_fault(self, sreq: Request, rreq: Request, wire: float,
+                         payload: Any):
+        """Consult the fault schedule for one matched transfer.
+
+        Returns ``(extra_seconds, delivered_payload)``.  Dropped attempts
+        each cost a retry timeout plus a full wire time, and their
+        retransmit traffic is charged to the ``retry`` phase on the sender
+        (bytes lost in the network) and, for the attempts the receiver saw
+        and rejected, mirrored on the receiver.
+        """
+        chan = (sreq.owner, rreq.owner)
+        seq = self._chan_seq.get(chan, 0)
+        self._chan_seq[chan] = seq + 1
+        fault = self.faults.p2p_fault(sreq.owner, rreq.owner, seq)
+        if fault is None:
+            return 0.0, payload
+        if fault.drops > self.faults.max_retries:
+            raise TransferTimeoutError(sreq.owner, rreq.owner, fault.drops)
+        extra = fault.delay
+        if fault.drops:
+            extra += fault.drops * (self.faults.retry_timeout + wire)
+            for _ in range(fault.drops):
+                self._traces[sreq.owner].add_send(RETRY_PHASE, sreq.nbytes)
+        if fault.corrupt:
+            payload = corrupt_payload(
+                payload, self.faults.channel_rng(sreq.owner, rreq.owner, seq)
+            )
+        return extra, payload
+
+    def _kill_rank(self, rank: int, state: _RankState) -> None:
+        """Process a scheduled kill on ``rank``'s own thread of control."""
+        death = state.clock
+        state.dead = True
+        self._deaths[rank] = death
+        state.gen.close()
+        # Unmatched sends the victim posted never transfer (rendezvous data
+        # stays at the source); unmatched receives simply evaporate.
+        for key in list(self._pending_sends):
+            if key[0] != rank:
+                continue
+            q = self._pending_sends[key]
+            remaining = deque(item for item in q if item[0].owner != rank)
+            if remaining:
+                self._pending_sends[key] = remaining
+            else:
+                del self._pending_sends[key]
+        for key in list(self._pending_recvs):
+            if key[1] != rank:
+                continue
+            del self._pending_recvs[key]
+        # Peers with operations against the victim observe the failure
+        # after the detection latency: their sends complete into the void,
+        # their receives deliver a Tombstone.
+        detect = self.faults.detect_seconds
+        for key in list(self._pending_sends):
+            if key[1] != rank:
+                continue
+            for req, _phase in self._pending_sends.pop(key):
+                req.complete = True
+                req.complete_time = max(req.post_time, death) + detect
+                self._maybe_unblock(req.owner)
+        for key in list(self._pending_recvs):
+            if key[0] != rank:
+                continue
+            for req, _phase in self._pending_recvs.pop(key):
+                req.complete = True
+                req.complete_time = max(req.post_time, death) + detect
+                req.payload = Tombstone(rank, death)
+                self._maybe_unblock(req.owner)
+        # A failure sync no longer waits on the victim.
+        for seq in list(self._fsync_slots):
+            self._check_fsync(seq)
+
+    # -- failure sync -------------------------------------------------------------
+
+    def _post_fsync(self, rank: int, state: _RankState, op: FailureSyncOp):
+        seq = self._fsync_seq.get(rank, 0)
+        self._fsync_seq[rank] = seq + 1
+        slot = self._fsync_slots.setdefault(seq, {})
+        req = Request("fsync", rank, -1, -1, state.clock)
+        slot[rank] = req
+        if self._check_fsync(seq, poster=rank):
+            self._finish_wait(rank, state, (req,), op.phase)
+            return req.payload
+        state.blocked_on = (req,)
+        state.wait_phase = op.phase
+        return _BLOCKED
+
+    def _check_fsync(self, seq: int, poster: int | None = None) -> bool:
+        """Complete sync round ``seq`` once every live rank has posted it.
+
+        Returns True when the round completed *and* ``poster`` was its last
+        arriver (so the caller resumes synchronously, mirroring hwcoll).
+        """
+        slot = self._fsync_slots.get(seq)
+        if slot is None:
+            return False
+        live = self.nranks - len(self._deaths)
+        if len([r for r in slot if r not in self._deaths]) < live:
+            return False
+        del self._fsync_slots[seq]
+        detect = self.faults.detect_seconds if self.faults is not None else 0.0
+        t_done = max(q.post_time for q in slot.values()) + detect
+        dead = tuple(sorted(self._deaths))
+        synchronous = False
+        for r, q in slot.items():
+            if r in self._deaths:
+                continue
+            q.complete = True
+            q.complete_time = t_done
+            q.payload = dead
+            if r == poster:
+                synchronous = True
+                continue
+            st = self._ranks[r]
+            if st.blocked_on == (q,):
+                st.blocked_on = None
+                self._finish_wait(r, st, (q,), st.wait_phase)
+                st.resume_value = q.payload
+                self._enqueue(r)
+        return synchronous
 
     # -- hardware collectives ----------------------------------------------------
 

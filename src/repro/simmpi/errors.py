@@ -8,6 +8,8 @@ __all__ = [
     "RankFailedError",
     "InvalidRankError",
     "InvalidTagError",
+    "TransferTimeoutError",
+    "RecoveredRankEvent",
 ]
 
 
@@ -44,6 +46,58 @@ class RankFailedError(SimMPIError):
 
 class InvalidRankError(SimMPIError):
     """A peer rank was outside ``[0, size)`` for the communicator."""
+
+
+class TransferTimeoutError(SimMPIError):
+    """A transfer exhausted its retransmit budget under fault injection.
+
+    Raised by the engine when a :class:`~repro.simmpi.faults.FaultSchedule`
+    drops one transfer more times than ``max_retries`` allows — the
+    simulated analogue of a link declared down.
+    """
+
+    def __init__(self, src: int, dst: int, attempts: int):
+        super().__init__(
+            f"transfer {src} -> {dst} lost {attempts} consecutive attempts "
+            f"(retry budget exhausted)"
+        )
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+
+
+class RecoveredRankEvent:
+    """Record of one rank death absorbed by replication-aware recovery.
+
+    Not an exception: the run *succeeded*.  Produced by the resilient
+    interaction step so drivers and tests can report which rank died, when,
+    who recomputed its work, and how many update steps were replayed.
+    """
+
+    __slots__ = ("rank", "death_time", "recovered_by", "replayed_updates")
+
+    def __init__(self, rank: int, death_time: float, recovered_by: int,
+                 replayed_updates: int = 0):
+        self.rank = rank
+        self.death_time = death_time
+        self.recovered_by = recovered_by
+        self.replayed_updates = replayed_updates
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveredRankEvent(rank={self.rank}, "
+            f"death_time={self.death_time!r}, "
+            f"recovered_by={self.recovered_by}, "
+            f"replayed_updates={self.replayed_updates})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RecoveredRankEvent):
+            return NotImplemented
+        return (self.rank, self.death_time, self.recovered_by,
+                self.replayed_updates) == (
+            other.rank, other.death_time, other.recovered_by,
+            other.replayed_updates)
 
 
 class InvalidTagError(SimMPIError):

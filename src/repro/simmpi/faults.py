@@ -1,0 +1,298 @@
+"""Deterministic fault injection for the simulated-MPI engine.
+
+The paper's replication factor ``c`` is not only a bandwidth lever: every
+team block exists in ``c`` copies across a column of the processor grid, so
+the algorithm carries free redundancy.  This module supplies the *fault
+model* that lets the runtime exercise that redundancy: a
+:class:`FaultSchedule` the engine consults at operation post/match/complete
+time, able to
+
+* **kill a rank** at a virtual time or after a fixed number of operations
+  (the rank's generator is closed; peers observe :class:`Tombstone`
+  payloads after a detection latency);
+* **delay** a point-to-point transfer by a fixed or seeded-random amount;
+* **drop** a transfer — the engine models a bounded retry/timeout loop
+  (each lost attempt costs ``retry_timeout`` plus a wire time, and the
+  retransmit traffic is charged to the dedicated ``retry`` trace phase);
+  more than ``max_retries`` consecutive losses raise
+  :class:`~repro.simmpi.errors.TransferTimeoutError`;
+* **corrupt** a payload — flip bytes of the delivered copy (positions for
+  particle payloads, a ``corrupted`` mark for virtual blocks).  With
+  ``detect=True`` the corruption is caught by a (modeled) checksum and
+  handled exactly like a drop.
+
+Determinism
+-----------
+Everything is a pure function of the *schedule* and the *operation
+identity* — never of wall-clock time or global call order:
+
+* kills key on ``(rank, op_index)`` or ``(rank, virtual_time)``;
+* point-to-point faults key on the **channel** ``(src, dst)`` and the
+  per-channel match sequence number ``seq`` (0 for the first transfer ever
+  matched from ``src`` to ``dst``, 1 for the next, ...);
+* the random model derives a private generator from
+  ``SeedSequence([seed, src, dst, seq])``, so the fault drawn for one
+  transfer is independent of every other transfer and of evaluation order.
+
+Running the same program under the same schedule therefore produces
+bitwise-identical clocks, traffic and payloads, which is what makes fault
+runs regression-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "CorruptTransfer",
+    "DelayTransfer",
+    "DropTransfer",
+    "FaultSchedule",
+    "KillRank",
+    "P2PFault",
+    "Tombstone",
+    "corrupt_payload",
+]
+
+
+# ---------------------------------------------------------------------------
+# Scheduled fault events.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KillRank:
+    """Kill world rank ``rank``.
+
+    Exactly one trigger must be given.  ``after_ops = k`` kills the rank
+    immediately before it issues its ``(k+1)``-th engine operation;
+    ``at_time = t`` kills it the first time it would issue an operation
+    with its virtual clock at or past ``t``.  A blocked rank dies only
+    once it resumes (kills are processed on the victim's own thread of
+    control, like a node loss taking effect at its next syscall).
+    """
+
+    rank: int
+    at_time: float | None = None
+    after_ops: int | None = None
+
+    def __post_init__(self):
+        if (self.at_time is None) == (self.after_ops is None):
+            raise ValueError("KillRank needs exactly one of at_time/after_ops")
+
+
+@dataclass(frozen=True)
+class DelayTransfer:
+    """Delay the ``match``-th transfer on channel ``(src, dst)``."""
+
+    src: int
+    dst: int
+    seconds: float
+    match: int = 0
+
+
+@dataclass(frozen=True)
+class DropTransfer:
+    """Lose the first ``times`` attempts of the ``match``-th transfer.
+
+    The engine retries after ``retry_timeout``; the transfer ultimately
+    succeeds unless ``times`` exceeds the schedule's ``max_retries``.
+    """
+
+    src: int
+    dst: int
+    match: int = 0
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class CorruptTransfer:
+    """Corrupt the payload of the ``match``-th transfer on ``(src, dst)``.
+
+    ``detect=False`` delivers the corrupted copy (silent corruption);
+    ``detect=True`` models a checksum catching it, i.e. one drop+retry.
+    """
+
+    src: int
+    dst: int
+    match: int = 0
+    detect: bool = False
+
+
+@dataclass(frozen=True)
+class P2PFault:
+    """Resolved fault for one matched transfer (engine-facing)."""
+
+    delay: float = 0.0
+    drops: int = 0
+    corrupt: bool = False
+
+
+@dataclass(frozen=True)
+class Tombstone:
+    """Payload delivered for a receive whose peer is dead.
+
+    Rank programs that opt into recovery test ``isinstance(payload,
+    Tombstone)``; fail-fast programs crash on it, which the engine turns
+    into the usual :class:`~repro.simmpi.errors.RankFailedError`.
+    """
+
+    rank: int
+    time: float
+
+
+def corrupt_payload(payload: Any, rng: np.random.Generator) -> Any:
+    """A corrupted *copy* of ``payload`` (the sender's data is untouched).
+
+    NumPy float arrays get one element bit-flipped in its mantissa;
+    particle containers get the flip in their position array; virtual
+    blocks (which carry no bytes) are returned with ``corrupted`` counts —
+    their ``count`` is XOR-perturbed so downstream pair accounting sees
+    the damage.  Payloads with no recognized bytes are returned unchanged.
+    """
+    from repro.physics.particles import ParticleSet, TravelBlock, VirtualBlock
+
+    def _flip_array(arr: np.ndarray) -> np.ndarray:
+        out = arr.copy()
+        flat = out.view(np.uint8).reshape(-1)
+        if flat.size == 0:
+            return out
+        idx = int(rng.integers(flat.size))
+        flat[idx] ^= np.uint8(1 << int(rng.integers(8)))
+        return out
+
+    if isinstance(payload, np.ndarray) and payload.size:
+        return _flip_array(payload)
+    if isinstance(payload, TravelBlock):
+        return TravelBlock(pos=_flip_array(payload.pos), ids=payload.ids.copy(),
+                           team=payload.team,
+                           forces=None if payload.forces is None
+                           else payload.forces.copy())
+    if isinstance(payload, ParticleSet):
+        return ParticleSet(_flip_array(payload.pos), payload.vel.copy(),
+                           payload.ids.copy())
+    if isinstance(payload, VirtualBlock):
+        return VirtualBlock(count=payload.count ^ 1, team=payload.team,
+                            extra_bytes=payload.extra_bytes)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# The schedule.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A complete, deterministic description of every injected fault.
+
+    Parameters
+    ----------
+    events:
+        Explicit :class:`KillRank` / :class:`DelayTransfer` /
+        :class:`DropTransfer` / :class:`CorruptTransfer` records.
+    seed:
+        Seed for the random fault model.  ``None`` disables random faults
+        even when the probabilities below are nonzero.
+    drop_prob, delay_prob, corrupt_prob:
+        Per-transfer probabilities of the random model (independent draws
+        per matched transfer, pure in ``(seed, src, dst, seq)``).
+    delay_seconds:
+        Scale of random delays (exponentially distributed).
+    retry_timeout:
+        Virtual seconds a receiver waits before a lost attempt is
+        retransmitted.
+    max_retries:
+        Retransmit budget per transfer; exceeding it raises
+        :class:`~repro.simmpi.errors.TransferTimeoutError`.
+    detect_seconds:
+        Failure-detection latency: how long after a rank's death its peers'
+        operations against it complete with :class:`Tombstone` results.
+    """
+
+    events: tuple = ()
+    seed: int | None = None
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    delay_seconds: float = 1e-5
+    retry_timeout: float = 1e-4
+    max_retries: int = 3
+    detect_seconds: float = 0.0
+    _kills: dict = field(init=False, repr=False, compare=False,
+                         default_factory=dict)
+    _p2p: dict = field(init=False, repr=False, compare=False,
+                       default_factory=dict)
+
+    def __post_init__(self):
+        for ev in self.events:
+            if isinstance(ev, KillRank):
+                if ev.rank in self._kills:
+                    raise ValueError(f"rank {ev.rank} killed twice")
+                self._kills[ev.rank] = ev
+            elif isinstance(ev, (DelayTransfer, DropTransfer, CorruptTransfer)):
+                key = (ev.src, ev.dst, ev.match)
+                self._p2p.setdefault(key, []).append(ev)
+            else:
+                raise TypeError(f"unknown fault event {ev!r}")
+
+    # -- queries (engine-facing) ----------------------------------------------
+
+    @property
+    def has_kills(self) -> bool:
+        return bool(self._kills)
+
+    def kill_event(self, rank: int) -> KillRank | None:
+        """The kill scheduled for ``rank``, if any."""
+        return self._kills.get(rank)
+
+    def should_die(self, rank: int, op_index: int, clock: float) -> bool:
+        """Pure kill predicate: is ``rank`` dead at its ``op_index``-th
+        operation issued at virtual time ``clock``?"""
+        ev = self._kills.get(rank)
+        if ev is None:
+            return False
+        if ev.after_ops is not None:
+            return op_index >= ev.after_ops
+        return clock >= ev.at_time
+
+    def p2p_fault(self, src: int, dst: int, seq: int) -> P2PFault | None:
+        """Fault for the ``seq``-th matched transfer on channel
+        ``(src, dst)`` — a pure function of its arguments and the schedule.
+
+        Explicit events compose (a delay and a drop on the same transfer
+        both apply); the random model adds independent seeded draws.
+        Returns ``None`` for the common unfaulted case.
+        """
+        delay, drops, corrupt = 0.0, 0, False
+        for ev in self._p2p.get((src, dst, seq), ()):
+            if isinstance(ev, DelayTransfer):
+                delay += ev.seconds
+            elif isinstance(ev, DropTransfer):
+                drops += ev.times
+            elif isinstance(ev, CorruptTransfer):
+                if ev.detect:
+                    drops += 1
+                else:
+                    corrupt = True
+        if self.seed is not None and (
+            self.drop_prob or self.delay_prob or self.corrupt_prob
+        ):
+            rng = self.channel_rng(src, dst, seq)
+            if self.drop_prob and rng.random() < self.drop_prob:
+                drops += 1
+            if self.delay_prob and rng.random() < self.delay_prob:
+                delay += float(rng.exponential(self.delay_seconds))
+            if self.corrupt_prob and rng.random() < self.corrupt_prob:
+                corrupt = True
+        if delay == 0.0 and drops == 0 and not corrupt:
+            return None
+        return P2PFault(delay=delay, drops=drops, corrupt=corrupt)
+
+    def channel_rng(self, src: int, dst: int, seq: int) -> np.random.Generator:
+        """The private generator for one transfer (also used to corrupt)."""
+        entropy = [0 if self.seed is None else self.seed, src, dst, seq]
+        return np.random.default_rng(np.random.SeedSequence(entropy))

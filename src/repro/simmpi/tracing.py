@@ -15,10 +15,19 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 __all__ = ["PhaseTotals", "RankTrace", "TimelineEvent", "TraceReport",
-           "timeline_to_json"]
+           "RECOVER_PHASE", "RETRY_PHASE", "timeline_to_json"]
 
 #: Phase label applied when the program has not pushed any phase.
 DEFAULT_PHASE = "other"
+
+#: Phase charged with retransmit traffic under fault injection (dropped or
+#: checksum-rejected transfers); kept separate from the algorithm phases so
+#: fault overhead is visible in every breakdown.
+RETRY_PHASE = "retry"
+
+#: Phase charged with replication-aware recovery work (failure sync, block
+#: re-fetch, replayed updates, degraded reductions).
+RECOVER_PHASE = "recover"
 
 
 @dataclass

@@ -29,6 +29,15 @@ def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Gene
 
 
 def spawn_rngs(seed: int | None, k: int) -> list[np.random.Generator]:
-    """``k`` statistically independent child generators from one seed."""
+    """``k`` statistically independent child generators from one seed.
+
+    ``seed=None`` does **not** mean fresh entropy: it substitutes the
+    package-wide fixed seed (``_DEFAULT_SEED``), exactly like
+    :func:`default_rng`, so unseeded callers stay reproducible
+    run-to-run.  The children come from ``SeedSequence.spawn``; child
+    ``i`` depends only on ``(seed, i)``, never on ``k``, so widening a
+    harness from ``spawn_rngs(s, 10)`` to ``spawn_rngs(s, 20)`` leaves
+    the first ten streams untouched.
+    """
     ss = np.random.SeedSequence(_DEFAULT_SEED if seed is None else seed)
     return [np.random.default_rng(s) for s in ss.spawn(k)]

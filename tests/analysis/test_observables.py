@@ -106,6 +106,7 @@ class TestMSD:
 
 
 class TestRDF:
+    @pytest.mark.slow
     def test_uniform_gas_is_flat(self):
         ps = ParticleSet.uniform_random(3000, 2, 1.0, seed=0)
         r, g = radial_distribution(ps, box_length=1.0, periodic=True,

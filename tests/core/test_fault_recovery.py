@@ -1,0 +1,178 @@
+"""Replication-aware recovery: killed ranks must not change the physics.
+
+Each schedule kills exactly one rank inside the recoverable window (the
+shift loop, before the failure-sync point).  The invariant under test is
+the strongest one available: the recovered forces are **bitwise identical**
+to the fault-free run — recovery replays the victim's updates in the same
+order and folds the degraded reduction with the same associativity as the
+fault-free tree, so not even the last ulp may move.
+
+Rank roles at p=8, c=2 ("rows" layout, 4 teams): ranks 0-3 are team
+leaders (row 0), ranks 4-7 are their replicas (row 1); rank 7 executes the
+final shift of the ring schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SimulationConfig,
+    allpairs_config,
+    run_allpairs,
+    run_cutoff,
+    run_simulation,
+    team_blocks_even,
+)
+from repro.machines import GenericMachine
+from repro.physics import ParticleSet, reference_forces
+from repro.simmpi import DeadlockError, FaultSchedule, KillRank
+
+from tests.conftest import assert_forces_close
+
+pytestmark = pytest.mark.faults
+
+_P, _C = 8, 2
+
+#: (role, victim rank) — one per structural role in the step.
+_ROLES = [
+    ("leader", 2),          # row 0: owns its team's home block
+    ("first-leader", 0),    # row 0, team 0: also the reduce root's team
+    ("non-leader", 5),      # row 1: pure replica
+    ("last-shifter", 7),    # row 1, last team: runs the final ring shift
+]
+
+
+def _kill(victim: int, after_ops: int = 6) -> FaultSchedule:
+    return FaultSchedule(events=(KillRank(victim, after_ops=after_ops),))
+
+
+class TestAllPairsRecovery:
+    @pytest.mark.parametrize("role,victim", _ROLES)
+    def test_single_death_is_bitwise_invisible(self, role, victim, law,
+                                               particles_2d):
+        machine = GenericMachine(nranks=_P)
+        clean = run_allpairs(machine, particles_2d, _C, law=law)
+        faulty = run_allpairs(machine, particles_2d, _C, law=law,
+                              faults=_kill(victim))
+        assert list(faulty.run.deaths) == [victim], \
+            f"{role} kill schedule did not fire"
+        assert np.array_equal(faulty.ids, clean.ids)
+        assert np.array_equal(faulty.forces, clean.forces), \
+            f"recovery after killing the {role} (rank {victim}) moved a bit"
+
+    @pytest.mark.parametrize("victim", range(_P))
+    def test_every_rank_recoverable_in_window(self, law, particles_2d,
+                                              victim):
+        machine = GenericMachine(nranks=_P)
+        clean = run_allpairs(machine, particles_2d, _C, law=law)
+        faulty = run_allpairs(machine, particles_2d, _C, law=law,
+                              faults=_kill(victim))
+        assert list(faulty.run.deaths) == [victim]
+        assert np.array_equal(faulty.forces, clean.forces)
+
+    def test_recovered_forces_match_reference(self, law, particles_2d):
+        ref = reference_forces(law, particles_2d)
+        out = run_allpairs(GenericMachine(nranks=_P), particles_2d, _C,
+                           law=law, faults=_kill(5))
+        assert_forces_close(out.forces, ref)
+
+    def test_exactly_once_survives_a_death(self, law, particles_2d):
+        from repro.physics import reference_pair_matrix
+
+        n = len(particles_2d)
+        counter = np.zeros((n, n), dtype=np.int64)
+        run_allpairs(GenericMachine(nranks=_P), particles_2d, _C, law=law,
+                     pair_counter=counter, faults=_kill(5))
+        # Recovery recomputes lost updates, so surviving ranks' pair counts
+        # stay exactly-once; the victim's own pre-death scans plus the
+        # replay may double-count, but never *miss*, a pair.
+        assert (counter >= reference_pair_matrix(law, particles_2d)).all()
+
+    def test_kill_with_c1_rejected(self, law, particles_2d):
+        with pytest.raises(ValueError):
+            run_allpairs(GenericMachine(nranks=4), particles_2d, 1, law=law,
+                         faults=_kill(1))
+
+
+class TestCutoffRecovery:
+    def test_single_death_is_bitwise_invisible(self, law, particles_2d):
+        machine = GenericMachine(nranks=_P)
+        kw = dict(rcut=0.4, box_length=1.0, dim=1, law=law)
+        clean = run_cutoff(machine, particles_2d, _C, **kw)
+        faulty = run_cutoff(machine, particles_2d, _C, **kw,
+                            faults=_kill(5))
+        assert list(faulty.run.deaths) == [5]
+        assert np.array_equal(faulty.forces, clean.forces)
+        assert_forces_close(faulty.forces,
+                            reference_forces(law.with_rcut(0.4),
+                                             particles_2d))
+
+
+class TestDriverRecovery:
+    def _scfg(self, law, nsteps=3):
+        return SimulationConfig(cfg=allpairs_config(_P, _C), law=law,
+                                dt=1e-3, nsteps=nsteps, box_length=1.0)
+
+    @pytest.mark.parametrize("victim,after_ops", [(6, 20), (2, 20), (1, 20)])
+    def test_multistep_death_is_bitwise_invisible(self, law, victim,
+                                                  after_ops):
+        ps = ParticleSet.uniform_random(64, 2, 1.0, max_speed=0.05, seed=9)
+        blocks = team_blocks_even(ps, _P // _C)
+        machine = GenericMachine(nranks=_P)
+        scfg = self._scfg(law)
+        clean = run_simulation(machine, scfg, blocks)
+        sched = FaultSchedule(events=(KillRank(victim, after_ops=after_ops),))
+        faulty = run_simulation(machine, scfg, blocks, faults=sched)
+        assert list(faulty.run.deaths) == [victim]
+        assert np.array_equal(faulty.particles.pos, clean.particles.pos)
+        assert np.array_equal(faulty.particles.vel, clean.particles.vel)
+        assert np.array_equal(faulty.forces, clean.forces)
+
+    def test_dead_rank_replayed_every_remaining_step(self, law):
+        ps = ParticleSet.uniform_random(64, 2, 1.0, max_speed=0.05, seed=9)
+        blocks = team_blocks_even(ps, _P // _C)
+        scfg = self._scfg(law, nsteps=3)
+        sched = FaultSchedule(events=(KillRank(6, after_ops=5),))
+        res = run_simulation(GenericMachine(nranks=_P), scfg, blocks,
+                             faults=sched)
+        # Death in step 1 -> the victim's work is replayed in all 3 steps.
+        assert len(res.recovered) == 3
+        assert all(ev.rank == 6 for ev in res.recovered)
+        assert all(ev.replayed_updates > 0 for ev in res.recovered)
+        assert all(ev.recovered_by != 6 for ev in res.recovered)
+
+    def test_verlet_with_faults_rejected(self, law):
+        ps = ParticleSet.uniform_random(32, 2, 1.0, seed=1)
+        blocks = team_blocks_even(ps, _P // _C)
+        scfg = SimulationConfig(cfg=allpairs_config(_P, _C), law=law,
+                                dt=1e-3, nsteps=2, box_length=1.0,
+                                integrator="verlet")
+        with pytest.raises(ValueError):
+            run_simulation(GenericMachine(nranks=_P), scfg, blocks,
+                           faults=_kill(5))
+
+    def test_sampling_with_faults_rejected(self, law):
+        ps = ParticleSet.uniform_random(32, 2, 1.0, seed=1)
+        blocks = team_blocks_even(ps, _P // _C)
+        with pytest.raises(ValueError):
+            run_simulation(GenericMachine(nranks=_P), self._scfg(law),
+                           blocks, faults=_kill(5), sample_every=1)
+
+
+class TestDeadlockReporting:
+    def test_blocked_names_every_hung_rank(self):
+        from repro.simmpi import Engine
+
+        def program(comm):
+            if comm.rank == 0:
+                return "done"
+            # 1 <- 2 <- 3 <- 0, but rank 0 never sends: all three hang.
+            got = yield from comm.recv((comm.rank + 1) % comm.size)
+            return got
+
+        with pytest.raises(DeadlockError) as ei:
+            Engine(GenericMachine(nranks=4)).run(program)
+        assert set(ei.value.blocked) == {1, 2, 3}
+        for rank, why in ei.value.blocked.items():
+            assert "recv" in why
+            assert f"peer={(rank + 1) % 4}" in why

@@ -178,6 +178,7 @@ class TestFigure6Claims:
 
 
 class TestFigure7Claims:
+    @pytest.mark.slow
     def test_best_c_roughly_doubles_efficiency_at_largest_size(self):
         """'the best replication of the communication-avoiding algorithm
         yields roughly double the efficiency of a non-replicating algorithm
@@ -201,6 +202,7 @@ class TestFigure7Claims:
         c4 = dict(res.efficiency[4])
         assert c4[96] < c4[6144]
 
+    @pytest.mark.slow
     def test_cutoff_less_efficient_than_allpairs(self):
         """'simulations with a cutoff distance are less efficient than
         simulations without a cutoff... primarily ... load imbalance caused

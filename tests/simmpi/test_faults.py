@@ -1,0 +1,260 @@
+"""Engine-level fault injection: schedules, kills, drops, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.machines import GenericMachine, Intrepid
+from repro.simmpi import (
+    CorruptTransfer,
+    DeadlockError,
+    DelayTransfer,
+    DropTransfer,
+    Engine,
+    FaultSchedule,
+    KillRank,
+    Tombstone,
+    TransferTimeoutError,
+)
+from repro.simmpi.collectives import binomial_fold
+from repro.simmpi.tracing import RETRY_PHASE
+
+pytestmark = pytest.mark.faults
+
+
+def run(machine, program, faults=None, **kw):
+    return Engine(machine, faults=faults, **kw).run(program)
+
+
+def ring_program(comm):
+    x = comm.rank
+    for _ in range(4):
+        x = yield from comm.sendrecv(
+            (comm.rank + 1) % comm.size, x, (comm.rank - 1) % comm.size
+        )
+    return x
+
+
+class TestScheduleValidation:
+    def test_kill_needs_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            KillRank(0)
+        with pytest.raises(ValueError):
+            KillRank(0, at_time=1.0, after_ops=3)
+
+    def test_duplicate_kill_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(events=(KillRank(0, after_ops=1),
+                                  KillRank(0, at_time=1.0)))
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(events=("boom",))
+
+
+class TestPurity:
+    """Fault decisions are pure functions of (schedule, operation id)."""
+
+    def test_p2p_fault_is_pure(self):
+        sched = FaultSchedule(seed=7, drop_prob=0.4, delay_prob=0.4,
+                              corrupt_prob=0.2)
+        for seq in range(8):
+            assert sched.p2p_fault(0, 1, seq) == sched.p2p_fault(0, 1, seq)
+
+    def test_channel_rng_independent_of_order(self):
+        sched = FaultSchedule(seed=3)
+        a = sched.channel_rng(0, 1, 0).random(4)
+        sched.channel_rng(5, 6, 2).random(4)  # interleaved other channel
+        b = sched.channel_rng(0, 1, 0).random(4)
+        assert np.array_equal(a, b)
+
+    def test_should_die_threshold(self):
+        sched = FaultSchedule(events=(KillRank(2, after_ops=5),))
+        assert not sched.should_die(2, 4, 0.0)
+        assert sched.should_die(2, 5, 0.0)
+        assert not sched.should_die(1, 99, 0.0)
+
+
+class TestDelayAndDrop:
+    def test_empty_schedule_changes_nothing(self):
+        machine = GenericMachine(nranks=4)
+        base = run(machine, ring_program)
+        with_sched = run(machine, ring_program, faults=FaultSchedule())
+        assert with_sched.clocks == base.clocks
+        assert with_sched.elapsed == base.elapsed
+
+    def test_delay_grows_elapsed(self):
+        machine = GenericMachine(nranks=4)
+        base = run(machine, ring_program)
+        delayed = run(machine, ring_program,
+                      faults=FaultSchedule(events=(
+                          DelayTransfer(0, 1, seconds=1e-3),)))
+        assert delayed.elapsed >= base.elapsed + 1e-3
+
+    def test_drop_charges_retry_phase(self):
+        machine = GenericMachine(nranks=4)
+        res = run(machine, ring_program,
+                  faults=FaultSchedule(events=(DropTransfer(0, 1, times=2),)))
+        tr = res.report.traces[0]
+        assert tr.phases[RETRY_PHASE].messages_sent == 2
+        assert tr.phases[RETRY_PHASE].bytes_sent > 0
+
+    def test_drop_slower_than_clean(self):
+        machine = GenericMachine(nranks=4)
+        base = run(machine, ring_program)
+        dropped = run(machine, ring_program,
+                      faults=FaultSchedule(events=(DropTransfer(0, 1),)))
+        assert dropped.elapsed > base.elapsed
+
+    def test_retry_budget_exhaustion_raises(self):
+        machine = GenericMachine(nranks=4)
+        sched = FaultSchedule(events=(DropTransfer(0, 1, times=9),),
+                              max_retries=3)
+        with pytest.raises(TransferTimeoutError) as ei:
+            run(machine, ring_program, faults=sched)
+        assert ei.value.src == 0 and ei.value.dst == 1
+        assert ei.value.attempts == 9
+
+    def test_payload_survives_drop(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, np.arange(8.0))
+                return None
+            return (yield from comm.recv(0))
+
+        res = run(GenericMachine(nranks=2), program,
+                  faults=FaultSchedule(events=(DropTransfer(0, 1),)))
+        assert np.array_equal(res.results[1], np.arange(8.0))
+
+
+class TestCorruption:
+    def test_silent_corruption_flips_one_bit(self):
+        payload = np.zeros(16)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, payload)
+                return None
+            return (yield from comm.recv(0))
+
+        res = run(GenericMachine(nranks=2), program,
+                  faults=FaultSchedule(events=(CorruptTransfer(0, 1),)))
+        got = res.results[1]
+        assert not np.array_equal(got, payload)
+        # Exactly one byte differs and the sender's copy is untouched.
+        diff = got.view(np.uint8) != payload.view(np.uint8)
+        assert diff.sum() == 1
+        assert not payload.any()
+
+    def test_detected_corruption_acts_as_drop(self):
+        machine = GenericMachine(nranks=4)
+        res = run(machine, ring_program,
+                  faults=FaultSchedule(events=(
+                      CorruptTransfer(0, 1, detect=True),)))
+        tr = res.report.traces[0]
+        assert tr.phases[RETRY_PHASE].messages_sent == 1
+        # The delivered payload is clean.
+        assert sorted(res.results) == list(range(4))
+
+    def test_corruption_is_deterministic(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, np.zeros(16))
+                return None
+            return (yield from comm.recv(0))
+
+        sched = FaultSchedule(events=(CorruptTransfer(0, 1),), seed=11)
+        a = run(GenericMachine(nranks=2), program, faults=sched)
+        b = run(GenericMachine(nranks=2), program, faults=sched)
+        assert np.array_equal(a.results[1], b.results[1])
+
+
+class TestKills:
+    def test_kill_records_death_and_tombstones(self):
+        sched = FaultSchedule(events=(KillRank(2, after_ops=3),))
+        res = run(GenericMachine(nranks=4), ring_program, faults=sched)
+        assert list(res.deaths) == [2]
+        assert res.results[2] is None
+        # The dead rank's ring successor eventually received a tombstone.
+        assert isinstance(res.results[3], Tombstone)
+        assert res.results[3].rank == 2
+
+    def test_kill_at_time(self):
+        def program(comm):
+            yield from comm.compute(1.0)
+            yield from comm.compute(1.0)
+            return comm.now()
+
+        sched = FaultSchedule(events=(KillRank(1, at_time=0.5),))
+        res = run(GenericMachine(nranks=2), program, faults=sched)
+        assert res.deaths[1] == pytest.approx(1.0)
+        assert res.results[0] == 2.0
+
+    def test_sync_failures_agrees_across_survivors(self):
+        def program(comm):
+            for _ in range(3):
+                yield from comm.compute(1e-6)
+            dead = yield from comm.sync_failures()
+            return dead
+
+        sched = FaultSchedule(events=(KillRank(1, after_ops=2),))
+        res = run(GenericMachine(nranks=4), program, faults=sched)
+        views = [res.results[r] for r in (0, 2, 3)]
+        assert views == [(1,), (1,), (1,)]
+
+    def test_sync_failures_free_without_faults(self):
+        def program(comm):
+            dead = yield from comm.sync_failures()
+            return dead, comm.now()
+
+        res = run(GenericMachine(nranks=4), program)
+        assert all(r == ((), 0.0) for r in res.results)
+
+    def test_hw_collective_with_dead_member_deadlocks(self):
+        def program(comm):
+            yield from comm.compute(1e-6)
+            if comm.hw_collectives_available:
+                v = yield from comm.hw_coll("barrier")
+                return v
+            return None
+
+        machine = Intrepid(4)
+        sched = FaultSchedule(events=(KillRank(1, after_ops=0),))
+        with pytest.raises(DeadlockError) as ei:
+            run(machine, program, faults=sched)
+        # Every hung survivor is named; the dead rank is not "blocked".
+        assert set(ei.value.blocked) == {0, 2, 3}
+
+    def test_detection_latency_charged(self):
+        def program(comm):
+            if comm.rank == 0:
+                got = yield from comm.recv(1)
+                return got, comm.now()
+            yield from comm.compute(1e-6)
+            return None
+
+        sched = FaultSchedule(events=(KillRank(1, after_ops=1),),
+                              detect_seconds=0.25)
+        res = run(GenericMachine(nranks=2), program, faults=sched)
+        got, t = res.results[0]
+        assert isinstance(got, Tombstone)
+        assert t >= res.deaths[1] + 0.25
+
+
+class TestBinomialFold:
+    def test_matches_distributed_reduce_bitwise(self):
+        rng = np.random.default_rng(5)
+        for size in (1, 2, 3, 5, 8, 13):
+            values = [rng.standard_normal(6) for _ in range(size)]
+
+            def program(comm, values=values):
+                out = yield from comm.reduce(values[comm.rank],
+                                             lambda a, b: a + b, root=0)
+                return out
+
+            res = run(GenericMachine(nranks=size), program)
+            local = binomial_fold(values, lambda a, b: a + b)
+            assert np.array_equal(res.results[0], local)
+
+    def test_empty_fold_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_fold([], lambda a, b: a + b)
