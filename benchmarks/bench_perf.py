@@ -1,0 +1,34 @@
+"""Pinned perf-trajectory benches, bridged into pytest-benchmark.
+
+These are the exact bench definitions from ``tools/perftrack.py`` — the
+harness that writes the committed ``BENCH_<tag>.json`` trajectory — run
+through pytest-benchmark so they appear alongside the other suites::
+
+    pytest benchmarks/bench_perf.py --benchmark-only
+
+The parameters come from the perftrack registry (smoke-sized here so the
+suite stays CI-fast); the committed trajectory numbers always come from
+``tools/perftrack.py`` itself, whose full-mode parameters are frozen for
+cross-PR comparability.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOLS = Path(__file__).resolve().parent.parent / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))
+
+from perftrack import BENCHES  # noqa: E402
+
+
+@pytest.mark.benchmark(group="perftrack")
+@pytest.mark.parametrize("name", sorted(BENCHES))
+def test_perftrack_bench(benchmark, name):
+    """Each pinned perftrack bench, at smoke size, through pytest-benchmark."""
+    spec = BENCHES[name](smoke=True)
+    benchmark.extra_info["metric"] = spec["metric"]
+    benchmark.extra_info["ops"] = spec["ops"]
+    benchmark(spec["runner"])

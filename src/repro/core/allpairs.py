@@ -74,6 +74,8 @@ def run_allpairs(
     eager_threshold: int = 0,
     layout: str = "rows",
     faults: FaultSchedule | None = None,
+    scratch: bool = True,
+    engine_opts: dict | None = None,
 ) -> AllPairsRun:
     """Compute all-pairs forces for ``particles`` on ``machine`` with
     replication factor ``c``; functional (real data) end to end.
@@ -86,10 +88,16 @@ def run_allpairs(
     variant runs instead, rank deaths are absorbed via replication-aware
     recovery (``c >= 2`` required for kills), and forces are collected from
     each team's acting leader.
+
+    ``scratch=False`` routes the kernel through the allocating reference
+    path and ``engine_opts`` forwards keyword arguments to the engine
+    constructor (e.g. ``{"fast_path": False}``); both knobs exist so the
+    determinism suite can lock the fast paths against the reference ones.
     """
     cfg = allpairs_config(machine.nranks, c, layout=layout)
     _check_fault_replication(faults, c)
-    kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter)
+    kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter,
+                        scratch=scratch)
     blocks = team_blocks_even(particles, cfg.grid.nteams)
 
     def program(comm):
@@ -104,7 +112,8 @@ def run_allpairs(
             )
         return result
 
-    run = Engine(machine, eager_threshold=eager_threshold, faults=faults).run(program)
+    run = Engine(machine, eager_threshold=eager_threshold, faults=faults,
+                 **(engine_opts or {})).run(program)
     ids, forces = collect_leader_forces(run.results, cfg.grid,
                                         dead=frozenset(run.deaths))
     return AllPairsRun(ids=ids, forces=forces, run=run)

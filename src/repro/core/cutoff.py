@@ -119,6 +119,8 @@ def run_cutoff(
     periodic: bool = False,
     geometry: TeamGeometry | None = None,
     faults: FaultSchedule | None = None,
+    scratch: bool = True,
+    engine_opts: dict | None = None,
 ) -> CutoffRun:
     """Compute cutoff-limited forces functionally on ``machine``.
 
@@ -127,6 +129,7 @@ def run_cutoff(
     leaders; forces come back ordered by particle id.  With a
     :class:`~repro.simmpi.faults.FaultSchedule` the resilient step runs and
     deaths are absorbed via replication-aware recovery (``c >= 2``).
+    ``scratch`` / ``engine_opts`` mirror :func:`run_allpairs`.
     """
     if dim is None:
         dim = particles.dim
@@ -142,7 +145,8 @@ def run_cutoff(
     run_law = base_law.with_rcut(rcut)
     if periodic:
         run_law = run_law.with_box(box_length)
-    kernel = RealKernel(law=run_law, pair_counter=pair_counter)
+    kernel = RealKernel(law=run_law, pair_counter=pair_counter,
+                        scratch=scratch)
     blocks = team_blocks_spatial(particles, cfg.geometry)
 
     def program(comm):
@@ -157,7 +161,8 @@ def run_cutoff(
             )
         return result
 
-    run = Engine(machine, eager_threshold=eager_threshold, faults=faults).run(program)
+    run = Engine(machine, eager_threshold=eager_threshold, faults=faults,
+                 **(engine_opts or {})).run(program)
     ids, forces = collect_leader_forces(run.results, cfg.grid,
                                         dead=frozenset(run.deaths))
     return CutoffRun(ids=ids, forces=forces, run=run)

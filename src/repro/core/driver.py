@@ -175,6 +175,7 @@ def run_simulation(
     kernel=None,
     sample_every: int = 0,
     faults: FaultSchedule | None = None,
+    engine_opts: dict | None = None,
 ) -> SimulationRun:
     """Run ``scfg.nsteps`` timesteps functionally on ``machine``.
 
@@ -194,6 +195,12 @@ def run_simulation(
     injection currently requires the Euler integrator and no trajectory
     sampling (Verlet's extra half-kick state and the sampling gather have
     no recovery path).
+
+    ``engine_opts`` forwards extra keyword arguments to the
+    :class:`~repro.simmpi.engine.Engine` constructor (e.g.
+    ``{"fast_path": False}`` to run the reference scheduler loop, or
+    ``{"record_events": True}`` for a timeline) without widening this
+    signature per engine knob.
     """
     from repro.physics.kernels import RealKernel
 
@@ -248,6 +255,12 @@ def run_simulation(
         for _ in range(scfg.nsteps):
             if scfg.integrator == "verlet":
                 if row == 0:
+                    # Copy-on-write: the previous interaction step handed
+                    # zero-copy views of this block's arrays to the whole
+                    # team (and to circulating travel blocks); ranks that
+                    # have not finished that step yet may still read them,
+                    # so integrate on private storage.
+                    block = block.detached()
                     kick(block.vel, forces, scfg.dt / 2, scfg.mass)
                     drift(block.pos, block.vel, scfg.dt)
                     _boundary(block)
@@ -280,7 +293,11 @@ def run_simulation(
                     # the broadcast copy it holds is the authoritative
                     # pre-step state, and the reduced forces were installed
                     # here by the resilient step.
-                    block = res.home.particles
+                    # Copy-on-write: the broadcast block and the zero-copy
+                    # travel views alias these arrays on ranks that may
+                    # not have finished the step yet, so integrate on
+                    # private storage.
+                    block = res.home.particles.detached()
                     forces = res.home.forces
                     euler_step(block.pos, block.vel, forces, scfg.dt,
                                scfg.mass)
@@ -307,7 +324,7 @@ def run_simulation(
             return None
         return block, forces, traj if len(traj) else None, tuple(recov)
 
-    run = Engine(machine, faults=faults).run(program)
+    run = Engine(machine, faults=faults, **(engine_opts or {})).run(program)
 
     dead = frozenset(run.deaths)
     leaders = [acting_leader_of(grid, col, dead) for col in range(grid.nteams)]

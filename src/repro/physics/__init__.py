@@ -10,7 +10,12 @@ kernels).
 
 from repro.physics.boundary import reflect, wrap_periodic
 from repro.physics.domain import TeamGeometry, team_of_positions, weighted_geometry
-from repro.physics.forces import ForceLaw, pairwise_forces, potential_energy
+from repro.physics.forces import (
+    ForceLaw,
+    clear_scratch,
+    pairwise_forces,
+    potential_energy,
+)
 from repro.physics.integrators import drift, euler_step, kick, kinetic_energy
 from repro.physics.io import load_particles, save_particles
 from repro.physics.kernels import RealKernel, VirtualForces, VirtualKernel
@@ -43,6 +48,7 @@ __all__ = [
     "kinetic_energy",
     "load_particles",
     "save_particles",
+    "clear_scratch",
     "pairwise_forces",
     "potential_energy",
     "reference_forces",

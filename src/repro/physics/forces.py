@@ -18,10 +18,60 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ForceLaw", "pairwise_forces", "potential_energy"]
+__all__ = ["ForceLaw", "clear_scratch", "pairwise_forces", "potential_energy"]
 
 # Cap on nt * ns per vectorized chunk (elements of the pair matrix).
 _CHUNK_PAIRS = 1 << 22
+
+# ---------------------------------------------------------------------------
+# Scratch-buffer pool.
+#
+# The CA shift loop calls the kernel once per shift step with the *same*
+# block shapes every time, so the (m, ns, d) displacement tensor, the
+# (m, ns) squared-distance / weight planes and the boolean masks are
+# allocated exactly once per shape and reused for every subsequent chunk —
+# at the small per-team block sizes typical of large-p runs, allocator
+# traffic dominates the arithmetic.  Buffers are fully overwritten before
+# every read (all producers are ``out=`` ufuncs/einsums over the whole
+# buffer), so reuse cannot leak state between calls; results stay bitwise
+# identical to the allocating path (``scratch=False``), which the
+# determinism tests pin.
+# ---------------------------------------------------------------------------
+
+class _Scratch:
+    """Every buffer one ``(m, ns, d)`` chunk shape needs, fetched in one
+    pool lookup (at small block sizes even dict lookups show up)."""
+
+    __slots__ = ("dr", "mi", "r2", "live", "within", "denom", "dead",
+                 "f", "rf")
+
+    def __init__(self, m: int, ns: int, d: int):
+        self.dr = np.empty((m, ns, d))
+        self.r2 = np.empty((m, ns))
+        self.denom = np.empty((m, ns))
+        self.live = np.empty((m, ns), dtype=bool)
+        self.dead = np.empty((m, ns), dtype=bool)
+        self.f = np.empty((m, d))
+        # Lazily allocated (minimum image / cutoff-with-ids / reactions):
+        self.mi: np.ndarray | None = None
+        self.within: np.ndarray | None = None
+        self.rf: np.ndarray | None = None
+
+
+_SCRATCH_POOL: dict[tuple[int, int, int], _Scratch] = {}
+
+
+def _scratch_for(m: int, ns: int, d: int) -> _Scratch:
+    key = (m, ns, d)
+    bufs = _SCRATCH_POOL.get(key)
+    if bufs is None:
+        bufs = _SCRATCH_POOL[key] = _Scratch(m, ns, d)
+    return bufs
+
+
+def clear_scratch() -> None:
+    """Drop all pooled kernel scratch buffers (frees their memory)."""
+    _SCRATCH_POOL.clear()
 
 
 @dataclass(frozen=True)
@@ -80,6 +130,7 @@ def pairwise_forces(
     pair_counter: np.ndarray | None = None,
     reaction_out: np.ndarray | None = None,
     half: bool = False,
+    scratch: bool = True,
 ) -> tuple[np.ndarray, int]:
     """Accumulate forces of ``source`` particles on ``target`` particles.
 
@@ -106,6 +157,10 @@ def pairwise_forces(
     half:
         Evaluate only pairs with ``target_id < source_id`` (requires ids
         and ``reaction_out``): each unordered pair once.
+    scratch:
+        Reuse pooled per-shape scratch buffers (default).  ``False``
+        allocates fresh temporaries per chunk — same results bit for bit,
+        kept for A/B determinism tests.
 
     Returns
     -------
@@ -130,30 +185,93 @@ def pairwise_forces(
     chunk = max(1, _CHUNK_PAIRS // max(ns, 1))
     for lo in range(0, nt, chunk):
         hi = min(lo + chunk, nt)
-        dr = target_pos[lo:hi, None, :] - source_pos[None, :, :]  # (m, ns, d)
-        if law.box is not None:
-            dr -= law.box * np.round(dr / law.box)  # minimum image
-        r2 = np.einsum("ijk,ijk->ij", dr, dr)
-        live = None
-        if half:
-            live = target_ids[lo:hi, None] < source_ids[None, :]
-        elif exclude_ids:
-            live = target_ids[lo:hi, None] != source_ids[None, :]
-        if rcut2 is not None:
-            within = r2 <= rcut2
-            live = within if live is None else (live & within)
-        # F = k * dr / (r^2 + eps^2)^(3/2): repulsive inverse-square.
-        denom = (r2 + eps2) ** 1.5
-        if live is not None:
-            # Masked pairs (self/replica/beyond-cutoff) may sit at zero
-            # distance; keep their excluded denominators finite.
-            denom = np.where(live, denom, 1.0)
-        w = law.k / denom
-        if live is not None:
-            w = np.where(live, w, 0.0)
-        out[lo:hi] += np.einsum("ij,ijk->ik", w, dr)
-        if reaction_out is not None:
-            reaction_out -= np.einsum("ij,ijk->jk", w, dr)
+        m = hi - lo
+        if scratch:
+            # Pooled path: every temporary is a per-shape pooled buffer,
+            # produced by the same ufunc/einsum as the allocating path
+            # (``x * round(y)`` vs ``round(y, out=...) *= x`` etc. are the
+            # same IEEE operations), so values are bitwise identical.
+            bufs = _scratch_for(m, ns, d)
+            dr = bufs.dr
+            np.subtract(target_pos[lo:hi, None, :], source_pos[None, :, :],
+                        out=dr)
+            if law.box is not None:
+                # Minimum image, fused into one pass over one scratch
+                # tensor instead of three fresh temporaries.
+                mi = bufs.mi
+                if mi is None:
+                    mi = bufs.mi = np.empty((m, ns, d))
+                np.divide(dr, law.box, out=mi)
+                np.round(mi, out=mi)
+                mi *= law.box
+                dr -= mi
+            r2 = np.einsum("ijk,ijk->ij", dr, dr, out=bufs.r2)
+            live = None
+            if half:
+                live = bufs.live
+                np.less(target_ids[lo:hi, None], source_ids[None, :],
+                        out=live)
+            elif exclude_ids:
+                live = bufs.live
+                np.not_equal(target_ids[lo:hi, None], source_ids[None, :],
+                             out=live)
+            if rcut2 is not None:
+                if live is None:
+                    live = bufs.live
+                    np.less_equal(r2, rcut2, out=live)
+                else:
+                    within = bufs.within
+                    if within is None:
+                        within = bufs.within = np.empty((m, ns), dtype=bool)
+                    np.less_equal(r2, rcut2, out=within)
+                    live &= within
+            # F = k * dr / (r^2 + eps^2)^(3/2): repulsive inverse-square.
+            denom = bufs.denom
+            np.add(r2, eps2, out=denom)
+            np.power(denom, 1.5, out=denom)
+            if live is not None:
+                # Masked pairs (self/replica/beyond-cutoff) may sit at
+                # zero distance; keep their excluded denominators finite.
+                dead = bufs.dead
+                np.logical_not(live, out=dead)
+                np.copyto(denom, 1.0, where=dead)
+            w = denom  # reuse in place: k / denom
+            np.divide(law.k, denom, out=w)
+            if live is not None:
+                np.copyto(w, 0.0, where=dead)
+            fchunk = np.einsum("ij,ijk->ik", w, dr, out=bufs.f)
+            out[lo:hi] += fchunk
+            if reaction_out is not None:
+                rf = bufs.rf
+                if rf is None:
+                    rf = bufs.rf = np.empty((ns, d))
+                rchunk = np.einsum("ij,ijk->jk", w, dr, out=rf)
+                reaction_out -= rchunk
+        else:
+            dr = target_pos[lo:hi, None, :] - source_pos[None, :, :]  # (m, ns, d)
+            if law.box is not None:
+                dr -= law.box * np.round(dr / law.box)  # minimum image
+            r2 = np.einsum("ijk,ijk->ij", dr, dr)
+            live = None
+            if half:
+                live = target_ids[lo:hi, None] < source_ids[None, :]
+            elif exclude_ids:
+                live = target_ids[lo:hi, None] != source_ids[None, :]
+            if rcut2 is not None:
+                within = r2 <= rcut2
+                live = within if live is None else (live & within)
+            # F = k * dr / (r^2 + eps^2)^(3/2): repulsive inverse-square.
+            denom = (r2 + eps2) ** 1.5
+            if live is not None:
+                # Masked pairs (self/replica/beyond-cutoff) may sit at zero
+                # distance; keep their excluded denominators finite.
+                denom = np.where(live, denom, 1.0)
+            w = law.k / denom
+            if live is not None:
+                w = np.where(live, w, 0.0)
+            out[lo:hi] += np.einsum("ij,ijk->ik", w, dr)
+            if reaction_out is not None:
+                reaction_out -= np.einsum("ij,ijk->jk", w, dr)
         if pair_counter is not None:
             mask = np.ones_like(r2, dtype=bool) if live is None else live
             ti = np.asarray(target_ids[lo:hi], dtype=np.intp)

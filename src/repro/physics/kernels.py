@@ -45,10 +45,16 @@ class RealKernel:
         Optional global ``(n, n)`` integer matrix; every accumulated
         (target id, source id) interaction increments one entry.  Tests use
         it to prove each ordered pair is computed exactly once.
+    scratch:
+        Route :func:`pairwise_forces` through the pooled scratch-buffer
+        fast path (default).  ``False`` selects the allocating reference
+        path; both produce bitwise-identical forces (the determinism suite
+        locks this).
     """
 
     law: ForceLaw
     pair_counter: np.ndarray | None = None
+    scratch: bool = True
 
     def home_of(self, block) -> HomeBlock:
         """Wrap a broadcast team block into this rank's home block.
@@ -62,8 +68,22 @@ class RealKernel:
         return HomeBlock(particles=block)
 
     def travel_of(self, home: HomeBlock, team: int) -> TravelBlock:
+        """Exchange-buffer payload: a zero-copy view of the home arrays.
+
+        The simulated network moves payloads by reference, so the travel
+        block shares the home block's position/id storage instead of
+        copying it; the views are locked read-only so any rank that tried
+        to mutate a visiting block would fault immediately.  This is safe
+        because travel blocks live only within one interaction step, and
+        integrators mutate positions strictly between steps (byte
+        accounting is unaffected — wire size comes from the array shapes).
+        """
         p = home.particles
-        return TravelBlock(pos=p.pos.copy(), ids=p.ids.copy(), team=team)
+        pos = p.pos[:]
+        pos.flags.writeable = False
+        ids = p.ids[:]
+        ids.flags.writeable = False
+        return TravelBlock(pos=pos, ids=ids, team=team)
 
     def interact(self, home: HomeBlock, travel: TravelBlock) -> int:
         _, npairs = pairwise_forces(
@@ -74,6 +94,7 @@ class RealKernel:
             source_ids=travel.ids,
             out=home.forces,
             pair_counter=self.pair_counter,
+            scratch=self.scratch,
         )
         return npairs
 
@@ -91,9 +112,18 @@ class RealKernel:
     # -- symmetric (Newton's third law) extension --------------------------
 
     def travel_of_symmetric(self, home: HomeBlock, team: int) -> TravelBlock:
-        """Exchange buffer carrying a reaction-force accumulator."""
+        """Exchange buffer carrying a reaction-force accumulator.
+
+        Positions/ids are shared read-only views (see :meth:`travel_of`);
+        only the reaction accumulator is a fresh private buffer, because
+        every visited rank adds into it as the buffer circulates.
+        """
         p = home.particles
-        return TravelBlock(pos=p.pos.copy(), ids=p.ids.copy(), team=team,
+        pos = p.pos[:]
+        pos.flags.writeable = False
+        ids = p.ids[:]
+        ids.flags.writeable = False
+        return TravelBlock(pos=pos, ids=ids, team=team,
                            forces=np.zeros_like(p.pos))
 
     def interact_symmetric(self, home: HomeBlock, travel: TravelBlock) -> int:
@@ -109,6 +139,7 @@ class RealKernel:
             out=home.forces,
             reaction_out=travel.forces,
             pair_counter=self.pair_counter,
+            scratch=self.scratch,
         )
         return npairs
 
@@ -125,6 +156,7 @@ class RealKernel:
             reaction_out=home.forces,
             half=True,
             pair_counter=self.pair_counter,
+            scratch=self.scratch,
         )
         return npairs
 

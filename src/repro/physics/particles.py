@@ -113,6 +113,17 @@ class ParticleSet:
     def copy(self) -> "ParticleSet":
         return ParticleSet(self.pos.copy(), self.vel.copy(), self.ids.copy())
 
+    def detached(self) -> "ParticleSet":
+        """A set owning private ``pos``/``vel`` copies, sharing ``ids``.
+
+        The copy-on-write half of the zero-copy payload protocol: travel
+        blocks and broadcast home blocks alias a leader's arrays by
+        reference, so before a rank mutates positions or velocities in
+        place (integration, boundary handling) it must detach its storage.
+        Ids are immutable for a particle's lifetime and stay shared.
+        """
+        return ParticleSet(self.pos.copy(), self.vel.copy(), self.ids)
+
     def sorted_by_id(self) -> "ParticleSet":
         order = np.argsort(self.ids, kind="stable")
         return self.subset(order)

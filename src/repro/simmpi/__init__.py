@@ -28,6 +28,7 @@ from repro.simmpi.errors import (
     DeadlockError,
     InvalidRankError,
     InvalidTagError,
+    MaxOpsExceededError,
     RankFailedError,
     RecoveredRankEvent,
     SimMPIError,
@@ -44,8 +45,8 @@ from repro.simmpi.faults import (
 from repro.simmpi.collectives_ext import allreduce_rabenseifner, bcast_pipelined
 from repro.simmpi.payload import join_payloads, payload_nbytes, split_payload
 from repro.simmpi.topology import ReplicatedGrid, ring_shift
-from repro.simmpi.tracing import (PhaseTotals, RankTrace, TimelineEvent,
-                                  TraceReport, timeline_to_json)
+from repro.simmpi.tracing import (NullTrace, PhaseTotals, RankTrace,
+                                  TimelineEvent, TraceReport, timeline_to_json)
 
 __all__ = [
     "CartComm",
@@ -67,6 +68,8 @@ __all__ = [
     "Engine",
     "InvalidRankError",
     "InvalidTagError",
+    "MaxOpsExceededError",
+    "NullTrace",
     "PhaseTotals",
     "RankFailedError",
     "RankTrace",

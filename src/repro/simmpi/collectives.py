@@ -68,8 +68,7 @@ def bcast(comm, value: Any, root: int = 0):
     while mask < size:
         if rel & mask:
             src = ((rel - mask) + root) % size
-            req = yield from comm.irecv(src, _TAG_BCAST, _collective=True)
-            (value,) = yield from comm.wait(req)
+            value = yield from comm._coll_recv(src, _TAG_BCAST)
             recv_mask = mask
             break
         mask <<= 1
@@ -82,8 +81,7 @@ def bcast(comm, value: Any, root: int = 0):
     while mask > 0:
         if rel + mask < size:
             dst = (rel + mask + root) % size
-            req = yield from comm.isend(dst, value, _TAG_BCAST, _collective=True)
-            yield from comm.wait(req)
+            yield from comm._coll_send(dst, value, _TAG_BCAST)
         mask >>= 1
     return value
 
@@ -106,14 +104,12 @@ def reduce(comm, value: Any, op: Callable[[Any, Any], Any], root: int = 0):
     while mask < size:
         if rel & mask:
             dst = ((rel - mask) + root) % size
-            req = yield from comm.isend(dst, acc, _TAG_REDUCE, _collective=True)
-            yield from comm.wait(req)
+            yield from comm._coll_send(dst, acc, _TAG_REDUCE)
             return None
         partner = rel | mask
         if partner < size:
             src = (partner + root) % size
-            req = yield from comm.irecv(src, _TAG_REDUCE, _collective=True)
-            (other,) = yield from comm.wait(req)
+            other = yield from comm._coll_recv(src, _TAG_REDUCE)
             acc = op(acc, other)
         mask <<= 1
     return acc
@@ -158,9 +154,8 @@ def allreduce(comm, value: Any, op: Callable[[Any, Any], Any]):
     mask = 1
     while mask < size:
         partner = comm.rank ^ mask
-        sreq = yield from comm.isend(partner, acc, _TAG_ALLREDUCE, _collective=True)
-        rreq = yield from comm.irecv(partner, _TAG_ALLREDUCE, _collective=True)
-        _, other = yield from comm.wait(sreq, rreq)
+        other = yield from comm._coll_sendrecv(partner, acc, partner,
+                                               _TAG_ALLREDUCE)
         # Fold in a globally consistent order so non-commutative ops agree.
         acc = op(acc, other) if comm.rank < partner else op(other, acc)
         mask <<= 1
@@ -180,14 +175,12 @@ def gather(comm, value: Any, root: int = 0):
     while mask < size:
         if rel & mask:
             dst = ((rel - mask) + root) % size
-            req = yield from comm.isend(dst, held, _TAG_GATHER, _collective=True)
-            yield from comm.wait(req)
+            yield from comm._coll_send(dst, held, _TAG_GATHER)
             return None
         partner = rel | mask
         if partner < size:
             src = (partner + root) % size
-            req = yield from comm.irecv(src, _TAG_GATHER, _collective=True)
-            (other,) = yield from comm.wait(req)
+            other = yield from comm._coll_recv(src, _TAG_GATHER)
             held.update(other)
         mask <<= 1
     return [held[(r - root) % size] for r in range(size)]
@@ -217,8 +210,7 @@ def scatter(comm, values: Sequence[Any] | None, root: int = 0):
         while mask < size:
             if rel & mask:
                 src = ((rel - mask) + root) % size
-                req = yield from comm.irecv(src, _TAG_SCATTER, _collective=True)
-                (held,) = yield from comm.wait(req)
+                held = yield from comm._coll_recv(src, _TAG_SCATTER)
                 recv_mask = mask
                 break
             mask <<= 1
@@ -229,8 +221,7 @@ def scatter(comm, values: Sequence[Any] | None, root: int = 0):
         if rel + mask < size:
             dst = (rel + mask + root) % size
             sub = {i: held[i] for i in range(rel + mask, min(rel + 2 * mask, size))}
-            req = yield from comm.isend(dst, sub, _TAG_SCATTER, _collective=True)
-            yield from comm.wait(req)
+            yield from comm._coll_send(dst, sub, _TAG_SCATTER)
             for i in sub:
                 del held[i]
         mask >>= 1
@@ -251,9 +242,8 @@ def allgather(comm, value: Any):
     mask = 1
     while mask < size:
         partner = comm.rank ^ mask
-        sreq = yield from comm.isend(partner, held, _TAG_ALLGATHER, _collective=True)
-        rreq = yield from comm.irecv(partner, _TAG_ALLGATHER, _collective=True)
-        _, other = yield from comm.wait(sreq, rreq)
+        other = yield from comm._coll_sendrecv(partner, held, partner,
+                                               _TAG_ALLGATHER)
         held = {**held, **other}
         mask <<= 1
     return [held[r] for r in range(size)]
@@ -276,22 +266,16 @@ def alltoall(comm, values: Sequence[Any]):
     if _is_pow2(size):
         for k in range(1, size):
             partner = comm.rank ^ k
-            sreq = yield from comm.isend(
-                partner, values[partner], _TAG_ALLTOALL, _collective=True
+            result[partner] = yield from comm._coll_sendrecv(
+                partner, values[partner], partner, _TAG_ALLTOALL
             )
-            rreq = yield from comm.irecv(partner, _TAG_ALLTOALL, _collective=True)
-            _, got = yield from comm.wait(sreq, rreq)
-            result[partner] = got
     else:
         for k in range(1, size):
             dst = (comm.rank + k) % size
             src = (comm.rank - k) % size
-            sreq = yield from comm.isend(
-                dst, values[dst], _TAG_ALLTOALL, _collective=True
+            result[src] = yield from comm._coll_sendrecv(
+                dst, values[dst], src, _TAG_ALLTOALL
             )
-            rreq = yield from comm.irecv(src, _TAG_ALLTOALL, _collective=True)
-            _, got = yield from comm.wait(sreq, rreq)
-            result[src] = got
     return result
 
 
@@ -304,7 +288,5 @@ def barrier(comm):
     while k < size:
         dst = (comm.rank + k) % size
         src = (comm.rank - k) % size
-        sreq = yield from comm.isend(dst, None, _TAG_BARRIER, _collective=True)
-        rreq = yield from comm.irecv(src, _TAG_BARRIER, _collective=True)
-        yield from comm.wait(sreq, rreq)
+        yield from comm._coll_sendrecv(dst, None, src, _TAG_BARRIER)
         k <<= 1

@@ -21,7 +21,6 @@ space from other communicators.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from typing import Any, Callable, Sequence
 
 from repro.simmpi import collectives as _coll
@@ -36,6 +35,7 @@ from repro.simmpi.engine import (
     WaitOp,
 )
 from repro.simmpi.errors import InvalidRankError, InvalidTagError
+from repro.simmpi.payload import payload_nbytes
 from repro.simmpi.tracing import DEFAULT_PHASE
 
 __all__ = ["Comm"]
@@ -50,16 +50,51 @@ _COLL_TAG_BASE = 1 << 16
 _CTX_STRIDE = 1 << 17
 
 
+class _PhaseScope:
+    """Re-entrant push/pop of a rank's phase label.
+
+    A plain ``__enter__``/``__exit__`` class instead of
+    ``@contextmanager``: phase scopes open and close once per shift step
+    on every rank, and the generator machinery behind ``contextmanager``
+    is measurable at that frequency.
+    """
+
+    __slots__ = ("_comm", "_label", "_prev")
+
+    def __init__(self, comm: "Comm", label: str):
+        self._comm = comm
+        self._label = label
+
+    def __enter__(self) -> "Comm":
+        comm = self._comm
+        phases = comm.engine._phases
+        rank = comm._wrank
+        self._prev = phases[rank]
+        phases[rank] = self._label
+        return comm
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        comm = self._comm
+        comm.engine._phases[comm._wrank] = self._prev
+        return False
+
+
 class Comm:
     """Per-rank communicator over a fixed group of world ranks."""
 
-    __slots__ = ("engine", "_ranks", "_rank", "_cid")
+    __slots__ = ("engine", "_ranks", "_rank", "_cid", "_wrank", "_tag_base",
+                 "_coll_base")
 
     def __init__(self, engine: Engine, world_ranks: tuple[int, ...], rank: int):
         self.engine = engine
         self._ranks = world_ranks
         self._rank = rank
         self._cid = engine.context_id(world_ranks)
+        # Hot-path caches: this rank's world id and the communicator's tag
+        # bases (all immutable for the life of the communicator).
+        self._wrank = world_ranks[rank]
+        self._tag_base = self._cid * _CTX_STRIDE
+        self._coll_base = self._tag_base + _COLL_TAG_BASE
 
     # -- construction -------------------------------------------------------
 
@@ -97,7 +132,7 @@ class Comm:
     @property
     def world_rank(self) -> int:
         """This rank's id in the world communicator."""
-        return self._ranks[self._rank]
+        return self._wrank
 
     @property
     def world_ranks(self) -> tuple[int, ...]:
@@ -128,18 +163,11 @@ class Comm:
         """Active phase label — per *rank* state shared by every
         communicator of that rank (a team bcast inside ``phase('bcast')``
         on the world communicator is still charged to ``bcast``)."""
-        return self.engine.phase_of(self.world_rank)
+        return self.engine._phases[self._wrank]
 
-    @contextmanager
-    def phase(self, label: str):
+    def phase(self, label: str) -> "_PhaseScope":
         """Attribute enclosed operations' time and traffic to ``label``."""
-        rank = self.world_rank
-        prev = self.engine.phase_of(rank)
-        self.engine.set_phase(rank, label)
-        try:
-            yield self
-        finally:
-            self.engine.set_phase(rank, prev)
+        return _PhaseScope(self, label)
 
     @property
     def current_phase(self) -> str:
@@ -149,7 +177,7 @@ class Comm:
 
     def compute(self, seconds: float):
         """Charge ``seconds`` of local computation to the current phase."""
-        yield ComputeOp(float(seconds), self._phase_label)
+        yield ComputeOp(float(seconds), self.engine._phases[self._wrank])
 
     # -- point-to-point ----------------------------------------------------------
 
@@ -164,53 +192,129 @@ class Comm:
               nbytes: int | None = None, _collective: bool = False):
         """Post a non-blocking send; returns a :class:`Request`."""
         if nbytes is None:
-            from repro.simmpi.payload import payload_nbytes
-
             nbytes = payload_nbytes(payload)
         req = yield IsendOp(
-            dst=self.translate(dest),
-            tag=self._wire_tag(tag, _collective),
-            payload=payload,
-            nbytes=int(nbytes),
-            phase=self._phase_label,
+            self.translate(dest),
+            self._wire_tag(tag, _collective),
+            payload,
+            int(nbytes),
+            self.engine._phases[self._wrank],
         )
         return req
 
     def irecv(self, source: int, tag: int = 0, *, _collective: bool = False):
         """Post a non-blocking receive; returns a :class:`Request`."""
         req = yield IrecvOp(
-            src=self.translate(source),
-            tag=self._wire_tag(tag, _collective),
-            phase=self._phase_label,
+            self.translate(source),
+            self._wire_tag(tag, _collective),
+            self.engine._phases[self._wrank],
         )
         return req
 
     def wait(self, *requests: Request):
         """Block until all ``requests`` complete; returns their payloads."""
-        payloads = yield WaitOp(tuple(requests), self._phase_label)
+        payloads = yield WaitOp(requests, self._phase_label)
         return payloads
+
+    # The blocking helpers below are *flattened*: they yield the engine ops
+    # directly instead of delegating to isend/irecv/wait sub-generators.
+    # Each ``yield from comm.x()`` delegation costs a generator frame per
+    # resume, and the shift loop crosses these helpers millions of times —
+    # flattening them is one of the engine fast path's largest wins.  The
+    # op sequence (and therefore all virtual timing) is identical to the
+    # composed form, and because the request handles never escape, they are
+    # recycled through the engine's free list.
 
     def send(self, dest: int, payload: Any, tag: int = 0, *,
              nbytes: int | None = None):
         """Blocking (rendezvous) send."""
-        req = yield from self.isend(dest, payload, tag, nbytes=nbytes)
-        yield from self.wait(req)
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        phase = self.engine._phases[self._wrank]
+        req = yield IsendOp(self.translate(dest), self._wire_tag(tag),
+                            payload, int(nbytes), phase)
+        yield WaitOp((req,), phase)
+        self.engine.release_request(req)
 
     def recv(self, source: int, tag: int = 0):
         """Blocking receive; returns the payload."""
-        req = yield from self.irecv(source, tag)
-        (payload,) = yield from self.wait(req)
+        phase = self.engine._phases[self._wrank]
+        req = yield IrecvOp(self.translate(source), self._wire_tag(tag), phase)
+        yield WaitOp((req,), phase)
+        payload = req.payload
+        self.engine.release_request(req)
         return payload
 
     def sendrecv(self, dest: int, payload: Any, source: int,
                  sendtag: int = 0, recvtag: int | None = None, *,
                  nbytes: int | None = None):
         """Simultaneous send+receive (deadlock-free shift primitive)."""
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        if not 0 <= sendtag <= MAX_USER_TAG:
+            raise InvalidTagError(
+                f"user tag must be in [0, {MAX_USER_TAG}], got {sendtag}")
+        stag = self._tag_base + sendtag
         if recvtag is None:
-            recvtag = sendtag
-        sreq = yield from self.isend(dest, payload, sendtag, nbytes=nbytes)
-        rreq = yield from self.irecv(source, recvtag)
-        _, received = yield from self.wait(sreq, rreq)
+            rtag = stag
+        elif 0 <= recvtag <= MAX_USER_TAG:
+            rtag = self._tag_base + recvtag
+        else:
+            raise InvalidTagError(
+                f"user tag must be in [0, {MAX_USER_TAG}], got {recvtag}")
+        ranks = self._ranks
+        if 0 <= dest < len(ranks) and 0 <= source < len(ranks):
+            wdst = ranks[dest]
+            wsrc = ranks[source]
+        else:
+            wdst = self.translate(dest)
+            wsrc = self.translate(source)
+        engine = self.engine
+        phase = engine._phases[self._wrank]
+        sreq = yield IsendOp(wdst, stag, payload, int(nbytes), phase)
+        rreq = yield IrecvOp(wsrc, rtag, phase)
+        yield WaitOp((sreq, rreq), phase)
+        received = rreq.payload
+        engine.release_request(sreq)
+        engine.release_request(rreq)
+        return received
+
+    # Collective-tagged blocking helpers for repro.simmpi.collectives; same
+    # flattening, tags drawn from the reserved collective space.
+
+    def _coll_send(self, dest: int, payload: Any, tag: int, *,
+                   nbytes: int | None = None):
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        phase = self.engine._phases[self._wrank]
+        req = yield IsendOp(self.translate(dest), self._coll_base + tag,
+                            payload, int(nbytes), phase)
+        yield WaitOp((req,), phase)
+        self.engine.release_request(req)
+
+    def _coll_recv(self, source: int, tag: int):
+        phase = self.engine._phases[self._wrank]
+        req = yield IrecvOp(self.translate(source), self._coll_base + tag,
+                            phase)
+        yield WaitOp((req,), phase)
+        payload = req.payload
+        self.engine.release_request(req)
+        return payload
+
+    def _coll_sendrecv(self, dest: int, payload: Any, source: int, tag: int, *,
+                       nbytes: int | None = None):
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        ranks = self._ranks
+        wire = self._coll_base + tag
+        engine = self.engine
+        phase = engine._phases[self._wrank]
+        sreq = yield IsendOp(ranks[dest], wire, payload, int(nbytes), phase)
+        rreq = yield IrecvOp(ranks[source], wire, phase)
+        yield WaitOp((sreq, rreq), phase)
+        received = rreq.payload
+        engine.release_request(sreq)
+        engine.release_request(rreq)
         return received
 
     # -- collectives ------------------------------------------------------------
@@ -291,8 +395,6 @@ class Comm:
                 "whole-partition communicator"
             )
         if nbytes is None:
-            from repro.simmpi.payload import payload_nbytes
-
             nbytes = payload_nbytes(value)
         result = yield HwCollOp(
             kind=kind,

@@ -29,6 +29,20 @@ deterministic.
 Deadlock is detected exactly: if no rank is runnable and at least one is
 blocked, a :class:`~repro.simmpi.errors.DeadlockError` is raised naming every
 blocked rank and its pending requests.
+
+Fast path
+---------
+The interpreter loop is the throughput ceiling of every experiment, so the
+hot path is engineered: operations dispatch through a type-keyed table
+instead of an ``isinstance`` chain, consecutive same-phase compute ops are
+drained in a tight inner loop with the per-phase accumulator hoisted,
+matched send/recv channels live in a single ``(src, dst, tag)`` -> channel
+map (one hash per post), wire times are memoized per ``(src, dst, nbytes)``,
+and :class:`Request` handles that never escape to user code are recycled
+through a free list.  ``fast_path=False`` selects the straight-line legacy
+interpreter; both paths perform float additions in the same order, so
+virtual clocks and phase totals are bitwise identical (a tested invariant —
+see ``tests/core/test_fastpath_determinism.py``).
 """
 
 from __future__ import annotations
@@ -40,18 +54,25 @@ from typing import Any, Callable
 from repro.simmpi.errors import (
     DeadlockError,
     InvalidRankError,
+    MaxOpsExceededError,
     RankFailedError,
     SimMPIError,
     TransferTimeoutError,
 )
 from repro.simmpi.faults import FaultSchedule, Tombstone, corrupt_payload
-from repro.simmpi.tracing import (DEFAULT_PHASE, RETRY_PHASE, RankTrace,
-                                  TimelineEvent, TraceReport)
+from repro.simmpi.tracing import (DEFAULT_PHASE, RETRY_PHASE, NullTrace,
+                                  RankTrace, TimelineEvent, TraceReport)
 
 __all__ = ["Engine", "Request", "RunResult"]
 
 # Backstop on engine operations; protects against runaway programs.
 _DEFAULT_MAX_OPS = 200_000_000
+
+#: Free-list bound: requests beyond this are left to the garbage collector.
+_REQ_POOL_MAX = 1024
+
+#: Wire-time memo bound (entries); cleared wholesale when exceeded.
+_P2P_CACHE_MAX = 1 << 18
 
 
 # ---------------------------------------------------------------------------
@@ -141,10 +162,12 @@ class Request:
         "complete",
         "complete_time",
         "payload",
+        "queued",
+        "pooled",
     )
 
     def __init__(self, kind: str, owner: int, peer: int, tag: int, post_time: float):
-        self.kind = kind  # 'send' | 'recv' | 'hwcoll'
+        self.kind = kind  # 'send' | 'recv' | 'hwcoll' | 'fsync'
         self.owner = owner
         self.peer = peer
         self.tag = tag
@@ -153,6 +176,10 @@ class Request:
         self.complete = False
         self.complete_time = 0.0
         self.payload: Any = None
+        #: True while the request sits in an engine matching queue.
+        self.queued = False
+        #: True while the request rests on the engine's free list.
+        self.pooled = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.complete else "pending"
@@ -168,7 +195,8 @@ class RunResult:
 
     #: Per-rank return values of the rank programs.
     results: list[Any]
-    #: Per-rank, per-phase time and traffic accounting.
+    #: Per-rank, per-phase time and traffic accounting (empty when the
+    #: engine was built with ``record_phases=False``).
     report: TraceReport
     #: Virtual time at which the last rank finished (the makespan).
     elapsed: float
@@ -206,6 +234,16 @@ class _RankState:
         self.ops = 0
 
 
+class _Channel:
+    """Matching queues of one ``(src, dst, tag)`` point-to-point channel."""
+
+    __slots__ = ("sends", "recvs")
+
+    def __init__(self):
+        self.sends: deque = deque()
+        self.recvs: deque = deque()
+
+
 class _HwSlot:
     """Arrival record for one pending hardware collective."""
 
@@ -235,16 +273,30 @@ class Engine:
         paper's shift phases experience under load imbalance.
     max_ops:
         Backstop on total operations processed before aborting.
+    record_events:
+        Record a :class:`~repro.simmpi.tracing.TimelineEvent` per activity
+        (off by default; the hot path allocates none when off).
+    record_phases:
+        Keep per-rank, per-phase time and traffic totals (on by default).
+        ``False`` skips all phase accounting — ``RunResult.report`` comes
+        back empty and only aggregate clocks/makespan/nops are available.
+    fast_path:
+        Use the optimized interpreter (default).  ``False`` runs the
+        straight-line legacy loop; results are bitwise identical either
+        way — the flag exists for A/B determinism tests and debugging.
     """
 
     def __init__(self, machine, *, eager_threshold: int = 0,
                  max_ops: int | None = None, record_events: bool = False,
-                 record_traffic: bool = False,
+                 record_traffic: bool = False, record_phases: bool = True,
+                 fast_path: bool = True,
                  faults: FaultSchedule | None = None):
         self.machine = machine
         self.faults = faults
         self.record_events = bool(record_events)
         self.record_traffic = bool(record_traffic)
+        self.record_phases = bool(record_phases)
+        self.fast_path = bool(fast_path)
         self._events: list[TimelineEvent] = []
         self._traffic = None
         self.nranks = int(machine.nranks)
@@ -253,11 +305,25 @@ class Engine:
         self.eager_threshold = int(eager_threshold)
         self.max_ops = _DEFAULT_MAX_OPS if max_ops is None else int(max_ops)
         self._context_ids: dict[tuple[int, ...], int] = {}
+        # Type-keyed dispatch: one dict hash per non-compute op.
+        self._handlers: dict[type, Callable] = {
+            ComputeOp: self._op_compute,
+            IsendOp: self._post_send,
+            IrecvOp: self._post_recv,
+            WaitOp: self._op_wait,
+            HwCollOp: self._post_hwcoll,
+            FailureSyncOp: self._post_fsync,
+        }
+        # Request free list and wire-time memo (live across runs; the
+        # machine is immutable, so memoized times stay valid).
+        self._req_pool: list[Request] = []
+        self._p2p_cache: dict[tuple[int, int, int], float] = {}
+        # Op-kind counters for the runaway-program report.
+        self._op_histogram: dict[str, int] = {}
         # Populated per run:
         self._ranks: list[_RankState] = []
         self._traces: list[RankTrace] = []
-        self._pending_sends: dict[tuple[int, int, int], deque] = {}
-        self._pending_recvs: dict[tuple[int, int, int], deque] = {}
+        self._channels: dict[tuple[int, int, int], _Channel] = {}
         self._hwslots: dict[tuple[tuple[int, ...], int], _HwSlot] = {}
         self._hwseq: dict[tuple[int, tuple[int, ...]], int] = {}
         self._ready: deque[int] = deque()
@@ -298,6 +364,46 @@ class Engine:
     def set_phase(self, rank: int, label: str) -> None:
         self._phases[rank] = label
 
+    # -- request pooling ----------------------------------------------------
+
+    def _new_request(self, kind: str, owner: int, peer: int, tag: int,
+                     post_time: float) -> Request:
+        pool = self._req_pool
+        if pool:
+            req = pool.pop()
+            req.kind = kind
+            req.owner = owner
+            req.peer = peer
+            req.tag = tag
+            req.nbytes = 0
+            req.post_time = post_time
+            req.complete = False
+            req.complete_time = 0.0
+            req.payload = None
+            req.queued = False
+            req.pooled = False
+            return req
+        return Request(kind, owner, peer, tag, post_time)
+
+    def release_request(self, req: Request) -> None:
+        """Return a request handle to the free list.
+
+        Only safe for requests that no user code retains; the internal
+        blocking helpers (``Comm.send``/``recv``/``sendrecv`` and the
+        software collectives) qualify because they hand back payloads, not
+        handles.  Requests still sitting in a matching queue (eager sends)
+        or already pooled are left alone.
+        """
+        if (req.complete and not req.queued and not req.pooled
+                and len(self._req_pool) < _REQ_POOL_MAX):
+            req.payload = None
+            req.pooled = True
+            self._req_pool.append(req)
+
+    def release_requests(self, reqs) -> None:
+        for req in reqs:
+            self.release_request(req)
+
     # -- main entry point --------------------------------------------------
 
     def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> RunResult:
@@ -310,8 +416,7 @@ class Engine:
         from repro.simmpi.comm import Comm  # deferred: comm imports engine ops
 
         self._context_ids.clear()
-        self._pending_sends = {}
-        self._pending_recvs = {}
+        self._channels = {}
         self._hwslots = {}
         self._hwseq = {}
         self._nops = 0
@@ -320,13 +425,22 @@ class Engine:
         self._chan_seq = {}
         self._fsync_slots = {}
         self._fsync_seq = {}
+        self._op_histogram = {
+            "compute": 0, "isend": 0, "irecv": 0, "wait": 0,
+            "hwcoll": 0, "fsync": 0,
+        }
         if self.record_traffic:
             import numpy as _np
 
             self._traffic = _np.zeros((self.nranks, self.nranks),
                                       dtype=_np.int64)
         self._phases = [DEFAULT_PHASE] * self.nranks
-        self._traces = [RankTrace(r) for r in range(self.nranks)]
+        if self.record_phases:
+            self._traces = [RankTrace(r) for r in range(self.nranks)]
+        else:
+            # One shared sink: every accounting call is a no-op.
+            sink = NullTrace()
+            self._traces = [sink] * self.nranks
         self._ranks = []
         for r in range(self.nranks):
             comm = Comm._world(self, r)
@@ -342,14 +456,17 @@ class Engine:
             self._enqueue(r)
         nfinished = 0
 
-        while self._ready:
-            rank = self._ready.popleft()
-            state = self._ranks[rank]
+        run_rank = self._run_rank if self.fast_path else self._run_rank_slow
+        ready = self._ready
+        ranks = self._ranks
+        while ready:
+            rank = ready.popleft()
+            state = ranks[rank]
             state.queued = False
             if state.finished or state.dead or state.blocked_on is not None:
                 continue
             value, state.resume_value = state.resume_value, None
-            if self._run_rank(rank, value):
+            if run_rank(rank, value):
                 nfinished += 1
 
         if nfinished + len(self._deaths) < self.nranks:
@@ -370,9 +487,10 @@ class Engine:
             )
 
         clocks = [st.clock for st in self._ranks]
+        report = TraceReport(self._traces if self.record_phases else [])
         return RunResult(
             results=[st.result for st in self._ranks],
-            report=TraceReport(self._traces),
+            report=report,
             elapsed=max(clocks) if clocks else 0.0,
             nops=self._nops,
             clocks=clocks,
@@ -387,17 +505,128 @@ class Engine:
             state.queued = True
             self._ready.append(rank)
 
+    # -- runaway-program diagnostics -----------------------------------------
+
+    def _raise_max_ops(self, rank: int, state: _RankState) -> None:
+        """Raise an actionable max_ops report naming the offender."""
+        per_rank = sorted(
+            ((st.ops, r) for r, st in enumerate(self._ranks)), reverse=True
+        )
+        top = ", ".join(f"rank {r}: {n}" for n, r in per_rank[:5])
+        histogram = {k: v for k, v in self._op_histogram.items() if v}
+        raise MaxOpsExceededError(
+            max_ops=self.max_ops,
+            rank=rank,
+            phase=self._phases[rank],
+            rank_ops=state.ops,
+            histogram=histogram,
+            top_ranks=top,
+        )
+
     # -- per-rank execution --------------------------------------------------
 
     def _run_rank(self, rank: int, resume_value: Any = None) -> bool:
-        """Drive ``rank`` until it blocks or finishes.  Returns True if done."""
+        """Drive ``rank`` until it blocks or finishes.  Returns True if done.
+
+        The fast interpreter: compute ops — the overwhelmingly most common
+        kind in functional runs — are drained in an inner loop that hoists
+        the per-phase accumulator, so a burst of same-phase compute costs
+        one trace lookup instead of one per op.  Clock and phase-total
+        additions happen per op, in program order, keeping float results
+        bitwise identical to the legacy loop.
+        """
+        state = self._ranks[rank]
+        gen = state.gen
+        send = gen.send
+        value = resume_value
+        faults = self.faults
+        check_kills = faults is not None and faults.has_kills
+        max_ops = self.max_ops
+        handlers = self._handlers
+        trace = self._traces[rank]
+        record_events = self.record_events
+        hist = self._op_histogram
+        while True:
+            self._nops += 1
+            if self._nops > max_ops:
+                self._raise_max_ops(rank, state)
+            if check_kills and faults.should_die(rank, state.ops, state.clock):
+                self._kill_rank(rank, state)
+                return False
+            state.ops += 1
+            try:
+                op = send(value)
+            except StopIteration as stop:
+                state.finished = True
+                state.result = stop.value
+                return True
+            except (DeadlockError, RankFailedError):
+                raise
+            except BaseException as exc:  # fail-fast like MPI_Abort
+                raise RankFailedError(rank, exc) from exc
+
+            cls = op.__class__
+            if cls is ComputeOp:
+                # Batch consecutive compute ops (same dispatch, hoisted
+                # accumulator); exact per-op addition order is preserved.
+                label = op.phase
+                tot = trace.phase(label)
+                clock = state.clock
+                while True:
+                    seconds = op.seconds
+                    if seconds < 0:
+                        raise SimMPIError(f"negative compute time {seconds}")
+                    hist["compute"] += 1
+                    if record_events and seconds > 0:
+                        self._events.append(TimelineEvent(
+                            rank=rank, phase=label, kind="compute",
+                            t_start=clock, t_end=clock + seconds,
+                        ))
+                    clock += seconds
+                    # Sync before resuming: user code may read comm.now().
+                    state.clock = clock
+                    tot.seconds += seconds
+                    self._nops += 1
+                    if self._nops > max_ops:
+                        self._raise_max_ops(rank, state)
+                    if check_kills and faults.should_die(rank, state.ops, clock):
+                        self._kill_rank(rank, state)
+                        return False
+                    state.ops += 1
+                    try:
+                        op = send(None)
+                    except StopIteration as stop:
+                        state.finished = True
+                        state.result = stop.value
+                        return True
+                    except (DeadlockError, RankFailedError):
+                        raise
+                    except BaseException as exc:
+                        raise RankFailedError(rank, exc) from exc
+                    cls = op.__class__
+                    if cls is ComputeOp:
+                        if op.phase != label:
+                            label = op.phase
+                            tot = trace.phase(label)
+                        continue
+                    break
+
+            handler = handlers.get(cls)
+            if handler is None:
+                raise SimMPIError(f"rank {rank} yielded unknown op {op!r}")
+            value = handler(rank, state, op)
+            if value is _BLOCKED:
+                return False
+
+    def _run_rank_slow(self, rank: int, resume_value: Any = None) -> bool:
+        """The legacy straight-line loop (``fast_path=False``)."""
         state = self._ranks[rank]
         gen = state.gen
         value = resume_value
         while True:
             self._nops += 1
             if self._nops > self.max_ops:
-                raise SimMPIError(f"exceeded max_ops={self.max_ops}; runaway program?")
+                self._raise_max_ops(rank, state)
             if (
                 self.faults is not None
                 and self.faults.has_kills
@@ -423,63 +652,66 @@ class Engine:
 
     def _dispatch(self, rank: int, state: _RankState, op: Any) -> Any:
         """Apply one operation; return the resume value or ``_BLOCKED``."""
-        cls = type(op)
-        if cls is ComputeOp:
-            if op.seconds < 0:
-                raise SimMPIError(f"negative compute time {op.seconds}")
-            if self.record_events and op.seconds > 0:
-                self._events.append(TimelineEvent(
-                    rank=rank, phase=op.phase, kind="compute",
-                    t_start=state.clock, t_end=state.clock + op.seconds,
-                ))
-            state.clock += op.seconds
-            self._traces[rank].add_time(op.phase, op.seconds)
-            return None
+        handler = self._handlers.get(op.__class__)
+        if handler is None:
+            raise SimMPIError(f"rank {rank} yielded unknown op {op!r}")
+        return handler(rank, state, op)
 
-        if cls is IsendOp:
-            return self._post_send(rank, state, op)
+    def _op_compute(self, rank: int, state: _RankState, op: ComputeOp) -> None:
+        if op.seconds < 0:
+            raise SimMPIError(f"negative compute time {op.seconds}")
+        self._op_histogram["compute"] += 1
+        if self.record_events and op.seconds > 0:
+            self._events.append(TimelineEvent(
+                rank=rank, phase=op.phase, kind="compute",
+                t_start=state.clock, t_end=state.clock + op.seconds,
+            ))
+        state.clock += op.seconds
+        self._traces[rank].add_time(op.phase, op.seconds)
+        return None
 
-        if cls is IrecvOp:
-            return self._post_recv(rank, state, op)
-
-        if cls is WaitOp:
-            if all(q.complete for q in op.requests):
-                self._finish_wait(rank, state, op.requests, op.phase)
-                return [q.payload for q in op.requests]
-            state.blocked_on = op.requests
-            state.wait_phase = op.phase
-            return _BLOCKED
-
-        if cls is HwCollOp:
-            return self._post_hwcoll(rank, state, op)
-
-        if cls is FailureSyncOp:
-            return self._post_fsync(rank, state, op)
-
-        raise SimMPIError(f"rank {rank} yielded unknown op {op!r}")
+    def _op_wait(self, rank: int, state: _RankState, op: WaitOp) -> Any:
+        self._op_histogram["wait"] += 1
+        reqs = op.requests
+        for q in reqs:
+            if not q.complete:
+                state.blocked_on = reqs
+                state.wait_phase = op.phase
+                return _BLOCKED
+        self._finish_wait(rank, state, reqs, op.phase)
+        return [q.payload for q in reqs]
 
     # -- point-to-point --------------------------------------------------------
 
+    def _channel(self, key: tuple[int, int, int]) -> _Channel:
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = self._channels[key] = _Channel()
+        return ch
+
     def _post_send(self, rank: int, state: _RankState, op: IsendOp) -> Request:
-        if not 0 <= op.dst < self.nranks:
-            raise InvalidRankError(f"send dst {op.dst} out of range 0..{self.nranks - 1}")
-        req = Request("send", rank, op.dst, op.tag, state.clock)
+        dst = op.dst
+        if not 0 <= dst < self.nranks:
+            raise InvalidRankError(f"send dst {dst} out of range 0..{self.nranks - 1}")
+        self._op_histogram["isend"] += 1
+        req = self._new_request("send", rank, dst, op.tag, state.clock)
         req.nbytes = op.nbytes
         req.payload = op.payload
         self._traces[rank].add_send(op.phase, op.nbytes)
-        if op.dst in self._deaths:
+        if self._deaths and dst in self._deaths:
             # Peer is dead: the send completes locally after the detection
             # latency; the payload goes nowhere.
             req.complete = True
             req.complete_time = (
-                max(req.post_time, self._deaths[op.dst])
+                max(req.post_time, self._deaths[dst])
                 + self.faults.detect_seconds
             )
             return req
-        key = (rank, op.dst, op.tag)
-        recvq = self._pending_recvs.get(key)
+        ch = self._channel((rank, dst, op.tag))
+        recvq = ch.recvs
         if recvq:
             rreq, rphase = recvq.popleft()
+            rreq.queued = False
             self._complete_pair(req, rreq, rphase)
         else:
             if op.nbytes <= self.eager_threshold:
@@ -487,37 +719,47 @@ class Engine:
                 # may wait on it (and proceed) before any receiver posts.
                 req.complete = True
                 req.complete_time = req.post_time
-            self._pending_sends.setdefault(key, deque()).append((req, op.phase))
+            req.queued = True
+            ch.sends.append((req, op.phase))
         return req
 
     def _post_recv(self, rank: int, state: _RankState, op: IrecvOp) -> Request:
-        if not 0 <= op.src < self.nranks:
-            raise InvalidRankError(f"recv src {op.src} out of range 0..{self.nranks - 1}")
-        req = Request("recv", rank, op.src, op.tag, state.clock)
-        key = (op.src, rank, op.tag)
-        if op.src in self._deaths:
+        src = op.src
+        if not 0 <= src < self.nranks:
+            raise InvalidRankError(f"recv src {src} out of range 0..{self.nranks - 1}")
+        self._op_histogram["irecv"] += 1
+        req = self._new_request("recv", rank, src, op.tag, state.clock)
+        if self._deaths and src in self._deaths:
             # Dead sender: unmatched sends were lost with it (rendezvous
             # data never leaves the source), so detection is the outcome.
-            death = self._deaths[op.src]
+            death = self._deaths[src]
             req.complete = True
             req.complete_time = (
                 max(req.post_time, death) + self.faults.detect_seconds
             )
-            req.payload = Tombstone(op.src, death)
+            req.payload = Tombstone(src, death)
             return req
-        sendq = self._pending_sends.get(key)
+        ch = self._channel((src, rank, op.tag))
+        sendq = ch.sends
         if sendq:
-            sreq, sphase = sendq.popleft()
-            del sphase  # send side was counted at posting time
+            sreq, _sphase = sendq.popleft()  # send side counted at posting
+            sreq.queued = False
             self._complete_pair(sreq, req, op.phase)
         else:
-            self._pending_recvs.setdefault(key, deque()).append((req, op.phase))
+            req.queued = True
+            ch.recvs.append((req, op.phase))
         return req
 
     def _complete_pair(self, sreq: Request, rreq: Request, recv_phase: str) -> None:
         """Complete a matched send/recv pair and unblock waiters."""
         nbytes = sreq.nbytes
-        wire = self.machine.p2p_time(sreq.owner, rreq.owner, nbytes)
+        key = (sreq.owner, rreq.owner, nbytes)
+        wire = self._p2p_cache.get(key)
+        if wire is None:
+            wire = self.machine.p2p_time(sreq.owner, rreq.owner, nbytes)
+            if len(self._p2p_cache) >= _P2P_CACHE_MAX:
+                self._p2p_cache.clear()
+            self._p2p_cache[key] = wire
         payload = sreq.payload
         extra = 0.0
         if self.faults is not None:
@@ -551,8 +793,11 @@ class Engine:
         """If ``rank`` is blocked and all its requests completed, re-queue it."""
         state = self._ranks[rank]
         reqs = state.blocked_on
-        if reqs is None or not all(q.complete for q in reqs):
+        if reqs is None:
             return
+        for q in reqs:
+            if not q.complete:
+                return
         state.blocked_on = None
         self._finish_wait(rank, state, reqs, state.wait_phase)
         state.resume_value = [q.payload for q in reqs]
@@ -611,40 +856,35 @@ class Engine:
         state.dead = True
         self._deaths[rank] = death
         state.gen.close()
-        # Unmatched sends the victim posted never transfer (rendezvous data
-        # stays at the source); unmatched receives simply evaporate.
-        for key in list(self._pending_sends):
-            if key[0] != rank:
-                continue
-            q = self._pending_sends[key]
-            remaining = deque(item for item in q if item[0].owner != rank)
-            if remaining:
-                self._pending_sends[key] = remaining
-            else:
-                del self._pending_sends[key]
-        for key in list(self._pending_recvs):
-            if key[1] != rank:
-                continue
-            del self._pending_recvs[key]
-        # Peers with operations against the victim observe the failure
-        # after the detection latency: their sends complete into the void,
-        # their receives deliver a Tombstone.
         detect = self.faults.detect_seconds
-        for key in list(self._pending_sends):
-            if key[1] != rank:
-                continue
-            for req, _phase in self._pending_sends.pop(key):
-                req.complete = True
-                req.complete_time = max(req.post_time, death) + detect
-                self._maybe_unblock(req.owner)
-        for key in list(self._pending_recvs):
-            if key[0] != rank:
-                continue
-            for req, _phase in self._pending_recvs.pop(key):
-                req.complete = True
-                req.complete_time = max(req.post_time, death) + detect
-                req.payload = Tombstone(rank, death)
-                self._maybe_unblock(req.owner)
+        # Within each channel: first drop the victim's own postings
+        # (unmatched sends never transfer — rendezvous data stays at the
+        # source; unmatched receives evaporate), then complete the peers'
+        # operations against the victim after the detection latency.
+        for (src, dst, _tag), ch in list(self._channels.items()):
+            if src == rank and ch.sends:
+                for req, _phase in ch.sends:
+                    req.queued = False
+                ch.sends.clear()
+            if dst == rank and ch.recvs:
+                for req, _phase in ch.recvs:
+                    req.queued = False
+                ch.recvs.clear()
+            if dst == rank and ch.sends:
+                while ch.sends:
+                    req, _phase = ch.sends.popleft()
+                    req.queued = False
+                    req.complete = True
+                    req.complete_time = max(req.post_time, death) + detect
+                    self._maybe_unblock(req.owner)
+            if src == rank and ch.recvs:
+                while ch.recvs:
+                    req, _phase = ch.recvs.popleft()
+                    req.queued = False
+                    req.complete = True
+                    req.complete_time = max(req.post_time, death) + detect
+                    req.payload = Tombstone(rank, death)
+                    self._maybe_unblock(req.owner)
         # A failure sync no longer waits on the victim.
         for seq in list(self._fsync_slots):
             self._check_fsync(seq)
@@ -652,14 +892,17 @@ class Engine:
     # -- failure sync -------------------------------------------------------------
 
     def _post_fsync(self, rank: int, state: _RankState, op: FailureSyncOp):
+        self._op_histogram["fsync"] += 1
         seq = self._fsync_seq.get(rank, 0)
         self._fsync_seq[rank] = seq + 1
         slot = self._fsync_slots.setdefault(seq, {})
-        req = Request("fsync", rank, -1, -1, state.clock)
+        req = self._new_request("fsync", rank, -1, -1, state.clock)
         slot[rank] = req
         if self._check_fsync(seq, poster=rank):
             self._finish_wait(rank, state, (req,), op.phase)
-            return req.payload
+            payload = req.payload
+            self.release_request(req)
+            return payload
         state.blocked_on = (req,)
         state.wait_phase = op.phase
         return _BLOCKED
@@ -696,11 +939,13 @@ class Engine:
                 self._finish_wait(r, st, (q,), st.wait_phase)
                 st.resume_value = q.payload
                 self._enqueue(r)
+                self.release_request(q)
         return synchronous
 
     # -- hardware collectives ----------------------------------------------------
 
     def _post_hwcoll(self, rank: int, state: _RankState, op: HwCollOp):
+        self._op_histogram["hwcoll"] += 1
         group = op.group
         if rank not in group:
             raise InvalidRankError(f"rank {rank} not in hw collective group {group}")
@@ -711,7 +956,7 @@ class Engine:
         slot = self._hwslots.get(slot_key)
         if slot is None:
             slot = self._hwslots[slot_key] = _HwSlot()
-        req = Request("hwcoll", rank, -1, -1, state.clock)
+        req = self._new_request("hwcoll", rank, -1, -1, state.clock)
         req.nbytes = op.nbytes
         slot.ops[rank] = op
         slot.reqs[rank] = req
@@ -723,7 +968,9 @@ class Engine:
             self._complete_hwcoll(group, slot)
             del self._hwslots[slot_key]
             self._finish_wait(rank, state, (req,), op.phase)
-            return req.payload
+            payload = req.payload
+            self.release_request(req)
+            return payload
         state.blocked_on = (req,)
         state.wait_phase = op.phase
         return _BLOCKED
@@ -777,3 +1024,4 @@ class Engine:
                 self._finish_wait(r, st, (q,), st.wait_phase)
                 st.resume_value = q.payload
                 self._enqueue(r)
+                self.release_request(q)

@@ -8,6 +8,7 @@ __all__ = [
     "RankFailedError",
     "InvalidRankError",
     "InvalidTagError",
+    "MaxOpsExceededError",
     "TransferTimeoutError",
     "RecoveredRankEvent",
 ]
@@ -46,6 +47,32 @@ class RankFailedError(SimMPIError):
 
 class InvalidRankError(SimMPIError):
     """A peer rank was outside ``[0, size)`` for the communicator."""
+
+
+class MaxOpsExceededError(SimMPIError):
+    """The engine processed more operations than ``max_ops`` allows.
+
+    Almost always a runaway program (an unbounded loop, or a collective
+    posted with mismatched round counts), so the message names the rank
+    that tripped the limit, the phase it was in, its own op count, and an
+    op-kind histogram — enough to find the loop without re-running under a
+    debugger.
+    """
+
+    def __init__(self, *, max_ops: int, rank: int, phase: str, rank_ops: int,
+                 histogram: dict[str, int], top_ranks: str):
+        hist = ", ".join(f"{k}={v}" for k, v in sorted(histogram.items()))
+        super().__init__(
+            f"engine exceeded max_ops={max_ops}: tripped by rank {rank} in "
+            f"phase {phase!r} after {rank_ops} of its own ops; "
+            f"op histogram: {hist or 'empty'}; busiest ranks: {top_ranks}"
+        )
+        self.max_ops = max_ops
+        self.rank = rank
+        self.phase = phase
+        self.rank_ops = rank_ops
+        self.histogram = dict(histogram)
+        self.top_ranks = top_ranks
 
 
 class TransferTimeoutError(SimMPIError):

@@ -94,6 +94,12 @@ def payload_nbytes(payload: Any) -> int:
     """Bytes that ``payload`` occupies on the simulated wire."""
     if payload is None:
         return 0
+    # Exact-type fast path for the scalar payloads that dominate control
+    # traffic (bool is excluded by the exact-type check and keeps its own
+    # 1-byte rule below).
+    t = type(payload)
+    if t is int or t is float:
+        return _SMALL_OBJECT_BYTES
     wire = getattr(payload, "wire_nbytes", None)
     if wire is not None:
         return int(wire)

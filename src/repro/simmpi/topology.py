@@ -73,11 +73,17 @@ class ReplicatedGrid:
         return rank // self.c
 
     def rank_at(self, row: int, col: int) -> int:
-        require(0 <= row < self.c, f"row {row} out of range [0, {self.c})")
-        require(0 <= col < self.nteams, f"col {col} out of range [0, {self.nteams})")
+        # Hot path of every shift step; checks are inlined so the error
+        # messages are only built on failure.
+        c = self.c
+        nteams = self.p // c
+        if not 0 <= row < c:
+            require(False, f"row {row} out of range [0, {c})")
+        if not 0 <= col < nteams:
+            require(False, f"col {col} out of range [0, {nteams})")
         if self.layout == "rows":
-            return row * self.nteams + col
-        return col * self.c + row
+            return row * nteams + col
+        return col * c + row
 
     # -- groups ------------------------------------------------------------
 

@@ -14,8 +14,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["PhaseTotals", "RankTrace", "TimelineEvent", "TraceReport",
-           "RECOVER_PHASE", "RETRY_PHASE", "timeline_to_json"]
+__all__ = ["NullTrace", "PhaseTotals", "RankTrace", "TimelineEvent",
+           "TraceReport", "RECOVER_PHASE", "RETRY_PHASE", "timeline_to_json"]
 
 #: Phase label applied when the program has not pushed any phase.
 DEFAULT_PHASE = "other"
@@ -77,6 +77,44 @@ class RankTrace:
     @property
     def total_seconds(self) -> float:
         return sum(t.seconds for t in self.phases.values())
+
+
+class _NullPhaseTotals(PhaseTotals):
+    """A write-only accumulator: additions land here and are never read."""
+
+    __slots__ = ()
+
+
+class NullTrace:
+    """A do-nothing stand-in for :class:`RankTrace`.
+
+    Installed on every rank when the engine runs with
+    ``record_phases=False``: accounting calls hit these no-ops instead of
+    branching at every call site, so the hot path stays straight-line and
+    per-phase dictionaries are never built.  One shared instance serves all
+    ranks (it holds no state worth reading).
+    """
+
+    __slots__ = ("_sink",)
+
+    rank = -1
+    phases: dict[str, PhaseTotals] = {}
+    total_seconds = 0.0
+
+    def __init__(self):
+        self._sink = _NullPhaseTotals()
+
+    def phase(self, label: str) -> PhaseTotals:
+        return self._sink
+
+    def add_time(self, label: str, seconds: float) -> None:
+        pass
+
+    def add_send(self, label: str, nbytes: int) -> None:
+        pass
+
+    def add_recv(self, label: str, nbytes: int) -> None:
+        pass
 
 
 class TraceReport:

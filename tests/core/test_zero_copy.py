@@ -1,0 +1,107 @@
+"""Zero-copy / copy-on-write invariants of the CA data path.
+
+The substrate moves payloads by reference, so particle blocks flow through
+broadcast and the shift ring without copies; in exchange, any rank that
+mutates positions in place must first *detach* its storage
+(:meth:`ParticleSet.detached`) — the cooperative scheduler can run one
+column's integration while another column still holds a travel view of the
+same arrays.  These tests pin both halves of that protocol through the
+real machinery, not just the kernel unit surface.
+"""
+
+import numpy as np
+
+from repro.core import (
+    SimulationConfig,
+    allpairs_config,
+    run_simulation,
+)
+from repro.core.ca_step import ca_interaction_step
+from repro.core.decomposition import team_blocks_even
+from repro.machines import GenericMachine
+from repro.physics import ForceLaw, ParticleSet, RealKernel
+from repro.simmpi import Engine
+
+
+class TestDetached:
+    def test_detached_copies_mutable_arrays_and_shares_ids(self):
+        ps = ParticleSet.uniform_random(16, 2, 1.0, max_speed=0.1, seed=1)
+        d = ps.detached()
+        assert not np.shares_memory(d.pos, ps.pos)
+        assert not np.shares_memory(d.vel, ps.vel)
+        assert np.shares_memory(d.ids, ps.ids)
+        d.pos += 1.0
+        d.vel += 1.0
+        assert (d.pos != ps.pos).all()
+        assert (d.vel != ps.vel).all()
+
+
+class _AliasCheckingKernel(RealKernel):
+    """RealKernel that records the zero-copy aliasing it observes."""
+
+    def __init__(self, law):
+        super().__init__(law=law)
+        self.travel_aliases = []
+        self.home_pos_ids = []
+
+    def home_of(self, block):
+        home = super().home_of(block)
+        self.home_pos_ids.append(id(home.particles.pos))
+        return home
+
+    def travel_of(self, home, team):
+        tb = super().travel_of(home, team)
+        self.travel_aliases.append(
+            np.shares_memory(tb.pos, home.particles.pos)
+            and np.shares_memory(tb.ids, home.particles.ids)
+        )
+        return tb
+
+
+class TestCAStepAliasing:
+    def test_travel_buffers_alias_home_storage_in_the_real_step(self):
+        p, c, n = 8, 2, 64
+        cfg = allpairs_config(p, c)
+        particles = ParticleSet.uniform_random(n, 2, 1.0, seed=4)
+        blocks = team_blocks_even(particles, cfg.grid.nteams)
+        kernel = _AliasCheckingKernel(ForceLaw())
+
+        def program(comm):
+            col = cfg.grid.col_of(comm.rank)
+            yield from ca_interaction_step(comm, cfg, kernel, blocks[col])
+            return None
+
+        Engine(GenericMachine(nranks=p)).run(program)
+        # Every travel buffer built during the step was a zero-copy view.
+        assert kernel.travel_aliases and all(kernel.travel_aliases)
+        # The team broadcast moved one object per team: all c rows of a
+        # team wrapped the *same* position array, nteams distinct in all.
+        nteams = cfg.grid.nteams
+        assert len(kernel.home_pos_ids) == p
+        assert len(set(kernel.home_pos_ids)) == nteams
+        counts = {i: kernel.home_pos_ids.count(i)
+                  for i in set(kernel.home_pos_ids)}
+        assert all(v == c for v in counts.values())
+
+
+class TestCopyOnWrite:
+    def test_run_simulation_does_not_mutate_caller_blocks(self):
+        """The COW half: integration never writes through shared views."""
+        p, c, n = 8, 2, 64
+        cfg = allpairs_config(p, c)
+        scfg = SimulationConfig(cfg=cfg, law=ForceLaw(), dt=1e-3, nsteps=2,
+                                box_length=1.0)
+        particles = ParticleSet.uniform_random(n, 2, 1.0, max_speed=0.1,
+                                               seed=9)
+        blocks = team_blocks_even(particles, cfg.grid.nteams)
+        snapshots = [(b.pos.copy(), b.vel.copy(), b.ids.copy())
+                     for b in blocks]
+
+        machine = GenericMachine(nranks=p)
+        sim = run_simulation(machine, scfg, blocks)
+        assert np.abs(sim.forces).sum() > 0  # the run did real work
+
+        for b, (pos, vel, ids) in zip(blocks, snapshots):
+            assert np.array_equal(b.pos, pos)
+            assert np.array_equal(b.vel, vel)
+            assert np.array_equal(b.ids, ids)

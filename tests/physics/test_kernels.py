@@ -38,13 +38,21 @@ class TestRealKernel:
         h1.forces += 1
         assert (h2.forces == 0).all()
 
-    def test_travel_is_a_copy(self):
+    def test_travel_is_zero_copy_and_immutable(self):
+        # Travel blocks share the home arrays (no copies on the hot path)
+        # but are locked read-only, so a rank that tried to mutate a
+        # visiting block faults instead of silently corrupting the team.
         k = self._kernel()
         home = k.home_of(ParticleSet.uniform_random(4, 2, 1.0, seed=2))
         tb = k.travel_of(home, team=7)
         assert tb.team == 7
-        tb.pos[:] = -1
+        assert np.shares_memory(tb.pos, home.particles.pos)
+        assert np.shares_memory(tb.ids, home.particles.ids)
+        with pytest.raises(ValueError):
+            tb.pos[:] = -1
         assert (home.particles.pos != -1).any()
+        # The home arrays themselves stay writable for the integrator.
+        assert home.particles.pos.flags.writeable
 
     def test_interact_accumulates_and_counts(self):
         k = self._kernel()

@@ -1,0 +1,153 @@
+"""Regression guards for the engine fast path's pay-for-use tracing.
+
+The substrate promises that observability is free when switched off:
+``record_events=False`` (the default) must allocate zero
+:class:`TimelineEvent` objects, and ``record_phases=False`` must route all
+phase accounting through the shared no-op :class:`NullTrace` sink.  These
+tests pin that contract so a future edit cannot quietly re-introduce
+per-op allocation on the hot path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines import GenericMachine, GenericTorus
+from repro.simmpi import Engine, NullTrace
+from repro.simmpi import engine as engine_mod
+from repro.simmpi.tracing import TimelineEvent
+
+
+def traced_program(comm):
+    """Touches every event-producing op kind: compute, p2p, collective."""
+    with comm.phase("work"):
+        yield from comm.compute(1e-3 * (comm.rank + 1))
+    with comm.phase("ring"):
+        x = yield from comm.sendrecv(
+            (comm.rank + 1) % comm.size, comm.rank, (comm.rank - 1) % comm.size
+        )
+    with comm.phase("sync"):
+        yield from comm.barrier()
+    return x
+
+
+class _CountingEvent(TimelineEvent):
+    """TimelineEvent that counts how many times it is constructed."""
+
+    allocations = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).allocations += 1
+        super().__init__(*args, **kwargs)
+
+
+@pytest.fixture
+def counting_events(monkeypatch):
+    _CountingEvent.allocations = 0
+    # The engine module resolves the class through its own global, so
+    # patching that name intercepts every allocation site.
+    monkeypatch.setattr(engine_mod, "TimelineEvent", _CountingEvent)
+    return _CountingEvent
+
+
+class TestRecordEventsGuard:
+    def test_zero_event_allocations_when_recording_off(self, counting_events):
+        res = Engine(GenericTorus(nranks=8, cores_per_node=2)).run(
+            traced_program
+        )
+        assert res.events == []
+        assert counting_events.allocations == 0
+
+    def test_zero_event_allocations_on_slow_path_too(self, counting_events):
+        Engine(GenericMachine(nranks=4), fast_path=False).run(traced_program)
+        assert counting_events.allocations == 0
+
+    def test_events_still_allocated_when_recording_on(self, counting_events):
+        res = Engine(GenericMachine(nranks=4), record_events=True).run(
+            traced_program
+        )
+        assert counting_events.allocations == len(res.events) > 0
+
+
+class TestNullTraceSink:
+    def test_phases_off_installs_shared_null_sink(self):
+        eng = Engine(GenericMachine(nranks=4), record_phases=False)
+        res = eng.run(traced_program)
+        # Virtual time and results are unaffected by switching tracing off.
+        ref = Engine(GenericMachine(nranks=4)).run(traced_program)
+        assert res.results == ref.results
+        assert res.elapsed == ref.elapsed
+        # ... but no per-rank phase dictionaries were built.
+        assert res.report.traces == []
+
+    def test_null_trace_is_inert(self):
+        t = NullTrace()
+        sink = t.phase("anything")
+        assert t.phase("other") is sink  # one shared sink object
+        t.add_time("x", 1.0)
+        t.add_send("x", 10)
+        t.add_recv("x", 10)
+        sink.seconds += 1.0  # the fast path accumulates onto the sink
+        assert t.total_seconds == 0.0
+        assert t.phases == {}
+
+
+class TestMaxOpsDiagnostics:
+    """The runaway-program guard names its offender (satellite fix)."""
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_report_names_rank_phase_and_histogram(self, fast_path):
+        from repro.simmpi import MaxOpsExceededError
+
+        def runaway(comm):
+            with comm.phase("spin"):
+                while True:
+                    yield from comm.compute(1e-9)
+
+        with pytest.raises(MaxOpsExceededError) as ei:
+            Engine(GenericMachine(nranks=2), max_ops=50,
+                   fast_path=fast_path).run(runaway)
+        err = ei.value
+        assert err.rank in (0, 1)
+        assert err.phase == "spin"
+        assert err.histogram.get("compute", 0) > 0
+        msg = str(err)
+        assert "max_ops=50" in msg
+        assert f"rank {err.rank}" in msg
+        assert "'spin'" in msg
+        assert "busiest ranks" in msg
+
+
+class TestZeroCopyPayloads:
+    """The simulated network moves payload objects by reference."""
+
+    def test_p2p_array_payload_is_not_copied(self):
+        sent = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                arr = np.arange(12.0)
+                sent["arr"] = arr
+                yield from comm.send(1, arr)
+            elif comm.rank == 1:
+                got = yield from comm.recv(0)
+                sent["got"] = got
+            return None
+
+        Engine(GenericMachine(nranks=2)).run(program)
+        assert sent["got"] is sent["arr"]
+        assert np.shares_memory(sent["got"], sent["arr"])
+
+    def test_bcast_delivers_the_root_object(self):
+        seen = {}
+
+        def program(comm):
+            arr = np.ones(8) if comm.rank == 0 else None
+            if comm.rank == 0:
+                seen["root"] = arr
+            got = yield from comm.bcast(arr, root=0)
+            seen[comm.rank] = got
+            return None
+
+        Engine(GenericMachine(nranks=4)).run(program)
+        for rank in range(4):
+            assert np.shares_memory(seen[rank], seen["root"])

@@ -1,0 +1,306 @@
+#!/usr/bin/env python
+"""Pinned performance microbenches with a JSON trajectory.
+
+Every PR that touches the simulation substrate runs this harness and
+commits the resulting ``BENCH_<tag>.json`` so the repository carries a
+performance *trajectory*: op/s of the discrete-event engine, pair/s of the
+force kernel, and wall time of a small end-to-end simulation, all at pinned
+configurations that never change between PRs (changing them would break
+comparability — add a new bench instead).
+
+Usage::
+
+    PYTHONPATH=src python tools/perftrack.py --out BENCH_pr2.json
+    PYTHONPATH=src python tools/perftrack.py --smoke --out smoke.json
+    PYTHONPATH=src python tools/perftrack.py --baseline BENCH_seed.json \
+        --out BENCH_pr2.json
+
+With ``--baseline``, the output embeds the baseline numbers and a
+``speedup`` entry per bench (baseline wall / current wall), and the process
+exits non-zero if any bench regressed by more than ``--regress-tol``
+(default: no hard gate, tolerance ``inf``).
+
+The benches are deliberately host-performance benches: they measure how
+fast *this Python process* turns around the simulated machine, which is
+what caps the rank counts every experiment can reach (see
+docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+# Allow running as a plain script from the repo root.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - import plumbing
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Pinned bench definitions.  full-mode parameters are frozen; smoke mode
+# shrinks them for CI turnaround but keeps the same code paths.
+# ---------------------------------------------------------------------------
+
+
+def bench_engine_ring(smoke: bool) -> dict:
+    """Engine op throughput: a sendrecv ring (the shift-loop hot path)."""
+    from repro.machines import GenericTorus
+    from repro.simmpi import Engine
+
+    p = 32 if smoke else 64
+    rounds = 32 if smoke else 128
+    machine = GenericTorus(nranks=p, cores_per_node=4)
+
+    def program(comm):
+        x = comm.rank
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for _ in range(rounds):
+            x = yield from comm.sendrecv(right, x, left)
+        return x
+
+    def run():
+        return Engine(machine).run(program)
+
+    result = run()  # warm-up + correctness
+    assert result.results[0] == 0
+    return {"runner": run, "ops": result.nops, "metric": "engine_ops_per_s"}
+
+
+def bench_engine_collectives(smoke: bool) -> dict:
+    """Engine throughput on tree collectives (bcast + allreduce + barrier)."""
+    from repro.machines import GenericTorus
+    from repro.simmpi import Engine
+
+    p = 32 if smoke else 128
+    rounds = 4 if smoke else 8
+    machine = GenericTorus(nranks=p, cores_per_node=4)
+
+    def program(comm):
+        total = 0
+        for _ in range(rounds):
+            v = yield from comm.bcast(comm.rank * 3, root=0)
+            total += yield from comm.allreduce(v + comm.rank, lambda a, b: a + b)
+            yield from comm.barrier()
+        return total
+
+    def run():
+        return Engine(machine).run(program)
+
+    result = run()
+    return {"runner": run, "ops": result.nops, "metric": "engine_ops_per_s"}
+
+
+def bench_kernel_pairwise(smoke: bool) -> dict:
+    """Force-kernel throughput: chunked target x source sweep (pairs/s)."""
+    from repro.physics import ForceLaw, pairwise_forces
+
+    nt, ns = (512, 512) if smoke else (4096, 2048)
+    law = ForceLaw(rcut=0.3, box=1.0)
+    rng = np.random.default_rng(42)
+    t = rng.random((nt, 2))
+    s = rng.random((ns, 2))
+    tid = np.arange(nt, dtype=np.int64)
+    sid = np.arange(ns, 2 * ns, dtype=np.int64)
+    out = np.zeros((nt, 2))
+
+    def run():
+        out[:] = 0.0
+        _, npairs = pairwise_forces(law, t, s, target_ids=tid, source_ids=sid,
+                                    out=out)
+        return npairs
+
+    assert run() == nt * ns
+    return {"runner": run, "ops": nt * ns, "metric": "pairs_per_s"}
+
+
+def bench_simulate_e2e(smoke: bool) -> dict:
+    """End-to-end multi-step simulation: p=256, c=4, real kernel.
+
+    This is the acceptance bench: a real `run_simulation` through engine,
+    collectives, CA step, kernel and integrator.  Smoke mode shrinks p.
+    """
+    from repro.core import SimulationConfig, allpairs_config, run_simulation
+    from repro.machines import GenericTorus
+    from repro.physics import ForceLaw
+    from repro.physics.particles import ParticleSet
+
+    p, c = (64, 4) if smoke else (256, 4)
+    n = 256 if smoke else 1024
+    nsteps = 1 if smoke else 2
+    machine = GenericTorus(nranks=p, cores_per_node=4)
+    cfg = allpairs_config(p, c)
+    scfg = SimulationConfig(cfg=cfg, law=ForceLaw(), dt=1.0e-3, nsteps=nsteps,
+                            box_length=1.0)
+    particles = ParticleSet.uniform_random(n, 2, 1.0, max_speed=0.1, seed=7)
+    from repro.core.decomposition import team_blocks_even
+
+    blocks = team_blocks_even(particles, cfg.grid.nteams)
+
+    def run():
+        return run_simulation(machine, scfg, blocks)
+
+    sim = run()
+    checksum = float(np.abs(sim.forces).sum())
+    assert np.isfinite(checksum)
+    return {"runner": run, "ops": sim.run.nops * nsteps // nsteps,
+            "metric": "engine_ops_per_s", "checksum": checksum}
+
+
+BENCHES = {
+    "engine_ring": bench_engine_ring,
+    "engine_collectives": bench_engine_collectives,
+    "kernel_pairwise": bench_kernel_pairwise,
+    "simulate_e2e": bench_simulate_e2e,
+}
+
+
+# ---------------------------------------------------------------------------
+# Measurement.
+# ---------------------------------------------------------------------------
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (ru_maxrss is KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        rss //= 1024
+    return int(rss)
+
+
+def _isolate() -> None:
+    """Reset cross-bench process state (pooled kernel scratch, garbage).
+
+    The kernel bench leaves multi-MB pooled buffers alive; without a reset
+    they inflate memory pressure for every bench that runs after it and the
+    suite ordering leaks into the numbers.
+    """
+    import gc
+
+    from repro.physics import clear_scratch
+
+    clear_scratch()
+    gc.collect()
+
+
+def run_bench(name: str, smoke: bool, repeats: int) -> dict:
+    _isolate()
+    spec = BENCHES[name](smoke)
+    runner = spec["runner"]
+    walls = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        runner()
+        walls.append(time.perf_counter() - t0)
+    best = min(walls)
+    entry = {
+        "wall_s": best,
+        "wall_s_all": walls,
+        "ops": spec["ops"],
+        "metric": spec["metric"],
+        "rate": spec["ops"] / best if best > 0 else None,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    if "checksum" in spec:
+        entry["checksum"] = spec["checksum"]
+    return entry
+
+
+def run_all(smoke: bool, repeats: int, names=None) -> dict:
+    results = {}
+    for name in names or BENCHES:
+        results[name] = run_bench(name, smoke, repeats)
+        sys.stderr.write(
+            f"  {name:<20} {results[name]['wall_s']*1e3:9.2f} ms  "
+            f"{results[name]['rate']:.3e} {results[name]['metric']}\n"
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benches": results,
+    }
+
+
+def attach_baseline(report: dict, baseline: dict) -> dict:
+    """Embed baseline walls and per-bench speedups into ``report``."""
+    speedups = {}
+    for name, entry in report["benches"].items():
+        base = baseline.get("benches", {}).get(name)
+        if base is None:
+            continue
+        entry["baseline_wall_s"] = base["wall_s"]
+        entry["baseline_rate"] = base.get("rate")
+        entry["speedup"] = base["wall_s"] / entry["wall_s"]
+        speedups[name] = entry["speedup"]
+    report["baseline_mode"] = baseline.get("mode")
+    report["speedups"] = speedups
+    return report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=None,
+                    help="write the JSON report here")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized parameters (not comparable with full runs)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per bench (default 5, smoke 2)")
+    ap.add_argument("--bench", action="append", choices=sorted(BENCHES),
+                    help="run only these benches (repeatable)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="prior report to compare against (embeds speedups)")
+    ap.add_argument("--regress-tol", type=float, default=float("inf"),
+                    help="fail if any bench is slower than baseline by more "
+                         "than this factor (e.g. 1.2 = 20%% slower)")
+    args = ap.parse_args(argv)
+    repeats = args.repeats or (2 if args.smoke else 5)
+
+    sys.stderr.write(f"perftrack: mode={'smoke' if args.smoke else 'full'} "
+                     f"repeats={repeats}\n")
+    report = run_all(args.smoke, repeats, args.bench)
+
+    worst = 0.0
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        if baseline.get("mode") != report["mode"]:
+            sys.stderr.write("perftrack: WARNING baseline mode "
+                             f"{baseline.get('mode')!r} != {report['mode']!r}; "
+                             "speedups are not comparable\n")
+        attach_baseline(report, baseline)
+        for name, s in report["speedups"].items():
+            sys.stderr.write(f"  speedup {name:<20} {s:6.2f}x\n")
+            worst = max(worst, 1.0 / s)
+
+    text = json.dumps(report, indent=1, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        sys.stderr.write(f"perftrack: wrote {args.out}\n")
+    else:
+        print(text)
+
+    if worst > args.regress_tol:
+        sys.stderr.write(f"perftrack: REGRESSION {worst:.2f}x exceeds "
+                         f"tolerance {args.regress_tol}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
