@@ -14,6 +14,12 @@ Commands
 ``simulate [--ranks P] [-c C] [--particles N] [--steps S] ...``
     Run a small functional MD simulation end to end and report physics
     (energy drift) plus the simulated-machine phase breakdown.
+``algorithms``
+    List every algorithm in the registry with its capabilities (modeled vs
+    functional, replication knob, fault-recovery mode, requirements).
+``compare [--ranks P] [-c C] [--particles N] [--algorithms A,B,...] ...``
+    Run registered algorithms on one shared workload/machine and tabulate
+    phase times, message/byte counts and force agreement side by side.
 """
 
 from __future__ import annotations
@@ -156,6 +162,32 @@ def build_parser() -> argparse.ArgumentParser:
              "replication c >= 2",
     )
 
+    sub.add_parser("algorithms",
+                   help="list the registered algorithms and capabilities")
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="run registered algorithms side by side on one workload")
+    p_cmp.add_argument("--machine", default="generic",
+                       choices=["generic", "hopper", "intrepid"])
+    p_cmp.add_argument("--ranks", type=int, default=16)
+    p_cmp.add_argument("--particles", type=int, default=128)
+    p_cmp.add_argument("-c", "--replication", type=int, default=2,
+                       help="replication factor where the algorithm has one")
+    p_cmp.add_argument("--algorithms", default=None, metavar="A,B,...",
+                       help="comma-separated registry names "
+                            "(default: every functional algorithm)")
+    p_cmp.add_argument("--rcut", type=float, default=None,
+                       help="cutoff radius (required by cutoff-windowed "
+                            "algorithms; omit to skip them)")
+    p_cmp.add_argument("--dim", type=int, default=2)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="kill-free fault schedule applied to every run "
+             "(delay:S>D:SEC | drop:S>D[:K] | corrupt:S>D | seed:N)",
+    )
+
     return parser
 
 
@@ -296,6 +328,51 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _cmd_algorithms(args, out) -> int:
+    from repro.core import get_algorithm, list_algorithms
+
+    print(f"{'name':<22} {'kind':<10} {'c':<5} {'faults':<10} requirements",
+          file=out)
+    for name in list_algorithms():
+        alg = get_algorithm(name)
+        needs = []
+        if alg.needs_rcut:
+            needs.append("rcut")
+        if alg.square_p:
+            needs.append("square p")
+        print(
+            f"{name:<22} "
+            f"{'functional' if alg.functional else 'modeled':<10} "
+            f"{'yes' if alg.supports_c else 'no':<5} "
+            f"{alg.fault_mode:<10} "
+            f"{', '.join(needs) if needs else '-'}",
+            file=out,
+        )
+        if alg.summary:
+            print(f"    {alg.summary}", file=out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    from repro.experiments import compare_algorithms, render_comparison
+    from repro.physics import ParticleSet
+
+    machine = _machine(args.machine, args.ranks)
+    particles = ParticleSet.uniform_random(args.particles, args.dim, 1.0,
+                                           seed=args.seed)
+    names = (None if args.algorithms is None
+             else [a.strip() for a in args.algorithms.split(",") if a.strip()])
+    faults = parse_faults(args.faults) if args.faults else None
+    result = compare_algorithms(
+        machine, particles, algorithms=names, c=args.replication,
+        rcut=args.rcut, faults=faults,
+    )
+    print(f"{len(result.entries)} algorithms on {machine.describe()}, "
+          f"{args.particles} particles, c={args.replication}", file=out)
+    print(render_comparison(result), file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = sys.stdout if out is None else out
@@ -305,6 +382,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "validate": _cmd_validate,
         "tune": _cmd_tune,
         "simulate": _cmd_simulate,
+        "algorithms": _cmd_algorithms,
+        "compare": _cmd_compare,
     }[args.command]
     return handler(args, out)
 

@@ -2,9 +2,12 @@
 
 * :mod:`repro.core.window` — the shift schedules behind Algorithms 1 and 2;
 * :mod:`repro.core.ca_step` — the unified CA interaction step;
+* :mod:`repro.core.runner` — the algorithm registry and the single run
+  pipeline every entry point executes through;
 * :mod:`repro.core.allpairs` / :mod:`repro.core.cutoff` — user-facing
   entry points (functional and modeled);
 * :mod:`repro.core.baselines` — particle/force/spatial decompositions;
+* :mod:`repro.core.midpoint` — the neutral-territory midpoint baseline;
 * :mod:`repro.core.driver` — multi-timestep simulations with spatial
   re-assignment;
 * :mod:`repro.core.tuning` — runtime autotuner for the replication factor.
@@ -15,6 +18,16 @@ from repro.core.allpairs import (
     allpairs_config,
     run_allpairs,
     run_allpairs_virtual,
+)
+from repro.core.runner import (
+    Algorithm,
+    Prepared,
+    Run,
+    RunSpec,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+    run,
 )
 from repro.core.baselines import (
     BaselineRun,
@@ -61,11 +74,15 @@ from repro.core.window import (
 )
 
 __all__ = [
+    "Algorithm",
     "AllPairsRun",
     "BaselineRun",
     "CAConfig",
     "CAStepResult",
     "CutoffRun",
+    "Prepared",
+    "Run",
+    "RunSpec",
     "ShiftSchedule",
     "SimulationConfig",
     "SimulationRun",
@@ -79,6 +96,10 @@ __all__ = [
     "gather_to_root",
     "cutoff_config",
     "cutoff_schedule",
+    "get_algorithm",
+    "list_algorithms",
+    "register_algorithm",
+    "run",
     "run_allpairs",
     "run_allpairs_virtual",
     "run_cutoff",

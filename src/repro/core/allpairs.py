@@ -5,34 +5,35 @@ particles, run one interaction step on a machine, and hand back globally
 ordered forces.  At ``c = 1`` the configuration degenerates into Plimpton's
 particle decomposition (a systolic ring); at ``c = sqrt(p)`` into his force
 decomposition — exactly as the paper observes.
+
+Both entry points are registered adapters over the single run pipeline
+(:mod:`repro.core.runner`); :func:`run_allpairs` / :func:`run_allpairs_virtual`
+survive as thin shims over ``run(RunSpec(algorithm="allpairs", ...))``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.ca_step import (
-    CAConfig,
-    ca_interaction_step,
-    ca_interaction_step_resilient,
-    check_fault_replication as _check_fault_replication,
-)
+from repro.core.ca_step import CAConfig, ca_program
 from repro.core.decomposition import (
     collect_leader_forces,
     team_blocks_even,
     virtual_team_blocks,
 )
+from repro.core.runner import Prepared, Run, RunSpec, register_algorithm
+from repro.core.runner import run as run_pipeline
 from repro.core.window import all_pairs_schedule
 from repro.physics.forces import ForceLaw
-from repro.physics.kernels import RealKernel, VirtualKernel
+from repro.physics.kernels import VirtualKernel, kernel_for
 from repro.physics.particles import ParticleSet
-from repro.simmpi.engine import Engine, RunResult
+from repro.simmpi.engine import RunResult
 from repro.simmpi.faults import FaultSchedule
 from repro.simmpi.topology import ReplicatedGrid
 
 __all__ = ["AllPairsRun", "allpairs_config", "run_allpairs", "run_allpairs_virtual"]
+
+#: Deprecated alias — the per-variant result dataclasses collapsed into
+#: :class:`repro.core.runner.Run`.
+AllPairsRun = Run
 
 
 def allpairs_config(p: int, c: int, *, layout: str = "rows") -> CAConfig:
@@ -48,20 +49,40 @@ def allpairs_config(p: int, c: int, *, layout: str = "rows") -> CAConfig:
     return CAConfig(grid=grid, schedule=schedule)
 
 
-@dataclass
-class AllPairsRun:
-    """Outcome of a functional all-pairs step."""
+@register_algorithm(
+    "allpairs",
+    fault_mode="kills",
+    summary="Algorithm 1: CA all-pairs with replication factor c",
+)
+def _prepare_allpairs(spec: RunSpec) -> Prepared:
+    cfg = allpairs_config(spec.machine.nranks, spec.c, layout=spec.layout)
+    kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
+                        scratch=spec.scratch)
+    blocks = team_blocks_even(spec.workload(), cfg.grid.nteams)
 
-    #: Global particle ids, ascending.
-    ids: np.ndarray
-    #: Forces on each particle, ordered to match ``ids``.
-    forces: np.ndarray
-    #: Raw engine result (timings, traces, per-rank results).
-    run: RunResult
+    def collect(run: RunResult):
+        return collect_leader_forces(run.results, cfg.grid,
+                                     dead=frozenset(run.deaths))
 
-    @property
-    def report(self):
-        return self.run.report
+    return Prepared(
+        program=ca_program(cfg, kernel, blocks,
+                           resilient=spec.faults is not None),
+        collect=collect,
+    )
+
+
+@register_algorithm(
+    "allpairs_virtual",
+    functional=False,
+    fault_mode="kills",
+    summary="Modeled CA all-pairs: phantom blocks, machine-model timing",
+)
+def _prepare_allpairs_virtual(spec: RunSpec) -> Prepared:
+    cfg = allpairs_config(spec.machine.nranks, spec.c, layout=spec.layout)
+    kernel = VirtualKernel(dim=2 if spec.dim is None else spec.dim)
+    blocks = virtual_team_blocks(spec.count(), cfg.grid.nteams)
+    return Prepared(program=ca_program(cfg, kernel, blocks,
+                                       resilient=spec.faults is not None))
 
 
 def run_allpairs(
@@ -70,13 +91,13 @@ def run_allpairs(
     c: int,
     *,
     law: ForceLaw | None = None,
-    pair_counter: np.ndarray | None = None,
+    pair_counter=None,
     eager_threshold: int = 0,
     layout: str = "rows",
     faults: FaultSchedule | None = None,
     scratch: bool = True,
     engine_opts: dict | None = None,
-) -> AllPairsRun:
+) -> Run:
     """Compute all-pairs forces for ``particles`` on ``machine`` with
     replication factor ``c``; functional (real data) end to end.
 
@@ -93,30 +114,16 @@ def run_allpairs(
     path and ``engine_opts`` forwards keyword arguments to the engine
     constructor (e.g. ``{"fast_path": False}``); both knobs exist so the
     determinism suite can lock the fast paths against the reference ones.
+
+    Shim over the registry pipeline — equivalent to
+    ``run(RunSpec(machine, "allpairs", particles=particles, c=c, ...))``.
     """
-    cfg = allpairs_config(machine.nranks, c, layout=layout)
-    _check_fault_replication(faults, c)
-    kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter,
-                        scratch=scratch)
-    blocks = team_blocks_even(particles, cfg.grid.nteams)
-
-    def program(comm):
-        col = cfg.grid.col_of(comm.rank)
-        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        if faults is None:
-            result = yield from ca_interaction_step(comm, cfg, kernel,
-                                                    leader_block)
-        else:
-            result, _ = yield from ca_interaction_step_resilient(
-                comm, cfg, kernel, leader_block
-            )
-        return result
-
-    run = Engine(machine, eager_threshold=eager_threshold, faults=faults,
-                 **(engine_opts or {})).run(program)
-    ids, forces = collect_leader_forces(run.results, cfg.grid,
-                                        dead=frozenset(run.deaths))
-    return AllPairsRun(ids=ids, forces=forces, run=run)
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="allpairs", particles=particles, c=c,
+        law=law, pair_counter=pair_counter, eager_threshold=eager_threshold,
+        layout=layout, faults=faults, scratch=scratch,
+        engine_opts=engine_opts,
+    ))
 
 
 def run_allpairs_virtual(
@@ -128,25 +135,16 @@ def run_allpairs_virtual(
     eager_threshold: int = 0,
     layout: str = "rows",
     faults: FaultSchedule | None = None,
+    engine_opts: dict | None = None,
 ) -> RunResult:
     """Modeled all-pairs step: phantom particles, real communication
     structure, machine-model timing.  Returns the engine result whose trace
-    report carries the per-phase breakdown."""
-    cfg = allpairs_config(machine.nranks, c, layout=layout)
-    _check_fault_replication(faults, c)
-    kernel = VirtualKernel(dim=dim)
-    blocks = virtual_team_blocks(n, cfg.grid.nteams)
+    report carries the per-phase breakdown.
 
-    def program(comm):
-        col = cfg.grid.col_of(comm.rank)
-        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        if faults is None:
-            result = yield from ca_interaction_step(comm, cfg, kernel,
-                                                    leader_block)
-        else:
-            result, _ = yield from ca_interaction_step_resilient(
-                comm, cfg, kernel, leader_block
-            )
-        return result
-
-    return Engine(machine, eager_threshold=eager_threshold, faults=faults).run(program)
+    Shim over the registry pipeline (algorithm ``"allpairs_virtual"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="allpairs_virtual", n=n, c=c, dim=dim,
+        eager_threshold=eager_threshold, layout=layout, faults=faults,
+        engine_opts=engine_opts,
+    )).run

@@ -19,22 +19,27 @@
 
 All are functional: they move real particle data and must (and do, per the
 tests) reproduce the serial reference forces exactly like the CA runs.
+All four are registered adapters over the single run pipeline
+(:mod:`repro.core.runner`): the ``run_*`` signatures survive as thin shims,
+and the pipeline threads ``faults`` (transient schedules — the engine's
+retry protocol; these decompositions have no kill-recovery path),
+``scratch`` and ``engine_opts`` through every one uniformly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.decomposition import team_blocks_even, team_blocks_spatial
+from repro.core.runner import Prepared, Run, RunSpec, register_algorithm
+from repro.core.runner import run as run_pipeline
 from repro.machines.torus import balanced_dims
 from repro.physics.domain import TeamGeometry
 from repro.physics.forces import ForceLaw
-from repro.physics.kernels import RealKernel
+from repro.physics.kernels import kernel_for
 from repro.physics.particles import HomeBlock, ParticleSet, TravelBlock
-from repro.simmpi.engine import Engine, RunResult
-from repro.util import require
+from repro.simmpi.engine import RunResult
+from repro.simmpi.faults import FaultSchedule
 
 __all__ = [
     "BaselineRun",
@@ -46,18 +51,9 @@ __all__ = [
 
 _HALO_TAG = 11
 
-
-@dataclass
-class BaselineRun:
-    """ids/forces (globally ordered) plus the raw engine result."""
-
-    ids: np.ndarray
-    forces: np.ndarray
-    run: RunResult
-
-    @property
-    def report(self):
-        return self.run.report
+#: Deprecated alias — the per-variant result dataclasses collapsed into
+#: :class:`repro.core.runner.Run`.
+BaselineRun = Run
 
 
 def _collect(results, owner_ranks) -> tuple[np.ndarray, np.ndarray]:
@@ -72,24 +68,18 @@ def _collect(results, owner_ranks) -> tuple[np.ndarray, np.ndarray]:
 # ---------------------------------------------------------------------------
 
 
-def run_particle_allgather(
-    machine,
-    particles: ParticleSet,
-    *,
-    law: ForceLaw | None = None,
-    use_tree: bool = False,
-    pair_counter: np.ndarray | None = None,
-) -> BaselineRun:
-    """Naive particle decomposition via allgather of all particle blocks.
-
-    ``use_tree=True`` posts the allgather on the machine's dedicated
-    collective network (requires a machine with hardware collectives, e.g.
-    :func:`~repro.machines.Intrepid`); otherwise the software
-    recursive-doubling/ring allgather runs over the torus.
-    """
+@register_algorithm(
+    "particle_allgather",
+    supports_c=False,
+    summary="Naive particle decomposition: allgather all blocks (tree-capable)",
+)
+def _prepare_particle_allgather(spec: RunSpec) -> Prepared:
+    machine = spec.machine
     p = machine.nranks
-    kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter)
-    blocks = team_blocks_even(particles, p)
+    use_tree = spec.use_tree
+    kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
+                        scratch=spec.scratch)
+    blocks = team_blocks_even(spec.workload(), p)
 
     def program(comm):
         mine = blocks[comm.rank]
@@ -107,27 +97,21 @@ def run_particle_allgather(
             yield from comm.compute(machine.interactions_time(total_pairs))
         return (mine.ids, home.forces)
 
-    run = Engine(machine).run(program)
-    ids, forces = _collect(run.results, range(p))
-    return BaselineRun(ids=ids, forces=forces, run=run)
+    return Prepared(program=program,
+                    collect=lambda run: _collect(run.results, range(p)))
 
 
-def run_particle_ring(
-    machine,
-    particles: ParticleSet,
-    *,
-    law: ForceLaw | None = None,
-    pair_counter: np.ndarray | None = None,
-) -> BaselineRun:
-    """Particle decomposition with a systolic ring of ``p`` shifts.
-
-    This is exactly the CA algorithm at ``c = 1`` (each team is one
-    processor); provided standalone for clarity and as an independent
-    implementation the equivalence tests compare against.
-    """
+@register_algorithm(
+    "particle_ring",
+    supports_c=False,
+    summary="Particle decomposition via a systolic ring (CA at c=1)",
+)
+def _prepare_particle_ring(spec: RunSpec) -> Prepared:
+    machine = spec.machine
     p = machine.nranks
-    kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter)
-    blocks = team_blocks_even(particles, p)
+    kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
+                        scratch=spec.scratch)
+    blocks = team_blocks_even(spec.workload(), p)
 
     def program(comm):
         mine = blocks[comm.rank]
@@ -145,9 +129,8 @@ def run_particle_ring(
                 yield from comm.compute(machine.interactions_time(n))
         return (mine.ids, home.forces)
 
-    run = Engine(machine).run(program)
-    ids, forces = _collect(run.results, range(p))
-    return BaselineRun(ids=ids, forces=forces, run=run)
+    return Prepared(program=program,
+                    collect=lambda run: _collect(run.results, range(p)))
 
 
 # ---------------------------------------------------------------------------
@@ -155,25 +138,19 @@ def run_particle_ring(
 # ---------------------------------------------------------------------------
 
 
-def run_force_decomposition(
-    machine,
-    particles: ParticleSet,
-    *,
-    law: ForceLaw | None = None,
-    pair_counter: np.ndarray | None = None,
-) -> BaselineRun:
-    """Plimpton's force decomposition on a ``sqrt(p) x sqrt(p)`` grid.
-
-    Processor ``(i, j)`` receives particle block ``i`` (broadcast along
-    grid row ``i`` from the diagonal owner) and block ``j`` (broadcast
-    along grid column ``j``), computes the forces of block ``j`` on block
-    ``i``, and row-reduces the partial forces back to the diagonal.
-    """
+@register_algorithm(
+    "force_decomposition",
+    supports_c=False,
+    square_p=True,
+    summary="Plimpton force decomposition on a sqrt(p) x sqrt(p) grid",
+)
+def _prepare_force_decomposition(spec: RunSpec) -> Prepared:
+    machine = spec.machine
     p = machine.nranks
     q = int(round(p**0.5))
-    require(q * q == p, f"force decomposition needs a square p, got {p}")
-    kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter)
-    blocks = team_blocks_even(particles, q)
+    kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
+                        scratch=spec.scratch)
+    blocks = team_blocks_even(spec.workload(), q)
 
     def program(comm):
         i, j = divmod(comm.rank, q)
@@ -204,9 +181,11 @@ def run_force_decomposition(
             return (blocks[i].ids, total)
         return None
 
-    run = Engine(machine).run(program)
-    ids, forces = _collect(run.results, [i * q + i for i in range(q)])
-    return BaselineRun(ids=ids, forces=forces, run=run)
+    return Prepared(
+        program=program,
+        collect=lambda run: _collect(run.results,
+                                     [i * q + i for i in range(q)]),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -214,29 +193,22 @@ def run_force_decomposition(
 # ---------------------------------------------------------------------------
 
 
-def run_spatial(
-    machine,
-    particles: ParticleSet,
-    *,
-    rcut: float,
-    box_length: float,
-    dim: int | None = None,
-    law: ForceLaw | None = None,
-    pair_counter: np.ndarray | None = None,
-) -> BaselineRun:
-    """Spatial decomposition: one region per processor, halo exchange.
-
-    Every processor owns the particles of its region and point-to-point
-    exchanges blocks with each of the ``O(m^d)`` neighbor regions within
-    the cutoff (no replication, ``M = O(n/p)`` — the minimal-memory point
-    of the lower bound, Section II-C).
-    """
+@register_algorithm(
+    "spatial",
+    supports_c=False,
+    needs_rcut=True,
+    summary="Spatial decomposition: one region per rank, cutoff halo exchange",
+)
+def _prepare_spatial(spec: RunSpec) -> Prepared:
+    machine = spec.machine
     p = machine.nranks
-    if dim is None:
-        dim = particles.dim
-    geometry = TeamGeometry(box_length=box_length, team_dims=balanced_dims(p, dim))
-    base_law = law or ForceLaw()
-    kernel = RealKernel(law=base_law.with_rcut(rcut), pair_counter=pair_counter)
+    particles = spec.workload()
+    dim = particles.dim if spec.dim is None else spec.dim
+    rcut = spec.rcut
+    geometry = TeamGeometry(box_length=spec.box_length,
+                            team_dims=balanced_dims(p, dim))
+    kernel = kernel_for(spec.law, rcut=rcut, pair_counter=spec.pair_counter,
+                        scratch=spec.scratch)
     blocks = team_blocks_spatial(particles, geometry)
 
     # Precompute each region's in-cutoff neighbor list (symmetric).
@@ -270,6 +242,120 @@ def run_spatial(
             yield from comm.compute(machine.interactions_time(total_pairs))
         return (mine.ids, home.forces)
 
-    run = Engine(machine).run(program)
-    ids, forces = _collect(run.results, range(p))
-    return BaselineRun(ids=ids, forces=forces, run=run)
+    return Prepared(program=program,
+                    collect=lambda run: _collect(run.results, range(p)))
+
+
+def run_particle_allgather(
+    machine,
+    particles: ParticleSet,
+    *,
+    law: ForceLaw | None = None,
+    use_tree: bool = False,
+    pair_counter=None,
+    eager_threshold: int = 0,
+    faults: FaultSchedule | None = None,
+    scratch: bool = True,
+    engine_opts: dict | None = None,
+) -> Run:
+    """Naive particle decomposition via allgather of all particle blocks.
+
+    ``use_tree=True`` posts the allgather on the machine's dedicated
+    collective network (requires a machine with hardware collectives, e.g.
+    :func:`~repro.machines.Intrepid`); otherwise the software
+    recursive-doubling/ring allgather runs over the torus.
+
+    Shim over the registry pipeline (algorithm ``"particle_allgather"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="particle_allgather",
+        particles=particles, law=law, use_tree=use_tree,
+        pair_counter=pair_counter, eager_threshold=eager_threshold,
+        faults=faults, scratch=scratch, engine_opts=engine_opts,
+    ))
+
+
+def run_particle_ring(
+    machine,
+    particles: ParticleSet,
+    *,
+    law: ForceLaw | None = None,
+    pair_counter=None,
+    eager_threshold: int = 0,
+    faults: FaultSchedule | None = None,
+    scratch: bool = True,
+    engine_opts: dict | None = None,
+) -> Run:
+    """Particle decomposition with a systolic ring of ``p`` shifts.
+
+    This is exactly the CA algorithm at ``c = 1`` (each team is one
+    processor); provided standalone for clarity and as an independent
+    implementation the equivalence tests compare against.
+
+    Shim over the registry pipeline (algorithm ``"particle_ring"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="particle_ring", particles=particles,
+        law=law, pair_counter=pair_counter,
+        eager_threshold=eager_threshold, faults=faults, scratch=scratch,
+        engine_opts=engine_opts,
+    ))
+
+
+def run_force_decomposition(
+    machine,
+    particles: ParticleSet,
+    *,
+    law: ForceLaw | None = None,
+    pair_counter=None,
+    eager_threshold: int = 0,
+    faults: FaultSchedule | None = None,
+    scratch: bool = True,
+    engine_opts: dict | None = None,
+) -> Run:
+    """Plimpton's force decomposition on a ``sqrt(p) x sqrt(p)`` grid.
+
+    Processor ``(i, j)`` receives particle block ``i`` (broadcast along
+    grid row ``i`` from the diagonal owner) and block ``j`` (broadcast
+    along grid column ``j``), computes the forces of block ``j`` on block
+    ``i``, and row-reduces the partial forces back to the diagonal.
+
+    Shim over the registry pipeline (algorithm ``"force_decomposition"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="force_decomposition",
+        particles=particles, law=law, pair_counter=pair_counter,
+        eager_threshold=eager_threshold, faults=faults, scratch=scratch,
+        engine_opts=engine_opts,
+    ))
+
+
+def run_spatial(
+    machine,
+    particles: ParticleSet,
+    *,
+    rcut: float,
+    box_length: float,
+    dim: int | None = None,
+    law: ForceLaw | None = None,
+    pair_counter=None,
+    eager_threshold: int = 0,
+    faults: FaultSchedule | None = None,
+    scratch: bool = True,
+    engine_opts: dict | None = None,
+) -> Run:
+    """Spatial decomposition: one region per processor, halo exchange.
+
+    Every processor owns the particles of its region and point-to-point
+    exchanges blocks with each of the ``O(m^d)`` neighbor regions within
+    the cutoff (no replication, ``M = O(n/p)`` — the minimal-memory point
+    of the lower bound, Section II-C).
+
+    Shim over the registry pipeline (algorithm ``"spatial"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="spatial", particles=particles,
+        rcut=rcut, box_length=box_length, dim=dim, law=law,
+        pair_counter=pair_counter, eager_threshold=eager_threshold,
+        faults=faults, scratch=scratch, engine_opts=engine_opts,
+    ))

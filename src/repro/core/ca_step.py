@@ -37,7 +37,7 @@ from repro.simmpi.tracing import RECOVER_PHASE
 
 __all__ = ["CAConfig", "CAStepResult", "acting_leader_of",
            "ca_interaction_step", "ca_interaction_step_resilient",
-           "check_fault_replication"]
+           "ca_program", "check_fault_replication"]
 
 #: User tag for exchange-buffer traffic.
 SHIFT_TAG = 7
@@ -212,6 +212,37 @@ def ca_interaction_step(comm, cfg: CAConfig, kernel, leader_block):
         home=home if row == 0 else None,
         memory_bytes=memory_bytes,
     )
+
+
+def ca_program(cfg: CAConfig, kernel, blocks, *, resilient: bool = False):
+    """Rank-program factory for one CA step over pre-distributed blocks.
+
+    ``blocks[col]`` is team ``col``'s leader block (a
+    :class:`~repro.physics.particles.ParticleSet` or
+    :class:`~repro.physics.particles.VirtualBlock`); every non-leader rank
+    starts empty and receives its copy in the broadcast phase.
+    ``resilient=True`` selects the fault-tolerant step variant
+    (:func:`ca_interaction_step_resilient`), which absorbs rank deaths via
+    replication-aware recovery.
+
+    The all-pairs, cutoff and virtual runners all execute exactly this
+    program — only their configurations and block distributions differ.
+    """
+    grid = cfg.grid
+
+    def program(comm):
+        col = grid.col_of(comm.rank)
+        leader_block = blocks[col] if grid.row_of(comm.rank) == 0 else None
+        if resilient:
+            result, _ = yield from ca_interaction_step_resilient(
+                comm, cfg, kernel, leader_block
+            )
+        else:
+            result = yield from ca_interaction_step(comm, cfg, kernel,
+                                                    leader_block)
+        return result
+
+    return program
 
 
 # ---------------------------------------------------------------------------

@@ -8,37 +8,38 @@ cannot contain interacting particles are pruned — including pairs that the
 window's ring arithmetic wraps across the (reflective, non-periodic) box
 boundary.  That pruning is what creates the boundary load imbalance the
 paper reports for its cutoff experiments.
+
+Both entry points are registered adapters over the single run pipeline
+(:mod:`repro.core.runner`); :func:`run_cutoff` / :func:`run_cutoff_virtual`
+survive as thin shims over ``run(RunSpec(algorithm="cutoff", ...))``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.ca_step import (
-    CAConfig,
-    ca_interaction_step,
-    ca_interaction_step_resilient,
-    check_fault_replication as _check_fault_replication,
-)
+from repro.core.ca_step import CAConfig, ca_program
 from repro.core.decomposition import (
     collect_leader_forces,
     team_blocks_spatial,
     virtual_team_blocks,
 )
+from repro.core.runner import Prepared, Run, RunSpec, register_algorithm
+from repro.core.runner import run as run_pipeline
 from repro.core.window import cutoff_schedule
 from repro.machines.torus import balanced_dims
 from repro.physics.domain import TeamGeometry
 from repro.physics.forces import ForceLaw
-from repro.physics.kernels import RealKernel, VirtualKernel
+from repro.physics.kernels import VirtualKernel, kernel_for
 from repro.physics.particles import ParticleSet
-from repro.simmpi.engine import Engine, RunResult
+from repro.simmpi.engine import RunResult
 from repro.simmpi.faults import FaultSchedule
 from repro.simmpi.topology import ReplicatedGrid
 from repro.util import require
 
 __all__ = ["CutoffRun", "cutoff_config", "run_cutoff", "run_cutoff_virtual"]
+
+#: Deprecated alias — the per-variant result dataclasses collapsed into
+#: :class:`repro.core.runner.Run`.
+CutoffRun = Run
 
 
 def cutoff_config(
@@ -91,17 +92,59 @@ def cutoff_config(
     return CAConfig(grid=grid, schedule=schedule, rcut=rcut, geometry=geometry)
 
 
-@dataclass
-class CutoffRun:
-    """Outcome of a functional cutoff step."""
+@register_algorithm(
+    "cutoff",
+    fault_mode="kills",
+    needs_rcut=True,
+    summary="Algorithm 2: CA cutoff interactions on a spatial team grid",
+)
+def _prepare_cutoff(spec: RunSpec) -> Prepared:
+    particles = spec.workload()
+    dim = particles.dim if spec.dim is None else spec.dim
+    require(dim <= particles.dim,
+            f"team-grid dim={dim} exceeds particle dimension {particles.dim} "
+            "(slab/pencil decompositions use dim < particle dimension)")
+    cfg = cutoff_config(
+        spec.machine.nranks, spec.c, rcut=spec.rcut,
+        box_length=spec.box_length, dim=dim, team_dims=spec.team_dims,
+        periodic=spec.periodic, geometry=spec.geometry,
+    )
+    kernel = kernel_for(
+        spec.law, rcut=spec.rcut,
+        box=spec.box_length if spec.periodic else None,
+        pair_counter=spec.pair_counter, scratch=spec.scratch,
+    )
+    blocks = team_blocks_spatial(particles, cfg.geometry)
 
-    ids: np.ndarray
-    forces: np.ndarray
-    run: RunResult
+    def collect(run: RunResult):
+        return collect_leader_forces(run.results, cfg.grid,
+                                     dead=frozenset(run.deaths))
 
-    @property
-    def report(self):
-        return self.run.report
+    return Prepared(
+        program=ca_program(cfg, kernel, blocks,
+                           resilient=spec.faults is not None),
+        collect=collect,
+    )
+
+
+@register_algorithm(
+    "cutoff_virtual",
+    functional=False,
+    fault_mode="kills",
+    needs_rcut=True,
+    summary="Modeled CA cutoff: phantom blocks, machine-model timing",
+)
+def _prepare_cutoff_virtual(spec: RunSpec) -> Prepared:
+    dim = 1 if spec.dim is None else spec.dim
+    cfg = cutoff_config(
+        spec.machine.nranks, spec.c, rcut=spec.rcut,
+        box_length=spec.box_length, dim=dim, team_dims=spec.team_dims,
+        periodic=spec.periodic,
+    )
+    kernel = VirtualKernel(dim=dim)
+    blocks = virtual_team_blocks(spec.count(), cfg.grid.nteams)
+    return Prepared(program=ca_program(cfg, kernel, blocks,
+                                       resilient=spec.faults is not None))
 
 
 def run_cutoff(
@@ -114,14 +157,14 @@ def run_cutoff(
     dim: int | None = None,
     team_dims: tuple[int, ...] | None = None,
     law: ForceLaw | None = None,
-    pair_counter: np.ndarray | None = None,
+    pair_counter=None,
     eager_threshold: int = 0,
     periodic: bool = False,
     geometry: TeamGeometry | None = None,
     faults: FaultSchedule | None = None,
     scratch: bool = True,
     engine_opts: dict | None = None,
-) -> CutoffRun:
+) -> Run:
     """Compute cutoff-limited forces functionally on ``machine``.
 
     The force law's cutoff is forced to ``rcut`` (pairs beyond it
@@ -130,42 +173,16 @@ def run_cutoff(
     :class:`~repro.simmpi.faults.FaultSchedule` the resilient step runs and
     deaths are absorbed via replication-aware recovery (``c >= 2``).
     ``scratch`` / ``engine_opts`` mirror :func:`run_allpairs`.
+
+    Shim over the registry pipeline (algorithm ``"cutoff"``).
     """
-    if dim is None:
-        dim = particles.dim
-    require(dim <= particles.dim,
-            f"team-grid dim={dim} exceeds particle dimension {particles.dim} "
-            "(slab/pencil decompositions use dim < particle dimension)")
-    cfg = cutoff_config(
-        machine.nranks, c, rcut=rcut, box_length=box_length, dim=dim,
-        team_dims=team_dims, periodic=periodic, geometry=geometry,
-    )
-    _check_fault_replication(faults, c)
-    base_law = law or ForceLaw()
-    run_law = base_law.with_rcut(rcut)
-    if periodic:
-        run_law = run_law.with_box(box_length)
-    kernel = RealKernel(law=run_law, pair_counter=pair_counter,
-                        scratch=scratch)
-    blocks = team_blocks_spatial(particles, cfg.geometry)
-
-    def program(comm):
-        col = cfg.grid.col_of(comm.rank)
-        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        if faults is None:
-            result = yield from ca_interaction_step(comm, cfg, kernel,
-                                                    leader_block)
-        else:
-            result, _ = yield from ca_interaction_step_resilient(
-                comm, cfg, kernel, leader_block
-            )
-        return result
-
-    run = Engine(machine, eager_threshold=eager_threshold, faults=faults,
-                 **(engine_opts or {})).run(program)
-    ids, forces = collect_leader_forces(run.results, cfg.grid,
-                                        dead=frozenset(run.deaths))
-    return CutoffRun(ids=ids, forces=forces, run=run)
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="cutoff", particles=particles, c=c,
+        rcut=rcut, box_length=box_length, dim=dim, team_dims=team_dims,
+        law=law, pair_counter=pair_counter, eager_threshold=eager_threshold,
+        periodic=periodic, geometry=geometry, faults=faults,
+        scratch=scratch, engine_opts=engine_opts,
+    ))
 
 
 def run_cutoff_virtual(
@@ -180,27 +197,16 @@ def run_cutoff_virtual(
     eager_threshold: int = 0,
     periodic: bool = False,
     faults: FaultSchedule | None = None,
+    engine_opts: dict | None = None,
 ) -> RunResult:
     """Modeled cutoff step: phantom uniform particle blocks, real
-    communication structure, machine-model timing."""
-    cfg = cutoff_config(
-        machine.nranks, c, rcut=rcut, box_length=box_length, dim=dim,
-        team_dims=team_dims, periodic=periodic,
-    )
-    _check_fault_replication(faults, c)
-    kernel = VirtualKernel(dim=dim)
-    blocks = virtual_team_blocks(n, cfg.grid.nteams)
+    communication structure, machine-model timing.
 
-    def program(comm):
-        col = cfg.grid.col_of(comm.rank)
-        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        if faults is None:
-            result = yield from ca_interaction_step(comm, cfg, kernel,
-                                                    leader_block)
-        else:
-            result, _ = yield from ca_interaction_step_resilient(
-                comm, cfg, kernel, leader_block
-            )
-        return result
-
-    return Engine(machine, eager_threshold=eager_threshold, faults=faults).run(program)
+    Shim over the registry pipeline (algorithm ``"cutoff_virtual"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="cutoff_virtual", n=n, c=c, rcut=rcut,
+        box_length=box_length, dim=dim, team_dims=team_dims,
+        eager_threshold=eager_threshold, periodic=periodic, faults=faults,
+        engine_opts=engine_opts,
+    )).run

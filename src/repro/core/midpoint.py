@@ -16,19 +16,29 @@ evaluation of midpoint-owned pairs (both force directions — the pair is
 computed where neither particle may live, so contributions must be
 returned), and a force **return** phase sending contributions for imported
 particles back to their owners.
+
+Registered as ``"midpoint"`` over the single run pipeline
+(:mod:`repro.core.runner`); the pair evaluation routes through the shared
+kernel's pair-ownership mask (``RealKernel.interact_owned``), so the
+midpoint method inherits the pooled-scratch fast path, the cutoff masking
+and the coverage instrumentation from the same code every other algorithm
+uses.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.baselines import BaselineRun, _collect
+from repro.core.baselines import _collect
 from repro.core.decomposition import team_blocks_spatial
+from repro.core.runner import Prepared, Run, RunSpec, register_algorithm
+from repro.core.runner import run as run_pipeline
 from repro.machines.torus import balanced_dims
 from repro.physics.domain import TeamGeometry, team_of_positions
-from repro.physics.forces import ForceLaw, pairwise_forces
+from repro.physics.forces import ForceLaw
+from repro.physics.kernels import kernel_for
 from repro.physics.particles import ParticleSet, TravelBlock
-from repro.simmpi.engine import Engine
+from repro.simmpi.faults import FaultSchedule
 
 __all__ = ["run_midpoint"]
 
@@ -36,63 +46,29 @@ _HALO_TAG = 17
 _RETURN_TAG = 19
 
 
-def _midpoint_forces(law, pos, ids, owner_mask, geometry, region,
-                     pair_counter):
-    """Forces among ``pos`` for pairs whose midpoint lies in ``region``.
-
-    Returns an ``(n, d)`` force array accumulating BOTH directions of every
-    owned pair (the per-particle contributions are routed afterwards).
-    ``owner_mask`` is unused for the physics but kept for clarity of the
-    call site.
-    """
+def _owned_pair_mask(pos, geometry, region) -> np.ndarray:
+    """Boolean ``(n, n)`` matrix: does this region own the pair's midpoint?"""
     n, d = pos.shape
-    forces = np.zeros((n, d))
-    if n < 2:
-        return forces, 0
-    dr = pos[:, None, :] - pos[None, :, :]
-    r2 = np.einsum("ijk,ijk->ij", dr, dr)
     mid = 0.5 * (pos[:, None, :] + pos[None, :, :])  # (n, n, d)
-    mid_team = team_of_positions(mid.reshape(-1, d), geometry).reshape(n, n)
-    upper = ids[:, None] < ids[None, :]
-    live = upper & (mid_team == region)
-    if law.rcut is not None:
-        live &= r2 <= law.rcut * law.rcut
-    eps2 = law.softening**2
-    denom = np.where(live, (r2 + eps2) ** 1.5, 1.0)
-    w = np.where(live, law.k / denom, 0.0)
-    contrib = np.einsum("ij,ijk->ik", w, dr)
-    forces += contrib
-    forces -= np.einsum("ij,ijk->jk", w, dr)
-    if pair_counter is not None:
-        ii, jj = np.nonzero(live)
-        gi = np.asarray(ids, dtype=np.intp)
-        np.add.at(pair_counter, (gi[ii], gi[jj]), 1)
-        np.add.at(pair_counter, (gi[jj], gi[ii]), 1)
-    return forces, n * n
+    return team_of_positions(mid.reshape(-1, d), geometry).reshape(n, n) == region
 
 
-def run_midpoint(
-    machine,
-    particles: ParticleSet,
-    *,
-    rcut: float,
-    box_length: float,
-    dim: int | None = None,
-    law: ForceLaw | None = None,
-    pair_counter: np.ndarray | None = None,
-) -> BaselineRun:
-    """Cutoff-limited forces via the midpoint method.
-
-    One region per processor; each processor imports the blocks of every
-    region within ``r_c / 2`` of its own, computes the pairs whose midpoint
-    it owns, and returns contributions for imported particles.
-    """
+@register_algorithm(
+    "midpoint",
+    supports_c=False,
+    needs_rcut=True,
+    summary="Midpoint method: pairs owned by their midpoint's region",
+)
+def _prepare_midpoint(spec: RunSpec) -> Prepared:
+    machine = spec.machine
     p = machine.nranks
-    if dim is None:
-        dim = particles.dim
-    geometry = TeamGeometry(box_length=box_length, team_dims=balanced_dims(p, dim))
-    base_law = law or ForceLaw()
-    use_law = base_law.with_rcut(rcut)
+    particles = spec.workload()
+    dim = particles.dim if spec.dim is None else spec.dim
+    rcut = spec.rcut
+    geometry = TeamGeometry(box_length=spec.box_length,
+                            team_dims=balanced_dims(p, dim))
+    kernel = kernel_for(spec.law, rcut=rcut, pair_counter=spec.pair_counter,
+                        scratch=spec.scratch)
     blocks = team_blocks_spatial(particles, geometry)
 
     # Import neighborhood: regions within rcut/2 (the midpoint can only
@@ -130,8 +106,11 @@ def run_midpoint(
         ) if imported else np.full(len(mine), me)
 
         with comm.phase("compute"):
-            forces, scanned = _midpoint_forces(
-                use_law, all_pos, all_ids, owner, geometry, me, pair_counter
+            forces = np.zeros_like(all_pos)
+            scanned = kernel.interact_owned(
+                all_pos, all_ids,
+                pair_mask=_owned_pair_mask(all_pos, geometry, me),
+                out=forces,
             )
             yield from comm.compute(machine.interactions_time(scanned))
 
@@ -154,6 +133,35 @@ def run_midpoint(
                 total[index_of[int(rid)]] += rf
         return (mine.ids, total)
 
-    run = Engine(machine).run(program)
-    ids, forces = _collect(run.results, range(p))
-    return BaselineRun(ids=ids, forces=forces, run=run)
+    return Prepared(program=program,
+                    collect=lambda run: _collect(run.results, range(p)))
+
+
+def run_midpoint(
+    machine,
+    particles: ParticleSet,
+    *,
+    rcut: float,
+    box_length: float,
+    dim: int | None = None,
+    law: ForceLaw | None = None,
+    pair_counter=None,
+    eager_threshold: int = 0,
+    faults: FaultSchedule | None = None,
+    scratch: bool = True,
+    engine_opts: dict | None = None,
+) -> Run:
+    """Cutoff-limited forces via the midpoint method.
+
+    One region per processor; each processor imports the blocks of every
+    region within ``r_c / 2`` of its own, computes the pairs whose midpoint
+    it owns, and returns contributions for imported particles.
+
+    Shim over the registry pipeline (algorithm ``"midpoint"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="midpoint", particles=particles,
+        rcut=rcut, box_length=box_length, dim=dim, law=law,
+        pair_counter=pair_counter, eager_threshold=eager_threshold,
+        faults=faults, scratch=scratch, engine_opts=engine_opts,
+    ))

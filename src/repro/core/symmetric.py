@@ -24,21 +24,20 @@ tests check it equals the all-ones reference exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from repro.core.ca_step import CAConfig, CAStepResult, _shift
 from repro.core.decomposition import (
     collect_leader_forces,
     team_blocks_even,
     virtual_team_blocks,
 )
+from repro.core.runner import Prepared, Run, RunSpec, register_algorithm
+from repro.core.runner import run as run_pipeline
 from repro.core.window import half_ring_schedule
 from repro.physics.forces import ForceLaw
-from repro.physics.kernels import RealKernel, VirtualKernel
+from repro.physics.kernels import VirtualKernel, kernel_for
 from repro.physics.particles import ParticleSet
-from repro.simmpi.engine import Engine, RunResult
+from repro.simmpi.engine import RunResult
+from repro.simmpi.faults import FaultSchedule
 from repro.simmpi.topology import ReplicatedGrid
 
 __all__ = [
@@ -48,6 +47,10 @@ __all__ = [
     "run_symmetric_virtual",
     "symmetric_config",
 ]
+
+#: Deprecated alias — the per-variant result dataclasses collapsed into
+#: :class:`repro.core.runner.Run`.
+SymmetricRun = Run
 
 _RETURN_TAG = 13
 
@@ -148,17 +151,43 @@ def ca_symmetric_step(comm, cfg: CAConfig, kernel, leader_block):
     )
 
 
-@dataclass
-class SymmetricRun:
-    """Outcome of a functional symmetric all-pairs step."""
+def _symmetric_program(cfg: CAConfig, kernel, blocks):
+    def program(comm):
+        col = cfg.grid.col_of(comm.rank)
+        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
+        result = yield from ca_symmetric_step(comm, cfg, kernel, leader_block)
+        return result
 
-    ids: np.ndarray
-    forces: np.ndarray
-    run: RunResult
+    return program
 
-    @property
-    def report(self):
-        return self.run.report
+
+@register_algorithm(
+    "symmetric",
+    summary="CA all-pairs with Newton's-third-law symmetry (half ring)",
+)
+def _prepare_symmetric(spec: RunSpec) -> Prepared:
+    cfg = symmetric_config(spec.machine.nranks, spec.c)
+    kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
+                        scratch=spec.scratch)
+    blocks = team_blocks_even(spec.workload(), cfg.grid.nteams)
+
+    def collect(run: RunResult):
+        return collect_leader_forces(run.results, cfg.grid)
+
+    return Prepared(program=_symmetric_program(cfg, kernel, blocks),
+                    collect=collect)
+
+
+@register_algorithm(
+    "symmetric_virtual",
+    functional=False,
+    summary="Modeled symmetric variant: phantom blocks, half-ring schedule",
+)
+def _prepare_symmetric_virtual(spec: RunSpec) -> Prepared:
+    cfg = symmetric_config(spec.machine.nranks, spec.c)
+    kernel = VirtualKernel(dim=2 if spec.dim is None else spec.dim)
+    blocks = virtual_team_blocks(spec.count(), cfg.grid.nteams)
+    return Prepared(program=_symmetric_program(cfg, kernel, blocks))
 
 
 def run_symmetric(
@@ -167,34 +196,44 @@ def run_symmetric(
     c: int,
     *,
     law: ForceLaw | None = None,
-    pair_counter: np.ndarray | None = None,
-) -> SymmetricRun:
-    """All-pairs forces via the symmetric variant; functional end to end."""
-    cfg = symmetric_config(machine.nranks, c)
-    kernel = RealKernel(law=law or ForceLaw(), pair_counter=pair_counter)
-    blocks = team_blocks_even(particles, cfg.grid.nteams)
+    pair_counter=None,
+    eager_threshold: int = 0,
+    faults: FaultSchedule | None = None,
+    scratch: bool = True,
+    engine_opts: dict | None = None,
+) -> Run:
+    """All-pairs forces via the symmetric variant; functional end to end.
 
-    def program(comm):
-        col = cfg.grid.col_of(comm.rank)
-        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        result = yield from ca_symmetric_step(comm, cfg, kernel, leader_block)
-        return result
+    ``faults`` accepts transient (delay/drop/corrupt) schedules — the
+    engine's retry protocol absorbs them; rank kills are rejected (the
+    symmetric step has no replication-aware recovery path).  ``scratch`` /
+    ``engine_opts`` mirror :func:`~repro.core.allpairs.run_allpairs`.
 
-    run = Engine(machine).run(program)
-    ids, forces = collect_leader_forces(run.results, cfg.grid)
-    return SymmetricRun(ids=ids, forces=forces, run=run)
+    Shim over the registry pipeline (algorithm ``"symmetric"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="symmetric", particles=particles, c=c,
+        law=law, pair_counter=pair_counter, eager_threshold=eager_threshold,
+        faults=faults, scratch=scratch, engine_opts=engine_opts,
+    ))
 
 
-def run_symmetric_virtual(machine, n: int, c: int, *, dim: int = 2) -> RunResult:
-    """Modeled symmetric step (phantom blocks, machine-model timing)."""
-    cfg = symmetric_config(machine.nranks, c)
-    kernel = VirtualKernel(dim=dim)
-    blocks = virtual_team_blocks(n, cfg.grid.nteams)
+def run_symmetric_virtual(
+    machine,
+    n: int,
+    c: int,
+    *,
+    dim: int = 2,
+    eager_threshold: int = 0,
+    faults: FaultSchedule | None = None,
+    engine_opts: dict | None = None,
+) -> RunResult:
+    """Modeled symmetric step (phantom blocks, machine-model timing).
 
-    def program(comm):
-        col = cfg.grid.col_of(comm.rank)
-        leader_block = blocks[col] if cfg.grid.row_of(comm.rank) == 0 else None
-        result = yield from ca_symmetric_step(comm, cfg, kernel, leader_block)
-        return result
-
-    return Engine(machine).run(program)
+    Shim over the registry pipeline (algorithm ``"symmetric_virtual"``).
+    """
+    return run_pipeline(RunSpec(
+        machine=machine, algorithm="symmetric_virtual", n=n, c=c, dim=dim,
+        eager_threshold=eager_threshold, faults=faults,
+        engine_opts=engine_opts,
+    )).run

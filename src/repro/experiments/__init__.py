@@ -10,6 +10,12 @@ from repro.experiments.configs import (
     FigureConfig,
 )
 from repro.experiments.charts import chart_breakdown, chart_figure, chart_scaling
+from repro.experiments.compare import (
+    AlgorithmComparison,
+    ComparisonResult,
+    compare_algorithms,
+    render_comparison,
+)
 from repro.experiments.figures import FigureResult, run_figure, validate_figure
 from repro.experiments.export import export_csv, export_json
 from repro.experiments.gantt import render_gantt
@@ -25,9 +31,13 @@ __all__ = [
     "FIG6",
     "FIG7",
     "PAPER_FIGURES",
+    "AlgorithmComparison",
+    "ComparisonResult",
     "FigureConfig",
     "FigureResult",
     "chart_breakdown",
+    "compare_algorithms",
+    "render_comparison",
     "chart_figure",
     "chart_scaling",
     "export_csv",

@@ -1,0 +1,157 @@
+"""Cross-algorithm comparison harness over the registry pipeline.
+
+Every registered functional algorithm runs the *same* workload on the same
+machine through :func:`repro.core.runner.run`, and the harness tabulates
+what the paper's evaluation compares: per-phase virtual times, per-rank
+message and byte maxima (the latency cost ``S`` and bandwidth cost ``W``),
+the virtual makespan, and force agreement against the serial reference.
+
+Algorithms whose requirements the shared configuration cannot meet (a
+cutoff-windowed method without ``rcut``, Plimpton's force decomposition on
+a non-square rank count) are skipped with a recorded reason rather than
+silently dropped — the rendered table lists them.
+
+This is the ``python -m repro compare`` subcommand's engine and a
+programmatic API for notebooks/scripts:
+
+>>> result = compare_algorithms(machine, particles, c=4, rcut=0.3)
+>>> print(render_comparison(result))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.runner import Run, RunSpec, get_algorithm, list_algorithms, run
+from repro.physics.forces import ForceLaw
+from repro.physics.particles import ParticleSet
+from repro.physics.reference import reference_forces
+
+__all__ = ["AlgorithmComparison", "ComparisonResult", "compare_algorithms",
+           "render_comparison"]
+
+
+@dataclass
+class AlgorithmComparison:
+    """One algorithm's row of the comparison table."""
+
+    algorithm: str
+    #: Virtual makespan of the run (seconds on the modeled machine).
+    elapsed: float
+    #: Max over ranks of total messages sent — the latency cost S.
+    critical_messages: int
+    #: Max over ranks of total bytes sent — the bandwidth cost W.
+    critical_bytes: int
+    #: Phase label -> {max_s, mean_s, max_messages, max_bytes}.
+    phase_table: dict
+    #: Max absolute force deviation from the serial reference.
+    max_abs_dev: float
+    #: The full pipeline result (report, trace, raw engine output).
+    run: Run
+
+
+@dataclass
+class ComparisonResult:
+    """All compared algorithms plus the skipped ones with reasons."""
+
+    entries: list[AlgorithmComparison]
+    #: Algorithm name -> why it could not run on the shared configuration.
+    skipped: dict[str, str]
+
+
+def compare_algorithms(
+    machine,
+    particles: ParticleSet | None = None,
+    *,
+    algorithms: list[str] | None = None,
+    **spec_kwargs,
+) -> ComparisonResult:
+    """Run registered algorithms on one shared configuration and compare.
+
+    ``algorithms`` defaults to every registered *functional* algorithm;
+    remaining keyword arguments populate the shared
+    :class:`~repro.core.runner.RunSpec` (``c``, ``law``, ``rcut``, ``n``,
+    ``seed``, ``faults``, ``engine_opts``, ...).  The replication factor is
+    dropped to 1 for algorithms without a replication knob; algorithms
+    whose requirements are unmet are skipped with a reason.
+
+    Force agreement is judged per algorithm against the serial reference
+    for the physics that algorithm computes: cutoff-windowed methods
+    against the cutoff-limited law, unrestricted methods against the open
+    law — so one call can meaningfully compare both families.
+    """
+    names = (list(algorithms) if algorithms is not None
+             else list_algorithms(functional=True))
+    base = RunSpec(machine=machine, algorithm="", particles=particles,
+                   **spec_kwargs)
+    workload = base.workload()
+    base = replace(base, particles=workload, n=None)
+
+    p = machine.nranks
+    q = int(round(p**0.5))
+    entries: list[AlgorithmComparison] = []
+    skipped: dict[str, str] = {}
+    ref_cache: dict[ForceLaw, np.ndarray] = {}
+
+    for name in names:
+        alg = get_algorithm(name)
+        if not alg.functional:
+            skipped[name] = "modeled (virtual) algorithm; no forces to compare"
+            continue
+        if alg.needs_rcut and base.rcut is None:
+            skipped[name] = "needs a cutoff radius (pass rcut=...)"
+            continue
+        if alg.square_p and q * q != p:
+            skipped[name] = f"needs a square rank count, machine has p={p}"
+            continue
+        spec = replace(base, algorithm=name,
+                       c=base.c if alg.supports_c else 1)
+        out = run(spec)
+
+        ref_law = (spec.resolved_law() if alg.needs_rcut
+                   else (spec.law or ForceLaw()))
+        ref = ref_cache.get(ref_law)
+        if ref is None:
+            ref = ref_cache[ref_law] = reference_forces(ref_law, workload)
+        order = np.argsort(workload.ids, kind="stable")
+        dev = float(np.max(np.abs(out.forces - ref[order])))
+
+        report = out.report
+        entries.append(AlgorithmComparison(
+            algorithm=name,
+            elapsed=out.run.elapsed,
+            critical_messages=report.critical_messages(),
+            critical_bytes=report.critical_bytes(),
+            phase_table=report.phase_table(),
+            max_abs_dev=dev,
+            run=out,
+        ))
+
+    return ComparisonResult(entries=entries, skipped=skipped)
+
+
+def render_comparison(result: ComparisonResult) -> str:
+    """The comparison as an aligned text table plus per-phase breakdowns."""
+    lines = [
+        f"{'algorithm':<22} {'elapsed(s)':>12} {'S=maxmsgs':>10} "
+        f"{'W=maxbytes':>12} {'max|dF|':>10}"
+    ]
+    for e in result.entries:
+        lines.append(
+            f"{e.algorithm:<22} {e.elapsed:>12.6f} {e.critical_messages:>10d} "
+            f"{e.critical_bytes:>12d} {e.max_abs_dev:>10.2e}"
+        )
+    for name, reason in result.skipped.items():
+        lines.append(f"{name:<22} skipped: {reason}")
+    if result.entries:
+        lines.append("")
+        lines.append("phase breakdown (max seconds over ranks):")
+        for e in result.entries:
+            parts = " | ".join(
+                f"{lab} {cell['max_s']:.6f}"
+                for lab, cell in e.phase_table.items()
+            )
+            lines.append(f"  {e.algorithm:<20} {parts}")
+    return "\n".join(lines)

@@ -130,6 +130,7 @@ def pairwise_forces(
     pair_counter: np.ndarray | None = None,
     reaction_out: np.ndarray | None = None,
     half: bool = False,
+    pair_mask: np.ndarray | None = None,
     scratch: bool = True,
 ) -> tuple[np.ndarray, int]:
     """Accumulate forces of ``source`` particles on ``target`` particles.
@@ -157,6 +158,11 @@ def pairwise_forces(
     half:
         Evaluate only pairs with ``target_id < source_id`` (requires ids
         and ``reaction_out``): each unordered pair once.
+    pair_mask:
+        Optional ``(nt, ns)`` boolean matrix further restricting which
+        pairs are live (ANDed with the id/cutoff masks).  Neutral-territory
+        methods use it to select the pairs a rank *owns* — e.g. the
+        midpoint method's "pairs whose midpoint falls in my region".
     scratch:
         Reuse pooled per-shape scratch buffers (default).  ``False``
         allocates fresh temporaries per chunk — same results bit for bit,
@@ -215,6 +221,12 @@ def pairwise_forces(
                 live = bufs.live
                 np.not_equal(target_ids[lo:hi, None], source_ids[None, :],
                              out=live)
+            if pair_mask is not None:
+                if live is None:
+                    live = bufs.live
+                    np.copyto(live, pair_mask[lo:hi])
+                else:
+                    live &= pair_mask[lo:hi]
             if rcut2 is not None:
                 if live is None:
                     live = bufs.live
@@ -257,6 +269,9 @@ def pairwise_forces(
                 live = target_ids[lo:hi, None] < source_ids[None, :]
             elif exclude_ids:
                 live = target_ids[lo:hi, None] != source_ids[None, :]
+            if pair_mask is not None:
+                live = pair_mask[lo:hi] if live is None \
+                    else (live & pair_mask[lo:hi])
             if rcut2 is not None:
                 within = r2 <= rcut2
                 live = within if live is None else (live & within)

@@ -27,7 +27,7 @@ import numpy as np
 from repro.physics.forces import ForceLaw, pairwise_forces
 from repro.physics.particles import HomeBlock, TravelBlock, VirtualBlock
 
-__all__ = ["RealKernel", "VirtualForces", "VirtualKernel"]
+__all__ = ["RealKernel", "VirtualForces", "VirtualKernel", "kernel_for"]
 
 #: Bytes per particle of a force contribution on the wire (d doubles).
 _FORCE_BYTES_PER_COMPONENT = 8
@@ -164,6 +164,57 @@ class RealKernel:
         """Fold a returned buffer's reactions into the home accumulator."""
         if travel.forces is not None:
             home.forces += travel.forces
+
+    # -- neutral-territory (pair-ownership) extension ----------------------
+
+    def interact_owned(self, pos: np.ndarray, ids: np.ndarray, *,
+                       pair_mask: np.ndarray, out: np.ndarray) -> int:
+        """Pairs of a combined particle set against itself, restricted to
+        an ownership mask: each owned unordered pair once (upper triangle
+        by id), action and reaction both accumulated into ``out``.
+
+        Neutral-territory methods (the midpoint baseline) own *pairs*
+        rather than particles; ``pair_mask[i, j]`` says whether this rank
+        owns the (i, j) pair.
+        """
+        _, npairs = pairwise_forces(
+            self.law,
+            pos,
+            pos,
+            target_ids=ids,
+            source_ids=ids,
+            out=out,
+            reaction_out=out,
+            half=True,
+            pair_mask=pair_mask,
+            pair_counter=self.pair_counter,
+            scratch=self.scratch,
+        )
+        return npairs
+
+
+def kernel_for(
+    law: ForceLaw | None = None,
+    *,
+    rcut: float | None = None,
+    box: float | None = None,
+    pair_counter: np.ndarray | None = None,
+    scratch: bool = True,
+) -> RealKernel:
+    """Build a :class:`RealKernel`, resolving the effective force law.
+
+    The single spot where runners turn user-facing physics options into a
+    kernel: the default law, the cutoff override (``rcut`` forces the law's
+    cutoff so out-of-range pairs contribute exactly zero), the
+    minimum-image ``box`` for the periodic extension, and the
+    instrumentation/perf knobs.
+    """
+    law = law or ForceLaw()
+    if rcut is not None:
+        law = law.with_rcut(rcut)
+    if box is not None:
+        law = law.with_box(box)
+    return RealKernel(law=law, pair_counter=pair_counter, scratch=scratch)
 
 
 @dataclass

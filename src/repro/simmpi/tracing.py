@@ -184,6 +184,25 @@ class TraceReport:
         """Phase label -> max-over-ranks seconds, in first-seen label order."""
         return {lab: self.max_time(lab) for lab in self.phase_labels()}
 
+    def phase_table(self) -> dict[str, dict[str, float]]:
+        """Per-phase accounting as plain data, in first-seen label order.
+
+        Each entry maps a phase label to ``max_s`` / ``mean_s`` (seconds)
+        and ``max_messages`` / ``max_bytes`` (per-rank maxima — the paper's
+        S and W cost terms).  This is the machine-readable form of
+        :meth:`summary`, consumed by the cross-algorithm comparison
+        harness and the CLI.
+        """
+        return {
+            lab: {
+                "max_s": self.max_time(lab),
+                "mean_s": self.mean_time(lab),
+                "max_messages": self.max_messages(lab),
+                "max_bytes": self.max_bytes(lab),
+            }
+            for lab in self.phase_labels()
+        }
+
     def summary(self) -> str:
         lines = [f"{'phase':<12} {'max(s)':>12} {'mean(s)':>12} {'maxmsgs':>8} {'maxbytes':>12}"]
         for lab in self.phase_labels():

@@ -25,6 +25,10 @@ class TestParser:
         assert p.parse_args(["tune", "--machine", "hopper"]).machine == "hopper"
         args = p.parse_args(["simulate", "-c", "4", "--periodic"])
         assert args.replication == 4 and args.periodic
+        assert p.parse_args(["algorithms"]).command == "algorithms"
+        args = p.parse_args(["compare", "--algorithms", "allpairs,spatial"])
+        assert args.command == "compare"
+        assert args.algorithms == "allpairs,spatial"
 
 
 class TestFigures:
@@ -74,6 +78,50 @@ class TestTune:
                             "--particles", "512")
         assert code == 0
         assert "hopper" in out
+
+
+class TestAlgorithms:
+    def test_lists_registry(self):
+        code, out = run_cli("algorithms")
+        assert code == 0
+        for name in ("allpairs", "cutoff_virtual", "midpoint", "symmetric"):
+            assert name in out
+        assert "functional" in out and "modeled" in out
+        assert "kills" in out and "transient" in out
+
+
+class TestCompare:
+    def test_default_functional_set(self):
+        code, out = run_cli("compare", "--ranks", "16", "--particles", "48",
+                            "-c", "2", "--rcut", "0.3")
+        assert code == 0
+        # All eight functional algorithms ran (square p, rcut given).
+        for name in ("allpairs", "cutoff", "midpoint", "spatial",
+                     "symmetric", "particle_ring", "particle_allgather",
+                     "force_decomposition"):
+            assert name in out
+        assert "skipped" not in out
+        assert "phase breakdown" in out
+
+    def test_subset_and_skips(self):
+        code, out = run_cli("compare", "--ranks", "8", "--particles", "32",
+                            "-c", "1",
+                            "--algorithms", "allpairs,spatial,"
+                                            "force_decomposition")
+        assert code == 0
+        # No rcut -> spatial skipped; p=8 not square -> force_decomposition
+        # skipped; allpairs still runs.
+        assert "allpairs" in out
+        assert "skipped: needs a cutoff radius" in out
+        assert "skipped: needs a square rank count" in out
+
+    def test_with_transient_faults(self):
+        code, out = run_cli("compare", "--ranks", "8", "--particles", "32",
+                            "-c", "1", "--algorithms",
+                            "allpairs,particle_ring",
+                            "--faults", "drop:0>1,seed:7")
+        assert code == 0
+        assert "allpairs" in out and "particle_ring" in out
 
 
 class TestSimulate:

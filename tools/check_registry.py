@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Registry-completeness check (CI gate).
+
+Every ``run_*`` entry point exported by :mod:`repro.core` must be a thin
+shim over the algorithm registry — i.e. there must be a registered
+algorithm whose name matches the stripped entry-point name — or be listed
+in ``EXEMPT`` with a reason.  Conversely, every registered algorithm must
+have a matching ``run_<name>`` shim, so the registry can't silently grow
+entries the documented API doesn't expose.
+
+Exit status 0 when both directions hold; 1 with a listing of every
+violation otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_registry.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running as a plain script from the repo root.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - import plumbing
+    sys.path.insert(0, str(_SRC))
+
+#: run_* entry points that are deliberately NOT registry algorithms.
+EXEMPT = {
+    "run_simulation": "multi-timestep driver, not a single-step algorithm",
+    "run_simulation_virtual": "modeled twin of the multi-timestep driver",
+}
+
+
+def main() -> int:
+    import repro.core as core
+    from repro.core import list_algorithms
+
+    runners = sorted(name for name in core.__all__ if name.startswith("run_"))
+    registered = set(list_algorithms())
+    problems: list[str] = []
+
+    for runner in runners:
+        name = runner[len("run_"):]
+        if runner in EXEMPT:
+            if name in registered:
+                problems.append(
+                    f"{runner} is EXEMPT ({EXEMPT[runner]}) but algorithm "
+                    f"{name!r} is registered anyway — drop one"
+                )
+            continue
+        if name not in registered:
+            problems.append(
+                f"{runner} exported by repro.core has no registered "
+                f"algorithm {name!r} (register it or add an EXEMPT entry)"
+            )
+
+    shim_names = {r[len("run_"):] for r in runners}
+    for name in sorted(registered):
+        if name not in shim_names:
+            problems.append(
+                f"algorithm {name!r} is registered but repro.core exports "
+                f"no run_{name} shim"
+            )
+
+    if problems:
+        print("registry completeness check FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+
+    print(f"registry completeness OK: {len(registered)} algorithms, "
+          f"{len(runners) - len(EXEMPT)} registered runners, "
+          f"{len(EXEMPT)} exempt ({', '.join(sorted(EXEMPT))})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,18 +2,21 @@
 """Pinned performance microbenches with a JSON trajectory.
 
 Every PR that touches the simulation substrate runs this harness and
-commits the resulting ``BENCH_<tag>.json`` so the repository carries a
-performance *trajectory*: op/s of the discrete-event engine, pair/s of the
-force kernel, and wall time of a small end-to-end simulation, all at pinned
-configurations that never change between PRs (changing them would break
-comparability — add a new bench instead).
+commits the resulting ``benchmarks/BENCH_<tag>.json`` so the repository
+carries a performance *trajectory*: op/s of the discrete-event engine,
+pair/s of the force kernel, and wall time of a small end-to-end simulation,
+all at pinned configurations that never change between PRs (changing them
+would break comparability — add a new bench instead).
 
 Usage::
 
-    PYTHONPATH=src python tools/perftrack.py --out BENCH_pr2.json
+    PYTHONPATH=src python tools/perftrack.py --tag pr3
     PYTHONPATH=src python tools/perftrack.py --smoke --out smoke.json
-    PYTHONPATH=src python tools/perftrack.py --baseline BENCH_seed.json \
-        --out BENCH_pr2.json
+    PYTHONPATH=src python tools/perftrack.py --tag pr3 \
+        --baseline benchmarks/BENCH_pr2.json
+
+``--tag NAME`` writes ``benchmarks/BENCH_NAME.json`` next to the committed
+history (an explicit ``--out`` path wins over the tag-derived default).
 
 With ``--baseline``, the output embeds the baseline numbers and a
 ``speedup`` entry per bench (baseline wall / current wall), and the process
@@ -257,7 +260,10 @@ def attach_baseline(report: dict, baseline: dict) -> dict:
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", type=Path, default=None,
-                    help="write the JSON report here")
+                    help="write the JSON report here (overrides --tag)")
+    ap.add_argument("--tag", default=None, metavar="NAME",
+                    help="write benchmarks/BENCH_NAME.json (the committed "
+                         "trajectory's home)")
     ap.add_argument("--smoke", action="store_true",
                     help="CI-sized parameters (not comparable with full runs)")
     ap.add_argument("--repeats", type=int, default=None,
@@ -271,6 +277,9 @@ def main(argv=None) -> int:
                          "than this factor (e.g. 1.2 = 20%% slower)")
     args = ap.parse_args(argv)
     repeats = args.repeats or (2 if args.smoke else 5)
+    if args.out is None and args.tag is not None:
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        args.out = bench_dir / f"BENCH_{args.tag}.json"
 
     sys.stderr.write(f"perftrack: mode={'smoke' if args.smoke else 'full'} "
                      f"repeats={repeats}\n")
