@@ -45,12 +45,28 @@ def parse_faults(spec: str):
                         (default 1; each drop costs a retry round-trip)
     ``corrupt:S>D``     flip one payload bit on the next ``S -> D`` transfer
     ``seed:N``          seed the schedule's per-channel random streams
+    ``drop_prob:P``     random model: drop each transfer with prob. ``P``
+    ``delay_prob:P``    random model: delay each transfer with prob. ``P``
+    ``corrupt_prob:P``  random model: corrupt each transfer with prob. ``P``
+    ``checksum:on``     verify payload CRCs; caught corruption is
+                        retransmitted instead of delivered (``on``/``off``)
+    ``backoff:B``       multiply the retry timeout by ``B`` per attempt
+    ``retries:N``       retransmit budget before a transfer times out
     ==================  ====================================================
 
-    Example: ``kill:3@1e-4,drop:0>1:2,seed:7``.
+    Example: ``kill:3@1e-4,drop:0>1:2,seed:7`` or
+    ``corrupt_prob:0.01,checksum:on,backoff:2,seed:7``.
     """
     from repro.simmpi.faults import (CorruptTransfer, DelayTransfer,
                                      DropTransfer, FaultSchedule, KillRank)
+
+    def _flag(text: str) -> bool:
+        low = text.strip().lower()
+        if low in ("on", "true", "1", "yes"):
+            return True
+        if low in ("off", "false", "0", "no"):
+            return False
+        raise ValueError(f"expected on/off, got {text!r}")
 
     def _channel(text: str) -> tuple[int, int]:
         src, sep, dst = text.partition(">")
@@ -61,7 +77,7 @@ def parse_faults(spec: str):
         return int(src), int(dst)
 
     events = []
-    seed = None
+    kwargs: dict = {}
     for item in spec.split(","):
         item = item.strip()
         if not item:
@@ -70,7 +86,15 @@ def parse_faults(spec: str):
         if not sep:
             raise ValueError(f"malformed fault event {item!r}")
         if kind == "seed":
-            seed = int(rest)
+            kwargs["seed"] = int(rest)
+        elif kind in ("drop_prob", "delay_prob", "corrupt_prob"):
+            kwargs[kind] = float(rest)
+        elif kind == "checksum":
+            kwargs["checksum"] = _flag(rest)
+        elif kind == "backoff":
+            kwargs["retry_backoff"] = float(rest)
+        elif kind == "retries":
+            kwargs["max_retries"] = int(rest)
         elif kind == "kill":
             if "@" in rest:
                 rank, at = rest.split("@", 1)
@@ -102,9 +126,9 @@ def parse_faults(spec: str):
         else:
             raise ValueError(
                 f"unknown fault kind {kind!r} (expected kill, delay, drop, "
-                "corrupt or seed)"
+                "corrupt, seed, drop_prob, delay_prob, corrupt_prob, "
+                "checksum, backoff or retries)"
             )
-    kwargs = {} if seed is None else {"seed": seed}
     return FaultSchedule(events=tuple(events), **kwargs)
 
 
@@ -158,9 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="inject faults, e.g. 'kill:3#20' or 'drop:0>1:2,seed:7' "
              "(kill:R@T | kill:R#N | delay:S>D:SEC | drop:S>D[:K] | "
-             "corrupt:S>D | seed:N, comma-separated); rank kills need "
+             "corrupt:S>D | seed:N | drop_prob:P | checksum:on | backoff:B "
+             "| retries:N, comma-separated); rank kills need "
              "replication c >= 2",
     )
+    p_sim.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="write checkpoints to DIR during the run")
+    p_sim.add_argument("--checkpoint-every", type=int, default=1,
+                       metavar="K",
+                       help="checkpoint cadence in steps (with "
+                            "--checkpoint-dir; default 1)")
+    p_sim.add_argument("--resume-from", default=None, metavar="FILE",
+                       help="resume from a checkpoint file instead of a "
+                            "fresh initial state (the configuration must "
+                            "match the run that wrote it)")
 
     sub.add_parser("algorithms",
                    help="list the registered algorithms and capabilities")
@@ -184,9 +219,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument(
         "--faults", default=None, metavar="SPEC",
-        help="kill-free fault schedule applied to every run "
-             "(delay:S>D:SEC | drop:S>D[:K] | corrupt:S>D | seed:N)",
+        help="fault schedule applied to every run (same grammar as "
+             "simulate --faults); schedules that kill ranks run only on "
+             "algorithms with kill recovery — the rest are skipped with "
+             "the reason listed",
     )
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="randomized chaos campaign: faults + checkpoint/resume, "
+             "asserting bitwise agreement with fault-free references")
+    p_soak.add_argument("--trials", type=int, default=10)
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument("--first-trial", type=int, default=0, metavar="I",
+                        help="start at trial index I (replay a failure "
+                             "from a longer campaign)")
+    p_soak.add_argument("--no-kills", action="store_true",
+                        help="restrict the schedules to transient faults")
+    p_soak.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="directory for failure artifacts "
+                             "(default: a temp dir)")
+    p_soak.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop early after this much wall time")
 
     return parser
 
@@ -299,9 +354,17 @@ def _cmd_simulate(args, out) -> int:
                             integrator=args.integrator)
 
     faults = parse_faults(args.faults) if args.faults else None
+    policy = None
+    if args.checkpoint_dir is not None:
+        from repro.core import CheckpointPolicy
+
+        policy = CheckpointPolicy(directory=args.checkpoint_dir,
+                                  every=args.checkpoint_every)
 
     e0 = kinetic_energy(particles.vel) + potential_energy(elaw, particles.pos)
-    result = run_simulation(machine, scfg, blocks, faults=faults)
+    result = run_simulation(machine, scfg, blocks if args.resume_from is None
+                            else None, faults=faults, checkpoint=policy,
+                            resume_from=args.resume_from)
     final = result.particles
     e1 = kinetic_energy(final.vel) + potential_energy(elaw, final.pos)
 
@@ -319,6 +382,10 @@ def _cmd_simulate(args, out) -> int:
         else:
             print("fault schedule injected; no rank deaths triggered",
                   file=out)
+    for step, path in result.checkpoints:
+        print(f"checkpoint after step {step}: {path}", file=out)
+    if args.resume_from is not None:
+        print(f"resumed from {args.resume_from}", file=out)
     print(f"energy drift: {100 * abs(e1 - e0) / max(abs(e0), 1e-30):.4f}%",
           file=out)
     print(f"simulated machine time: {result.run.elapsed * 1e3:.3f} ms",
@@ -373,6 +440,24 @@ def _cmd_compare(args, out) -> int:
     return 0
 
 
+def _cmd_soak(args, out) -> int:
+    from repro.experiments.soak import run_soak
+
+    report = run_soak(
+        trials=args.trials,
+        seed=args.seed,
+        first_trial=args.first_trial,
+        with_kills=not args.no_kills,
+        out_dir=args.out_dir,
+        time_budget=args.time_budget,
+    )
+    print(report.summary(), file=out)
+    if not report.ok:
+        print(f"SOAK FAILED (seed={args.seed})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = sys.stdout if out is None else out
@@ -384,6 +469,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "simulate": _cmd_simulate,
         "algorithms": _cmd_algorithms,
         "compare": _cmd_compare,
+        "soak": _cmd_soak,
     }[args.command]
     return handler(args, out)
 

@@ -24,11 +24,13 @@ from repro.core.runner import (
     Prepared,
     Run,
     RunSpec,
+    fault_compat,
     get_algorithm,
     list_algorithms,
     register_algorithm,
     run,
 )
+from repro.core.checkpoint import CheckpointPolicy, simulation_fingerprint
 from repro.core.baselines import (
     BaselineRun,
     run_force_decomposition,
@@ -79,6 +81,7 @@ __all__ = [
     "BaselineRun",
     "CAConfig",
     "CAStepResult",
+    "CheckpointPolicy",
     "CutoffRun",
     "Prepared",
     "Run",
@@ -96,6 +99,7 @@ __all__ = [
     "gather_to_root",
     "cutoff_config",
     "cutoff_schedule",
+    "fault_compat",
     "get_algorithm",
     "list_algorithms",
     "register_algorithm",
@@ -113,6 +117,7 @@ __all__ = [
     "run_spatial",
     "run_symmetric",
     "run_symmetric_virtual",
+    "simulation_fingerprint",
     "SymmetricRun",
     "ca_symmetric_step",
     "half_ring_schedule",

@@ -250,19 +250,36 @@ def ca_program(cfg: CAConfig, kernel, blocks, *, resilient: bool = False):
 # ---------------------------------------------------------------------------
 
 
-def check_fault_replication(faults, c: int) -> None:
+def check_fault_replication(faults, c: int, grid: ReplicatedGrid | None = None) -> None:
     """Reject rank-kill schedules that replication cannot absorb.
 
     Recovery sources every lost block and every lost partial sum from a
     surviving team member, so a schedule containing kills needs ``c >= 2``
     (at ``c = 1`` each block has exactly one copy and a death is
-    unrecoverable data loss).
+    unrecoverable data loss).  With the ``grid`` the check is sharper: the
+    kills are mapped onto teams upfront, and a schedule that would wipe out
+    *every* member of some team is refused before the run starts instead of
+    failing mid-recovery.
     """
-    if faults is not None and faults.has_kills and c < 2:
+    if faults is None or not faults.has_kills:
+        return
+    if c < 2:
         raise ValueError(
             "fault schedules that kill ranks need replication c >= 2; "
             f"c={c} leaves no surviving copy of a dead rank's block"
         )
+    if grid is not None:
+        victims_per_team: dict[int, list[int]] = {}
+        for rank in faults.killed_ranks:
+            if 0 <= rank < grid.p:
+                victims_per_team.setdefault(grid.col_of(rank), []).append(rank)
+        for col, victims in sorted(victims_per_team.items()):
+            if len(victims) >= grid.c:
+                raise ValueError(
+                    f"fault schedule kills every member of team {col} "
+                    f"(ranks {victims}); replication c={grid.c} cannot "
+                    "recover a team with no survivors"
+                )
 
 
 def acting_leader_of(grid: ReplicatedGrid, col: int, dead) -> int:
@@ -301,6 +318,14 @@ def _survivor_ring_allgather(comm, alive: list[int], value):
     carry = (comm.rank, value)
     for _ in range(k - 1):
         carry = yield from comm.sendrecv(nxt, carry, prv, RECOVER_SYNC_TAG)
+        if isinstance(carry, Tombstone):
+            # A survivor died *during* recovery — after the failure-sync
+            # point, so no replacement was arranged for it this step.
+            raise RuntimeError(
+                f"rank {carry.rank} died during recovery (inside the "
+                "survivor ring), after the failure-sync point — "
+                "unrecoverable this step; see docs/fault-model.md"
+            )
         held[carry[0]] = carry[1]
     return held
 
@@ -438,7 +463,9 @@ def ca_interaction_step_resilient(comm, cfg: CAConfig, kernel, leader_block,
         team_now = comm.sub(alive_team)
         with comm.phase("reduce"):
             reduced = yield from team_now.reduce(
-                kernel.forces_payload(home), kernel.reduce_op, root=0
+                kernel.forces_payload(home),
+                _tombstone_guard(kernel.reduce_op, col, "in-team reduce"),
+                root=0,
             )
     i_am_acting = comm.rank == acting
     if i_am_acting:
@@ -454,6 +481,10 @@ def ca_interaction_step_resilient(comm, cfg: CAConfig, kernel, leader_block,
         recovered=recovered,
     )
     return result, dead
+
+
+#: Job mode: rebuild the executor's own accumulator slot from scratch.
+_REBUILD = object()
 
 
 def _recover(comm, cfg: CAConfig, kernel, home, col: int, dead: frozenset,
@@ -478,13 +509,29 @@ def _recover(comm, cfg: CAConfig, kernel, home, col: int, dead: frozenset,
 
     # Damage plan — a pure function of (dead, hole_map, cfg), so every
     # survivor derives the identical transfer and replay lists.
-    # Jobs: (executor, target_row, target_col, steps, dead_rank | None).
+    # Jobs: (executor, target_row, target_col, steps, mode) where mode is
+    # None (append missed updates to the live accumulator), _REBUILD
+    # (recompute the executor's own slot from scratch) or a dead rank id
+    # (recompute that rank's lost slot).
     jobs = []
     for rank in alive:
         rank_holes = hole_map.get(rank, ())
         if rank_holes:
-            jobs.append((rank, grid.row_of(rank), grid.col_of(rank),
-                         tuple(sorted(rank_holes)), None))
+            trow, tcol = grid.row_of(rank), grid.col_of(rank)
+            full = _replay_steps(cfg, trow, tcol)
+            suffix = [i for i in full if i >= min(rank_holes)]
+            if tuple(sorted(rank_holes)) == tuple(suffix):
+                # The holes are a suffix of the rank's update schedule:
+                # appending the missed updates reproduces the fault-free
+                # accumulation order exactly.
+                jobs.append((rank, trow, tcol, tuple(sorted(rank_holes)),
+                             None))
+            else:
+                # The tombstone bubble interleaved with live buffers, so
+                # some updates landed *after* a hole.  Appending would
+                # permute the float summation; rebuild the whole slot in
+                # schedule order instead.
+                jobs.append((rank, trow, tcol, tuple(full), _REBUILD))
     for d in sorted(dead):
         jd = grid.col_of(d)
         replacement = acting_leader_of(grid, jd, dead)
@@ -525,10 +572,10 @@ def _recover(comm, cfg: CAConfig, kernel, home, col: int, dead: frozenset,
     updates = 0
     dead_payloads = {}
     recovered = []
-    for executor, trow, tcol, steps, d in jobs:
+    for executor, trow, tcol, steps, mode in jobs:
         if executor != comm.rank:
             continue
-        acc = home if d is None else kernel.home_of(home)
+        acc = home if mode is None else kernel.home_of(home)
         for i in steps:
             team = sched.visitor_of(tcol, sched.update_position(trow, i))
             travel = (kernel.travel_of(home, team) if team == tcol
@@ -538,7 +585,10 @@ def _recover(comm, cfg: CAConfig, kernel, home, col: int, dead: frozenset,
                 npairs_total += npairs
                 updates += 1
                 yield from comm.compute(machine.interactions_time(npairs))
-        if d is not None:
+        if mode is _REBUILD:
+            kernel.install_forces(home, kernel.forces_payload(acc))
+        elif mode is not None:
+            d = mode
             dead_payloads[grid.row_of(d)] = kernel.forces_payload(acc)
             recovered.append(RecoveredRankEvent(
                 rank=d,
@@ -547,6 +597,24 @@ def _recover(comm, cfg: CAConfig, kernel, home, col: int, dead: frozenset,
                 replayed_updates=len(steps),
             ))
     return npairs_total, updates, dead_payloads, tuple(recovered)
+
+
+def _tombstone_guard(op, col: int, where: str):
+    """Wrap a reduction operator so that a :class:`Tombstone` arriving from a
+    rank that died after the failure-sync point fails loudly instead of being
+    fed into arithmetic."""
+
+    def guarded(a, b):
+        for operand in (a, b):
+            if isinstance(operand, Tombstone):
+                raise RuntimeError(
+                    f"team {col}: rank {operand.rank} died during the {where},"
+                    " after the failure-sync point — unrecoverable this step;"
+                    " see docs/fault-model.md"
+                )
+        return op(a, b)
+
+    return guarded
 
 
 def _degraded_reduce(comm, grid: ReplicatedGrid, kernel, home, col: int,
@@ -571,6 +639,12 @@ def _degraded_reduce(comm, grid: ReplicatedGrid, kernel, home, col: int,
         if reqs:
             payloads = yield from comm.wait(*reqs)
             for part in payloads:
+                if isinstance(part, Tombstone):
+                    raise RuntimeError(
+                        f"team {col}: rank {part.rank} died during the "
+                        "degraded reduce, after the failure-sync point — "
+                        "unrecoverable this step; see docs/fault-model.md"
+                    )
                 slots.update(part)
     missing = [r for r in range(grid.c) if r not in slots]
     if missing:

@@ -1,0 +1,181 @@
+"""Checkpoint/restart policy for the multi-timestep simulation driver.
+
+Why this is cheap here: between steps, the authoritative state of the whole
+simulation is exactly the per-team leader blocks (plus the carried forces
+for velocity Verlet) — the deterministic engine has no other hidden state.
+A *consistent global snapshot* therefore needs no coordination protocol:
+each leader deposits a reference to its block as it enters a step, and once
+every team has deposited for the same step number the host writes one file.
+Because the driver integrates on detached (copy-on-write) storage, the
+deposited arrays are immutable from the moment they are deposited, so the
+references stay valid however far ahead other ranks have raced.
+
+Checkpoint writes happen on the host and are charged **zero virtual time**:
+they model out-of-band I/O (burst buffers, a dedicated I/O partition), not
+machine traffic, so checkpointed and checkpoint-free runs have identical
+virtual clocks and trajectories.
+
+Files are written by :func:`repro.physics.io.save_checkpoint` — atomic
+write-then-rename with per-array CRC-32 checksums — and stamped with a
+configuration fingerprint so a checkpoint can never silently resume under
+different physics (see :func:`simulation_fingerprint`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.physics.io import Checkpoint, save_checkpoint
+from repro.util import require
+
+__all__ = ["CheckpointPolicy", "simulation_fingerprint"]
+
+
+def simulation_fingerprint(scfg) -> str:
+    """A short string pinning everything that shapes a run's trajectory.
+
+    Two :class:`~repro.core.driver.SimulationConfig`\\ s produce the same
+    fingerprint exactly when a checkpoint from one can resume under the
+    other bitwise-faithfully: processor grid, cutoff, spatial decomposition,
+    force law, timestep, box, boundary handling, mass and integrator all
+    participate.  ``nsteps`` deliberately does not — resuming with a longer
+    (or shorter) horizon is legitimate.
+    """
+    cfg = scfg.cfg
+    grid = cfg.grid
+    parts = [
+        f"p={grid.p}",
+        f"c={grid.c}",
+        f"layout={grid.layout}",
+        f"rcut={cfg.rcut}",
+        f"law={scfg.law!r}",
+        f"dt={scfg.dt!r}",
+        f"box={scfg.box_length!r}",
+        f"mass={scfg.mass!r}",
+        f"periodic={scfg.periodic}",
+        f"integrator={scfg.integrator}",
+    ]
+    geo = cfg.geometry
+    if geo is not None:
+        parts.append(f"teams={geo.team_dims}")
+        if geo.edges is not None:
+            edges = tuple(tuple(float(x) for x in e) for e in geo.edges)
+            parts.append(f"edges={edges}")
+    return ";".join(parts)
+
+
+@dataclass
+class CheckpointPolicy:
+    """When and where the driver writes checkpoints.
+
+    A checkpoint is written after step ``s`` (counting completed steps,
+    so ``s`` runs from 1 to ``nsteps``) when any of the triggers fires:
+
+    * ``every = k > 0``: every ``k``-th step;
+    * ``at_steps``: an explicit step set;
+    * ``trigger``: an arbitrary predicate on the step number;
+    * :meth:`request`: an out-of-band one-shot flag — the SIGTERM-style
+      "snapshot at the next completed step, I am about to be preempted"
+      path (call it from a signal handler or a watchdog thread; it is a
+      plain attribute write, safe from async context).
+
+    Attributes
+    ----------
+    directory:
+        Where checkpoint files go (created on first write).
+    every:
+        Write every ``every`` completed steps (0 disables the cadence).
+    at_steps:
+        Also write after each of these step numbers.
+    trigger:
+        Optional ``step -> bool`` predicate evaluated per completed step.
+    keep:
+        Retain only the newest ``keep`` files written by this policy
+        (0 keeps everything).
+    """
+
+    directory: str | os.PathLike
+    every: int = 0
+    at_steps: tuple[int, ...] = ()
+    trigger: Callable[[int], bool] | None = None
+    keep: int = 0
+    _requested: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self):
+        require(self.every >= 0, "every must be >= 0")
+        require(self.keep >= 0, "keep must be >= 0")
+        self.at_steps = tuple(int(s) for s in self.at_steps)
+
+    def request(self) -> None:
+        """Ask for one checkpoint at the next completed step (one-shot)."""
+        self._requested = True
+
+    def due(self, step: int) -> bool:
+        """Should a checkpoint be written after completed step ``step``?"""
+        if self._requested:
+            return True
+        if step in self.at_steps:
+            return True
+        if self.every > 0 and step > 0 and step % self.every == 0:
+            return True
+        return self.trigger is not None and bool(self.trigger(step))
+
+    def path_for(self, step: int) -> str:
+        return os.path.join(os.fspath(self.directory),
+                            f"checkpoint-step{step:06d}.npz")
+
+
+class _CheckpointWriter:
+    """Host-side deposit collector the driver feeds from rank programs.
+
+    Leaders call :meth:`deposit` with *references* to their post-step block
+    (and carried forces, for Verlet).  A step's bucket completes when all
+    ``nteams`` teams have deposited; the policy then decides whether to
+    write.  A leader that dies before depositing leaves its step's bucket
+    forever incomplete — that step is simply never checkpointable, and the
+    stale bucket is dropped as soon as a later step completes (its
+    successor deposits from the recovered block onward).
+    """
+
+    def __init__(self, policy: CheckpointPolicy, fingerprint: str,
+                 nteams: int, dt: float, with_forces: bool):
+        self.policy = policy
+        self.fingerprint = fingerprint
+        self.nteams = nteams
+        self.dt = dt
+        self.with_forces = with_forces
+        self._buckets: dict[int, dict] = {}
+        #: ``(step, path)`` for every checkpoint actually written, in order.
+        self.written: list[tuple[int, str]] = []
+
+    def deposit(self, step: int, col: int, block, forces=None) -> None:
+        bucket = self._buckets.setdefault(step, {})
+        bucket[col] = (block, forces)
+        if len(bucket) < self.nteams:
+            return
+        del self._buckets[step]
+        for stale in [s for s in self._buckets if s < step]:
+            del self._buckets[stale]
+        if self.policy.due(step):
+            self._write(step, bucket)
+
+    def _write(self, step: int, bucket: dict) -> None:
+        blocks = [bucket[col][0] for col in range(self.nteams)]
+        forces = ([bucket[col][1] for col in range(self.nteams)]
+                  if self.with_forces else None)
+        ckpt = Checkpoint(step=step, time=step * self.dt,
+                          fingerprint=self.fingerprint,
+                          blocks=blocks, forces=forces)
+        os.makedirs(os.fspath(self.policy.directory), exist_ok=True)
+        path = save_checkpoint(self.policy.path_for(step), ckpt)
+        self.written.append((step, path))
+        self.policy._requested = False
+        if self.policy.keep > 0:
+            while len(self.written) > self.policy.keep:
+                _, old = self.written.pop(0)
+                try:
+                    os.unlink(old)
+                except OSError:
+                    pass

@@ -33,13 +33,19 @@ from repro.core.ca_step import (
     ca_interaction_step_resilient,
     check_fault_replication,
 )
+from repro.core.checkpoint import (
+    CheckpointPolicy,
+    _CheckpointWriter,
+    simulation_fingerprint,
+)
 from repro.physics.boundary import reflect, wrap_periodic
 from repro.physics.domain import team_of_positions
 from repro.physics.forces import ForceLaw
 from repro.physics.integrators import drift, euler_step, kick
+from repro.physics.io import load_checkpoint
 from repro.physics.particles import ParticleSet, VirtualBlock, concat_sets
 from repro.simmpi.engine import Engine, RunResult
-from repro.simmpi.faults import FaultSchedule
+from repro.simmpi.faults import FaultSchedule, Tombstone
 from repro.util import require
 
 __all__ = ["SimulationConfig", "SimulationRun", "run_simulation",
@@ -97,6 +103,9 @@ class SimulationRun:
     #: :class:`~repro.simmpi.errors.RecoveredRankEvent` records for every
     #: rank death absorbed during the run (fault injection only).
     recovered: tuple = field(default=())
+    #: ``(step, path)`` for every checkpoint file written (only when a
+    #: :class:`~repro.core.checkpoint.CheckpointPolicy` was given).
+    checkpoints: tuple = field(default=())
 
     @property
     def report(self):
@@ -161,7 +170,22 @@ def _reassign(comm, cfg: CAConfig, col: int, grid, neighbors: list[list[int]],
         rreq = yield from comm.irecv(dest, _REASSIGN_TAG)
         reqs.extend((sreq, rreq))
     payloads = yield from comm.wait(*reqs)
-    incoming = [pl for pl in payloads[1::2] if pl is not None and len(pl) > 0]
+    incoming = []
+    for pl in payloads[1::2]:
+        if pl is None:
+            continue
+        if isinstance(pl, Tombstone):
+            # The partner died after this step's failure-sync point: its
+            # outbound migrants are gone and no survivor replays them here,
+            # so silent continuation would lose particles.  Fail loudly —
+            # this is the documented unrecoverable window.
+            raise RuntimeError(
+                f"team {col}: re-assign partner (rank {pl.rank}) died "
+                "mid-step, outside the recoverable window — see "
+                "docs/fault-model.md"
+            )
+        if len(pl) > 0:
+            incoming.append(pl)
     if incoming:
         return concat_sets([keep, *incoming])
     return keep
@@ -170,12 +194,14 @@ def _reassign(comm, cfg: CAConfig, col: int, grid, neighbors: list[list[int]],
 def run_simulation(
     machine,
     scfg: SimulationConfig,
-    initial_blocks: list[ParticleSet],
+    initial_blocks: list[ParticleSet] | None = None,
     *,
     kernel=None,
     sample_every: int = 0,
     faults: FaultSchedule | None = None,
     engine_opts: dict | None = None,
+    checkpoint: CheckpointPolicy | None = None,
+    resume_from: str | None = None,
 ) -> SimulationRun:
     """Run ``scfg.nsteps`` timesteps functionally on ``machine``.
 
@@ -201,17 +227,61 @@ def run_simulation(
     ``{"fast_path": False}`` to run the reference scheduler loop, or
     ``{"record_events": True}`` for a timeline) without widening this
     signature per engine knob.
+
+    ``checkpoint`` installs a :class:`~repro.core.checkpoint.CheckpointPolicy`:
+    after each completed step the policy selects, the per-team leader state
+    is written atomically (with per-array checksums) to the policy's
+    directory; the paths come back in :attr:`SimulationRun.checkpoints`.
+    Checkpoint I/O is out-of-band and costs zero virtual time, so a
+    checkpointed run's clocks and trajectory are bitwise-identical to an
+    uncheckpointed one.
+
+    ``resume_from`` restarts from such a file instead of ``initial_blocks``
+    (which may then be omitted): the saved blocks, step counter and — for
+    velocity Verlet — carried forces are restored, and steps
+    ``ckpt.step .. nsteps-1`` are replayed.  The checkpoint's configuration
+    fingerprint must match ``scfg`` or the load is refused.  A resumed run
+    reproduces the uninterrupted run's final state bitwise (under faults:
+    the fault-free reference's — op indices and channel sequence numbers
+    restart from zero, so a schedule's faults re-fire relative to the
+    resume point).
     """
     from repro.physics.kernels import RealKernel
 
     cfg = scfg.cfg
     grid = cfg.grid
-    check_fault_replication(faults, grid.c)
+    check_fault_replication(faults, grid.c, grid=grid)
     if faults is not None:
         require(scfg.integrator == "euler",
                 "fault injection supports only the Euler integrator")
         require(sample_every == 0,
                 "fault injection cannot be combined with trajectory sampling")
+    start_step = 0
+    resume_forces = None
+    if resume_from is not None:
+        ckpt = load_checkpoint(resume_from,
+                               expect_fingerprint=simulation_fingerprint(scfg))
+        require(len(ckpt.blocks) == grid.nteams,
+                f"checkpoint has {len(ckpt.blocks)} team blocks, "
+                f"configuration has {grid.nteams} teams")
+        require(ckpt.step < scfg.nsteps,
+                f"checkpoint is already at step {ckpt.step}; nothing to do "
+                f"for nsteps={scfg.nsteps} (extend nsteps to continue)")
+        initial_blocks = ckpt.blocks
+        start_step = ckpt.step
+        if scfg.integrator == "verlet":
+            require(ckpt.forces is not None,
+                    "checkpoint carries no forces (written by an Euler run); "
+                    "cannot resume a velocity-Verlet simulation from it")
+            resume_forces = ckpt.forces
+    require(initial_blocks is not None,
+            "initial_blocks is required unless resume_from is given")
+    writer = None
+    if checkpoint is not None:
+        writer = _CheckpointWriter(
+            checkpoint, simulation_fingerprint(scfg), grid.nteams, scfg.dt,
+            with_forces=scfg.integrator == "verlet",
+        )
     if kernel is None:
         law = scfg.law if cfg.rcut is None else scfg.law.with_rcut(cfg.rcut)
         if scfg.periodic:
@@ -244,15 +314,20 @@ def run_simulation(
         recov: list = []
         traj = Trajectory()
         lcomm = comm.sub(leader_ranks) if sample_every > 0 else None
-        if lcomm is not None and row == 0:
-            yield from _sample(comm, lcomm, traj, 0.0, block)
-        step_no = 0
+        step_no = start_step
+        if lcomm is not None and row == 0 and step_no % sample_every == 0:
+            yield from _sample(comm, lcomm, traj, step_no * scfg.dt, block)
         if scfg.integrator == "verlet":
-            # Velocity Verlet needs forces at the initial positions.
-            res = yield from ca_interaction_step(comm, cfg, kernel, block)
-            if row == 0:
-                forces = res.home.forces
-        for _ in range(scfg.nsteps):
+            if resume_forces is None:
+                # Velocity Verlet needs forces at the initial positions.
+                res = yield from ca_interaction_step(comm, cfg, kernel, block)
+                if row == 0:
+                    forces = res.home.forces
+            elif row == 0:
+                # Resuming: the checkpoint carries the forces at the saved
+                # positions, so the extra interaction step is skipped.
+                forces = resume_forces[col].copy()
+        for _ in range(scfg.nsteps - start_step):
             if scfg.integrator == "verlet":
                 if row == 0:
                     # Copy-on-write: the previous interaction step handed
@@ -275,6 +350,11 @@ def run_simulation(
                     forces = res.home.forces
                     kick(block.vel, forces, scfg.dt / 2, scfg.mass)
                 step_no += 1
+                if writer is not None and row == 0:
+                    # Post-step block and the forces at its positions (the
+                    # next step's first half-kick input).  Deposited arrays
+                    # are never mutated afterwards — integration detaches.
+                    writer.deposit(step_no, col, block, forces)
                 if lcomm is not None and row == 0 and step_no % sample_every == 0:
                     yield from _sample(comm, lcomm, traj, step_no * scfg.dt,
                                        block)
@@ -316,6 +396,8 @@ def run_simulation(
                 else:
                     block = None
                 step_no += 1
+                if writer is not None and i_lead:
+                    writer.deposit(step_no, col, block)
                 if lcomm is not None and row == 0 and step_no % sample_every == 0:
                     yield from _sample(comm, lcomm, traj, step_no * scfg.dt,
                                        block)
@@ -360,7 +442,8 @@ def run_simulation(
     return SimulationRun(particles=final, forces=fr, run=run,
                          trajectory=trajectory,
                          recovered=tuple(sorted(
-                             recovered, key=lambda e: (e.death_time, e.rank))))
+                             recovered, key=lambda e: (e.death_time, e.rank))),
+                         checkpoints=tuple(writer.written) if writer else ())
 
 
 def run_simulation_virtual(

@@ -49,6 +49,7 @@ __all__ = [
     "Prepared",
     "Run",
     "RunSpec",
+    "fault_compat",
     "get_algorithm",
     "list_algorithms",
     "register_algorithm",
@@ -288,6 +289,24 @@ def list_algorithms(*, functional: bool | None = None) -> list[str]:
         name for name, alg in _REGISTRY.items()
         if functional is None or alg.functional == functional
     )
+
+
+def fault_compat(alg: Algorithm, faults, c: int = 1) -> str | None:
+    """Why ``alg`` cannot absorb ``faults`` at replication ``c``, or ``None``.
+
+    The shared predicate behind :func:`run`'s validation and the comparison
+    harness's skip-with-reason path: kill schedules need a ``fault_mode ==
+    "kills"`` algorithm and ``c >= 2``; kill-free schedules (delay / drop /
+    corrupt) run on everything.
+    """
+    if faults is None or not faults.has_kills:
+        return None
+    if alg.fault_mode != "kills":
+        return ("has no kill-recovery path; use a kill-free fault schedule "
+                "(delay/drop/corrupt only)")
+    if c < 2:
+        return "kill recovery needs replication c >= 2"
+    return None
 
 
 def _validate(spec: RunSpec, alg: Algorithm) -> None:

@@ -24,7 +24,9 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.runner import Run, RunSpec, get_algorithm, list_algorithms, run
+from repro.core.runner import (
+    Run, RunSpec, fault_compat, get_algorithm, list_algorithms, run,
+)
 from repro.physics.forces import ForceLaw
 from repro.physics.particles import ParticleSet
 from repro.physics.reference import reference_forces
@@ -81,6 +83,12 @@ def compare_algorithms(
     for the physics that algorithm computes: cutoff-windowed methods
     against the cutoff-limited law, unrestricted methods against the open
     law — so one call can meaningfully compare both families.
+
+    A ``faults=`` schedule runs every algorithm degraded, so retry /
+    recovery overhead lands in each phase table.  Schedules that kill
+    ranks run only on algorithms with a kill-recovery path
+    (``fault_mode == "kills"``) at replication ``c >= 2``; the rest are
+    skipped with the reason recorded.
     """
     names = (list(algorithms) if algorithms is not None
              else list_algorithms(functional=True))
@@ -106,8 +114,12 @@ def compare_algorithms(
         if alg.square_p and q * q != p:
             skipped[name] = f"needs a square rank count, machine has p={p}"
             continue
-        spec = replace(base, algorithm=name,
-                       c=base.c if alg.supports_c else 1)
+        c_eff = base.c if alg.supports_c else 1
+        reason = fault_compat(alg, base.faults, c_eff)
+        if reason is not None:
+            skipped[name] = reason
+            continue
+        spec = replace(base, algorithm=name, c=c_eff)
         out = run(spec)
 
         ref_law = (spec.resolved_law() if alg.needs_rcut
@@ -151,6 +163,7 @@ def render_comparison(result: ComparisonResult) -> str:
         for e in result.entries:
             parts = " | ".join(
                 f"{lab} {cell['max_s']:.6f}"
+                + (f" ({cell['retries']}rx)" if cell.get("retries") else "")
                 for lab, cell in e.phase_table.items()
             )
             lines.append(f"  {e.algorithm:<20} {parts}")

@@ -1,0 +1,303 @@
+"""Chaos soak harness: randomized fault + checkpoint/restart campaigns.
+
+Each trial builds a randomized multi-step simulation (machine size,
+replication, all-pairs or cutoff decomposition, uniform or clustered
+workload, run length), runs it three ways and demands bitwise
+agreement:
+
+1. **Reference** — fault-free, uninterrupted.
+2. **Chaos** — under a randomized :class:`~repro.simmpi.faults.FaultSchedule`
+   (rank kills bounded so every team keeps a survivor, plus probabilistic
+   drops / delays / checksummed corruption), writing checkpoints as it goes.
+   Final positions, velocities and forces must equal the reference exactly.
+3. **Resume** — restart from a mid-run checkpoint of the chaos run
+   (randomly fault-free or under the same schedule again) and replay to the
+   end.  The resumed final state must equal the reference exactly.
+
+Documented-unrecoverable outcomes (a death outside the recoverable window,
+an exhausted retransmit budget — see ``docs/fault-model.md``) are *declared
+losses*: the run failed loudly, which is the contract; they are counted and
+reported but are not soak failures.  Any bitwise mismatch or undeclared
+exception is a failure; the trial's full configuration (derived from
+``seed`` + trial index, so every failure is replayable) and a recorded
+engine timeline are dumped as JSON artifacts.
+
+Everything is deterministic in ``seed``: ``run_soak(trials=N, seed=S)``
+twice produces identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allpairs import allpairs_config
+from repro.core.checkpoint import CheckpointPolicy
+from repro.core.cutoff import cutoff_config
+from repro.core.decomposition import team_blocks_even, team_blocks_spatial
+from repro.core.driver import SimulationConfig, run_simulation
+from repro.machines import GenericMachine
+from repro.physics.forces import ForceLaw
+from repro.physics.particles import ParticleSet
+from repro.physics.workloads import gaussian_clusters
+from repro.simmpi.errors import SimMPIError
+from repro.simmpi.faults import FaultSchedule, KillRank
+
+__all__ = ["SoakReport", "SoakTrial", "run_soak"]
+
+#: Exception types that are a *declared* loss of the run, not a soak
+#: failure: the fault model documents them as the loud-failure contract
+#: (death outside the recoverable window raises, exhausted retransmit
+#: budgets raise, a particle outrunning its region raises).
+_DECLARED = (SimMPIError, ValueError, RuntimeError)
+
+
+@dataclass
+class SoakTrial:
+    """One trial's configuration and verdict."""
+
+    index: int
+    seed: int
+    algorithm: str            # "allpairs" | "cutoff"
+    p: int
+    c: int
+    n: int
+    dim: int
+    nsteps: int
+    rcut: float | None
+    workload: str             # "uniform" | "clustered"
+    schedule: str             # repr of the fault schedule
+    outcome: str = "ok"       # "ok" | "declared" | "failed" | "skipped"
+    detail: str = ""
+    checkpoints: int = 0
+    resumed_from: int | None = None
+    resume_faulty: bool = False
+    deaths: int = 0
+
+    def describe(self) -> str:
+        base = (f"trial {self.index:3d} [{self.outcome:8s}] "
+                f"{self.algorithm:8s} p={self.p} c={self.c} n={self.n} "
+                f"dim={self.dim} steps={self.nsteps} {self.workload:9s} "
+                f"deaths={self.deaths} ckpts={self.checkpoints}")
+        if self.resumed_from is not None:
+            base += (f" resume@{self.resumed_from}"
+                     f"{'+faults' if self.resume_faulty else ''}")
+        if self.detail:
+            base += f" — {self.detail}"
+        return base
+
+
+@dataclass
+class SoakReport:
+    """Every trial's verdict plus campaign-level accounting."""
+
+    seed: int
+    trials: list[SoakTrial] = field(default_factory=list)
+    artifacts: list[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[SoakTrial]:
+        return [t for t in self.trials if t.outcome == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        counts: dict[str, int] = {}
+        for t in self.trials:
+            counts[t.outcome] = counts.get(t.outcome, 0) + 1
+        lines = [t.describe() for t in self.trials]
+        tally = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        lines.append(f"soak seed={self.seed}: {len(self.trials)} trials ({tally})")
+        for t in self.failures:
+            lines.append(
+                f"REPLAY: run_soak(trials=1, seed={self.seed}, "
+                f"first_trial={t.index}) reproduces trial {t.index}"
+            )
+        for path in self.artifacts:
+            lines.append(f"artifact: {path}")
+        return "\n".join(lines)
+
+
+def _random_schedule(rng: np.random.Generator, grid, *,
+                     with_kills: bool) -> FaultSchedule:
+    """A randomized schedule every team can survive."""
+    events: list = []
+    if with_kills and rng.random() < 0.8:
+        nteams_hit = int(rng.integers(1, min(3, grid.nteams) + 1))
+        cols = rng.choice(grid.nteams, size=nteams_hit, replace=False)
+        for col in cols:
+            # One victim per team keeps c-1 >= 1 survivors everywhere.
+            row = int(rng.integers(grid.c))
+            events.append(KillRank(grid.rank_at(row, int(col)),
+                                   after_ops=int(rng.integers(5, 120))))
+    return FaultSchedule(
+        events=tuple(events),
+        seed=int(rng.integers(2**31)),
+        drop_prob=float(rng.choice([0.0, 0.005, 0.02])),
+        delay_prob=float(rng.choice([0.0, 0.05])),
+        corrupt_prob=float(rng.choice([0.0, 0.005, 0.02])),
+        delay_seconds=1e-5,
+        max_retries=8,
+        retry_backoff=float(rng.choice([1.0, 1.5, 2.0])),
+        checksum=True,
+        detect_seconds=float(rng.choice([0.0, 1e-5])),
+    )
+
+
+def _dump_artifact(directory: str, trial: SoakTrial, machine, scfg,
+                   blocks, faults) -> str:
+    """Persist a failing trial's config and a recorded timeline as JSON."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"soak-failure-trial{trial.index:03d}.json")
+    timeline = None
+    try:
+        from repro.simmpi.tracing import timeline_to_json
+
+        rerun = run_simulation(machine, scfg, blocks, faults=faults,
+                               engine_opts={"record_events": True})
+        timeline = json.loads(timeline_to_json(rerun.run.events))
+    except Exception as exc:  # the rerun may legitimately raise
+        timeline = f"timeline rerun raised: {exc!r}"
+    with open(path, "w") as fh:
+        json.dump({"trial": trial.__dict__, "schedule": trial.schedule,
+                   "timeline": timeline}, fh, indent=1, default=str)
+    return path
+
+
+def _check_state(got, ref, what: str) -> str | None:
+    """Bitwise comparison; a mismatch description or ``None``."""
+    for name, a, b in (("pos", got.particles.pos, ref.particles.pos),
+                       ("vel", got.particles.vel, ref.particles.vel),
+                       ("ids", got.particles.ids, ref.particles.ids),
+                       ("forces", got.forces, ref.forces)):
+        if not np.array_equal(a, b):
+            dev = float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+            return f"{what}: {name} mismatch vs reference (max |delta|={dev:.3e})"
+    return None
+
+
+def run_soak(
+    trials: int = 10,
+    *,
+    seed: int = 0,
+    first_trial: int = 0,
+    with_kills: bool = True,
+    out_dir: str | None = None,
+    time_budget: float | None = None,
+) -> SoakReport:
+    """Run ``trials`` randomized chaos trials; see the module docstring.
+
+    ``first_trial`` offsets the trial indices (trial ``i`` is a pure
+    function of ``(seed, i)``), so a failing trial from a long campaign can
+    be replayed alone.  ``out_dir`` receives failure artifacts (default: a
+    temporary directory).  ``time_budget`` (wall seconds) stops the
+    campaign early, marking the remaining trials ``skipped``.
+    """
+    report = SoakReport(seed=seed)
+    t0 = time.monotonic()
+    artifact_dir = out_dir or tempfile.mkdtemp(prefix="chaos-soak-")
+    for index in range(first_trial, first_trial + trials):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
+        p = int(rng.choice([8, 12, 16]))
+        c = int(rng.choice({8: [2, 4], 12: [2, 3], 16: [2, 4]}[p]))
+        algorithm = str(rng.choice(["allpairs", "cutoff"]))
+        dim = 2 if algorithm == "cutoff" else int(rng.choice([1, 2]))
+        n = int(rng.integers(40, 97))
+        nsteps = int(rng.integers(3, 7))
+        rcut = float(rng.uniform(0.3, 0.45)) if algorithm == "cutoff" else None
+        workload = str(rng.choice(["uniform", "clustered"]))
+        trial = SoakTrial(index=index, seed=seed, algorithm=algorithm, p=p,
+                          c=c, n=n, dim=dim, nsteps=nsteps, rcut=rcut,
+                          workload=workload, schedule="")
+        report.trials.append(trial)
+        if time_budget is not None and time.monotonic() - t0 > time_budget:
+            trial.outcome = "skipped"
+            trial.detail = "time budget exhausted"
+            continue
+
+        wl_seed = int(rng.integers(2**31))
+        if workload == "uniform":
+            particles = ParticleSet.uniform_random(n, dim, 1.0,
+                                                   max_speed=0.05, seed=wl_seed)
+        else:
+            particles = gaussian_clusters(n, dim, 1.0, nclusters=3,
+                                          spread=0.08, max_speed=0.05,
+                                          seed=wl_seed)
+        if algorithm == "cutoff":
+            cfg = cutoff_config(p, c, rcut=rcut, box_length=1.0, dim=dim)
+            blocks = team_blocks_spatial(particles, cfg.geometry)
+        else:
+            cfg = allpairs_config(p, c)
+            blocks = team_blocks_even(particles, cfg.grid.nteams)
+        machine = GenericMachine(nranks=p)
+        scfg = SimulationConfig(cfg=cfg, law=ForceLaw(k=1e-5, softening=5e-3),
+                                dt=5e-4, nsteps=nsteps, box_length=1.0)
+        faults = _random_schedule(rng, cfg.grid, with_kills=with_kills)
+        trial.schedule = repr(faults)
+        resume_faulty = bool(rng.random() < 0.5)
+
+        reference = run_simulation(machine, scfg, blocks)
+
+        with tempfile.TemporaryDirectory(prefix="soak-ckpt-") as ckpt_dir:
+            policy = CheckpointPolicy(directory=ckpt_dir,
+                                      every=int(rng.choice([1, 2])))
+            try:
+                chaos = run_simulation(machine, scfg, blocks, faults=faults,
+                                       checkpoint=policy)
+            except _DECLARED as exc:
+                trial.outcome = "declared"
+                trial.detail = f"{type(exc).__name__}: {exc}"
+                continue
+            except Exception as exc:
+                trial.outcome = "failed"
+                trial.detail = f"undeclared {type(exc).__name__}: {exc}"
+                report.artifacts.append(_dump_artifact(
+                    artifact_dir, trial, machine, scfg, blocks, faults))
+                continue
+            trial.checkpoints = len(chaos.checkpoints)
+            trial.deaths = len(chaos.run.deaths)
+            mismatch = _check_state(chaos, reference, "chaos run")
+            if mismatch:
+                trial.outcome = "failed"
+                trial.detail = mismatch
+                report.artifacts.append(_dump_artifact(
+                    artifact_dir, trial, machine, scfg, blocks, faults))
+                continue
+
+            midrun = [(s, path) for s, path in chaos.checkpoints
+                      if 0 < s < nsteps]
+            if not midrun:
+                trial.detail = "no mid-run checkpoint survived; resume skipped"
+                continue
+            step, path = midrun[int(rng.integers(len(midrun)))]
+            trial.resumed_from = step
+            trial.resume_faulty = resume_faulty
+            try:
+                resumed = run_simulation(
+                    machine, scfg, resume_from=path,
+                    faults=faults if resume_faulty else None,
+                )
+            except _DECLARED as exc:
+                trial.outcome = "declared"
+                trial.detail = f"resume: {type(exc).__name__}: {exc}"
+                continue
+            except Exception as exc:
+                trial.outcome = "failed"
+                trial.detail = f"resume: undeclared {type(exc).__name__}: {exc}"
+                report.artifacts.append(_dump_artifact(
+                    artifact_dir, trial, machine, scfg, blocks, faults))
+                continue
+            mismatch = _check_state(resumed, reference, f"resume@{step}")
+            if mismatch:
+                trial.outcome = "failed"
+                trial.detail = mismatch
+                report.artifacts.append(_dump_artifact(
+                    artifact_dir, trial, machine, scfg, blocks, faults))
+    return report

@@ -17,7 +17,15 @@ from repro.physics.forces import (
     potential_energy,
 )
 from repro.physics.integrators import drift, euler_step, kick, kinetic_energy
-from repro.physics.io import load_particles, save_particles
+from repro.physics.io import (
+    Checkpoint,
+    CheckpointError,
+    SnapshotError,
+    load_checkpoint,
+    load_particles,
+    save_checkpoint,
+    save_particles,
+)
 from repro.physics.kernels import RealKernel, VirtualForces, VirtualKernel
 from repro.physics.particles import (
     HomeBlock,
@@ -30,10 +38,13 @@ from repro.physics.reference import reference_forces, reference_pair_matrix
 from repro.physics.workloads import density_gradient, gaussian_clusters, two_phase
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointError",
     "ForceLaw",
     "HomeBlock",
     "ParticleSet",
     "RealKernel",
+    "SnapshotError",
     "TeamGeometry",
     "TravelBlock",
     "VirtualBlock",
@@ -46,7 +57,9 @@ __all__ = [
     "gaussian_clusters",
     "kick",
     "kinetic_energy",
+    "load_checkpoint",
     "load_particles",
+    "save_checkpoint",
     "save_particles",
     "clear_scratch",
     "pairwise_forces",

@@ -1,45 +1,341 @@
-"""Particle snapshot I/O (NumPy ``.npz`` container).
+"""Particle snapshot and driver checkpoint I/O (NumPy ``.npz`` containers).
 
-Minimal, dependency-free persistence for simulation states: positions,
-velocities and ids round-trip exactly.  Used by the examples and by any
-workflow that wants to checkpoint a driver run.
+Minimal, dependency-free persistence for simulation states.  Two file kinds
+share the same integrity machinery:
+
+* **Snapshots** (:func:`save_particles` / :func:`load_particles`) — one
+  particle set: positions, velocities and ids round-trip exactly, with
+  their dtypes.
+* **Checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`) —
+  the driver's mid-run state: one leader block per team, the integrator's
+  carried forces (velocity-Verlet only), the completed-step counter and a
+  configuration fingerprint that guards against resuming under a different
+  physics setup.
+
+Integrity
+---------
+Every array is covered by a CRC-32 stored in an embedded JSON index, and
+writes are atomic: the file is written to a same-directory temporary name,
+flushed and fsynced, then :func:`os.replace`\\ d into place — a reader never
+observes a half-written file, and a crash mid-write leaves any previous
+file intact.  Loads verify the container, the format version, the key set,
+the dtypes and every checksum, and raise :class:`SnapshotError` /
+:class:`CheckpointError` with a specific message instead of propagating
+whatever NumPy or zipfile happened to hit.
+
+Snapshot format version 2 adds the checksum index; version-1 files (no
+checksums) are still readable.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import zipfile
+import zlib
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.physics.particles import ParticleSet
 
-__all__ = ["load_particles", "save_particles"]
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "SnapshotError",
+    "load_checkpoint",
+    "load_particles",
+    "save_checkpoint",
+    "save_particles",
+]
 
-_FORMAT_VERSION = 1
+_SNAPSHOT_VERSION = 2
+_CHECKPOINT_VERSION = 1
+
+#: Canonical dtypes of a ParticleSet's arrays (what a roundtrip preserves).
+_SNAPSHOT_DTYPES = {"pos": "float64", "vel": "float64", "ids": "int64"}
 
 
-def save_particles(path: str | os.PathLike, particles: ParticleSet) -> None:
-    """Write a particle set to ``path`` (``.npz``)."""
-    np.savez_compressed(
-        path,
-        format_version=np.int64(_FORMAT_VERSION),
-        pos=particles.pos,
-        vel=particles.vel,
-        ids=particles.ids,
-    )
+class SnapshotError(ValueError):
+    """A particle snapshot is unreadable, truncated, corrupt or mismatched."""
+
+
+class CheckpointError(SnapshotError):
+    """A driver checkpoint is unreadable, corrupt or from another setup."""
+
+
+# ---------------------------------------------------------------------------
+# Shared integrity plumbing.
+# ---------------------------------------------------------------------------
+
+
+def _array_crc(arr: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes())
+
+
+def _atomic_savez(path: str | os.PathLike, arrays: dict) -> str:
+    """Write ``arrays`` as a compressed npz atomically; return the real path.
+
+    Mirrors :func:`numpy.savez`'s convention of appending ``.npz`` to
+    extension-less string paths, so the name the caller prints matches the
+    file on disk.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return path
+
+
+def _load_npz(path: str | os.PathLike, err: type[SnapshotError], kind: str):
+    """Open an npz with every container-level failure mapped to ``err``."""
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise err(f"{kind} {path!r} does not exist") from None
+    except (OSError, zipfile.BadZipFile, ValueError, EOFError) as exc:
+        raise err(
+            f"{kind} {path!r} is unreadable (truncated or not an npz "
+            f"container): {exc}"
+        ) from exc
+
+
+def _read_array(data, name: str, path, err: type[SnapshotError], kind: str):
+    try:
+        return data[name]
+    except KeyError:
+        raise err(f"{kind} {path!r} is missing required array {name!r}") from None
+    except (zlib.error, zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise err(f"{kind} {path!r}: array {name!r} is corrupt: {exc}") from exc
+
+
+def _verify_crcs(data, checksums: dict, path, err: type[SnapshotError],
+                 kind: str) -> dict:
+    """Check every recorded CRC; return the verified arrays by name."""
+    arrays = {}
+    for name, expect in checksums.items():
+        arr = _read_array(data, name, path, err, kind)
+        got = _array_crc(arr)
+        if got != int(expect):
+            raise err(
+                f"{kind} {path!r}: checksum mismatch on array {name!r} "
+                f"(stored {int(expect):#010x}, computed {got:#010x}) — "
+                "the file is corrupt"
+            )
+        arrays[name] = arr
+    return arrays
+
+
+def _read_json(data, name: str, path, err: type[SnapshotError], kind: str):
+    raw = _read_array(data, name, path, err, kind)
+    try:
+        return json.loads(str(raw))
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise err(f"{kind} {path!r}: {name!r} index is corrupt: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Particle snapshots.
+# ---------------------------------------------------------------------------
+
+
+def save_particles(path: str | os.PathLike, particles: ParticleSet) -> str:
+    """Write a particle set to ``path`` (``.npz``); return the real path.
+
+    The write is atomic (write-then-rename) and every array carries a
+    CRC-32 that :func:`load_particles` verifies.
+    """
+    arrays = {
+        "pos": particles.pos,
+        "vel": particles.vel,
+        "ids": particles.ids,
+    }
+    checksums = {name: _array_crc(arr) for name, arr in arrays.items()}
+    arrays["format_version"] = np.int64(_SNAPSHOT_VERSION)
+    arrays["checksums"] = np.array(json.dumps(checksums))
+    return _atomic_savez(path, arrays)
 
 
 def load_particles(path: str | os.PathLike) -> ParticleSet:
-    """Read a particle set written by :func:`save_particles`."""
-    with np.load(path) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported snapshot version {version} "
-                f"(this build reads version {_FORMAT_VERSION})"
+    """Read a particle set written by :func:`save_particles`.
+
+    Raises :class:`SnapshotError` if the file is missing, truncated, not an
+    npz container, missing arrays, carries unexpected dtypes, or fails its
+    checksums.  Version-1 snapshots (pre-checksum) are still accepted.
+    """
+    kind = "snapshot"
+    with _load_npz(path, SnapshotError, kind) as data:
+        raw_version = _read_array(data, "format_version", path, SnapshotError, kind)
+        version = int(raw_version)
+        if version not in (1, _SNAPSHOT_VERSION):
+            raise SnapshotError(
+                f"unsupported snapshot version {version} in {path!r} "
+                f"(this build reads versions 1..{_SNAPSHOT_VERSION})"
             )
+        if version >= 2:
+            checksums = _read_json(data, "checksums", path, SnapshotError, kind)
+            arrays = _verify_crcs(data, checksums, path, SnapshotError, kind)
+        else:
+            arrays = {
+                name: _read_array(data, name, path, SnapshotError, kind)
+                for name in _SNAPSHOT_DTYPES
+            }
+        for name, want in _SNAPSHOT_DTYPES.items():
+            if name not in arrays:
+                raise SnapshotError(
+                    f"{kind} {path!r} is missing required array {name!r}"
+                )
+            got = arrays[name].dtype
+            if got != np.dtype(want):
+                raise SnapshotError(
+                    f"{kind} {path!r}: array {name!r} has dtype {got}, "
+                    f"expected {want} — refusing to cast silently"
+                )
         return ParticleSet(
-            pos=data["pos"].copy(),
-            vel=data["vel"].copy(),
-            ids=data["ids"].copy(),
+            pos=arrays["pos"].copy(),
+            vel=arrays["vel"].copy(),
+            ids=arrays["ids"].copy(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Driver checkpoints.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Checkpoint:
+    """In-memory image of one driver checkpoint.
+
+    Attributes
+    ----------
+    step:
+        Completed timesteps at the moment of the snapshot — resuming
+        replays steps ``step .. nsteps-1``.
+    time:
+        Virtual physical time, ``step * dt``.
+    fingerprint:
+        Configuration fingerprint of the run that wrote the checkpoint
+        (see :func:`repro.core.checkpoint.simulation_fingerprint`); loads
+        can demand a match so a checkpoint is never resumed under
+        different physics.
+    blocks:
+        One leader :class:`~repro.physics.particles.ParticleSet` per team,
+        in column order.
+    forces:
+        Per-team forces at the checkpointed positions (velocity-Verlet
+        carries them across steps); ``None`` for explicit-Euler runs.
+    rng_state:
+        Opaque JSON-serializable integrator RNG state.  The deterministic
+        driver has none and stores ``None``; stochastic extensions
+        (thermostats, Langevin integrators) hook in here.
+    """
+
+    step: int
+    time: float
+    fingerprint: str
+    blocks: list[ParticleSet]
+    forces: list[np.ndarray] | None = None
+    rng_state: dict | None = field(default=None)
+
+
+def save_checkpoint(path: str | os.PathLike, ckpt: Checkpoint) -> str:
+    """Write ``ckpt`` atomically with per-array checksums; return the path."""
+    arrays: dict = {}
+    for i, block in enumerate(ckpt.blocks):
+        arrays[f"pos_{i}"] = block.pos
+        arrays[f"vel_{i}"] = block.vel
+        arrays[f"ids_{i}"] = block.ids
+    if ckpt.forces is not None:
+        if len(ckpt.forces) != len(ckpt.blocks):
+            raise CheckpointError(
+                f"checkpoint has {len(ckpt.blocks)} blocks but "
+                f"{len(ckpt.forces)} force arrays"
+            )
+        for i, forces in enumerate(ckpt.forces):
+            arrays[f"forces_{i}"] = forces
+    checksums = {name: _array_crc(arr) for name, arr in arrays.items()}
+    meta = {
+        "step": int(ckpt.step),
+        "time": float(ckpt.time),
+        "fingerprint": ckpt.fingerprint,
+        "nteams": len(ckpt.blocks),
+        "has_forces": ckpt.forces is not None,
+        "rng_state": ckpt.rng_state,
+    }
+    arrays["format_version"] = np.int64(_CHECKPOINT_VERSION)
+    arrays["meta"] = np.array(json.dumps(meta))
+    arrays["checksums"] = np.array(json.dumps(checksums))
+    return _atomic_savez(path, arrays)
+
+
+def load_checkpoint(path: str | os.PathLike, *,
+                    expect_fingerprint: str | None = None) -> Checkpoint:
+    """Read and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Every array's CRC-32 is checked; ``expect_fingerprint`` (when given)
+    must equal the stored fingerprint or the load is refused — resuming a
+    run under a different configuration would silently change the physics.
+    Raises :class:`CheckpointError` on any integrity failure.
+    """
+    kind = "checkpoint"
+    with _load_npz(path, CheckpointError, kind) as data:
+        raw_version = _read_array(data, "format_version", path, CheckpointError, kind)
+        version = int(raw_version)
+        if version != _CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version} in {path!r} "
+                f"(this build reads version {_CHECKPOINT_VERSION})"
+            )
+        meta = _read_json(data, "meta", path, CheckpointError, kind)
+        checksums = _read_json(data, "checksums", path, CheckpointError, kind)
+        for key in ("step", "time", "fingerprint", "nteams", "has_forces"):
+            if key not in meta:
+                raise CheckpointError(
+                    f"checkpoint {path!r}: meta index is missing {key!r}"
+                )
+        if expect_fingerprint is not None and meta["fingerprint"] != expect_fingerprint:
+            raise CheckpointError(
+                f"checkpoint {path!r} was written by a different "
+                f"configuration (stored fingerprint {meta['fingerprint']!r}, "
+                f"this run is {expect_fingerprint!r}) — refusing to resume"
+            )
+        arrays = _verify_crcs(data, checksums, path, CheckpointError, kind)
+        nteams = int(meta["nteams"])
+        blocks: list[ParticleSet] = []
+        forces: list[np.ndarray] | None = [] if meta["has_forces"] else None
+        for i in range(nteams):
+            for name in (f"pos_{i}", f"vel_{i}", f"ids_{i}"):
+                if name not in arrays:
+                    raise CheckpointError(
+                        f"checkpoint {path!r} is missing required array {name!r}"
+                    )
+            blocks.append(ParticleSet(
+                pos=arrays[f"pos_{i}"].copy(),
+                vel=arrays[f"vel_{i}"].copy(),
+                ids=arrays[f"ids_{i}"].copy(),
+            ))
+            if forces is not None:
+                name = f"forces_{i}"
+                if name not in arrays:
+                    raise CheckpointError(
+                        f"checkpoint {path!r} is missing required array {name!r}"
+                    )
+                forces.append(arrays[name].copy())
+        return Checkpoint(
+            step=int(meta["step"]),
+            time=float(meta["time"]),
+            fingerprint=str(meta["fingerprint"]),
+            blocks=blocks,
+            forces=forces,
+            rng_state=meta.get("rng_state"),
         )

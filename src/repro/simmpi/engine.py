@@ -60,6 +60,7 @@ from repro.simmpi.errors import (
     TransferTimeoutError,
 )
 from repro.simmpi.faults import FaultSchedule, Tombstone, corrupt_payload
+from repro.simmpi.payload import payload_crc32
 from repro.simmpi.tracing import (DEFAULT_PHASE, RETRY_PHASE, NullTrace,
                                   RankTrace, TimelineEvent, TraceReport)
 
@@ -837,17 +838,41 @@ class Engine:
         fault = self.faults.p2p_fault(sreq.owner, rreq.owner, seq)
         if fault is None:
             return 0.0, payload
-        if fault.drops > self.faults.max_retries:
-            raise TransferTimeoutError(sreq.owner, rreq.owner, fault.drops)
-        extra = fault.delay
-        if fault.drops:
-            extra += fault.drops * (self.faults.retry_timeout + wire)
-            for _ in range(fault.drops):
-                self._traces[sreq.owner].add_send(RETRY_PHASE, sreq.nbytes)
+        drops = fault.drops
+        redelivered = False
         if fault.corrupt:
-            payload = corrupt_payload(
+            damaged = corrupt_payload(
                 payload, self.faults.channel_rng(sreq.owner, rreq.owner, seq)
             )
+            if self.faults.checksum and (
+                payload_crc32(damaged) != payload_crc32(payload)
+            ):
+                # End-to-end CRC catches the corruption: the receiver
+                # rejects the delivery and the sender retransmits a clean
+                # copy — one extra lost attempt on the wire.
+                drops += 1
+                redelivered = True
+            else:
+                # No checksumming (or an undetectable corruption): the
+                # damaged copy is what the receiver gets.
+                payload = damaged
+        if drops > self.faults.max_retries:
+            raise TransferTimeoutError(sreq.owner, rreq.owner, drops)
+        extra = fault.delay
+        if drops:
+            timeout = self.faults.retry_timeout
+            backoff = self.faults.retry_backoff
+            if backoff == 1.0:
+                # Flat timeout: keep the original closed form (and its
+                # exact floating-point value) for schedules without backoff.
+                extra += drops * (timeout + wire)
+            else:
+                for attempt in range(drops):
+                    extra += timeout * backoff**attempt + wire
+            for _ in range(drops):
+                self._traces[sreq.owner].add_retry(RETRY_PHASE, sreq.nbytes)
+        if redelivered:
+            self._traces[rreq.owner].add_redelivery(RETRY_PHASE)
         return extra, payload
 
     def _kill_rank(self, rank: int, state: _RankState) -> None:

@@ -208,6 +208,17 @@ class FaultSchedule:
     max_retries:
         Retransmit budget per transfer; exceeding it raises
         :class:`~repro.simmpi.errors.TransferTimeoutError`.
+    retry_backoff:
+        Multiplicative backoff on the retransmit timeout: attempt ``k``
+        waits ``retry_timeout * retry_backoff**k``.  The default ``1.0``
+        is a flat timeout (the original model).
+    checksum:
+        Enable end-to-end payload CRC verification.  A corrupted delivery
+        whose CRC-32 no longer matches the sender's is rejected and
+        retransmitted (charged like a drop, counted in the ``redelivered``
+        trace column) instead of being silently accepted.  Undetectable
+        corruption (a CRC collision, or a payload type the CRC cannot
+        cover) is still delivered damaged.
     detect_seconds:
         Failure-detection latency: how long after a rank's death its peers'
         operations against it complete with :class:`Tombstone` results.
@@ -221,6 +232,8 @@ class FaultSchedule:
     delay_seconds: float = 1e-5
     retry_timeout: float = 1e-4
     max_retries: int = 3
+    retry_backoff: float = 1.0
+    checksum: bool = False
     detect_seconds: float = 0.0
     _kills: dict = field(init=False, repr=False, compare=False,
                          default_factory=dict)
@@ -228,6 +241,14 @@ class FaultSchedule:
                        default_factory=dict)
 
     def __post_init__(self):
+        if self.retry_backoff < 1.0:
+            raise ValueError(
+                f"retry_backoff must be >= 1.0, got {self.retry_backoff}"
+            )
+        for name in ("drop_prob", "delay_prob", "corrupt_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
         for ev in self.events:
             if isinstance(ev, KillRank):
                 if ev.rank in self._kills:
@@ -244,6 +265,11 @@ class FaultSchedule:
     @property
     def has_kills(self) -> bool:
         return bool(self._kills)
+
+    @property
+    def killed_ranks(self) -> tuple[int, ...]:
+        """World ranks with a scheduled kill, in ascending order."""
+        return tuple(sorted(self._kills))
 
     def kill_event(self, rank: int) -> KillRank | None:
         """The kill scheduled for ``rank``, if any."""

@@ -12,11 +12,12 @@ estimate with an explicit ``nbytes=``.
 from __future__ import annotations
 
 import numbers
+import zlib
 from typing import Any
 
 import numpy as np
 
-__all__ = ["join_payloads", "payload_nbytes", "split_payload"]
+__all__ = ["join_payloads", "payload_crc32", "payload_nbytes", "split_payload"]
 
 _SMALL_OBJECT_BYTES = 8
 
@@ -88,6 +89,69 @@ def join_payloads(parts: list[Any]) -> Any:
         return VirtualBlock(count=sum(v.count for v in parts),
                             team=first.team, extra_bytes=first.extra_bytes)
     raise TypeError(f"cannot join payloads of type {type(first).__name__}")
+
+
+def payload_crc32(payload: Any) -> int:
+    """CRC-32 of a payload's wire content (for corruption detection).
+
+    Covers the byte content of NumPy arrays (plus dtype/shape headers) and
+    recursively the array fields of the particle containers, tuples, lists
+    and dicts.  Scalars and strings hash their text form.  Opaque objects
+    contribute only their type name — corruption inside them is undetectable
+    by design; the fault injector only corrupts the supported containers.
+    """
+    return _crc(payload, 0)
+
+
+def _crc_array(arr: np.ndarray, crc: int) -> int:
+    crc = zlib.crc32(f"{arr.dtype.str}{arr.shape}".encode(), crc)
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+
+
+def _crc(payload: Any, crc: int) -> int:
+    if payload is None:
+        return zlib.crc32(b"\x00none", crc)
+    if isinstance(payload, np.ndarray):
+        return _crc_array(payload, crc)
+    from repro.physics.particles import (
+        HomeBlock, ParticleSet, TravelBlock, VirtualBlock,
+    )
+
+    if isinstance(payload, ParticleSet):
+        for arr in (payload.pos, payload.vel, payload.ids):
+            crc = _crc_array(arr, crc)
+        return crc
+    if isinstance(payload, TravelBlock):
+        crc = zlib.crc32(f"travel:{payload.team}".encode(), crc)
+        crc = _crc_array(payload.pos, crc)
+        crc = _crc_array(payload.ids, crc)
+        if payload.forces is not None:
+            crc = _crc_array(payload.forces, crc)
+        return crc
+    if isinstance(payload, HomeBlock):
+        crc = _crc(payload.particles, crc)
+        if payload.forces is not None:
+            crc = _crc_array(payload.forces, crc)
+        return crc
+    if isinstance(payload, VirtualBlock):
+        text = f"virtual:{payload.count}:{payload.team}:{payload.extra_bytes}"
+        return zlib.crc32(text.encode(), crc)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return zlib.crc32(bytes(payload), crc)
+    if isinstance(payload, (bool, numbers.Number, np.generic, str)):
+        return zlib.crc32(repr(payload).encode(), crc)
+    if isinstance(payload, (tuple, list)):
+        crc = zlib.crc32(f"seq:{len(payload)}".encode(), crc)
+        for item in payload:
+            crc = _crc(item, crc)
+        return crc
+    if isinstance(payload, dict):
+        crc = zlib.crc32(f"map:{len(payload)}".encode(), crc)
+        for k, v in payload.items():
+            crc = _crc(k, crc)
+            crc = _crc(v, crc)
+        return crc
+    return zlib.crc32(type(payload).__name__.encode(), crc)
 
 
 def payload_nbytes(payload: Any) -> int:

@@ -39,6 +39,12 @@ class PhaseTotals:
     messages_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: Retransmissions charged to this phase: dropped transfers plus
+    #: checksum-rejected deliveries, each re-sent on the wire.
+    retries: int = 0
+    #: Deliveries that were corrupted in flight, caught by the payload CRC,
+    #: and replaced by a clean retransmit (counted at the receiver).
+    redelivered: int = 0
 
     def merge(self, other: "PhaseTotals") -> None:
         self.seconds += other.seconds
@@ -46,6 +52,8 @@ class PhaseTotals:
         self.messages_received += other.messages_received
         self.bytes_sent += other.bytes_sent
         self.bytes_received += other.bytes_received
+        self.retries += other.retries
+        self.redelivered += other.redelivered
 
 
 @dataclass
@@ -73,6 +81,17 @@ class RankTrace:
         tot = self.phase(label)
         tot.messages_received += 1
         tot.bytes_received += nbytes
+
+    def add_retry(self, label: str, nbytes: int) -> None:
+        """Charge one retransmission: an extra message + bytes on the wire."""
+        tot = self.phase(label)
+        tot.messages_sent += 1
+        tot.bytes_sent += nbytes
+        tot.retries += 1
+
+    def add_redelivery(self, label: str) -> None:
+        """Record one checksum-caught corruption replaced by a clean copy."""
+        self.phase(label).redelivered += 1
 
     @property
     def total_seconds(self) -> float:
@@ -114,6 +133,12 @@ class NullTrace:
         pass
 
     def add_recv(self, label: str, nbytes: int) -> None:
+        pass
+
+    def add_retry(self, label: str, nbytes: int) -> None:
+        pass
+
+    def add_redelivery(self, label: str) -> None:
         pass
 
 
@@ -158,6 +183,24 @@ class TraceReport:
             default=0,
         )
 
+    def total_retries(self, label: str | None = None) -> int:
+        """Retransmissions across ranks, in ``label`` or in all phases."""
+        if label is None:
+            return sum(t.retries for tr in self.traces for t in tr.phases.values())
+        return sum(
+            tr.phases[label].retries for tr in self.traces if label in tr.phases
+        )
+
+    def total_redelivered(self, label: str | None = None) -> int:
+        """Checksum-caught redeliveries across ranks (``label`` or all)."""
+        if label is None:
+            return sum(
+                t.redelivered for tr in self.traces for t in tr.phases.values()
+            )
+        return sum(
+            tr.phases[label].redelivered for tr in self.traces if label in tr.phases
+        )
+
     def total_messages(self) -> int:
         return sum(
             tot.messages_sent for tr in self.traces for tot in tr.phases.values()
@@ -199,16 +242,22 @@ class TraceReport:
                 "mean_s": self.mean_time(lab),
                 "max_messages": self.max_messages(lab),
                 "max_bytes": self.max_bytes(lab),
+                "retries": self.total_retries(lab),
+                "redelivered": self.total_redelivered(lab),
             }
             for lab in self.phase_labels()
         }
 
     def summary(self) -> str:
-        lines = [f"{'phase':<12} {'max(s)':>12} {'mean(s)':>12} {'maxmsgs':>8} {'maxbytes':>12}"]
+        lines = [
+            f"{'phase':<12} {'max(s)':>12} {'mean(s)':>12} {'maxmsgs':>8} "
+            f"{'maxbytes':>12} {'retries':>8} {'redeliv':>8}"
+        ]
         for lab in self.phase_labels():
             lines.append(
                 f"{lab:<12} {self.max_time(lab):>12.6f} {self.mean_time(lab):>12.6f} "
-                f"{self.max_messages(lab):>8d} {self.max_bytes(lab):>12d}"
+                f"{self.max_messages(lab):>8d} {self.max_bytes(lab):>12d} "
+                f"{self.total_retries(lab):>8d} {self.total_redelivered(lab):>8d}"
             )
         return "\n".join(lines)
 

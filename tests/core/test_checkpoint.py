@@ -1,0 +1,273 @@
+"""Checkpoint/restart for the simulation driver.
+
+The strongest invariant available is locked throughout: checkpointing is
+invisible (a checkpointed run equals an uncheckpointed one bitwise, clocks
+included), and resuming from any mid-run checkpoint replays to the
+uninterrupted run's final state **bitwise** — across decompositions,
+workloads, integrators and fault schedules.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.allpairs import allpairs_config
+from repro.core.checkpoint import CheckpointPolicy, simulation_fingerprint
+from repro.core.cutoff import cutoff_config
+from repro.core.decomposition import team_blocks_even, team_blocks_spatial
+from repro.core.driver import SimulationConfig, run_simulation
+from repro.machines import GenericMachine
+from repro.physics.forces import ForceLaw
+from repro.physics.io import CheckpointError, load_checkpoint
+from repro.physics.particles import ParticleSet
+from repro.physics.workloads import gaussian_clusters
+from repro.simmpi.faults import FaultSchedule, KillRank
+
+_P, _C = 8, 2
+
+
+def make_sim(algorithm="cutoff", integrator="euler", workload="uniform",
+             nsteps=4, n=48):
+    if workload == "uniform":
+        ps = ParticleSet.uniform_random(n, 2, 1.0, max_speed=0.05, seed=99)
+    else:
+        ps = gaussian_clusters(n, 2, 1.0, nclusters=3, spread=0.08,
+                               max_speed=0.05, seed=99)
+    if algorithm == "cutoff":
+        cfg = cutoff_config(_P, _C, rcut=0.4, box_length=1.0, dim=2)
+        blocks = team_blocks_spatial(ps, cfg.geometry)
+    else:
+        cfg = allpairs_config(_P, _C)
+        blocks = team_blocks_even(ps, cfg.grid.nteams)
+    scfg = SimulationConfig(cfg=cfg, law=ForceLaw(k=1e-5, softening=5e-3),
+                            dt=5e-4, nsteps=nsteps, box_length=1.0,
+                            integrator=integrator)
+    return GenericMachine(nranks=_P), scfg, blocks
+
+
+def assert_same_state(got, ref):
+    assert np.array_equal(got.particles.pos, ref.particles.pos)
+    assert np.array_equal(got.particles.vel, ref.particles.vel)
+    assert np.array_equal(got.particles.ids, ref.particles.ids)
+    assert np.array_equal(got.forces, ref.forces)
+
+
+class TestPolicy:
+    def test_every_cadence(self, tmp_path):
+        pol = CheckpointPolicy(directory=tmp_path, every=2)
+        assert [s for s in range(7) if pol.due(s)] == [2, 4, 6]
+
+    def test_disabled_by_default(self, tmp_path):
+        pol = CheckpointPolicy(directory=tmp_path)
+        assert not any(pol.due(s) for s in range(10))
+
+    def test_at_steps(self, tmp_path):
+        pol = CheckpointPolicy(directory=tmp_path, at_steps=(3, 5))
+        assert [s for s in range(7) if pol.due(s)] == [3, 5]
+
+    def test_trigger_predicate(self, tmp_path):
+        pol = CheckpointPolicy(directory=tmp_path,
+                               trigger=lambda s: s in (1, 4))
+        assert [s for s in range(7) if pol.due(s)] == [1, 4]
+
+    def test_request_fires_any_step(self, tmp_path):
+        pol = CheckpointPolicy(directory=tmp_path)
+        assert not pol.due(3)
+        pol.request()
+        assert pol.due(3) and pol.due(4)  # one-shot until a write clears it
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(directory=tmp_path, every=-1)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(directory=tmp_path, keep=-1)
+
+    def test_path_for_is_step_stamped(self, tmp_path):
+        pol = CheckpointPolicy(directory=tmp_path)
+        assert pol.path_for(7).endswith("checkpoint-step000007.npz")
+
+
+class TestFingerprint:
+    def test_stable_and_horizon_independent(self):
+        _, a, _ = make_sim(nsteps=4)
+        _, b, _ = make_sim(nsteps=9)  # nsteps must not participate
+        assert simulation_fingerprint(a) == simulation_fingerprint(b)
+
+    @pytest.mark.parametrize("change", ["dt", "law", "integrator"])
+    def test_physics_changes_the_fingerprint(self, change):
+        _, base, _ = make_sim()
+        _, other, _ = make_sim(integrator="verlet" if change == "integrator"
+                               else "euler")
+        if change == "dt":
+            other = SimulationConfig(cfg=base.cfg, law=base.law, dt=1e-3,
+                                     nsteps=base.nsteps, box_length=1.0)
+        elif change == "law":
+            other = SimulationConfig(cfg=base.cfg, law=ForceLaw(k=2e-5),
+                                     dt=base.dt, nsteps=base.nsteps,
+                                     box_length=1.0)
+        assert simulation_fingerprint(base) != simulation_fingerprint(other)
+
+    def test_grid_changes_the_fingerprint(self):
+        law = ForceLaw(k=1e-5, softening=5e-3)
+        a = SimulationConfig(cfg=allpairs_config(8, 2), law=law, dt=5e-4,
+                             nsteps=2, box_length=1.0)
+        b = SimulationConfig(cfg=allpairs_config(8, 4), law=law, dt=5e-4,
+                             nsteps=2, box_length=1.0)
+        assert simulation_fingerprint(a) != simulation_fingerprint(b)
+
+
+class TestDriverCheckpointing:
+    def test_files_written_on_cadence(self, tmp_path):
+        machine, scfg, blocks = make_sim(nsteps=4)
+        res = run_simulation(machine, scfg, blocks,
+                             checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                         every=1))
+        assert [s for s, _ in res.checkpoints] == [1, 2, 3, 4]
+        for step, path in res.checkpoints:
+            ck = load_checkpoint(path,
+                                 expect_fingerprint=simulation_fingerprint(scfg))
+            assert ck.step == step
+            assert len(ck.blocks) == scfg.cfg.grid.nteams
+
+    def test_checkpointing_is_invisible(self, tmp_path):
+        machine, scfg, blocks = make_sim()
+        plain = run_simulation(machine, scfg, blocks)
+        ck = run_simulation(machine, scfg, blocks,
+                            checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                        every=1))
+        assert_same_state(ck, plain)
+        assert ck.run.clocks == plain.run.clocks  # zero virtual-time I/O
+
+    def test_keep_prunes_old_files(self, tmp_path):
+        machine, scfg, blocks = make_sim(nsteps=4)
+        res = run_simulation(machine, scfg, blocks,
+                             checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                         every=1, keep=2))
+        assert [s for s, _ in res.checkpoints] == [3, 4]
+        assert sorted(os.path.basename(p) for p in tmp_path.iterdir()) == [
+            "checkpoint-step000003.npz", "checkpoint-step000004.npz"]
+
+    def test_request_writes_once_then_clears(self, tmp_path):
+        machine, scfg, blocks = make_sim(nsteps=3)
+        pol = CheckpointPolicy(directory=tmp_path)
+        pol.request()
+        res = run_simulation(machine, scfg, blocks, checkpoint=pol)
+        assert [s for s, _ in res.checkpoints] == [1]
+        assert not pol._requested
+
+
+class TestResumeBitwise:
+    @pytest.mark.parametrize("workload", ["uniform", "clustered"])
+    @pytest.mark.parametrize("integrator", ["euler", "verlet"])
+    @pytest.mark.parametrize("algorithm", ["allpairs", "cutoff"])
+    def test_resume_matches_uninterrupted_run(self, tmp_path, algorithm,
+                                              integrator, workload):
+        machine, scfg, blocks = make_sim(algorithm, integrator, workload)
+        ref = run_simulation(machine, scfg, blocks)
+        ck = run_simulation(machine, scfg, blocks,
+                            checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                        every=1))
+        assert_same_state(ck, ref)
+        # Resume from every mid-run checkpoint; each must land bitwise.
+        for step, path in ck.checkpoints:
+            if step >= scfg.nsteps:
+                continue
+            resumed = run_simulation(machine, scfg, resume_from=path)
+            assert_same_state(resumed, ref)
+
+    def test_resume_can_extend_the_horizon(self, tmp_path):
+        machine, scfg, blocks = make_sim(nsteps=2)
+        ck = run_simulation(machine, scfg, blocks,
+                            checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                        every=1))
+        _, scfg6, _ = make_sim(nsteps=6)
+        ref = run_simulation(machine, scfg6, blocks)
+        resumed = run_simulation(machine, scfg6,
+                                 resume_from=ck.checkpoints[-1][1])
+        assert_same_state(resumed, ref)
+
+
+@pytest.mark.faults
+class TestResumeUnderFaults:
+    def test_acceptance_criterion_lock(self, tmp_path):
+        """The PR's headline guarantee: a multi-step cutoff simulation with a
+        mid-run rank kill AND a mid-run checkpoint+resume stays bitwise
+        identical to the fault-free uninterrupted run."""
+        machine, scfg, blocks = make_sim("cutoff", nsteps=5)
+        ref = run_simulation(machine, scfg, blocks)
+        sched = FaultSchedule(events=(KillRank(6, after_ops=40),))
+        chaos = run_simulation(machine, scfg, blocks, faults=sched,
+                               checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                           every=2))
+        assert list(chaos.run.deaths) == [6]
+        assert_same_state(chaos, ref)
+        midrun = [(s, p) for s, p in chaos.checkpoints if 0 < s < scfg.nsteps]
+        assert midrun, "the kill must not suppress mid-run checkpoints"
+        for step, path in midrun:
+            resumed = run_simulation(machine, scfg, resume_from=path)
+            assert_same_state(resumed, ref)
+
+    def test_resume_under_the_same_schedule(self, tmp_path):
+        """Resuming *with faults re-armed* also recovers to the reference:
+        op counters restart at the resume point, so the kill re-fires and
+        is absorbed again."""
+        machine, scfg, blocks = make_sim("cutoff", nsteps=5)
+        ref = run_simulation(machine, scfg, blocks)
+        sched = FaultSchedule(events=(KillRank(6, after_ops=40),))
+        chaos = run_simulation(machine, scfg, blocks, faults=sched,
+                               checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                           every=2))
+        step, path = chaos.checkpoints[0]
+        resumed = run_simulation(machine, scfg, resume_from=path,
+                                 faults=sched)
+        assert list(resumed.run.deaths) == [6]
+        assert_same_state(resumed, ref)
+
+    def test_allpairs_kill_with_checkpoints(self, tmp_path):
+        machine, scfg, blocks = make_sim("allpairs", nsteps=4)
+        ref = run_simulation(machine, scfg, blocks)
+        sched = FaultSchedule(events=(KillRank(5, after_ops=20),))
+        chaos = run_simulation(machine, scfg, blocks, faults=sched,
+                               checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                           every=1))
+        assert_same_state(chaos, ref)
+        resumed = run_simulation(machine, scfg,
+                                 resume_from=chaos.checkpoints[1][1])
+        assert_same_state(resumed, ref)
+
+
+class TestResumeErrors:
+    def _checkpointed(self, tmp_path, **kw):
+        machine, scfg, blocks = make_sim(**kw)
+        res = run_simulation(machine, scfg, blocks,
+                             checkpoint=CheckpointPolicy(directory=tmp_path,
+                                                         every=1))
+        return machine, scfg, blocks, res
+
+    def test_resume_past_the_horizon_rejected(self, tmp_path):
+        machine, scfg, _, res = self._checkpointed(tmp_path, nsteps=3)
+        final = res.checkpoints[-1][1]
+        with pytest.raises(ValueError, match="nothing to do"):
+            run_simulation(machine, scfg, resume_from=final)
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        machine, scfg, _, res = self._checkpointed(tmp_path)
+        other = SimulationConfig(cfg=scfg.cfg, law=scfg.law, dt=1e-3,
+                                 nsteps=scfg.nsteps, box_length=1.0)
+        with pytest.raises(CheckpointError, match="refusing to resume"):
+            run_simulation(machine, other, resume_from=res.checkpoints[0][1])
+
+    def test_initial_blocks_required_without_resume(self):
+        machine, scfg, _ = make_sim()
+        with pytest.raises(ValueError, match="initial_blocks"):
+            run_simulation(machine, scfg)
+
+    def test_verlet_cannot_resume_from_euler_checkpoint(self, tmp_path):
+        machine, scfg, _, res = self._checkpointed(tmp_path,
+                                                   integrator="euler")
+        _, vcfg, _ = make_sim(integrator="verlet")
+        # Same physics but a different integrator: the fingerprint guard
+        # fires before the forces check ever could.
+        with pytest.raises(CheckpointError):
+            run_simulation(machine, vcfg, resume_from=res.checkpoints[0][1])

@@ -159,6 +159,95 @@ class TestDriverRecovery:
                            blocks, faults=_kill(5), sample_every=1)
 
 
+class TestInterleavedHoleRebuild:
+    """Regression: at p=16 the tombstone bubble interleaves with live
+    buffers, leaving mid-schedule holes (e.g. holes=[2] of updates
+    [0,1,2,3]).  Appending the missed update would permute the float
+    summation by one ulp; recovery must rebuild such slots in full
+    schedule order instead.  Found by the chaos soak harness
+    (seed=0, trial 2)."""
+
+    def test_early_death_at_p16_is_bitwise_invisible(self, law):
+        ps = ParticleSet.uniform_random(53, 1, 1.0, max_speed=0.05, seed=7)
+        machine = GenericMachine(nranks=16)
+        clean = run_allpairs(machine, ps, 2, law=law)
+        faulty = run_allpairs(machine, ps, 2, law=law,
+                              faults=_kill(10, after_ops=2))
+        assert list(faulty.run.deaths) == [10]
+        assert np.array_equal(faulty.forces, clean.forces), \
+            "interleaved-hole replay permuted a float summation"
+
+    @pytest.mark.parametrize("victim,after_ops", [(8, 2), (12, 6), (15, 2)])
+    def test_other_early_victims(self, law, victim, after_ops):
+        ps = ParticleSet.uniform_random(53, 1, 1.0, max_speed=0.05, seed=7)
+        machine = GenericMachine(nranks=16)
+        clean = run_allpairs(machine, ps, 2, law=law)
+        faulty = run_allpairs(machine, ps, 2, law=law,
+                              faults=_kill(victim, after_ops=after_ops))
+        assert list(faulty.run.deaths) == [victim]
+        assert np.array_equal(faulty.forces, clean.forces)
+
+
+class TestCutoffDriverRecovery:
+    """Multi-step spatial-cutoff runs with kills: the c-fold replication
+    absorbs the death and the trajectory must not move a bit."""
+
+    def _sim(self, law, nsteps=3):
+        from repro.core import cutoff_config, team_blocks_spatial
+
+        ps = ParticleSet.uniform_random(64, 2, 1.0, max_speed=0.05, seed=9)
+        cfg = cutoff_config(_P, _C, rcut=0.4, box_length=1.0, dim=2)
+        blocks = team_blocks_spatial(ps, cfg.geometry)
+        scfg = SimulationConfig(cfg=cfg, law=law, dt=5e-4, nsteps=nsteps,
+                                box_length=1.0)
+        return GenericMachine(nranks=_P), scfg, blocks
+
+    @pytest.mark.parametrize("role,victim", [("leader", 2),
+                                             ("first-leader", 0),
+                                             ("replica", 5),
+                                             ("last-replica", 7)])
+    def test_single_death_is_bitwise_invisible(self, law, role, victim):
+        machine, scfg, blocks = self._sim(law)
+        clean = run_simulation(machine, scfg, blocks)
+        faulty = run_simulation(machine, scfg, blocks,
+                                faults=_kill(victim, after_ops=40))
+        assert list(faulty.run.deaths) == [victim], \
+            f"{role} kill schedule did not fire"
+        assert np.array_equal(faulty.particles.pos, clean.particles.pos)
+        assert np.array_equal(faulty.particles.vel, clean.particles.vel)
+        assert np.array_equal(faulty.forces, clean.forces), \
+            f"cutoff recovery after killing the {role} (rank {victim}) " \
+            "moved a bit"
+
+    def test_multi_team_deaths_recovered(self, law):
+        machine, scfg, blocks = self._sim(law)
+        clean = run_simulation(machine, scfg, blocks)
+        sched = FaultSchedule(events=(KillRank(4, after_ops=40),
+                                      KillRank(6, after_ops=35)))
+        faulty = run_simulation(machine, scfg, blocks, faults=sched)
+        assert sorted(faulty.run.deaths) == [4, 6]
+        assert np.array_equal(faulty.forces, clean.forces)
+
+    def test_whole_team_kill_rejected_upfront(self, law):
+        # Ranks 1 and 5 are rows 0 and 1 of the same team: killing both
+        # leaves no survivor, and the grid-aware precheck refuses the
+        # schedule before any rank runs.
+        machine, scfg, blocks = self._sim(law)
+        sched = FaultSchedule(events=(KillRank(1, after_ops=10),
+                                      KillRank(5, after_ops=20)))
+        with pytest.raises(ValueError, match="every member of team"):
+            run_simulation(machine, scfg, blocks, faults=sched)
+
+    def test_partial_team_overlap_allowed(self, law):
+        # Two kills in *different* teams pass the same precheck.
+        from repro.core.ca_step import check_fault_replication
+
+        machine, scfg, _ = self._sim(law)
+        sched = FaultSchedule(events=(KillRank(1, after_ops=10),
+                                      KillRank(6, after_ops=20)))
+        check_fault_replication(sched, _C, grid=scfg.cfg.grid)
+
+
 class TestDeadlockReporting:
     def test_blocked_names_every_hung_rank(self):
         from repro.simmpi import Engine

@@ -44,7 +44,7 @@ def test_full_functional_sweep(machine, particles):
         assert e.phase_table
         for cell in e.phase_table.values():
             assert set(cell) == {"max_s", "mean_s", "max_messages",
-                                 "max_bytes"}
+                                 "max_bytes", "retries", "redelivered"}
 
 
 def test_skips_record_reasons(particles):

@@ -1,0 +1,48 @@
+"""The chaos soak harness itself: short campaigns must come back clean."""
+
+import pytest
+
+from repro.experiments.soak import run_soak
+
+pytestmark = [pytest.mark.slow, pytest.mark.faults]
+
+
+class TestSoakCampaign:
+    def test_short_campaign_passes(self):
+        report = run_soak(trials=3, seed=0)
+        assert report.ok, report.summary()
+        assert len(report.trials) == 3
+        assert all(t.outcome in ("ok", "declared") for t in report.trials)
+        assert not report.artifacts
+
+    def test_no_kill_campaign_has_no_deaths(self):
+        report = run_soak(trials=2, seed=1, with_kills=False)
+        assert report.ok, report.summary()
+        assert all(t.deaths == 0 for t in report.trials)
+
+    def test_summary_names_every_trial(self):
+        report = run_soak(trials=2, seed=0)
+        text = report.summary()
+        assert "trial   0" in text and "trial   1" in text
+        assert "soak seed=0: 2 trials" in text
+
+
+class TestSoakDeterminism:
+    def test_campaign_is_pure_in_seed(self):
+        a = run_soak(trials=2, seed=4)
+        b = run_soak(trials=2, seed=4)
+        assert a.summary() == b.summary()
+
+    def test_trial_is_pure_in_seed_and_index(self):
+        """``first_trial`` replays exactly the trial a longer campaign ran —
+        the property every REPLAY hint in a failure report relies on."""
+        full = run_soak(trials=3, seed=5)
+        replay = run_soak(trials=1, seed=5, first_trial=2)
+        assert replay.trials[0].describe() == full.trials[2].describe()
+
+
+class TestSoakBudget:
+    def test_time_budget_skips_remaining_trials(self):
+        report = run_soak(trials=3, seed=2, time_budget=0.0)
+        assert all(t.outcome == "skipped" for t in report.trials)
+        assert report.ok  # skipped is not failed

@@ -1,0 +1,182 @@
+"""Snapshot and checkpoint I/O: fidelity, integrity checks, atomicity."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.physics.io import (
+    Checkpoint,
+    CheckpointError,
+    SnapshotError,
+    load_checkpoint,
+    load_particles,
+    save_checkpoint,
+    save_particles,
+)
+from repro.physics.particles import ParticleSet
+
+
+def particles(n=24, dim=2, seed=3):
+    return ParticleSet.uniform_random(n, dim, 1.0, max_speed=0.1, seed=seed)
+
+
+class TestSnapshotRoundtrip:
+    def test_exact_roundtrip_with_dtypes(self, tmp_path):
+        ps = particles()
+        path = save_particles(tmp_path / "snap.npz", ps)
+        back = load_particles(path)
+        assert np.array_equal(back.pos, ps.pos)
+        assert np.array_equal(back.vel, ps.vel)
+        assert np.array_equal(back.ids, ps.ids)
+        assert back.pos.dtype == np.float64
+        assert back.vel.dtype == np.float64
+        assert back.ids.dtype == np.int64
+
+    def test_npz_suffix_appended(self, tmp_path):
+        path = save_particles(tmp_path / "snap", particles())
+        assert path.endswith(".npz") and os.path.exists(path)
+
+    def test_returned_path_is_the_file_on_disk(self, tmp_path):
+        target = tmp_path / "state.npz"
+        assert save_particles(target, particles()) == str(target)
+
+    def test_version1_files_still_load(self, tmp_path):
+        ps = particles()
+        path = tmp_path / "v1.npz"
+        np.savez(path, pos=ps.pos, vel=ps.vel, ids=ps.ids,
+                 format_version=np.int64(1))
+        back = load_particles(path)
+        assert np.array_equal(back.pos, ps.pos)
+
+
+class TestSnapshotRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="does not exist"):
+            load_particles(tmp_path / "nope.npz")
+
+    def test_truncated_file(self, tmp_path):
+        path = save_particles(tmp_path / "snap.npz", particles())
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotError):
+            load_particles(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz container at all")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            load_particles(path)
+
+    def test_checksum_mismatch(self, tmp_path):
+        ps = particles()
+        # Craft a v2 snapshot whose stored CRC disagrees with the array.
+        checksums = {"pos": 1, "vel": 2, "ids": 3}
+        path = tmp_path / "bad.npz"
+        np.savez(path, pos=ps.pos, vel=ps.vel, ids=ps.ids,
+                 format_version=np.int64(2),
+                 checksums=np.array(json.dumps(checksums)))
+        with pytest.raises(SnapshotError, match="checksum mismatch"):
+            load_particles(path)
+
+    def test_missing_array(self, tmp_path):
+        ps = particles()
+        path = tmp_path / "partial.npz"
+        np.savez(path, pos=ps.pos, ids=ps.ids, format_version=np.int64(1))
+        with pytest.raises(SnapshotError, match="vel"):
+            load_particles(path)
+
+    def test_wrong_dtype_refused(self, tmp_path):
+        ps = particles()
+        path = tmp_path / "cast.npz"
+        np.savez(path, pos=ps.pos.astype(np.float32), vel=ps.vel, ids=ps.ids,
+                 format_version=np.int64(1))
+        with pytest.raises(SnapshotError, match="refusing to cast"):
+            load_particles(path)
+
+    def test_unsupported_version(self, tmp_path):
+        ps = particles()
+        path = tmp_path / "future.npz"
+        np.savez(path, pos=ps.pos, vel=ps.vel, ids=ps.ids,
+                 format_version=np.int64(99))
+        with pytest.raises(SnapshotError, match="unsupported snapshot version"):
+            load_particles(path)
+
+
+class TestAtomicity:
+    def test_no_temporary_left_behind(self, tmp_path):
+        save_particles(tmp_path / "snap.npz", particles())
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_write_preserves_previous_file(self, tmp_path, monkeypatch):
+        ps_old = particles(seed=1)
+        path = save_particles(tmp_path / "snap.npz", ps_old)
+
+        def boom(fh, **arrays):
+            fh.write(b"half-written garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            save_particles(path, particles(seed=2))
+        monkeypatch.undo()
+        back = load_particles(path)  # the old file is intact
+        assert np.array_equal(back.pos, ps_old.pos)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCheckpointRoundtrip:
+    def _ckpt(self, with_forces=True):
+        blocks = [particles(n=8, seed=s) for s in (1, 2, 3)]
+        forces = ([np.full((8, 2), float(s)) for s in (1, 2, 3)]
+                  if with_forces else None)
+        return Checkpoint(step=4, time=4e-3, fingerprint="fp;v1",
+                          blocks=blocks, forces=forces,
+                          rng_state={"kind": "none"})
+
+    def test_roundtrip_with_forces(self, tmp_path):
+        ckpt = self._ckpt()
+        path = save_checkpoint(tmp_path / "ck.npz", ckpt)
+        back = load_checkpoint(path)
+        assert back.step == 4 and back.time == 4e-3
+        assert back.fingerprint == "fp;v1"
+        assert back.rng_state == {"kind": "none"}
+        assert len(back.blocks) == 3 and len(back.forces) == 3
+        for a, b in zip(back.blocks, ckpt.blocks):
+            assert np.array_equal(a.pos, b.pos)
+            assert np.array_equal(a.vel, b.vel)
+            assert np.array_equal(a.ids, b.ids)
+        for a, b in zip(back.forces, ckpt.forces):
+            assert np.array_equal(a, b)
+
+    def test_roundtrip_without_forces(self, tmp_path):
+        path = save_checkpoint(tmp_path / "ck.npz", self._ckpt(False))
+        assert load_checkpoint(path).forces is None
+
+    def test_fingerprint_guard(self, tmp_path):
+        path = save_checkpoint(tmp_path / "ck.npz", self._ckpt())
+        assert load_checkpoint(path, expect_fingerprint="fp;v1").step == 4
+        with pytest.raises(CheckpointError, match="different .*configuration"):
+            load_checkpoint(path, expect_fingerprint="fp;v2")
+
+    def test_mismatched_forces_count_refused(self, tmp_path):
+        ckpt = self._ckpt()
+        ckpt.forces = ckpt.forces[:2]
+        with pytest.raises(CheckpointError, match="force arrays"):
+            save_checkpoint(tmp_path / "ck.npz", ckpt)
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        path = save_checkpoint(tmp_path / "ck.npz", self._ckpt())
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_checkpoint_error_is_snapshot_error(self):
+        assert issubclass(CheckpointError, SnapshotError)

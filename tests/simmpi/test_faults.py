@@ -67,6 +67,30 @@ class TestPurity:
         b = sched.channel_rng(0, 1, 0).random(4)
         assert np.array_equal(a, b)
 
+    def test_p2p_fault_independent_of_interleaving(self):
+        """Fault decisions depend only on (src, dst, seq), never on the
+        order the engine happens to evaluate channels in."""
+        sched = FaultSchedule(seed=13, drop_prob=0.3, delay_prob=0.3,
+                              corrupt_prob=0.3)
+        channels = [(s, d, q) for s in range(3) for d in range(3)
+                    for q in range(4) if s != d]
+        forward = [sched.p2p_fault(*ch) for ch in channels]
+        backward = [sched.p2p_fault(*ch) for ch in reversed(channels)]
+        assert forward == list(reversed(backward))
+
+    def test_distinct_channels_get_distinct_streams(self):
+        sched = FaultSchedule(seed=3)
+        draws = {(s, d, q): tuple(sched.channel_rng(s, d, q).random(2))
+                 for s in (0, 1) for d in (2, 3) for q in (0, 1)}
+        assert len(set(draws.values())) == len(draws)
+
+    def test_killed_ranks_property(self):
+        sched = FaultSchedule(events=(KillRank(5, after_ops=1),
+                                      KillRank(2, at_time=1.0),
+                                      DropTransfer(0, 1)))
+        assert sched.killed_ranks == (2, 5)
+        assert FaultSchedule().killed_ranks == ()
+
     def test_should_die_threshold(self):
         sched = FaultSchedule(events=(KillRank(2, after_ops=5),))
         assert not sched.should_die(2, 4, 0.0)
@@ -166,6 +190,99 @@ class TestCorruption:
         a = run(GenericMachine(nranks=2), program, faults=sched)
         b = run(GenericMachine(nranks=2), program, faults=sched)
         assert np.array_equal(a.results[1], b.results[1])
+
+
+class TestTransportHardening:
+    """Checksummed payloads and retransmit backoff (the hardened channel)."""
+
+    @staticmethod
+    def send_program(payload):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, payload)
+                return None
+            return (yield from comm.recv(0))
+
+        return program
+
+    def test_checksum_redelivers_clean_payload(self):
+        payload = np.zeros(16)
+        sched = FaultSchedule(events=(CorruptTransfer(0, 1),), checksum=True)
+        res = run(GenericMachine(nranks=2), self.send_program(payload),
+                  faults=sched)
+        assert np.array_equal(res.results[1], payload)
+        assert res.report.total_retries() == 1
+        assert res.report.total_redelivered() == 1
+        tr = res.report.traces[0]
+        assert tr.phases[RETRY_PHASE].messages_sent == 1
+
+    def test_checksum_off_keeps_silent_corruption(self):
+        payload = np.zeros(16)
+        sched = FaultSchedule(events=(CorruptTransfer(0, 1),), checksum=False)
+        res = run(GenericMachine(nranks=2), self.send_program(payload),
+                  faults=sched)
+        assert not np.array_equal(res.results[1], payload)
+        assert res.report.total_redelivered() == 0
+
+    def test_checksum_does_not_change_clean_runs(self):
+        machine = GenericMachine(nranks=4)
+        base = run(machine, ring_program)
+        checked = run(machine, ring_program,
+                      faults=FaultSchedule(checksum=True))
+        assert checked.clocks == base.clocks
+        assert checked.report.total_retries() == 0
+
+    def test_checksummed_corruption_costs_a_retry_roundtrip(self):
+        # Array payload: scalar payloads carry no recognized bytes, so
+        # corruption (and hence the checksum) never touches them.
+        program = self.send_program(np.arange(64.0))
+        machine = GenericMachine(nranks=2)
+        base = run(machine, program)
+        redelivered = run(machine, program,
+                          faults=FaultSchedule(
+                              events=(CorruptTransfer(0, 1),), checksum=True))
+        assert redelivered.elapsed > base.elapsed
+
+    def test_checksum_exhausts_retry_budget(self):
+        sched = FaultSchedule(events=(CorruptTransfer(0, 1),), checksum=True,
+                              max_retries=0)
+        with pytest.raises(TransferTimeoutError):
+            run(GenericMachine(nranks=2),
+                self.send_program(np.zeros(4)), faults=sched)
+
+    def test_backoff_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(retry_backoff=0.5)
+
+    def test_backoff_one_is_the_legacy_cost_bitwise(self):
+        machine = GenericMachine(nranks=4)
+        sched = FaultSchedule(events=(DropTransfer(0, 1, times=2),))
+        explicit = FaultSchedule(events=(DropTransfer(0, 1, times=2),),
+                                 retry_backoff=1.0)
+        assert (run(machine, ring_program, faults=sched).clocks
+                == run(machine, ring_program, faults=explicit).clocks)
+
+    def test_backoff_slows_repeated_retries(self):
+        machine = GenericMachine(nranks=4)
+        events = (DropTransfer(0, 1, times=3),)
+        flat = run(machine, ring_program,
+                   faults=FaultSchedule(events=events, max_retries=5))
+        slowed = run(machine, ring_program,
+                     faults=FaultSchedule(events=events, max_retries=5,
+                                          retry_backoff=2.0))
+        assert slowed.elapsed > flat.elapsed
+
+    def test_retries_surface_in_the_summary(self):
+        res = run(GenericMachine(nranks=2),
+                  self.send_program(np.arange(8.0)),
+                  faults=FaultSchedule(events=(CorruptTransfer(0, 1),),
+                                       checksum=True))
+        assert "retries" in res.report.summary()
+        table = res.report.phase_table()
+        assert all("retries" in e and "redelivered" in e
+                   for e in table.values())
+        assert table[RETRY_PHASE]["retries"] == 1
+        assert table[RETRY_PHASE]["redelivered"] == 1
 
 
 class TestKills:

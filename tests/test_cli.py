@@ -4,13 +4,47 @@ import io
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, parse_faults
 
 
 def run_cli(*argv):
     buf = io.StringIO()
     code = main(list(argv), out=buf)
     return code, buf.getvalue()
+
+
+class TestParseFaults:
+    def test_events_and_seed(self):
+        sched = parse_faults("kill:3#5,drop:0>1:2,corrupt:2>3,seed:7")
+        assert sched.seed == 7
+        kinds = [type(e).__name__ for e in sched.events]
+        assert kinds == ["KillRank", "DropTransfer", "CorruptTransfer"]
+
+    def test_random_model_tokens(self):
+        sched = parse_faults("drop_prob:0.02,delay_prob:0.05,"
+                             "corrupt_prob:0.01,seed:3")
+        assert sched.drop_prob == 0.02
+        assert sched.delay_prob == 0.05
+        assert sched.corrupt_prob == 0.01
+
+    def test_hardening_tokens(self):
+        sched = parse_faults("checksum:on,backoff:2,retries:5")
+        assert sched.checksum is True
+        assert sched.retry_backoff == 2.0
+        assert sched.max_retries == 5
+        assert parse_faults("checksum:off").checksum is False
+
+    def test_bad_flag_rejected(self):
+        with pytest.raises(ValueError, match="on/off"):
+            parse_faults("checksum:maybe")
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError):
+            parse_faults("explode:9")
+
+    def test_malformed_channel_rejected(self):
+        with pytest.raises(ValueError, match="SRC>DST"):
+            parse_faults("drop:01")
 
 
 class TestParser:
@@ -138,3 +172,27 @@ class TestSimulate:
                             "--integrator", "verlet")
         assert code == 0
         assert "simulated machine time" in out
+
+    def test_checkpoint_and_resume_roundtrip(self, tmp_path):
+        base = ("simulate", "--ranks", "8", "-c", "2", "--particles", "32",
+                "--steps", "3")
+        code, out = run_cli(*base, "--checkpoint-dir", str(tmp_path))
+        assert code == 0
+        assert "checkpoint after step 1" in out
+        ckpt = sorted(tmp_path.glob("checkpoint-*.npz"))[0]
+        code, out = run_cli(*base, "--resume-from", str(ckpt))
+        assert code == 0
+        assert f"resumed from {ckpt}" in out
+
+
+class TestSoak:
+    def test_smoke_campaign(self):
+        code, out = run_cli("soak", "--trials", "1", "--seed", "0")
+        assert code == 0
+        assert "soak seed=0: 1 trials" in out
+
+    def test_no_kills_flag(self):
+        code, out = run_cli("soak", "--trials", "1", "--seed", "1",
+                            "--no-kills")
+        assert code == 0
+        assert "deaths=0" in out

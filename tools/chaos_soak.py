@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Chaos soak runner: randomized faults + checkpoint/restart campaigns.
+
+A thin command-line wrapper over :func:`repro.experiments.soak.run_soak`
+(also reachable as ``python -m repro soak``): every trial runs a randomized
+multi-step simulation three ways — fault-free, under a randomized fault
+schedule with mid-run checkpoints, and resumed from one of those
+checkpoints — and demands the final positions, velocities and forces agree
+**bitwise** with the fault-free reference.  Documented-unrecoverable
+outcomes (deaths outside the recoverable window, exhausted retransmit
+budgets) count as declared losses, not failures.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_soak.py --trials 20 --seed 1
+    PYTHONPATH=src python tools/chaos_soak.py --trials 200 \
+        --time-budget 300 --out-dir soak-artifacts
+
+Every trial is a pure function of ``(seed, trial index)``; a failing trial
+prints the exact ``--seed``/``--first-trial`` pair that replays it alone.
+Failure artifacts (trial config + recorded engine timeline as JSON) land in
+``--out-dir``.  Exit status is non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--first-trial", type=int, default=0, metavar="I",
+                        help="start at trial index I (replay a failure)")
+    parser.add_argument("--no-kills", action="store_true",
+                        help="transient faults only (no rank kills)")
+    parser.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="where failure artifacts go (default: temp dir)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS", help="stop early after this much "
+                        "wall time; remaining trials are marked skipped")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.soak import run_soak
+
+    report = run_soak(
+        trials=args.trials,
+        seed=args.seed,
+        first_trial=args.first_trial,
+        with_kills=not args.no_kills,
+        out_dir=args.out_dir,
+        time_budget=args.time_budget,
+    )
+    print(report.summary())
+    if not report.ok:
+        print(f"SOAK FAILED: rerun with --seed {args.seed} "
+              f"--first-trial {report.failures[0].index} --trials 1",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
