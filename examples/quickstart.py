@@ -1,16 +1,16 @@
 """Quickstart: compute all-pairs forces with the CA algorithm.
 
 Runs the communication-avoiding all-pairs N-body step (Algorithm 1 of the
-paper) on a simulated 16-core machine, verifies the forces against the
-serial reference, and prints the per-phase time/traffic breakdown the
-algorithm's analysis is about.
+paper) through the algorithm-registry pipeline on a simulated 16-core
+machine, verifies the forces against the serial reference, and prints the
+per-phase time/traffic breakdown the algorithm's analysis is about.
 
     python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import run_allpairs
+from repro.core import RunSpec, run
 from repro.machines import GenericTorus
 from repro.physics import ForceLaw, ParticleSet, reference_forces
 
@@ -25,8 +25,12 @@ def main() -> None:
     machine = GenericTorus(nranks=16, cores_per_node=4)
     print(machine.describe())
 
+    # "allpairs" is one of the registered algorithms; swap the name for
+    # any other (python -m repro algorithms lists them) — the spec and
+    # the pipeline stay the same.
     for c in (1, 2, 4):
-        out = run_allpairs(machine, particles, c, law=law)
+        out = run(RunSpec(machine=machine, algorithm="allpairs",
+                          particles=particles, c=c, law=law))
         err = np.abs(out.forces - reference_forces(law, particles)).max()
         comm = sum(
             out.report.max_time(ph) for ph in ("bcast", "shift", "reduce")

@@ -24,6 +24,7 @@ class Trajectory:
     frames: list[ParticleSet] = field(default_factory=list)
 
     def append(self, time: float, frame: ParticleSet) -> None:
+        """Record one frame at ``time`` (id-sorted; times must not decrease)."""
         frame = frame.sorted_by_id()
         if self.frames:
             require(

@@ -20,6 +20,10 @@ Commands
 ``compare [--ranks P] [-c C] [--particles N] [--algorithms A,B,...] ...``
     Run registered algorithms on one shared workload/machine and tabulate
     phase times, message/byte counts and force agreement side by side.
+``profile --algo NAME [--p P] [-c C] [--n N] ...``
+    Run one algorithm with full observability: write its metrics registry
+    as JSON and its timeline as a Chrome trace (loadable in Perfetto /
+    ``chrome://tracing``), and print the metrics summary.
 """
 
 from __future__ import annotations
@@ -133,6 +137,7 @@ def parse_faults(spec: str):
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'A Communication-Optimal N-Body "
@@ -224,6 +229,28 @@ def build_parser() -> argparse.ArgumentParser:
              "algorithms with kill recovery — the rest are skipped with "
              "the reason listed",
     )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one algorithm and export metrics JSON + a Chrome trace")
+    p_prof.add_argument("--algo", required=True, metavar="NAME",
+                        help="registry name or canonical alias "
+                             "(e.g. ca_allpairs, allpairs, particle_ring)")
+    p_prof.add_argument("--p", "--ranks", dest="ranks", type=int, default=16,
+                        help="rank count of the simulated machine")
+    p_prof.add_argument("-c", "--c", "--replication", dest="replication",
+                        type=int, default=1)
+    p_prof.add_argument("--n", "--particles", dest="particles", type=int,
+                        default=256)
+    p_prof.add_argument("--machine", default="generic",
+                        choices=["generic", "hopper", "intrepid"])
+    p_prof.add_argument("--rcut", type=float, default=None,
+                        help="cutoff radius (required by cutoff-windowed "
+                             "algorithms)")
+    p_prof.add_argument("--dim", type=int, default=None)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--out-dir", default=".", metavar="DIR",
+                        help="directory for the exported files (default: .)")
 
     p_soak = sub.add_parser(
         "soak",
@@ -440,6 +467,55 @@ def _cmd_compare(args, out) -> int:
     return 0
 
 
+def _cmd_profile(args, out) -> int:
+    import os
+
+    from repro.core.runner import RunSpec, get_algorithm, run
+    from repro.metrics import (MetricsRegistry, resolve_algorithm,
+                               write_chrome_trace)
+
+    name = resolve_algorithm(args.algo)
+    try:
+        alg = get_algorithm(name)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if alg.needs_rcut and args.rcut is None:
+        print(f"algorithm {name!r} needs a cutoff radius: pass --rcut",
+              file=sys.stderr)
+        return 2
+
+    machine = _machine(args.machine, args.ranks)
+    metrics = MetricsRegistry()
+    spec = RunSpec(
+        machine=machine, algorithm=name, n=args.particles,
+        c=args.replication if alg.supports_c else 1,
+        rcut=args.rcut, dim=args.dim, seed=args.seed, metrics=metrics,
+        engine_opts={"record_events": True},
+    )
+    result = run(spec)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    stem = os.path.join(args.out_dir, f"profile_{args.algo}")
+    metrics_path = f"{stem}.metrics.json"
+    with open(metrics_path, "w") as fh:
+        fh.write(metrics.to_json())
+        fh.write("\n")
+    trace_path = write_chrome_trace(
+        f"{stem}.trace.json", result.trace,
+        process_name=f"repro {args.algo} p={args.ranks} "
+                     f"c={spec.c} n={args.particles}",
+    )
+
+    print(f"{args.algo} on {machine.describe()}, n={args.particles}, "
+          f"c={spec.c}", file=out)
+    print(metrics.summary(), file=out)
+    print(f"metrics JSON:  {metrics_path}", file=out)
+    print(f"chrome trace:  {trace_path}  "
+          "(load in https://ui.perfetto.dev or chrome://tracing)", file=out)
+    return 0
+
+
 def _cmd_soak(args, out) -> int:
     from repro.experiments.soak import run_soak
 
@@ -469,6 +545,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "simulate": _cmd_simulate,
         "algorithms": _cmd_algorithms,
         "compare": _cmd_compare,
+        "profile": _cmd_profile,
         "soak": _cmd_soak,
     }[args.command]
     return handler(args, out)

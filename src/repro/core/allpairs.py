@@ -57,7 +57,7 @@ def allpairs_config(p: int, c: int, *, layout: str = "rows") -> CAConfig:
 def _prepare_allpairs(spec: RunSpec) -> Prepared:
     cfg = allpairs_config(spec.machine.nranks, spec.c, layout=spec.layout)
     kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
-                        scratch=spec.scratch)
+                        scratch=spec.scratch, metrics=spec.metrics)
     blocks = team_blocks_even(spec.workload(), cfg.grid.nteams)
 
     def collect(run: RunResult):

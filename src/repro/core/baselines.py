@@ -78,7 +78,7 @@ def _prepare_particle_allgather(spec: RunSpec) -> Prepared:
     p = machine.nranks
     use_tree = spec.use_tree
     kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
-                        scratch=spec.scratch)
+                        scratch=spec.scratch, metrics=spec.metrics)
     blocks = team_blocks_even(spec.workload(), p)
 
     def program(comm):
@@ -110,7 +110,7 @@ def _prepare_particle_ring(spec: RunSpec) -> Prepared:
     machine = spec.machine
     p = machine.nranks
     kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
-                        scratch=spec.scratch)
+                        scratch=spec.scratch, metrics=spec.metrics)
     blocks = team_blocks_even(spec.workload(), p)
 
     def program(comm):
@@ -149,7 +149,7 @@ def _prepare_force_decomposition(spec: RunSpec) -> Prepared:
     p = machine.nranks
     q = int(round(p**0.5))
     kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
-                        scratch=spec.scratch)
+                        scratch=spec.scratch, metrics=spec.metrics)
     blocks = team_blocks_even(spec.workload(), q)
 
     def program(comm):
@@ -208,7 +208,7 @@ def _prepare_spatial(spec: RunSpec) -> Prepared:
     geometry = TeamGeometry(box_length=spec.box_length,
                             team_dims=balanced_dims(p, dim))
     kernel = kernel_for(spec.law, rcut=rcut, pair_counter=spec.pair_counter,
-                        scratch=spec.scratch)
+                        scratch=spec.scratch, metrics=spec.metrics)
     blocks = team_blocks_spatial(particles, geometry)
 
     # Precompute each region's in-cutoff neighbor list (symmetric).

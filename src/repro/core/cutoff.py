@@ -113,6 +113,7 @@ def _prepare_cutoff(spec: RunSpec) -> Prepared:
         spec.law, rcut=spec.rcut,
         box=spec.box_length if spec.periodic else None,
         pair_counter=spec.pair_counter, scratch=spec.scratch,
+        metrics=spec.metrics,
     )
     blocks = team_blocks_spatial(particles, cfg.geometry)
 

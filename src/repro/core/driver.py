@@ -202,6 +202,7 @@ def run_simulation(
     engine_opts: dict | None = None,
     checkpoint: CheckpointPolicy | None = None,
     resume_from: str | None = None,
+    metrics=None,
 ) -> SimulationRun:
     """Run ``scfg.nsteps`` timesteps functionally on ``machine``.
 
@@ -235,6 +236,13 @@ def run_simulation(
     Checkpoint I/O is out-of-band and costs zero virtual time, so a
     checkpointed run's clocks and trajectory are bitwise-identical to an
     uncheckpointed one.
+
+    ``metrics`` threads a :class:`~repro.metrics.registry.MetricsRegistry`
+    through the run: the engine records communication/time/fault metrics
+    (accumulated across all steps), a default-constructed kernel counts
+    ``kernel.pairs``, and checkpoint output is tallied as
+    ``checkpoint.files`` / ``checkpoint.bytes``.  (A caller-supplied
+    ``kernel`` counts pairs only if built with ``metrics=`` itself.)
 
     ``resume_from`` restarts from such a file instead of ``initial_blocks``
     (which may then be omitted): the saved blocks, step counter and — for
@@ -286,7 +294,7 @@ def run_simulation(
         law = scfg.law if cfg.rcut is None else scfg.law.with_rcut(cfg.rcut)
         if scfg.periodic:
             law = law.with_box(scfg.box_length)
-        kernel = RealKernel(law=law)
+        kernel = RealKernel(law=law, metrics=metrics)
     neighbors = _region_neighbors(cfg.geometry) if cfg.rcut is not None else None
 
     def _boundary(block):
@@ -406,7 +414,15 @@ def run_simulation(
             return None
         return block, forces, traj if len(traj) else None, tuple(recov)
 
-    run = Engine(machine, faults=faults, **(engine_opts or {})).run(program)
+    run = Engine(machine, faults=faults, metrics=metrics,
+                 **(engine_opts or {})).run(program)
+
+    if metrics is not None and writer is not None and writer.written:
+        import os
+
+        for _step, path in writer.written:
+            metrics.counter("checkpoint.files").inc()
+            metrics.counter("checkpoint.bytes").inc(os.path.getsize(path))
 
     dead = frozenset(run.deaths)
     leaders = [acting_leader_of(grid, col, dead) for col in range(grid.nteams)]

@@ -68,7 +68,7 @@ def _prepare_midpoint(spec: RunSpec) -> Prepared:
     geometry = TeamGeometry(box_length=spec.box_length,
                             team_dims=balanced_dims(p, dim))
     kernel = kernel_for(spec.law, rcut=rcut, pair_counter=spec.pair_counter,
-                        scratch=spec.scratch)
+                        scratch=spec.scratch, metrics=spec.metrics)
     blocks = team_blocks_spatial(particles, geometry)
 
     # Import neighborhood: regions within rcut/2 (the midpoint can only

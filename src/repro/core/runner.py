@@ -103,6 +103,12 @@ class RunSpec:
     scratch:
         Kernel scratch-pool toggle (``False`` selects the allocating
         reference path; bitwise-identical forces either way).
+    metrics:
+        Optional :class:`~repro.metrics.registry.MetricsRegistry`.  Threaded
+        to both the engine (communication / time / fault metrics, recorded
+        once after the run) and the force kernel (the ``kernel.pairs``
+        interaction counter).  ``None`` (default) records nothing and adds
+        no work.
     seed:
         Seed for the synthesized workload when ``particles`` is omitted.
     """
@@ -126,6 +132,7 @@ class RunSpec:
     scratch: bool = True
     faults: FaultSchedule | None = None
     engine_opts: dict | None = None
+    metrics: Any = None
     seed: int | None = None
 
     def workload(self) -> ParticleSet:
@@ -339,6 +346,7 @@ def run(spec: RunSpec) -> Run:
         spec.machine,
         eager_threshold=spec.eager_threshold,
         faults=spec.faults,
+        metrics=spec.metrics,
         **(spec.engine_opts or {}),
     )
     result = engine.run(prep.program)

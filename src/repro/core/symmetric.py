@@ -168,7 +168,7 @@ def _symmetric_program(cfg: CAConfig, kernel, blocks):
 def _prepare_symmetric(spec: RunSpec) -> Prepared:
     cfg = symmetric_config(spec.machine.nranks, spec.c)
     kernel = kernel_for(spec.law, pair_counter=spec.pair_counter,
-                        scratch=spec.scratch)
+                        scratch=spec.scratch, metrics=spec.metrics)
     blocks = team_blocks_even(spec.workload(), cfg.grid.nteams)
 
     def collect(run: RunResult):

@@ -50,12 +50,14 @@ class TuningResult:
         return self.ranked[0][1]
 
     def time_of(self, c: int) -> float:
+        """Modeled time per step at replication ``c`` (KeyError if unmeasured)."""
         for cc, t in self.ranked:
             if cc == c:
                 return t
         raise KeyError(f"c={c} was not measured")
 
     def summary(self) -> str:
+        """The ranked candidates as an aligned table (best-relative times)."""
         lines = [f"{'c':>6} {'time/step':>14} {'vs best':>8}"]
         best = self.best_time
         for c, t in self.ranked:

@@ -92,6 +92,7 @@ class ShiftSchedule:
 
     @property
     def nteams(self) -> int:
+        """Total team count (product of the team-grid dimensions)."""
         n = 1
         for d in self.team_dims:
             n *= d
@@ -114,6 +115,7 @@ class ShiftSchedule:
 
     @lru_cache(maxsize=None)
     def team_multi(self, team: int) -> tuple[int, ...]:
+        """Multi-index of a linear team id on the team grid (row-major)."""
         out = []
         for d in reversed(self.team_dims):
             team, r = divmod(team, d)
@@ -121,6 +123,7 @@ class ShiftSchedule:
         return tuple(reversed(out))
 
     def team_linear(self, mi: tuple[int, ...]) -> int:
+        """Linear team id of a multi-index, wrapping each coordinate."""
         t = 0
         for x, d in zip(mi, self.team_dims):
             t = t * d + x % d

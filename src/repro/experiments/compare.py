@@ -27,6 +27,8 @@ import numpy as np
 from repro.core.runner import (
     Run, RunSpec, fault_compat, get_algorithm, list_algorithms, run,
 )
+from repro.machines.base import PARTICLE_BYTES
+from repro.metrics.registry import MetricsRegistry
 from repro.physics.forces import ForceLaw
 from repro.physics.particles import ParticleSet
 from repro.physics.reference import reference_forces
@@ -46,12 +48,18 @@ class AlgorithmComparison:
     critical_messages: int
     #: Max over ranks of total bytes sent — the bandwidth cost W.
     critical_bytes: int
+    #: ``critical_bytes`` in 52-byte particle words (the paper's W unit).
+    critical_words: float
+    #: Candidate pairs scanned by the force kernel (the flop proxy).
+    interactions: int
     #: Phase label -> {max_s, mean_s, max_messages, max_bytes}.
     phase_table: dict
     #: Max absolute force deviation from the serial reference.
     max_abs_dev: float
     #: The full pipeline result (report, trace, raw engine output).
     run: Run
+    #: Per-run metrics registry (comm/time/kernel series for this row).
+    metrics: object | None = None
 
 
 @dataclass
@@ -119,7 +127,8 @@ def compare_algorithms(
         if reason is not None:
             skipped[name] = reason
             continue
-        spec = replace(base, algorithm=name, c=c_eff)
+        metrics = MetricsRegistry()
+        spec = replace(base, algorithm=name, c=c_eff, metrics=metrics)
         out = run(spec)
 
         ref_law = (spec.resolved_law() if alg.needs_rcut
@@ -136,9 +145,12 @@ def compare_algorithms(
             elapsed=out.run.elapsed,
             critical_messages=report.critical_messages(),
             critical_bytes=report.critical_bytes(),
+            critical_words=report.critical_bytes() / PARTICLE_BYTES,
+            interactions=int(metrics.value("kernel.pairs")),
             phase_table=report.phase_table(),
             max_abs_dev=dev,
             run=out,
+            metrics=metrics,
         ))
 
     return ComparisonResult(entries=entries, skipped=skipped)
@@ -148,12 +160,13 @@ def render_comparison(result: ComparisonResult) -> str:
     """The comparison as an aligned text table plus per-phase breakdowns."""
     lines = [
         f"{'algorithm':<22} {'elapsed(s)':>12} {'S=maxmsgs':>10} "
-        f"{'W=maxbytes':>12} {'max|dF|':>10}"
+        f"{'W=maxbytes':>12} {'W=words':>9} {'pairs':>9} {'max|dF|':>10}"
     ]
     for e in result.entries:
         lines.append(
             f"{e.algorithm:<22} {e.elapsed:>12.6f} {e.critical_messages:>10d} "
-            f"{e.critical_bytes:>12d} {e.max_abs_dev:>10.2e}"
+            f"{e.critical_bytes:>12d} {e.critical_words:>9.1f} "
+            f"{e.interactions:>9d} {e.max_abs_dev:>10.2e}"
         )
     for name, reason in result.skipped.items():
         lines.append(f"{name:<22} skipped: {reason}")

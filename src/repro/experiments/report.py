@@ -51,6 +51,7 @@ def render_scaling(res: FigureResult) -> str:
 
 
 def render_figure(res: FigureResult) -> str:
+    """Render a figure result as text (phase breakdown or scaling table)."""
     if res.breakdowns:
         return render_breakdown(res)
     return render_scaling(res)

@@ -80,6 +80,7 @@ class SoakTrial:
     deaths: int = 0
 
     def describe(self) -> str:
+        """One log line: trial index, outcome, configuration and detail."""
         base = (f"trial {self.index:3d} [{self.outcome:8s}] "
                 f"{self.algorithm:8s} p={self.p} c={self.c} n={self.n} "
                 f"dim={self.dim} steps={self.nsteps} {self.workload:9s} "
@@ -109,6 +110,7 @@ class SoakReport:
         return not self.failures
 
     def summary(self) -> str:
+        """Per-trial log lines plus the outcome tally and replay commands."""
         counts: dict[str, int] = {}
         for t in self.trials:
             counts[t.outcome] = counts.get(t.outcome, 0) + 1

@@ -161,6 +161,7 @@ class TorusMachine(MachineModel):
         return self.alpha + hops * self.alpha_hop + nbytes * self.internode_beta(hops)
 
     def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Wire seconds for one transfer: self-send, intra-node, or torus."""
         if src == dst:
             return self.alpha_local + nbytes * self.beta_local
         a, b = self.node_of(src), self.node_of(dst)
@@ -169,6 +170,7 @@ class TorusMachine(MachineModel):
         return self.internode_wire_time(self.torus.hops(a, b), nbytes)
 
     def rank_distance_hops(self, src: int, dst: int) -> int:
+        """Torus hop count between the ranks' nodes (0 when co-located)."""
         a, b = self.node_of(src), self.node_of(dst)
         return self.torus.hops(a, b)
 

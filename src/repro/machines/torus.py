@@ -68,6 +68,7 @@ class Torus:
 
     @property
     def nnodes(self) -> int:
+        """Node count (product of the torus dimensions)."""
         n = 1
         for d in self.dims:
             n *= d
@@ -83,6 +84,7 @@ class Torus:
         return tuple(reversed(out))
 
     def node_at(self, coords: tuple[int, ...]) -> int:
+        """Linear node id at torus ``coords`` (row-major; range-checked)."""
         node = 0
         for c, d in zip(coords, self.dims):
             require(0 <= c < d, f"coordinate {c} out of range for dim {d}")

@@ -1,0 +1,57 @@
+"""Structured metrics and model-validation observability.
+
+The tracing layer (:mod:`repro.simmpi.tracing`) records *what happened*
+per rank and phase; this package turns that record into first-class
+observability:
+
+* :mod:`repro.metrics.registry` — counters / gauges / histograms in a
+  :class:`MetricsRegistry`, the object a run populates
+  (``RunSpec(metrics=...)``, ``Engine(metrics=...)``);
+* :mod:`repro.metrics.collect` — projection of engine results into the
+  metric schema (messages, words, per-phase virtual time, retries,
+  checkpoint bytes, ...), applied once per run so the hot path pays
+  nothing;
+* :mod:`repro.metrics.chrometrace` — Chrome-trace / Perfetto export of
+  recorded timelines (``python -m repro profile`` writes these);
+* :mod:`repro.metrics.validate` — the model-validation pass: measured S
+  (messages) and W (words) per algorithm against the closed forms in
+  :mod:`repro.theory`, across a (p, c, n) sweep, with constant-factor
+  tolerance bands.  ``tools/metrics_gate.py`` enforces it in CI.
+
+See `docs/observability.md` for the full tour.
+"""
+
+from repro.metrics.chrometrace import chrome_trace, write_chrome_trace
+from repro.metrics.collect import collect_run_metrics, record_engine_run
+from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.metrics.validate import (
+    ALGORITHM_ALIASES,
+    MODEL_CASES,
+    CaseValidation,
+    ModelCase,
+    PointResult,
+    ValidationReport,
+    resolve_algorithm,
+    validate_case,
+    validate_models,
+)
+
+__all__ = [
+    "ALGORITHM_ALIASES",
+    "CaseValidation",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MODEL_CASES",
+    "MetricsRegistry",
+    "ModelCase",
+    "PointResult",
+    "ValidationReport",
+    "chrome_trace",
+    "collect_run_metrics",
+    "record_engine_run",
+    "resolve_algorithm",
+    "validate_case",
+    "validate_models",
+    "write_chrome_trace",
+]

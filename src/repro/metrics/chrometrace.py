@@ -1,0 +1,83 @@
+"""Chrome-trace export of a recorded engine timeline.
+
+The engine's optional timeline (``engine_opts={"record_events": True}``)
+is a list of :class:`~repro.simmpi.tracing.TimelineEvent` records on the
+simulated machine's *virtual* clock.  This module serializes them in the
+Chrome Trace Event Format (the JSON array-of-events flavor), which loads
+directly in ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_:
+
+* one track (``tid``) per simulated rank, named ``rank N``;
+* one complete (``"ph": "X"``) slice per event, named after its phase,
+  categorized by its kind (``compute`` / ``wait`` / ``xfer`` / ``hwcoll``),
+  with byte counts and the peer rank in ``args``;
+* virtual seconds are mapped to trace microseconds, so one simulated
+  microsecond reads as one microsecond in the viewer.
+
+``python -m repro profile`` and ``examples/profile_run.py`` produce these
+files; `docs/observability.md` walks through loading one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+#: Virtual seconds -> trace timestamp units (Chrome traces use microseconds).
+_US_PER_S = 1e6
+
+
+def chrome_trace(events: Iterable, *, process_name: str = "repro") -> dict:
+    """Build the Chrome Trace Event Format document for ``events``.
+
+    Events are emitted sorted by start time then rank (matching
+    :func:`~repro.simmpi.tracing.timeline_to_json`), preceded by metadata
+    records naming the process and one thread per rank.  The result is a
+    plain dict — pass it to :func:`json.dump` or use
+    :func:`write_chrome_trace`.
+    """
+    events = sorted(events, key=lambda e: (e.t_start, e.rank, e.t_end))
+    ranks = sorted({e.rank for e in events})
+    rows: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for r in ranks:
+        rows.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": r,
+            "args": {"name": f"rank {r}"},
+        })
+        rows.append({
+            "name": "thread_sort_index", "ph": "M", "pid": 0, "tid": r,
+            "args": {"sort_index": r},
+        })
+    for e in events:
+        row = {
+            "name": e.phase,
+            "cat": e.kind,
+            "ph": "X",
+            "pid": 0,
+            "tid": e.rank,
+            "ts": e.t_start * _US_PER_S,
+            "dur": (e.t_end - e.t_start) * _US_PER_S,
+            "args": {"kind": e.kind},
+        }
+        if e.nbytes:
+            row["args"]["nbytes"] = e.nbytes
+        if e.peer >= 0:
+            row["args"]["peer"] = e.peer
+        rows.append(row)
+    return {"traceEvents": rows, "displayTimeUnit": "ms",
+            "otherData": {"clock": "virtual", "ts_unit": "us"}}
+
+
+def write_chrome_trace(path, events: Iterable, *,
+                       process_name: str = "repro") -> str:
+    """Write :func:`chrome_trace` of ``events`` to ``path``; returns the
+    path as a string (for log lines)."""
+    doc = chrome_trace(events, process_name=process_name)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return str(path)

@@ -1,0 +1,121 @@
+"""Populating a :class:`~repro.metrics.registry.MetricsRegistry` from runs.
+
+The accounting itself already exists — the engine's per-rank, per-phase
+:class:`~repro.simmpi.tracing.TraceReport` and its op histogram are kept on
+every run.  This module is the bridge: it projects that accounting into
+named metrics once, after the run, so enabling metrics adds **zero** work
+to the engine's hot loop (pay-for-use, like the tracer itself).
+
+Metric schema (all populated by :func:`record_engine_run`):
+
+=============================  ==========================================
+``engine.ops{kind}``           engine operations by kind (compute, isend,
+                               irecv, wait, hwcoll, fsync)
+``comm.messages{phase}``       messages sent, summed over ranks, per phase
+``comm.bytes{phase}``          bytes sent, summed over ranks, per phase
+``comm.words{phase}``          the same traffic in 52-byte particle words
+                               (the paper's W unit)
+``comm.max_messages{phase}``   max over ranks of messages sent in a phase
+                               — the latency cost S of that phase
+``comm.max_bytes{phase}``      max over ranks of bytes sent in a phase —
+                               the bandwidth cost W of that phase
+``comm.critical_messages``     max over ranks of total messages sent
+``comm.critical_bytes``        max over ranks of total bytes sent
+``time.virtual_s{phase}``      max over ranks of virtual seconds per phase
+``faults.retries``             retransmitted transfers (drop/corrupt)
+``faults.redelivered``         checksum-caught corruptions redelivered
+``faults.deaths``              ranks killed by the fault schedule
+``rank.messages`` (histogram)  per-rank total messages sent
+``rank.bytes`` (histogram)     per-rank total bytes sent
+``run.ranks``                  rank count of the simulated machine
+``run.nops``                   engine operations processed
+``run.elapsed_virtual_s``      virtual makespan of the run
+``run.wall_s``                 host wall-clock seconds of the engine loop
+                               (the only nondeterministic entry)
+``kernel.pairs``               interactions computed by the force kernel
+                               (populated by the kernel, not here)
+``checkpoint.bytes/files``     checkpoint output (populated by the driver)
+=============================  ==========================================
+"""
+
+from __future__ import annotations
+
+from repro.machines.base import PARTICLE_BYTES
+from repro.metrics.registry import MetricsRegistry
+
+__all__ = ["collect_run_metrics", "record_engine_run"]
+
+
+def record_engine_run(metrics: MetricsRegistry, result, *,
+                      op_histogram: dict | None = None,
+                      wall_s: float | None = None) -> MetricsRegistry:
+    """Project one engine :class:`~repro.simmpi.engine.RunResult` into
+    ``metrics``.
+
+    Called by the engine itself at the end of :meth:`Engine.run` when it
+    was constructed with a registry; also usable directly on any saved
+    result.  Counter entries *accumulate*, so recording several runs into
+    one registry (a multi-step simulation, a sweep) sums their traffic,
+    while gauges keep the maximum.
+    """
+    report = result.report
+    for tr in report.traces:
+        total_msgs = 0
+        total_bytes = 0
+        for label, tot in tr.phases.items():
+            if tot.messages_sent:
+                metrics.counter("comm.messages", phase=label).inc(
+                    tot.messages_sent)
+                metrics.counter("comm.bytes", phase=label).inc(tot.bytes_sent)
+            if tot.retries:
+                metrics.counter("faults.retries").inc(tot.retries)
+            if tot.redelivered:
+                metrics.counter("faults.redelivered").inc(tot.redelivered)
+            total_msgs += tot.messages_sent
+            total_bytes += tot.bytes_sent
+        metrics.histogram("rank.messages").observe(total_msgs)
+        metrics.histogram("rank.bytes").observe(total_bytes)
+    for label in report.phase_labels():
+        msgs = report.max_messages(label)
+        nbytes = report.max_bytes(label)
+        secs = report.max_time(label)
+        if msgs:
+            metrics.gauge("comm.max_messages", phase=label).max(msgs)
+        if nbytes:
+            metrics.gauge("comm.max_bytes", phase=label).max(nbytes)
+        if secs:
+            metrics.gauge("time.virtual_s", phase=label).max(secs)
+        sent = metrics.value("comm.bytes", phase=label)
+        if sent:
+            metrics.gauge("comm.words", phase=label).set(
+                sent / PARTICLE_BYTES)
+    metrics.gauge("comm.critical_messages").max(report.critical_messages())
+    metrics.gauge("comm.critical_bytes").max(report.critical_bytes())
+    if result.deaths:
+        metrics.counter("faults.deaths").inc(len(result.deaths))
+    if op_histogram:
+        for kind, count in op_histogram.items():
+            if count:
+                metrics.counter("engine.ops", kind=kind).inc(count)
+    metrics.counter("run.nops").inc(result.nops)
+    metrics.gauge("run.ranks").max(len(result.clocks))
+    metrics.gauge("run.elapsed_virtual_s").max(result.elapsed)
+    if wall_s is not None:
+        metrics.gauge("run.wall_s").max(wall_s)
+    return metrics
+
+
+def collect_run_metrics(run, metrics: MetricsRegistry | None = None,
+                        ) -> MetricsRegistry:
+    """Metrics for an already-finished pipeline :class:`~repro.core.runner.Run`
+    (or raw engine :class:`~repro.simmpi.engine.RunResult`).
+
+    The after-the-fact twin of passing ``RunSpec(metrics=...)``: useful
+    when the run object is all you have.  Kernel pair counts cannot be
+    reconstructed post hoc, so ``kernel.pairs`` stays absent — thread a
+    registry through the spec to get it.
+    """
+    if metrics is None:
+        metrics = MetricsRegistry()
+    result = getattr(run, "run", run)  # pipeline Run or raw RunResult
+    return record_engine_run(metrics, result)

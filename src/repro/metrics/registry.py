@@ -1,0 +1,248 @@
+"""The metric primitives: counters, gauges, histograms, and their registry.
+
+Everything here is deterministic plain data — a metric is a named,
+optionally labeled accumulator, and a :class:`MetricsRegistry` is the
+container a run populates.  There is no background thread, no clock, no
+global state: callers create a registry, thread it through a run
+(``RunSpec(metrics=...)``), and read it back afterwards.  Two runs that
+perform the same simulated work therefore produce *identical* registries
+(modulo the host wall-time gauges, which are the only nondeterministic
+entries and are named ``*.wall_s`` so they are easy to exclude) — the
+fast-path parity tests lock exactly this.
+
+Naming convention: dotted lowercase names (``comm.messages``,
+``kernel.pairs``), with dimensions such as the phase expressed as labels
+(``comm.messages{phase=shift}``), mirroring the Prometheus data model so
+exports stay mechanically translatable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (messages, bytes, pairs, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "labels": self.labels,
+                "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (makespan, rank count, peak RSS, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (first observation always wins)."""
+        if value > self.value:
+            self.value = value
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "labels": self.labels,
+                "value": self.value}
+
+
+class Histogram:
+    """A distribution summary with power-of-two buckets.
+
+    Observations land in the bucket ``2^k`` that is the smallest power of
+    two >= the value (non-positive values land in bucket ``0``), so the
+    bucket layout is fixed and deterministic without pre-declaring bounds.
+    ``count``/``total``/``vmin``/``vmax`` summarize the raw stream.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "vmin", "vmax",
+                 "buckets")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total: float = 0.0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+        self.buckets: dict[float, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Add one observation: update count/total/min/max and its bucket."""
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        bound = 0.0
+        if value > 0:
+            bound = 1.0
+            while bound < value:
+                bound *= 2.0
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "kind": self.kind, "labels": self.labels,
+            "count": self.count, "total": self.total,
+            "min": self.vmin, "max": self.vmax, "mean": self.mean,
+            "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """A run's worth of metrics: get-or-create accessors plus exports.
+
+    The registry is the unit that moves through the system — the engine,
+    the force kernel and the simulation driver each populate the one they
+    are handed (``None`` anywhere means "off" and costs nothing on the hot
+    path).  Metric identity is ``(name, labels)``; asking twice returns
+    the same accumulator, and asking for an existing name with a different
+    metric kind raises.
+    """
+
+    def __init__(self):
+        self._metrics: dict[tuple[str, tuple], Any] = {}
+
+    def _get(self, cls, name: str, labels: dict) -> Any:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name, {
+                str(k): str(v) for k, v in sorted(labels.items())
+            })
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r}{labels or ''} already registered as "
+                f"{metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get-or-create the counter ``name`` with ``labels``."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get-or-create the gauge ``name`` with ``labels``."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """Get-or-create the histogram ``name`` with ``labels``."""
+        return self._get(Histogram, name, labels)
+
+    # -- reading ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        """Metrics in deterministic (name, labels) order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, **labels) -> Any | None:
+        """The metric under ``(name, labels)``, or ``None``."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, default: float = 0, **labels) -> float:
+        """Shorthand: the value of a counter/gauge, or ``default``."""
+        metric = self.get(name, **labels)
+        return default if metric is None else metric.value
+
+    def values(self, name: str) -> dict[tuple[tuple[str, str], ...], Any]:
+        """Every labeled series of ``name``: label-key -> metric."""
+        return {key[1]: m for key, m in sorted(self._metrics.items())
+                if key[0] == name}
+
+    # -- exports ------------------------------------------------------------
+
+    def to_dict(self, *, exclude_wall: bool = False) -> dict:
+        """Plain-data form: ``{"schema": 1, "metrics": [...]}``.
+
+        ``exclude_wall=True`` drops the host wall-time gauges (every
+        metric whose name ends in ``.wall_s``) — the determinism tests
+        compare registries this way.
+        """
+        rows = [m.to_dict() for m in self
+                if not (exclude_wall and m.name.endswith(".wall_s"))]
+        return {"schema": 1, "metrics": rows}
+
+    def to_json(self, *, indent: int = 1, exclude_wall: bool = False) -> str:
+        """The :meth:`to_dict` form serialized as JSON."""
+        return json.dumps(self.to_dict(exclude_wall=exclude_wall),
+                          indent=indent, sort_keys=True)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (counters add, gauges take the
+        max, histograms concatenate their streams)."""
+        for m in other:
+            if isinstance(m, Counter):
+                self.counter(m.name, **m.labels).inc(m.value)
+            elif isinstance(m, Gauge):
+                self.gauge(m.name, **m.labels).max(m.value)
+            else:
+                mine = self.histogram(m.name, **m.labels)
+                mine.count += m.count
+                mine.total += m.total
+                if m.vmin is not None and (mine.vmin is None
+                                           or m.vmin < mine.vmin):
+                    mine.vmin = m.vmin
+                if m.vmax is not None and (mine.vmax is None
+                                           or m.vmax > mine.vmax):
+                    mine.vmax = m.vmax
+                for b, n in m.buckets.items():
+                    mine.buckets[b] = mine.buckets.get(b, 0) + n
+
+    def summary(self) -> str:
+        """A human-readable listing, one metric per line."""
+        lines = []
+        for m in self:
+            labels = ",".join(f"{k}={v}" for k, v in m.labels.items())
+            tag = f"{m.name}{{{labels}}}" if labels else m.name
+            if isinstance(m, Histogram):
+                lines.append(f"{tag:<44} n={m.count} mean={m.mean:.6g} "
+                             f"min={m.vmin} max={m.vmax}")
+            else:
+                val = m.value
+                shown = f"{val:.6g}" if isinstance(val, float) else str(val)
+                lines.append(f"{tag:<44} {shown}")
+        return "\n".join(lines)

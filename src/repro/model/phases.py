@@ -50,6 +50,7 @@ class PhaseBreakdown:
         )
 
     def summary(self) -> str:
+        """One line: the total and each phase's formatted time."""
         parts = [f"{k}={fmt_time(v)}" for k, v in self.phases.items()]
         return f"total={fmt_time(self.total)} (" + ", ".join(parts) + ")"
 

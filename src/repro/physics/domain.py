@@ -75,6 +75,7 @@ class TeamGeometry:
 
     @property
     def nteams(self) -> int:
+        """Total team count (product of the team-grid dimensions)."""
         n = 1
         for d in self.team_dims:
             n *= d
@@ -106,6 +107,7 @@ class TeamGeometry:
         return tuple(reversed(out))
 
     def linear_index(self, mi: tuple[int, ...]) -> int:
+        """Linear team id of a multi-index (row-major; range-checked)."""
         team = 0
         for x, d in zip(mi, self.team_dims):
             require(0 <= x < d, f"multi-index {mi} out of range for {self.team_dims}")

@@ -50,11 +50,21 @@ class RealKernel:
         fast path (default).  ``False`` selects the allocating reference
         path; both produce bitwise-identical forces (the determinism suite
         locks this).
+    metrics:
+        Optional :class:`~repro.metrics.registry.MetricsRegistry`; every
+        interaction call adds its scanned pair count to the
+        ``kernel.pairs`` counter (the run's flop-proxy).
     """
 
     law: ForceLaw
     pair_counter: np.ndarray | None = None
     scratch: bool = True
+    metrics: object | None = None
+
+    def _count_pairs(self, npairs: int) -> int:
+        if self.metrics is not None and npairs:
+            self.metrics.counter("kernel.pairs").inc(npairs)
+        return npairs
 
     def home_of(self, block) -> HomeBlock:
         """Wrap a broadcast team block into this rank's home block.
@@ -86,6 +96,7 @@ class RealKernel:
         return TravelBlock(pos=pos, ids=ids, team=team)
 
     def interact(self, home: HomeBlock, travel: TravelBlock) -> int:
+        """Accumulate the visiting block's forces; returns pairs scanned."""
         _, npairs = pairwise_forces(
             self.law,
             home.particles.pos,
@@ -96,7 +107,7 @@ class RealKernel:
             pair_counter=self.pair_counter,
             scratch=self.scratch,
         )
-        return npairs
+        return self._count_pairs(npairs)
 
     def forces_payload(self, home: HomeBlock) -> np.ndarray:
         return home.forces
@@ -141,7 +152,7 @@ class RealKernel:
             pair_counter=self.pair_counter,
             scratch=self.scratch,
         )
-        return npairs
+        return self._count_pairs(npairs)
 
     def interact_self_half(self, home: HomeBlock) -> int:
         """The home block with itself: each unordered pair once."""
@@ -158,7 +169,7 @@ class RealKernel:
             pair_counter=self.pair_counter,
             scratch=self.scratch,
         )
-        return npairs
+        return self._count_pairs(npairs)
 
     def absorb_reactions(self, home: HomeBlock, travel: TravelBlock) -> None:
         """Fold a returned buffer's reactions into the home accumulator."""
@@ -190,7 +201,7 @@ class RealKernel:
             pair_counter=self.pair_counter,
             scratch=self.scratch,
         )
-        return npairs
+        return self._count_pairs(npairs)
 
 
 def kernel_for(
@@ -200,6 +211,7 @@ def kernel_for(
     box: float | None = None,
     pair_counter: np.ndarray | None = None,
     scratch: bool = True,
+    metrics=None,
 ) -> RealKernel:
     """Build a :class:`RealKernel`, resolving the effective force law.
 
@@ -214,7 +226,8 @@ def kernel_for(
         law = law.with_rcut(rcut)
     if box is not None:
         law = law.with_box(box)
-    return RealKernel(law=law, pair_counter=pair_counter, scratch=scratch)
+    return RealKernel(law=law, pair_counter=pair_counter, scratch=scratch,
+                      metrics=metrics)
 
 
 @dataclass
@@ -253,6 +266,7 @@ class VirtualKernel:
 
     @staticmethod
     def reduce_op(a: "VirtualForces", b: "VirtualForces") -> "VirtualForces":
+        """Combine two phantom force payloads (counts must agree)."""
         if a.count != b.count:
             raise ValueError(
                 f"mismatched virtual force payloads: {a.count} vs {b.count}"

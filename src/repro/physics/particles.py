@@ -125,6 +125,7 @@ class ParticleSet:
         return ParticleSet(self.pos.copy(), self.vel.copy(), self.ids)
 
     def sorted_by_id(self) -> "ParticleSet":
+        """A copy ordered by ascending particle id (stable)."""
         order = np.argsort(self.ids, kind="stable")
         return self.subset(order)
 
@@ -163,6 +164,7 @@ class TravelBlock:
 
     @property
     def wire_nbytes(self) -> int:
+        """Bytes on the wire: particle words plus any reaction buffer."""
         n = self.pos.shape[0]
         extra = 0 if self.forces is None else self.forces.shape[1] * 8 * n
         return PARTICLE_BYTES * n + extra

@@ -67,6 +67,7 @@ class CartComm:
         return self.coords_of(self.comm.rank)
 
     def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Cartesian coordinates of a communicator rank (row-major)."""
         require(0 <= rank < self.comm.size, f"rank {rank} out of range")
         out = []
         for d in reversed(self.dims):

@@ -285,15 +285,23 @@ class Engine:
         Use the optimized interpreter (default).  ``False`` runs the
         straight-line legacy loop; results are bitwise identical either
         way — the flag exists for A/B determinism tests and debugging.
+    metrics:
+        Optional :class:`~repro.metrics.registry.MetricsRegistry`.  When
+        given, every :meth:`run` projects its result into the registry
+        (:func:`~repro.metrics.collect.record_engine_run`) after the loop
+        ends — the hot path itself never sees the registry, so the cost
+        of metrics is one post-run pass over the trace report.
     """
 
     def __init__(self, machine, *, eager_threshold: int = 0,
                  max_ops: int | None = None, record_events: bool = False,
                  record_traffic: bool = False, record_phases: bool = True,
                  fast_path: bool = True,
-                 faults: FaultSchedule | None = None):
+                 faults: FaultSchedule | None = None,
+                 metrics=None):
         self.machine = machine
         self.faults = faults
+        self.metrics = metrics
         self.record_events = bool(record_events)
         self.record_traffic = bool(record_traffic)
         self.record_phases = bool(record_phases)
@@ -416,6 +424,11 @@ class Engine:
         """
         from repro.simmpi.comm import Comm  # deferred: comm imports engine ops
 
+        wall_start = None
+        if self.metrics is not None:
+            from time import perf_counter
+
+            wall_start = perf_counter()
         self._context_ids.clear()
         self._channels = {}
         self._hwslots = {}
@@ -489,7 +502,7 @@ class Engine:
 
         clocks = [st.clock for st in self._ranks]
         report = TraceReport(self._traces if self.record_phases else [])
-        return RunResult(
+        result = RunResult(
             results=[st.result for st in self._ranks],
             report=report,
             elapsed=max(clocks) if clocks else 0.0,
@@ -499,6 +512,17 @@ class Engine:
             traffic=self._traffic,
             deaths=dict(self._deaths),
         )
+        if self.metrics is not None:
+            # Deferred import: simmpi must stay importable without the
+            # metrics package (and metrics imports simmpi types).
+            from time import perf_counter
+
+            from repro.metrics.collect import record_engine_run
+
+            record_engine_run(self.metrics, result,
+                              op_histogram=self._op_histogram,
+                              wall_s=perf_counter() - wall_start)
+        return result
 
     def _enqueue(self, rank: int) -> None:
         state = self._ranks[rank]

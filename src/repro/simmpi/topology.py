@@ -63,16 +63,19 @@ class ReplicatedGrid:
     # -- rank <-> (row, col) ------------------------------------------------
 
     def row_of(self, rank: int) -> int:
+        """Replication row of a world rank (layout-dependent)."""
         if self.layout == "rows":
             return rank // self.nteams
         return rank % self.c
 
     def col_of(self, rank: int) -> int:
+        """Team (column) of a world rank (layout-dependent)."""
         if self.layout == "rows":
             return rank % self.nteams
         return rank // self.c
 
     def rank_at(self, row: int, col: int) -> int:
+        """World rank at (replication row, team column)."""
         # Hot path of every shift step; checks are inlined so the error
         # messages are only built on failure.
         c = self.c

@@ -47,6 +47,7 @@ class PhaseTotals:
     redelivered: int = 0
 
     def merge(self, other: "PhaseTotals") -> None:
+        """Add another phase's totals into this one (field-wise sum)."""
         self.seconds += other.seconds
         self.messages_sent += other.messages_sent
         self.messages_received += other.messages_received
@@ -64,6 +65,7 @@ class RankTrace:
     phases: dict[str, PhaseTotals] = field(default_factory=dict)
 
     def phase(self, label: str) -> PhaseTotals:
+        """Get-or-create this rank's totals for phase ``label``."""
         tot = self.phases.get(label)
         if tot is None:
             tot = self.phases[label] = PhaseTotals()
@@ -73,11 +75,13 @@ class RankTrace:
         self.phase(label).seconds += seconds
 
     def add_send(self, label: str, nbytes: int) -> None:
+        """Charge one sent message of ``nbytes`` to phase ``label``."""
         tot = self.phase(label)
         tot.messages_sent += 1
         tot.bytes_sent += nbytes
 
     def add_recv(self, label: str, nbytes: int) -> None:
+        """Charge one received message of ``nbytes`` to phase ``label``."""
         tot = self.phase(label)
         tot.messages_received += 1
         tot.bytes_received += nbytes
@@ -153,6 +157,7 @@ class TraceReport:
         return len(self.traces)
 
     def phase_labels(self) -> list[str]:
+        """Every phase label seen, in first-appearance order across ranks."""
         labels: list[str] = []
         for tr in self.traces:
             for lab in tr.phases:
@@ -165,6 +170,7 @@ class TraceReport:
         return max((tr.phases[label].seconds for tr in self.traces if label in tr.phases), default=0.0)
 
     def mean_time(self, label: str) -> float:
+        """Mean over ranks of virtual seconds spent in phase ``label``."""
         if not self.traces:
             return 0.0
         return sum(tr.phases.get(label, PhaseTotals()).seconds for tr in self.traces) / len(self.traces)
@@ -249,6 +255,7 @@ class TraceReport:
         }
 
     def summary(self) -> str:
+        """The per-phase table: max/mean seconds, traffic maxima, retries."""
         lines = [
             f"{'phase':<12} {'max(s)':>12} {'mean(s)':>12} {'maxmsgs':>8} "
             f"{'maxbytes':>12} {'retries':>8} {'redeliv':>8}"

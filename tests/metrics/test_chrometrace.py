@@ -1,0 +1,62 @@
+"""Chrome Trace Event Format export of recorded engine timelines."""
+
+import json
+
+import pytest
+
+from repro.core import RunSpec, run
+from repro.machines import GenericMachine
+from repro.metrics import chrome_trace, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def traced():
+    out = run(RunSpec(machine=GenericMachine(nranks=4), algorithm="allpairs",
+                      n=16, seed=0, c=2,
+                      engine_opts={"record_events": True}))
+    return out.trace
+
+
+class TestChromeTrace:
+    def test_document_shape(self, traced):
+        doc = chrome_trace(traced)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert {row["ph"] for row in doc["traceEvents"]} == {"M", "X"}
+
+    def test_metadata_names_process_and_every_rank(self, traced):
+        doc = chrome_trace(traced, process_name="test run")
+        meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
+        byname = {}
+        for r in meta:
+            byname.setdefault(r["name"], []).append(r)
+        assert byname["process_name"][0]["args"]["name"] == "test run"
+        thread_names = {r["args"]["name"] for r in byname["thread_name"]}
+        assert thread_names == {f"rank {r}" for r in range(4)}
+
+    def test_slices_carry_phase_kind_and_virtual_microseconds(self, traced):
+        doc = chrome_trace(traced)
+        slices = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert slices
+        phases = {r["name"] for r in slices}
+        assert {"bcast", "shift", "compute", "reduce"} <= phases
+        for r in slices:
+            assert r["tid"] in range(4)
+            assert r["ts"] >= 0 and r["dur"] >= 0
+            assert r["cat"] in ("compute", "wait", "xfer", "hwcoll", "fsync")
+        # transfers expose their wire size for the viewer
+        assert any("nbytes" in r["args"] for r in slices)
+
+    def test_slices_sorted_by_start_time(self, traced):
+        doc = chrome_trace(traced)
+        ts = [r["ts"] for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert ts == sorted(ts)
+
+    def test_write_is_valid_json(self, traced, tmp_path):
+        path = tmp_path / "trace.json"
+        returned = write_chrome_trace(path, traced)
+        assert returned == str(path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_deterministic(self, traced):
+        assert chrome_trace(traced) == chrome_trace(list(traced))

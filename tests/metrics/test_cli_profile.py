@@ -1,0 +1,50 @@
+"""The ``python -m repro profile`` subcommand."""
+
+import io
+import json
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    buf = io.StringIO()
+    code = main(list(argv), out=buf)
+    return code, buf.getvalue()
+
+
+class TestProfile:
+    def test_acceptance_invocation(self, tmp_path):
+        code, text = run_cli("profile", "--algo", "ca_allpairs",
+                             "--p", "8", "--c", "2", "--n", "64",
+                             "--out-dir", str(tmp_path))
+        assert code == 0
+
+        metrics_doc = json.loads(
+            (tmp_path / "profile_ca_allpairs.metrics.json").read_text())
+        assert metrics_doc["schema"] == 1
+        byname = {}
+        for m in metrics_doc["metrics"]:
+            byname.setdefault(m["name"], []).append(m)
+        assert byname["kernel.pairs"][0]["value"] == 64 * 64
+        assert "comm.max_messages" in byname
+
+        trace_doc = json.loads(
+            (tmp_path / "profile_ca_allpairs.trace.json").read_text())
+        slices = [r for r in trace_doc["traceEvents"] if r["ph"] == "X"]
+        assert {r["tid"] for r in slices} == set(range(8))
+
+        assert "profile_ca_allpairs.metrics.json" in text
+        assert "profile_ca_allpairs.trace.json" in text
+
+    def test_cutoff_needs_rcut(self, tmp_path, capsys):
+        code, _ = run_cli("profile", "--algo", "ca_cutoff",
+                          "--p", "8", "--n", "32", "--out-dir", str(tmp_path))
+        assert code == 2
+        assert "--rcut" in capsys.readouterr().err
+
+    def test_rcut_flows_through(self, tmp_path):
+        code, _ = run_cli("profile", "--algo", "ca_cutoff", "--p", "8",
+                          "--c", "2", "--n", "64", "--rcut", "0.3",
+                          "--out-dir", str(tmp_path))
+        assert code == 0
+        assert (tmp_path / "profile_ca_cutoff.metrics.json").exists()

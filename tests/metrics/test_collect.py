@@ -1,0 +1,103 @@
+"""The run -> metric-schema projection, end to end through the pipeline."""
+
+import pytest
+
+from repro.core import RunSpec, run
+from repro.machines import GenericMachine
+from repro.metrics import MetricsRegistry, collect_run_metrics
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    """One all-pairs run with a registry attached (shared, read-only)."""
+    metrics = MetricsRegistry()
+    out = run(RunSpec(machine=GenericMachine(nranks=8), algorithm="allpairs",
+                      n=64, seed=0, c=2, metrics=metrics))
+    return out, metrics
+
+
+class TestEngineSchema:
+    def test_kernel_pairs_counts_every_interaction(self, profiled):
+        _, metrics = profiled
+        # all-pairs: every ordered (target, source) pair exactly once
+        assert metrics.value("kernel.pairs") == 64 * 64
+
+    def test_comm_totals_match_trace_report(self, profiled):
+        out, metrics = profiled
+        report = out.report
+        for phase in ("bcast", "shift", "reduce"):
+            total = sum(tr.phases[phase].messages_sent
+                        for tr in report.traces if phase in tr.phases)
+            assert metrics.value("comm.messages", phase=phase) == total
+            assert (metrics.value("comm.max_messages", phase=phase)
+                    == report.max_messages(phase))
+            assert (metrics.value("comm.max_bytes", phase=phase)
+                    == report.max_bytes(phase))
+
+    def test_words_are_bytes_over_particle_size(self, profiled):
+        _, metrics = profiled
+        from repro.machines.base import PARTICLE_BYTES
+        w = metrics.value("comm.words", phase="shift")
+        assert w == metrics.value("comm.bytes", phase="shift") / PARTICLE_BYTES
+
+    def test_critical_path_and_run_shape(self, profiled):
+        out, metrics = profiled
+        assert (metrics.value("comm.critical_messages")
+                == out.report.critical_messages())
+        assert (metrics.value("comm.critical_bytes")
+                == out.report.critical_bytes())
+        assert metrics.value("run.ranks") == 8
+        assert metrics.value("run.nops") == out.run.nops
+        assert metrics.value("run.elapsed_virtual_s") == out.run.elapsed
+        assert metrics.value("run.wall_s") > 0
+
+    def test_ops_by_kind(self, profiled):
+        out, metrics = profiled
+        kinds = metrics.values("engine.ops")
+        assert {dict(k)["kind"] for k in kinds} >= {"compute", "isend",
+                                                    "irecv", "wait"}
+        # every posted isend has a matching irecv
+        assert (metrics.value("engine.ops", kind="isend")
+                == metrics.value("engine.ops", kind="irecv"))
+        assert 0 < sum(m.value for m in kinds.values()) <= out.run.nops
+
+    def test_rank_histograms_cover_every_rank(self, profiled):
+        _, metrics = profiled
+        assert metrics.get("rank.messages").count == 8
+        assert metrics.get("rank.bytes").count == 8
+
+    def test_no_fault_metrics_on_clean_run(self, profiled):
+        _, metrics = profiled
+        assert metrics.get("faults.retries") is None
+        assert metrics.get("faults.deaths") is None
+
+
+class TestCollectAfterTheFact:
+    def test_matches_threaded_registry_where_reconstructible(self, profiled):
+        out, metrics = profiled
+        post = collect_run_metrics(out)
+        # kernel.pairs, run.wall_s and the engine-internal op histogram
+        # cannot be rebuilt from a finished Run; everything else must agree.
+        skip = ("kernel.pairs", "run.wall_s", "engine.ops")
+        threaded = {(m.name, tuple(sorted(m.labels.items()))): m.to_dict()
+                    for m in metrics if m.name not in skip}
+        posthoc = {(m.name, tuple(sorted(m.labels.items()))): m.to_dict()
+                   for m in post}
+        assert posthoc == threaded
+
+    def test_accumulates_across_runs(self):
+        metrics = MetricsRegistry()
+        spec = RunSpec(machine=GenericMachine(nranks=4),
+                       algorithm="particle_ring", n=16, seed=0)
+        one = run(spec)
+        collect_run_metrics(one, metrics)
+        first = metrics.value("comm.messages", phase="ring")
+        collect_run_metrics(one, metrics)
+        assert metrics.value("comm.messages", phase="ring") == 2 * first
+
+
+class TestMetricsOffByDefault:
+    def test_spec_without_registry_records_nothing(self):
+        out = run(RunSpec(machine=GenericMachine(nranks=4),
+                          algorithm="allpairs", n=16, seed=0))
+        assert out.spec.metrics is None

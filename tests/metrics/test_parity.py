@@ -1,0 +1,60 @@
+"""Metrics are part of the determinism contract.
+
+The engine's fast path and the kernel scratch pool must be unobservable:
+same spec -> the same registry, entry for entry, on either interpreter.
+Wall-clock gauges are the one sanctioned difference, which is exactly
+what ``to_dict(exclude_wall=True)`` exists to drop.
+"""
+
+import pytest
+
+from repro.core import RunSpec, run
+from repro.machines import GenericMachine, GenericTorus
+from repro.metrics import MetricsRegistry
+
+
+def _measure(algorithm, *, fast_path, **spec_kw):
+    metrics = MetricsRegistry()
+    run(RunSpec(machine=GenericTorus(nranks=16, cores_per_node=4),
+                algorithm=algorithm, n=96, seed=7, metrics=metrics,
+                engine_opts={"fast_path": fast_path}, **spec_kw))
+    return metrics.to_dict(exclude_wall=True)
+
+
+class TestFastPathParity:
+    @pytest.mark.parametrize("algorithm,kw", [
+        ("allpairs", {"c": 4}),
+        ("cutoff", {"c": 2, "rcut": 0.3}),
+        ("particle_ring", {}),
+    ])
+    def test_identical_metrics_either_interpreter(self, algorithm, kw):
+        fast = _measure(algorithm, fast_path=True, **kw)
+        slow = _measure(algorithm, fast_path=False, **kw)
+        assert fast == slow
+
+    def test_wall_gauge_is_present_but_excluded(self):
+        metrics = MetricsRegistry()
+        run(RunSpec(machine=GenericMachine(nranks=4), algorithm="allpairs",
+                    n=16, seed=0, metrics=metrics))
+        assert metrics.value("run.wall_s") > 0
+        names = {m["name"]
+                 for m in metrics.to_dict(exclude_wall=True)["metrics"]}
+        assert "run.wall_s" not in names
+
+
+class TestScratchParity:
+    def test_kernel_pairs_identical_with_and_without_scratch(self):
+        counts = []
+        for scratch in (True, False):
+            metrics = MetricsRegistry()
+            run(RunSpec(machine=GenericMachine(nranks=8),
+                        algorithm="symmetric", n=64, seed=3, c=2,
+                        scratch=scratch, metrics=metrics))
+            counts.append(metrics.value("kernel.pairs"))
+        assert counts[0] == counts[1] > 0
+
+
+class TestRepeatability:
+    def test_same_spec_same_registry(self):
+        assert (_measure("allpairs", fast_path=True, c=4)
+                == _measure("allpairs", fast_path=True, c=4))

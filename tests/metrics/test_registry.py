@@ -1,0 +1,101 @@
+"""The metric primitives and the registry container."""
+
+import json
+
+import pytest
+
+from repro.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        c.inc()
+        c.inc(41)
+        assert reg.value("a.b") == 42
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", phase="shift") is reg.counter("x",
+                                                              phase="shift")
+        assert reg.counter("x", phase="shift") is not reg.counter("x")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("same.name")
+        with pytest.raises(TypeError):
+            reg.gauge("same.name")
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(5.0)
+        g.max(3.0)
+        assert g.value == 5.0
+        g.max(7.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1, 2, 3, 1000):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 4
+        assert d["total"] == 1006
+        assert d["min"] == 1
+        assert d["max"] == 1000
+        assert h.mean == pytest.approx(1006 / 4)
+        assert sum(d["buckets"].values()) == 4
+
+
+class TestRegistry:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.messages", phase="shift").inc(10)
+        reg.gauge("run.wall_s").set(1.23)
+        reg.gauge("run.ranks").set(16)
+        reg.histogram("rank.bytes").observe(64)
+        return reg
+
+    def test_iteration_and_len(self):
+        reg = self._populated()
+        assert len(reg) == 4
+        assert {m.name for m in reg} == {"comm.messages", "run.wall_s",
+                                         "run.ranks", "rank.bytes"}
+
+    def test_value_default_for_missing(self):
+        assert MetricsRegistry().value("nope", default=-1) == -1
+
+    def test_exclude_wall(self):
+        reg = self._populated()
+        names = {m["name"] for m in reg.to_dict(exclude_wall=True)["metrics"]}
+        assert "run.wall_s" not in names
+        assert "run.ranks" in names
+
+    def test_json_roundtrip(self):
+        doc = json.loads(self._populated().to_json())
+        assert doc["schema"] == 1
+        byname = {m["name"]: m for m in doc["metrics"]}
+        assert byname["comm.messages"]["labels"] == {"phase": "shift"}
+        assert byname["comm.messages"]["value"] == 10
+
+    def test_merge(self):
+        a, b = self._populated(), self._populated()
+        a.merge(b)
+        # counters add, gauges keep the max, histograms pool
+        assert a.value("comm.messages", phase="shift") == 20
+        assert a.value("run.wall_s") == 1.23
+        assert a.get("rank.bytes").to_dict()["count"] == 2
+        # the merged-from registry is untouched
+        assert b.value("comm.messages", phase="shift") == 10
+
+    def test_summary_mentions_every_metric(self):
+        text = self._populated().summary()
+        for name in ("comm.messages", "run.ranks", "rank.bytes"):
+            assert name in text

@@ -1,0 +1,30 @@
+"""TraceReport's machine-readable surface is a compatibility contract.
+
+``phase_table()`` feeds the comparison harness, the CLI and the metrics
+projection; renaming or dropping a column is a breaking change for every
+consumer (including saved JSON), so the exact key set is pinned here.
+"""
+
+from repro.core import RunSpec, run
+from repro.machines import GenericMachine
+
+EXPECTED_COLUMNS = {"max_s", "mean_s", "max_messages", "max_bytes",
+                    "retries", "redelivered"}
+
+
+class TestPhaseTable:
+    def test_every_cell_has_exactly_the_pinned_columns(self):
+        out = run(RunSpec(machine=GenericMachine(nranks=8),
+                          algorithm="allpairs", n=32, seed=0, c=2))
+        table = out.report.phase_table()
+        assert {"bcast", "shift", "compute", "reduce"} <= set(table)
+        for phase, cells in table.items():
+            assert set(cells) == EXPECTED_COLUMNS, phase
+
+    def test_summary_header_names_every_column(self):
+        out = run(RunSpec(machine=GenericMachine(nranks=4),
+                          algorithm="particle_ring", n=16, seed=0))
+        header = out.report.summary().splitlines()[0]
+        for word in ("phase", "max(s)", "mean(s)", "maxmsgs", "maxbytes",
+                     "retries", "redeliv"):
+            assert word in header

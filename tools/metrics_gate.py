@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Communication-volume lock + model validation (CI gate).
+
+Two checks, both about keeping the paper's quantitative claims honest:
+
+1. **Comm-volume lock** — every registered algorithm runs once at a pinned
+   configuration (the simulated machine is deterministic, so message and
+   byte counts are exact integers) and the measured per-rank maxima and
+   run totals must equal ``benchmarks/METRICS_LOCK.json`` bit for bit.
+   Any change to an algorithm's communication volume — intended or not —
+   shows up as a diff here and must be re-recorded with ``--update``,
+   making comm-volume changes reviewable instead of silent.  An algorithm
+   registered but missing from the lock fails the gate, so the lock can't
+   lag the registry.
+
+2. **Model validation** — :func:`repro.metrics.validate.validate_models`
+   sweeps (p, c, n) per algorithm and checks measured S (messages) and W
+   (words) against the closed forms in :mod:`repro.theory` within
+   constant-factor tolerance bands (see ``docs/observability.md``).
+
+Usage::
+
+    PYTHONPATH=src python tools/metrics_gate.py            # check (CI)
+    PYTHONPATH=src python tools/metrics_gate.py --update   # re-record lock
+    PYTHONPATH=src python tools/metrics_gate.py --skip-models
+
+Exit status 0 when both checks hold; 1 otherwise with a full listing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running as a plain script from the repo root.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - import plumbing
+    sys.path.insert(0, str(_SRC))
+
+LOCK_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / \
+    "METRICS_LOCK.json"
+
+#: The pinned measurement configuration.  Frozen: changing it invalidates
+#: every recorded volume at once (re-record with --update and explain in
+#: the PR).  p=16 is square (force decomposition) and rcut=0.3 satisfies
+#: the cutoff-windowed algorithms.
+PINNED = {"p": 16, "n": 64, "c": 2, "rcut": 0.3, "seed": 0}
+
+
+def measure(name: str) -> dict:
+    """One algorithm's exact comm volume at the pinned configuration."""
+    from repro.core.runner import RunSpec, get_algorithm, run
+    from repro.machines import GenericMachine
+
+    alg = get_algorithm(name)
+    spec = RunSpec(
+        machine=GenericMachine(nranks=PINNED["p"]),
+        algorithm=name,
+        n=PINNED["n"],
+        c=PINNED["c"] if alg.supports_c else 1,
+        rcut=PINNED["rcut"] if alg.needs_rcut else None,
+        seed=PINNED["seed"],
+    )
+    report = run(spec).report
+    total_messages = 0
+    total_bytes = 0
+    for tr in report.traces:
+        for tot in tr.phases.values():
+            total_messages += tot.messages_sent
+            total_bytes += tot.bytes_sent
+    return {
+        "critical_messages": int(report.critical_messages()),
+        "critical_bytes": int(report.critical_bytes()),
+        "total_messages": int(total_messages),
+        "total_bytes": int(total_bytes),
+    }
+
+
+def measure_all() -> dict:
+    from repro.core.runner import list_algorithms
+
+    return {name: measure(name) for name in list_algorithms()}
+
+
+def check_lock(problems: list[str]) -> None:
+    """Compare measured volumes against the committed lock, exactly."""
+    if not LOCK_PATH.exists():
+        problems.append(
+            f"{LOCK_PATH.name} does not exist — record it with "
+            "'python tools/metrics_gate.py --update'"
+        )
+        return
+    lock = json.loads(LOCK_PATH.read_text())
+    if lock.get("config") != PINNED:
+        problems.append(
+            f"lock config {lock.get('config')} != pinned {PINNED} — "
+            "re-record with --update"
+        )
+        return
+    locked = lock.get("algorithms", {})
+    measured = measure_all()
+    for name in sorted(set(locked) | set(measured)):
+        if name not in locked:
+            problems.append(
+                f"algorithm {name!r} is registered but has no locked comm "
+                "volume — record it with --update"
+            )
+            continue
+        if name not in measured:
+            problems.append(
+                f"lock entry {name!r} is no longer a registered algorithm — "
+                "drop it with --update"
+            )
+            continue
+        for key, want in locked[name].items():
+            got = measured[name].get(key)
+            if got != want:
+                problems.append(
+                    f"{name}.{key}: measured {got}, locked {want} — comm "
+                    "volume changed; if intended, re-record with --update"
+                )
+    if not problems:
+        print(f"comm-volume lock OK: {len(measured)} algorithms match "
+              f"{LOCK_PATH.name}")
+
+
+def update_lock() -> None:
+    measured = measure_all()
+    LOCK_PATH.parent.mkdir(exist_ok=True)
+    LOCK_PATH.write_text(json.dumps(
+        {"schema": 1, "config": PINNED, "algorithms": measured},
+        indent=1, sort_keys=True,
+    ) + "\n")
+    print(f"recorded comm volumes of {len(measured)} algorithms to "
+          f"{LOCK_PATH}")
+
+
+def check_models(problems: list[str]) -> None:
+    from repro.metrics.validate import validate_models
+
+    report = validate_models()
+    print(report.summary())
+    if not report.ok:
+        for cv in report.cases:
+            for msg in cv.failures:
+                problems.append(f"model {cv.case.name}: {msg}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--update", action="store_true",
+                    help="re-record the comm-volume lock instead of checking")
+    ap.add_argument("--skip-models", action="store_true",
+                    help="only run the comm-volume lock check")
+    args = ap.parse_args(argv)
+
+    problems: list[str] = []
+    if args.update:
+        update_lock()
+    else:
+        check_lock(problems)
+    if not args.skip_models:
+        check_models(problems)
+
+    if problems:
+        print("metrics gate FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

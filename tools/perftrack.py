@@ -257,8 +257,42 @@ def attach_baseline(report: dict, baseline: dict) -> dict:
     return report
 
 
+def list_baselines(bench_dir: Path | None = None, out=None) -> int:
+    """Print every committed ``benchmarks/BENCH_*.json`` baseline.
+
+    One row per tagged report: tag, mode, repeats, then each bench's best
+    wall time — the quick way to see which tags exist before picking a
+    ``--baseline`` or documenting the trajectory.
+    """
+    out = out or sys.stdout
+    bench_dir = bench_dir or (
+        Path(__file__).resolve().parent.parent / "benchmarks")
+    files = sorted(bench_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json baselines under {bench_dir}", file=out)
+        return 0
+    print(f"{'tag':<12} {'mode':<6} {'reps':>4}  bench walls (ms)", file=out)
+    for path in files:
+        tag = path.stem[len("BENCH_"):]
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{tag:<12} UNREADABLE: {exc}", file=out)
+            continue
+        walls = "  ".join(
+            f"{name}={entry['wall_s'] * 1e3:.2f}"
+            for name, entry in sorted(report.get("benches", {}).items())
+        )
+        print(f"{tag:<12} {report.get('mode', '?'):<6} "
+              f"{report.get('repeats', 0):>4}  {walls}", file=out)
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--list", action="store_true",
+                    help="list the committed benchmarks/BENCH_*.json "
+                         "baselines and exit")
     ap.add_argument("--out", type=Path, default=None,
                     help="write the JSON report here (overrides --tag)")
     ap.add_argument("--tag", default=None, metavar="NAME",
@@ -276,6 +310,8 @@ def main(argv=None) -> int:
                     help="fail if any bench is slower than baseline by more "
                          "than this factor (e.g. 1.2 = 20%% slower)")
     args = ap.parse_args(argv)
+    if args.list:
+        return list_baselines()
     repeats = args.repeats or (2 if args.smoke else 5)
     if args.out is None and args.tag is not None:
         bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
