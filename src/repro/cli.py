@@ -24,6 +24,14 @@ Commands
     Run one algorithm with full observability: write its metrics registry
     as JSON and its timeline as a Chrome trace (loadable in Perfetto /
     ``chrome://tracing``), and print the metrics summary.
+``soak [--trials N] [--seed S] [--schedule POLICY] ...``
+    Randomized chaos campaign (faults + checkpoint/resume), asserting
+    bitwise agreement with fault-free references; ``--schedule`` runs the
+    chaos legs under a perturbed engine interleaving.
+``schedfuzz [--algorithms A,B,...] [--schedules N] [--seed S] ...``
+    Interleaving fuzzer: run every registered algorithm under N explored
+    scheduler policies and assert bitwise-identical forces, virtual times
+    and communication volumes; failures dump replayable JSON artifacts.
 """
 
 from __future__ import annotations
@@ -229,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
              "algorithms with kill recovery — the rest are skipped with "
              "the reason listed",
     )
+    p_cmp.add_argument(
+        "--schedule", default=None, metavar="POLICY",
+        help="scheduler policy for every run: fifo | random[:SEED] | "
+             "adversarial[:SEED] (forces must be bitwise identical to "
+             "the default FIFO schedule)",
+    )
 
     p_prof = sub.add_parser(
         "profile",
@@ -267,6 +281,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for failure artifacts "
                              "(default: a temp dir)")
     p_soak.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop early after this much wall time")
+    p_soak.add_argument(
+        "--schedule", default=None, metavar="POLICY",
+        help="scheduler policy for the chaos/resume runs: fifo | "
+             "random[:SEED] | adversarial[:SEED]; the fault-free "
+             "reference stays FIFO, so the bitwise check also proves "
+             "schedule independence (recorded in failure artifacts)",
+    )
+
+    p_fuzz = sub.add_parser(
+        "schedfuzz",
+        help="interleaving fuzzer: explore perturbed engine schedules per "
+             "algorithm and assert bitwise-identical forces and traffic")
+    p_fuzz.add_argument("--algorithms", default=None, metavar="A,B,...",
+                        help="comma-separated registry names "
+                             "(default: the whole registry)")
+    p_fuzz.add_argument("--schedules", type=int, default=100,
+                        help="explored schedules per algorithm (default 100)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (schedule i is a pure function "
+                             "of (seed, i))")
+    p_fuzz.add_argument("--first-schedule", type=int, default=0, metavar="I",
+                        help="start at schedule index I (replay a failure "
+                             "from a longer campaign)")
+    p_fuzz.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="directory for bad-trace artifacts "
+                             "(default: a temp dir)")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
                         metavar="SECONDS",
                         help="stop early after this much wall time")
 
@@ -459,7 +502,7 @@ def _cmd_compare(args, out) -> int:
     faults = parse_faults(args.faults) if args.faults else None
     result = compare_algorithms(
         machine, particles, algorithms=names, c=args.replication,
-        rcut=args.rcut, faults=faults,
+        rcut=args.rcut, faults=faults, schedule=args.schedule,
     )
     print(f"{len(result.entries)} algorithms on {machine.describe()}, "
           f"{args.particles} particles, c={args.replication}", file=out)
@@ -526,10 +569,31 @@ def _cmd_soak(args, out) -> int:
         with_kills=not args.no_kills,
         out_dir=args.out_dir,
         time_budget=args.time_budget,
+        schedule=args.schedule,
     )
     print(report.summary(), file=out)
     if not report.ok:
         print(f"SOAK FAILED (seed={args.seed})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_schedfuzz(args, out) -> int:
+    from repro.experiments.schedfuzz import run_schedfuzz
+
+    names = (None if args.algorithms is None
+             else [a.strip() for a in args.algorithms.split(",") if a.strip()])
+    report = run_schedfuzz(
+        names,
+        schedules=args.schedules,
+        seed=args.seed,
+        first_schedule=args.first_schedule,
+        out_dir=args.out_dir,
+        time_budget=args.time_budget,
+    )
+    print(report.summary(), file=out)
+    if not report.ok:
+        print(f"SCHEDULE FUZZ FAILED (seed={args.seed})", file=sys.stderr)
         return 1
     return 0
 
@@ -547,6 +611,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "compare": _cmd_compare,
         "profile": _cmd_profile,
         "soak": _cmd_soak,
+        "schedfuzz": _cmd_schedfuzz,
     }[args.command]
     return handler(args, out)
 

@@ -203,6 +203,7 @@ def run_simulation(
     checkpoint: CheckpointPolicy | None = None,
     resume_from: str | None = None,
     metrics=None,
+    schedule=None,
 ) -> SimulationRun:
     """Run ``scfg.nsteps`` timesteps functionally on ``machine``.
 
@@ -253,6 +254,13 @@ def run_simulation(
     the fault-free reference's — op indices and channel sequence numbers
     restart from zero, so a schedule's faults re-fire relative to the
     resume point).
+
+    ``schedule`` perturbs the engine's scheduler free choices with a
+    :class:`~repro.simmpi.schedule.SchedulePolicy` (or spec string such as
+    ``"random:7"``).  The trajectory, clocks and traffic are bitwise
+    identical under every policy; the knob lets the schedule fuzzer and
+    the soak harness prove that multi-step recovery paths are
+    interleaving-independent (see ``docs/schedule-fuzzing.md``).
     """
     from repro.physics.kernels import RealKernel
 
@@ -414,8 +422,11 @@ def run_simulation(
             return None
         return block, forces, traj if len(traj) else None, tuple(recov)
 
+    opts = dict(engine_opts or {})
+    if schedule is not None:
+        opts["schedule"] = schedule
     run = Engine(machine, faults=faults, metrics=metrics,
-                 **(engine_opts or {})).run(program)
+                 **opts).run(program)
 
     if metrics is not None and writer is not None and writer.written:
         import os

@@ -109,6 +109,13 @@ class RunSpec:
         once after the run) and the force kernel (the ``kernel.pairs``
         interaction counter).  ``None`` (default) records nothing and adds
         no work.
+    schedule:
+        Optional :class:`~repro.simmpi.schedule.SchedulePolicy` or spec
+        string (``"fifo"``, ``"random:SEED"``, ``"adversarial[:SEED]"``)
+        perturbing the engine's scheduler free choices.  Forces, clocks
+        and traffic are bitwise identical under every policy — the knob
+        exists so the schedule fuzzer (and any suspicious test) can prove
+        it.  ``None`` (default) keeps the FIFO fast path.
     seed:
         Seed for the synthesized workload when ``particles`` is omitted.
     """
@@ -133,6 +140,7 @@ class RunSpec:
     faults: FaultSchedule | None = None
     engine_opts: dict | None = None
     metrics: Any = None
+    schedule: Any = None
     seed: int | None = None
 
     def workload(self) -> ParticleSet:
@@ -342,12 +350,16 @@ def run(spec: RunSpec) -> Run:
     alg = get_algorithm(spec.algorithm)
     _validate(spec, alg)
     prep = alg.prepare(spec)
+    opts = dict(spec.engine_opts or {})
+    if spec.schedule is not None:
+        # The explicit field wins over an engine_opts entry.
+        opts["schedule"] = spec.schedule
     engine = Engine(
         spec.machine,
         eager_threshold=spec.eager_threshold,
         faults=spec.faults,
         metrics=spec.metrics,
-        **(spec.engine_opts or {}),
+        **opts,
     )
     result = engine.run(prep.program)
     if prep.collect is not None:

@@ -24,6 +24,11 @@ from repro.experiments.report import (
     render_figure,
     render_scaling,
 )
+from repro.experiments.schedfuzz import (
+    SchedFuzzCheck,
+    SchedFuzzReport,
+    run_schedfuzz,
+)
 
 __all__ = [
     "FIG2",
@@ -47,5 +52,8 @@ __all__ = [
     "render_figure",
     "render_scaling",
     "run_figure",
+    "run_schedfuzz",
+    "SchedFuzzCheck",
+    "SchedFuzzReport",
     "validate_figure",
 ]

@@ -1,0 +1,359 @@
+"""Schedule fuzzer: adversarial interleaving exploration over the registry.
+
+The engine promises that *scheduling order is unobservable*: every virtual
+time is computed from posting timestamps, every reduction folds in a fixed
+order, so any interleaving the cooperative scheduler could legally choose
+must produce bitwise-identical physics and identical traffic.  This
+harness turns that promise into a fuzzable, replayable contract.
+
+For every registered algorithm (functional *and* modeled), one **FIFO
+baseline** run is taken at the metrics-lock configuration, then ``N``
+perturbed runs execute under derived
+:class:`~repro.simmpi.schedule.SchedulePolicy` seeds (a deterministic
+mix of ``random:SEED`` and ``adversarial:SEED`` policies).  Each explored
+schedule must match the baseline on every observable:
+
+* **forces** — bitwise (:func:`numpy.array_equal`), plus particle ids;
+* **virtual time** — the makespan and every rank's final clock, exactly;
+* **trace invariants** — per-rank, per-phase seconds / messages / bytes
+  (sent and received) / retries, exactly;
+* **comm volume** — run totals and critical-path counts; when the
+  baseline configuration matches ``benchmarks/METRICS_LOCK.json`` the
+  totals are additionally checked against the committed lock, so a
+  schedule-dependent traffic change cannot hide behind a stale baseline;
+* **pool / zero-copy integrity** — the engine audits its request free
+  list and matching queues after every perturbed run
+  (:meth:`~repro.simmpi.engine.Engine.check_invariants`) and raises on
+  violation, which the harness records as a failure.
+
+Every trial is a pure function of ``(algorithm, seed, schedule index)``:
+the schedule seed is derived as ``SeedSequence([seed, index])``, so any
+failure is replayable byte-for-byte from the ``(algorithm, seed,
+schedule_seed)`` triple the report and the JSON bad-trace artifact both
+record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.runner import RunSpec, get_algorithm, list_algorithms, run
+
+__all__ = ["SchedFuzzCheck", "SchedFuzzReport", "derive_schedule",
+           "run_schedfuzz"]
+
+#: The pinned fuzz configuration — deliberately the metrics-lock pin
+#: (``tools/metrics_gate.py``), so measured comm volumes can be checked
+#: against the committed lock as well as against the FIFO baseline.
+PINNED = {"p": 16, "n": 64, "c": 2, "rcut": 0.3, "seed": 0}
+
+_LOCK_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / \
+    "METRICS_LOCK.json"
+
+
+def derive_schedule(seed: int, index: int) -> str:
+    """The schedule spec explored at ``index`` for campaign ``seed``.
+
+    A pure function (SeedSequence-derived seed; every third trial is
+    adversarial, the rest random), so a failing trial replays from its
+    ``(seed, index)`` pair alone.
+    """
+    sseed = int(np.random.SeedSequence([seed, index]).generate_state(1)[0])
+    family = "adversarial" if index % 3 == 2 else "random"
+    return f"{family}:{sseed}"
+
+
+@dataclass
+class SchedFuzzCheck:
+    """One (algorithm, explored schedule) verdict."""
+
+    algorithm: str
+    index: int
+    seed: int
+    schedule_seed: int
+    schedule: str            # full policy spec, e.g. "random:123456"
+    outcome: str = "ok"      # "ok" | "failed"
+    detail: str = ""
+
+    @property
+    def triple(self) -> tuple[str, int, int]:
+        """The replay handle: ``(algorithm, seed, schedule_seed)``."""
+        return (self.algorithm, self.seed, self.schedule_seed)
+
+    def describe(self) -> str:
+        """One log line naming the replay triple and the verdict."""
+        base = (f"{self.algorithm:22s} #{self.index:<3d} "
+                f"[{self.outcome:6s}] {self.schedule}")
+        if self.detail:
+            base += f" — {self.detail}"
+        return base
+
+
+@dataclass
+class SchedFuzzReport:
+    """Campaign outcome: per-check verdicts plus replay bookkeeping."""
+
+    seed: int
+    schedules: int
+    config: dict = field(default_factory=dict)
+    checks: list[SchedFuzzCheck] = field(default_factory=list)
+    artifacts: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[SchedFuzzCheck]:
+        return [c for c in self.checks if c.outcome == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """Failure lines (all of them), the tally, and replay commands."""
+        lines = [c.describe() for c in self.failures]
+        algorithms = sorted({c.algorithm for c in self.checks})
+        lines.append(
+            f"schedfuzz seed={self.seed}: {len(self.checks)} schedules "
+            f"explored over {len(algorithms)} algorithms "
+            f"({len(self.failures)} failed)"
+        )
+        for line in self.skipped:
+            lines.append(f"skipped: {line}")
+        for c in self.failures:
+            lines.append(
+                f"REPLAY {c.triple}: python -m repro schedfuzz "
+                f"--algorithms {c.algorithm} --seed {c.seed} "
+                f"--first-schedule {c.index} --schedules 1"
+            )
+        for path in self.artifacts:
+            lines.append(f"artifact: {path}")
+        return "\n".join(lines)
+
+
+def _spec(machine_cls, name: str, config: dict, schedule=None) -> RunSpec:
+    """A registry-respecting RunSpec at the pinned configuration."""
+    alg = get_algorithm(name)
+    return RunSpec(
+        machine=machine_cls(nranks=config["p"]),
+        algorithm=name,
+        n=config["n"],
+        c=config["c"] if alg.supports_c else 1,
+        rcut=config["rcut"] if alg.needs_rcut else None,
+        seed=config["seed"],
+        schedule=schedule,
+    )
+
+
+def _signature(out) -> dict:
+    """Every schedule-independent observable of one run, exactly.
+
+    Forces are kept as raw bytes (+shape) so the comparison is bitwise by
+    construction; trace totals include the retry fields so a fault-laced
+    fuzz cannot silently shift retransmit accounting between schedules.
+    """
+    forces = None
+    if out.forces is not None:
+        forces = (out.forces.shape, out.forces.tobytes(),
+                  out.ids.tobytes())
+    report = out.run.report
+    phases = {
+        tr.rank: {
+            label: (pt.seconds, pt.messages_sent, pt.messages_received,
+                    pt.bytes_sent, pt.bytes_received, pt.retries,
+                    pt.redelivered)
+            for label, pt in tr.phases.items()
+        }
+        for tr in report.traces
+    }
+    return {
+        "forces": forces,
+        "elapsed": out.run.elapsed,
+        "clocks": tuple(out.run.clocks),
+        "nops": out.run.nops,
+        "phases": phases,
+        "volume": _volume(out),
+    }
+
+
+def _volume(out) -> dict:
+    """Run-total and critical-path comm volume (metrics-gate schema)."""
+    report = out.run.report
+    total_messages = 0
+    total_bytes = 0
+    for tr in report.traces:
+        for tot in tr.phases.values():
+            total_messages += tot.messages_sent
+            total_bytes += tot.bytes_sent
+    return {
+        "critical_messages": int(report.critical_messages()),
+        "critical_bytes": int(report.critical_bytes()),
+        "total_messages": int(total_messages),
+        "total_bytes": int(total_bytes),
+    }
+
+
+def _diff_signatures(base: dict, got: dict) -> str | None:
+    """First divergence between two run signatures, or ``None``."""
+    bf, gf = base["forces"], got["forces"]
+    if (bf is None) != (gf is None):
+        return "one run produced forces, the other did not"
+    if bf is not None and bf != gf:
+        a = np.frombuffer(bf[1], dtype=np.float64)
+        b = np.frombuffer(gf[1], dtype=np.float64)
+        detail = "shapes differ" if bf[0] != gf[0] else (
+            f"max |delta|={float(np.max(np.abs(a - b))):.3e} over "
+            f"{int(np.sum(a != b))} lanes")
+        if bf[2] != gf[2]:
+            detail += "; particle ids differ"
+        return f"forces diverged ({detail})"
+    for key in ("elapsed", "clocks", "nops"):
+        if base[key] != got[key]:
+            return f"{key} diverged: {base[key]!r} != {got[key]!r}"
+    if base["volume"] != got["volume"]:
+        return (f"comm volume diverged: baseline {base['volume']} vs "
+                f"{got['volume']}")
+    if base["phases"] != got["phases"]:
+        for rank in sorted(set(base["phases"]) | set(got["phases"])):
+            if base["phases"].get(rank) != got["phases"].get(rank):
+                return (f"rank {rank} phase totals diverged: "
+                        f"{base['phases'].get(rank)!r} != "
+                        f"{got['phases'].get(rank)!r}")
+    return None
+
+
+def _check_lock(name: str, volume: dict, config: dict,
+                lock_path) -> str | None:
+    """Baseline comm volume vs the committed metrics lock (when pinned)."""
+    path = Path(lock_path) if lock_path is not None else _LOCK_PATH
+    if not path.exists():
+        return None
+    lock = json.loads(path.read_text())
+    if lock.get("config") != config or name not in lock.get("algorithms", {}):
+        return None
+    locked = lock["algorithms"][name]
+    for key, want in locked.items():
+        if volume.get(key) != want:
+            return (f"baseline {key}={volume.get(key)} != locked {want} "
+                    f"({path.name})")
+    return None
+
+
+def _dump_artifact(directory: str, check: SchedFuzzCheck, config: dict,
+                   baseline: dict | None, got: dict | None) -> str:
+    """Persist a failing check as a replayable JSON bad-trace artifact."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(
+        directory,
+        f"schedfuzz-{check.algorithm}-seed{check.seed}-"
+        f"schedule{check.index:03d}.json",
+    )
+
+    def _jsonable(sig):
+        if sig is None:
+            return None
+        out = dict(sig)
+        if out.get("forces") is not None:
+            shape, blob, ids = out["forces"]
+            out["forces"] = {
+                "shape": list(shape),
+                "values": np.frombuffer(blob, dtype=np.float64).tolist(),
+                "ids": np.frombuffer(ids, dtype=np.int64).tolist(),
+            }
+        out["phases"] = {str(r): {l: list(t) for l, t in ph.items()}
+                         for r, ph in out["phases"].items()}
+        out["clocks"] = list(out["clocks"])
+        return out
+
+    with open(path, "w") as fh:
+        json.dump({
+            "algorithm": check.algorithm,
+            "seed": check.seed,
+            "schedule_seed": check.schedule_seed,
+            "schedule": check.schedule,
+            "index": check.index,
+            "config": config,
+            "detail": check.detail,
+            "replay": (f"python -m repro schedfuzz --algorithms "
+                       f"{check.algorithm} --seed {check.seed} "
+                       f"--first-schedule {check.index} --schedules 1"),
+            "baseline": _jsonable(baseline),
+            "perturbed": _jsonable(got),
+        }, fh, indent=1, default=str)
+    return path
+
+
+def run_schedfuzz(
+    algorithms: list[str] | None = None,
+    *,
+    schedules: int = 100,
+    seed: int = 0,
+    first_schedule: int = 0,
+    config: dict | None = None,
+    out_dir: str | None = None,
+    time_budget: float | None = None,
+    lock_path=None,
+) -> SchedFuzzReport:
+    """Fuzz ``schedules`` interleavings per algorithm; see module docstring.
+
+    ``algorithms`` defaults to the whole registry.  ``first_schedule``
+    offsets the explored indices (schedule ``i`` is a pure function of
+    ``(seed, i)``), so one failing schedule replays alone.  ``config``
+    overrides the pinned ``{p, n, c, rcut, seed}`` measurement point
+    (volumes are then no longer checked against the metrics lock).
+    ``time_budget`` (wall seconds) stops the campaign early, recording
+    what was skipped.
+    """
+    from repro.machines import GenericMachine
+
+    cfg = dict(PINNED if config is None else config)
+    report = SchedFuzzReport(seed=seed, schedules=schedules, config=cfg)
+    names = list(algorithms) if algorithms is not None else list_algorithms()
+    artifact_dir = out_dir or tempfile.mkdtemp(prefix="schedfuzz-")
+    t0 = time.monotonic()
+    for name in names:
+        if time_budget is not None and time.monotonic() - t0 > time_budget:
+            report.skipped.append(f"{name}: time budget exhausted")
+            continue
+        baseline = run(_spec(GenericMachine, name, cfg))
+        base_sig = _signature(baseline)
+        lock_problem = _check_lock(name, base_sig["volume"], cfg, lock_path)
+        for index in range(first_schedule, first_schedule + schedules):
+            spec_str = derive_schedule(seed, index)
+            sseed = int(spec_str.partition(":")[2])
+            check = SchedFuzzCheck(algorithm=name, index=index, seed=seed,
+                                   schedule_seed=sseed, schedule=spec_str)
+            report.checks.append(check)
+            if time_budget is not None and time.monotonic() - t0 > time_budget:
+                report.skipped.append(
+                    f"{name}: schedules {index}.. skipped (time budget)")
+                report.checks.pop()
+                break
+            if lock_problem:
+                # The baseline itself is off the committed lock; every
+                # schedule inherits the failure rather than masking it.
+                check.outcome = "failed"
+                check.detail = lock_problem
+                report.artifacts.append(_dump_artifact(
+                    artifact_dir, check, cfg, base_sig, None))
+                continue
+            got_sig = None
+            try:
+                got = run(_spec(GenericMachine, name, cfg, schedule=spec_str))
+                got_sig = _signature(got)
+                mismatch = _diff_signatures(base_sig, got_sig)
+            except Exception as exc:
+                mismatch = (f"perturbed run raised "
+                            f"{type(exc).__name__}: {exc}")
+            if mismatch:
+                check.outcome = "failed"
+                check.detail = mismatch
+                report.artifacts.append(_dump_artifact(
+                    artifact_dir, check, cfg, base_sig, got_sig))
+    return report

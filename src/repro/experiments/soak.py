@@ -72,6 +72,7 @@ class SoakTrial:
     rcut: float | None
     workload: str             # "uniform" | "clustered"
     schedule: str             # repr of the fault schedule
+    schedule_policy: str = "fifo"   # scheduler policy spec the trial ran under
     outcome: str = "ok"       # "ok" | "declared" | "failed" | "skipped"
     detail: str = ""
     checkpoints: int = 0
@@ -85,6 +86,8 @@ class SoakTrial:
                 f"{self.algorithm:8s} p={self.p} c={self.c} n={self.n} "
                 f"dim={self.dim} steps={self.nsteps} {self.workload:9s} "
                 f"deaths={self.deaths} ckpts={self.checkpoints}")
+        if self.schedule_policy != "fifo":
+            base += f" sched={self.schedule_policy}"
         if self.resumed_from is not None:
             base += (f" resume@{self.resumed_from}"
                      f"{'+faults' if self.resume_faulty else ''}")
@@ -118,9 +121,11 @@ class SoakReport:
         tally = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
         lines.append(f"soak seed={self.seed}: {len(self.trials)} trials ({tally})")
         for t in self.failures:
+            sched = ("" if t.schedule_policy == "fifo"
+                     else f", schedule={t.schedule_policy!r}")
             lines.append(
                 f"REPLAY: run_soak(trials=1, seed={self.seed}, "
-                f"first_trial={t.index}) reproduces trial {t.index}"
+                f"first_trial={t.index}{sched}) reproduces trial {t.index}"
             )
         for path in self.artifacts:
             lines.append(f"artifact: {path}")
@@ -154,8 +159,14 @@ def _random_schedule(rng: np.random.Generator, grid, *,
 
 
 def _dump_artifact(directory: str, trial: SoakTrial, machine, scfg,
-                   blocks, faults) -> str:
-    """Persist a failing trial's config and a recorded timeline as JSON."""
+                   blocks, faults, schedule=None) -> str:
+    """Persist a failing trial's config and a recorded timeline as JSON.
+
+    The artifact records the scheduler policy spec alongside the fault
+    schedule (both inside ``trial`` and as a top-level key), so a failure
+    found under a perturbed interleaving replays under the *same*
+    interleaving.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"soak-failure-trial{trial.index:03d}.json")
     timeline = None
@@ -163,12 +174,14 @@ def _dump_artifact(directory: str, trial: SoakTrial, machine, scfg,
         from repro.simmpi.tracing import timeline_to_json
 
         rerun = run_simulation(machine, scfg, blocks, faults=faults,
+                               schedule=schedule,
                                engine_opts={"record_events": True})
         timeline = json.loads(timeline_to_json(rerun.run.events))
     except Exception as exc:  # the rerun may legitimately raise
         timeline = f"timeline rerun raised: {exc!r}"
     with open(path, "w") as fh:
         json.dump({"trial": trial.__dict__, "schedule": trial.schedule,
+                   "schedule_policy": trial.schedule_policy,
                    "timeline": timeline}, fh, indent=1, default=str)
     return path
 
@@ -193,6 +206,7 @@ def run_soak(
     with_kills: bool = True,
     out_dir: str | None = None,
     time_budget: float | None = None,
+    schedule=None,
 ) -> SoakReport:
     """Run ``trials`` randomized chaos trials; see the module docstring.
 
@@ -201,6 +215,13 @@ def run_soak(
     be replayed alone.  ``out_dir`` receives failure artifacts (default: a
     temporary directory).  ``time_budget`` (wall seconds) stops the
     campaign early, marking the remaining trials ``skipped``.
+
+    ``schedule`` (a :class:`~repro.simmpi.schedule.SchedulePolicy` spec
+    string, e.g. ``"adversarial"`` or ``"random:7"``) perturbs the
+    engine's scheduler free choices for the chaos and resume runs — the
+    fault-free reference always runs FIFO, so the bitwise comparison
+    simultaneously exercises fault recovery *and* schedule independence.
+    The policy spec is recorded on every trial and in failure artifacts.
     """
     report = SoakReport(seed=seed)
     t0 = time.monotonic()
@@ -217,7 +238,9 @@ def run_soak(
         workload = str(rng.choice(["uniform", "clustered"]))
         trial = SoakTrial(index=index, seed=seed, algorithm=algorithm, p=p,
                           c=c, n=n, dim=dim, nsteps=nsteps, rcut=rcut,
-                          workload=workload, schedule="")
+                          workload=workload, schedule="",
+                          schedule_policy="fifo" if schedule is None
+                          else str(schedule))
         report.trials.append(trial)
         if time_budget is not None and time.monotonic() - t0 > time_budget:
             trial.outcome = "skipped"
@@ -252,7 +275,7 @@ def run_soak(
                                       every=int(rng.choice([1, 2])))
             try:
                 chaos = run_simulation(machine, scfg, blocks, faults=faults,
-                                       checkpoint=policy)
+                                       checkpoint=policy, schedule=schedule)
             except _DECLARED as exc:
                 trial.outcome = "declared"
                 trial.detail = f"{type(exc).__name__}: {exc}"
@@ -261,7 +284,8 @@ def run_soak(
                 trial.outcome = "failed"
                 trial.detail = f"undeclared {type(exc).__name__}: {exc}"
                 report.artifacts.append(_dump_artifact(
-                    artifact_dir, trial, machine, scfg, blocks, faults))
+                    artifact_dir, trial, machine, scfg, blocks, faults,
+                    schedule))
                 continue
             trial.checkpoints = len(chaos.checkpoints)
             trial.deaths = len(chaos.run.deaths)
@@ -270,7 +294,8 @@ def run_soak(
                 trial.outcome = "failed"
                 trial.detail = mismatch
                 report.artifacts.append(_dump_artifact(
-                    artifact_dir, trial, machine, scfg, blocks, faults))
+                    artifact_dir, trial, machine, scfg, blocks, faults,
+                    schedule))
                 continue
 
             midrun = [(s, path) for s, path in chaos.checkpoints
@@ -285,6 +310,7 @@ def run_soak(
                 resumed = run_simulation(
                     machine, scfg, resume_from=path,
                     faults=faults if resume_faulty else None,
+                    schedule=schedule,
                 )
             except _DECLARED as exc:
                 trial.outcome = "declared"
@@ -294,12 +320,14 @@ def run_soak(
                 trial.outcome = "failed"
                 trial.detail = f"resume: undeclared {type(exc).__name__}: {exc}"
                 report.artifacts.append(_dump_artifact(
-                    artifact_dir, trial, machine, scfg, blocks, faults))
+                    artifact_dir, trial, machine, scfg, blocks, faults,
+                    schedule))
                 continue
             mismatch = _check_state(resumed, reference, f"resume@{step}")
             if mismatch:
                 trial.outcome = "failed"
                 trial.detail = mismatch
                 report.artifacts.append(_dump_artifact(
-                    artifact_dir, trial, machine, scfg, blocks, faults))
+                    artifact_dir, trial, machine, scfg, blocks, faults,
+                    schedule))
     return report

@@ -44,14 +44,20 @@ from repro.simmpi.faults import (
 )
 from repro.simmpi.collectives_ext import allreduce_rabenseifner, bcast_pipelined
 from repro.simmpi.payload import join_payloads, payload_nbytes, split_payload
+from repro.simmpi.schedule import (AdversarialPolicy, FifoPolicy,
+                                   RandomPolicy, SchedulePolicy)
 from repro.simmpi.topology import ReplicatedGrid, ring_shift
 from repro.simmpi.tracing import (NullTrace, PhaseTotals, RankTrace,
                                   TimelineEvent, TraceReport, timeline_to_json)
 
 __all__ = [
+    "AdversarialPolicy",
     "CartComm",
     "Comm",
     "CorruptTransfer",
+    "FifoPolicy",
+    "RandomPolicy",
+    "SchedulePolicy",
     "DelayTransfer",
     "DropTransfer",
     "FaultSchedule",

@@ -13,6 +13,17 @@ Every function is a generator to be driven with ``yield from``.  All message
 tags live in the reserved collective tag space (one sub-space per collective
 kind), so user point-to-point traffic can never be confused with collective
 traffic on the same communicator.
+
+Schedule independence
+---------------------
+Each collective's *combination* order is fixed by the algorithm (binomial
+fold order, ascending-rank folds in allreduce), never by message arrival
+order, so results are bitwise identical under any
+:class:`~repro.simmpi.schedule.SchedulePolicy`.  The exchange rounds ride
+on ``Comm._coll_sendrecv``, whose send/recv posting order is a scheduler
+free choice the policy may flip — the interleaving fuzzer drives these
+trees under perturbed schedules to keep that contract locked (see
+``docs/schedule-fuzzing.md``).
 """
 
 from __future__ import annotations

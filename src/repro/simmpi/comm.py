@@ -271,8 +271,17 @@ class Comm:
             wsrc = self.translate(source)
         engine = self.engine
         phase = engine._phases[self._wrank]
-        sreq = yield IsendOp(wdst, stag, payload, int(nbytes), phase)
-        rreq = yield IrecvOp(wsrc, rtag, phase)
+        # Both requests are posted at the same virtual instant and waited
+        # together, so their posting order is a scheduler free choice; a
+        # schedule policy may flip it (rendezvous timing is unaffected —
+        # transfers start at max(send_post, recv_post) either way).
+        policy = engine.schedule
+        if policy is not None and policy.reorder_posts():
+            rreq = yield IrecvOp(wsrc, rtag, phase)
+            sreq = yield IsendOp(wdst, stag, payload, int(nbytes), phase)
+        else:
+            sreq = yield IsendOp(wdst, stag, payload, int(nbytes), phase)
+            rreq = yield IrecvOp(wsrc, rtag, phase)
         yield WaitOp((sreq, rreq), phase)
         received = rreq.payload
         engine.release_request(sreq)
@@ -309,8 +318,18 @@ class Comm:
         wire = self._coll_base + tag
         engine = self.engine
         phase = engine._phases[self._wrank]
-        sreq = yield IsendOp(ranks[dest], wire, payload, int(nbytes), phase)
-        rreq = yield IrecvOp(ranks[source], wire, phase)
+        # Same free posting order as sendrecv: collectives built on this
+        # helper (allreduce, allgather, alltoall, barrier) inherit the
+        # schedule policy's reordering for free.
+        policy = engine.schedule
+        if policy is not None and policy.reorder_posts():
+            rreq = yield IrecvOp(ranks[source], wire, phase)
+            sreq = yield IsendOp(ranks[dest], wire, payload, int(nbytes),
+                                 phase)
+        else:
+            sreq = yield IsendOp(ranks[dest], wire, payload, int(nbytes),
+                                 phase)
+            rreq = yield IrecvOp(ranks[source], wire, phase)
         yield WaitOp((sreq, rreq), phase)
         received = rreq.payload
         engine.release_request(sreq)

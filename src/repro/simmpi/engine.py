@@ -26,6 +26,16 @@ deterministic.  ``MPI_ANY_SOURCE``/``ANY_TAG`` are deliberately unsupported;
 the N-body algorithms never need them and their absence keeps matching
 deterministic.
 
+Because times never depend on scheduling order, the scheduler's remaining
+free choices — which runnable rank to pop next, which peer of a matched
+transfer to notify first, the re-queue order of a completed collective —
+must be unobservable.  A :class:`~repro.simmpi.schedule.SchedulePolicy`
+(``schedule=``) perturbs exactly those choices (seeded-random or
+adversarial) while preserving per-channel FIFO matching; any bitwise
+divergence under a perturbed schedule is a real reordering bug.  The
+``repro schedfuzz`` harness explores this space systematically — see
+``docs/schedule-fuzzing.md``.
+
 Deadlock is detected exactly: if no rank is runnable and at least one is
 blocked, a :class:`~repro.simmpi.errors.DeadlockError` is raised naming every
 blocked rank and its pending requests.
@@ -61,6 +71,7 @@ from repro.simmpi.errors import (
 )
 from repro.simmpi.faults import FaultSchedule, Tombstone, corrupt_payload
 from repro.simmpi.payload import payload_crc32
+from repro.simmpi.schedule import resolve_schedule
 from repro.simmpi.tracing import (DEFAULT_PHASE, RETRY_PHASE, NullTrace,
                                   RankTrace, TimelineEvent, TraceReport)
 
@@ -291,6 +302,16 @@ class Engine:
         (:func:`~repro.metrics.collect.record_engine_run`) after the loop
         ends — the hot path itself never sees the registry, so the cost
         of metrics is one post-run pass over the trace report.
+    schedule:
+        Optional :class:`~repro.simmpi.schedule.SchedulePolicy` (or spec
+        string such as ``"random:7"`` / ``"adversarial"``) perturbing the
+        scheduler's free choices: ready-queue pop order, matched-pair
+        notification order, collective re-queue order and sendrecv
+        posting order.  Results must be bitwise identical under every
+        policy — the perturbation exists to *prove* that (see
+        ``docs/schedule-fuzzing.md``); after a perturbed run the engine
+        additionally audits its pool/queue invariants and raises on any
+        violation.  ``None`` (default) keeps the zero-overhead FIFO loop.
     """
 
     def __init__(self, machine, *, eager_threshold: int = 0,
@@ -298,10 +319,11 @@ class Engine:
                  record_traffic: bool = False, record_phases: bool = True,
                  fast_path: bool = True,
                  faults: FaultSchedule | None = None,
-                 metrics=None):
+                 metrics=None, schedule=None):
         self.machine = machine
         self.faults = faults
         self.metrics = metrics
+        self.schedule = resolve_schedule(schedule)
         self.record_events = bool(record_events)
         self.record_traffic = bool(record_traffic)
         self.record_phases = bool(record_phases)
@@ -413,6 +435,53 @@ class Engine:
         for req in reqs:
             self.release_request(req)
 
+    def check_invariants(self) -> list[str]:
+        """Audit the pool / matching-queue bookkeeping; return violations.
+
+        The request free list and the channel queues carry state across
+        arbitrary completion orders, so their flags are exactly where a
+        schedule-dependent bug would corrupt silently.  Checked: pooled
+        requests are complete, dequeued and payload-free (a retained
+        payload would leak — or worse, alias — user data into the next
+        borrower); no request is both pooled and still sitting in a
+        matching queue; queued requests carry a truthful ``queued`` flag;
+        the pool respects its bound.  Runs with a schedule policy invoke
+        this automatically after every :meth:`run`; it is cheap enough to
+        call directly from tests as well.
+        """
+        problems: list[str] = []
+        pooled = set()
+        for req in self._req_pool:
+            if id(req) in pooled:
+                problems.append(f"request {req!r} pooled twice")
+            pooled.add(id(req))
+            if not req.pooled:
+                problems.append(f"pooled request {req!r} lacks pooled flag")
+            if not req.complete:
+                problems.append(f"incomplete request {req!r} in pool")
+            if req.queued:
+                problems.append(f"pooled request {req!r} marked queued")
+            if req.payload is not None:
+                problems.append(f"pooled request {req!r} retains a payload")
+        if len(self._req_pool) > _REQ_POOL_MAX:
+            problems.append(
+                f"free list over bound: {len(self._req_pool)} > {_REQ_POOL_MAX}"
+            )
+        for key, ch in self._channels.items():
+            for queue, side in ((ch.sends, "send"), (ch.recvs, "recv")):
+                for req, _phase in queue:
+                    if id(req) in pooled:
+                        problems.append(
+                            f"{side} request {req!r} on channel {key} is "
+                            "simultaneously pooled"
+                        )
+                    if not req.queued:
+                        problems.append(
+                            f"{side} request {req!r} on channel {key} lacks "
+                            "queued flag"
+                        )
+        return problems
+
     # -- main entry point --------------------------------------------------
 
     def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> RunResult:
@@ -473,8 +542,14 @@ class Engine:
         run_rank = self._run_rank if self.fast_path else self._run_rank_slow
         ready = self._ready
         ranks = self._ranks
+        policy = self.schedule
+        if policy is None:
+            pop = ready.popleft
+        else:
+            policy.reset()
+            pop = lambda: policy.pop(ready)  # noqa: E731 - hot-loop closure
         while ready:
-            rank = ready.popleft()
+            rank = pop()
             state = ranks[rank]
             state.queued = False
             if state.finished or state.dead or state.blocked_on is not None:
@@ -499,6 +574,14 @@ class Engine:
                 + (f" ({len(self._deaths)} dead)" if self._deaths else ""),
                 blocked,
             )
+
+        if policy is not None:
+            problems = self.check_invariants()
+            if problems:
+                raise SimMPIError(
+                    f"pool/queue integrity violated under schedule policy "
+                    f"{policy.spec!r}: " + "; ".join(problems)
+                )
 
         clocks = [st.clock for st in self._ranks]
         report = TraceReport(self._traces if self.record_phases else [])
@@ -811,8 +894,13 @@ class Engine:
                 t_start=start, t_end=rreq.complete_time,
                 nbytes=nbytes, peer=rreq.owner,
             ))
-        self._maybe_unblock(sreq.owner)
-        self._maybe_unblock(rreq.owner)
+        policy = self.schedule
+        if policy is not None and policy.unblock_receiver_first():
+            self._maybe_unblock(rreq.owner)
+            self._maybe_unblock(sreq.owner)
+        else:
+            self._maybe_unblock(sreq.owner)
+            self._maybe_unblock(rreq.owner)
 
     def _maybe_unblock(self, rank: int) -> None:
         """If ``rank`` is blocked and all its requests completed, re-queue it."""
@@ -973,7 +1061,11 @@ class Engine:
         t_done = max(q.post_time for q in slot.values()) + detect
         dead = tuple(sorted(self._deaths))
         synchronous = False
-        for r, q in slot.items():
+        policy = self.schedule
+        members = list(slot.items())
+        if policy is not None:
+            members = policy.permute(members)
+        for r, q in members:
             if r in self._deaths:
                 continue
             q.complete = True
@@ -1059,7 +1151,11 @@ class Engine:
         else:
             raise SimMPIError(f"unknown hw collective kind {kind!r}")
 
-        for r in group:
+        # The reduction above is already folded in ascending-rank order;
+        # only the re-queue order below is a scheduler free choice.
+        policy = self.schedule
+        order = group if policy is None else policy.permute(group)
+        for r in order:
             q = slot.reqs[r]
             q.complete = True
             q.complete_time = t_done

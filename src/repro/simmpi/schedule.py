@@ -1,0 +1,241 @@
+"""Schedule-perturbation policies for the engine's cooperative scheduler.
+
+The engine's correctness story (see :mod:`repro.simmpi.engine`) is that all
+virtual *times* are computed from posting timestamps, never from scheduling
+order — so the order in which runnable ranks are popped from the ready
+queue, the order in which matched peers are notified, and the relative
+posting order of independent requests inside one wait group must all be
+*unobservable*.  Historically the engine only ever exercised one such
+order (FIFO), so that invariant was an untested promise: the PR-4 one-ulp
+tombstone-rebuild bug was schedule-dependent and was found by luck.
+
+A :class:`SchedulePolicy` makes the interleaving space explorable.  It
+perturbs exactly the decisions that rendezvous semantics leave open:
+
+* **ready-queue pop order** — which runnable rank the engine drives next
+  (:meth:`SchedulePolicy.pop`);
+* **completion-notification order** — whether the sender or the receiver
+  of a matched transfer is re-queued first
+  (:meth:`SchedulePolicy.unblock_receiver_first`);
+* **group re-queue order** — the order members of a completed hardware
+  collective or failure sync re-enter the ready queue
+  (:meth:`SchedulePolicy.permute`);
+* **posting order inside a wait group** — whether ``sendrecv`` posts its
+  send or its receive first; both are posted at the same virtual instant
+  and waited together, so either order is legal
+  (:meth:`SchedulePolicy.reorder_posts`).
+
+What a policy may **not** do: reorder messages *within* one
+``(src, dst, tag)`` channel (MPI's non-overtaking rule — the engine's
+per-channel FIFO queues enforce it regardless of policy), drop or
+duplicate operations, or touch virtual clocks.  Every policy therefore
+explores a schedule the real machine could have produced, and bitwise
+divergence under any policy is an engine or algorithm bug, not noise.
+
+Three policies are provided:
+
+``fifo``
+    The historical order; zero overhead (the engine keeps its plain
+    ``popleft`` loop when no perturbation is requested).
+``random:SEED``
+    Uniform choices from a private seeded generator.  Replaying the same
+    seed reproduces the exact interleaving — the replay handle every
+    fuzz failure artifact records.
+``adversarial[:SEED]``
+    Maximally anti-FIFO: newest-runnable-first (LIFO) pops, reversed
+    group re-queues, receive-before-send postings, receiver-first
+    notifications.  With a seed, occasional random pops are mixed in so
+    the policy also escapes pure-LIFO fixed points.
+
+Policies are accepted anywhere the engine is built: ``Engine(...,
+schedule=...)``, ``RunSpec(schedule=...)``, ``run_simulation(...,
+schedule=...)`` and the ``--schedule`` CLI flags, as either a policy
+instance or a spec string.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "AdversarialPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "SchedulePolicy",
+    "resolve_schedule",
+]
+
+
+class SchedulePolicy:
+    """Base policy: FIFO everywhere (the engine's historical order).
+
+    Subclasses override the four decision hooks; every hook must be a pure
+    function of the policy's own seeded state so a given ``(program,
+    policy spec)`` pair replays the exact same interleaving.
+    :meth:`reset` is called by the engine at the start of every run.
+    """
+
+    #: Policy family name; ``spec`` appends the seed when one exists.
+    name = "fifo"
+    #: Seed of the policy's private stream (``None`` for seedless ones).
+    seed: int | None = None
+
+    def reset(self) -> None:
+        """Re-arm the policy's private random stream for a fresh run."""
+
+    def pop(self, ready: deque) -> int:
+        """Choose and remove the next rank to drive from ``ready``."""
+        return ready.popleft()
+
+    def permute(self, seq: Sequence) -> Sequence:
+        """Order in which a completed group's members are re-queued."""
+        return seq
+
+    def reorder_posts(self) -> bool:
+        """True to post the receive before the send in a sendrecv pair."""
+        return False
+
+    def unblock_receiver_first(self) -> bool:
+        """True to notify a matched transfer's receiver before its sender."""
+        return False
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string (parseable by :meth:`from_spec`)."""
+        return self.name if self.seed is None else f"{self.name}:{self.seed}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.spec!r}>"
+
+    @classmethod
+    def from_spec(cls, spec) -> "SchedulePolicy":
+        """Parse ``NAME`` or ``NAME:SEED`` (or pass a policy through).
+
+        Accepted names: ``fifo``, ``random`` (seed defaults to 0) and
+        ``adversarial`` (seedless unless a seed is given).
+        """
+        if isinstance(spec, SchedulePolicy):
+            return spec
+        if not isinstance(spec, str):
+            raise TypeError(
+                f"schedule must be a SchedulePolicy or spec string, got "
+                f"{spec!r}"
+            )
+        name, sep, seed_text = spec.partition(":")
+        name = name.strip().lower()
+        seed = None
+        if sep:
+            try:
+                seed = int(seed_text)
+            except ValueError:
+                raise ValueError(
+                    f"schedule seed must be an integer, got {seed_text!r}"
+                ) from None
+        if name == "fifo":
+            if seed is not None:
+                raise ValueError("the fifo policy takes no seed")
+            return FifoPolicy()
+        if name == "random":
+            return RandomPolicy(0 if seed is None else seed)
+        if name == "adversarial":
+            return AdversarialPolicy(seed)
+        raise ValueError(
+            f"unknown schedule policy {name!r} "
+            "(expected fifo, random[:SEED] or adversarial[:SEED])"
+        )
+
+
+class FifoPolicy(SchedulePolicy):
+    """The identity policy — explicit form of the engine default."""
+
+
+class RandomPolicy(SchedulePolicy):
+    """Uniformly random choices from a private seeded stream."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def pop(self, ready: deque) -> int:
+        """Remove and return a uniformly random runnable rank."""
+        n = len(ready)
+        if n == 1:
+            return ready.popleft()
+        # Remove index i without disturbing the relative order of the rest.
+        i = int(self._rng.integers(n))
+        ready.rotate(-i)
+        rank = ready.popleft()
+        ready.rotate(i)
+        return rank
+
+    def permute(self, seq: Sequence) -> Sequence:
+        return [seq[i] for i in self._rng.permutation(len(seq))]
+
+    def reorder_posts(self) -> bool:
+        return bool(self._rng.integers(2))
+
+    def unblock_receiver_first(self) -> bool:
+        return bool(self._rng.integers(2))
+
+
+class AdversarialPolicy(SchedulePolicy):
+    """Maximally anti-FIFO choices (optionally seeded for variety).
+
+    Seedless, the policy is fully deterministic: newest-first pops,
+    reversed re-queues, and always-flipped posting/notification orders.
+    With a seed, one pop in four is drawn uniformly instead of LIFO so
+    repeated fuzz runs also explore mixtures rather than one fixed
+    anti-schedule.
+    """
+
+    name = "adversarial"
+
+    def __init__(self, seed: int | None = None):
+        self.seed = None if seed is None else int(seed)
+        self._rng = None if self.seed is None \
+            else np.random.default_rng(self.seed)
+
+    def reset(self) -> None:
+        if self.seed is not None:
+            self._rng = np.random.default_rng(self.seed)
+
+    def pop(self, ready: deque) -> int:
+        """Newest-runnable-first; seeded: one pop in four is uniform."""
+        if (self._rng is not None and len(ready) > 2
+                and self._rng.random() < 0.25):
+            i = int(self._rng.integers(len(ready)))
+            ready.rotate(-i)
+            rank = ready.popleft()
+            ready.rotate(i)
+            return rank
+        return ready.pop()  # newest first
+
+    def permute(self, seq: Sequence) -> Sequence:
+        return list(reversed(seq))
+
+    def reorder_posts(self) -> bool:
+        return True
+
+    def unblock_receiver_first(self) -> bool:
+        return True
+
+
+def resolve_schedule(spec) -> SchedulePolicy | None:
+    """Engine-facing resolver: ``None``/fifo become ``None`` (fast path).
+
+    The engine treats "no policy" as license to keep the zero-overhead
+    ``popleft`` loop, so the explicit FIFO policy — behaviourally identical
+    — is normalized away here.
+    """
+    if spec is None:
+        return None
+    policy = SchedulePolicy.from_spec(spec)
+    return None if type(policy) in (SchedulePolicy, FifoPolicy) else policy

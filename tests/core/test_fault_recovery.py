@@ -187,6 +187,26 @@ class TestInterleavedHoleRebuild:
         assert list(faulty.run.deaths) == [victim]
         assert np.array_equal(faulty.forces, clean.forces)
 
+    @pytest.mark.parametrize("schedule", ["random:1", "random:2", "random:3",
+                                          "random:4", "random:5",
+                                          "adversarial"])
+    def test_one_ulp_clean_under_perturbed_schedules(self, law, schedule):
+        """The hole-rebuild must stay exact whatever interleaving produced
+        the holes: the perturbed scheduler shifts which updates are already
+        buffered when the victim dies, so the rebuild sees *different*
+        mid-schedule hole patterns — and must still replay in full schedule
+        order, never by appending."""
+        ps = ParticleSet.uniform_random(53, 1, 1.0, max_speed=0.05, seed=7)
+        machine = GenericMachine(nranks=16)
+        clean = run_allpairs(machine, ps, 2, law=law)
+        faulty = run_allpairs(machine, ps, 2, law=law,
+                              faults=_kill(10, after_ops=2),
+                              engine_opts={"schedule": schedule})
+        assert list(faulty.run.deaths) == [10]
+        assert np.array_equal(faulty.forces, clean.forces), \
+            (f"interleaved-hole replay permuted a float summation under "
+             f"schedule {schedule!r}")
+
 
 class TestCutoffDriverRecovery:
     """Multi-step spatial-cutoff runs with kills: the c-fold replication

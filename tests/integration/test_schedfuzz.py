@@ -1,0 +1,152 @@
+"""The interleaving fuzzer itself: clean campaigns, bug detection, replay.
+
+Three properties are pinned here:
+
+1. A short campaign over real registry algorithms comes back clean (the
+   engine's schedule-independence contract holds).
+2. A deliberately schedule-dependent algorithm — one whose forces encode
+   the global execution order — is *detected*, and the failure artifact
+   carries the replayable ``(algorithm, seed, schedule_seed)`` triple.
+3. Campaigns and individual schedules are pure functions of their seeds,
+   so every REPLAY hint in a failure report actually reproduces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.runner import _REGISTRY, Prepared, register_algorithm
+from repro.experiments.schedfuzz import derive_schedule, run_schedfuzz
+
+pytestmark = pytest.mark.slow
+
+
+class TestCleanCampaign:
+    def test_short_campaign_over_real_algorithms_passes(self, tmp_path):
+        report = run_schedfuzz(["allpairs", "midpoint", "particle_ring"],
+                               schedules=4, seed=0, out_dir=str(tmp_path))
+        assert report.ok, report.summary()
+        assert len(report.checks) == 12
+        assert not report.artifacts
+        assert not list(tmp_path.iterdir())
+
+    def test_summary_tallies_the_campaign(self):
+        report = run_schedfuzz(["symmetric"], schedules=3, seed=2)
+        text = report.summary()
+        assert "3 schedules explored over 1 algorithms (0 failed)" in text
+
+    def test_time_budget_records_skips(self):
+        report = run_schedfuzz(["allpairs", "cutoff"], schedules=2, seed=0,
+                               time_budget=0.0)
+        assert report.ok
+        assert report.skipped
+
+
+class TestScheduleDerivation:
+    def test_schedule_is_pure_in_seed_and_index(self):
+        assert derive_schedule(0, 5) == derive_schedule(0, 5)
+        assert derive_schedule(0, 5) != derive_schedule(1, 5)
+
+    def test_every_third_schedule_is_adversarial(self):
+        kinds = [derive_schedule(0, i).split(":")[0] for i in range(9)]
+        assert kinds == ["random", "random", "adversarial"] * 3
+
+    def test_first_schedule_replays_the_same_specs(self):
+        full = [derive_schedule(3, i) for i in range(6)]
+        assert [derive_schedule(3, i) for i in range(4, 6)] == full[4:]
+
+
+@pytest.fixture
+def schedule_dependent_algorithm():
+    """Register an algorithm whose forces leak the execution order."""
+    name = "_fuzz_canary"
+
+    @register_algorithm(name, supports_c=False,
+                        summary="deliberately schedule-dependent (test only)")
+    def _prepare(spec):
+        n = spec.count()
+        order: list[int] = []  # fresh per run; records who ran first
+
+        def program(comm):
+            order.append(comm.rank)
+            yield from comm.barrier()
+            return (np.arange(n, dtype=np.int64),
+                    np.full((n, 2), float(order[0])))
+
+        def collect(result):
+            for r in result.results:
+                if r is not None:
+                    return r
+
+        return Prepared(program=program, collect=collect)
+
+    yield name
+    del _REGISTRY[name]
+
+
+class TestBugDetection:
+    def test_schedule_dependent_forces_are_caught(
+            self, tmp_path, schedule_dependent_algorithm):
+        report = run_schedfuzz([schedule_dependent_algorithm], schedules=6,
+                               seed=0, out_dir=str(tmp_path))
+        assert not report.ok
+        assert report.failures and report.artifacts
+        first = report.failures[0]
+        assert "forces diverged" in first.detail
+        # The replay handle is the documented triple.
+        assert first.triple == (schedule_dependent_algorithm, 0,
+                                first.schedule_seed)
+        text = report.summary()
+        assert "REPLAY" in text and "--first-schedule" in text
+
+    def test_artifact_carries_the_replay_triple(
+            self, tmp_path, schedule_dependent_algorithm):
+        report = run_schedfuzz([schedule_dependent_algorithm], schedules=3,
+                               seed=4, out_dir=str(tmp_path))
+        assert report.artifacts
+        art = json.loads(open(report.artifacts[0]).read())
+        check = report.failures[0]
+        assert art["algorithm"] == schedule_dependent_algorithm
+        assert art["seed"] == 4
+        assert art["schedule_seed"] == check.schedule_seed
+        assert art["schedule"] == check.schedule
+        assert "schedfuzz" in art["replay"]
+        # Both run signatures are embedded for offline diffing.
+        assert art["baseline"]["forces"]["values"]
+        assert art["perturbed"]["forces"]["values"]
+
+    def test_failing_schedule_replays_alone(
+            self, tmp_path, schedule_dependent_algorithm):
+        full = run_schedfuzz([schedule_dependent_algorithm], schedules=6,
+                             seed=0, out_dir=str(tmp_path / "full"))
+        bad = full.failures[0]
+        replay = run_schedfuzz([schedule_dependent_algorithm], schedules=1,
+                               seed=0, first_schedule=bad.index,
+                               out_dir=str(tmp_path / "replay"))
+        assert not replay.ok
+        assert replay.failures[0].schedule == bad.schedule
+        assert replay.failures[0].schedule_seed == bad.schedule_seed
+
+
+class TestCliSmoke:
+    def test_schedfuzz_subcommand(self, capsys):
+        from repro.cli import main
+
+        rc = main(["schedfuzz", "--algorithms", "allpairs",
+                   "--schedules", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 schedules explored over 1 algorithms (0 failed)" in out
+
+    def test_schedfuzz_subcommand_fails_loudly(
+            self, capsys, tmp_path, schedule_dependent_algorithm):
+        from repro.cli import main
+
+        rc = main(["schedfuzz", "--algorithms", schedule_dependent_algorithm,
+                   "--schedules", "4", "--out-dir", str(tmp_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REPLAY" in out and "artifact:" in out

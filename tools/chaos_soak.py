@@ -41,6 +41,12 @@ def main(argv=None) -> int:
     parser.add_argument("--time-budget", type=float, default=None,
                         metavar="SECONDS", help="stop early after this much "
                         "wall time; remaining trials are marked skipped")
+    parser.add_argument("--schedule", default=None, metavar="POLICY",
+                        help="run the chaos/resume legs under a perturbed "
+                        "engine schedule (fifo | random[:SEED] | "
+                        "adversarial[:SEED]); the fault-free reference "
+                        "stays FIFO, so bitwise agreement also proves "
+                        "schedule independence")
     args = parser.parse_args(argv)
 
     from repro.experiments.soak import run_soak
@@ -52,11 +58,13 @@ def main(argv=None) -> int:
         with_kills=not args.no_kills,
         out_dir=args.out_dir,
         time_budget=args.time_budget,
+        schedule=args.schedule,
     )
     print(report.summary())
     if not report.ok:
+        sched = "" if args.schedule is None else f" --schedule {args.schedule}"
         print(f"SOAK FAILED: rerun with --seed {args.seed} "
-              f"--first-trial {report.failures[0].index} --trials 1",
+              f"--first-trial {report.failures[0].index} --trials 1{sched}",
               file=sys.stderr)
         return 1
     return 0
