@@ -19,19 +19,23 @@ Commands
     functional, replication knob, fault-recovery mode, requirements).
 ``compare [--ranks P] [-c C] [--particles N] [--algorithms A,B,...] ...``
     Run registered algorithms on one shared workload/machine and tabulate
-    phase times, message/byte counts and force agreement side by side.
+    phase times, message/byte counts and force agreement side by side
+    (``--workers N`` parallelizes the rows; ``--engine-tier heuristic``
+    swaps in the vectorized phase-advance simulator).
 ``profile --algo NAME [--p P] [-c C] [--n N] ...``
     Run one algorithm with full observability: write its metrics registry
     as JSON and its timeline as a Chrome trace (loadable in Perfetto /
     ``chrome://tracing``), and print the metrics summary.
-``soak [--trials N] [--seed S] [--schedule POLICY] ...``
+``soak [--trials N] [--seed S] [--schedule POLICY] [--workers N] ...``
     Randomized chaos campaign (faults + checkpoint/resume), asserting
     bitwise agreement with fault-free references; ``--schedule`` runs the
-    chaos legs under a perturbed engine interleaving.
-``schedfuzz [--algorithms A,B,...] [--schedules N] [--seed S] ...``
+    chaos legs under a perturbed engine interleaving and ``--workers``
+    fans the trials out over worker processes.
+``schedfuzz [--algorithms A,B,...] [--schedules N] [--workers N] ...``
     Interleaving fuzzer: run every registered algorithm under N explored
     scheduler policies and assert bitwise-identical forces, virtual times
     and communication volumes; failures dump replayable JSON artifacts.
+    ``--workers`` fans the campaign out over worker processes.
 """
 
 from __future__ import annotations
@@ -243,6 +247,15 @@ def build_parser() -> argparse.ArgumentParser:
              "adversarial[:SEED] (forces must be bitwise identical to "
              "the default FIFO schedule)",
     )
+    p_cmp.add_argument(
+        "--engine-tier", default="event", choices=["event", "heuristic"],
+        help="simulator tier: 'event' (exact, per-message) or 'heuristic' "
+             "(vectorized phase-advance; same traffic, no forces — see "
+             "docs/performance.md)",
+    )
+    p_cmp.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="run the per-algorithm rows across N worker "
+                            "processes (0 = serial, the default)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -290,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
              "reference stays FIFO, so the bitwise check also proves "
              "schedule independence (recorded in failure artifacts)",
     )
+    p_soak.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="run trials across N worker processes "
+                             "(0 = serial; results are bitwise identical)")
 
     p_fuzz = sub.add_parser(
         "schedfuzz",
@@ -312,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--time-budget", type=float, default=None,
                         metavar="SECONDS",
                         help="stop early after this much wall time")
+    p_fuzz.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="fan the campaign out over N worker processes "
+                             "(0 = serial; verdicts are identical)")
 
     return parser
 
@@ -503,6 +522,7 @@ def _cmd_compare(args, out) -> int:
     result = compare_algorithms(
         machine, particles, algorithms=names, c=args.replication,
         rcut=args.rcut, faults=faults, schedule=args.schedule,
+        engine_tier=args.engine_tier, workers=args.workers,
     )
     print(f"{len(result.entries)} algorithms on {machine.describe()}, "
           f"{args.particles} particles, c={args.replication}", file=out)
@@ -570,6 +590,7 @@ def _cmd_soak(args, out) -> int:
         out_dir=args.out_dir,
         time_budget=args.time_budget,
         schedule=args.schedule,
+        workers=args.workers,
     )
     print(report.summary(), file=out)
     if not report.ok:
@@ -590,6 +611,7 @@ def _cmd_schedfuzz(args, out) -> int:
         first_schedule=args.first_schedule,
         out_dir=args.out_dir,
         time_budget=args.time_budget,
+        workers=args.workers,
     )
     print(report.summary(), file=out)
     if not report.ok:

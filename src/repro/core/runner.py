@@ -116,6 +116,15 @@ class RunSpec:
         and traffic are bitwise identical under every policy — the knob
         exists so the schedule fuzzer (and any suspicious test) can prove
         it.  ``None`` (default) keeps the FIFO fast path.
+    engine_tier:
+        Which simulator executes the run.  ``"event"`` (default): the
+        exact generator-coroutine engine — required for faults, schedule
+        perturbation, pair coverage and functional force output.
+        ``"heuristic"``: the vectorized phase-advance tier
+        (:mod:`repro.simmpi.fastsim`) — same ``RunResult`` schema with
+        bit-exact per-rank/per-phase traffic but approximate clocks and
+        no forces; orders of magnitude faster at large ``p``.  See
+        ``docs/performance.md`` for the selection matrix.
     seed:
         Seed for the synthesized workload when ``particles`` is omitted.
     """
@@ -141,6 +150,7 @@ class RunSpec:
     engine_opts: dict | None = None
     metrics: Any = None
     schedule: Any = None
+    engine_tier: str = "event"
     seed: int | None = None
 
     def workload(self) -> ParticleSet:
@@ -349,6 +359,15 @@ def run(spec: RunSpec) -> Run:
     """The single run pipeline: validate, prepare, execute, collect."""
     alg = get_algorithm(spec.algorithm)
     _validate(spec, alg)
+    if spec.engine_tier != "event":
+        if spec.engine_tier != "heuristic":
+            raise ValueError(
+                f"unknown engine_tier {spec.engine_tier!r}; choose 'event' "
+                "(exact simulator) or 'heuristic' (vectorized phase-advance "
+                "tier)")
+        from repro.simmpi.fastsim import run_heuristic
+
+        return run_heuristic(spec, alg)
     prep = alg.prepare(spec)
     opts = dict(spec.engine_opts or {})
     if spec.schedule is not None:

@@ -71,11 +71,43 @@ class ComparisonResult:
     skipped: dict[str, str]
 
 
+def _compare_task(task: tuple) -> AlgorithmComparison:
+    """One algorithm's comparison row — the parallel work unit.
+
+    ``task`` is ``(spec, name, ref_ordered)`` where ``ref_ordered`` is the
+    serial-reference force array already permuted into the run's output
+    order (``None`` when there is nothing to compare against, e.g. the
+    heuristic engine tier, which models traffic but computes no forces —
+    the row then reports ``max_abs_dev = nan``).
+    """
+    spec, name, ref_ordered = task
+    metrics = MetricsRegistry()
+    out = run(replace(spec, metrics=metrics))
+    if out.forces is None or ref_ordered is None:
+        dev = float("nan")
+    else:
+        dev = float(np.max(np.abs(out.forces - ref_ordered)))
+    report = out.report
+    return AlgorithmComparison(
+        algorithm=name,
+        elapsed=out.run.elapsed,
+        critical_messages=report.critical_messages(),
+        critical_bytes=report.critical_bytes(),
+        critical_words=report.critical_bytes() / PARTICLE_BYTES,
+        interactions=int(metrics.value("kernel.pairs")),
+        phase_table=report.phase_table(),
+        max_abs_dev=dev,
+        run=out,
+        metrics=metrics,
+    )
+
+
 def compare_algorithms(
     machine,
     particles: ParticleSet | None = None,
     *,
     algorithms: list[str] | None = None,
+    workers: int = 0,
     **spec_kwargs,
 ) -> ComparisonResult:
     """Run registered algorithms on one shared configuration and compare.
@@ -83,21 +115,32 @@ def compare_algorithms(
     ``algorithms`` defaults to every registered *functional* algorithm;
     remaining keyword arguments populate the shared
     :class:`~repro.core.runner.RunSpec` (``c``, ``law``, ``rcut``, ``n``,
-    ``seed``, ``faults``, ``engine_opts``, ...).  The replication factor is
-    dropped to 1 for algorithms without a replication knob; algorithms
-    whose requirements are unmet are skipped with a reason.
+    ``seed``, ``faults``, ``engine_opts``, ``engine_tier``, ...).  The
+    replication factor is dropped to 1 for algorithms without a
+    replication knob; algorithms whose requirements are unmet are skipped
+    with a reason.
 
     Force agreement is judged per algorithm against the serial reference
     for the physics that algorithm computes: cutoff-windowed methods
     against the cutoff-limited law, unrestricted methods against the open
-    law — so one call can meaningfully compare both families.
+    law — so one call can meaningfully compare both families.  With
+    ``engine_tier="heuristic"`` no forces are computed, the reference is
+    skipped, and every row reports ``max_abs_dev = nan`` — the comparison
+    is then purely about virtual time and comm volume.
 
     A ``faults=`` schedule runs every algorithm degraded, so retry /
     recovery overhead lands in each phase table.  Schedules that kill
     ranks run only on algorithms with a kill-recovery path
     (``fault_mode == "kills"``) at replication ``c >= 2``; the rest are
     skipped with the reason recorded.
+
+    ``workers > 0`` runs the per-algorithm rows across that many spawned
+    worker processes (:func:`repro.core.parallel.parallel_map`); every
+    row is a pure function of its spec, so the result is identical to
+    the serial sweep, in the same algorithm order.
     """
+    from repro.core.parallel import parallel_map
+
     names = (list(algorithms) if algorithms is not None
              else list_algorithms(functional=True))
     base = RunSpec(machine=machine, algorithm="", particles=particles,
@@ -107,9 +150,10 @@ def compare_algorithms(
 
     p = machine.nranks
     q = int(round(p**0.5))
-    entries: list[AlgorithmComparison] = []
     skipped: dict[str, str] = {}
     ref_cache: dict[ForceLaw, np.ndarray] = {}
+    order = np.argsort(workload.ids, kind="stable")
+    tasks: list[tuple] = []
 
     for name in names:
         alg = get_algorithm(name)
@@ -127,32 +171,19 @@ def compare_algorithms(
         if reason is not None:
             skipped[name] = reason
             continue
-        metrics = MetricsRegistry()
-        spec = replace(base, algorithm=name, c=c_eff, metrics=metrics)
-        out = run(spec)
+        spec = replace(base, algorithm=name, c=c_eff)
+        if base.engine_tier == "heuristic":
+            ref_ordered = None
+        else:
+            ref_law = (spec.resolved_law() if alg.needs_rcut
+                       else (spec.law or ForceLaw()))
+            ref = ref_cache.get(ref_law)
+            if ref is None:
+                ref = ref_cache[ref_law] = reference_forces(ref_law, workload)
+            ref_ordered = ref[order]
+        tasks.append((spec, name, ref_ordered))
 
-        ref_law = (spec.resolved_law() if alg.needs_rcut
-                   else (spec.law or ForceLaw()))
-        ref = ref_cache.get(ref_law)
-        if ref is None:
-            ref = ref_cache[ref_law] = reference_forces(ref_law, workload)
-        order = np.argsort(workload.ids, kind="stable")
-        dev = float(np.max(np.abs(out.forces - ref[order])))
-
-        report = out.report
-        entries.append(AlgorithmComparison(
-            algorithm=name,
-            elapsed=out.run.elapsed,
-            critical_messages=report.critical_messages(),
-            critical_bytes=report.critical_bytes(),
-            critical_words=report.critical_bytes() / PARTICLE_BYTES,
-            interactions=int(metrics.value("kernel.pairs")),
-            phase_table=report.phase_table(),
-            max_abs_dev=dev,
-            run=out,
-            metrics=metrics,
-        ))
-
+    entries = parallel_map(_compare_task, tasks, workers=workers)
     return ComparisonResult(entries=entries, skipped=skipped)
 
 

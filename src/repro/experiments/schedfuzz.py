@@ -245,6 +245,31 @@ def _check_lock(name: str, volume: dict, config: dict,
     return None
 
 
+def _baseline_task(task: tuple) -> dict:
+    """Parallel work unit: one FIFO baseline signature for ``(name, cfg)``."""
+    from repro.machines import GenericMachine
+
+    name, cfg = task
+    return _signature(run(_spec(GenericMachine, name, cfg)))
+
+
+def _perturbed_task(task: tuple) -> tuple[str, object]:
+    """Parallel work unit: one perturbed run for ``(name, cfg, spec_str)``.
+
+    Returns ``("ok", signature)`` or ``("raised", detail)`` — a raising
+    perturbed run is a recorded *finding*, exactly as in the serial loop,
+    not a worker crash.
+    """
+    from repro.machines import GenericMachine
+
+    name, cfg, spec_str = task
+    try:
+        got = run(_spec(GenericMachine, name, cfg, schedule=spec_str))
+        return ("ok", _signature(got))
+    except Exception as exc:
+        return ("raised", f"perturbed run raised {type(exc).__name__}: {exc}")
+
+
 def _dump_artifact(directory: str, check: SchedFuzzCheck, config: dict,
                    baseline: dict | None, got: dict | None) -> str:
     """Persist a failing check as a replayable JSON bad-trace artifact."""
@@ -299,6 +324,7 @@ def run_schedfuzz(
     out_dir: str | None = None,
     time_budget: float | None = None,
     lock_path=None,
+    workers: int = 0,
 ) -> SchedFuzzReport:
     """Fuzz ``schedules`` interleavings per algorithm; see module docstring.
 
@@ -309,6 +335,15 @@ def run_schedfuzz(
     (volumes are then no longer checked against the metrics lock).
     ``time_budget`` (wall seconds) stops the campaign early, recording
     what was skipped.
+
+    ``workers > 0`` fans the campaign out over spawned worker processes
+    (:func:`repro.core.parallel.parallel_map`): first all FIFO baselines,
+    then every perturbed schedule, with verdicts merged in the serial
+    ``(algorithm, index)`` order — every check is a pure function of its
+    ``(algorithm, seed, index)`` triple, so the report is identical to
+    the serial run.  With a ``time_budget`` the cutoff is checked between
+    waves of ``4 * workers`` runs, so *which* trailing schedules get
+    skipped may differ from the serial run.
     """
     from repro.machines import GenericMachine
 
@@ -317,6 +352,12 @@ def run_schedfuzz(
     names = list(algorithms) if algorithms is not None else list_algorithms()
     artifact_dir = out_dir or tempfile.mkdtemp(prefix="schedfuzz-")
     t0 = time.monotonic()
+    if workers > 0:
+        return _run_parallel(report, names, cfg, schedules=schedules,
+                             seed=seed, first_schedule=first_schedule,
+                             artifact_dir=artifact_dir,
+                             time_budget=time_budget, lock_path=lock_path,
+                             workers=workers, t0=t0)
     for name in names:
         if time_budget is not None and time.monotonic() - t0 > time_budget:
             report.skipped.append(f"{name}: time budget exhausted")
@@ -351,6 +392,82 @@ def run_schedfuzz(
             except Exception as exc:
                 mismatch = (f"perturbed run raised "
                             f"{type(exc).__name__}: {exc}")
+            if mismatch:
+                check.outcome = "failed"
+                check.detail = mismatch
+                report.artifacts.append(_dump_artifact(
+                    artifact_dir, check, cfg, base_sig, got_sig))
+    return report
+
+
+def _run_parallel(report: SchedFuzzReport, names: list[str], cfg: dict, *,
+                  schedules: int, seed: int, first_schedule: int,
+                  artifact_dir: str, time_budget, lock_path, workers: int,
+                  t0: float) -> SchedFuzzReport:
+    """The ``workers > 0`` campaign body: fan out, merge in serial order."""
+    from repro.core.parallel import parallel_map
+
+    def _exhausted() -> bool:
+        return time_budget is not None and time.monotonic() - t0 > time_budget
+
+    live: list[str] = []
+    for name in names:
+        if _exhausted():
+            report.skipped.append(f"{name}: time budget exhausted")
+        else:
+            live.append(name)
+    base_sigs = dict(zip(live, parallel_map(
+        _baseline_task, [(nm, cfg) for nm in live], workers=workers)))
+    lock_problems = {nm: _check_lock(nm, base_sigs[nm]["volume"], cfg,
+                                     lock_path) for nm in live}
+    indices = list(range(first_schedule, first_schedule + schedules))
+    # Lock-failed algorithms never run perturbed schedules (the serial
+    # loop fails each check outright); everyone else fans out in waves so
+    # a time budget can stop between them.
+    pending = [(nm, idx) for nm in live if not lock_problems[nm]
+               for idx in indices]
+    # Without a time budget there is nothing to check between waves — one
+    # pool over all runs amortizes the spawn start-up cost best.
+    wave = (len(pending) if time_budget is None
+            else max(1, int(workers)) * 4)
+    results: dict[tuple[str, int], tuple[str, object]] = {}
+    skipped_from: dict[str, int] = {}
+    pos = 0
+    while pos < len(pending):
+        if _exhausted():
+            for nm, idx in pending[pos:]:
+                skipped_from.setdefault(nm, idx)
+            break
+        batch = pending[pos:pos + wave]
+        outs = parallel_map(
+            _perturbed_task,
+            [(nm, cfg, derive_schedule(seed, idx)) for nm, idx in batch],
+            workers=workers)
+        results.update(zip(batch, outs))
+        pos += len(batch)
+    for name in live:
+        base_sig = base_sigs[name]
+        lock_problem = lock_problems[name]
+        for index in indices:
+            if name in skipped_from and index >= skipped_from[name]:
+                report.skipped.append(
+                    f"{name}: schedules {index}.. skipped (time budget)")
+                break
+            spec_str = derive_schedule(seed, index)
+            sseed = int(spec_str.partition(":")[2])
+            check = SchedFuzzCheck(algorithm=name, index=index, seed=seed,
+                                   schedule_seed=sseed, schedule=spec_str)
+            report.checks.append(check)
+            if lock_problem:
+                check.outcome = "failed"
+                check.detail = lock_problem
+                report.artifacts.append(_dump_artifact(
+                    artifact_dir, check, cfg, base_sig, None))
+                continue
+            status, value = results[(name, index)]
+            got_sig = value if status == "ok" else None
+            mismatch = (value if status != "ok"
+                        else _diff_signatures(base_sig, got_sig))
             if mismatch:
                 check.outcome = "failed"
                 check.detail = mismatch

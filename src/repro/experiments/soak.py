@@ -198,6 +198,124 @@ def _check_state(got, ref, what: str) -> str | None:
     return None
 
 
+def _run_trial(task: tuple) -> tuple[SoakTrial, list[str]]:
+    """One soak trial, pure in its task tuple — the parallel work unit.
+
+    ``task`` is ``(seed, index, with_kills, schedule, artifact_dir,
+    skip)``; the trial re-derives its entire configuration from
+    ``(seed, index)``, so the serial loop and any worker process produce
+    bitwise-identical trials.  ``skip=True`` still draws the
+    configuration (so skipped trials report what they *would* have run)
+    but executes nothing.  Returns the trial verdict plus any failure
+    artifact paths written under ``artifact_dir``.
+    """
+    seed, index, with_kills, schedule, artifact_dir, skip = task
+    artifacts: list[str] = []
+    rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
+    p = int(rng.choice([8, 12, 16]))
+    c = int(rng.choice({8: [2, 4], 12: [2, 3], 16: [2, 4]}[p]))
+    algorithm = str(rng.choice(["allpairs", "cutoff"]))
+    dim = 2 if algorithm == "cutoff" else int(rng.choice([1, 2]))
+    n = int(rng.integers(40, 97))
+    nsteps = int(rng.integers(3, 7))
+    rcut = float(rng.uniform(0.3, 0.45)) if algorithm == "cutoff" else None
+    workload = str(rng.choice(["uniform", "clustered"]))
+    trial = SoakTrial(index=index, seed=seed, algorithm=algorithm, p=p,
+                      c=c, n=n, dim=dim, nsteps=nsteps, rcut=rcut,
+                      workload=workload, schedule="",
+                      schedule_policy="fifo" if schedule is None
+                      else str(schedule))
+    if skip:
+        trial.outcome = "skipped"
+        trial.detail = "time budget exhausted"
+        return trial, artifacts
+
+    wl_seed = int(rng.integers(2**31))
+    if workload == "uniform":
+        particles = ParticleSet.uniform_random(n, dim, 1.0,
+                                               max_speed=0.05, seed=wl_seed)
+    else:
+        particles = gaussian_clusters(n, dim, 1.0, nclusters=3,
+                                      spread=0.08, max_speed=0.05,
+                                      seed=wl_seed)
+    if algorithm == "cutoff":
+        cfg = cutoff_config(p, c, rcut=rcut, box_length=1.0, dim=dim)
+        blocks = team_blocks_spatial(particles, cfg.geometry)
+    else:
+        cfg = allpairs_config(p, c)
+        blocks = team_blocks_even(particles, cfg.grid.nteams)
+    machine = GenericMachine(nranks=p)
+    scfg = SimulationConfig(cfg=cfg, law=ForceLaw(k=1e-5, softening=5e-3),
+                            dt=5e-4, nsteps=nsteps, box_length=1.0)
+    faults = _random_schedule(rng, cfg.grid, with_kills=with_kills)
+    trial.schedule = repr(faults)
+    resume_faulty = bool(rng.random() < 0.5)
+
+    reference = run_simulation(machine, scfg, blocks)
+
+    with tempfile.TemporaryDirectory(prefix="soak-ckpt-") as ckpt_dir:
+        policy = CheckpointPolicy(directory=ckpt_dir,
+                                  every=int(rng.choice([1, 2])))
+        try:
+            chaos = run_simulation(machine, scfg, blocks, faults=faults,
+                                   checkpoint=policy, schedule=schedule)
+        except _DECLARED as exc:
+            trial.outcome = "declared"
+            trial.detail = f"{type(exc).__name__}: {exc}"
+            return trial, artifacts
+        except Exception as exc:
+            trial.outcome = "failed"
+            trial.detail = f"undeclared {type(exc).__name__}: {exc}"
+            artifacts.append(_dump_artifact(
+                artifact_dir, trial, machine, scfg, blocks, faults,
+                schedule))
+            return trial, artifacts
+        trial.checkpoints = len(chaos.checkpoints)
+        trial.deaths = len(chaos.run.deaths)
+        mismatch = _check_state(chaos, reference, "chaos run")
+        if mismatch:
+            trial.outcome = "failed"
+            trial.detail = mismatch
+            artifacts.append(_dump_artifact(
+                artifact_dir, trial, machine, scfg, blocks, faults,
+                schedule))
+            return trial, artifacts
+
+        midrun = [(s, path) for s, path in chaos.checkpoints
+                  if 0 < s < nsteps]
+        if not midrun:
+            trial.detail = "no mid-run checkpoint survived; resume skipped"
+            return trial, artifacts
+        step, path = midrun[int(rng.integers(len(midrun)))]
+        trial.resumed_from = step
+        trial.resume_faulty = resume_faulty
+        try:
+            resumed = run_simulation(
+                machine, scfg, resume_from=path,
+                faults=faults if resume_faulty else None,
+                schedule=schedule,
+            )
+        except _DECLARED as exc:
+            trial.outcome = "declared"
+            trial.detail = f"resume: {type(exc).__name__}: {exc}"
+            return trial, artifacts
+        except Exception as exc:
+            trial.outcome = "failed"
+            trial.detail = f"resume: undeclared {type(exc).__name__}: {exc}"
+            artifacts.append(_dump_artifact(
+                artifact_dir, trial, machine, scfg, blocks, faults,
+                schedule))
+            return trial, artifacts
+        mismatch = _check_state(resumed, reference, f"resume@{step}")
+        if mismatch:
+            trial.outcome = "failed"
+            trial.detail = mismatch
+            artifacts.append(_dump_artifact(
+                artifact_dir, trial, machine, scfg, blocks, faults,
+                schedule))
+    return trial, artifacts
+
+
 def run_soak(
     trials: int = 10,
     *,
@@ -207,6 +325,7 @@ def run_soak(
     out_dir: str | None = None,
     time_budget: float | None = None,
     schedule=None,
+    workers: int = 0,
 ) -> SoakReport:
     """Run ``trials`` randomized chaos trials; see the module docstring.
 
@@ -222,112 +341,52 @@ def run_soak(
     fault-free reference always runs FIFO, so the bitwise comparison
     simultaneously exercises fault recovery *and* schedule independence.
     The policy spec is recorded on every trial and in failure artifacts.
+
+    ``workers > 0`` executes trials across that many spawned worker
+    processes (:func:`repro.core.parallel.parallel_map`).  Trials are
+    pure in ``(seed, index)``, so the report is bitwise-identical to the
+    serial run; with a ``time_budget`` the cutoff is checked between
+    waves of ``4 * workers`` trials rather than before every trial, so
+    *which* trials get skipped may differ from the serial run (the trials
+    that do run are still identical).
     """
+    from repro.core.parallel import parallel_map
+
     report = SoakReport(seed=seed)
     t0 = time.monotonic()
     artifact_dir = out_dir or tempfile.mkdtemp(prefix="chaos-soak-")
-    for index in range(first_trial, first_trial + trials):
-        rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
-        p = int(rng.choice([8, 12, 16]))
-        c = int(rng.choice({8: [2, 4], 12: [2, 3], 16: [2, 4]}[p]))
-        algorithm = str(rng.choice(["allpairs", "cutoff"]))
-        dim = 2 if algorithm == "cutoff" else int(rng.choice([1, 2]))
-        n = int(rng.integers(40, 97))
-        nsteps = int(rng.integers(3, 7))
-        rcut = float(rng.uniform(0.3, 0.45)) if algorithm == "cutoff" else None
-        workload = str(rng.choice(["uniform", "clustered"]))
-        trial = SoakTrial(index=index, seed=seed, algorithm=algorithm, p=p,
-                          c=c, n=n, dim=dim, nsteps=nsteps, rcut=rcut,
-                          workload=workload, schedule="",
-                          schedule_policy="fifo" if schedule is None
-                          else str(schedule))
-        report.trials.append(trial)
-        if time_budget is not None and time.monotonic() - t0 > time_budget:
-            trial.outcome = "skipped"
-            trial.detail = "time budget exhausted"
-            continue
+    indices = list(range(first_trial, first_trial + trials))
 
-        wl_seed = int(rng.integers(2**31))
-        if workload == "uniform":
-            particles = ParticleSet.uniform_random(n, dim, 1.0,
-                                                   max_speed=0.05, seed=wl_seed)
+    def _exhausted() -> bool:
+        return time_budget is not None and time.monotonic() - t0 > time_budget
+
+    if workers <= 0:
+        for index in indices:
+            trial, artifacts = _run_trial(
+                (seed, index, with_kills, schedule, artifact_dir,
+                 _exhausted()))
+            report.trials.append(trial)
+            report.artifacts.extend(artifacts)
+        return report
+
+    # Without a time budget there is nothing to check between waves — one
+    # pool over all trials amortizes the spawn start-up cost best.
+    wave = (len(indices) if time_budget is None
+            else max(1, int(workers)) * 4)
+    pos = 0
+    while pos < len(indices):
+        exhausted = _exhausted()
+        batch = indices[pos:] if exhausted else indices[pos:pos + wave]
+        tasks = [(seed, i, with_kills, schedule, artifact_dir, exhausted)
+                 for i in batch]
+        if exhausted:
+            # Skipped trials only draw their configuration — no point
+            # paying worker start-up for them.
+            outcomes = [_run_trial(t) for t in tasks]
         else:
-            particles = gaussian_clusters(n, dim, 1.0, nclusters=3,
-                                          spread=0.08, max_speed=0.05,
-                                          seed=wl_seed)
-        if algorithm == "cutoff":
-            cfg = cutoff_config(p, c, rcut=rcut, box_length=1.0, dim=dim)
-            blocks = team_blocks_spatial(particles, cfg.geometry)
-        else:
-            cfg = allpairs_config(p, c)
-            blocks = team_blocks_even(particles, cfg.grid.nteams)
-        machine = GenericMachine(nranks=p)
-        scfg = SimulationConfig(cfg=cfg, law=ForceLaw(k=1e-5, softening=5e-3),
-                                dt=5e-4, nsteps=nsteps, box_length=1.0)
-        faults = _random_schedule(rng, cfg.grid, with_kills=with_kills)
-        trial.schedule = repr(faults)
-        resume_faulty = bool(rng.random() < 0.5)
-
-        reference = run_simulation(machine, scfg, blocks)
-
-        with tempfile.TemporaryDirectory(prefix="soak-ckpt-") as ckpt_dir:
-            policy = CheckpointPolicy(directory=ckpt_dir,
-                                      every=int(rng.choice([1, 2])))
-            try:
-                chaos = run_simulation(machine, scfg, blocks, faults=faults,
-                                       checkpoint=policy, schedule=schedule)
-            except _DECLARED as exc:
-                trial.outcome = "declared"
-                trial.detail = f"{type(exc).__name__}: {exc}"
-                continue
-            except Exception as exc:
-                trial.outcome = "failed"
-                trial.detail = f"undeclared {type(exc).__name__}: {exc}"
-                report.artifacts.append(_dump_artifact(
-                    artifact_dir, trial, machine, scfg, blocks, faults,
-                    schedule))
-                continue
-            trial.checkpoints = len(chaos.checkpoints)
-            trial.deaths = len(chaos.run.deaths)
-            mismatch = _check_state(chaos, reference, "chaos run")
-            if mismatch:
-                trial.outcome = "failed"
-                trial.detail = mismatch
-                report.artifacts.append(_dump_artifact(
-                    artifact_dir, trial, machine, scfg, blocks, faults,
-                    schedule))
-                continue
-
-            midrun = [(s, path) for s, path in chaos.checkpoints
-                      if 0 < s < nsteps]
-            if not midrun:
-                trial.detail = "no mid-run checkpoint survived; resume skipped"
-                continue
-            step, path = midrun[int(rng.integers(len(midrun)))]
-            trial.resumed_from = step
-            trial.resume_faulty = resume_faulty
-            try:
-                resumed = run_simulation(
-                    machine, scfg, resume_from=path,
-                    faults=faults if resume_faulty else None,
-                    schedule=schedule,
-                )
-            except _DECLARED as exc:
-                trial.outcome = "declared"
-                trial.detail = f"resume: {type(exc).__name__}: {exc}"
-                continue
-            except Exception as exc:
-                trial.outcome = "failed"
-                trial.detail = f"resume: undeclared {type(exc).__name__}: {exc}"
-                report.artifacts.append(_dump_artifact(
-                    artifact_dir, trial, machine, scfg, blocks, faults,
-                    schedule))
-                continue
-            mismatch = _check_state(resumed, reference, f"resume@{step}")
-            if mismatch:
-                trial.outcome = "failed"
-                trial.detail = mismatch
-                report.artifacts.append(_dump_artifact(
-                    artifact_dir, trial, machine, scfg, blocks, faults,
-                    schedule))
+            outcomes = parallel_map(_run_trial, tasks, workers=workers)
+        for trial, artifacts in outcomes:
+            report.trials.append(trial)
+            report.artifacts.extend(artifacts)
+        pos += len(batch)
     return report

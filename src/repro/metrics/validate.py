@@ -250,7 +250,8 @@ MODEL_CASES: dict[str, ModelCase] = {
 
 
 def _measure_point(case: ModelCase, p: int, c: int, n: int,
-                   machine_factory=None) -> PointResult:
+                   machine_factory=None,
+                   engine_tier: str = "event") -> PointResult:
     """Run one sweep point through the pipeline and read S and W back."""
     from repro.core.runner import RunSpec, run
     from repro.machines import GenericMachine
@@ -259,6 +260,7 @@ def _measure_point(case: ModelCase, p: int, c: int, n: int,
     spec = RunSpec(
         machine=factory(p), algorithm=case.algorithm, n=n, seed=0, c=c,
         rcut=case.rcut, dim=case.dim if case.rcut is not None else None,
+        engine_tier=engine_tier,
     )
     report = run(spec).report
     s_meas = 0.0
@@ -278,16 +280,31 @@ def _measure_point(case: ModelCase, p: int, c: int, n: int,
     )
 
 
-def validate_case(case: ModelCase, *, machine_factory=None,
-                  band: tuple[float, float] | None = None,
-                  spread: float | None = None) -> CaseValidation:
-    """Sweep one case and judge every ratio against its tolerance bands."""
+def _point_task(task: tuple) -> PointResult:
+    """Parallel work unit: one sweep point of a *registered* model case.
+
+    Cases are looked up by name in :data:`MODEL_CASES` because their
+    ``predict`` closures are not picklable — only registered cases with
+    the default machine factory fan out; everything else measures
+    serially.
+    """
+    case_name, p, c, n, engine_tier = task
+    return _measure_point(MODEL_CASES[case_name], p, c, n,
+                          engine_tier=engine_tier)
+
+
+def _parallelizable(case: ModelCase, machine_factory) -> bool:
+    """Whether a case's points may run in worker processes."""
+    return machine_factory is None and MODEL_CASES.get(case.name) is case
+
+
+def _judge_case(case: ModelCase, points: list[PointResult], *,
+                band: tuple[float, float] | None = None,
+                spread: float | None = None) -> CaseValidation:
+    """Judge measured sweep points against the case's tolerance bands."""
     band = band or case.band
     spread = spread or case.spread
-    cv = CaseValidation(case=case)
-    for p, c, n in case.sweep:
-        cv.points.append(_measure_point(case, p, c, n,
-                                        machine_factory=machine_factory))
+    cv = CaseValidation(case=case, points=list(points))
     lo, hi = band
     for label, ratios in (
         ("S", [pt.s_ratio for pt in cv.points]),
@@ -309,14 +326,51 @@ def validate_case(case: ModelCase, *, machine_factory=None,
     return cv
 
 
+def validate_case(case: ModelCase, *, machine_factory=None,
+                  band: tuple[float, float] | None = None,
+                  spread: float | None = None,
+                  engine_tier: str = "event",
+                  workers: int = 0) -> CaseValidation:
+    """Sweep one case and judge every ratio against its tolerance bands.
+
+    ``engine_tier`` selects the simulator the sweep runs on (``"event"``
+    or ``"heuristic"`` — both must satisfy the same closed forms).
+    ``workers > 0`` measures the sweep points in spawned worker
+    processes; this only applies to cases registered in
+    :data:`MODEL_CASES` under the default machine factory (ad-hoc cases
+    carry unpicklable closures and measure serially).
+    """
+    from repro.core.parallel import parallel_map
+
+    if workers > 0 and _parallelizable(case, machine_factory):
+        points = parallel_map(
+            _point_task,
+            [(case.name, p, c, n, engine_tier) for p, c, n in case.sweep],
+            workers=workers)
+    else:
+        points = [_measure_point(case, p, c, n,
+                                 machine_factory=machine_factory,
+                                 engine_tier=engine_tier)
+                  for p, c, n in case.sweep]
+    return _judge_case(case, points, band=band, spread=spread)
+
+
 def validate_models(names: list[str] | None = None, *,
-                    machine_factory=None) -> ValidationReport:
+                    machine_factory=None, engine_tier: str = "event",
+                    workers: int = 0) -> ValidationReport:
     """Validate the named model cases (default: all of :data:`MODEL_CASES`).
 
     ``names`` accepts canonical names (``ca_allpairs``) or registry names
     (``allpairs``).  ``machine_factory(p)`` overrides the machine model
     (default: a flat :class:`~repro.machines.GenericMachine`).
+    ``engine_tier`` selects the simulator ("event" or "heuristic") — the
+    closed forms must hold on both.  ``workers > 0`` measures every sweep
+    point of every registered case in one flat fan-out over spawned
+    worker processes; each point is a pure function of
+    ``(case, p, c, n)``, so the report matches the serial run exactly.
     """
+    from repro.core.parallel import parallel_map
+
     if names is None:
         selected = list(MODEL_CASES.values())
     else:
@@ -328,7 +382,22 @@ def validate_models(names: list[str] | None = None, *,
                 known = ", ".join(sorted(MODEL_CASES))
                 raise KeyError(f"no model case for {name!r} (known: {known})")
             selected.append(case)
+
+    if workers > 0 and all(_parallelizable(c, machine_factory)
+                           for c in selected):
+        tasks = [(case.name, p, c, n, engine_tier)
+                 for case in selected for p, c, n in case.sweep]
+        flat = parallel_map(_point_task, tasks, workers=workers)
+        cases = []
+        pos = 0
+        for case in selected:
+            take = len(case.sweep)
+            cases.append(_judge_case(case, flat[pos:pos + take]))
+            pos += take
+        return ValidationReport(cases=cases)
+
     return ValidationReport(cases=[
-        validate_case(case, machine_factory=machine_factory)
+        validate_case(case, machine_factory=machine_factory,
+                      engine_tier=engine_tier, workers=workers)
         for case in selected
     ])

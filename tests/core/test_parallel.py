@@ -1,0 +1,79 @@
+"""The parallel executor's contract: order, purity, loud failures.
+
+:mod:`repro.core.parallel` backs every harness ``--workers`` flag, so the
+properties the harnesses rely on are pinned here directly: results come
+back in task order (not completion order), ``workers=0`` is a plain
+serial fallback, a worker exception surfaces as :class:`WorkerError`
+naming the task index with the remote traceback, and
+:func:`spawn_seeds` is a pure function of its inputs.
+"""
+
+import pytest
+
+from repro.core.parallel import WorkerError, parallel_map, spawn_seeds
+
+
+def _square(x):
+    return x * x
+
+
+def _sleep_inverse(task):
+    """Later tasks finish first — exposes completion-order merging."""
+    import time
+
+    index, count = task
+    time.sleep(0.02 * (count - index))
+    return index
+
+
+def _boom(x):
+    if x == 2:
+        raise ValueError(f"task payload {x} is cursed")
+    return x
+
+
+class TestSerialFallback:
+    def test_workers_zero_is_a_list_comprehension(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_serial_exceptions_propagate_natively(self):
+        with pytest.raises(ValueError, match="cursed"):
+            parallel_map(_boom, [0, 1, 2, 3])
+
+    def test_empty_tasks(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+class TestParallelSemantics:
+    def test_results_in_task_order(self):
+        count = 4
+        tasks = [(i, count) for i in range(count)]
+        assert parallel_map(_sleep_inverse, tasks, workers=4) == \
+            list(range(count))
+
+    def test_matches_serial_output(self):
+        tasks = list(range(10))
+        assert parallel_map(_square, tasks, workers=3) == \
+            parallel_map(_square, tasks, workers=0)
+
+    def test_worker_error_names_index_and_traceback(self):
+        with pytest.raises(WorkerError) as err:
+            parallel_map(_boom, [0, 1, 2, 3], workers=2)
+        assert err.value.index == 2
+        assert "cursed" in err.value.remote_traceback
+        assert "task 2" in str(err.value)
+
+
+class TestSpawnSeeds:
+    def test_pure_function_of_inputs(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct_across_children_and_parents(self):
+        a = spawn_seeds(7, 8)
+        b = spawn_seeds(8, 8)
+        assert len(set(a)) == 8
+        assert set(a).isdisjoint(b)
+
+    def test_prefix_stability(self):
+        # Growing the fleet must not reshuffle existing assignments.
+        assert spawn_seeds(3, 4) == spawn_seeds(3, 8)[:4]

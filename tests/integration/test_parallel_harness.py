@@ -1,0 +1,106 @@
+"""Serial/parallel equivalence of every ``--workers`` harness path.
+
+Each harness promises that ``workers > 0`` changes wall-clock shape
+only: every trial / schedule / comparison row / sweep point is a pure
+function of its seed-derived inputs, so the parallel report must be
+*identical* to the serial one — same verdicts, same order, same bytes.
+These tests pin that contract by running each harness twice (workers=0
+and workers=2) and diffing the reports field by field, including under
+chaos kills and perturbed-schedule policies where the RNG bookkeeping
+is easiest to get wrong.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.experiments.compare import compare_algorithms
+from repro.experiments.schedfuzz import run_schedfuzz
+from repro.experiments.soak import run_soak
+from repro.machines import GenericMachine
+from repro.metrics.validate import validate_models
+
+pytestmark = pytest.mark.slow
+
+WORKERS = 2
+
+
+def _soak_digest(report):
+    return {
+        "seed": report.seed,
+        "trials": [asdict(t) for t in report.trials],
+        "artifacts": report.artifacts,
+    }
+
+
+class TestSoakParity:
+    def test_chaos_trials_bitwise_identical(self, tmp_path):
+        kw = dict(trials=4, seed=11, with_kills=True)
+        serial = run_soak(out_dir=str(tmp_path / "s"), **kw)
+        fleet = run_soak(out_dir=str(tmp_path / "p"), workers=WORKERS, **kw)
+        assert _soak_digest(serial) == _soak_digest(fleet)
+        assert {t.outcome for t in fleet.trials} <= {"ok", "declared"}
+
+    def test_perturbed_schedule_trials_identical(self, tmp_path):
+        kw = dict(trials=3, seed=5, with_kills=False,
+                  schedule="adversarial")
+        serial = run_soak(out_dir=str(tmp_path / "s"), **kw)
+        fleet = run_soak(out_dir=str(tmp_path / "p"), workers=WORKERS, **kw)
+        assert _soak_digest(serial) == _soak_digest(fleet)
+
+
+class TestSchedFuzzParity:
+    def test_campaign_identical_including_perturbed_runs(self, tmp_path):
+        kw = dict(algorithms=["allpairs", "particle_ring"], schedules=3,
+                  seed=1)
+        serial = run_schedfuzz(out_dir=str(tmp_path / "s"), **kw)
+        fleet = run_schedfuzz(out_dir=str(tmp_path / "p"),
+                              workers=WORKERS, **kw)
+        assert [asdict(c) for c in serial.checks] == \
+            [asdict(c) for c in fleet.checks]
+        assert serial.skipped == fleet.skipped
+        assert serial.ok and fleet.ok
+
+
+class TestCompareParity:
+    def test_sweep_rows_identical(self):
+        kw = dict(n=48, c=2, rcut=0.3, seed=0,
+                  algorithms=["allpairs", "cutoff", "symmetric"])
+        serial = compare_algorithms(GenericMachine(nranks=16), **kw)
+        fleet = compare_algorithms(GenericMachine(nranks=16),
+                                   workers=WORKERS, **kw)
+        assert len(serial.entries) == len(fleet.entries) == 3
+        for a, b in zip(serial.entries, fleet.entries):
+            assert a.algorithm == b.algorithm
+            assert a.elapsed == b.elapsed
+            assert a.critical_messages == b.critical_messages
+            assert a.critical_bytes == b.critical_bytes
+            assert a.interactions == b.interactions
+            assert a.max_abs_dev == b.max_abs_dev
+            assert a.phase_table == b.phase_table
+        assert serial.skipped == fleet.skipped
+
+    def test_heuristic_tier_rows_have_nan_dev(self):
+        result = compare_algorithms(
+            GenericMachine(nranks=16), n=48, c=2, rcut=0.3, seed=0,
+            algorithms=["allpairs", "cutoff"], engine_tier="heuristic",
+            workers=WORKERS)
+        assert len(result.entries) == 2
+        for entry in result.entries:
+            assert np.isnan(entry.max_abs_dev)
+            assert entry.critical_messages > 0
+
+
+class TestValidateParity:
+    def test_model_sweep_identical(self):
+        serial = validate_models(["allpairs", "particle_ring"])
+        fleet = validate_models(["allpairs", "particle_ring"],
+                                workers=WORKERS)
+        assert serial.ok and fleet.ok
+        assert serial.summary() == fleet.summary()
+
+    def test_heuristic_tier_parallel(self):
+        report = validate_models(["allpairs"], engine_tier="heuristic",
+                                 workers=WORKERS)
+        assert report.ok, report.summary()

@@ -1,0 +1,110 @@
+"""The ``perftrack --compare`` regression gate, exercised on synthetic
+reports.
+
+``tools/perftrack.py --compare A B`` is what CI runs to decide whether a
+PR regressed the committed baselines, so its arithmetic and exit codes
+are pinned here without running any real benches: speedups are wall-time
+ratios of B over A, only shared benches are compared, a slowdown past
+``--regress-tol`` exits 1, and disjoint reports exit 2 rather than
+silently passing.
+"""
+
+import io
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+from perftrack import _resolve_report, compare_reports  # noqa: E402
+
+
+def _report(path, benches, mode="full"):
+    payload = {
+        "schema": 1,
+        "mode": mode,
+        "repeats": 1,
+        "env": {"cpu_count": 1},
+        "benches": {
+            name: {"wall_s": wall, "wall_s_all": [wall],
+                   "ops": 1, "rate": 1.0 / wall, "metric": "ops_per_s"}
+            for name, wall in benches.items()
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestResolveReport:
+    def test_literal_path_wins(self, tmp_path):
+        path = _report(tmp_path / "custom.json", {"a": 1.0})
+        assert _resolve_report(str(path)) == path
+
+    def test_tag_maps_into_bench_dir(self, tmp_path):
+        path = _report(tmp_path / "BENCH_pr99.json", {"a": 1.0})
+        assert _resolve_report("pr99", bench_dir=tmp_path) == path
+
+    def test_unknown_tag_names_the_miss(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="BENCH_nope.json"):
+            _resolve_report("nope", bench_dir=tmp_path)
+
+
+class TestCompareReports:
+    def test_speedup_table_and_clean_exit(self, tmp_path):
+        _report(tmp_path / "BENCH_old.json", {"ring": 2.0, "kernel": 1.0})
+        _report(tmp_path / "BENCH_new.json", {"ring": 1.0, "kernel": 0.5})
+        out = io.StringIO()
+        rc = compare_reports("old", "new", regress_tol=1.1,
+                             bench_dir=tmp_path, out=out)
+        assert rc == 0
+        assert "2.00x" in out.getvalue()
+
+    def test_regression_past_tolerance_exits_one(self, tmp_path):
+        _report(tmp_path / "BENCH_old.json", {"ring": 1.0})
+        _report(tmp_path / "BENCH_new.json", {"ring": 1.6})
+        out = io.StringIO()
+        rc = compare_reports("old", "new", regress_tol=1.5,
+                             bench_dir=tmp_path, out=out)
+        assert rc == 1
+        assert "REGRESSION" in out.getvalue()
+        assert "1.60x" in out.getvalue()
+
+    def test_slowdown_inside_tolerance_passes(self, tmp_path):
+        _report(tmp_path / "BENCH_old.json", {"ring": 1.0})
+        _report(tmp_path / "BENCH_new.json", {"ring": 1.2})
+        rc = compare_reports("old", "new", regress_tol=1.5,
+                             bench_dir=tmp_path, out=io.StringIO())
+        assert rc == 0
+
+    def test_one_sided_benches_cannot_regress(self, tmp_path):
+        # A bench only present in one report is listed, not compared.
+        _report(tmp_path / "BENCH_old.json", {"ring": 1.0, "retired": 0.1})
+        _report(tmp_path / "BENCH_new.json", {"ring": 1.0, "added": 99.0})
+        out = io.StringIO()
+        rc = compare_reports("old", "new", regress_tol=1.01,
+                             bench_dir=tmp_path, out=out)
+        assert rc == 0
+        assert "only in old" in out.getvalue()
+        assert "only in new" in out.getvalue()
+
+    def test_disjoint_reports_exit_two(self, tmp_path):
+        _report(tmp_path / "BENCH_old.json", {"ring": 1.0})
+        _report(tmp_path / "BENCH_new.json", {"other": 1.0})
+        rc = compare_reports("old", "new", bench_dir=tmp_path,
+                             out=io.StringIO())
+        assert rc == 2
+
+    def test_mode_mismatch_warns(self, tmp_path):
+        _report(tmp_path / "BENCH_old.json", {"ring": 1.0}, mode="smoke")
+        _report(tmp_path / "BENCH_new.json", {"ring": 1.0}, mode="full")
+        out = io.StringIO()
+        compare_reports("old", "new", bench_dir=tmp_path, out=out)
+        assert "WARNING" in out.getvalue()
+
+    def test_committed_baselines_compare_cleanly(self):
+        # The real committed artifacts must stay loadable and comparable.
+        rc = compare_reports("pr3", "pr7", regress_tol=float("inf"),
+                             out=io.StringIO())
+        assert rc == 0

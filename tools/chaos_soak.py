@@ -47,6 +47,9 @@ def main(argv=None) -> int:
                         "adversarial[:SEED]); the fault-free reference "
                         "stays FIFO, so bitwise agreement also proves "
                         "schedule independence")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="run trials across N worker processes "
+                             "(0 = serial; the report is bitwise identical)")
     args = parser.parse_args(argv)
 
     from repro.experiments.soak import run_soak
@@ -59,6 +62,7 @@ def main(argv=None) -> int:
         out_dir=args.out_dir,
         time_budget=args.time_budget,
         schedule=args.schedule,
+        workers=args.workers,
     )
     print(report.summary())
     if not report.ok:

@@ -3,10 +3,11 @@
 
 Two checks, both about keeping the paper's quantitative claims honest:
 
-1. **Comm-volume lock** — every registered algorithm runs once at a pinned
-   configuration (the simulated machine is deterministic, so message and
-   byte counts are exact integers) and the measured per-rank maxima and
-   run totals must equal ``benchmarks/METRICS_LOCK.json`` bit for bit.
+1. **Comm-volume lock** — every registered algorithm runs at a pinned
+   configuration on *both* engine tiers (the exact event simulator and
+   the vectorized heuristic tier, which promises identical traffic), and
+   the measured per-rank maxima and run totals must equal
+   ``benchmarks/METRICS_LOCK.json`` bit for bit on each.
    Any change to an algorithm's communication volume — intended or not —
    shows up as a diff here and must be re-recorded with ``--update``,
    making comm-volume changes reviewable instead of silent.  An algorithm
@@ -16,7 +17,8 @@ Two checks, both about keeping the paper's quantitative claims honest:
 2. **Model validation** — :func:`repro.metrics.validate.validate_models`
    sweeps (p, c, n) per algorithm and checks measured S (messages) and W
    (words) against the closed forms in :mod:`repro.theory` within
-   constant-factor tolerance bands (see ``docs/observability.md``).
+   constant-factor tolerance bands (see ``docs/observability.md``) —
+   again on both engine tiers.
 
 Usage::
 
@@ -49,8 +51,13 @@ LOCK_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / \
 PINNED = {"p": 16, "n": 64, "c": 2, "rcut": 0.3, "seed": 0}
 
 
-def measure(name: str) -> dict:
-    """One algorithm's exact comm volume at the pinned configuration."""
+def measure(name: str, engine_tier: str = "event") -> dict:
+    """One algorithm's exact comm volume at the pinned configuration.
+
+    Traffic is exact on *both* engine tiers — the heuristic tier promises
+    the event simulator's message/byte counts to the bit, so the same
+    lock gates both.
+    """
     from repro.core.runner import RunSpec, get_algorithm, run
     from repro.machines import GenericMachine
 
@@ -62,6 +69,7 @@ def measure(name: str) -> dict:
         c=PINNED["c"] if alg.supports_c else 1,
         rcut=PINNED["rcut"] if alg.needs_rcut else None,
         seed=PINNED["seed"],
+        engine_tier=engine_tier,
     )
     report = run(spec).report
     total_messages = 0
@@ -78,10 +86,10 @@ def measure(name: str) -> dict:
     }
 
 
-def measure_all() -> dict:
+def measure_all(engine_tier: str = "event") -> dict:
     from repro.core.runner import list_algorithms
 
-    return {name: measure(name) for name in list_algorithms()}
+    return {name: measure(name, engine_tier) for name in list_algorithms()}
 
 
 def check_lock(problems: list[str]) -> None:
@@ -100,30 +108,32 @@ def check_lock(problems: list[str]) -> None:
         )
         return
     locked = lock.get("algorithms", {})
-    measured = measure_all()
-    for name in sorted(set(locked) | set(measured)):
-        if name not in locked:
-            problems.append(
-                f"algorithm {name!r} is registered but has no locked comm "
-                "volume — record it with --update"
-            )
-            continue
-        if name not in measured:
-            problems.append(
-                f"lock entry {name!r} is no longer a registered algorithm — "
-                "drop it with --update"
-            )
-            continue
-        for key, want in locked[name].items():
-            got = measured[name].get(key)
-            if got != want:
+    for engine_tier in ("event", "heuristic"):
+        measured = measure_all(engine_tier)
+        for name in sorted(set(locked) | set(measured)):
+            if name not in locked:
                 problems.append(
-                    f"{name}.{key}: measured {got}, locked {want} — comm "
-                    "volume changed; if intended, re-record with --update"
+                    f"algorithm {name!r} is registered but has no locked "
+                    "comm volume — record it with --update"
                 )
-    if not problems:
-        print(f"comm-volume lock OK: {len(measured)} algorithms match "
-              f"{LOCK_PATH.name}")
+                continue
+            if name not in measured:
+                problems.append(
+                    f"lock entry {name!r} is no longer a registered "
+                    "algorithm — drop it with --update"
+                )
+                continue
+            for key, want in locked[name].items():
+                got = measured[name].get(key)
+                if got != want:
+                    problems.append(
+                        f"[{engine_tier}] {name}.{key}: measured {got}, "
+                        f"locked {want} — comm volume changed; if intended, "
+                        "re-record with --update"
+                    )
+        if not problems:
+            print(f"comm-volume lock OK [{engine_tier} tier]: "
+                  f"{len(measured)} algorithms match {LOCK_PATH.name}")
 
 
 def update_lock() -> None:
@@ -140,12 +150,15 @@ def update_lock() -> None:
 def check_models(problems: list[str]) -> None:
     from repro.metrics.validate import validate_models
 
-    report = validate_models()
-    print(report.summary())
-    if not report.ok:
-        for cv in report.cases:
-            for msg in cv.failures:
-                problems.append(f"model {cv.case.name}: {msg}")
+    for engine_tier in ("event", "heuristic"):
+        report = validate_models(engine_tier=engine_tier)
+        print(f"model validation [{engine_tier} tier]:")
+        print(report.summary())
+        if not report.ok:
+            for cv in report.cases:
+                for msg in cv.failures:
+                    problems.append(
+                        f"model {cv.case.name} [{engine_tier}]: {msg}")
 
 
 def main(argv=None) -> int:

@@ -14,6 +14,8 @@ Usage::
     PYTHONPATH=src python tools/perftrack.py --smoke --out smoke.json
     PYTHONPATH=src python tools/perftrack.py --tag pr3 \
         --baseline benchmarks/BENCH_pr2.json
+    PYTHONPATH=src python tools/perftrack.py --compare pr3 pr7 \
+        --regress-tol 1.5
 
 ``--tag NAME`` writes ``benchmarks/BENCH_NAME.json`` next to the committed
 history (an explicit ``--out`` path wins over the tag-derived default).
@@ -22,6 +24,12 @@ With ``--baseline``, the output embeds the baseline numbers and a
 ``speedup`` entry per bench (baseline wall / current wall), and the process
 exits non-zero if any bench regressed by more than ``--regress-tol``
 (default: no hard gate, tolerance ``inf``).
+
+``--compare A B`` runs no benches: it loads two existing reports (each a
+tag like ``pr3`` or a JSON path), prints the per-bench speedup of B over A
+for every bench the two share, and exits non-zero when any shared bench is
+slower in B by more than ``--regress-tol`` — the CI regression gate over
+committed artifacts.
 
 The benches are deliberately host-performance benches: they measure how
 fast *this Python process* turns around the simulated machine, which is
@@ -160,11 +168,81 @@ def bench_simulate_e2e(smoke: bool) -> dict:
             "metric": "engine_ops_per_s", "checksum": checksum}
 
 
+def bench_parallel_soak(smoke: bool) -> dict:
+    """Parallel-executor throughput: a chaos-soak sweep, workers vs serial.
+
+    Measures the serial sweep once in setup, times the ``workers=4``
+    sweep as the bench, and records the speedup.  The trials are pure
+    functions of ``(seed, index)`` so both runs do identical work.  On a
+    single-core host the spawn overhead makes the parallel leg *slower*
+    — the recorded ``env.cpu_count`` qualifies the speedup.
+    """
+    import tempfile
+
+    from repro.experiments.soak import run_soak
+
+    trials = 6 if smoke else 32
+    workers = 2 if smoke else 4
+    seed = 2026
+    out_dir = tempfile.mkdtemp(prefix="perftrack-soak-")
+
+    t0 = time.perf_counter()
+    serial_report = run_soak(trials, seed=seed, out_dir=out_dir)
+    serial_wall = time.perf_counter() - t0
+    assert serial_report.ok
+
+    def run():
+        report = run_soak(trials, seed=seed, out_dir=out_dir,
+                          workers=workers)
+        assert report.ok
+        return report
+
+    def post(entry):
+        entry["serial_wall_s"] = serial_wall
+        entry["trials"] = trials
+        entry["workers"] = workers
+        entry["speedup_vs_serial"] = serial_wall / entry["wall_s"]
+
+    return {"runner": run, "ops": trials, "metric": "trials_per_s",
+            "repeats": 1, "post": post}
+
+
+def bench_heuristic_phase_advance(smoke: bool) -> dict:
+    """Heuristic engine tier at scale: one CA all-pairs run at p = 10^4.
+
+    The event simulator cannot reach this rank count in reasonable time;
+    the vectorized phase-advance tier must finish in seconds — this bench
+    is the committed evidence (plus the wall-time lock the perf-guard
+    test asserts on).
+    """
+    from repro.core.runner import RunSpec, run as run_spec
+    from repro.machines import GenericMachine
+
+    p, n = (1000, 2000) if smoke else (10000, 20000)
+    spec = RunSpec(machine=GenericMachine(nranks=p), algorithm="allpairs",
+                   n=n, c=4, seed=0, engine_tier="heuristic")
+
+    def run():
+        return run_spec(spec)
+
+    out = run()  # warm-up + sanity
+    assert out.run.elapsed > 0 and len(out.run.clocks) == p
+
+    def post(entry):
+        entry["ranks"] = p
+        entry["particles"] = n
+        entry["virtual_elapsed_s"] = out.run.elapsed
+
+    return {"runner": run, "ops": p, "metric": "ranks_per_s", "post": post}
+
+
 BENCHES = {
     "engine_ring": bench_engine_ring,
     "engine_collectives": bench_engine_collectives,
     "kernel_pairwise": bench_kernel_pairwise,
     "simulate_e2e": bench_simulate_e2e,
+    "parallel_soak": bench_parallel_soak,
+    "heuristic_phase_advance": bench_heuristic_phase_advance,
 }
 
 
@@ -201,7 +279,7 @@ def run_bench(name: str, smoke: bool, repeats: int) -> dict:
     spec = BENCHES[name](smoke)
     runner = spec["runner"]
     walls = []
-    for _ in range(repeats):
+    for _ in range(spec.get("repeats", repeats)):
         t0 = time.perf_counter()
         runner()
         walls.append(time.perf_counter() - t0)
@@ -216,6 +294,10 @@ def run_bench(name: str, smoke: bool, repeats: int) -> dict:
     }
     if "checksum" in spec:
         entry["checksum"] = spec["checksum"]
+    if "post" in spec:
+        # Measure-style benches attach derived fields (serial walls,
+        # speedups, rank counts) once the timing is in.
+        spec["post"](entry)
     return entry
 
 
@@ -255,6 +337,68 @@ def attach_baseline(report: dict, baseline: dict) -> dict:
     report["baseline_mode"] = baseline.get("mode")
     report["speedups"] = speedups
     return report
+
+
+def _resolve_report(spec: str, bench_dir: Path | None = None) -> Path:
+    """Map a ``--compare`` operand (tag or path) to a report file."""
+    path = Path(spec)
+    if path.exists():
+        return path
+    bench_dir = bench_dir or (
+        Path(__file__).resolve().parent.parent / "benchmarks")
+    tagged = bench_dir / f"BENCH_{spec}.json"
+    if tagged.exists():
+        return tagged
+    raise FileNotFoundError(
+        f"{spec!r} is neither a report path nor a committed tag "
+        f"(looked for {tagged})")
+
+
+def compare_reports(spec_a: str, spec_b: str,
+                    regress_tol: float = float("inf"),
+                    bench_dir: Path | None = None, out=None) -> int:
+    """Print per-bench speedups of report B over report A; gate regressions.
+
+    Each operand is a tag (``pr3``) or a JSON path.  Only benches present
+    in *both* reports are compared — a new bench cannot regress against a
+    baseline that never measured it, and a retired one stops mattering.
+    Returns 1 when any shared bench is slower in B by more than
+    ``regress_tol``, 2 when the reports share no benches at all.
+    """
+    out = out or sys.stdout
+    path_a = _resolve_report(spec_a, bench_dir)
+    path_b = _resolve_report(spec_b, bench_dir)
+    rep_a = json.loads(path_a.read_text())
+    rep_b = json.loads(path_b.read_text())
+    if rep_a.get("mode") != rep_b.get("mode"):
+        print(f"WARNING: comparing mode={rep_a.get('mode')!r} against "
+              f"mode={rep_b.get('mode')!r}; walls are not comparable",
+              file=out)
+    benches_a = rep_a.get("benches", {})
+    benches_b = rep_b.get("benches", {})
+    shared = sorted(set(benches_a) & set(benches_b))
+    if not shared:
+        print(f"no shared benches between {path_a.name} and {path_b.name}",
+              file=out)
+        return 2
+    print(f"{'bench':<24} {path_a.stem[len('BENCH_'):]:>12} "
+          f"{path_b.stem[len('BENCH_'):]:>12} {'speedup':>8}", file=out)
+    worst = 0.0
+    for name in shared:
+        wa = benches_a[name]["wall_s"]
+        wb = benches_b[name]["wall_s"]
+        speedup = wa / wb if wb > 0 else float("inf")
+        worst = max(worst, wb / wa if wa > 0 else float("inf"))
+        print(f"{name:<24} {wa * 1e3:>10.2f}ms {wb * 1e3:>10.2f}ms "
+              f"{speedup:>7.2f}x", file=out)
+    for name in sorted(set(benches_a) ^ set(benches_b)):
+        where = spec_a if name in benches_a else spec_b
+        print(f"{name:<24} only in {where}", file=out)
+    if worst > regress_tol:
+        print(f"REGRESSION: worst slowdown {worst:.2f}x exceeds tolerance "
+              f"{regress_tol}", file=out)
+        return 1
+    return 0
 
 
 def list_baselines(bench_dir: Path | None = None, out=None) -> int:
@@ -309,9 +453,16 @@ def main(argv=None) -> int:
     ap.add_argument("--regress-tol", type=float, default=float("inf"),
                     help="fail if any bench is slower than baseline by more "
                          "than this factor (e.g. 1.2 = 20%% slower)")
+    ap.add_argument("--compare", nargs=2, metavar=("A", "B"), default=None,
+                    help="compare two existing reports (tags or paths) "
+                         "instead of running benches; exits non-zero when "
+                         "B regressed past --regress-tol")
     args = ap.parse_args(argv)
     if args.list:
         return list_baselines()
+    if args.compare is not None:
+        return compare_reports(args.compare[0], args.compare[1],
+                               args.regress_tol)
     repeats = args.repeats or (2 if args.smoke else 5)
     if args.out is None and args.tag is not None:
         bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
