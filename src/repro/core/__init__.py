@@ -39,6 +39,16 @@ from repro.core.baselines import (
     run_spatial,
 )
 from repro.core.ca_step import CAConfig, CAStepResult, ca_interaction_step
+from repro.core.commsched import (
+    CommSchedule,
+    default_hyper_k,
+    half_systolic_rounds,
+    hyper_strides,
+    hyper_systolic_rounds,
+    rounds_for_schedule,
+    scheduled_step,
+    systolic_ring_rounds,
+)
 from repro.core.cutoff import (
     CutoffRun,
     cutoff_config,
@@ -67,6 +77,11 @@ from repro.core.symmetric import (
     run_symmetric_virtual,
     symmetric_config,
 )
+from repro.core.systolic import (
+    run_half_systolic,
+    run_hyper_systolic,
+    run_systolic_ring,
+)
 from repro.core.tuning import TuningResult, autotune_c, candidate_cs
 from repro.core.window import (
     ShiftSchedule,
@@ -82,6 +97,7 @@ __all__ = [
     "CAConfig",
     "CAStepResult",
     "CheckpointPolicy",
+    "CommSchedule",
     "CutoffRun",
     "Prepared",
     "Run",
@@ -99,6 +115,7 @@ __all__ = [
     "gather_to_root",
     "cutoff_config",
     "cutoff_schedule",
+    "default_hyper_k",
     "fault_compat",
     "get_algorithm",
     "list_algorithms",
@@ -109,6 +126,8 @@ __all__ = [
     "run_cutoff",
     "run_cutoff_virtual",
     "run_force_decomposition",
+    "run_half_systolic",
+    "run_hyper_systolic",
     "run_particle_allgather",
     "run_midpoint",
     "run_particle_ring",
@@ -117,11 +136,18 @@ __all__ = [
     "run_spatial",
     "run_symmetric",
     "run_symmetric_virtual",
+    "run_systolic_ring",
     "simulation_fingerprint",
     "SymmetricRun",
     "ca_symmetric_step",
     "half_ring_schedule",
+    "half_systolic_rounds",
+    "hyper_strides",
+    "hyper_systolic_rounds",
+    "rounds_for_schedule",
+    "scheduled_step",
     "symmetric_config",
+    "systolic_ring_rounds",
     "team_blocks_even",
     "team_blocks_spatial",
     "virtual_team_blocks",

@@ -24,9 +24,13 @@ pairs so the machine model can charge computation time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
+from repro.core.commsched import (
+    StepResult,
+    rounds_for_schedule,
+    scheduled_step,
+)
 from repro.core.window import ShiftSchedule
 from repro.physics.domain import TeamGeometry
 from repro.simmpi.collectives import binomial_fold
@@ -96,24 +100,12 @@ class CAConfig:
         return self.geometry.team_distance_ok(col, visitor_team, self.rcut)
 
 
-@dataclass
-class CAStepResult:
-    """Per-rank outcome of one interaction step."""
-
-    row: int
-    col: int
-    #: Candidate pairs this rank scanned (compute cost it was charged).
-    npairs: int
-    #: Number of update steps actually executed (not skipped).
-    updates: int
-    #: The home block with final reduced forces — team leaders only.
-    home: Any = None
-    #: Peak particle-buffer bytes this rank held (home + exchange buffer)
-    #: — the algorithm's memory footprint, Equation 4's M = O(c n / p).
-    memory_bytes: int = 0
-    #: Rank deaths this step absorbed via replication-aware recovery
-    #: (resilient step only; populated on the replacement rank).
-    recovered: tuple = field(default=())
+#: Per-rank outcome of one interaction step — the shared scheduled-step
+#: result (:class:`repro.core.commsched.StepResult`) under its historic
+#: name.  ``memory_bytes`` is the algorithm's peak buffer residency,
+#: Equation 4's M = O(c n / p); the resilient step below fills
+#: ``recovered`` on replacement ranks.
+CAStepResult = StepResult
 
 
 def _shift(comm, grid: ReplicatedGrid, sched: ShiftSchedule, row: int,
@@ -150,68 +142,17 @@ def ca_interaction_step(comm, cfg: CAConfig, kernel, leader_block):
     -------
     CAStepResult
         Leaders carry the home block with the reduced forces installed.
+
+    The schedule is lowered once (cached) into the shared communication-
+    schedule IR — :func:`repro.core.commsched.rounds_for_schedule` — and
+    executed by the generic :func:`repro.core.commsched.scheduled_step`;
+    cutoff reachability stays a runtime gate supplied by ``cfg``.
     """
-    grid = cfg.grid
-    sched = cfg.schedule
-    if comm.size != grid.p:
-        raise ValueError(f"program needs {grid.p} ranks, engine has {comm.size}")
-    row = grid.row_of(comm.rank)
-    col = grid.col_of(comm.rank)
-    team = grid.team_comm(comm)
-    machine = comm.engine.machine
-
-    # 1. Broadcast S_t from the team leader (team rank 0 == row 0).
-    with comm.phase("bcast"):
-        block = yield from team.bcast(leader_block if row == 0 else None, root=0)
-    home = kernel.home_of(block)
-
-    # 2. Copy to the exchange buffer and skew row-wise.
-    travel = kernel.travel_of(home, col)
-    memory_bytes = home.wire_nbytes + travel.wire_nbytes
-    with comm.phase("shift"):
-        travel = yield from _shift(comm, grid, sched, row, col, travel,
-                                   sched.skew_move(row))
-
-    # 3. Shift-and-update loop.
-    npairs_total = 0
-    updates = 0
-    for i in range(sched.steps):
-        with comm.phase("shift"):
-            travel = yield from _shift(comm, grid, sched, row, col, travel,
-                                       sched.step_move(row, i))
-        memory_bytes = max(memory_bytes,
-                           home.wire_nbytes + travel.wire_nbytes)
-        u = sched.update_position(row, i)
-        expected = sched.visitor_of(col, u)
-        if travel.team != expected:
-            raise AssertionError(
-                f"rank {comm.rank} (row {row}, col {col}) step {i}: schedule "
-                f"predicts visitor {expected}, buffer belongs to {travel.team}"
-            )
-        if sched.skip[u] or not cfg.reachable(col, travel.team):
-            continue
-        with comm.phase("compute"):
-            npairs = kernel.interact(home, travel)
-            npairs_total += npairs
-            updates += 1
-            yield from comm.compute(machine.interactions_time(npairs))
-
-    # 4. Sum-reduce partial forces within the team, down to the leader.
-    with comm.phase("reduce"):
-        reduced = yield from team.reduce(
-            kernel.forces_payload(home), kernel.reduce_op, root=0
-        )
-    if row == 0:
-        kernel.install_forces(home, reduced)
-
-    return CAStepResult(
-        row=row,
-        col=col,
-        npairs=npairs_total,
-        updates=updates,
-        home=home if row == 0 else None,
-        memory_bytes=memory_bytes,
-    )
+    cs = rounds_for_schedule(cfg.schedule)
+    result = yield from scheduled_step(comm, cfg.grid, cs, kernel,
+                                       leader_block,
+                                       reachable=cfg.reachable)
+    return result
 
 
 def ca_program(cfg: CAConfig, kernel, blocks, *, resilient: bool = False):

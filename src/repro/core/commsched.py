@@ -1,0 +1,744 @@
+"""The shared communication-schedule abstraction (one IR, many algorithms).
+
+Before this module, three places in the tree knew "who holds which buffer
+at which step, which pairs update, and what moves on the wire": the CA
+step program (:mod:`repro.core.ca_step`), its symmetric variant
+(:mod:`repro.core.symmetric`) and the heuristic tier's per-algorithm plan
+builders (:mod:`repro.simmpi.fastsim`).  Adding a new schedule meant
+writing the same arithmetic three times.  This module factors that
+knowledge into one declarative IR:
+
+* a :class:`CommSchedule` is a grid shape, a set of named **buffers**
+  (the circulating exchange block, a reaction-carrying block, or
+  replicated hyper-systolic *registers*), and an ordered list of
+  **rounds**;
+* a :class:`Shift` round moves a buffer (or its force accumulator)
+  uniformly along each row; a :class:`Interact` round applies per-row
+  :class:`Update` s between a target accumulator and a source buffer;
+* :func:`rounds_for_schedule` lowers a CA :class:`~repro.core.window.
+  ShiftSchedule` (all-pairs, cutoff window, or the symmetric half ring)
+  into this IR; :func:`systolic_ring_rounds`, :func:`half_systolic_rounds`
+  and :func:`hyper_systolic_rounds` build the systolic-family schedules
+  from the literature (Dorband astro-ph/0112092; Lippert et al.
+  hep-lat/9512020) directly;
+* :func:`scheduled_step` executes any :class:`CommSchedule` as an exact
+  rank program on the simulated MPI, and
+  :func:`repro.simmpi.fastsim` replays the *same* IR analytically for
+  the vectorized heuristic tier — so both engine tiers, the metrics
+  lock and the model validation all see one schedule definition.
+
+Buffer-content bookkeeping convention: a buffer whose *content offset*
+is the vector ``o`` holds, at column ``col``, the block of team
+``col + o`` (wrapped on the team grid).  A :class:`Shift` by move ``v``
+sends the buffer to column ``col + v``, so the content offset becomes
+``o - v`` — each round declares the expected post-shift offset and the
+executors assert the arriving block matches it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any
+
+from repro.core.window import ShiftSchedule
+from repro.util import require
+
+__all__ = [
+    "HOME",
+    "CommSchedule",
+    "Interact",
+    "SHIFT_TAG",
+    "Shift",
+    "StepResult",
+    "Update",
+    "default_hyper_k",
+    "half_systolic_rounds",
+    "hyper_strides",
+    "hyper_systolic_rounds",
+    "rounds_for_schedule",
+    "scheduled_program",
+    "scheduled_step",
+    "systolic_ring_rounds",
+]
+
+#: User tag for exchange-buffer traffic (shared with the CA step).
+SHIFT_TAG = 7
+
+#: User tag for the symmetric variant's reaction-return round.
+RETURN_TAG = 13
+
+#: User tag for the hyper-systolic force-collection cascade.
+COLLECT_TAG = 9
+
+#: Buffer index denoting the rank's home block (always present).
+HOME = -1
+
+#: Legal buffer kinds: ``block`` circulates read-only particle views,
+#: ``block_sym`` additionally carries a reaction-force accumulator, and
+#: ``register`` is an initially-empty replicated slot filled by adoption
+#: (hyper-systolic distribution).
+_BUFFER_KINDS = ("block", "block_sym", "register")
+
+
+@dataclass(frozen=True)
+class Update:
+    """One accumulation between a target accumulator and a source buffer.
+
+    Attributes
+    ----------
+    target:
+        Buffer index receiving forces (:data:`HOME` or a register).
+    source:
+        Buffer index providing the visiting block (:data:`HOME` reads a
+        travel view of the home block itself).
+    mode:
+        ``"full"`` — every target x source pair, forces on the target
+        only; ``"symmetric"`` — every pair once, reaction accumulated on
+        the source buffer; ``"self_half"`` — the target block with
+        itself, upper triangle, both directions locally.
+    gated:
+        Apply the runtime reachability predicate (cutoff pruning) to the
+        (column, source-content) pair before computing.
+    half_pair:
+        Antipodal deduplication: only columns strictly below the source
+        buffer's content team compute (the half-ring schedule sees the
+        opposite block from both sides at the antipode).
+    """
+
+    target: int
+    source: int
+    mode: str = "full"
+    gated: bool = False
+    half_pair: bool = False
+
+
+@dataclass(frozen=True)
+class Shift:
+    """One uniform row-wise buffer movement.
+
+    Attributes
+    ----------
+    phase:
+        Trace phase the traffic and wait time are charged to.
+    moves:
+        Per-row column displacement vectors (length ``c``); the buffer
+        goes to ``col + move`` and arrives from ``col - move``.
+    src, dst:
+        Buffer indices: what is sent, and where the arriving payload
+        lands.  ``dst`` of kind ``register`` *adopts* the arriving block
+        (fresh force accumulator); ``dst = HOME`` with ``absorb`` folds
+        the arriving reaction buffer into the home accumulator.
+    content:
+        Per-row content offsets after the round (``None`` when the round
+        moves only forces and buffer contents are unchanged).  The
+        executors assert the arriving block matches.
+    payload:
+        ``"buffer"`` moves the block itself; ``"forces"`` moves only the
+        source buffer's force accumulator, folded into ``dst``.
+    tag:
+        User tag for the sendrecv.
+    wrap_skip:
+        Skip condition: by default a row with an exactly-zero move does
+        not communicate (CA padding); with ``wrap_skip`` a row whose
+        move *wraps* to its own column keeps its buffer locally (the
+        symmetric return at offset ``= 0 (mod T)``).
+    absorb:
+        Fold the arriving buffer's reactions into the home block
+        (symmetric return round).
+    measure:
+        Include this round in the peak-memory measurement (the CA skew
+        is excluded, matching the reference step's accounting).
+    """
+
+    phase: str
+    moves: tuple[tuple[int, ...], ...]
+    src: int
+    dst: int
+    content: tuple[tuple[int, ...], ...] | None = None
+    payload: str = "buffer"
+    tag: int = SHIFT_TAG
+    wrap_skip: bool = False
+    absorb: bool = False
+    measure: bool = True
+
+
+@dataclass(frozen=True)
+class Interact:
+    """One compute round: per-row updates (``None`` = row idle)."""
+
+    phase: str
+    updates: tuple[Update | None, ...]
+
+
+@dataclass(frozen=True)
+class CommSchedule:
+    """A complete communication schedule: buffers plus ordered rounds.
+
+    Attributes
+    ----------
+    team_dims:
+        Shape of the team grid (teams numbered row-major over it).
+    c:
+        Replication factor (rows per team executing the schedule).
+    buffers:
+        Kind of each buffer (see :data:`_BUFFER_KINDS`); ``block`` /
+        ``block_sym`` buffers start holding the rank's own block,
+        ``register`` buffers start empty.
+    rounds:
+        The ordered :class:`Shift` / :class:`Interact` rounds.
+    team_bcast:
+        Open with the in-team leader broadcast (the CA family's
+        replication fill; the ``c = 1`` systolic family skips it).
+    team_reduce:
+        Close with the in-team force reduction to the leader.
+    """
+
+    team_dims: tuple[int, ...]
+    c: int
+    buffers: tuple[str, ...]
+    rounds: tuple[Any, ...]
+    team_bcast: bool = True
+    team_reduce: bool = True
+
+    @property
+    def nteams(self) -> int:
+        """Total team count (product of the team-grid dimensions)."""
+        n = 1
+        for d in self.team_dims:
+            n *= d
+        return n
+
+    def wrap(self, mi: tuple[int, ...]) -> int:
+        """Linear team id of a multi-index, wrapping each coordinate."""
+        t = 0
+        for x, d in zip(mi, self.team_dims):
+            t = t * d + x % d
+        return t
+
+    def team_multi(self, team: int) -> tuple[int, ...]:
+        """Multi-index of a linear team id (row-major)."""
+        out = []
+        for d in reversed(self.team_dims):
+            team, r = divmod(team, d)
+            out.append(r)
+        return tuple(reversed(out))
+
+    def displace(self, team: int, off: tuple[int, ...]) -> int:
+        """Team at ``team``'s multi-index plus ``off`` (wrapped)."""
+        mi = self.team_multi(team)
+        return self.wrap(tuple(a + b for a, b in zip(mi, off)))
+
+    def validate(self) -> None:
+        """Check the structural invariants the executors rely on."""
+        nbuf = len(self.buffers)
+        for kind in self.buffers:
+            require(kind in _BUFFER_KINDS,
+                    f"unknown buffer kind {kind!r} (expected one of "
+                    f"{_BUFFER_KINDS})")
+        ndim = len(self.team_dims)
+        for i, rnd in enumerate(self.rounds):
+            if isinstance(rnd, Shift):
+                require(len(rnd.moves) == self.c,
+                        f"round {i}: {len(rnd.moves)} moves for c={self.c}")
+                for mv in rnd.moves:
+                    require(len(mv) == ndim,
+                            f"round {i}: move {mv} is not {ndim}-dimensional")
+                require(rnd.payload in ("buffer", "forces"),
+                        f"round {i}: unknown payload {rnd.payload!r}")
+                require(rnd.src == HOME or 0 <= rnd.src < nbuf,
+                        f"round {i}: src buffer {rnd.src} out of range")
+                require(rnd.dst == HOME or 0 <= rnd.dst < nbuf,
+                        f"round {i}: dst buffer {rnd.dst} out of range")
+                if rnd.content is not None:
+                    require(len(rnd.content) == self.c,
+                            f"round {i}: content rows != c")
+            elif isinstance(rnd, Interact):
+                require(len(rnd.updates) == self.c,
+                        f"round {i}: {len(rnd.updates)} updates for "
+                        f"c={self.c}")
+                for up in rnd.updates:
+                    if up is None:
+                        continue
+                    require(up.mode in ("full", "symmetric", "self_half"),
+                            f"round {i}: unknown update mode {up.mode!r}")
+                    require(up.source == HOME or 0 <= up.source < nbuf,
+                            f"round {i}: source buffer {up.source} out of "
+                            "range")
+                    require(up.target == HOME or 0 <= up.target < nbuf,
+                            f"round {i}: target buffer {up.target} out of "
+                            "range")
+            else:
+                raise TypeError(f"round {i}: unknown round type {rnd!r}")
+
+
+# ---------------------------------------------------------------------------
+# Lowering a CA ShiftSchedule into the IR.
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def rounds_for_schedule(sched: ShiftSchedule,
+                        symmetric: bool = False) -> CommSchedule:
+    """Lower a CA :class:`~repro.core.window.ShiftSchedule` into the IR.
+
+    The produced rounds replay :func:`~repro.core.ca_step.
+    ca_interaction_step` exactly — skew (unmeasured), then ``w/c``
+    shift+update rounds with per-row skip positions baked in and cutoff
+    reachability left as a runtime gate.  With ``symmetric=True`` the
+    update modes follow :func:`~repro.core.symmetric.ca_symmetric_step`:
+    the self position computes the half triangle, the antipodal position
+    deduplicates pairwise, every other position accumulates reactions on
+    the traveling buffer, and a final wrap-skipped return round carries
+    the reactions home.
+    """
+    c = sched.c
+    T = sched.nteams
+    ndim = len(sched.team_dims)
+    zero = (0,) * ndim
+    antipode = T // 2 if (symmetric and T % 2 == 0) else None
+
+    rounds: list[Any] = [Shift(
+        phase="shift",
+        moves=tuple(sched.skew_move(k) for k in range(c)),
+        src=0, dst=0,
+        content=tuple(sched.offsets[(sched.zero_index + k) % sched.window]
+                      for k in range(c)),
+        measure=False,
+    )]
+    for i in range(sched.steps):
+        rounds.append(Shift(
+            phase="shift",
+            moves=tuple(sched.step_move(k, i) for k in range(c)),
+            src=0, dst=0,
+            content=tuple(sched.offsets[sched.position(k, i)]
+                          for k in range(c)),
+        ))
+        updates: list[Update | None] = []
+        for k in range(c):
+            u = sched.position(k, i)
+            if sched.skip[u]:
+                updates.append(None)
+            elif not symmetric:
+                updates.append(Update(target=HOME, source=0, mode="full",
+                                      gated=True))
+            elif sched.wrap_offset(sched.offsets[u]) == zero:
+                updates.append(Update(target=HOME, source=0,
+                                      mode="self_half"))
+            else:
+                updates.append(Update(
+                    target=HOME, source=0, mode="symmetric",
+                    half_pair=(antipode is not None
+                               and sched.offsets[u][0] == antipode),
+                ))
+        rounds.append(Interact(phase="compute", updates=tuple(updates)))
+
+    if symmetric:
+        # Send each buffer's accumulated reactions back to its home
+        # column; rows whose final offset wraps to zero keep theirs.
+        rounds.append(Shift(
+            phase="return",
+            moves=tuple(sched.offsets[sched.position(k, sched.steps - 1)]
+                        for k in range(c)),
+            src=0, dst=HOME,
+            content=(zero,) * c,
+            tag=RETURN_TAG,
+            wrap_skip=True,
+            absorb=True,
+        ))
+
+    cs = CommSchedule(
+        team_dims=sched.team_dims,
+        c=c,
+        buffers=("block_sym",) if symmetric else ("block",),
+        rounds=tuple(rounds),
+    )
+    cs.validate()
+    return cs
+
+
+# ---------------------------------------------------------------------------
+# The systolic family (Dorband et al.; Lippert et al.).
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def systolic_ring_rounds(p: int) -> CommSchedule:
+    """The classic systolic ring (Dorband–Hemsendorf–Merritt, c = 1).
+
+    Self-interaction first, then ``p - 1`` single-hop shifts each
+    followed by a full update — ``S = p - 1`` messages and
+    ``W ~ n (p-1)/p`` words per rank, the baseline the CA and
+    hyper-systolic schedules improve on.
+    """
+    require(p >= 1, "need at least one rank")
+    rounds: list[Any] = [
+        Interact(phase="compute",
+                 updates=(Update(target=HOME, source=0, mode="full"),)),
+    ]
+    for k in range(1, p):
+        rounds.append(Shift(phase="shift", moves=((1,),), src=0, dst=0,
+                            content=((-k,),)))
+        rounds.append(Interact(
+            phase="compute",
+            updates=(Update(target=HOME, source=0, mode="full"),)))
+    cs = CommSchedule(team_dims=(p,), c=1, buffers=("block",),
+                      rounds=tuple(rounds),
+                      team_bcast=False, team_reduce=False)
+    cs.validate()
+    return cs
+
+
+@lru_cache(maxsize=None)
+def half_systolic_rounds(p: int) -> CommSchedule:
+    """The half-ring systolic variant: Newton's third law at ``c = 1``.
+
+    The buffer carries a reaction accumulator and travels only
+    ``floor(p/2)`` hops (for even ``p`` the antipodal visit is computed
+    by the lower-indexed column only), then one return message carries
+    the reactions home — ``S = floor(p/2) + 1`` messages with half the
+    compute of the full ring.
+    """
+    require(p >= 1, "need at least one rank")
+    half = p // 2
+    rounds: list[Any] = [
+        Interact(phase="compute",
+                 updates=(Update(target=HOME, source=0, mode="self_half"),)),
+    ]
+    for k in range(1, half + 1):
+        rounds.append(Shift(phase="shift", moves=((1,),), src=0, dst=0,
+                            content=((-k,),)))
+        rounds.append(Interact(
+            phase="compute",
+            updates=(Update(target=HOME, source=0, mode="symmetric",
+                            half_pair=(p % 2 == 0 and k == half)),)))
+    if half:
+        rounds.append(Shift(phase="return", moves=((-half,),), src=0,
+                            dst=HOME, content=((0,),), tag=RETURN_TAG,
+                            wrap_skip=True, absorb=True))
+    cs = CommSchedule(team_dims=(p,), c=1, buffers=("block_sym",),
+                      rounds=tuple(rounds),
+                      team_bcast=False, team_reduce=False)
+    cs.validate()
+    return cs
+
+
+def default_hyper_k(p: int) -> int:
+    """The replication parameter K of the regular hyper-systolic base.
+
+    Lippert et al.'s ``A_1`` base: ``a = ceil(sqrt(p))`` unit strides
+    plus ``b = ceil(p/a)`` coarse strides of step ``a`` gives
+    ``K = a + b - 1 = O(sqrt(p))`` registers covering every pairing.
+    """
+    require(p >= 1, "need at least one rank")
+    a = math.isqrt(p - 1) + 1 if p > 1 else 1
+    b = -(-p // a)
+    return a + b - 1
+
+
+def hyper_strides(p: int, k: int) -> tuple[int, ...]:
+    """The stride set of the regular hyper-systolic base for (p, K).
+
+    ``K = a + b - 1`` splits into ``a`` unit strides ``{0..a-1}`` and
+    ``b - 1`` coarse strides ``{a, 2a, .., (b-1)a}``; the base is valid
+    when ``a * b >= p`` (every ring distance decomposes as a coarse
+    stride minus a unit stride).
+    """
+    require(p >= 1, "need at least one rank")
+    require(k >= 1, f"hyper_k must be >= 1, got {k}")
+    a = (k + 2) // 2
+    b = k + 1 - a
+    require(a * b >= p,
+            f"hyper_k={k} is too small for p={p}: a={a} unit strides x "
+            f"b={b} coarse strides cover only {a * b} < {p} distances "
+            f"(minimum K is {default_hyper_k(p)})")
+    strides = list(range(a)) + [j * a for j in range(1, b)]
+    require(strides[-1] < p,
+            f"hyper_k={k} overshoots the ring: largest stride "
+            f"{strides[-1]} >= p={p}")
+    return tuple(strides)
+
+
+def _hyper_pairing(p: int, a: int, b: int,
+                   strides: tuple[int, ...]) -> list[tuple[int, int]]:
+    """For each ring distance ``d = 1..p-1``, the canonical (target
+    stride, source stride) pair computing it — both members of the
+    stride set, each ordered distance covered exactly once."""
+    pairs = []
+    for d in range(1, p):
+        delta = d if d <= (b - 1) * a else d - p
+        r = (-delta) % a
+        q = (delta + r) // a
+        target, source = r, q * a
+        require(target in strides and source in strides,
+                f"hyper-systolic base does not cover distance {d} "
+                f"(needs strides {target} and {source})")
+        pairs.append((target, source))
+    return pairs
+
+
+@lru_cache(maxsize=None)
+def hyper_systolic_rounds(p: int, k: int | None = None) -> CommSchedule:
+    """The hyper-systolic schedule (Lippert et al., hep-lat/9512020).
+
+    ``K - 1`` replicated registers are filled by a distribution cascade
+    (register ``j`` holds the block ``s_j`` hops upstream), every ring
+    distance is computed once between two resident registers, and a
+    collection cascade folds each register's partial forces back down to
+    the home block — ``S = 2 (K - 1) = O(sqrt(p))`` messages moving
+    ``O(sqrt(p) n / p)`` words per rank, vs the ring's ``O(n)``.
+    """
+    require(p >= 1, "need at least one rank")
+    kk = default_hyper_k(p) if k is None else k
+    strides = hyper_strides(p, kk)
+    a = (kk + 2) // 2
+    b = kk + 1 - a
+    nreg = len(strides) - 1  # stride 0 is the home block
+    reg_of = {s: i - 1 for i, s in enumerate(strides)}  # stride -> buffer
+
+    rounds: list[Any] = []
+    # Distribution cascade: register j adopts the block one stride-step
+    # further upstream than register j - 1.
+    for j in range(1, len(strides)):
+        step = strides[j] - strides[j - 1]
+        rounds.append(Shift(
+            phase="shift", moves=((step,),),
+            src=(j - 2 if j > 1 else HOME), dst=j - 1,
+            content=((-strides[j],),),
+        ))
+    # Compute: every ring distance exactly once, between two registers.
+    rounds.append(Interact(
+        phase="compute",
+        updates=(Update(target=HOME, source=HOME, mode="full"),)))
+    for target, source in _hyper_pairing(p, a, b, strides):
+        rounds.append(Interact(
+            phase="compute",
+            updates=(Update(
+                target=HOME if target == 0 else reg_of[target],
+                source=HOME if source == 0 else reg_of[source],
+                mode="full"),)))
+    # Collection cascade: fold register forces back down to the home
+    # block, reversing the distribution hops.
+    for j in range(len(strides) - 1, 0, -1):
+        step = strides[j] - strides[j - 1]
+        rounds.append(Shift(
+            phase="collect", moves=((-step,),),
+            src=j - 1, dst=(j - 2 if j > 1 else HOME),
+            payload="forces", tag=COLLECT_TAG,
+        ))
+
+    cs = CommSchedule(team_dims=(p,), c=1, buffers=("register",) * nreg,
+                      rounds=tuple(rounds),
+                      team_bcast=False, team_reduce=False)
+    cs.validate()
+    return cs
+
+
+# ---------------------------------------------------------------------------
+# The generic event-tier executor.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StepResult:
+    """Per-rank outcome of one scheduled interaction step."""
+
+    row: int
+    col: int
+    #: Candidate pairs this rank scanned (compute cost it was charged).
+    npairs: int
+    #: Number of update steps actually executed (not skipped).
+    updates: int
+    #: The home block with final forces — team leaders only.
+    home: Any = None
+    #: Peak particle-buffer bytes this rank held (home + live buffers).
+    memory_bytes: int = 0
+    #: Rank deaths this step absorbed via replication-aware recovery
+    #: (resilient CA step only; populated on the replacement rank).
+    recovered: tuple = field(default=())
+
+
+def _travel_view(kernel, cs, bufs, contents, home, col, index):
+    """A wire-ready travel view of buffer ``index`` (or the home block)."""
+    if index == HOME:
+        return kernel.travel_of(home, col)
+    buf = bufs[index]
+    if cs.buffers[index] == "register":
+        return kernel.travel_of(buf, contents[index])
+    return buf  # block / block_sym buffers already circulate as travel
+
+
+def _live_bytes(home, bufs) -> int:
+    """Current particle-buffer footprint: home plus every live buffer."""
+    return home.wire_nbytes + sum(
+        b.wire_nbytes for b in bufs if b is not None)
+
+
+def scheduled_step(comm, grid, cs: CommSchedule, kernel, leader_block, *,
+                   reachable=None):
+    """Execute a :class:`CommSchedule` as one rank program (generator).
+
+    The generic twin of :func:`~repro.core.ca_step.ca_interaction_step`:
+    optional team broadcast, the schedule's shift / interact rounds, and
+    an optional in-team force reduction — every registered schedule
+    (CA, symmetric, and the systolic family) runs through this one
+    executor on the event engine.
+
+    Parameters
+    ----------
+    comm:
+        World communicator (``comm.size`` must equal ``grid.p``).
+    grid:
+        The ``c x (p/c)`` replicated processor grid.
+    cs:
+        The schedule to execute (``cs.c`` must match ``grid.c``).
+    kernel:
+        Interaction kernel (:class:`~repro.physics.kernels.RealKernel`
+        or :class:`~repro.physics.kernels.VirtualKernel`).
+    leader_block:
+        On team leaders (row 0): this team's particle block.  Ignored
+        elsewhere.
+    reachable:
+        Optional ``reachable(col, team) -> bool`` predicate gating
+        ``Update(gated=True)`` rounds (cutoff pruning).
+    """
+    if comm.size != grid.p:
+        raise ValueError(
+            f"program needs {grid.p} ranks, engine has {comm.size}")
+    if grid.c != cs.c or grid.nteams != cs.nteams:
+        raise ValueError(
+            f"grid ({grid.c} x {grid.nteams}) does not match schedule "
+            f"({cs.c} x {cs.nteams})")
+    row = grid.row_of(comm.rank)
+    col = grid.col_of(comm.rank)
+    machine = comm.engine.machine
+    team = (grid.team_comm(comm)
+            if (cs.team_bcast or cs.team_reduce) else None)
+
+    if cs.team_bcast:
+        with comm.phase("bcast"):
+            block = yield from team.bcast(
+                leader_block if row == 0 else None, root=0)
+    else:
+        block = leader_block
+    home = kernel.home_of(block)
+
+    bufs: list[Any] = []
+    contents: list[int | None] = []
+    for kind in cs.buffers:
+        if kind == "block":
+            bufs.append(kernel.travel_of(home, col))
+            contents.append(col)
+        elif kind == "block_sym":
+            bufs.append(kernel.travel_of_symmetric(home, col))
+            contents.append(col)
+        else:  # register: filled by adoption during distribution
+            bufs.append(None)
+            contents.append(None)
+    memory_bytes = _live_bytes(home, bufs)
+
+    npairs_total = 0
+    updates = 0
+    for rnd in cs.rounds:
+        if isinstance(rnd, Shift):
+            move = rnd.moves[row]
+            if rnd.payload == "forces":
+                payload = kernel.forces_payload(bufs[rnd.src])
+            else:
+                payload = _travel_view(kernel, cs, bufs, contents, home,
+                                       col, rnd.src)
+            dest_col = cs.displace(col, move)
+            skip = (dest_col == col) if rnd.wrap_skip else not any(move)
+            with comm.phase(rnd.phase):
+                if skip:
+                    received = payload
+                else:
+                    dest = grid.rank_at(row, dest_col)
+                    src = grid.rank_at(
+                        row, cs.displace(col, tuple(-x for x in move)))
+                    received = yield from comm.sendrecv(
+                        dest, payload, src, rnd.tag)
+                if rnd.payload == "forces":
+                    target = home if rnd.dst == HOME else bufs[rnd.dst]
+                    kernel.fold_forces(target, received)
+                else:
+                    expected = (cs.displace(col, rnd.content[row])
+                                if rnd.content is not None else None)
+                    if expected is not None and received.team != expected:
+                        raise AssertionError(
+                            f"rank {comm.rank} (row {row}, col {col}): "
+                            f"schedule predicts visitor {expected}, buffer "
+                            f"belongs to {received.team}")
+                    if rnd.absorb:
+                        kernel.absorb_reactions(home, received)
+                    elif cs.buffers[rnd.dst] == "register":
+                        bufs[rnd.dst] = kernel.adopt_register(received)
+                        contents[rnd.dst] = received.team
+                    else:
+                        bufs[rnd.dst] = received
+                        contents[rnd.dst] = received.team
+            if rnd.measure:
+                memory_bytes = max(memory_bytes, _live_bytes(home, bufs))
+        else:  # Interact
+            up = rnd.updates[row]
+            if up is None:
+                continue
+            src_team = col if up.source == HOME else contents[up.source]
+            if up.gated and reachable is not None \
+                    and not reachable(col, src_team):
+                continue
+            if up.half_pair and col >= src_team:
+                continue
+            target = home if up.target == HOME else bufs[up.target]
+            with comm.phase(rnd.phase):
+                if up.mode == "self_half":
+                    n = kernel.interact_self_half(target)
+                else:
+                    travel = _travel_view(kernel, cs, bufs, contents, home,
+                                          col, up.source)
+                    if up.mode == "symmetric":
+                        n = kernel.interact_symmetric(target, travel)
+                    else:
+                        n = kernel.interact(target, travel)
+                npairs_total += n
+                updates += 1
+                yield from comm.compute(machine.interactions_time(n))
+
+    if cs.team_reduce:
+        with comm.phase("reduce"):
+            reduced = yield from team.reduce(
+                kernel.forces_payload(home), kernel.reduce_op, root=0)
+        if row == 0:
+            kernel.install_forces(home, reduced)
+
+    return StepResult(
+        row=row,
+        col=col,
+        npairs=npairs_total,
+        updates=updates,
+        home=home if row == 0 else None,
+        memory_bytes=memory_bytes,
+    )
+
+
+def scheduled_program(grid, cs: CommSchedule, kernel, blocks, *,
+                      reachable=None):
+    """Rank-program factory over pre-distributed blocks.
+
+    ``blocks[col]`` is team ``col``'s leader block; every non-leader
+    rank starts empty and receives its copy in the broadcast phase (the
+    ``c = 1`` systolic family has no broadcast — every rank is its own
+    leader).
+    """
+
+    def program(comm):
+        """One rank's scheduled interaction step."""
+        col = grid.col_of(comm.rank)
+        leader_block = blocks[col] if grid.row_of(comm.rank) == 0 else None
+        result = yield from scheduled_step(comm, grid, cs, kernel,
+                                           leader_block,
+                                           reachable=reachable)
+        return result
+
+    return program

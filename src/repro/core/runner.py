@@ -82,6 +82,12 @@ class RunSpec:
     c:
         Replication factor for the CA family (ignored by baselines, which
         require ``c = 1``).
+    hyper_k:
+        Hyper-systolic replication parameter K (the number of systolic
+        strides; the family's analogue of ``c``).  ``None`` (default)
+        picks the regular base ``K = ceil(sqrt(p)) + ceil(p /
+        ceil(sqrt(p))) - 1``; only the ``hyper_systolic`` algorithm reads
+        it.
     law:
         Force law; defaults to :class:`~repro.physics.forces.ForceLaw()`.
         Cutoff algorithms force the law's cutoff to ``rcut``.
@@ -134,6 +140,7 @@ class RunSpec:
     particles: ParticleSet | None = None
     n: int | None = None
     c: int = 1
+    hyper_k: int | None = None
     law: ForceLaw | None = None
     rcut: float | None = None
     box_length: float = 1.0
@@ -295,6 +302,7 @@ def _load_builtins() -> None:
     import repro.core.cutoff  # noqa: F401
     import repro.core.midpoint  # noqa: F401
     import repro.core.symmetric  # noqa: F401
+    import repro.core.systolic  # noqa: F401
 
 
 def get_algorithm(name: str) -> Algorithm:

@@ -24,7 +24,8 @@ tests check it equals the all-ones reference exactly.
 
 from __future__ import annotations
 
-from repro.core.ca_step import CAConfig, CAStepResult, _shift
+from repro.core.ca_step import CAConfig
+from repro.core.commsched import rounds_for_schedule, scheduled_step
 from repro.core.decomposition import (
     collect_leader_forces,
     team_blocks_even,
@@ -52,8 +53,6 @@ __all__ = [
 #: :class:`repro.core.runner.Run`.
 SymmetricRun = Run
 
-_RETURN_TAG = 13
-
 
 def symmetric_config(p: int, c: int) -> CAConfig:
     """Configuration of the symmetric all-pairs variant for (p, c)."""
@@ -67,88 +66,16 @@ def ca_symmetric_step(comm, cfg: CAConfig, kernel, leader_block):
 
     Same phases as :func:`~repro.core.ca_step.ca_interaction_step`, plus a
     ``return`` phase sending each buffer's accumulated reactions back to
-    its home column.
+    its home column.  The half-ring schedule is lowered once (cached) via
+    :func:`repro.core.commsched.rounds_for_schedule` with
+    ``symmetric=True`` — which bakes the self/antipode special cases into
+    per-row update modes — and executed by the shared
+    :func:`repro.core.commsched.scheduled_step`.
     """
-    grid = cfg.grid
-    sched = cfg.schedule
-    if comm.size != grid.p:
-        raise ValueError(f"program needs {grid.p} ranks, engine has {comm.size}")
-    row = grid.row_of(comm.rank)
-    col = grid.col_of(comm.rank)
-    team = grid.team_comm(comm)
-    machine = comm.engine.machine
-    T = grid.nteams
-    antipode = T // 2 if T % 2 == 0 else None
-
-    with comm.phase("bcast"):
-        block = yield from team.bcast(leader_block if row == 0 else None, root=0)
-    home = kernel.home_of(block)
-
-    travel = kernel.travel_of_symmetric(home, col)
-    with comm.phase("shift"):
-        travel = yield from _shift(comm, grid, sched, row, col, travel,
-                                   sched.skew_move(row))
-
-    npairs_total = 0
-    updates = 0
-    for i in range(sched.steps):
-        with comm.phase("shift"):
-            travel = yield from _shift(comm, grid, sched, row, col, travel,
-                                       sched.step_move(row, i))
-        u = sched.update_position(row, i)
-        if sched.skip[u]:
-            continue
-        offset = sched.offsets[u][0]
-        if travel.team == col:
-            # The home block with itself: upper triangle, both reactions
-            # accumulated locally on the home copy.
-            with comm.phase("compute"):
-                n = kernel.interact_self_half(home)
-                npairs_total += n
-                updates += 1
-                yield from comm.compute(machine.interactions_time(n))
-            continue
-        if antipode is not None and offset == antipode and col >= travel.team:
-            # The antipodal pair appears on both sides; the lower-indexed
-            # column computes it.
-            continue
-        with comm.phase("compute"):
-            n = kernel.interact_symmetric(home, travel)
-            npairs_total += n
-            updates += 1
-            yield from comm.compute(machine.interactions_time(n))
-
-    # Return the traveling reactions to their home column (same row).
-    with comm.phase("return"):
-        u_last = sched.position(row, sched.steps - 1)
-        dest = grid.rank_at(row, travel.team)
-        src_col = sched.holder_of(col, u_last)
-        src = grid.rank_at(row, src_col)
-        if dest == comm.rank and src == comm.rank:
-            returned = travel
-        else:
-            returned = yield from comm.sendrecv(dest, travel, src, _RETURN_TAG)
-        if returned.team != col:
-            raise AssertionError(
-                f"rank {comm.rank}: reaction return delivered team "
-                f"{returned.team}, expected {col}"
-            )
-        kernel.absorb_reactions(home, returned)
-
-    with comm.phase("reduce"):
-        reduced = yield from team.reduce(
-            kernel.forces_payload(home), kernel.reduce_op, root=0
-        )
-    if row == 0:
-        kernel.install_forces(home, reduced)
-
-    return CAStepResult(
-        row=row,
-        col=col,
-        npairs=npairs_total,
-        updates=updates,
-        home=home if row == 0 else None,
-    )
+    cs = rounds_for_schedule(cfg.schedule, symmetric=True)
+    result = yield from scheduled_step(comm, cfg.grid, cs, kernel,
+                                       leader_block)
+    return result
 
 
 def _symmetric_program(cfg: CAConfig, kernel, blocks):

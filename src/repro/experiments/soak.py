@@ -14,6 +14,14 @@ agreement:
    (randomly fault-free or under the same schedule again) and replay to the
    end.  The resumed final state must equal the reference exactly.
 
+A third trial flavor covers the systolic schedule family
+(``systolic_ring`` / ``half_systolic`` / ``hyper_systolic``): these run
+at ``c = 1`` with no replicas to recover a kill from, so their trials
+draw transient-only schedules (drops / delays / checksummed corruption)
+and demand the single-step registry run's forces equal the fault-free
+run bit for bit — the engine's retry protocol under chaos, on the
+shared communication-schedule IR.
+
 Documented-unrecoverable outcomes (a death outside the recoverable window,
 an exhausted retransmit budget — see ``docs/fault-model.md``) are *declared
 losses*: the run failed loudly, which is the contract; they are counted and
@@ -63,7 +71,7 @@ class SoakTrial:
 
     index: int
     seed: int
-    algorithm: str            # "allpairs" | "cutoff"
+    algorithm: str            # "allpairs" | "cutoff" | systolic family
     p: int
     c: int
     n: int
@@ -198,6 +206,79 @@ def _check_state(got, ref, what: str) -> str | None:
     return None
 
 
+def _systolic_trial(rng: np.random.Generator, seed: int, index: int,
+                    p: int, schedule, artifact_dir: str,
+                    skip: bool) -> tuple[SoakTrial, list[str]]:
+    """One systolic-family trial: transient chaos, bitwise force check.
+
+    The family runs at ``c = 1`` — a kill would be unrecoverable by
+    construction — so the schedule is transient-only and the contract is
+    that the engine's retry protocol makes the chaos run's forces equal
+    the fault-free run's exactly.
+    """
+    from repro.core.runner import RunSpec, run
+
+    artifacts: list[str] = []
+    algorithm = str(rng.choice(
+        ["systolic_ring", "half_systolic", "hyper_systolic"]))
+    dim = int(rng.choice([1, 2]))
+    n = int(rng.integers(40, 97))
+    workload = str(rng.choice(["uniform", "clustered"]))
+    trial = SoakTrial(index=index, seed=seed, algorithm=algorithm, p=p,
+                      c=1, n=n, dim=dim, nsteps=1, rcut=None,
+                      workload=workload, schedule="",
+                      schedule_policy="fifo" if schedule is None
+                      else str(schedule))
+    if skip:
+        trial.outcome = "skipped"
+        trial.detail = "time budget exhausted"
+        return trial, artifacts
+
+    wl_seed = int(rng.integers(2**31))
+    if workload == "uniform":
+        particles = ParticleSet.uniform_random(n, dim, 1.0,
+                                               max_speed=0.05, seed=wl_seed)
+    else:
+        particles = gaussian_clusters(n, dim, 1.0, nclusters=3,
+                                      spread=0.08, max_speed=0.05,
+                                      seed=wl_seed)
+    machine = GenericMachine(nranks=p)
+    grid = allpairs_config(p, 1).grid
+    faults = _random_schedule(rng, grid, with_kills=False)
+    trial.schedule = repr(faults)
+    law = ForceLaw(k=1e-5, softening=5e-3)
+
+    reference = run(RunSpec(machine=machine, algorithm=algorithm,
+                            particles=particles, law=law))
+    try:
+        chaos = run(RunSpec(machine=machine, algorithm=algorithm,
+                            particles=particles, law=law, faults=faults,
+                            schedule=schedule))
+    except _DECLARED as exc:
+        trial.outcome = "declared"
+        trial.detail = f"{type(exc).__name__}: {exc}"
+        return trial, artifacts
+    except Exception as exc:
+        trial.outcome = "failed"
+        trial.detail = f"undeclared {type(exc).__name__}: {exc}"
+    else:
+        if not (np.array_equal(chaos.ids, reference.ids)
+                and np.array_equal(chaos.forces, reference.forces)):
+            dev = float(np.max(np.abs(chaos.forces - reference.forces)))
+            trial.outcome = "failed"
+            trial.detail = (f"chaos run: forces mismatch vs fault-free "
+                            f"run (max |delta|={dev:.3e})")
+    if trial.outcome == "failed":
+        os.makedirs(artifact_dir, exist_ok=True)
+        path = os.path.join(artifact_dir, f"trial-{index:04d}.json")
+        with open(path, "w") as fh:
+            json.dump({"trial": trial.__dict__, "schedule": trial.schedule,
+                       "schedule_policy": trial.schedule_policy}, fh,
+                      indent=1, default=str)
+        artifacts.append(path)
+    return trial, artifacts
+
+
 def _run_trial(task: tuple) -> tuple[SoakTrial, list[str]]:
     """One soak trial, pure in its task tuple — the parallel work unit.
 
@@ -214,7 +295,10 @@ def _run_trial(task: tuple) -> tuple[SoakTrial, list[str]]:
     rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
     p = int(rng.choice([8, 12, 16]))
     c = int(rng.choice({8: [2, 4], 12: [2, 3], 16: [2, 4]}[p]))
-    algorithm = str(rng.choice(["allpairs", "cutoff"]))
+    algorithm = str(rng.choice(["allpairs", "cutoff", "systolic"]))
+    if algorithm == "systolic":
+        return _systolic_trial(rng, seed, index, p, schedule,
+                               artifact_dir, skip)
     dim = 2 if algorithm == "cutoff" else int(rng.choice([1, 2]))
     n = int(rng.integers(40, 97))
     nsteps = int(rng.integers(3, 7))

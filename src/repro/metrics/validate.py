@@ -41,7 +41,10 @@ from repro.theory.costs import (
     ca_allpairs_cost,
     ca_cutoff_cost,
     force_decomposition_cost,
+    half_systolic_cost,
+    hyper_systolic_cost,
     particle_decomposition_cost,
+    systolic_ring_cost,
 )
 
 __all__ = [
@@ -188,6 +191,14 @@ def _predict_allgather(n: int, p: int, c: int) -> LowerBound:
                       words=particle_decomposition_cost(n, p).words)
 
 
+def _predict_hyper(n: int, p: int, c: int) -> LowerBound:
+    # The sweep runs with RunSpec.hyper_k = None, i.e. the regular
+    # O(sqrt(p)) base; the closed form takes the same K.
+    from repro.core.commsched import default_hyper_k
+
+    return hyper_systolic_cost(n, p, default_hyper_k(p))
+
+
 def _predict_force_decomposition(n: int, p: int, c: int) -> LowerBound:
     # Plimpton's S = O(log p) carries over directly; the W = O(n/sqrt(p))
     # closed form assumes a bandwidth-optimal (pipelined) broadcast,
@@ -240,6 +251,32 @@ MODEL_CASES: dict[str, ModelCase] = {
         phases=("bcast", "reduce"),
         predict=_predict_force_decomposition,
         sweep=((16, 1, 256), (64, 1, 256), (16, 1, 512)),
+    ),
+    "systolic_ring": ModelCase(
+        name="systolic_ring",
+        algorithm="systolic_ring",
+        phases=("shift",),
+        predict=lambda n, p, c: systolic_ring_cost(n, p),
+        sweep=((8, 1, 256), (16, 1, 256), (32, 1, 256), (16, 1, 512)),
+    ),
+    "half_systolic": ModelCase(
+        name="half_systolic",
+        algorithm="half_systolic",
+        # The closed form counts particle blocks; the wire additionally
+        # carries the reaction accumulator (d doubles per particle), a
+        # constant factor (52+8d)/52 well inside the band.
+        phases=("shift", "return"),
+        predict=lambda n, p, c: half_systolic_cost(n, p),
+        sweep=((8, 1, 256), (16, 1, 256), (32, 1, 256), (16, 1, 512)),
+    ),
+    "hyper_systolic": ModelCase(
+        name="hyper_systolic",
+        algorithm="hyper_systolic",
+        # Distribution moves blocks, collection moves force arrays — the
+        # blended bytes-per-word sit below 1 but constant across the sweep.
+        phases=("shift", "collect"),
+        predict=_predict_hyper,
+        sweep=((16, 1, 256), (32, 1, 256), (64, 1, 256), (16, 1, 512)),
     ),
 }
 

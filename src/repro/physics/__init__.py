@@ -35,7 +35,12 @@ from repro.physics.particles import (
     concat_sets,
 )
 from repro.physics.reference import reference_forces, reference_pair_matrix
-from repro.physics.workloads import density_gradient, gaussian_clusters, two_phase
+from repro.physics.workloads import (
+    density_gradient,
+    gaussian_clusters,
+    plummer_sphere,
+    two_phase,
+)
 
 __all__ = [
     "Checkpoint",
@@ -63,6 +68,7 @@ __all__ = [
     "save_particles",
     "clear_scratch",
     "pairwise_forces",
+    "plummer_sphere",
     "potential_energy",
     "reference_forces",
     "reference_pair_matrix",

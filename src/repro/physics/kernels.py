@@ -25,7 +25,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.physics.forces import ForceLaw, pairwise_forces
-from repro.physics.particles import HomeBlock, TravelBlock, VirtualBlock
+from repro.physics.particles import (
+    HomeBlock,
+    ParticleSet,
+    TravelBlock,
+    VirtualBlock,
+)
 
 __all__ = ["RealKernel", "VirtualForces", "VirtualKernel", "kernel_for"]
 
@@ -176,6 +181,31 @@ class RealKernel:
         if travel.forces is not None:
             home.forces += travel.forces
 
+    # -- hyper-systolic (replicated register) extension --------------------
+
+    def adopt_register(self, travel: TravelBlock) -> HomeBlock:
+        """Adopt an arriving block into a replicated register.
+
+        Hyper-systolic registers hold a remote team's block and accumulate
+        partial forces for it locally, exactly like a home block — the
+        position/id views stay zero-copy (read-only) and only the force
+        accumulator is fresh private storage.
+        """
+        particles = ParticleSet(pos=travel.pos,
+                                vel=np.zeros_like(travel.pos),
+                                ids=travel.ids)
+        return HomeBlock(particles=particles)
+
+    def fold_forces(self, target: HomeBlock, payload: np.ndarray) -> None:
+        """Fold a received partial-force payload into an accumulator.
+
+        The hyper-systolic collection cascade ships raw force arrays (a
+        register's :meth:`forces_payload`) back toward each block's home
+        rank; shapes agree by construction because sender and receiver
+        hold the same team's block in adjacent registers.
+        """
+        target.forces += payload
+
     # -- neutral-territory (pair-ownership) extension ----------------------
 
     def interact_owned(self, pos: np.ndarray, ids: np.ndarray, *,
@@ -290,3 +320,17 @@ class VirtualKernel:
 
     def absorb_reactions(self, home: VirtualBlock, travel: VirtualBlock) -> None:
         return None
+
+    # -- hyper-systolic (replicated register) extension --------------------
+
+    def adopt_register(self, travel: VirtualBlock) -> VirtualBlock:
+        """Adopt an arriving phantom block into a replicated register."""
+        return VirtualBlock(count=travel.count, team=travel.team)
+
+    def fold_forces(self, target: VirtualBlock, payload: VirtualForces) -> None:
+        """Fold a phantom force payload (counts must agree)."""
+        if payload.count != target.count:
+            raise ValueError(
+                f"mismatched register fold: payload has {payload.count} "
+                f"particles, block has {target.count}"
+            )

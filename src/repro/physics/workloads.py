@@ -18,7 +18,8 @@ import numpy as np
 from repro.physics.particles import ParticleSet
 from repro.util import default_rng, require
 
-__all__ = ["gaussian_clusters", "density_gradient", "two_phase"]
+__all__ = ["gaussian_clusters", "density_gradient", "plummer_sphere",
+           "two_phase"]
 
 
 def gaussian_clusters(
@@ -69,6 +70,46 @@ def density_gradient(
     L = float(box_length)
     pos = rng.uniform(0.0, L, size=(n, dim))
     pos[:, 0] = L * rng.random(n) ** (1.0 / (1.0 + exponent))
+    vel = (rng.uniform(-max_speed, max_speed, size=(n, dim))
+           if max_speed > 0 else np.zeros((n, dim)))
+    return ParticleSet(pos, vel, np.arange(n, dtype=np.int64))
+
+
+def plummer_sphere(
+    n: int,
+    dim: int,
+    box_length: float,
+    *,
+    scale_radius: float = 0.1,
+    max_speed: float = 0.0,
+    seed=None,
+) -> ParticleSet:
+    """The Plummer model — the standard collisional N-body benchmark
+    distribution (Makino, astro-ph/0108412; Aarseth's NBODY series).
+
+    Radii follow the Plummer density profile with scale radius
+    ``scale_radius * L``: inverting the cumulative mass gives
+    ``r = a (u^(-2/3) - 1)^(-1/2)`` for uniform ``u``; directions are
+    isotropic on the ``dim``-sphere.  The sphere is centered in the box
+    and positions are clipped to ``[0, L]^dim`` (the profile's unbounded
+    outer tail — a few percent of the mass — lands on the walls, which
+    is exactly the kind of hot spot the load-balance studies want).
+    """
+    require(dim >= 1, "dim must be >= 1")
+    require(scale_radius > 0, "scale_radius must be positive")
+    rng = default_rng(seed)
+    L = float(box_length)
+    a = scale_radius * L
+    # Inverse-CDF sampling of the Plummer cumulative mass M(r)/M =
+    # r^3 / (r^2 + a^2)^(3/2); u is bounded away from 1 to keep the
+    # outermost radius finite.
+    u = rng.uniform(0.0, 1.0 - 1e-9, size=n)
+    r = a / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+    direction = rng.normal(size=(n, dim))
+    norm = np.linalg.norm(direction, axis=1, keepdims=True)
+    norm[norm == 0.0] = 1.0
+    pos = L / 2.0 + direction / norm * r[:, None]
+    np.clip(pos, 0.0, L, out=pos)
     vel = (rng.uniform(-max_speed, max_speed, size=(n, dim))
            if max_speed > 0 else np.zeros((n, dim)))
     return ParticleSet(pos, vel, np.arange(n, dtype=np.int64))

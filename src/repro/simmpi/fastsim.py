@@ -7,7 +7,11 @@ rank programs at all.  Each registered algorithm gets a *plan builder*
 that replays the program's round structure analytically, advancing all
 ``p`` rank clocks per phase-round with vectorized numpy timestamp math
 (per-round ``max`` over rank clocks plus a link-model cost array) and
-accumulating per-rank, per-phase traffic in integer arrays.
+accumulating per-rank, per-phase traffic in integer arrays.  The CA,
+symmetric and systolic families share one builder core,
+:func:`_replay_commsched`, which walks the identical
+:class:`~repro.core.commsched.CommSchedule` IR the event-tier executor
+runs — the schedule is defined once and both tiers consume it.
 
 Contract with the event engine
 ------------------------------
@@ -310,16 +314,15 @@ def _collective(sim, label, rel, counts_table, payload_bytes, partner):
 
 
 # ---------------------------------------------------------------------------
-# CA family (allpairs / cutoff, functional and virtual)
+# The generic CommSchedule replayer (CA family + systolic family)
 # ---------------------------------------------------------------------------
 
 
-class _CAGeometry:
-    """Vectorized rank/team arithmetic for one CA configuration."""
+class _Geometry:
+    """Vectorized rank/team arithmetic for one replicated grid."""
 
-    def __init__(self, cfg, p: int):
-        grid, sched = cfg.grid, cfg.schedule
-        self.grid, self.sched = grid, sched
+    def __init__(self, grid, team_dims, p: int):
+        self.grid = grid
         self.T = grid.nteams
         self.c = grid.c
         ranks = np.arange(p)
@@ -329,8 +332,7 @@ class _CAGeometry:
         else:
             self.row = ranks % self.c
             self.col = ranks // self.c
-        self.dims = np.asarray(sched.team_dims, np.int64)
-        self.off = np.asarray(sched.offsets, np.int64)  # (w, ndim)
+        self.dims = np.asarray(team_dims, np.int64)
         self.col_mi = np.stack(
             np.unravel_index(self.col, self.dims))  # (ndim, p)
 
@@ -340,7 +342,7 @@ class _CAGeometry:
         return col * self.c + row
 
     def displaced(self, moves_by_row) -> np.ndarray:
-        """Team each rank's column maps to under its row's offset vector."""
+        """Team each rank's column maps to under its row's move vector."""
         mv = np.asarray(moves_by_row, np.int64)[self.row].T  # (ndim, p)
         return np.ravel_multi_index((self.col_mi + mv) % self.dims[:, None],
                                     tuple(self.dims))
@@ -359,27 +361,108 @@ def _reachable(cfg, geo, vis, cache) -> np.ndarray:
     return np.array([cache[int(q)] for q in key])
 
 
-def _shift_round(sim, geo, moves_by_row, u_by_row, vis_prev, travel_wire):
-    """One uniform shift: active rows sendrecv their exchange buffers."""
-    moves = np.asarray(moves_by_row, np.int64)
-    active = np.any(moves != 0, axis=1)[geo.row]
-    vis_new = geo.displaced(geo.off[np.asarray(u_by_row)])
-    nact = active.astype(np.int64)
-    sent_b = np.where(active, travel_wire[vis_prev], 0)
-    recv_b = np.where(active, travel_wire[vis_new], 0)
-    sim.traffic("shift", nact, sent_b, nact, recv_b)
-    sim.op("wait", nact.sum())
-    src = geo.rank_of(geo.row, geo.displaced(-moves))
-    cost = np.where(active,
-                    _p2p_cost(sim.machine, src, np.arange(sim.p), recv_b), 0.0)
-    sim.advance("shift", cost, active=active)
-    return vis_new
+def _replay_commsched(sim, cs, grid, counts, *, fdim, cfg=None):
+    """Replay one :class:`~repro.core.commsched.CommSchedule` analytically.
+
+    The heuristic-tier twin of :func:`repro.core.commsched.scheduled_step`:
+    the identical IR the event engine executes is walked round by round,
+    charging exact per-rank traffic (same sendrecv skip conditions, same
+    buffer-content bookkeeping, same payload wire sizes) and one
+    bulk-synchronous clock advance per round.  ``cfg`` supplies the
+    cutoff reachability predicate for ``gated`` updates (CA family only).
+    """
+    from repro.core.commsched import HOME, Shift
+
+    machine = sim.machine
+    p = sim.p
+    geo = _Geometry(grid, cs.team_dims, p)
+    ranks = np.arange(p)
+
+    block_wire = PARTICLE_BYTES * counts
+    force_wire = _FORCE_BYTES * fdim * counts
+    # Wire bytes of each buffer sent as a travel payload: block_sym also
+    # carries the reaction accumulator; registers travel without forces.
+    buf_wire = [block_wire + force_wire if kind == "block_sym"
+                else block_wire for kind in cs.buffers]
+    # vis[b][rank] = team whose block buffer b holds (registers start empty).
+    vis = [geo.col.copy() if kind != "register" else None
+           for kind in cs.buffers]
+
+    def content_of(idx):
+        return geo.col if idx == HOME else vis[idx]
+
+    def wire_of(idx):
+        return block_wire if idx == HOME else buf_wire[idx]
+
+    if cs.team_bcast or cs.team_reduce:
+        leader = geo.rank_of(np.zeros(p, np.int64), geo.col)
+        second = geo.rank_of(
+            np.full(p, 1 if geo.c > 1 else 0, np.int64), geo.col)
+        partner = np.where(geo.row == 0, second, leader)
+    if cs.team_bcast:
+        _collective(sim, "bcast", geo.row, _bcast_counts(geo.c),
+                    block_wire[geo.col], partner)
+
+    reach_cache: dict[int, bool] = {}
+    for rnd in cs.rounds:
+        if isinstance(rnd, Shift):
+            moves = np.asarray(rnd.moves, np.int64)
+            if rnd.wrap_skip:
+                active = geo.displaced(moves) != geo.col
+            else:
+                active = np.any(moves != 0, axis=1)[geo.row]
+            nact = active.astype(np.int64)
+            if rnd.payload == "forces":
+                sent_b = np.where(active, force_wire[content_of(rnd.src)], 0)
+                recv_b = np.where(active, force_wire[content_of(rnd.dst)], 0)
+            else:
+                src_wire = wire_of(rnd.src)
+                sent_b = np.where(active, src_wire[content_of(rnd.src)], 0)
+                vis_new = geo.displaced(np.asarray(rnd.content, np.int64))
+                recv_b = np.where(active, src_wire[vis_new], 0)
+                if rnd.dst != HOME:
+                    vis[rnd.dst] = vis_new
+            sim.traffic(rnd.phase, nact, sent_b, nact, recv_b)
+            sim.op("wait", nact.sum())
+            src = geo.rank_of(geo.row, geo.displaced(-moves))
+            cost = np.where(active,
+                            _p2p_cost(machine, src, ranks, recv_b), 0.0)
+            sim.advance(rnd.phase, cost, active=active)
+        else:  # Interact
+            npairs = np.zeros(p, np.int64)
+            computing = np.zeros(p, bool)
+            for k, up in enumerate(rnd.updates):
+                if up is None:
+                    continue
+                mask = geo.row == k
+                src_team = content_of(up.source)
+                if up.gated:
+                    mask = mask & _reachable(cfg, geo, src_team, reach_cache)
+                if up.half_pair:
+                    mask = mask & (geo.col < src_team)
+                tgt_team = content_of(up.target)
+                if up.mode == "self_half":
+                    nk = counts[tgt_team] * (counts[tgt_team] - 1) // 2
+                else:
+                    nk = counts[tgt_team] * counts[src_team]
+                npairs = np.where(mask, nk, npairs)
+                computing |= mask
+            sim.npairs += int(npairs.sum())
+            sim.op("compute", computing.sum())
+            sim.advance(rnd.phase, machine.interactions_time(npairs),
+                        active=computing)
+
+    if cs.team_reduce:
+        _collective(sim, "reduce", geo.row, _reduce_counts(geo.c),
+                    force_wire[geo.col], partner)
 
 
 def _build_ca(sim, spec, *, functional: bool, cutoff: bool) -> None:
-    """Plan for allpairs / cutoff (functional or virtual): the exact phase
-    rounds of :func:`~repro.core.ca_step.ca_interaction_step`."""
+    """Plan for allpairs / cutoff (functional or virtual): replay the
+    same lowered IR :func:`~repro.core.ca_step.ca_interaction_step`
+    executes on the event engine."""
     from repro.core.allpairs import allpairs_config
+    from repro.core.commsched import rounds_for_schedule
     from repro.core.cutoff import cutoff_config
     from repro.physics.domain import team_of_positions
     from repro.util import require
@@ -419,114 +502,48 @@ def _build_ca(sim, spec, *, functional: bool, cutoff: bool) -> None:
             n_total, fdim = spec.count(), (2 if spec.dim is None else spec.dim)
         counts = _even_counts(n_total, cfg.grid.nteams)
 
-    block_wire = PARTICLE_BYTES * counts
-    forces_wire = _FORCE_BYTES * fdim * counts
-    _run_ca_step(sim, cfg, counts,
-                 bcast_wire=block_wire, travel_wire=block_wire,
-                 reduce_wire=forces_wire)
-
-
-def _run_ca_step(sim, cfg, counts, *, bcast_wire, travel_wire, reduce_wire):
-    """The standard CA step: bcast, skew, w/c shift+compute rounds, reduce."""
-    geo = _CAGeometry(cfg, sim.p)
-    sched, c = cfg.schedule, geo.c
-    machine = sim.machine
-    leader = geo.rank_of(np.zeros(sim.p, np.int64), geo.col)
-    second = geo.rank_of(np.full(sim.p, 1 if c > 1 else 0, np.int64), geo.col)
-    _collective(sim, "bcast", geo.row, _bcast_counts(c),
-                bcast_wire[geo.col],
-                np.where(geo.row == 0, second, leader))
-
-    skew_moves = [sched.skew_move(k) for k in range(c)]
-    skew_u = [(sched.zero_index + k) % sched.window for k in range(c)]
-    vis = _shift_round(sim, geo, skew_moves, skew_u, geo.col, travel_wire)
-
-    skip = np.asarray(sched.skip)
-    reach_cache: dict[int, bool] = {}
-    for i in range(sched.steps):
-        moves = [sched.step_move(k, i) for k in range(c)]
-        u = [sched.position(k, i) for k in range(c)]
-        vis = _shift_round(sim, geo, moves, u, vis, travel_wire)
-        allowed = ~skip[np.asarray(u)][geo.row]
-        allowed &= _reachable(cfg, geo, vis, reach_cache)
-        npairs = np.where(allowed, counts[geo.col] * counts[vis], 0)
-        sim.npairs += int(npairs.sum())
-        sim.op("compute", allowed.sum())
-        sim.advance("compute", machine.interactions_time(npairs),
-                    active=allowed)
-
-    _collective(sim, "reduce", geo.row, _reduce_counts(c),
-                reduce_wire[geo.col],
-                np.where(geo.row == 0, second, leader))
+    _replay_commsched(sim, rounds_for_schedule(cfg.schedule), cfg.grid,
+                      counts, fdim=fdim, cfg=cfg)
 
 
 def _build_symmetric(sim, spec, *, functional: bool) -> None:
-    """Plan for the symmetric variant: half-ring shifts, a 3-way compute
-    split (self-half / antipodal dedup / full rectangle), a reaction-return
-    sendrecv, then the in-team reduce."""
+    """Plan for the symmetric variant: replay the half-ring IR (self-half
+    / antipodal-dedup / reaction updates plus the return round) lowered
+    once by :func:`~repro.core.commsched.rounds_for_schedule`."""
+    from repro.core.commsched import rounds_for_schedule
     from repro.core.symmetric import symmetric_config
 
-    machine = spec.machine
-    p = machine.nranks
+    p = spec.machine.nranks
     cfg = symmetric_config(p, spec.c)
     if functional:
         n_total, fdim = _workload_info(spec)
     else:
         n_total, fdim = spec.count(), (2 if spec.dim is None else spec.dim)
     counts = _even_counts(n_total, cfg.grid.nteams)
-    block_wire = PARTICLE_BYTES * counts
-    travel_wire = (PARTICLE_BYTES + _FORCE_BYTES * fdim) * counts
-    reduce_wire = _FORCE_BYTES * fdim * counts
+    _replay_commsched(sim, rounds_for_schedule(cfg.schedule, symmetric=True),
+                      cfg.grid, counts, fdim=fdim)
 
-    geo = _CAGeometry(cfg, p)
-    sched, c, T = cfg.schedule, geo.c, geo.T
-    antipode = T // 2 if T % 2 == 0 else None
-    leader = geo.rank_of(np.zeros(p, np.int64), geo.col)
-    second = geo.rank_of(np.full(p, 1 if c > 1 else 0, np.int64), geo.col)
-    _collective(sim, "bcast", geo.row, _bcast_counts(c),
-                block_wire[geo.col], np.where(geo.row == 0, second, leader))
 
-    skew_moves = [sched.skew_move(k) for k in range(c)]
-    skew_u = [(sched.zero_index + k) % sched.window for k in range(c)]
-    vis = _shift_round(sim, geo, skew_moves, skew_u, geo.col, travel_wire)
+def _build_systolic(sim, spec, *, variant: str) -> None:
+    """Plan for the systolic family: replay the same IR the event tier
+    executes (full ring / half ring / hyper-systolic register cascades)."""
+    from repro.core.commsched import (
+        half_systolic_rounds,
+        hyper_systolic_rounds,
+        systolic_ring_rounds,
+    )
+    from repro.simmpi.topology import ReplicatedGrid
 
-    skip = np.asarray(sched.skip)
-    for i in range(sched.steps):
-        moves = [sched.step_move(k, i) for k in range(c)]
-        u = [sched.position(k, i) for k in range(c)]
-        vis = _shift_round(sim, geo, moves, u, vis, travel_wire)
-        u_arr = np.asarray(u)
-        allowed = ~skip[u_arr][geo.row]
-        offset = geo.off[u_arr, 0][geo.row]
-        own = allowed & (vis == geo.col)
-        anti = np.zeros(p, bool)
-        if antipode is not None:
-            anti = allowed & ~own & (offset == antipode) & (geo.col >= vis)
-        rect = allowed & ~own & ~anti
-        npairs = np.where(own, counts[geo.col] * (counts[geo.col] - 1) // 2, 0)
-        npairs = npairs + np.where(rect, counts[geo.col] * counts[vis], 0)
-        computing = own | rect
-        sim.npairs += int(npairs.sum())
-        sim.op("compute", computing.sum())
-        sim.advance("compute", machine.interactions_time(npairs),
-                    active=computing)
-
-    # Reaction return: send the traveling buffer home, get your own back.
-    u_last = np.asarray([sched.position(k, sched.steps - 1) for k in range(c)])
-    off_last = geo.off[u_last, 0]
-    active = (off_last % T != 0)[geo.row]
-    nact = active.astype(np.int64)
-    sent_b = np.where(active, travel_wire[vis], 0)
-    recv_b = np.where(active, travel_wire[geo.col], 0)
-    sim.traffic("return", nact, sent_b, nact, recv_b)
-    sim.op("wait", nact.sum())
-    src = geo.rank_of(geo.row, (geo.col - off_last[geo.row]) % T)
-    cost = np.where(active,
-                    _p2p_cost(machine, src, np.arange(p), recv_b), 0.0)
-    sim.advance("return", cost, active=active)
-
-    _collective(sim, "reduce", geo.row, _reduce_counts(c),
-                reduce_wire[geo.col], np.where(geo.row == 0, second, leader))
+    p = spec.machine.nranks
+    n_total, fdim = _workload_info(spec)
+    counts = _even_counts(n_total, p)
+    if variant == "ring":
+        cs = systolic_ring_rounds(p)
+    elif variant == "half":
+        cs = half_systolic_rounds(p)
+    else:
+        cs = hyper_systolic_rounds(p, spec.hyper_k)
+    _replay_commsched(sim, cs, ReplicatedGrid(p=p, c=1), counts, fdim=fdim)
 
 
 # ---------------------------------------------------------------------------
@@ -743,6 +760,12 @@ _BUILDERS = {
         sim, spec, functional=True),
     "symmetric_virtual": lambda sim, spec: _build_symmetric(
         sim, spec, functional=False),
+    "systolic_ring": lambda sim, spec: _build_systolic(
+        sim, spec, variant="ring"),
+    "half_systolic": lambda sim, spec: _build_systolic(
+        sim, spec, variant="half"),
+    "hyper_systolic": lambda sim, spec: _build_systolic(
+        sim, spec, variant="hyper"),
     "particle_allgather": _build_particle_allgather,
     "particle_ring": _build_particle_ring,
     "force_decomposition": _build_force_decomposition,

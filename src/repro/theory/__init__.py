@@ -12,10 +12,13 @@ from repro.theory.costs import (
     ca_allpairs_cost,
     ca_cutoff_cost,
     force_decomposition_cost,
+    half_systolic_cost,
+    hyper_systolic_cost,
     interactions_per_particle,
     neutral_territory_cost,
     particle_decomposition_cost,
     spatial_decomposition_cost,
+    systolic_ring_cost,
 )
 from repro.theory.optimality import OptimalityReport, check_allpairs, check_cutoff
 
@@ -30,9 +33,12 @@ __all__ = [
     "direct_bounds",
     "force_decomposition_cost",
     "general_bounds",
+    "half_systolic_cost",
+    "hyper_systolic_cost",
     "interactions_per_particle",
     "memory_per_rank",
     "neutral_territory_cost",
     "particle_decomposition_cost",
     "spatial_decomposition_cost",
+    "systolic_ring_cost",
 ]

@@ -19,10 +19,13 @@ __all__ = [
     "ca_allpairs_cost",
     "ca_cutoff_cost",
     "force_decomposition_cost",
+    "half_systolic_cost",
+    "hyper_systolic_cost",
     "interactions_per_particle",
     "neutral_territory_cost",
     "particle_decomposition_cost",
     "spatial_decomposition_cost",
+    "systolic_ring_cost",
 ]
 
 
@@ -59,6 +62,37 @@ def ca_cutoff_cost(n: int, p: int, c: int, m: float) -> LowerBound:
     require(1 <= c <= p and p % c == 0, f"c={c} must divide p={p}")
     require(m >= 0, "m must be non-negative")
     return LowerBound(messages=m / c, words=m * n / p)
+
+
+def systolic_ring_cost(n: int, p: int) -> LowerBound:
+    """The full systolic ring (Dorband et al.): the exchange buffer makes
+    ``p - 1`` hops, each carrying one ``n/p`` block —
+    ``S = p - 1``, ``W = n (p - 1) / p = O(n)``."""
+    require(p >= 1, "p must be >= 1")
+    return LowerBound(messages=float(p - 1), words=n * (p - 1) / p)
+
+
+def half_systolic_cost(n: int, p: int) -> LowerBound:
+    """The half-ring systolic variant (Newton's third law): the buffer
+    makes ``floor(p/2)`` hops plus one reaction-return message —
+    ``S = floor(p/2) + 1``, ``W = (floor(p/2) + 1) n / p = O(n / 2)``.
+
+    For ``p = 1`` there is no communication at all.
+    """
+    require(p >= 1, "p must be >= 1")
+    hops = p // 2 + 1 if p > 1 else 0
+    return LowerBound(messages=float(hops), words=hops * n / p)
+
+
+def hyper_systolic_cost(n: int, p: int, k: int) -> LowerBound:
+    """Lippert et al.'s hyper-systolic schedule with replication ``K = k``:
+    a ``K - 1``-hop distribution cascade moving blocks plus a ``K - 1``-hop
+    collection cascade moving forces —
+    ``S = 2 (K - 1)``, ``W = 2 (K - 1) n / p = O(sqrt(p) n / p)`` at the
+    regular base's ``K = O(sqrt(p))``."""
+    require(p >= 1, "p must be >= 1")
+    require(k >= 1, f"hyper replication K must be >= 1, got {k}")
+    return LowerBound(messages=2.0 * (k - 1), words=2 * (k - 1) * n / p)
 
 
 def spatial_decomposition_cost(n: int, p: int, m_proc: float, d: int) -> LowerBound:

@@ -1,0 +1,189 @@
+"""The shared communication-schedule IR: lowering, builders, invariants."""
+
+import pytest
+
+from repro.core.commsched import (
+    HOME,
+    CommSchedule,
+    Interact,
+    Shift,
+    Update,
+    default_hyper_k,
+    half_systolic_rounds,
+    hyper_strides,
+    hyper_systolic_rounds,
+    rounds_for_schedule,
+    systolic_ring_rounds,
+)
+from repro.core.window import (
+    all_pairs_schedule,
+    cutoff_schedule,
+    half_ring_schedule,
+)
+
+
+def shifts(cs):
+    return [r for r in cs.rounds if isinstance(r, Shift)]
+
+
+def interacts(cs):
+    return [r for r in cs.rounds if isinstance(r, Interact)]
+
+
+class TestCALowering:
+    @pytest.mark.parametrize("T,c", [(8, 1), (8, 2), (8, 4), (12, 3)])
+    def test_allpairs_round_structure(self, T, c):
+        sched = all_pairs_schedule(T, c)
+        cs = rounds_for_schedule(sched)
+        # Skew + one shift per step; one interact per step.
+        assert len(shifts(cs)) == sched.steps + 1
+        assert len(interacts(cs)) == sched.steps
+        assert cs.buffers == ("block",)
+        assert cs.team_bcast and cs.team_reduce
+        # The skew is excluded from memory measurement, the rest counted.
+        assert shifts(cs)[0].measure is False
+        assert all(s.measure for s in shifts(cs)[1:])
+
+    def test_lowering_is_cached(self):
+        sched = all_pairs_schedule(8, 2)
+        assert rounds_for_schedule(sched) is rounds_for_schedule(sched)
+
+    @pytest.mark.parametrize("T,c", [(8, 1), (8, 2), (16, 4)])
+    def test_content_tracks_offsets(self, T, c):
+        """Walking the declared moves reproduces the declared contents —
+        the invariant the executors assert at runtime."""
+        sched = all_pairs_schedule(T, c)
+        cs = rounds_for_schedule(sched)
+        for row in range(c):
+            offset = (0,)
+            for rnd in shifts(cs):
+                offset = tuple(o - m
+                               for o, m in zip(offset, rnd.moves[row]))
+                assert cs.wrap((offset[0],)) == \
+                    cs.wrap((rnd.content[row][0],))
+
+    def test_ca_updates_are_gated_full(self):
+        cs = rounds_for_schedule(cutoff_schedule((8,), (2,), 2))
+        for rnd in interacts(cs):
+            for up in rnd.updates:
+                if up is not None:
+                    assert up.mode == "full" and up.gated
+                    assert up.target == HOME and up.source == 0
+
+    @pytest.mark.parametrize("T,c", [(8, 1), (8, 2), (9, 1), (12, 2)])
+    def test_symmetric_modes(self, T, c):
+        cs = rounds_for_schedule(half_ring_schedule(T, c), symmetric=True)
+        assert cs.buffers == ("block_sym",)
+        ups = [up for rnd in interacts(cs) for up in rnd.updates
+               if up is not None]
+        assert sum(1 for up in ups if up.mode == "self_half") == 1
+        halved = [up for up in ups if up.half_pair]
+        # Antipodal dedup exists exactly for even team counts.
+        assert bool(halved) == (T % 2 == 0)
+        ret = shifts(cs)[-1]
+        assert ret.phase == "return" and ret.absorb and ret.wrap_skip
+        assert ret.dst == HOME
+
+
+class TestValidation:
+    def test_bad_buffer_kind(self):
+        cs = CommSchedule(team_dims=(4,), c=1, buffers=("bogus",), rounds=())
+        with pytest.raises(ValueError, match="buffer kind"):
+            cs.validate()
+
+    def test_move_arity_mismatch(self):
+        cs = CommSchedule(
+            team_dims=(4,), c=2, buffers=("block",),
+            rounds=(Shift(phase="shift", moves=((1,),), src=0, dst=0),))
+        with pytest.raises(ValueError, match="moves"):
+            cs.validate()
+
+    def test_buffer_index_out_of_range(self):
+        cs = CommSchedule(
+            team_dims=(4,), c=1, buffers=("block",),
+            rounds=(Shift(phase="shift", moves=((1,),), src=3, dst=0),))
+        with pytest.raises(ValueError, match="out of range"):
+            cs.validate()
+
+    def test_unknown_update_mode(self):
+        cs = CommSchedule(
+            team_dims=(4,), c=1, buffers=("block",),
+            rounds=(Interact(phase="compute",
+                             updates=(Update(HOME, 0, mode="sideways"),)),))
+        with pytest.raises(ValueError, match="mode"):
+            cs.validate()
+
+
+class TestSystolicBuilders:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 16])
+    def test_ring_message_count(self, p):
+        cs = systolic_ring_rounds(p)
+        assert len(shifts(cs)) == p - 1
+        assert len(interacts(cs)) == p
+        assert not cs.team_bcast and not cs.team_reduce and cs.c == 1
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 16])
+    def test_half_ring_message_count(self, p):
+        cs = half_systolic_rounds(p)
+        # floor(p/2) hops plus the reaction return.
+        expect = p // 2 + 1 if p > 1 else 0
+        assert len(shifts(cs)) == expect
+
+    def test_half_ring_antipode_only_for_even_p(self):
+        even = half_systolic_rounds(8)
+        odd = half_systolic_rounds(9)
+        assert any(up.half_pair for rnd in interacts(even)
+                   for up in rnd.updates)
+        assert not any(up.half_pair for rnd in interacts(odd)
+                       for up in rnd.updates)
+
+
+class TestHyperSystolic:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 7, 8, 12, 16, 17, 32, 64])
+    def test_strides_cover_every_distance(self, p):
+        k = default_hyper_k(p)
+        strides = hyper_strides(p, k)
+        assert len(strides) == k
+        covered = {(s - t) % p for s in strides for t in strides}
+        assert covered == set(range(p))
+
+    @pytest.mark.parametrize("p", [2, 5, 8, 16, 17])
+    def test_message_count_is_2k_minus_2(self, p):
+        k = default_hyper_k(p)
+        cs = hyper_systolic_rounds(p)
+        assert len(shifts(cs)) == 2 * (k - 1)
+        collect = [s for s in shifts(cs) if s.payload == "forces"]
+        assert len(collect) == k - 1
+
+    @pytest.mark.parametrize("p", [4, 8, 16, 25, 64])
+    def test_k_is_order_sqrt_p(self, p):
+        assert default_hyper_k(p) <= 2 * (p ** 0.5) + 1
+
+    def test_each_distance_computed_once(self):
+        p = 16
+        cs = hyper_systolic_rounds(p)
+        strides = hyper_strides(p, default_hyper_k(p))
+        stride_of = {HOME: 0}
+        for i, s in enumerate(strides[1:]):
+            stride_of[i] = s
+        seen = set()
+        for rnd in [r for r in cs.rounds if isinstance(r, Interact)]:
+            up = rnd.updates[0]
+            d = (stride_of[up.source] - stride_of[up.target]) % p
+            assert d not in seen
+            seen.add(d)
+        assert seen == set(range(p))
+
+    def test_explicit_k_roundtrip(self):
+        cs = hyper_systolic_rounds(16, 8)
+        assert len([r for r in cs.rounds
+                    if isinstance(r, Shift)]) == 2 * (8 - 1)
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            hyper_strides(16, 3)
+
+    def test_k_overshoot_rejected(self):
+        # a*b covers p but the largest coarse stride walks past the ring.
+        with pytest.raises(ValueError, match="overshoots|too small"):
+            hyper_strides(3, 5)

@@ -57,7 +57,8 @@ def test_skips_record_reasons(particles):
     assert "square rank count" in skipped["force_decomposition"]
     ran = {e.algorithm for e in result.entries}
     assert ran == {"allpairs", "symmetric", "particle_ring",
-                   "particle_allgather"}
+                   "particle_allgather", "systolic_ring",
+                   "half_systolic", "hyper_systolic"}
 
 
 def test_modeled_algorithms_skipped_by_default(machine, particles):

@@ -10,6 +10,7 @@ from repro.physics import (
     TeamGeometry,
     density_gradient,
     gaussian_clusters,
+    plummer_sphere,
     reference_forces,
     team_of_positions,
     two_phase,
@@ -19,6 +20,7 @@ from repro.physics import (
 GENERATORS = [
     lambda n, d, L, seed: gaussian_clusters(n, d, L, seed=seed),
     lambda n, d, L, seed: density_gradient(n, d, L, seed=seed),
+    lambda n, d, L, seed: plummer_sphere(n, d, L, seed=seed),
     lambda n, d, L, seed: two_phase(n, d, L, seed=seed),
 ]
 
@@ -57,6 +59,27 @@ class TestShapes:
     def test_gradient_skews_high(self):
         ps = density_gradient(2000, 1, 1.0, exponent=3.0, seed=0)
         assert ps.pos[:, 0].mean() > 0.7
+
+    def test_plummer_concentrates_at_scale_radius(self):
+        # Plummer's cumulative mass inside r = a is 2^(-3/2) ~ 0.354 of
+        # the total, independent of a; a uniform box would put ~pi a^2
+        # ~ 3% of the particles there.
+        ps = plummer_sphere(4000, 2, 1.0, scale_radius=0.1, seed=0)
+        r = np.linalg.norm(ps.pos - 0.5, axis=1)
+        frac = (r < 0.1).mean()
+        assert 0.25 < frac < 0.45
+
+    def test_plummer_is_isotropic(self):
+        ps = plummer_sphere(4000, 3, 1.0, scale_radius=0.05, seed=1)
+        centered = ps.pos - 0.5
+        # Mean displacement cancels in every axis for an isotropic cloud.
+        assert np.abs(centered.mean(axis=0)).max() < 0.02
+
+    def test_plummer_validation(self):
+        with pytest.raises(ValueError):
+            plummer_sphere(10, 2, 1.0, scale_radius=0.0)
+        with pytest.raises(ValueError):
+            plummer_sphere(10, 0, 1.0)
 
     def test_two_phase_corner_density(self):
         ps = two_phase(1000, 2, 1.0, dense_fraction=0.8, dense_extent=0.25,

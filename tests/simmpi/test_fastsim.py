@@ -92,6 +92,13 @@ class TestTrafficParity:
                       "rcut": 0.2}),
         ("spatial", {"machine": GenericMachine(nranks=9), "n": 128,
                      "rcut": 0.2}),
+        ("cutoff", {"c": 2, "dim": 2}),
+        ("cutoff", {"machine": GenericMachine(nranks=27), "n": 81,
+                    "c": 1, "dim": 3}),
+        ("systolic_ring", {"machine": GenericMachine(nranks=10), "c": 1}),
+        ("half_systolic", {"machine": GenericMachine(nranks=9), "c": 1}),
+        ("hyper_systolic", {"machine": GenericMachine(nranks=12), "c": 1,
+                            "hyper_k": 6}),
     ])
     def test_off_pin_configs(self, name, kw):
         _assert_tiers_agree(_spec(name, **kw))

@@ -50,6 +50,16 @@ LOCK_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / \
 #: the cutoff-windowed algorithms.
 PINNED = {"p": 16, "n": 64, "c": 2, "rcut": 0.3, "seed": 0}
 
+#: Extra pinned configurations beyond the one-size-fits-all PINNED run:
+#: the d-dimensional cutoff window (Section IV-C) on a 2-D and a 3-D
+#: team grid.  Locked on both engine tiers like the per-algorithm table.
+EXTRA_CASES = {
+    "cutoff_dim2": {"algorithm": "cutoff", "p": 16, "n": 64, "c": 2,
+                    "rcut": 0.3, "dim": 2, "seed": 0},
+    "cutoff_dim3": {"algorithm": "cutoff", "p": 27, "n": 81, "c": 1,
+                    "rcut": 0.3, "dim": 3, "seed": 0},
+}
+
 
 def measure(name: str, engine_tier: str = "event") -> dict:
     """One algorithm's exact comm volume at the pinned configuration.
@@ -71,7 +81,28 @@ def measure(name: str, engine_tier: str = "event") -> dict:
         seed=PINNED["seed"],
         engine_tier=engine_tier,
     )
-    report = run(spec).report
+    return _volumes(run(spec).report)
+
+
+def measure_case(case: dict, engine_tier: str = "event") -> dict:
+    """One :data:`EXTRA_CASES` configuration's exact comm volume."""
+    from repro.core.runner import RunSpec, run
+    from repro.machines import GenericMachine
+
+    spec = RunSpec(
+        machine=GenericMachine(nranks=case["p"]),
+        algorithm=case["algorithm"],
+        n=case["n"],
+        c=case["c"],
+        rcut=case["rcut"],
+        dim=case["dim"],
+        seed=case["seed"],
+        engine_tier=engine_tier,
+    )
+    return _volumes(run(spec).report)
+
+
+def _volumes(report) -> dict:
     total_messages = 0
     total_bytes = 0
     for tr in report.traces:
@@ -131,20 +162,51 @@ def check_lock(problems: list[str]) -> None:
                         f"locked {want} — comm volume changed; if intended, "
                         "re-record with --update"
                     )
+        locked_extra = lock.get("extra_cases", {})
+        for cname, case in EXTRA_CASES.items():
+            entry = locked_extra.get(cname)
+            if entry is None:
+                problems.append(
+                    f"extra case {cname!r} has no locked comm volume — "
+                    "record it with --update")
+                continue
+            if entry.get("config") != case:
+                problems.append(
+                    f"extra case {cname!r} config changed (locked "
+                    f"{entry.get('config')}, pinned {case}) — re-record "
+                    "with --update")
+                continue
+            got_case = measure_case(case, engine_tier)
+            for key, want in entry.get("volumes", {}).items():
+                got = got_case.get(key)
+                if got != want:
+                    problems.append(
+                        f"[{engine_tier}] extra case {cname}.{key}: "
+                        f"measured {got}, locked {want} — comm volume "
+                        "changed; if intended, re-record with --update")
+        for cname in locked_extra:
+            if cname not in EXTRA_CASES:
+                problems.append(
+                    f"locked extra case {cname!r} is no longer pinned — "
+                    "drop it with --update")
         if not problems:
             print(f"comm-volume lock OK [{engine_tier} tier]: "
-                  f"{len(measured)} algorithms match {LOCK_PATH.name}")
+                  f"{len(measured)} algorithms + {len(EXTRA_CASES)} extra "
+                  f"cases match {LOCK_PATH.name}")
 
 
 def update_lock() -> None:
     measured = measure_all()
+    extra = {name: {"config": case, "volumes": measure_case(case)}
+             for name, case in EXTRA_CASES.items()}
     LOCK_PATH.parent.mkdir(exist_ok=True)
     LOCK_PATH.write_text(json.dumps(
-        {"schema": 1, "config": PINNED, "algorithms": measured},
+        {"schema": 1, "config": PINNED, "algorithms": measured,
+         "extra_cases": extra},
         indent=1, sort_keys=True,
     ) + "\n")
-    print(f"recorded comm volumes of {len(measured)} algorithms to "
-          f"{LOCK_PATH}")
+    print(f"recorded comm volumes of {len(measured)} algorithms and "
+          f"{len(extra)} extra cases to {LOCK_PATH}")
 
 
 def check_models(problems: list[str]) -> None:
