@@ -36,6 +36,18 @@ Commands
     scheduler policies and assert bitwise-identical forces, virtual times
     and communication volumes; failures dump replayable JSON artifacts.
     ``--workers`` fans the campaign out over worker processes.
+``sweep --algorithms A,B,... [--ranks P,P,...] [--cache DIR] ...``
+    Resilient configuration sweep: expand a grid of run descriptors and
+    execute them through the supervised executor (``--retry`` /
+    ``--task-timeout`` recover crashed and hung workers) with a durable
+    content-addressed run cache consulted first — re-running an
+    identical sweep is served from cache with zero engine recomputes.
+    Tasks that fail every attempt land in a replayable ``--quarantine``
+    JSON artifact.
+
+``compare``, ``soak`` and ``schedfuzz`` accept the same ``--retry`` /
+``--task-timeout`` / ``--cache`` resilience flags when running with
+``--workers``; cached or retried runs stay bitwise identical to serial.
 """
 
 from __future__ import annotations
@@ -148,6 +160,36 @@ def parse_faults(spec: str):
     return FaultSchedule(events=tuple(events), **kwargs)
 
 
+def _add_resilience_flags(p) -> None:
+    """Attach the shared executor-resilience flags to a subparser."""
+    p.add_argument("--retry", type=int, default=0, metavar="K",
+                   help="retry each failed/crashed/hung task up to K more "
+                        "times with exponential backoff (default 0: one "
+                        "attempt only)")
+    p.add_argument("--retry-delay", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="base backoff delay before the first retry "
+                        "(doubles per attempt; default 0.05)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill and retry any task still running after this "
+                        "many seconds (default: no timeout)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="durable content-addressed run cache: results of "
+                        "identical earlier runs are served from DIR "
+                        "instead of recomputed, and new results stored")
+
+
+def _retry_policy(args):
+    """``--retry``/``--retry-delay`` flags -> RetryPolicy (or None)."""
+    if not getattr(args, "retry", 0):
+        return None
+    from repro.core.parallel import RetryPolicy
+
+    return RetryPolicy(max_attempts=args.retry + 1,
+                       base_delay=args.retry_delay)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
@@ -256,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--workers", type=int, default=0, metavar="N",
                        help="run the per-algorithm rows across N worker "
                             "processes (0 = serial, the default)")
+    _add_resilience_flags(p_cmp)
 
     p_prof = sub.add_parser(
         "profile",
@@ -306,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_soak.add_argument("--workers", type=int, default=0, metavar="N",
                         help="run trials across N worker processes "
                              "(0 = serial; results are bitwise identical)")
+    _add_resilience_flags(p_soak)
 
     p_fuzz = sub.add_parser(
         "schedfuzz",
@@ -331,6 +375,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--workers", type=int, default=0, metavar="N",
                         help="fan the campaign out over N worker processes "
                              "(0 = serial; verdicts are identical)")
+    _add_resilience_flags(p_fuzz)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="resilient configuration sweep: supervised executor with "
+             "retry/timeout, poison-task quarantine, and a durable "
+             "content-addressed run cache")
+    p_sweep.add_argument("--algorithms", default=None, metavar="A,B,...",
+                         help="comma-separated registry names "
+                              "(default: every functional algorithm)")
+    p_sweep.add_argument("--machine", default="generic",
+                         choices=["generic", "torus", "hopper", "intrepid"])
+    p_sweep.add_argument("--ranks", default="16", metavar="P,P,...",
+                         help="comma-separated rank counts (default 16)")
+    p_sweep.add_argument("--cs", default="1", metavar="C,C,...",
+                         help="comma-separated replication factors "
+                              "(default 1; clamped to 1 for algorithms "
+                              "without a replication knob)")
+    p_sweep.add_argument("--particles", default="64", metavar="N,N,...",
+                         help="comma-separated particle counts (default 64)")
+    p_sweep.add_argument("--seeds", default="0", metavar="S,S,...",
+                         help="comma-separated workload seeds (default 0)")
+    p_sweep.add_argument("--rcut", type=float, default=None,
+                         help="cutoff radius (required by cutoff-windowed "
+                              "algorithms; omit to skip them)")
+    p_sweep.add_argument("--dim", type=int, default=None)
+    p_sweep.add_argument("--hyper-k", type=int, default=None,
+                         help="hypercube fan-out k where applicable")
+    p_sweep.add_argument(
+        "--engine-tier", default="event", choices=["event", "heuristic"],
+        help="simulator tier for every sweep point")
+    p_sweep.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="run sweep points across N supervised worker "
+                              "processes (0 = serial, the default)")
+    _add_resilience_flags(p_sweep)
+    p_sweep.add_argument("--quarantine", default=None, metavar="FILE",
+                         help="write tasks that failed every attempt to a "
+                              "replayable JSON artifact at FILE")
+    p_sweep.add_argument("--out", default=None, metavar="FILE",
+                         help="write the sweep records as JSON to FILE")
+    p_sweep.add_argument("--expect-cached", action="store_true",
+                         help="fail (exit 1) if any sweep point was NOT "
+                              "served from the cache — CI uses this to "
+                              "prove a warm cache does zero recomputation")
 
     return parser
 
@@ -523,6 +611,8 @@ def _cmd_compare(args, out) -> int:
         machine, particles, algorithms=names, c=args.replication,
         rcut=args.rcut, faults=faults, schedule=args.schedule,
         engine_tier=args.engine_tier, workers=args.workers,
+        retry=_retry_policy(args), task_timeout=args.task_timeout,
+        cache=args.cache,
     )
     print(f"{len(result.entries)} algorithms on {machine.describe()}, "
           f"{args.particles} particles, c={args.replication}", file=out)
@@ -591,6 +681,9 @@ def _cmd_soak(args, out) -> int:
         time_budget=args.time_budget,
         schedule=args.schedule,
         workers=args.workers,
+        retry=_retry_policy(args),
+        task_timeout=args.task_timeout,
+        cache=args.cache,
     )
     print(report.summary(), file=out)
     if not report.ok:
@@ -612,10 +705,81 @@ def _cmd_schedfuzz(args, out) -> int:
         out_dir=args.out_dir,
         time_budget=args.time_budget,
         workers=args.workers,
+        retry=_retry_policy(args),
+        task_timeout=args.task_timeout,
+        cache=args.cache,
     )
     print(report.summary(), file=out)
     if not report.ok:
         print(f"SCHEDULE FUZZ FAILED (seed={args.seed})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    import json
+
+    from repro.core.runner import list_algorithms
+    from repro.experiments.sweep import expand_grid, run_sweep
+
+    def _ints(text: str) -> list[int]:
+        return [int(x) for x in text.split(",") if x.strip()]
+
+    names = ([a.strip() for a in args.algorithms.split(",") if a.strip()]
+             if args.algorithms is not None
+             else list_algorithms(functional=True))
+    try:
+        tasks, skipped = expand_grid(
+            names, ps=_ints(args.ranks), cs=_ints(args.cs),
+            ns=_ints(args.particles), seeds=_ints(args.seeds),
+            rcut=args.rcut, dim=args.dim, hyper_k=args.hyper_k,
+            engine_tier=args.engine_tier, machine=args.machine,
+        )
+    except KeyError as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    for name, reason in skipped.items():
+        print(f"skipped {name}: {reason}", file=out)
+    if not tasks:
+        print("sweep: nothing to run (every algorithm was skipped)",
+              file=sys.stderr)
+        return 2
+    report = run_sweep(
+        tasks, workers=args.workers, retry=_retry_policy(args),
+        task_timeout=args.task_timeout, cache=args.cache,
+        quarantine=args.quarantine,
+    )
+    print(report.summary(), file=out)
+    if args.out:
+        records = [
+            {"task": d,
+             "status": o.status,
+             "attempts": o.attempts,
+             "elapsed": None if o.value is None else o.value["elapsed"],
+             "critical_messages": (None if o.value is None
+                                   else o.value["critical_messages"]),
+             "critical_bytes": (None if o.value is None
+                                else o.value["critical_bytes"]),
+             "error": o.error}
+            for d, o in zip(report.tasks, report.outcomes)
+        ]
+        with open(args.out, "w") as fh:
+            json.dump({"format": "repro-sweep-v1", "records": records},
+                      fh, indent=2)
+            fh.write("\n")
+        print(f"records JSON: {args.out}", file=out)
+    if args.expect_cached:
+        recomputed = [o for o in report.outcomes if o.status != "cached"]
+        if recomputed:
+            print(f"SWEEP NOT FULLY CACHED: {len(recomputed)} of "
+                  f"{len(report.outcomes)} points recomputed "
+                  f"(indices {[o.index for o in recomputed]})",
+                  file=sys.stderr)
+            return 1
+    if not report.ok:
+        print(f"SWEEP FAILED: {len(report.failures)} of "
+              f"{len(report.outcomes)} points produced no result",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -634,6 +798,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "profile": _cmd_profile,
         "soak": _cmd_soak,
         "schedfuzz": _cmd_schedfuzz,
+        "sweep": _cmd_sweep,
     }[args.command]
     return handler(args, out)
 

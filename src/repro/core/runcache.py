@@ -1,0 +1,217 @@
+"""Durable content-addressed cache for results that are pure in a fingerprint.
+
+Every run in this codebase is a pure function of its configuration: the
+checkpoint subsystem already derives a config *fingerprint* (PR 4,
+:func:`repro.core.checkpoint.simulation_fingerprint`) and refuses to
+resume across a mismatch.  :class:`RunCache` turns that same idea into a
+result store: a harness computes a fingerprint string for a work unit,
+asks the cache first, and only recomputes on a miss — so an interrupted
+sweep resumes from whatever earlier runs already paid for, and two users
+asking for the same configuration share one computation.
+
+Design (mirrors the ``physics/io.py`` v2 checkpoint container):
+
+* **Content addressing** — the entry path is
+  ``root/<k[:2]>/<k>.rcache`` where ``k = sha256(format; namespace;
+  fingerprint)``; the two-hex-digit fan-out keeps directories small on
+  large sweeps.  ``namespace`` versions the *payload schema* (bump it
+  when the cached value's meaning changes and old entries silently
+  become stale).
+* **Atomic writes** — payloads are pickled, prefixed with a one-line
+  JSON header ``{format, namespace, fingerprint, nbytes, crc32}``,
+  written to a uniquely-named temp file in the destination directory,
+  fsynced, then ``os.replace``d into place.  Concurrent writers of the
+  same key race benignly: both write identical bytes and the rename is
+  atomic, so readers only ever see a complete entry.
+* **Verified reads, self-healing** — :meth:`get` re-parses the header,
+  checks the format tag, the stored fingerprint (guarding against hash
+  collisions and foreign files), the payload length and its CRC-32.
+  *Any* discrepancy — torn write, truncation, bit rot, unpicklable
+  payload — evicts the entry (unlink) and reports a miss: a corrupt
+  entry is recomputed, never served.
+
+The cache is a plain directory; delete it (or :meth:`clear`) to drop
+everything.  Per-instance :class:`CacheStats` count hits / misses /
+stores / evictions — ``repro sweep --expect-cached`` turns "zero
+recomputes on a warm cache" into a CI assertion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["MISS", "CacheStats", "RunCache", "resolve_cache"]
+
+_FORMAT = "repro-runcache-v1"
+
+#: Sentinel returned by :meth:`RunCache.get` on a miss — distinguishes
+#: "not cached" from a legitimately cached ``None``.
+MISS = object()
+
+#: Parse/shape failures that mean "this entry is corrupt", internal.
+_BAD = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`RunCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def describe(self) -> str:
+        """One log line: ``hits=.. misses=.. stores=.. evictions=..``."""
+        return (f"hits={self.hits} misses={self.misses} "
+                f"stores={self.stores} evictions={self.evictions}")
+
+
+class RunCache:
+    """Content-addressed on-disk result cache; see the module docstring."""
+
+    def __init__(self, root: str, *, namespace: str = ""):
+        self.root = os.fspath(root)
+        self.namespace = namespace
+        self.stats = CacheStats()
+        os.makedirs(self.root, exist_ok=True)
+
+    def key(self, fingerprint: str) -> str:
+        """The sha256 content address of a fingerprint in this namespace."""
+        material = f"{_FORMAT};{self.namespace};{fingerprint}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, fingerprint: str) -> str:
+        """Where the entry for ``fingerprint`` lives (may not exist)."""
+        k = self.key(fingerprint)
+        return os.path.join(self.root, k[:2], k + ".rcache")
+
+    def get(self, fingerprint: str, default=MISS):
+        """The cached value for ``fingerprint``, or ``default`` on a miss.
+
+        A present-but-corrupt entry (torn write, truncation, CRC or
+        fingerprint mismatch, unpicklable payload) counts as a miss and
+        is evicted so the recomputed value can be stored cleanly.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except (FileNotFoundError, IsADirectoryError):
+            self.stats.misses += 1
+            return default
+        except OSError:
+            self.stats.misses += 1
+            return default
+        value = self._decode(blob, fingerprint)
+        if value is _BAD:
+            self._evict(path)
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def _decode(self, blob: bytes, fingerprint: str):
+        """Verify and unpickle an entry; ``_BAD`` on any discrepancy."""
+        newline = blob.find(b"\n")
+        if newline < 0:
+            return _BAD
+        try:
+            header = json.loads(blob[:newline])
+        except (ValueError, UnicodeDecodeError):
+            return _BAD
+        if not isinstance(header, dict) or header.get("format") != _FORMAT:
+            return _BAD
+        if header.get("namespace") != self.namespace:
+            return _BAD
+        if header.get("fingerprint") != fingerprint:
+            return _BAD
+        payload = blob[newline + 1:]
+        if len(payload) != header.get("nbytes"):
+            return _BAD
+        if zlib.crc32(payload) != header.get("crc32"):
+            return _BAD
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            return _BAD
+
+    def put(self, fingerprint: str, value) -> str:
+        """Store ``value`` under ``fingerprint`` atomically; returns the path.
+
+        Safe under concurrent writers: each writes its own temp file and
+        the final ``os.replace`` is atomic, so a reader sees either the
+        old complete entry or the new complete entry, never a mix.
+        """
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "format": _FORMAT,
+            "namespace": self.namespace,
+            "fingerprint": fingerprint,
+            "nbytes": len(payload),
+            "crc32": zlib.crc32(payload),
+        }
+        path = self.path_for(fingerprint)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".rcache-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self.stats.stores += 1
+        return path
+
+    def _evict(self, path: str) -> None:
+        """Remove a corrupt entry (best effort — a racer may have won)."""
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk (walks the root)."""
+        count = 0
+        for _dir, _subdirs, files in os.walk(self.root):
+            count += sum(1 for f in files if f.endswith(".rcache"))
+        return count
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for dirpath, _subdirs, files in os.walk(self.root):
+            for f in files:
+                if f.endswith(".rcache"):
+                    try:
+                        os.unlink(os.path.join(dirpath, f))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+
+def resolve_cache(cache, *, namespace: str = "") -> RunCache | None:
+    """Normalize a ``--cache`` value: None / a directory path / a RunCache.
+
+    A :class:`RunCache` instance passes through unchanged (its own
+    namespace wins — it was constructed deliberately); a string or path
+    becomes a :class:`RunCache` rooted there under ``namespace``.
+    """
+    if cache is None:
+        return None
+    if isinstance(cache, RunCache):
+        return cache
+    return RunCache(cache, namespace=namespace)

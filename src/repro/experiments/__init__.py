@@ -29,6 +29,12 @@ from repro.experiments.schedfuzz import (
     SchedFuzzReport,
     run_schedfuzz,
 )
+from repro.experiments.sweep import (
+    SweepReport,
+    expand_grid,
+    replay_quarantine,
+    run_sweep,
+)
 
 __all__ = [
     "FIG2",
@@ -53,7 +59,11 @@ __all__ = [
     "render_scaling",
     "run_figure",
     "run_schedfuzz",
+    "run_sweep",
+    "replay_quarantine",
+    "expand_grid",
     "SchedFuzzCheck",
     "SchedFuzzReport",
+    "SweepReport",
     "validate_figure",
 ]

@@ -102,12 +102,47 @@ def _compare_task(task: tuple) -> AlgorithmComparison:
     )
 
 
+#: Run-cache namespace for comparison rows (bump on schema change).
+COMPARE_NAMESPACE = "compare-v1"
+
+
+def _row_fingerprint(spec: RunSpec, name: str, workload) -> str:
+    """Content fingerprint of one comparison row (pure in its inputs).
+
+    The workload arrays are hashed in full — a row is only served from
+    cache for the *exact same* particles — alongside every spec knob
+    that can change the row's numbers.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(workload.pos.tobytes())
+    h.update(workload.vel.tobytes())
+    h.update(workload.ids.tobytes())
+    parts = [
+        f"alg={name}", f"machine={spec.machine!r}", f"c={spec.c}",
+        f"rcut={spec.rcut!r}", f"law={spec.law!r}",
+        f"hyper_k={spec.hyper_k!r}", f"dim={spec.dim!r}",
+        f"box={spec.box_length!r}", f"periodic={spec.periodic}",
+        f"team_dims={spec.team_dims!r}", f"geometry={spec.geometry!r}",
+        f"layout={spec.layout}", f"use_tree={spec.use_tree}",
+        f"eager={spec.eager_threshold}", f"scratch={spec.scratch}",
+        f"faults={spec.faults!r}", f"opts={spec.engine_opts!r}",
+        f"schedule={spec.schedule!r}", f"tier={spec.engine_tier}",
+        f"workload={h.hexdigest()}",
+    ]
+    return "compare-row;" + ";".join(parts)
+
+
 def compare_algorithms(
     machine,
     particles: ParticleSet | None = None,
     *,
     algorithms: list[str] | None = None,
     workers: int = 0,
+    retry=None,
+    task_timeout: float | None = None,
+    cache=None,
     **spec_kwargs,
 ) -> ComparisonResult:
     """Run registered algorithms on one shared configuration and compare.
@@ -137,10 +172,22 @@ def compare_algorithms(
     ``workers > 0`` runs the per-algorithm rows across that many spawned
     worker processes (:func:`repro.core.parallel.parallel_map`); every
     row is a pure function of its spec, so the result is identical to
-    the serial sweep, in the same algorithm order.
+    the serial sweep, in the same algorithm order.  ``retry`` (a
+    :class:`~repro.core.parallel.RetryPolicy` or int max attempts) and
+    ``task_timeout`` (seconds) add executor-level crash/hang recovery to
+    that fleet; rows that still fail raise one aggregated
+    :class:`~repro.core.parallel.WorkerError` naming every lost row.
+
+    ``cache`` (a directory path or
+    :class:`~repro.core.runcache.RunCache`) serves rows computed by an
+    earlier call with the exact same workload bytes and spec knobs
+    (rows accumulating into a ``pair_counter`` always recompute — the
+    coverage side effect must happen).
     """
     from repro.core.parallel import parallel_map
+    from repro.core.runcache import MISS, resolve_cache
 
+    store = resolve_cache(cache, namespace=COMPARE_NAMESPACE)
     names = (list(algorithms) if algorithms is not None
              else list_algorithms(functional=True))
     base = RunSpec(machine=machine, algorithm="", particles=particles,
@@ -154,6 +201,7 @@ def compare_algorithms(
     ref_cache: dict[ForceLaw, np.ndarray] = {}
     order = np.argsort(workload.ids, kind="stable")
     tasks: list[tuple] = []
+    served: dict[str, AlgorithmComparison] = {}
 
     for name in names:
         alg = get_algorithm(name)
@@ -181,9 +229,20 @@ def compare_algorithms(
             if ref is None:
                 ref = ref_cache[ref_law] = reference_forces(ref_law, workload)
             ref_ordered = ref[order]
+        if store is not None and spec.pair_counter is None:
+            hit = store.get(_row_fingerprint(spec, name, workload))
+            if hit is not MISS:
+                served[name] = hit
+                continue
         tasks.append((spec, name, ref_ordered))
 
-    entries = parallel_map(_compare_task, tasks, workers=workers)
+    computed = parallel_map(_compare_task, tasks, workers=workers,
+                            retry=retry, task_timeout=task_timeout)
+    for (spec, name, _ref), entry in zip(tasks, computed):
+        served[name] = entry
+        if store is not None and spec.pair_counter is None:
+            store.put(_row_fingerprint(spec, name, workload), entry)
+    entries = [served[name] for name in names if name in served]
     return ComparisonResult(entries=entries, skipped=skipped)
 
 

@@ -314,6 +314,16 @@ def _dump_artifact(directory: str, check: SchedFuzzCheck, config: dict,
     return path
 
 
+#: Run-cache namespace for run signatures (bump on schema change).
+SCHEDFUZZ_NAMESPACE = "schedfuzz-v1"
+
+
+def _sig_key(name: str, cfg: dict, schedule: str | None) -> str:
+    """Cache fingerprint of one run signature (``schedule=None`` = FIFO)."""
+    return (f"sig;alg={name};cfg={json.dumps(cfg, sort_keys=True)};"
+            f"schedule={schedule or 'fifo'}")
+
+
 def run_schedfuzz(
     algorithms: list[str] | None = None,
     *,
@@ -325,6 +335,9 @@ def run_schedfuzz(
     time_budget: float | None = None,
     lock_path=None,
     workers: int = 0,
+    retry=None,
+    task_timeout: float | None = None,
+    cache=None,
 ) -> SchedFuzzReport:
     """Fuzz ``schedules`` interleavings per algorithm; see module docstring.
 
@@ -344,26 +357,44 @@ def run_schedfuzz(
     the serial run.  With a ``time_budget`` the cutoff is checked between
     waves of ``4 * workers`` runs, so *which* trailing schedules get
     skipped may differ from the serial run.
+
+    ``retry`` / ``task_timeout`` govern the executor's crash/hang
+    recovery for the worker fleet (see
+    :func:`repro.core.parallel.run_supervised`); a run the executor
+    loses beyond every retry is recorded as a failed check naming the
+    executor, never an aborted campaign.  ``cache`` (a directory path or
+    :class:`~repro.core.runcache.RunCache`) stores run *signatures* keyed
+    on ``(algorithm, config, schedule)`` — verdicts are always re-judged
+    from the signatures, so a cached campaign still detects divergence
+    and still honors a changed metrics lock.
     """
+    from repro.core.runcache import MISS, resolve_cache
     from repro.machines import GenericMachine
 
     cfg = dict(PINNED if config is None else config)
     report = SchedFuzzReport(seed=seed, schedules=schedules, config=cfg)
     names = list(algorithms) if algorithms is not None else list_algorithms()
     artifact_dir = out_dir or tempfile.mkdtemp(prefix="schedfuzz-")
+    store = resolve_cache(cache, namespace=SCHEDFUZZ_NAMESPACE)
     t0 = time.monotonic()
     if workers > 0:
         return _run_parallel(report, names, cfg, schedules=schedules,
                              seed=seed, first_schedule=first_schedule,
                              artifact_dir=artifact_dir,
                              time_budget=time_budget, lock_path=lock_path,
-                             workers=workers, t0=t0)
+                             workers=workers, t0=t0, retry=retry,
+                             task_timeout=task_timeout, store=store)
     for name in names:
         if time_budget is not None and time.monotonic() - t0 > time_budget:
             report.skipped.append(f"{name}: time budget exhausted")
             continue
-        baseline = run(_spec(GenericMachine, name, cfg))
-        base_sig = _signature(baseline)
+        base_sig = (store.get(_sig_key(name, cfg, None))
+                    if store is not None else MISS)
+        if base_sig is MISS:
+            baseline = run(_spec(GenericMachine, name, cfg))
+            base_sig = _signature(baseline)
+            if store is not None:
+                store.put(_sig_key(name, cfg, None), base_sig)
         lock_problem = _check_lock(name, base_sig["volume"], cfg, lock_path)
         for index in range(first_schedule, first_schedule + schedules):
             spec_str = derive_schedule(seed, index)
@@ -385,13 +416,22 @@ def run_schedfuzz(
                     artifact_dir, check, cfg, base_sig, None))
                 continue
             got_sig = None
-            try:
-                got = run(_spec(GenericMachine, name, cfg, schedule=spec_str))
-                got_sig = _signature(got)
+            cached_sig = (store.get(_sig_key(name, cfg, spec_str))
+                          if store is not None else MISS)
+            if cached_sig is not MISS:
+                got_sig = cached_sig
                 mismatch = _diff_signatures(base_sig, got_sig)
-            except Exception as exc:
-                mismatch = (f"perturbed run raised "
-                            f"{type(exc).__name__}: {exc}")
+            else:
+                try:
+                    got = run(_spec(GenericMachine, name, cfg,
+                                    schedule=spec_str))
+                    got_sig = _signature(got)
+                    if store is not None:
+                        store.put(_sig_key(name, cfg, spec_str), got_sig)
+                    mismatch = _diff_signatures(base_sig, got_sig)
+                except Exception as exc:
+                    mismatch = (f"perturbed run raised "
+                                f"{type(exc).__name__}: {exc}")
             if mismatch:
                 check.outcome = "failed"
                 check.detail = mismatch
@@ -400,12 +440,22 @@ def run_schedfuzz(
     return report
 
 
+def _lost_in_executor(outcome) -> str:
+    """A check/skip detail line for a task the executor lost."""
+    last = (outcome.error or "").strip().splitlines()
+    return (f"run lost in executor: {outcome.status} after "
+            f"{outcome.attempts} attempt(s) — "
+            f"{last[-1] if last else 'no detail'}")
+
+
 def _run_parallel(report: SchedFuzzReport, names: list[str], cfg: dict, *,
                   schedules: int, seed: int, first_schedule: int,
                   artifact_dir: str, time_budget, lock_path, workers: int,
-                  t0: float) -> SchedFuzzReport:
+                  t0: float, retry=None, task_timeout=None,
+                  store=None) -> SchedFuzzReport:
     """The ``workers > 0`` campaign body: fan out, merge in serial order."""
     from repro.core.parallel import parallel_map
+    from repro.core.runcache import MISS
 
     def _exhausted() -> bool:
         return time_budget is not None and time.monotonic() - t0 > time_budget
@@ -416,21 +466,56 @@ def _run_parallel(report: SchedFuzzReport, names: list[str], cfg: dict, *,
             report.skipped.append(f"{name}: time budget exhausted")
         else:
             live.append(name)
-    base_sigs = dict(zip(live, parallel_map(
-        _baseline_task, [(nm, cfg) for nm in live], workers=workers)))
-    lock_problems = {nm: _check_lock(nm, base_sigs[nm]["volume"], cfg,
-                                     lock_path) for nm in live}
+    base_sigs: dict[str, dict] = {}
+    base_problems: dict[str, str] = {}
+    need_base = []
+    for nm in live:
+        hit = (store.get(_sig_key(nm, cfg, None))
+               if store is not None else MISS)
+        if hit is not MISS:
+            base_sigs[nm] = hit
+        else:
+            need_base.append(nm)
+    if need_base:
+        outs = parallel_map(_baseline_task, [(nm, cfg) for nm in need_base],
+                            workers=workers, retry=retry,
+                            task_timeout=task_timeout, on_error="collect")
+        for nm, outcome in zip(need_base, outs):
+            if outcome.ok:
+                base_sigs[nm] = outcome.value
+                if store is not None:
+                    store.put(_sig_key(nm, cfg, None), outcome.value)
+            else:
+                # No baseline means nothing to judge against: every
+                # check of this algorithm fails naming the loss, like a
+                # lock problem — the campaign itself keeps going.
+                base_problems[nm] = f"baseline {_lost_in_executor(outcome)}"
+    lock_problems = {
+        nm: (base_problems.get(nm)
+             or _check_lock(nm, base_sigs[nm]["volume"], cfg, lock_path))
+        for nm in live
+    }
     indices = list(range(first_schedule, first_schedule + schedules))
     # Lock-failed algorithms never run perturbed schedules (the serial
     # loop fails each check outright); everyone else fans out in waves so
-    # a time budget can stop between them.
-    pending = [(nm, idx) for nm in live if not lock_problems[nm]
-               for idx in indices]
+    # a time budget can stop between them.  Cache-served signatures never
+    # fan out either — their verdicts are re-judged below.
+    results: dict[tuple[str, int], tuple[str, object]] = {}
+    pending = []
+    for nm in live:
+        if lock_problems[nm]:
+            continue
+        for idx in indices:
+            hit = (store.get(_sig_key(nm, cfg, derive_schedule(seed, idx)))
+                   if store is not None else MISS)
+            if hit is not MISS:
+                results[(nm, idx)] = ("ok", hit)
+            else:
+                pending.append((nm, idx))
     # Without a time budget there is nothing to check between waves — one
     # pool over all runs amortizes the spawn start-up cost best.
     wave = (len(pending) if time_budget is None
             else max(1, int(workers)) * 4)
-    results: dict[tuple[str, int], tuple[str, object]] = {}
     skipped_from: dict[str, int] = {}
     pos = 0
     while pos < len(pending):
@@ -442,11 +527,20 @@ def _run_parallel(report: SchedFuzzReport, names: list[str], cfg: dict, *,
         outs = parallel_map(
             _perturbed_task,
             [(nm, cfg, derive_schedule(seed, idx)) for nm, idx in batch],
-            workers=workers)
-        results.update(zip(batch, outs))
+            workers=workers, retry=retry, task_timeout=task_timeout,
+            on_error="collect")
+        for (nm, idx), outcome in zip(batch, outs):
+            if outcome.ok:
+                results[(nm, idx)] = outcome.value
+                status, value = outcome.value
+                if status == "ok" and store is not None:
+                    store.put(_sig_key(nm, cfg, derive_schedule(seed, idx)),
+                              value)
+            else:
+                results[(nm, idx)] = ("raised", _lost_in_executor(outcome))
         pos += len(batch)
     for name in live:
-        base_sig = base_sigs[name]
+        base_sig = base_sigs.get(name)
         lock_problem = lock_problems[name]
         for index in indices:
             if name in skipped_from and index >= skipped_from[name]:

@@ -400,6 +400,27 @@ def _run_trial(task: tuple) -> tuple[SoakTrial, list[str]]:
     return trial, artifacts
 
 
+#: Run-cache namespace for soak trial verdicts (bump on schema change).
+SOAK_NAMESPACE = "soak-v1"
+
+
+def _executor_casualty(index: int, seed: int, sched_spec: str,
+                       outcome) -> SoakTrial:
+    """A failed trial record for a task the *executor* lost.
+
+    When a trial's worker crashed / hung / raised beyond every retry,
+    there is no in-trial verdict to report — synthesize one so the
+    campaign stays complete and loud instead of aborting.
+    """
+    last = (outcome.error or "").strip().splitlines()
+    return SoakTrial(
+        index=index, seed=seed, algorithm="(executor)", p=0, c=0, n=0,
+        dim=0, nsteps=0, rcut=None, workload="-", schedule="",
+        schedule_policy=sched_spec, outcome="failed",
+        detail=(f"executor: {outcome.status} after {outcome.attempts} "
+                f"attempt(s) — {last[-1] if last else 'no detail'}"))
+
+
 def run_soak(
     trials: int = 10,
     *,
@@ -410,6 +431,9 @@ def run_soak(
     time_budget: float | None = None,
     schedule=None,
     workers: int = 0,
+    retry=None,
+    task_timeout: float | None = None,
+    cache=None,
 ) -> SoakReport:
     """Run ``trials`` randomized chaos trials; see the module docstring.
 
@@ -426,51 +450,114 @@ def run_soak(
     simultaneously exercises fault recovery *and* schedule independence.
     The policy spec is recorded on every trial and in failure artifacts.
 
-    ``workers > 0`` executes trials across that many spawned worker
-    processes (:func:`repro.core.parallel.parallel_map`).  Trials are
+    ``workers > 0`` executes trials across that many supervised worker
+    processes (:func:`repro.core.parallel.run_supervised`).  Trials are
     pure in ``(seed, index)``, so the report is bitwise-identical to the
-    serial run; with a ``time_budget`` the cutoff is checked between
-    waves of ``4 * workers`` trials rather than before every trial, so
-    *which* trials get skipped may differ from the serial run (the trials
-    that do run are still identical).
+    serial run — including trials retried after a worker crash; with a
+    ``time_budget`` the cutoff is checked between waves of
+    ``4 * workers`` trials rather than before every trial, so *which*
+    trials get skipped may differ from the serial run (the trials that do
+    run are still identical).
+
+    ``retry`` (a :class:`~repro.core.parallel.RetryPolicy` or an int max
+    attempts) and ``task_timeout`` (seconds) govern the executor's
+    crash/hang recovery for the worker fleet; a trial its worker loses
+    beyond every retry is reported as a failed ``(executor)`` trial and
+    quarantined to ``<out_dir>/quarantine.json`` instead of sinking the
+    campaign.  Both are executor-level knobs: with ``workers=0`` the
+    trial function runs in-process and never raises, so they are no-ops.
+
+    ``cache`` (a directory path or :class:`~repro.core.runcache.RunCache`)
+    serves previously-settled verdicts: a trial that completed ``ok`` or
+    ``declared`` in an earlier campaign with the same ``(seed, index,
+    with_kills, schedule)`` is not re-simulated.  Failed and skipped
+    trials are never cached — they recompute (and re-dump artifacts)
+    every time.
     """
-    from repro.core.parallel import parallel_map
+    from repro.core.parallel import parallel_map, write_quarantine
+    from repro.core.runcache import MISS, resolve_cache
 
     report = SoakReport(seed=seed)
     t0 = time.monotonic()
     artifact_dir = out_dir or tempfile.mkdtemp(prefix="chaos-soak-")
     indices = list(range(first_trial, first_trial + trials))
+    sched_spec = "fifo" if schedule is None else str(schedule)
+    store = resolve_cache(cache, namespace=SOAK_NAMESPACE)
+
+    def _key(index: int) -> str:
+        return (f"seed={seed};index={index};kills={with_kills};"
+                f"schedule={sched_spec}")
+
+    cached: dict[int, SoakTrial] = {}
+    if store is not None:
+        for index in indices:
+            hit = store.get(_key(index))
+            if hit is not MISS:
+                cached[index] = hit
+    todo = [i for i in indices if i not in cached]
+
+    results: dict[int, tuple[SoakTrial, list[str]]] = {}
+    poisoned_tasks: list = []
+    poisoned_outcomes: list = []
 
     def _exhausted() -> bool:
         return time_budget is not None and time.monotonic() - t0 > time_budget
 
+    def _absorb(index: int, trial: SoakTrial, artifacts: list[str]) -> None:
+        results[index] = (trial, artifacts)
+        if (store is not None and trial.outcome in ("ok", "declared")
+                and not artifacts):
+            store.put(_key(index), trial)
+
     if workers <= 0:
-        for index in indices:
+        for index in todo:
             trial, artifacts = _run_trial(
                 (seed, index, with_kills, schedule, artifact_dir,
                  _exhausted()))
-            report.trials.append(trial)
-            report.artifacts.extend(artifacts)
-        return report
+            _absorb(index, trial, artifacts)
+    else:
+        # Without a time budget there is nothing to check between waves —
+        # one fleet over all trials amortizes the spawn start-up cost best.
+        wave = (len(todo) if time_budget is None
+                else max(1, int(workers)) * 4)
+        pos = 0
+        while pos < len(todo):
+            exhausted = _exhausted()
+            batch = todo[pos:] if exhausted else todo[pos:pos + wave]
+            tasks = [(seed, i, with_kills, schedule, artifact_dir, exhausted)
+                     for i in batch]
+            if exhausted:
+                # Skipped trials only draw their configuration — no point
+                # paying worker start-up for them.
+                for task in tasks:
+                    trial, artifacts = _run_trial(task)
+                    _absorb(task[1], trial, artifacts)
+            else:
+                outs = parallel_map(_run_trial, tasks, workers=workers,
+                                    retry=retry, task_timeout=task_timeout,
+                                    on_error="collect")
+                for task, outcome in zip(tasks, outs):
+                    index = task[1]
+                    if outcome.ok:
+                        trial, artifacts = outcome.value
+                        _absorb(index, trial, artifacts)
+                    else:
+                        outcome.index = len(poisoned_tasks)
+                        poisoned_tasks.append(task)
+                        poisoned_outcomes.append(outcome)
+                        results[index] = (_executor_casualty(
+                            index, seed, sched_spec, outcome), [])
+            pos += len(batch)
 
-    # Without a time budget there is nothing to check between waves — one
-    # pool over all trials amortizes the spawn start-up cost best.
-    wave = (len(indices) if time_budget is None
-            else max(1, int(workers)) * 4)
-    pos = 0
-    while pos < len(indices):
-        exhausted = _exhausted()
-        batch = indices[pos:] if exhausted else indices[pos:pos + wave]
-        tasks = [(seed, i, with_kills, schedule, artifact_dir, exhausted)
-                 for i in batch]
-        if exhausted:
-            # Skipped trials only draw their configuration — no point
-            # paying worker start-up for them.
-            outcomes = [_run_trial(t) for t in tasks]
-        else:
-            outcomes = parallel_map(_run_trial, tasks, workers=workers)
-        for trial, artifacts in outcomes:
-            report.trials.append(trial)
-            report.artifacts.extend(artifacts)
-        pos += len(batch)
+    if poisoned_tasks:
+        qpath = write_quarantine(
+            os.path.join(artifact_dir, "quarantine.json"),
+            poisoned_tasks, poisoned_outcomes)
+        if qpath:
+            report.artifacts.append(qpath)
+    for index in indices:
+        trial, artifacts = ((cached[index], []) if index in cached
+                            else results[index])
+        report.trials.append(trial)
+        report.artifacts.extend(artifacts)
     return report

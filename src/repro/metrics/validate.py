@@ -363,11 +363,23 @@ def _judge_case(case: ModelCase, points: list[PointResult], *,
     return cv
 
 
+#: Run-cache namespace for measured sweep points (bump on schema change).
+VALIDATE_NAMESPACE = "modelcase-v1"
+
+
+def _point_key(case_name: str, p: int, c: int, n: int,
+               engine_tier: str) -> str:
+    """Cache fingerprint of one measured sweep point."""
+    return f"point;case={case_name};p={p};c={c};n={n};tier={engine_tier}"
+
+
 def validate_case(case: ModelCase, *, machine_factory=None,
                   band: tuple[float, float] | None = None,
                   spread: float | None = None,
                   engine_tier: str = "event",
-                  workers: int = 0) -> CaseValidation:
+                  workers: int = 0, retry=None,
+                  task_timeout: float | None = None,
+                  cache=None) -> CaseValidation:
     """Sweep one case and judge every ratio against its tolerance bands.
 
     ``engine_tier`` selects the simulator the sweep runs on (``"event"``
@@ -375,26 +387,56 @@ def validate_case(case: ModelCase, *, machine_factory=None,
     ``workers > 0`` measures the sweep points in spawned worker
     processes; this only applies to cases registered in
     :data:`MODEL_CASES` under the default machine factory (ad-hoc cases
-    carry unpicklable closures and measure serially).
+    carry unpicklable closures and measure serially).  ``retry`` /
+    ``task_timeout`` add executor-level crash/hang recovery to that
+    fleet (:func:`repro.core.parallel.run_supervised`).
+
+    ``cache`` (a directory path or
+    :class:`~repro.core.runcache.RunCache`) serves previously measured
+    points keyed on ``(case, p, c, n, engine_tier)``; judgement always
+    re-runs against the current bands, so a cached sweep still fails a
+    tightened tolerance.  Like the fan-out, caching only applies to
+    registered cases under the default machine factory — an ad-hoc
+    case's closures are not represented in the key.
     """
     from repro.core.parallel import parallel_map
+    from repro.core.runcache import MISS, resolve_cache
 
-    if workers > 0 and _parallelizable(case, machine_factory):
-        points = parallel_map(
-            _point_task,
-            [(case.name, p, c, n, engine_tier) for p, c, n in case.sweep],
-            workers=workers)
-    else:
-        points = [_measure_point(case, p, c, n,
-                                 machine_factory=machine_factory,
-                                 engine_tier=engine_tier)
-                  for p, c, n in case.sweep]
+    store = (resolve_cache(cache, namespace=VALIDATE_NAMESPACE)
+             if _parallelizable(case, machine_factory) else None)
+    sweep = list(case.sweep)
+    points: list = [None] * len(sweep)
+    todo: list[int] = []
+    for i, (p, c, n) in enumerate(sweep):
+        if store is not None:
+            hit = store.get(_point_key(case.name, p, c, n, engine_tier))
+            if hit is not MISS:
+                points[i] = hit
+                continue
+        todo.append(i)
+    if todo:
+        if workers > 0 and _parallelizable(case, machine_factory):
+            measured = parallel_map(
+                _point_task,
+                [(case.name, *sweep[i], engine_tier) for i in todo],
+                workers=workers, retry=retry, task_timeout=task_timeout)
+        else:
+            measured = [_measure_point(case, *sweep[i],
+                                       machine_factory=machine_factory,
+                                       engine_tier=engine_tier)
+                        for i in todo]
+        for i, pt in zip(todo, measured):
+            points[i] = pt
+            if store is not None:
+                store.put(_point_key(case.name, *sweep[i], engine_tier), pt)
     return _judge_case(case, points, band=band, spread=spread)
 
 
 def validate_models(names: list[str] | None = None, *,
                     machine_factory=None, engine_tier: str = "event",
-                    workers: int = 0) -> ValidationReport:
+                    workers: int = 0, retry=None,
+                    task_timeout: float | None = None,
+                    cache=None) -> ValidationReport:
     """Validate the named model cases (default: all of :data:`MODEL_CASES`).
 
     ``names`` accepts canonical names (``ca_allpairs``) or registry names
@@ -405,6 +447,9 @@ def validate_models(names: list[str] | None = None, *,
     point of every registered case in one flat fan-out over spawned
     worker processes; each point is a pure function of
     ``(case, p, c, n)``, so the report matches the serial run exactly.
+    ``retry`` / ``task_timeout`` / ``cache`` behave as on
+    :func:`validate_case` (with a ``cache``, lookups happen per case and
+    only the missing points fan out).
     """
     from repro.core.parallel import parallel_map
 
@@ -420,11 +465,12 @@ def validate_models(names: list[str] | None = None, *,
                 raise KeyError(f"no model case for {name!r} (known: {known})")
             selected.append(case)
 
-    if workers > 0 and all(_parallelizable(c, machine_factory)
-                           for c in selected):
+    if (cache is None and workers > 0
+            and all(_parallelizable(c, machine_factory) for c in selected)):
         tasks = [(case.name, p, c, n, engine_tier)
                  for case in selected for p, c, n in case.sweep]
-        flat = parallel_map(_point_task, tasks, workers=workers)
+        flat = parallel_map(_point_task, tasks, workers=workers,
+                            retry=retry, task_timeout=task_timeout)
         cases = []
         pos = 0
         for case in selected:
@@ -435,6 +481,7 @@ def validate_models(names: list[str] | None = None, *,
 
     return ValidationReport(cases=[
         validate_case(case, machine_factory=machine_factory,
-                      engine_tier=engine_tier, workers=workers)
+                      engine_tier=engine_tier, workers=workers,
+                      retry=retry, task_timeout=task_timeout, cache=cache)
         for case in selected
     ])

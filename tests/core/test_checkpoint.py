@@ -263,6 +263,32 @@ class TestResumeErrors:
         with pytest.raises(ValueError, match="initial_blocks"):
             run_simulation(machine, scfg)
 
+    def test_truncated_checkpoint_fails_resume_loudly(self, tmp_path):
+        # A torn write (host crash mid-copy, half-synced NFS) must refuse
+        # to resume with a loud integrity error, never start from garbage.
+        machine, scfg, _, res = self._checkpointed(tmp_path)
+        step, path = res.checkpoints[0]
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="unreadable|truncated"):
+            run_simulation(machine, scfg, resume_from=path)
+
+    def test_bitrot_checkpoint_names_the_corrupt_array(self, tmp_path):
+        # Silent single-array corruption (bit rot, partial overwrite) is
+        # caught by the per-array CRC and the error names the victim.
+        import numpy as np
+
+        machine, scfg, _, res = self._checkpointed(tmp_path)
+        step, path = res.checkpoints[0]
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["pos_0"] = arrays["pos_0"] + 1e-9  # checksums left stale
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError,
+                           match="checksum mismatch on array 'pos_0'"):
+            run_simulation(machine, scfg, resume_from=path)
+
     def test_verlet_cannot_resume_from_euler_checkpoint(self, tmp_path):
         machine, scfg, _, res = self._checkpointed(tmp_path,
                                                    integrator="euler")

@@ -4,13 +4,36 @@
 properties the harnesses rely on are pinned here directly: results come
 back in task order (not completion order), ``workers=0`` is a plain
 serial fallback, a worker exception surfaces as :class:`WorkerError`
-naming the task index with the remote traceback, and
+naming *every* failed task index with the remote tracebacks, and
 :func:`spawn_seeds` is a pure function of its inputs.
+
+The supervised-executor layer (PR 9) adds its own contract: a
+:class:`RetryPolicy` with deterministic seeded backoff, per-task
+timeouts that kill and replace hung workers, crash recovery when a
+worker is SIGKILLed mid-task, and a replayable JSON quarantine for
+tasks that fail every attempt.  The process-spawning tests here are
+deliberately few (each spawn costs ~1 s with NumPy); the chaos parity
+sweeps live in ``tests/integration`` and ``tools/host_chaos.py``.
 """
+
+import json
+import os
+import signal
 
 import pytest
 
-from repro.core.parallel import WorkerError, parallel_map, spawn_seeds
+from repro.core.parallel import (
+    QUARANTINE_FORMAT,
+    RetryPolicy,
+    TaskOutcome,
+    WorkerError,
+    as_retry_policy,
+    load_quarantine,
+    parallel_map,
+    run_supervised,
+    spawn_seeds,
+    write_quarantine,
+)
 
 
 def _square(x):
@@ -30,6 +53,55 @@ def _boom(x):
     if x == 2:
         raise ValueError(f"task payload {x} is cursed")
     return x
+
+
+def _boom_even(x):
+    if x % 2 == 0:
+        raise ValueError(f"task payload {x} is cursed")
+    return x
+
+
+def _poison(x):
+    raise RuntimeError(f"poison task {x}: fails every attempt")
+
+
+def _flaky(task):
+    """Fails the first time each task runs, succeeds on the retry.
+
+    The marker file makes the transience real across processes: attempt
+    1 creates it and raises, attempt 2 sees it and returns.
+    """
+    index, marker_dir = task
+    marker = os.path.join(marker_dir, f"ran-{index}")
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError(f"transient failure on task {index}")
+    return index * 10
+
+
+def _die_once(task):
+    """SIGKILLs its own worker on the first attempt — a simulated OOM."""
+    index, marker_dir = task
+    marker = os.path.join(marker_dir, f"died-{index}")
+    if index == 1 and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return index + 100
+
+
+def _hang_once(task):
+    """Hangs forever on the first attempt — a simulated stuck worker."""
+    import time
+
+    index, marker_dir = task
+    marker = os.path.join(marker_dir, f"hung-{index}")
+    if index == 1 and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        time.sleep(600.0)
+    return index - 7
 
 
 class TestSerialFallback:
@@ -62,6 +134,162 @@ class TestParallelSemantics:
         assert err.value.index == 2
         assert "cursed" in err.value.remote_traceback
         assert "task 2" in str(err.value)
+
+    def test_worker_error_aggregates_every_failure(self):
+        with pytest.raises(WorkerError) as err:
+            parallel_map(_boom_even, [0, 1, 2, 3, 4], workers=2)
+        assert err.value.indices == [0, 2, 4]
+        assert err.value.index == 0  # first failure keeps the PR-7 field
+        assert "3 tasks failed" in str(err.value)
+
+
+class TestRetryPolicy:
+    def test_first_attempt_never_waits(self):
+        assert RetryPolicy(base_delay=5.0).delay(0, 1) == 0.0
+
+    def test_delay_is_pure_and_decorrelated(self):
+        p = RetryPolicy(base_delay=0.1, seed=3)
+        assert p.delay(4, 2) == p.delay(4, 2)
+        assert p.delay(4, 2) != p.delay(5, 2)
+
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(base_delay=0.1, backoff=2.0, jitter=0.0)
+        assert p.delay(0, 2) == pytest.approx(0.1)
+        assert p.delay(0, 3) == pytest.approx(0.2)
+        assert p.delay(0, 4) == pytest.approx(0.4)
+
+    def test_jitter_stays_within_bounds(self):
+        p = RetryPolicy(base_delay=0.1, backoff=1.0, jitter=0.1)
+        for i in range(20):
+            assert 0.09 <= p.delay(i, 2) <= 0.11
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0}, {"base_delay": -1.0},
+        {"backoff": 0.5}, {"jitter": 2.0},
+    ])
+    def test_bad_policies_rejected_up_front(self, kwargs):
+        with pytest.raises(ValueError, match="bad RetryPolicy"):
+            RetryPolicy(**kwargs)
+
+    def test_as_retry_policy_normalizes(self):
+        assert as_retry_policy(None).max_attempts == 1
+        assert as_retry_policy(4).max_attempts == 4
+        p = RetryPolicy(max_attempts=7)
+        assert as_retry_policy(p) is p
+
+
+class TestRunSupervisedSerial:
+    """The retry machinery without any process spawns (workers=0)."""
+
+    def test_transient_failures_recover_on_retry(self, tmp_path):
+        tasks = [(i, str(tmp_path)) for i in range(3)]
+        outcomes = run_supervised(
+            _flaky, tasks, retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert [o.status for o in outcomes] == ["ok"] * 3
+        assert [o.value for o in outcomes] == [0, 10, 20]
+        assert all(o.attempts == 2 for o in outcomes)
+
+    def test_poison_tasks_fail_after_all_attempts(self):
+        outcomes = run_supervised(
+            _poison, [7], retry=RetryPolicy(max_attempts=3, base_delay=0.0))
+        assert outcomes[0].status == "failed"
+        assert outcomes[0].attempts == 3
+        assert "poison task 7" in outcomes[0].error
+        assert not outcomes[0].ok
+
+    def test_never_raises_on_task_failure(self):
+        outcomes = run_supervised(_boom, [0, 1, 2, 3])
+        assert [o.status for o in outcomes] == ["ok", "ok", "failed", "ok"]
+
+    def test_parallel_map_retry_keeps_plain_results(self, tmp_path):
+        tasks = [(i, str(tmp_path)) for i in range(3)]
+        got = parallel_map(_flaky, tasks,
+                           retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert got == [0, 10, 20]
+
+    def test_parallel_map_collect_returns_outcomes(self):
+        outcomes = parallel_map(_boom, [0, 1, 2], on_error="collect")
+        assert all(isinstance(o, TaskOutcome) for o in outcomes)
+        assert [o.ok for o in outcomes] == [True, True, False]
+
+    def test_parallel_map_rejects_unknown_on_error(self):
+        with pytest.raises(ValueError, match="on_error"):
+            parallel_map(_square, [1], on_error="explode")
+
+    def test_serial_retry_failures_raise_aggregated_worker_error(self):
+        with pytest.raises(WorkerError) as err:
+            parallel_map(_boom_even, [0, 1, 2], retry=2)
+        assert err.value.indices == [0, 2]
+        assert "cursed" in err.value.remote_traceback
+
+    def test_legacy_single_failure_constructor(self):
+        err = WorkerError(2, "a traceback")
+        assert err.index == 2
+        assert err.indices == [2]
+        assert err.remote_traceback == "a traceback"
+        assert "task 2" in str(err)
+
+
+class TestCrashAndTimeoutRecovery:
+    """A killed or hung worker must not hang or poison the sweep."""
+
+    def test_sigkilled_worker_is_replaced_and_task_retried(self, tmp_path):
+        tasks = [(i, str(tmp_path)) for i in range(3)]
+        outcomes = run_supervised(
+            _die_once, tasks, workers=2,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert [o.value for o in outcomes] == [100, 101, 102]
+        assert outcomes[1].attempts == 2  # the crash consumed an attempt
+
+    def test_crash_without_retry_reports_crashed(self, tmp_path):
+        tasks = [(i, str(tmp_path)) for i in range(2)]
+        outcomes = run_supervised(_die_once, tasks, workers=2)
+        assert outcomes[0].status == "ok"
+        assert outcomes[1].status == "crashed"
+        assert "worker died" in outcomes[1].error
+
+    def test_hung_worker_is_killed_and_task_retried(self, tmp_path):
+        tasks = [(i, str(tmp_path)) for i in range(3)]
+        outcomes = run_supervised(
+            _hang_once, tasks, workers=2, task_timeout=1.5,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert [o.value for o in outcomes] == [-7, -6, -5]
+        assert outcomes[1].attempts == 2
+
+
+class TestQuarantine:
+    def test_failed_tasks_land_in_replayable_artifact(self, tmp_path):
+        path = str(tmp_path / "quarantine.json")
+        outcomes = run_supervised(
+            _boom, [0, 1, 2, 3], quarantine=path,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert outcomes[2].quarantined
+        assert not outcomes[0].quarantined
+        entries = load_quarantine(path)
+        assert [e["index"] for e in entries] == [2]
+        assert entries[0]["task"] == 2
+        assert entries[0]["attempts"] == 2
+        assert "cursed" in entries[0]["error"]
+
+    def test_no_artifact_when_nothing_failed(self, tmp_path):
+        path = str(tmp_path / "quarantine.json")
+        run_supervised(_square, [1, 2], quarantine=path)
+        assert not os.path.exists(path)
+
+    def test_load_rejects_non_quarantine_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a quarantine artifact"):
+            load_quarantine(str(path))
+
+    def test_unjsonable_tasks_fall_back_to_repr(self, tmp_path):
+        path = str(tmp_path / "q.json")
+        tasks = [{0, 1}]  # a set does not JSON-serialize
+        outcomes = [TaskOutcome(index=0, status="failed", error="e",
+                                attempts=1)]
+        assert write_quarantine(path, tasks, outcomes) == path
+        assert load_quarantine(path)[0]["task"] == repr({0, 1})
+        assert json.load(open(path))["format"] == QUARANTINE_FORMAT
 
 
 class TestSpawnSeeds:

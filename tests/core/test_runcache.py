@@ -1,0 +1,187 @@
+"""The run cache's contract: verified reads, atomic writes, self-healing.
+
+:class:`repro.core.runcache.RunCache` is the durability layer under
+``repro sweep --cache`` and every harness ``cache=`` knob, so its core
+promise is pinned here directly: a cache *never serves a wrong or torn
+value*.  Every way an on-disk entry can be damaged — truncation, bit
+rot, a foreign file at the right path, a header from another namespace
+or fingerprint, an unpicklable payload — must read as a miss, evict the
+bad entry, and let the recomputed value land cleanly.
+"""
+
+import json
+import os
+import pickle
+import zlib
+
+import pytest
+
+from repro.core.runcache import MISS, CacheStats, RunCache, resolve_cache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(str(tmp_path / "rc"), namespace="test-v1")
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, cache):
+        value = {"forces": b"\x00\x01", "elapsed": 1.5, "shape": [2, 1]}
+        cache.put("fp;a=1", value)
+        assert cache.get("fp;a=1") == value
+
+    def test_miss_returns_sentinel_not_none(self, cache):
+        assert cache.get("never-stored") is MISS
+
+    def test_cached_none_is_distinguishable_from_miss(self, cache):
+        cache.put("fp-none", None)
+        assert cache.get("fp-none") is None
+        assert cache.get("fp-none") is not MISS
+
+    def test_get_default_overrides_sentinel(self, cache):
+        assert cache.get("nope", default=42) == 42
+
+    def test_overwrite_replaces_value(self, cache):
+        cache.put("fp", 1)
+        cache.put("fp", 2)
+        assert cache.get("fp") == 2
+        assert len(cache) == 1
+
+    def test_len_and_clear(self, cache):
+        for i in range(5):
+            cache.put(f"fp{i}", i)
+        assert len(cache) == 5
+        assert cache.clear() == 5
+        assert len(cache) == 0
+        assert cache.get("fp0") is MISS
+
+
+class TestContentAddressing:
+    def test_key_is_pure_and_fans_out(self, cache):
+        assert cache.key("fp") == cache.key("fp")
+        path = cache.path_for("fp")
+        assert path.endswith(".rcache")
+        # root/<first two hex digits>/<full key>.rcache
+        assert os.path.basename(os.path.dirname(path)) == cache.key("fp")[:2]
+
+    def test_namespaces_do_not_collide(self, tmp_path):
+        a = RunCache(str(tmp_path), namespace="a")
+        b = RunCache(str(tmp_path), namespace="b")
+        a.put("fp", "from-a")
+        assert b.get("fp") is MISS
+        b.put("fp", "from-b")
+        assert a.get("fp") == "from-a"
+        assert b.get("fp") == "from-b"
+
+    def test_foreign_namespace_entry_at_same_path_not_served(self, tmp_path):
+        # Same root, same fingerprint, different namespace *spoofed into
+        # the same path*: the header's namespace check must reject it.
+        a = RunCache(str(tmp_path), namespace="a")
+        b = RunCache(str(tmp_path), namespace="b")
+        b.put("fp", "b-value")
+        os.makedirs(os.path.dirname(a.path_for("fp")), exist_ok=True)
+        os.replace(b.path_for("fp"), a.path_for("fp"))
+        assert a.get("fp") is MISS
+        assert a.stats.evictions == 1
+
+
+class TestSelfHealing:
+    """Every corruption mode reads as an evicting miss, never a value."""
+
+    def _entry_path(self, cache):
+        cache.put("fp", {"payload": list(range(100))})
+        return cache.path_for("fp")
+
+    def test_truncated_entry_evicted(self, cache):
+        path = self._entry_path(cache)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        assert cache.get("fp") is MISS
+        assert not os.path.exists(path)
+        assert cache.stats.evictions == 1
+
+    def test_flipped_payload_bit_fails_crc(self, cache):
+        path = self._entry_path(cache)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        assert cache.get("fp") is MISS
+        assert cache.stats.evictions == 1
+
+    def test_garbage_file_evicted(self, cache):
+        path = self._entry_path(cache)
+        with open(path, "wb") as fh:
+            fh.write(b"not an rcache entry at all")
+        assert cache.get("fp") is MISS
+        assert not os.path.exists(path)
+
+    def test_wrong_fingerprint_in_header_not_served(self, cache):
+        # A correct-looking entry stored under the wrong content address
+        # (hash collision / manual copy) must not be served.
+        cache.put("honest", "honest-value")
+        os.makedirs(os.path.dirname(cache.path_for("victim")), exist_ok=True)
+        os.replace(cache.path_for("honest"), cache.path_for("victim"))
+        assert cache.get("victim") is MISS
+
+    def test_unpicklable_payload_evicted(self, cache):
+        path = self._entry_path(cache)
+        payload = b"\x80\x05garbage-not-a-pickle"
+        header = {"format": "repro-runcache-v1", "namespace": "test-v1",
+                  "fingerprint": "fp", "nbytes": len(payload),
+                  "crc32": zlib.crc32(payload)}
+        with open(path, "wb") as fh:
+            fh.write(json.dumps(header).encode() + b"\n" + payload)
+        assert cache.get("fp") is MISS
+        assert cache.stats.evictions == 1
+
+    def test_evicted_entry_recomputes_and_stores_cleanly(self, cache):
+        path = self._entry_path(cache)
+        with open(path, "wb") as fh:
+            fh.write(b"torn")
+        assert cache.get("fp") is MISS
+        cache.put("fp", "recomputed")
+        assert cache.get("fp") == "recomputed"
+
+
+class TestConcurrency:
+    def test_no_temp_file_debris_after_puts(self, cache):
+        for i in range(10):
+            cache.put(f"fp{i}", os.urandom(256))
+        for dirpath, _dirs, files in os.walk(cache.root):
+            assert not [f for f in files if f.startswith(".rcache-")]
+
+    def test_concurrent_writers_race_benignly(self, tmp_path):
+        # Two instances writing the same key: last replace wins, and the
+        # survivor is a complete, verified entry.
+        a = RunCache(str(tmp_path), namespace="n")
+        b = RunCache(str(tmp_path), namespace="n")
+        a.put("fp", "value")
+        b.put("fp", "value")
+        assert a.get("fp") == "value"
+        assert len(a) == 1
+
+
+class TestStats:
+    def test_counters_track_operations(self, cache):
+        cache.get("x")
+        cache.put("x", 1)
+        cache.get("x")
+        assert cache.stats == CacheStats(hits=1, misses=1, stores=1,
+                                         evictions=0)
+        assert "hits=1" in cache.stats.describe()
+
+
+class TestResolveCache:
+    def test_none_passes_through(self):
+        assert resolve_cache(None) is None
+
+    def test_path_becomes_namespaced_cache(self, tmp_path):
+        rc = resolve_cache(str(tmp_path / "c"), namespace="ns")
+        assert isinstance(rc, RunCache)
+        assert rc.namespace == "ns"
+
+    def test_instance_keeps_its_own_namespace(self, tmp_path):
+        mine = RunCache(str(tmp_path), namespace="deliberate")
+        assert resolve_cache(mine, namespace="other") is mine

@@ -1,0 +1,197 @@
+"""The resilient sweep harness: normalization, caching, quarantine, parity.
+
+``repro.experiments.sweep`` is the ``repro sweep`` engine; its contract
+is that a sweep's merged records do not depend on *how* they were
+produced — serial, cached, or replayed from quarantine.  The spawning
+chaos-parity legs (worker kills mid-sweep) live in
+``tests/integration/test_parallel_harness.py`` and ``tools/host_chaos.py``;
+here everything runs serially so the suite stays fast.
+"""
+
+import pytest
+
+from repro.core.parallel import RetryPolicy
+from repro.core.runcache import RunCache
+from repro.experiments.sweep import (
+    SWEEP_NAMESPACE,
+    expand_grid,
+    normalize_task,
+    replay_quarantine,
+    run_sweep,
+    task_fingerprint,
+)
+
+ALLPAIRS = {"algorithm": "allpairs", "p": 4, "n": 16}
+
+
+class TestNormalizeTask:
+    def test_defaults_filled_in_fixed_order(self):
+        d = normalize_task({"algorithm": "allpairs"})
+        assert d["p"] == 16 and d["c"] == 1 and d["n"] == 64
+        assert d["machine"] == "generic" and d["engine_tier"] == "event"
+        assert d["rcut"] is None
+
+    def test_equivalent_spellings_fingerprint_identically(self):
+        a = task_fingerprint({"algorithm": "allpairs", "p": 8})
+        b = task_fingerprint({"p": "8", "algorithm": "allpairs"})
+        assert a == b
+        assert a.startswith(SWEEP_NAMESPACE + ";")
+
+    def test_different_configs_fingerprint_differently(self):
+        a = task_fingerprint({"algorithm": "allpairs", "seed": 0})
+        b = task_fingerprint({"algorithm": "allpairs", "seed": 1})
+        assert a != b
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep descriptor"):
+            normalize_task({"algorithm": "allpairs", "particels": 64})
+
+    def test_missing_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="needs an 'algorithm'"):
+            normalize_task({"p": 8})
+
+    @pytest.mark.parametrize("bad", [
+        {"algorithm": "allpairs", "machine": "cray"},
+        {"algorithm": "allpairs", "engine_tier": "quantum"},
+    ])
+    def test_bad_enums_rejected(self, bad):
+        with pytest.raises(ValueError):
+            normalize_task(bad)
+
+
+class TestExpandGrid:
+    def test_cross_product_with_capability_clamping(self):
+        tasks, skipped = expand_grid(
+            ["allpairs", "particle_ring"], ps=(4,), cs=(1, 2), ns=(16,))
+        by_alg = {}
+        for t in tasks:
+            by_alg.setdefault(t["algorithm"], []).append(t["c"])
+        assert sorted(by_alg["allpairs"]) == [1, 2]
+        # no replication knob -> one c=1 point, duplicates dropped
+        assert by_alg["particle_ring"] == [1]
+        assert not skipped
+
+    def test_needs_rcut_skipped_with_reason(self):
+        tasks, skipped = expand_grid(["cutoff"], ps=(4,), ns=(16,))
+        assert tasks == []
+        assert "cutoff" in skipped and "rcut" in skipped["cutoff"]
+
+    def test_square_p_skipped_per_rank_count(self):
+        tasks, skipped = expand_grid(
+            ["force_decomposition"], ps=(8, 9), ns=(16,))
+        assert all(t["p"] == 9 for t in tasks)
+        assert "square rank count" in skipped["force_decomposition"]
+
+
+class TestRunSweep:
+    def test_serial_sweep_produces_records(self):
+        report = run_sweep([ALLPAIRS])
+        assert report.ok
+        (o,) = report.outcomes
+        assert o.status == "ok"
+        assert o.value["forces"] is not None
+        assert o.value["critical_messages"] > 0
+        assert "task   0 [ok" in report.summary()
+
+    def test_cold_then_warm_cache_serves_everything(self, tmp_path):
+        tasks, _ = expand_grid(["allpairs", "symmetric"], ps=(4,), ns=(16,))
+        cache = RunCache(str(tmp_path), namespace=SWEEP_NAMESPACE)
+        cold = run_sweep(tasks, cache=cache)
+        assert cold.ok and len(cold.computed) == len(tasks)
+        warm = run_sweep(tasks, cache=cache)
+        assert warm.ok and not warm.computed
+        assert len(warm.cached) == len(tasks)
+        assert all(o.attempts == 0 for o in warm.outcomes)
+        # served values are the cold run's values, bitwise
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            assert a.value == b.value
+        assert "cached=2" in warm.summary()
+
+    def test_partial_cache_resumes_only_misses(self, tmp_path):
+        tasks, _ = expand_grid(["allpairs", "symmetric"], ps=(4,), ns=(16,))
+        cache = RunCache(str(tmp_path), namespace=SWEEP_NAMESPACE)
+        run_sweep([tasks[0]], cache=cache)  # pre-warm the first point only
+        report = run_sweep(tasks, cache=cache)
+        assert [o.status for o in report.outcomes] == ["cached", "ok"]
+        assert [o.index for o in report.outcomes] == [0, 1]
+
+    def test_corrupt_cache_entry_recomputed_not_served(self, tmp_path):
+        cache = RunCache(str(tmp_path), namespace=SWEEP_NAMESPACE)
+        cold = run_sweep([ALLPAIRS], cache=cache)
+        path = cache.path_for(task_fingerprint(ALLPAIRS))
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) - 7])  # torn write
+        again = run_sweep([ALLPAIRS], cache=cache)
+        assert again.outcomes[0].status == "ok"  # recomputed, not cached
+        assert cache.stats.evictions == 1
+        assert again.outcomes[0].value == cold.outcomes[0].value
+
+    def test_failed_tasks_quarantined_and_replayable(self, tmp_path):
+        qpath = str(tmp_path / "quarantine.json")
+        bad = dict(ALLPAIRS, algorithm="no_such_algorithm")
+        report = run_sweep([ALLPAIRS, bad],
+                           retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+                           quarantine=qpath)
+        assert not report.ok
+        assert report.quarantine == qpath
+        assert report.outcomes[1].quarantined
+        assert report.outcomes[1].attempts == 2
+        # replay exactly the poisoned unit (fixed to a real algorithm it
+        # would succeed; here it must fail again, proving the unit is
+        # fed back unchanged)
+        replayed = replay_quarantine(qpath)
+        assert len(replayed.tasks) == 1
+        assert replayed.tasks[0]["algorithm"] == "no_such_algorithm"
+        assert not replayed.ok
+
+    def test_sweep_never_raises_on_task_failure(self):
+        report = run_sweep([dict(ALLPAIRS, algorithm="no_such_algorithm")])
+        assert not report.ok
+        assert report.outcomes[0].status == "failed"
+        assert "no_such_algorithm" in report.outcomes[0].error
+        assert "failed" in report.describe_task(0)
+
+
+class TestCliSweep:
+    def test_cold_then_expect_cached(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = str(tmp_path / "cache")
+        base = ["sweep", "--algorithms", "allpairs", "--ranks", "4",
+                "--particles", "16", "--cache", cache]
+        assert main(base) == 0
+        assert main(base + ["--expect-cached"]) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+
+    def test_expect_cached_fails_cold(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--algorithms", "allpairs", "--ranks", "4",
+                     "--particles", "16",
+                     "--cache", str(tmp_path / "cache"),
+                     "--expect-cached"]) == 1
+        assert "NOT FULLY CACHED" in capsys.readouterr().err
+
+    def test_out_json_and_skips(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out_path = str(tmp_path / "records.json")
+        assert main(["sweep", "--algorithms", "allpairs,cutoff",
+                     "--ranks", "4", "--particles", "16",
+                     "--out", out_path]) == 0
+        data = json.load(open(out_path))
+        assert data["format"] == "repro-sweep-v1"
+        assert len(data["records"]) == 1
+        assert data["records"][0]["status"] == "ok"
+        assert data["records"][0]["critical_messages"] > 0
+        assert "skipped cutoff" in capsys.readouterr().out
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--algorithms", "not_an_algorithm"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err

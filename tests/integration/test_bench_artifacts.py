@@ -10,7 +10,11 @@ reviewable and can't silently rot:
   host's CPU count.  The >=3x speedup assertion only binds when the
   recording host actually had >=4 CPUs — on a single-core host a spawn
   fleet cannot beat serial, and the artifact honestly records that
-  instead of faking a multiplier.
+  instead of faking a multiplier;
+* the PR-9 ``BENCH_pr9.json`` artifact additionally records the
+  run-cache bench: a warm (100% cache-served) sweep must be far faster
+  than the cold compute — that multiplier is CPU-count independent, so
+  it binds unconditionally.
 """
 
 import json
@@ -18,13 +22,19 @@ from pathlib import Path
 
 import pytest
 
-BENCH = Path(__file__).resolve().parents[2] / "benchmarks" / \
-    "BENCH_pr7.json"
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH = _BENCH_DIR / "BENCH_pr7.json"
+BENCH_PR9 = _BENCH_DIR / "BENCH_pr9.json"
 
 
 @pytest.fixture(scope="module")
 def report():
     return json.loads(BENCH.read_text())
+
+
+@pytest.fixture(scope="module")
+def report_pr9():
+    return json.loads(BENCH_PR9.read_text())
 
 
 class TestArtifactShape:
@@ -74,3 +84,31 @@ class TestParallelSoak:
                 f"artifact recorded on a {report['env']['cpu_count']}-CPU "
                 "host; the >=3x multi-core claim does not bind")
         assert report["benches"]["parallel_soak"]["speedup_vs_serial"] >= 3.0
+
+
+class TestRunCacheArtifact:
+    """PR-9 artifact: the warm-cache sweep claim, reviewable from git."""
+
+    def test_pr9_keeps_the_shared_bench_set(self, report_pr9):
+        assert report_pr9["mode"] == "full"
+        for name in ("engine_ring", "engine_collectives", "kernel_pairwise",
+                     "simulate_e2e", "parallel_soak",
+                     "heuristic_phase_advance", "runcache_hit"):
+            assert name in report_pr9["benches"], name
+
+    def test_cold_and_warm_walls_recorded(self, report_pr9):
+        bench = report_pr9["benches"]["runcache_hit"]
+        assert bench["tasks"] >= 10
+        assert bench["cold_wall_s"] > 0
+        assert bench["wall_s"] > 0
+        assert bench["speedup_vs_cold"] == pytest.approx(
+            bench["cold_wall_s"] / bench["wall_s"])
+
+    def test_warm_sweep_is_dramatically_faster_than_cold(self, report_pr9):
+        # Unlike the spawn-fleet speedup this needs no spare CPUs: a
+        # cache hit replaces an engine run with a file read, so even a
+        # 1-CPU recording host must show a large multiplier.
+        bench = report_pr9["benches"]["runcache_hit"]
+        assert bench["speedup_vs_cold"] >= 5.0, (
+            "warm cache-served sweep should be far faster than cold "
+            f"compute, recorded {bench['speedup_vs_cold']:.1f}x")

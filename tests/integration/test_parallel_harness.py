@@ -8,6 +8,12 @@ These tests pin that contract by running each harness twice (workers=0
 and workers=2) and diffing the reports field by field, including under
 chaos kills and perturbed-schedule policies where the RNG bookkeeping
 is easiest to get wrong.
+
+PR 9 extends the contract to the resilience paths: results must also be
+bitwise identical when tasks are *retried* after injected host chaos
+(``REPRO_HOST_CHAOS`` transients and worker SIGKILLs) and when they are
+*served from the run cache* instead of recomputed — however a record was
+produced, it is the same record.
 """
 
 from dataclasses import asdict
@@ -15,9 +21,12 @@ from dataclasses import asdict
 import numpy as np
 import pytest
 
-from repro.experiments.compare import compare_algorithms
+from repro.core.parallel import HOST_CHAOS_ENV, RetryPolicy
+from repro.core.runcache import RunCache
+from repro.experiments.compare import COMPARE_NAMESPACE, compare_algorithms
 from repro.experiments.schedfuzz import run_schedfuzz
-from repro.experiments.soak import run_soak
+from repro.experiments.soak import SOAK_NAMESPACE, run_soak
+from repro.experiments.sweep import expand_grid, run_sweep
 from repro.machines import GenericMachine
 from repro.metrics.validate import validate_models
 
@@ -104,3 +113,81 @@ class TestValidateParity:
         report = validate_models(["allpairs"], engine_tier="heuristic",
                                  workers=WORKERS)
         assert report.ok, report.summary()
+
+
+class TestRetriedRunParity:
+    """Injected host chaos + retries must not change a single bit."""
+
+    def _tasks(self):
+        tasks, _ = expand_grid(["allpairs", "symmetric"], ps=(8,),
+                               cs=(1, 2), ns=(24,))
+        return tasks
+
+    def test_sweep_identical_after_injected_transients(self, monkeypatch):
+        tasks = self._tasks()
+        serial = run_sweep(tasks)
+        monkeypatch.setenv(HOST_CHAOS_ENV, "p=0.6,seed=11,mode=raise")
+        chaos = run_sweep(tasks, workers=WORKERS,
+                          retry=RetryPolicy(max_attempts=3, base_delay=0.01))
+        assert chaos.ok
+        # the injection is deterministic in (seed, index, attempt) — with
+        # this spec it provably fired, so the parity below covers retried
+        # tasks, not a lucky chaos-free run
+        assert any(o.attempts > 1 for o in chaos.outcomes)
+        assert [o.value for o in chaos.outcomes] == \
+            [o.value for o in serial.outcomes]
+
+    def test_sweep_identical_after_worker_kills(self, monkeypatch):
+        tasks = self._tasks()
+        serial = run_sweep(tasks)
+        monkeypatch.setenv(HOST_CHAOS_ENV, "p=0.6,seed=11,mode=kill")
+        chaos = run_sweep(tasks, workers=WORKERS,
+                          retry=RetryPolicy(max_attempts=3, base_delay=0.01))
+        assert chaos.ok
+        assert any(o.attempts > 1 for o in chaos.outcomes)
+        assert [o.value for o in chaos.outcomes] == \
+            [o.value for o in serial.outcomes]
+
+
+class TestCacheServedParity:
+    """A cache-served record equals the recomputed record, field by field."""
+
+    def test_soak_cache_round_trip(self, tmp_path):
+        cache = RunCache(str(tmp_path / "c"), namespace=SOAK_NAMESPACE)
+        kw = dict(trials=3, seed=7, with_kills=True, cache=cache)
+        cold = run_soak(out_dir=str(tmp_path / "a"), **kw)
+        warm = run_soak(out_dir=str(tmp_path / "b"), **kw)
+        assert _soak_digest(cold) == _soak_digest(warm)
+        assert cache.stats.hits > 0
+
+    def test_compare_cache_round_trip(self, tmp_path):
+        cache = RunCache(str(tmp_path / "c"), namespace=COMPARE_NAMESPACE)
+        kw = dict(n=48, c=2, rcut=0.3, seed=0, cache=cache,
+                  algorithms=["allpairs", "cutoff"])
+        cold = compare_algorithms(GenericMachine(nranks=16), **kw)
+        warm = compare_algorithms(GenericMachine(nranks=16), **kw)
+        assert cache.stats.hits == len(warm.entries) == 2
+        for a, b in zip(cold.entries, warm.entries):
+            assert a.algorithm == b.algorithm
+            assert a.elapsed == b.elapsed
+            assert a.critical_bytes == b.critical_bytes
+            assert a.max_abs_dev == b.max_abs_dev
+            assert a.phase_table == b.phase_table
+            assert np.array_equal(a.run.forces, b.run.forces)
+
+    def test_schedfuzz_cache_round_trip(self, tmp_path):
+        cache = RunCache(str(tmp_path / "c"))
+        kw = dict(algorithms=["allpairs"], schedules=2, seed=1, cache=cache)
+        cold = run_schedfuzz(out_dir=str(tmp_path / "a"), **kw)
+        warm = run_schedfuzz(out_dir=str(tmp_path / "b"), **kw)
+        assert [asdict(c) for c in cold.checks] == \
+            [asdict(c) for c in warm.checks]
+        assert cold.ok and warm.ok
+        assert cache.stats.hits > 0
+
+    def test_validate_cache_round_trip(self, tmp_path):
+        kw = dict(cache=str(tmp_path / "c"))
+        cold = validate_models(["allpairs"], **kw)
+        warm = validate_models(["allpairs"], **kw)
+        assert cold.ok and warm.ok
+        assert cold.summary() == warm.summary()

@@ -64,6 +64,32 @@ class TestParser:
         assert args.command == "compare"
         assert args.algorithms == "allpairs,spatial"
 
+    def test_resilience_flags_on_every_fleet_command(self):
+        p = build_parser()
+        for command in ("compare", "soak", "schedfuzz", "sweep"):
+            args = p.parse_args([command, "--retry", "2",
+                                 "--task-timeout", "30", "--cache", "cdir"])
+            assert args.retry == 2
+            assert args.task_timeout == 30.0
+            assert args.cache == "cdir"
+        args = p.parse_args(["sweep", "--ranks", "4,16", "--cs", "1,2",
+                             "--expect-cached", "--quarantine", "q.json"])
+        assert args.ranks == "4,16" and args.expect_cached
+        assert args.quarantine == "q.json"
+
+    def test_retry_flag_becomes_a_policy(self):
+        from repro.cli import _retry_policy
+        from repro.core.parallel import RetryPolicy
+
+        p = build_parser()
+        assert _retry_policy(p.parse_args(["soak"])) is None
+        policy = _retry_policy(p.parse_args(
+            ["soak", "--retry", "3", "--retry-delay", "0.2"]))
+        assert isinstance(policy, RetryPolicy)
+        # --retry N means "N retries after the first attempt"
+        assert policy.max_attempts == 4
+        assert policy.base_delay == 0.2
+
 
 class TestFigures:
     def test_single_panel(self):

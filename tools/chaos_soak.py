@@ -50,9 +50,25 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="run trials across N worker processes "
                              "(0 = serial; the report is bitwise identical)")
+    parser.add_argument("--retry", type=int, default=0, metavar="K",
+                        help="retry crashed/hung/failed worker tasks up to "
+                             "K more times (default 0)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry any worker task still running "
+                             "after this many seconds")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="durable run cache: clean trial verdicts from "
+                             "identical earlier campaigns are served from "
+                             "DIR instead of recomputed")
     args = parser.parse_args(argv)
 
     from repro.experiments.soak import run_soak
+
+    retry = None
+    if args.retry:
+        from repro.core.parallel import RetryPolicy
+        retry = RetryPolicy(max_attempts=args.retry + 1)
 
     report = run_soak(
         trials=args.trials,
@@ -63,6 +79,9 @@ def main(argv=None) -> int:
         time_budget=args.time_budget,
         schedule=args.schedule,
         workers=args.workers,
+        retry=retry,
+        task_timeout=args.task_timeout,
+        cache=args.cache,
     )
     print(report.summary())
     if not report.ok:

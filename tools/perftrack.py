@@ -207,6 +207,50 @@ def bench_parallel_soak(smoke: bool) -> dict:
             "repeats": 1, "post": post}
 
 
+def bench_runcache_hit(smoke: bool) -> dict:
+    """Warm-cache sweep turnaround: every point served, zero recomputes.
+
+    A configuration sweep runs cold once in setup (engines execute,
+    results stored into a fresh :class:`~repro.core.runcache.RunCache`),
+    then the *same* sweep is timed warm — all cache hits, no engine
+    work.  The recorded ``speedup_vs_cold`` is the cache's whole value
+    proposition and the perf-guard test asserts it stays large; the
+    bench's own wall is the cache-probe overhead per sweep.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.runcache import RunCache
+    from repro.experiments.sweep import expand_grid, run_sweep
+
+    ps = (8,) if smoke else (16,)
+    ns = (32,) if smoke else (64, 128)
+    seeds = (0,) if smoke else (0, 1)
+    tasks, _ = expand_grid(["allpairs", "symmetric", "cutoff"],
+                           ps=ps, cs=(1, 2), ns=ns, seeds=seeds, rcut=0.3)
+    root = tempfile.mkdtemp(prefix="perftrack-runcache-")
+    cache = RunCache(root)
+
+    t0 = time.perf_counter()
+    cold = run_sweep(tasks, cache=cache)
+    cold_wall = time.perf_counter() - t0
+    assert cold.ok and cache.stats.stores == len(tasks)
+
+    def run():
+        report = run_sweep(tasks, cache=cache)
+        assert report.ok and not report.computed  # 100% served, 0 engines
+        return report
+
+    def post(entry):
+        entry["cold_wall_s"] = cold_wall
+        entry["tasks"] = len(tasks)
+        entry["speedup_vs_cold"] = cold_wall / entry["wall_s"]
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {"runner": run, "ops": len(tasks), "metric": "hits_per_s",
+            "post": post}
+
+
 def bench_heuristic_phase_advance(smoke: bool) -> dict:
     """Heuristic engine tier at scale: one CA all-pairs run at p = 10^4.
 
@@ -242,6 +286,7 @@ BENCHES = {
     "kernel_pairwise": bench_kernel_pairwise,
     "simulate_e2e": bench_simulate_e2e,
     "parallel_soak": bench_parallel_soak,
+    "runcache_hit": bench_runcache_hit,
     "heuristic_phase_advance": bench_heuristic_phase_advance,
 }
 
