@@ -44,6 +44,14 @@ Commands
     identical sweep is served from cache with zero engine recomputes.
     Tasks that fail every attempt land in a replayable ``--quarantine``
     JSON artifact.
+``serve [--host H] [--port P] [--cache DIR] [--workers N] ...``
+    Boot the sweep-orchestration service: a localhost HTTP daemon that
+    accepts batches of sweep descriptors (``POST /jobs``), deduplicates
+    them against the durable run cache and against identical in-flight
+    jobs (single-flight coalescing), executes cold work through the
+    supervised executor, and serves per-job status (``GET /jobs/<id>``),
+    service counters (``GET /stats``) and an HTML dashboard
+    (``GET /dashboard``).  See ``docs/service.md``.
 
 ``compare``, ``soak`` and ``schedfuzz`` accept the same ``--retry`` /
 ``--task-timeout`` / ``--cache`` resilience flags when running with
@@ -420,6 +428,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "served from the cache — CI uses this to "
                               "prove a warm cache does zero recomputation")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the sweep-orchestration service: an HTTP job queue "
+             "that dedupes against the run cache and in-flight jobs, "
+             "with /stats counters and an HTML /dashboard")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1; the "
+                              "service has no auth — keep it local)")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (default 8321; 0 picks an "
+                              "ephemeral port and prints it)")
+    p_serve.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="run cold jobs across N supervised worker "
+                              "processes (0 = serial, the default)")
+    _add_resilience_flags(p_serve)
+    p_serve.add_argument("--quarantine", default=None, metavar="FILE",
+                         help="write jobs that failed every attempt to a "
+                              "replayable JSON artifact at FILE")
+
     return parser
 
 
@@ -744,6 +771,11 @@ def _cmd_sweep(args, out) -> int:
         print("sweep: nothing to run (every algorithm was skipped)",
               file=sys.stderr)
         return 2
+    if args.expect_cached and not args.cache:
+        print("sweep: --expect-cached needs --cache DIR (without a cache "
+              "nothing can be served, so the assertion can never hold)",
+              file=sys.stderr)
+        return 2
     report = run_sweep(
         tasks, workers=args.workers, retry=_retry_policy(args),
         task_timeout=args.task_timeout, cache=args.cache,
@@ -769,7 +801,11 @@ def _cmd_sweep(args, out) -> int:
             fh.write("\n")
         print(f"records JSON: {args.out}", file=out)
     if args.expect_cached:
-        recomputed = [o for o in report.outcomes if o.status != "cached"]
+        # "coalesced" outcomes never touched an engine either — they
+        # shared an in-batch duplicate's (cached) result, so only
+        # computed/failed points break the zero-recompute promise.
+        recomputed = [o for o in report.outcomes
+                      if o.status not in ("cached", "coalesced")]
         if recomputed:
             print(f"SWEEP NOT FULLY CACHED: {len(recomputed)} of "
                   f"{len(report.outcomes)} points recomputed "
@@ -779,6 +815,28 @@ def _cmd_sweep(args, out) -> int:
     if not report.ok:
         print(f"SWEEP FAILED: {len(report.failures)} of "
               f"{len(report.outcomes)} points produced no result",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.service import JobQueue, serve
+
+    queue = JobQueue(
+        cache=args.cache, workers=args.workers, retry=_retry_policy(args),
+        task_timeout=args.task_timeout, quarantine=args.quarantine,
+    )
+    announce = (lambda line: print(line, file=out, flush=True))
+    try:
+        asyncio.run(serve(queue, host=args.host, port=args.port,
+                          announce=announce))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=out)
+    except OSError as exc:
+        print(f"repro serve: cannot bind {args.host}:{args.port} ({exc})",
               file=sys.stderr)
         return 1
     return 0
@@ -799,6 +857,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         "soak": _cmd_soak,
         "schedfuzz": _cmd_schedfuzz,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args, out)
 

@@ -164,12 +164,15 @@ class TaskOutcome:
     ``status`` is ``"ok"`` (value present), ``"failed"`` (the task raised
     on its last attempt), ``"timeout"`` (last attempt exceeded
     ``task_timeout`` and its worker was killed), ``"crashed"`` (the
-    worker died mid-task on the last attempt — SIGKILL/OOM), or
+    worker died mid-task on the last attempt — SIGKILL/OOM),
     ``"cached"`` (served from a :class:`~repro.core.runcache.RunCache`
-    without executing; ``attempts == 0``).  ``attempts`` counts attempts
-    actually consumed; crashes and timeouts consume an attempt just like
-    a raise, so a task whose worker is killed on attempt 1 retries as
-    attempt 2.
+    without executing; ``attempts == 0``), or ``"coalesced"``
+    (single-flight: a duplicate of another task in the same batch,
+    served that task's in-memory result without recomputing or
+    re-reading the cache; ``attempts == 0``).  ``attempts`` counts
+    attempts actually consumed; crashes and timeouts consume an attempt
+    just like a raise, so a task whose worker is killed on attempt 1
+    retries as attempt 2.
     """
 
     index: int
@@ -181,8 +184,8 @@ class TaskOutcome:
 
     @property
     def ok(self) -> bool:
-        """Whether this task produced a (computed or cached) value."""
-        return self.status in ("ok", "cached")
+        """Whether this task produced a (computed, cached or shared) value."""
+        return self.status in ("ok", "cached", "coalesced")
 
 
 class WorkerError(RuntimeError):

@@ -60,12 +60,39 @@ _BAD = object()
 
 @dataclass
 class CacheStats:
-    """Counters for one :class:`RunCache` instance's lifetime."""
+    """Counters for one :class:`RunCache` instance's lifetime.
+
+    The accounting contract (the service layer and ``repro sweep
+    --expect-cached`` treat these as the source of truth): every
+    :meth:`RunCache.get` increments exactly one of ``hits`` / ``misses``,
+    every :meth:`RunCache.put` increments ``stores`` exactly once, and a
+    computation must never read back the entry it just stored to serve
+    its own caller — doing so would double-count the lookup as a hit
+    (``tests/experiments/test_sweep.py::TestCacheAccounting`` locks
+    this).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when none)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-data snapshot — what ``/stats`` and dashboards serve."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions,
+                "hit_rate": self.hit_rate}
 
     def describe(self) -> str:
         """One log line: ``hits=.. misses=.. stores=.. evictions=..``."""

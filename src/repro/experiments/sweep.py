@@ -10,8 +10,10 @@ crash recovery) with a durable content-addressed result cache
 1. every descriptor is normalized (defaults filled, unknown keys
    rejected) and fingerprinted — :func:`task_fingerprint` is a pure
    function of the normalized descriptor;
-2. the cache is asked for each fingerprint; hits become
-   ``status="cached"`` outcomes without touching an engine;
+2. the cache is asked once per *unique* fingerprint; hits become
+   ``status="cached"`` outcomes without touching an engine, and
+   duplicate descriptors in the same batch are single-flighted into
+   ``status="coalesced"`` outcomes sharing the first instance's result;
 3. the misses run through the supervised executor (``workers``,
    ``retry``, ``task_timeout``); successful results are stored back;
 4. tasks that failed every attempt land in a replayable JSON quarantine
@@ -50,6 +52,7 @@ __all__ = [
     "normalize_task",
     "replay_quarantine",
     "run_sweep",
+    "sweep_task",
     "task_fingerprint",
 ]
 
@@ -126,12 +129,16 @@ def _build_machine(name: str, p: int):
     return factory(p)
 
 
-def _sweep_task(desc: dict) -> dict:
+def sweep_task(desc: dict) -> dict:
     """Run one sweep point — the (pure) parallel work unit.
 
     Returns the self-contained result record: comm-volume/makespan
     scalars plus the force/id arrays as raw bytes (``None`` for modeled
-    or heuristic-tier runs, which compute no forces).
+    or heuristic-tier runs, which compute no forces).  A pure function
+    of the normalized descriptor, which is what makes the run cache and
+    the service's single-flight coalescing sound — the record is
+    bitwise-identical however and wherever it is recomputed.  Shared
+    with :mod:`repro.service`, whose jobs are exactly these records.
     """
     from repro.core.runner import RunSpec, run
 
@@ -169,6 +176,10 @@ def _sweep_task(desc: dict) -> dict:
     return record
 
 
+#: Backward-compatible private alias (pre-service name of the work unit).
+_sweep_task = sweep_task
+
+
 @dataclass
 class SweepReport:
     """Every sweep point's outcome plus cache/quarantine accounting."""
@@ -187,6 +198,11 @@ class SweepReport:
     def cached(self) -> list[TaskOutcome]:
         """Outcomes served from the run cache without recomputation."""
         return [o for o in self.outcomes if o.status == "cached"]
+
+    @property
+    def coalesced(self) -> list[TaskOutcome]:
+        """In-batch duplicates served another point's result (single-flight)."""
+        return [o for o in self.outcomes if o.status == "coalesced"]
 
     @property
     def computed(self) -> list[TaskOutcome]:
@@ -252,21 +268,39 @@ def run_sweep(
     JSON artifact for tasks that failed every attempt.  Never raises on
     task failure — inspect :attr:`SweepReport.failures` /
     :attr:`SweepReport.ok`.
+
+    Duplicate descriptors within one batch are **single-flighted**: only
+    the first instance of a fingerprint consults the cache and (on a
+    miss) executes; the duplicates share its in-memory result as
+    ``status="coalesced"`` outcomes.  That keeps the
+    :class:`~repro.core.runcache.CacheStats` accounting exact — one
+    lookup and at most one store per unique fingerprint, and a freshly
+    stored entry is never immediately re-read to serve its own batch
+    (which would double-count the computation as a cache hit).
     """
     descs = [normalize_task(t) for t in tasks]
     store = resolve_cache(cache, namespace=SWEEP_NAMESPACE)
     outcomes: list[TaskOutcome | None] = [None] * len(descs)
     misses: list[int] = []
+    first_by_fp: dict[str, int] = {}
+    followers: dict[int, list[int]] = {}
     for i, d in enumerate(descs):
+        fp = task_fingerprint(d)
+        leader = first_by_fp.get(fp)
+        if leader is not None:
+            # Single-flight: defer until the leader's outcome is known.
+            followers.setdefault(leader, []).append(i)
+            continue
+        first_by_fp[fp] = i
         if store is not None:
-            hit = store.get(task_fingerprint(d))
+            hit = store.get(fp)
             if hit is not MISS:
                 outcomes[i] = TaskOutcome(index=i, status="cached",
                                           value=hit, attempts=0)
                 continue
         misses.append(i)
     if misses:
-        ran = run_supervised(_sweep_task, [descs[i] for i in misses],
+        ran = run_supervised(sweep_task, [descs[i] for i in misses],
                              workers=workers, retry=retry,
                              task_timeout=task_timeout)
         for i, outcome in zip(misses, ran):
@@ -274,6 +308,18 @@ def run_sweep(
             outcomes[i] = outcome
             if outcome.status == "ok" and store is not None:
                 store.put(task_fingerprint(descs[i]), outcome.value)
+    for leader, dupes in followers.items():
+        lead = outcomes[leader]
+        for i in dupes:
+            if lead is not None and lead.ok:
+                outcomes[i] = TaskOutcome(index=i, status="coalesced",
+                                          value=lead.value, attempts=0)
+            else:
+                # The leader failed; the duplicate shares its fate (same
+                # fingerprint, same bits) without consuming attempts.
+                outcomes[i] = TaskOutcome(
+                    index=i, status=lead.status if lead else "failed",
+                    error=lead.error if lead else None, attempts=0)
     done: list[TaskOutcome] = outcomes  # type: ignore[assignment]
     quarantine_path = None
     if quarantine:

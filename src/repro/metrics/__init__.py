@@ -16,7 +16,10 @@ observability:
 * :mod:`repro.metrics.validate` — the model-validation pass: measured S
   (messages) and W (words) per algorithm against the closed forms in
   :mod:`repro.theory`, across a (p, c, n) sweep, with constant-factor
-  tolerance bands.  ``tools/metrics_gate.py`` enforces it in CI.
+  tolerance bands.  ``tools/metrics_gate.py`` enforces it in CI;
+* :mod:`repro.metrics.service` — the service-layer counter/gauge schema
+  (submitted / cache-hit / coalesced / computed / failed jobs, queue
+  depth) that ``python -m repro serve`` maintains and ``/stats`` serves.
 
 See `docs/observability.md` for the full tour.
 """
@@ -24,6 +27,12 @@ See `docs/observability.md` for the full tour.
 from repro.metrics.chrometrace import chrome_trace, write_chrome_trace
 from repro.metrics.collect import collect_run_metrics, record_engine_run
 from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.metrics.service import (
+    SERVICE_COUNTERS,
+    SERVICE_GAUGES,
+    install_service_metrics,
+    service_snapshot,
+)
 from repro.metrics.validate import (
     ALGORITHM_ALIASES,
     MODEL_CASES,
@@ -46,11 +55,15 @@ __all__ = [
     "MetricsRegistry",
     "ModelCase",
     "PointResult",
+    "SERVICE_COUNTERS",
+    "SERVICE_GAUGES",
     "ValidationReport",
     "chrome_trace",
     "collect_run_metrics",
+    "install_service_metrics",
     "record_engine_run",
     "resolve_algorithm",
+    "service_snapshot",
     "validate_case",
     "validate_models",
     "write_chrome_trace",

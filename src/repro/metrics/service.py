@@ -1,0 +1,81 @@
+"""The service-layer metric schema: job counters and queue gauges.
+
+:mod:`repro.service` accounts for every submission it sees with the same
+:class:`~repro.metrics.registry.MetricsRegistry` primitives runs use, so
+one ``/stats`` snapshot (or a dashboard render) is a plain registry
+export.  This module pins the schema — names are part of the service's
+API surface (tests and the CI smoke assert on them), so they live here
+rather than as string literals inside the queue:
+
+==============================  =========================================
+``service.jobs.submitted``      every job descriptor received, valid or
+                                duplicate (labeled ``algorithm=``)
+``service.jobs.cache_hits``     submissions served O(1) from the durable
+                                run cache or an already-completed job
+``service.jobs.coalesced``      submissions attached to an identical
+                                in-flight job (single-flight dedup)
+``service.jobs.computed``       jobs that actually executed an engine run
+``service.jobs.failed``         jobs whose every attempt failed
+``service.queue.depth``         gauge: jobs currently queued or running
+==============================  =========================================
+
+The determinism contract means the counters partition perfectly: every
+submission is exactly one of cache-hit, coalesced, or the head of a job
+that ends computed or failed.  ``served_without_compute = cache_hits +
+coalesced`` is the number a production deployment wants to maximize.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.registry import Counter, Gauge, MetricsRegistry
+
+__all__ = [
+    "SERVICE_COUNTERS",
+    "SERVICE_GAUGES",
+    "install_service_metrics",
+    "service_snapshot",
+]
+
+#: Counter names the service maintains, in reporting order.
+SERVICE_COUNTERS = (
+    "service.jobs.submitted",
+    "service.jobs.cache_hits",
+    "service.jobs.coalesced",
+    "service.jobs.computed",
+    "service.jobs.failed",
+)
+
+#: Gauge names the service maintains.
+SERVICE_GAUGES = ("service.queue.depth",)
+
+
+def install_service_metrics(metrics: MetricsRegistry) -> MetricsRegistry:
+    """Pre-register every service series at zero so exports are stable.
+
+    A registry only contains series that were touched; pre-registering
+    means an idle service still exports the full schema (a dashboard or
+    scraper never has to special-case "counter missing vs. zero").
+    Returns the registry for chaining.
+    """
+    for name in SERVICE_COUNTERS:
+        metrics.counter(name)
+    for name in SERVICE_GAUGES:
+        metrics.gauge(name)
+    return metrics
+
+
+def service_snapshot(metrics: MetricsRegistry) -> dict:
+    """The unlabeled service series as a flat ``{name: value}`` dict.
+
+    Per-algorithm labeled series (``service.jobs.submitted{algorithm=…}``)
+    are summarized separately by the dashboard; this flat form is what
+    ``/stats`` serves and what the smoke gate asserts on.
+    """
+    snap: dict = {}
+    for name in SERVICE_COUNTERS + SERVICE_GAUGES:
+        metric = metrics.get(name)
+        if metric is None or not isinstance(metric, (Counter, Gauge)):
+            snap[name] = 0
+        else:
+            snap[name] = metric.value
+    return snap

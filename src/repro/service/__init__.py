@@ -1,0 +1,52 @@
+"""The sweep-orchestration service: an async job queue over the run cache.
+
+``python -m repro serve`` boots a localhost HTTP daemon that accepts
+batches of sweep descriptors (the exact schema ``repro sweep`` runs),
+deduplicates them against the durable
+:class:`~repro.core.runcache.RunCache` *and* against identical in-flight
+jobs (single-flight coalescing), and schedules the genuinely cold work
+through the supervised parallel executor — so N clients asking for
+overlapping sweeps pay for each unique point exactly once, ever.
+
+Everything is standard library (``asyncio`` streams for the server,
+``urllib`` for the client); the compute, caching, retry/quarantine and
+metrics machinery is reused unchanged from the rest of the codebase.
+The determinism contract is inherited from
+:func:`~repro.experiments.sweep.sweep_task` being a pure function of
+the normalized descriptor: a job's result record is bitwise-identical
+whether it was computed cold, served from the durable cache, or shared
+via coalescing.
+
+Layout:
+
+* :mod:`repro.service.jobs` — :class:`Job` / :class:`JobQueue`: the
+  submission-resolution order, the drain loop, the accounting;
+* :mod:`repro.service.server` — the asyncio HTTP front end
+  (:class:`ReproService`), :func:`serve` for the CLI, and
+  :class:`ServiceThread` for tests/CI;
+* :mod:`repro.service.dashboard` — the self-contained ``/dashboard``
+  HTML renderer;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
+  HTTP client.
+
+See ``docs/service.md`` for the API reference and a curl walkthrough,
+and ``docs/architecture.md`` for where the service sits in the stack.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.dashboard import render_dashboard
+from repro.service.jobs import Job, JobQueue, encode_record, job_id
+from repro.service.server import ReproService, ServiceThread, serve
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceThread",
+    "encode_record",
+    "job_id",
+    "render_dashboard",
+    "serve",
+]

@@ -1,0 +1,122 @@
+"""A stdlib HTTP client for the service — tests, tools, and scripts.
+
+Thin ``urllib`` wrappers over the endpoints of
+:mod:`repro.service.server`, so nothing outside the standard library is
+needed to drive a running service.  JSON in, JSON out;
+:meth:`ServiceClient.record` additionally decodes the base64 array
+fields back to raw bytes, making a fetched record bitwise-comparable to
+what :func:`repro.experiments.sweep.sweep_task` returned on the server.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service.
+
+    Carries :attr:`status` (the HTTP code) and :attr:`detail` (the
+    server's ``error`` message), so callers can branch on 400 vs 404 vs
+    409 without parsing strings.
+    """
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(f"service returned {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class ServiceClient:
+    """Synchronous client bound to one service base URL.
+
+    ``base_url`` is e.g. ``http://127.0.0.1:8321`` (no trailing slash
+    needed); ``timeout`` applies per request.  Every method maps 1:1 to
+    an endpoint — see ``docs/service.md`` for the payload schemas.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload=None):
+        """One HTTP round trip; JSON-decodes ``application/json`` bodies."""
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.base_url + path, data=data,
+                                     method=method, headers=headers)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                body = resp.read()
+                ctype = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                detail = json.loads(raw).get("error", raw.decode("utf-8",
+                                                                 "replace"))
+            except ValueError:
+                detail = raw.decode("utf-8", "replace")
+            raise ServiceError(exc.code, detail) from None
+        if ctype.startswith("application/json"):
+            return json.loads(body)
+        return body.decode()
+
+    def health(self) -> dict:
+        """``GET /healthz`` — liveness."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, jobs: list[dict]) -> list[dict]:
+        """``POST /jobs`` — submit descriptors; returns the entry list."""
+        return self._request("POST", "/jobs", {"jobs": jobs})["jobs"]
+
+    def jobs(self) -> list[dict]:
+        """``GET /jobs`` — every job summary, submission order."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, jid: str, *, wait: float | None = None) -> dict:
+        """``GET /jobs/<id>`` — one summary; ``wait`` long-polls seconds."""
+        suffix = f"?wait={wait:g}" if wait is not None else ""
+        return self._request("GET", f"/jobs/{jid}{suffix}")
+
+    def record(self, jid: str) -> dict:
+        """``GET /jobs/<id>/record`` — the full record, arrays as bytes."""
+        payload = self._request("GET", f"/jobs/{jid}/record")
+        record = payload["record"]
+        for key in ("forces", "ids"):
+            if record.get(key) is not None:
+                record[key] = base64.b64decode(record[key])
+        return payload
+
+    def stats(self) -> dict:
+        """``GET /stats`` — service counters + cache stats + job tally."""
+        return self._request("GET", "/stats")
+
+    def dashboard(self) -> str:
+        """``GET /dashboard`` — the self-contained HTML page."""
+        return self._request("GET", "/dashboard")
+
+    def wait(self, jid: str, *, timeout: float = 120.0) -> dict:
+        """Poll (server-side long-poll) until ``jid`` completes.
+
+        Returns the final summary (``status`` is ``done`` or ``failed``);
+        raises ``TimeoutError`` if the job is still pending after
+        ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {jid} still pending after {timeout}s")
+            snap = self.job(jid, wait=min(remaining, 30.0))
+            if snap["status"] in ("done", "failed"):
+                return snap

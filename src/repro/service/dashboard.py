@@ -1,0 +1,335 @@
+"""Server-rendered HTML dashboard for a live :class:`JobQueue`.
+
+One self-contained page — inline CSS, no scripts, no external fetches —
+so the CI smoke can upload it as a build artifact and it renders
+identically from disk.  The layout follows the house data-viz rules:
+
+* headline numbers are **stat tiles** (queue depth, submissions, the
+  served-without-compute rate, computed, failed), not gauges or donuts;
+* per-algorithm completions are a single-series horizontal **bar
+  chart** — one hue (the categorical slot-1 blue), bars anchored to a
+  shared baseline with rounded data-ends, a 2px surface gap between
+  bars, and the exact value direct-labeled at each bar end in text ink
+  (text never wears the series color);
+* the same numbers appear again as a **table** (the accessible view),
+  alongside the cache-stats and recent-jobs tables;
+* status is never color alone: failed/quarantined rows pair the
+  reserved status colors with a glyph and the status word.
+
+Light and dark palettes are both declared (``prefers-color-scheme``);
+the dark steps are the palette's own dark-surface values, not an
+automatic inversion.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.service.jobs import Job, JobQueue
+
+__all__ = ["render_dashboard"]
+
+#: How many of the most recent jobs the jobs table shows.
+RECENT_JOBS = 50
+
+_STYLE = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 980px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; color: var(--ink-1); }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  flex: 1 1 150px; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px; padding: 14px 16px;
+}
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .label { color: var(--ink-2); font-size: 12px; margin-top: 2px; }
+.tile .note { color: var(--ink-muted); font-size: 12px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px;
+}
+.barrow { display: flex; align-items: center; gap: 10px; margin: 0 0 2px; }
+.barrow .name {
+  flex: 0 0 170px; text-align: right; color: var(--ink-2); font-size: 13px;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap;
+}
+.barrow .track {
+  flex: 1 1 auto; display: flex; align-items: center; gap: 8px;
+  border-left: 1px solid var(--baseline); padding: 1px 0;
+}
+.barrow .bar {
+  height: 18px; background: var(--series-1);
+  border-radius: 0 4px 4px 0; min-width: 2px;
+}
+.barrow .val {
+  color: var(--ink-2); font-size: 12px;
+  font-variant-numeric: tabular-nums;
+}
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th {
+  text-align: left; color: var(--ink-muted); font-weight: 500;
+  border-bottom: 1px solid var(--baseline); padding: 6px 10px 6px 0;
+}
+td {
+  padding: 6px 10px 6px 0; border-bottom: 1px solid var(--grid);
+  vertical-align: top;
+}
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+code {
+  font: 12px/1.4 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+  color: var(--ink-2);
+}
+.ok { color: var(--status-good); }
+.bad { color: var(--status-critical); }
+.pend { color: var(--ink-muted); }
+.empty { color: var(--ink-muted); }
+footer { margin-top: 28px; color: var(--ink-muted); font-size: 12px; }
+"""
+
+#: Status glyph + word, so state never rides on color alone.
+_STATUS = {
+    "done": ("ok", "✓ done"),
+    "failed": ("bad", "✕ failed"),
+    "running": ("pend", "▸ running"),
+    "queued": ("pend", "⋯ queued"),
+}
+
+
+def _esc(value) -> str:
+    """HTML-escape any value's string form."""
+    return html.escape(str(value))
+
+
+def _tile(value: str, label: str, note: str = "") -> str:
+    """One stat tile."""
+    note_html = f'<div class="note">{_esc(note)}</div>' if note else ""
+    return (f'<div class="tile"><div class="value">{_esc(value)}</div>'
+            f'<div class="label">{_esc(label)}</div>{note_html}</div>')
+
+
+def _status_cell(job: "Job") -> str:
+    """The status column: glyph + word (+ quarantine flag), color-coded."""
+    cls, text = _STATUS.get(job.status, ("pend", job.status))
+    if job.quarantined:
+        text += " (quarantined)"
+    return f'<span class="{cls}">{_esc(text)}</span>'
+
+
+def _knobs(task: dict) -> str:
+    """The descriptor knobs as one compact code string."""
+    parts = [f"p={task['p']} c={task['c']} n={task['n']} seed={task['seed']}"]
+    for key in ("rcut", "dim", "hyper_k"):
+        if task.get(key) is not None:
+            parts.append(f"{key}={task[key]}")
+    if task.get("engine_tier") != "event":
+        parts.append(f"tier={task['engine_tier']}")
+    if task.get("machine") != "generic":
+        parts.append(f"machine={task['machine']}")
+    return " ".join(parts)
+
+
+def _algorithm_rows(jobs: list["Job"]) -> list[dict]:
+    """Per-algorithm aggregates over completed jobs, most-completed first."""
+    agg: dict[str, dict] = {}
+    for job in jobs:
+        row = agg.setdefault(job.task["algorithm"], {
+            "algorithm": job.task["algorithm"], "done": 0, "computed": 0,
+            "served": 0, "failed": 0, "elapsed": 0.0})
+        if job.status == "done":
+            row["done"] += 1
+            if job.source == "computed":
+                row["computed"] += 1
+                row["elapsed"] += float(job.result["elapsed"])
+            else:
+                row["served"] += 1
+        elif job.status == "failed":
+            row["failed"] += 1
+    return sorted(agg.values(),
+                  key=lambda r: (-r["done"], r["algorithm"]))
+
+
+def _bar_chart(rows: list[dict]) -> str:
+    """The completed-jobs-by-algorithm bars (single series, direct labels)."""
+    rows = [r for r in rows if r["done"] > 0]
+    if not rows:
+        return '<p class="empty">No completed jobs yet.</p>'
+    peak = max(r["done"] for r in rows)
+    out = []
+    for r in rows:
+        width = 100.0 * r["done"] / peak if peak else 0.0
+        out.append(
+            f'<div class="barrow"><div class="name">{_esc(r["algorithm"])}'
+            f'</div><div class="track"><div class="bar" '
+            f'style="width:{width:.2f}%"></div>'
+            f'<span class="val">{r["done"]}</span></div></div>')
+    return "".join(out)
+
+
+def _algorithm_table(rows: list[dict]) -> str:
+    """The accessible table view behind the bar chart."""
+    if not rows:
+        return ""
+    body = []
+    for r in rows:
+        rate = (f"{r['computed'] / r['elapsed']:.2f}"
+                if r["elapsed"] > 0 else "—")
+        body.append(
+            f"<tr><td>{_esc(r['algorithm'])}</td>"
+            f'<td class="num">{r["done"]}</td>'
+            f'<td class="num">{r["computed"]}</td>'
+            f'<td class="num">{r["served"]}</td>'
+            f'<td class="num">{r["failed"]}</td>'
+            f'<td class="num">{r["elapsed"]:.3f}</td>'
+            f'<td class="num">{_esc(rate)}</td></tr>')
+    return (
+        '<table><thead><tr><th>algorithm</th><th class="num">done</th>'
+        '<th class="num">computed</th><th class="num">served</th>'
+        '<th class="num">failed</th><th class="num">engine s</th>'
+        '<th class="num">jobs/s</th></tr></thead>'
+        f'<tbody>{"".join(body)}</tbody></table>')
+
+
+def _jobs_table(jobs: list["Job"]) -> str:
+    """The recent-jobs table (latest :data:`RECENT_JOBS`, newest first)."""
+    if not jobs:
+        return '<p class="empty">No jobs submitted yet.</p>'
+    recent = sorted(jobs, key=lambda j: -j.seq)[:RECENT_JOBS]
+    rows = []
+    for job in recent:
+        elapsed = (f"{job.result['elapsed']:.3f}"
+                   if job.status == "done" and job.result else "—")
+        source = job.source or "—"
+        rows.append(
+            f"<tr><td><code>{_esc(job.id)}</code></td>"
+            f"<td>{_esc(job.task['algorithm'])}</td>"
+            f"<td><code>{_esc(_knobs(job.task))}</code></td>"
+            f"<td>{_status_cell(job)}</td><td>{_esc(source)}</td>"
+            f'<td class="num">{job.attempts}</td>'
+            f'<td class="num">{job.submissions}</td>'
+            f'<td class="num">{elapsed}</td></tr>')
+    note = ""
+    if len(jobs) > RECENT_JOBS:
+        note = (f'<p class="empty">Showing the latest {RECENT_JOBS} '
+                f"of {len(jobs)} jobs.</p>")
+    return (
+        "<table><thead><tr><th>id</th><th>algorithm</th><th>config</th>"
+        '<th>status</th><th>source</th><th class="num">attempts</th>'
+        '<th class="num">submissions</th><th class="num">elapsed s</th>'
+        f'</tr></thead><tbody>{"".join(rows)}</tbody></table>{note}')
+
+
+def _failures_table(jobs: list["Job"]) -> str:
+    """Failed / quarantined jobs with their last error line."""
+    failed = [j for j in jobs if j.status == "failed"]
+    if not failed:
+        return ""
+    rows = []
+    for job in sorted(failed, key=lambda j: -j.seq):
+        last = (job.error or "").strip().splitlines()
+        rows.append(
+            f"<tr><td><code>{_esc(job.id)}</code></td>"
+            f"<td>{_esc(job.task['algorithm'])}</td>"
+            f"<td>{_status_cell(job)}</td>"
+            f"<td>{_esc(job.failure or 'failed')}</td>"
+            f"<td><code>{_esc(last[-1] if last else 'no detail')}</code>"
+            f"</td></tr>")
+    return (
+        "<h2>Failed jobs</h2><div class=\"card\">"
+        "<table><thead><tr><th>id</th><th>algorithm</th><th>status</th>"
+        "<th>verdict</th><th>last error line</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table></div>')
+
+
+def _cache_table(queue: "JobQueue") -> str:
+    """The durable-cache stats table (or a no-cache note)."""
+    if queue.store is None:
+        return ('<p class="empty">No durable cache configured '
+                "(<code>--cache DIR</code>).</p>")
+    s = queue.store.stats
+    return (
+        '<table><thead><tr><th class="num">hits</th>'
+        '<th class="num">misses</th><th class="num">stores</th>'
+        '<th class="num">evictions</th><th class="num">hit rate</th>'
+        "</tr></thead><tbody><tr>"
+        f'<td class="num">{s.hits}</td><td class="num">{s.misses}</td>'
+        f'<td class="num">{s.stores}</td><td class="num">{s.evictions}</td>'
+        f'<td class="num">{100.0 * s.hit_rate:.1f}%</td>'
+        "</tr></tbody></table>"
+        f'<p class="empty">Cache root: <code>{_esc(queue.store.root)}</code>'
+        "</p>")
+
+
+def render_dashboard(queue: "JobQueue") -> str:
+    """The complete ``/dashboard`` page for the queue's current state."""
+    from repro.metrics import service_snapshot
+
+    snap = service_snapshot(queue.metrics)
+    jobs = queue.ordered_jobs()
+    submitted = snap["service.jobs.submitted"]
+    served = (snap["service.jobs.cache_hits"]
+              + snap["service.jobs.coalesced"])
+    served_rate = 100.0 * served / submitted if submitted else 0.0
+    rows = _algorithm_rows(jobs)
+    tiles = "".join([
+        _tile(str(int(snap["service.queue.depth"])), "queue depth",
+              "queued + running"),
+        _tile(str(submitted), "submissions"),
+        _tile(f"{served_rate:.1f}%", "served without compute",
+              f"{served} of {submitted} (cache + coalesced)"),
+        _tile(str(snap["service.jobs.computed"]), "computed"),
+        _tile(str(snap["service.jobs.failed"]), "failed"),
+    ])
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro serve — sweep orchestration</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<main>
+<h1>repro serve</h1>
+<p class="sub">Sweep-orchestration service over the durable run cache
+(namespace <code>sweep-v1</code>). Reload for fresh numbers.</p>
+<section class="tiles">{tiles}</section>
+<h2>Completed jobs by algorithm</h2>
+<div class="card">{_bar_chart(rows)}{_algorithm_table(rows)}</div>
+<h2>Durable cache</h2>
+<div class="card">{_cache_table(queue)}</div>
+<h2>Recent jobs</h2>
+<div class="card">{_jobs_table(jobs)}</div>
+{_failures_table(jobs)}
+<footer>Rendered by <code>python -m repro serve</code> —
+see <code>docs/service.md</code> for the API.</footer>
+</main>
+</body>
+</html>
+"""

@@ -1,0 +1,381 @@
+"""The service's job model and asyncio work queue.
+
+A *job* is one sweep point — a normalized descriptor (the exact schema
+of :func:`repro.experiments.sweep.normalize_task`) plus its lifecycle
+state.  The :class:`JobQueue` owns every job the service has ever seen,
+keyed by a deterministic id derived from the descriptor fingerprint, and
+resolves each submission in a fixed order that keeps the
+:class:`~repro.core.runcache.CacheStats` accounting exact:
+
+1. **Known job** — a submission whose fingerprint matches an existing
+   job attaches to it: a queued/running job coalesces (single-flight —
+   one computation serves every concurrent submitter), a completed job
+   is served O(1) from its in-memory result (counted as a cache hit —
+   the durable store is *not* re-read, so a store never double-counts
+   the entry it just wrote), and a failed job is re-enqueued for a fresh
+   attempt.
+2. **Durable cache** — a first-time fingerprint consults the
+   :class:`~repro.core.runcache.RunCache` (shared namespace
+   :data:`~repro.experiments.sweep.SWEEP_NAMESPACE`, so ``repro sweep``
+   and ``repro serve`` share entries); a hit completes the job without
+   any compute.
+3. **Compute** — misses queue for the drain loop, which batches them
+   through :func:`repro.core.parallel.run_supervised` (retry / timeout /
+   crash containment) off the event loop via ``asyncio.to_thread``.
+   Successful results are stored back; terminal failures are written to
+   the replayable quarantine artifact when one is configured.
+
+Because :func:`~repro.experiments.sweep.sweep_task` is a pure function
+of the normalized descriptor, a job's result record is bitwise-identical
+whichever of the three paths served it — the integration suite and the
+CI smoke assert exactly that.
+
+:meth:`JobQueue.submit` is deliberately synchronous (no awaits), so an
+entire batch is admitted atomically with respect to the drain loop: N
+identical descriptors in one request deterministically become one
+computation and N-1 coalesced submissions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.parallel import (
+    RetryPolicy, TaskOutcome, run_supervised, write_quarantine,
+)
+from repro.core.runcache import MISS, RunCache, resolve_cache
+from repro.experiments.sweep import (
+    SWEEP_NAMESPACE, normalize_task, sweep_task, task_fingerprint,
+)
+from repro.metrics import MetricsRegistry, install_service_metrics, service_snapshot
+
+__all__ = ["Job", "JobQueue", "encode_record", "job_id"]
+
+
+def job_id(fingerprint: str) -> str:
+    """The deterministic job id for a descriptor fingerprint.
+
+    A 16-hex-digit sha256 prefix — stable across restarts and across
+    clients, so resubmitting a descriptor always addresses the same job
+    (that determinism is what makes coalescing and O(1) duplicate
+    detection possible without any server-side session state).
+    """
+    return hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
+
+
+def _digest(blob: bytes | None) -> str | None:
+    """sha256 hex digest of an array payload (``None`` stays ``None``)."""
+    return None if blob is None else hashlib.sha256(blob).hexdigest()
+
+
+def encode_record(record: dict) -> dict:
+    """A result record with its raw byte fields made JSON-safe.
+
+    The sweep record carries force/id arrays as raw bytes; HTTP responses
+    carry them base64-encoded under the same keys (``None`` passes
+    through).  :meth:`repro.service.client.ServiceClient.record` decodes
+    them back to bytes, so a round trip is bitwise-lossless.
+    """
+    out = dict(record)
+    for key in ("forces", "ids"):
+        if out.get(key) is not None:
+            out[key] = base64.b64encode(out[key]).decode("ascii")
+    return out
+
+
+@dataclass
+class Job:
+    """One sweep point's lifecycle inside the service.
+
+    ``status`` walks ``queued -> running -> done | failed``; jobs served
+    from the durable cache are born ``done``.  ``source`` records how
+    the result materialized (``"computed"`` or ``"cache"``); ``failure``
+    preserves the underlying executor verdict (``failed`` / ``timeout``
+    / ``crashed``) when ``status == "failed"``.  ``submissions`` counts
+    every time this fingerprint was submitted (the coalescing tally).
+    """
+
+    id: str
+    task: dict
+    fingerprint: str
+    seq: int
+    status: str = "queued"
+    source: str | None = None
+    result: dict | None = None
+    error: str | None = None
+    failure: str | None = None
+    attempts: int = 0
+    submissions: int = 1
+    quarantined: bool = False
+    #: Set exactly once per completion; pollers with ``?wait=`` block on it.
+    done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    def summary(self) -> dict:
+        """The JSON form ``GET /jobs/<id>`` serves (no array payloads).
+
+        Array contents are represented by sha256 digests so clients can
+        assert bitwise identity across the cold / cached / coalesced
+        paths without shipping megabytes; the full record (base64
+        arrays) lives at ``/jobs/<id>/record``.
+        """
+        out = {
+            "id": self.id,
+            "status": self.status,
+            "source": self.source,
+            "cached": self.source == "cache",
+            "task": dict(self.task),
+            "fingerprint": self.fingerprint,
+            "attempts": self.attempts,
+            "submissions": self.submissions,
+            "quarantined": self.quarantined,
+            "error": self.error,
+            "failure": self.failure,
+            "result": None,
+        }
+        if self.result is not None:
+            r = self.result
+            out["result"] = {
+                "algorithm": r["algorithm"],
+                "elapsed": r["elapsed"],
+                "critical_messages": r["critical_messages"],
+                "critical_bytes": r["critical_bytes"],
+                "forces_sha256": _digest(r["forces"]),
+                "forces_dtype": r["forces_dtype"],
+                "forces_shape": r["forces_shape"],
+                "ids_sha256": _digest(r["ids"]),
+                "ids_dtype": r["ids_dtype"],
+            }
+        return out
+
+
+class JobQueue:
+    """Submission resolution, the drain loop, and the service's accounting.
+
+    Owns the job table, the durable :class:`RunCache` (optional), the
+    supervised-executor knobs, and the
+    :class:`~repro.metrics.registry.MetricsRegistry` holding the
+    ``service.*`` schema.  Runs entirely on one event loop: every public
+    mutator is either synchronous (called from request handlers between
+    awaits) or an ``async`` method of that loop, so there is no locking.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: RunCache | str | None = None,
+        workers: int = 0,
+        retry: RetryPolicy | int | None = None,
+        task_timeout: float | None = None,
+        quarantine: str | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.metrics = install_service_metrics(
+            metrics if metrics is not None else MetricsRegistry())
+        self.store = resolve_cache(cache, namespace=SWEEP_NAMESPACE)
+        self.workers = workers
+        self.retry = retry
+        self.task_timeout = task_timeout
+        self.quarantine = quarantine
+        #: Every job ever admitted, keyed by :func:`job_id`.
+        self.jobs: dict[str, Job] = {}
+        self._pending: asyncio.Queue = asyncio.Queue()
+        self._runner: asyncio.Task | None = None
+        self._seq = 0
+        self._quarantined_tasks: list[dict] = []
+        self._quarantined_outcomes: list[TaskOutcome] = []
+        self._quarantine_index: dict[str, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the drain loop (idempotent)."""
+        if self._runner is None:
+            self._runner = asyncio.create_task(
+                self._drain(), name="repro-service-drain")
+
+    async def aclose(self) -> None:
+        """Cancel the drain loop and wait for it to unwind."""
+        if self._runner is not None:
+            self._runner.cancel()
+            try:
+                await self._runner
+            except asyncio.CancelledError:
+                pass
+            self._runner = None
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, descriptors: list[dict]) -> list[dict]:
+        """Admit a batch of descriptors; returns one entry dict per input.
+
+        The whole batch is validated up front (``ValueError`` from
+        :func:`~repro.experiments.sweep.normalize_task` rejects it
+        atomically — nothing is enqueued), then admitted without any
+        await point, so in-batch duplicates deterministically coalesce.
+        Each entry is ``{"id", "status", "cached", "coalesced"}``.
+        """
+        descs = [normalize_task(d) for d in descriptors]
+        entries = [self._admit(d) for d in descs]
+        self._update_depth()
+        return entries
+
+    def _admit(self, desc: dict) -> dict:
+        """Resolve one normalized descriptor per the module-doc order."""
+        fp = task_fingerprint(desc)
+        jid = job_id(fp)
+        self.metrics.counter("service.jobs.submitted").inc()
+        self.metrics.counter("service.jobs.submitted",
+                             algorithm=desc["algorithm"]).inc()
+        job = self.jobs.get(jid)
+        if job is not None:
+            job.submissions += 1
+            if job.status in ("queued", "running"):
+                self.metrics.counter("service.jobs.coalesced").inc()
+                return {"id": jid, "status": job.status,
+                        "cached": False, "coalesced": True}
+            if job.status == "done":
+                # Served from the completed job's in-memory result; the
+                # durable store is NOT re-read (see module docstring).
+                self.metrics.counter("service.jobs.cache_hits").inc()
+                return {"id": jid, "status": "done",
+                        "cached": True, "coalesced": False}
+            # Failed: the submitter asked again, so grant a fresh attempt.
+            job.status = "queued"
+            job.error = None
+            job.failure = None
+            job.source = None
+            job.attempts = 0
+            job.done = asyncio.Event()
+            self._pending.put_nowait(job)
+            return {"id": jid, "status": "queued",
+                    "cached": False, "coalesced": False}
+        self._seq += 1
+        job = Job(id=jid, task=desc, fingerprint=fp, seq=self._seq)
+        self.jobs[jid] = job
+        if self.store is not None:
+            hit = self.store.get(fp)
+            if hit is not MISS:
+                job.status = "done"
+                job.source = "cache"
+                job.result = hit
+                job.done.set()
+                self.metrics.counter("service.jobs.cache_hits").inc()
+                return {"id": jid, "status": "done",
+                        "cached": True, "coalesced": False}
+        self._pending.put_nowait(job)
+        return {"id": jid, "status": "queued",
+                "cached": False, "coalesced": False}
+
+    # -- execution ----------------------------------------------------------
+
+    async def _drain(self) -> None:
+        """The forever loop: batch queued jobs through the executor."""
+        while True:
+            job = await self._pending.get()
+            batch = [job]
+            while True:
+                try:
+                    batch.append(self._pending.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            batch = [j for j in batch if j.status == "queued"]
+            if not batch:
+                continue
+            for j in batch:
+                j.status = "running"
+            self._update_depth()
+            outcomes = await asyncio.to_thread(
+                run_supervised, sweep_task, [j.task for j in batch],
+                workers=self.workers, retry=self.retry,
+                task_timeout=self.task_timeout)
+            self._settle(batch, outcomes)
+            self._update_depth()
+
+    def _settle(self, batch: list[Job], outcomes: list[TaskOutcome]) -> None:
+        """Fold executor outcomes back into jobs; store, count, quarantine."""
+        for job, outcome in zip(batch, outcomes):
+            job.attempts = outcome.attempts
+            if outcome.status == "ok":
+                job.result = outcome.value
+                job.status = "done"
+                job.source = "computed"
+                self.metrics.counter("service.jobs.computed").inc()
+                self.metrics.counter("service.jobs.computed",
+                                     algorithm=job.task["algorithm"]).inc()
+                if self.store is not None:
+                    self.store.put(job.fingerprint, outcome.value)
+            else:
+                job.status = "failed"
+                job.failure = outcome.status
+                job.error = outcome.error
+                self.metrics.counter("service.jobs.failed").inc()
+                if self.quarantine:
+                    self._quarantine_job(job, outcome)
+            job.done.set()
+
+    def _quarantine_job(self, job: Job, outcome: TaskOutcome) -> None:
+        """Record a terminal failure in the replayable quarantine artifact.
+
+        The artifact is rewritten atomically after every failure and
+        deduplicates by fingerprint (a resubmitted job that fails again
+        replaces its entry rather than appending a duplicate), so
+        ``repro.experiments.sweep.replay_quarantine`` replays each
+        poisoned descriptor exactly once.
+        """
+        idx = self._quarantine_index.get(job.fingerprint)
+        record = TaskOutcome(
+            index=len(self._quarantined_tasks) if idx is None else idx,
+            status=outcome.status, error=outcome.error,
+            attempts=outcome.attempts)
+        if idx is None:
+            self._quarantine_index[job.fingerprint] = record.index
+            self._quarantined_tasks.append(job.task)
+            self._quarantined_outcomes.append(record)
+        else:
+            self._quarantined_outcomes[idx] = record
+        write_quarantine(self.quarantine, self._quarantined_tasks,
+                         self._quarantined_outcomes)
+        job.quarantined = True
+
+    # -- reading ------------------------------------------------------------
+
+    def _update_depth(self) -> None:
+        """Refresh the ``service.queue.depth`` gauge (queued + running)."""
+        depth = sum(1 for j in self.jobs.values()
+                    if j.status in ("queued", "running"))
+        self.metrics.gauge("service.queue.depth").set(depth)
+
+    def ordered_jobs(self) -> list[Job]:
+        """Every job in submission order (first admitted first)."""
+        return sorted(self.jobs.values(), key=lambda j: j.seq)
+
+    async def wait(self, jid: str, timeout: float | None = None) -> Job:
+        """Block until job ``jid`` completes (or ``timeout`` elapses).
+
+        Returns the job either way — callers inspect ``status`` to tell
+        "done" from "still pending after the wait".  ``KeyError`` for an
+        unknown id.
+        """
+        job = self.jobs[jid]
+        if timeout is not None and timeout <= 0:
+            return job
+        try:
+            await asyncio.wait_for(job.done.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        return job
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: service counters, cache stats, job tally."""
+        tally: dict[str, int] = {"queued": 0, "running": 0,
+                                 "done": 0, "failed": 0}
+        for job in self.jobs.values():
+            tally[job.status] = tally.get(job.status, 0) + 1
+        return {
+            "service": service_snapshot(self.metrics),
+            "cache": None if self.store is None else self.store.stats.to_dict(),
+            "jobs": {"total": len(self.jobs), **tally},
+        }

@@ -1,0 +1,384 @@
+"""The asyncio HTTP front end: request parsing, routing, lifecycles.
+
+Stdlib only — the wire protocol is a deliberately small HTTP/1.1 subset
+(``Connection: close``, JSON bodies, no chunked encoding) implemented
+directly on :func:`asyncio.start_server` streams, so the service adds no
+dependencies and stays a few hundred auditable lines.  Endpoints (see
+``docs/service.md`` for schemas and a walkthrough):
+
+==============================  =========================================
+``POST /jobs``                  submit a batch of sweep descriptors
+``GET /jobs``                   every job, submission order
+``GET /jobs/<id>``              one job's status/summary (``?wait=S``
+                                long-polls up to ``S`` seconds)
+``GET /jobs/<id>/record``       the full result record, arrays base64
+``GET /stats``                  service counters + cache stats + tally
+``GET /dashboard``              self-contained HTML dashboard
+``GET /healthz``                liveness probe
+==============================  =========================================
+
+Three entry points wrap the same :class:`ReproService`:
+
+* :func:`serve` — the blocking coroutine behind ``python -m repro
+  serve``;
+* :class:`ServiceThread` — a context manager running the event loop on a
+  daemon thread, for tests and the CI smoke (the calling thread talks to
+  the service over real HTTP, exactly like an external client);
+* direct use: ``await service.start()`` / ``await service.aclose()``
+  inside an existing loop.
+
+The service binds localhost by default.  It trusts its callers the way
+``repro sweep`` trusts its CLI flags — it is an orchestration sidecar,
+not an internet-facing API (no TLS, no auth), and the docs say so.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import traceback
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.dashboard import render_dashboard
+from repro.service.jobs import JobQueue, encode_record
+
+__all__ = ["ReproService", "ServiceThread", "serve"]
+
+#: Hard cap on request-body size (a batch of descriptors is tiny; this
+#: only exists so a misdirected upload cannot balloon memory).
+MAX_BODY = 8 * 1024 * 1024
+
+#: Per-request read timeout (seconds) — a stuck client cannot pin a task.
+READ_TIMEOUT = 30.0
+
+#: Ceiling on ``?wait=`` long-polls so handlers always unwind.
+MAX_WAIT = 60.0
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 408: "Request Timeout",
+            409: "Conflict", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class _BadRequest(ValueError):
+    """A malformed request (parse error, bad descriptor) — HTTP 400."""
+
+
+class _NotFound(KeyError):
+    """An unknown job id or route — HTTP 404."""
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request: ``(method, target, headers, body)``.
+
+    Returns ``None`` when the client closed without sending anything.
+    Raises :class:`_BadRequest` on malformed framing and enforces
+    :data:`MAX_BODY`.
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise _BadRequest(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) > 100:
+            raise _BadRequest("too many request headers")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length") or 0)
+    except ValueError as exc:
+        raise _BadRequest("bad Content-Length") from exc
+    if length > MAX_BODY:
+        raise _BadRequest(f"request body over {MAX_BODY} bytes")
+    body = await reader.readexactly(length) if length > 0 else b""
+    return method, target, headers, body
+
+
+class ReproService:
+    """The HTTP server bound to one :class:`~repro.service.jobs.JobQueue`.
+
+    ``port=0`` (the default) binds an ephemeral port; after
+    :meth:`start` the resolved port is on :attr:`port` — tests and the
+    CI smoke rely on this to avoid port collisions.
+    """
+
+    def __init__(self, queue: JobQueue, *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.queue = queue
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Start the drain loop and bind the listening socket."""
+        await self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the ``repro serve`` main loop)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections, then stop the queue."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.aclose()
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """One connection: parse, route, respond, close."""
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader), timeout=READ_TIMEOUT)
+            except asyncio.TimeoutError:
+                status, ctype, body = self._error(408, "request read timed out")
+            except _BadRequest as exc:
+                status, ctype, body = self._error(400, str(exc))
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            else:
+                if request is None:
+                    return
+                method, target, _headers, payload = request
+                try:
+                    status, ctype, body = await self._route(
+                        method, target, payload)
+                except _BadRequest as exc:
+                    status, ctype, body = self._error(400, str(exc))
+                except _NotFound as exc:
+                    # KeyError wraps its message in quotes; unwrap.
+                    status, ctype, body = self._error(
+                        404, str(exc.args[0]) if exc.args else "not found")
+                except Exception:
+                    status, ctype, body = self._error(
+                        500, traceback.format_exc(limit=8))
+            head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    def _json(payload, status: int = 200) -> tuple[int, str, bytes]:
+        """A JSON response triple."""
+        body = json.dumps(payload, indent=1, sort_keys=True).encode()
+        return status, "application/json", body
+
+    @classmethod
+    def _error(cls, status: int, message: str) -> tuple[int, str, bytes]:
+        """A JSON error response triple."""
+        return cls._json({"error": message}, status=status)
+
+    async def _route(self, method: str, target: str,
+                     payload: bytes) -> tuple[int, str, bytes]:
+        """Dispatch one parsed request to its endpoint."""
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+        if path == "/healthz":
+            self._require(method, "GET")
+            return self._json({"ok": True})
+        if path == "/stats":
+            self._require(method, "GET")
+            return self._json(self.queue.stats())
+        if path == "/dashboard":
+            self._require(method, "GET")
+            html = render_dashboard(self.queue)
+            return 200, "text/html; charset=utf-8", html.encode()
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(payload)
+            self._require(method, "GET")
+            return self._json(
+                {"jobs": [j.summary() for j in self.queue.ordered_jobs()]})
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/record"):
+                self._require(method, "GET")
+                return self._record(rest[:-len("/record")])
+            self._require(method, "GET")
+            return await self._job(rest, query)
+        raise _NotFound(f"no route for {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        """Reject a mismatched HTTP method loudly."""
+        if method != expected:
+            raise _BadRequest(f"method {method} not allowed here "
+                              f"(use {expected})")
+
+    def _submit(self, payload: bytes) -> tuple[int, str, bytes]:
+        """``POST /jobs`` — admit a batch of descriptors."""
+        try:
+            data = json.loads(payload or b"null")
+        except ValueError as exc:
+            raise _BadRequest(f"request body is not JSON: {exc}") from exc
+        jobs = data.get("jobs") if isinstance(data, dict) else data
+        if not isinstance(jobs, list) or not jobs:
+            raise _BadRequest(
+                'body must be {"jobs": [descriptor, ...]} or a bare '
+                "non-empty JSON list of descriptors")
+        if not all(isinstance(j, dict) for j in jobs):
+            raise _BadRequest("every job must be a descriptor object")
+        try:
+            entries = self.queue.submit(jobs)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from exc
+        return self._json({"jobs": entries})
+
+    def _lookup(self, jid: str):
+        """The job for ``jid`` or a 404."""
+        job = self.queue.jobs.get(jid)
+        if job is None:
+            raise _NotFound(f"unknown job id {jid!r}")
+        return job
+
+    async def _job(self, jid: str, query: dict) -> tuple[int, str, bytes]:
+        """``GET /jobs/<id>`` — status summary, optionally long-polled."""
+        job = self._lookup(jid)
+        wait = query.get("wait")
+        if wait:
+            try:
+                seconds = min(float(wait[0]), MAX_WAIT)
+            except ValueError as exc:
+                raise _BadRequest(f"bad wait={wait[0]!r}") from exc
+            job = await self.queue.wait(jid, timeout=seconds)
+        return self._json(job.summary())
+
+    def _record(self, jid: str) -> tuple[int, str, bytes]:
+        """``GET /jobs/<id>/record`` — the full result, arrays base64."""
+        job = self._lookup(jid)
+        if job.status != "done" or job.result is None:
+            return self._error(
+                409, f"job {jid} is {job.status}, no record to serve")
+        return self._json({"id": job.id, "source": job.source,
+                           "record": encode_record(job.result)})
+
+
+async def serve(queue: JobQueue, *, host: str = "127.0.0.1", port: int = 0,
+                announce: Callable[[str], None] | None = print) -> None:
+    """Run the service until cancelled — the ``repro serve`` body.
+
+    Binds, announces the resolved address (``announce=None`` silences
+    it), then serves forever; on cancellation (Ctrl-C in the CLI) the
+    server and queue are closed cleanly.
+    """
+    service = ReproService(queue, host=host, port=port)
+    await service.start()
+    if announce is not None:
+        announce(f"repro serve: listening on http://{service.host}:"
+                 f"{service.port} (dashboard at /dashboard)")
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.aclose()
+
+
+class ServiceThread:
+    """A live service on a background daemon thread (tests, CI smoke).
+
+    Context manager: entering boots an event loop + service and blocks
+    until the port is bound; exiting shuts both down.  The calling
+    thread then talks to the service over real HTTP (see
+    :class:`repro.service.client.ServiceClient`), which exercises the
+    exact code path an external client does.  :attr:`queue` is exposed
+    for white-box assertions (counters, job table) — tests read it only
+    after the HTTP side confirms completion, so there is no cross-thread
+    race on the values asserted.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 **queue_options):
+        self._host = host
+        self._want_port = port
+        self._queue_options = queue_options
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._failure: BaseException | None = None
+        #: Resolved port after :meth:`start`.
+        self.port: int | None = None
+        #: The live :class:`JobQueue` (white-box test hook).
+        self.queue: JobQueue | None = None
+
+    @property
+    def base_url(self) -> str:
+        """The service root, e.g. ``http://127.0.0.1:43117``."""
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "ServiceThread":
+        """Boot the loop thread; returns once the socket is bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=60.0):
+            raise RuntimeError("service thread failed to start in 60s")
+        if self._failure is not None:
+            raise RuntimeError("service thread failed to start") \
+                from self._failure
+        return self
+
+    def stop(self) -> None:
+        """Shut the service down and join the thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        """Thread body: one ``asyncio.run`` around :meth:`_main`."""
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        """Boot queue + service, signal readiness, park until stopped."""
+        self.queue = JobQueue(**self._queue_options)
+        service = ReproService(self.queue, host=self._host,
+                               port=self._want_port)
+        await service.start()
+        self.port = service.port
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await service.aclose()

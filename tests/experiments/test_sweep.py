@@ -153,6 +153,67 @@ class TestRunSweep:
         assert "failed" in report.describe_task(0)
 
 
+class TestCacheAccounting:
+    """Locks the CacheStats contract: one lookup and at most one store
+    per unique fingerprint, and a freshly stored entry is never re-read
+    to serve its own batch (which would double-count it as a hit)."""
+
+    DUP_BATCH = [ALLPAIRS, dict(ALLPAIRS), {"algorithm": "symmetric",
+                                            "p": 4, "n": 16}]
+
+    def test_cold_batch_with_duplicates_single_flights(self, tmp_path):
+        cache = RunCache(str(tmp_path), namespace=SWEEP_NAMESPACE)
+        report = run_sweep(self.DUP_BATCH, cache=cache)
+        assert [o.status for o in report.outcomes] == [
+            "ok", "coalesced", "ok"]
+        # 2 unique fingerprints: exactly 2 lookups (all misses), 2
+        # stores, and crucially ZERO hits — the duplicate was served
+        # from the leader's in-memory result, not by re-reading the
+        # entry the leader just stored.
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+        assert cache.stats.stores == 2
+        # single-flight shares the value bitwise and consumes no attempt
+        assert report.outcomes[1].value == report.outcomes[0].value
+        assert report.outcomes[1].attempts == 0
+        assert report.outcomes[1].ok
+        assert len(report.coalesced) == 1
+
+    def test_warm_batch_with_duplicates_one_lookup_per_unique(self, tmp_path):
+        cache = RunCache(str(tmp_path), namespace=SWEEP_NAMESPACE)
+        run_sweep(self.DUP_BATCH, cache=cache)
+        warm_cache = RunCache(str(tmp_path), namespace=SWEEP_NAMESPACE)
+        warm = run_sweep(self.DUP_BATCH, cache=warm_cache)
+        assert [o.status for o in warm.outcomes] == [
+            "cached", "coalesced", "cached"]
+        assert warm_cache.stats.hits == 2
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.stores == 0
+        assert warm_cache.stats.hit_rate == 1.0
+        assert warm.outcomes[1].value == warm.outcomes[0].value
+
+    def test_duplicates_coalesce_without_a_cache_too(self):
+        report = run_sweep([ALLPAIRS, dict(ALLPAIRS)])
+        assert [o.status for o in report.outcomes] == ["ok", "coalesced"]
+        assert report.outcomes[1].value == report.outcomes[0].value
+
+    def test_failed_leader_fails_its_followers(self):
+        bad = dict(ALLPAIRS, algorithm="no_such_algorithm")
+        report = run_sweep([bad, dict(bad)])
+        assert [o.status for o in report.outcomes] == ["failed", "failed"]
+        assert report.outcomes[1].attempts == 0  # no second computation
+        assert report.outcomes[1].error == report.outcomes[0].error
+
+    def test_stats_surface_lookups_and_to_dict(self, tmp_path):
+        cache = RunCache(str(tmp_path), namespace=SWEEP_NAMESPACE)
+        run_sweep([ALLPAIRS], cache=cache)
+        run_sweep([ALLPAIRS], cache=cache)
+        snap = cache.stats.to_dict()
+        assert snap == {"hits": 1, "misses": 1, "stores": 1,
+                        "evictions": 0, "hit_rate": 0.5}
+        assert cache.stats.lookups == 2
+
+
 class TestCliSweep:
     def test_cold_then_expect_cached(self, tmp_path, capsys):
         from repro.cli import main
@@ -195,3 +256,10 @@ class TestCliSweep:
 
         assert main(["sweep", "--algorithms", "not_an_algorithm"]) == 2
         assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_expect_cached_without_cache_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--algorithms", "allpairs", "--ranks", "4",
+                     "--particles", "16", "--expect-cached"]) == 2
+        assert "--expect-cached needs --cache" in capsys.readouterr().err

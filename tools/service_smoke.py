@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Service smoke gate: boot ``repro serve``, prove the dedup contract live.
+
+CI's end-to-end check for :mod:`repro.service`.  Boots the service on an
+ephemeral port (in-process, via :class:`ServiceThread`) over a durable
+run cache and drives it through :class:`ServiceClient` — real HTTP, the
+same path an external client takes:
+
+1. **Cold pass** — submit a batch of sweep descriptors containing one
+   deliberate in-batch duplicate; every unique point must compute
+   exactly once and the duplicate must coalesce (zero extra compute,
+   asserted via the ``service.jobs.*`` counters).
+2. **Warm pass** — resubmit the identical batch to the same live
+   service; *every* submission must be served without compute
+   (``cached: true``), the ``computed`` counter must not move, and the
+   durable cache's own stats must not move either (a served-from-memory
+   duplicate never re-reads the store).
+3. **Restart pass** — a fresh service over the same cache directory
+   must serve the whole batch from the durable store with zero
+   computation (``computed == 0``, 100% cache hit rate).
+4. **Bitwise identity** — the full result record fetched cold, warm,
+   coalesced, and after restart must be byte-identical, and equal to a
+   direct in-process :func:`sweep_task` evaluation.
+
+The rendered ``/dashboard`` HTML is written to ``--out-dir`` and
+uploaded as a CI artifact.  Exit status is non-zero on any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py --out-dir service-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+
+#: The smoke batch: three algorithms plus one in-batch duplicate.
+BATCH = [
+    {"algorithm": "allpairs", "p": 4, "c": 2, "n": 24},
+    {"algorithm": "allpairs", "p": 4, "c": 2, "n": 24},  # duplicate
+    {"algorithm": "symmetric", "p": 4, "n": 24},
+    {"algorithm": "particle_ring", "p": 4, "n": 24},
+]
+
+UNIQUE = 3  # unique fingerprints in BATCH
+
+
+def _check(ok: bool, message: str) -> bool:
+    """Print a PASS/FAIL line; returns ``ok`` for accumulation."""
+    print(f"  {'PASS' if ok else 'FAIL'}: {message}")
+    return ok
+
+
+def _counters(client) -> dict:
+    """Unlabeled service counters keyed by short name."""
+    snap = client.stats()["service"]
+    return {name.rsplit(".", 1)[1]: snap[name] for name in snap}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="service-artifacts",
+                        metavar="DIR",
+                        help="where the dashboard HTML artifact lands")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="durable cache directory "
+                             "(default: a fresh temp dir)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-job wait budget in seconds")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.sweep import normalize_task, sweep_task
+    from repro.service import ServiceClient, ServiceThread
+
+    cache_dir = args.cache or os.path.join(
+        tempfile.mkdtemp(prefix="repro-service-smoke-"), "cache")
+    os.makedirs(args.out_dir, exist_ok=True)
+    ok = True
+
+    print("[1/4] cold pass: compute once per unique point, coalesce the "
+          "duplicate")
+    with ServiceThread(cache=cache_dir) as st:
+        client = ServiceClient(st.base_url)
+        entries = client.submit(BATCH)
+        records: dict[str, dict] = {}
+        for entry in entries:
+            snap = client.wait(entry["id"], timeout=args.timeout)
+            ok &= _check(snap["status"] == "done",
+                         f"job {entry['id']} completed ({snap['status']})")
+            records[entry["id"]] = client.record(entry["id"])["record"]
+        cold = _counters(client)
+        ok &= _check(cold["computed"] == UNIQUE,
+                     f"computed == {UNIQUE} (got {cold['computed']})")
+        ok &= _check(cold["coalesced"] == len(BATCH) - UNIQUE,
+                     f"coalesced == {len(BATCH) - UNIQUE} "
+                     f"(got {cold['coalesced']})")
+        ok &= _check(cold["failed"] == 0, "no failures")
+
+        print("[2/4] warm pass: identical batch served 100% without compute")
+        store_before = client.stats()["cache"]
+        warm_entries = client.submit(BATCH)
+        ok &= _check(all(e["cached"] for e in warm_entries),
+                     "every resubmission reported cached: true")
+        warm = _counters(client)
+        ok &= _check(warm["computed"] == cold["computed"],
+                     "computed counter did not move")
+        ok &= _check(warm["cache_hits"] == cold["cache_hits"] + len(BATCH),
+                     f"+{len(BATCH)} cache hits")
+        ok &= _check(client.stats()["cache"] == store_before,
+                     "durable store not re-read for in-memory hits")
+        for entry in warm_entries:
+            served = client.record(entry["id"])["record"]
+            ok &= _check(served == records[entry["id"]],
+                         f"warm record {entry['id']} bitwise-identical")
+        dashboard = client.dashboard()
+        path = os.path.join(args.out_dir, "dashboard.html")
+        with open(path, "w") as fh:
+            fh.write(dashboard)
+        ok &= _check("served without compute" in dashboard
+                     and "<!doctype html>" in dashboard,
+                     f"dashboard rendered -> {path}")
+
+    print("[3/4] restart pass: fresh service, same cache, zero computation")
+    with ServiceThread(cache=cache_dir) as st:
+        client = ServiceClient(st.base_url)
+        entries = client.submit(BATCH)
+        ok &= _check(all(e["cached"] for e in entries),
+                     "every submission served from the durable cache")
+        restart = _counters(client)
+        ok &= _check(restart["computed"] == 0, "computed == 0 after restart")
+        stats = client.stats()["cache"]
+        ok &= _check(stats["hits"] == UNIQUE and stats["misses"] == 0,
+                     f"store accounting exact (hits={stats['hits']}, "
+                     f"misses={stats['misses']})")
+        for entry in entries:
+            served = client.record(entry["id"])["record"]
+            ok &= _check(served == records[entry["id"]],
+                         f"restart record {entry['id']} bitwise-identical")
+
+    print("[4/4] direct evaluation parity")
+    from repro.experiments.sweep import task_fingerprint
+    from repro.service import job_id
+
+    for desc in BATCH[:1] + BATCH[2:]:
+        direct = sweep_task(normalize_task(desc))
+        jid = job_id(task_fingerprint(desc))
+        ok &= _check(records[jid] == direct,
+                     f"service record for {desc['algorithm']} == "
+                     "in-process sweep_task")
+
+    print("service smoke:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
